@@ -1,0 +1,37 @@
+"""Benchmark harness glue.
+
+Each bench runs one paper-artifact experiment exactly once (pedantic mode:
+these are minutes-long LP sweeps, not microbenchmarks), prints the
+reproduced rows — the same rows/series the paper's table or figure reports —
+and asserts the experiment's shape checks.
+
+Scale is controlled by REPRO_SCALE (small | medium | large); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import run_experiment
+from repro.evaluation.runner import scale_from_env
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark, capsys):
+    """Run an experiment under pytest-benchmark and validate its checks."""
+
+    def _run(experiment_id: str, seed: int = 0):
+        scale = scale_from_env()
+
+        def once():
+            return run_experiment(experiment_id, scale=scale, seed=seed)
+
+        result = benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        failed = [k for k, v in result.checks.items() if not v]
+        assert not failed, f"{experiment_id}: shape checks failed: {failed}"
+        return result
+
+    return _run

@@ -1,0 +1,9 @@
+"""Ablation: LP vs MWU engines; LM vs Kodialam TM cost
+
+Regenerates the paper artifact '`ablation-lp`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_ablation_lp(run_paper_experiment):
+    run_paper_experiment("ablation-lp")

@@ -1,0 +1,9 @@
+"""§III-B: 25-switch flattened butterfly, cut != throughput
+
+Regenerates the paper artifact '`butterfly25`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_butterfly25(run_paper_experiment):
+    run_paper_experiment("butterfly25")

@@ -1,0 +1,9 @@
+"""§III-B: exact cut metrics vs worst-case throughput — error statistics.
+
+Regenerates the paper artifact '`cut-accuracy`' at the current REPRO_SCALE
+and asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_cut_accuracy(run_paper_experiment):
+    run_paper_experiment("cut-accuracy")

@@ -1,0 +1,9 @@
+"""Fig. 1 / Theorem 1: sparsest cut can mis-rank networks (graphs A and B)
+
+Regenerates the paper artifact '`fig1`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig1(run_paper_experiment):
+    run_paper_experiment("fig1")

@@ -1,0 +1,9 @@
+"""Fig. 2: TM hardness ladder on hypercube, random graph, fat tree
+
+Regenerates the paper artifact '`fig2`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig2(run_paper_experiment):
+    run_paper_experiment("fig2")

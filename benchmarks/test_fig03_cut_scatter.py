@@ -1,0 +1,9 @@
+"""Fig. 3: throughput vs best-heuristic sparse cut, all families + natural networks
+
+Regenerates the paper artifact '`fig3`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig3(run_paper_experiment):
+    run_paper_experiment("fig3")

@@ -1,0 +1,9 @@
+"""Fig. 4: A2A/RM(5)/RM(1)/LM normalized by the Theorem-2 lower bound
+
+Regenerates the paper artifact '`fig4`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig4(run_paper_experiment):
+    run_paper_experiment("fig4")

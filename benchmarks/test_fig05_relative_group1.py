@@ -1,0 +1,9 @@
+"""Fig. 5: relative throughput vs servers (structured families)
+
+Regenerates the paper artifact '`fig5`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig5(run_paper_experiment):
+    run_paper_experiment("fig5")

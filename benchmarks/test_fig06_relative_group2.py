@@ -1,0 +1,9 @@
+"""Fig. 6: relative throughput vs servers (expander families)
+
+Regenerates the paper artifact '`fig6`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig6(run_paper_experiment):
+    run_paper_experiment("fig6")

@@ -1,0 +1,9 @@
+"""Fig. 7: HyperX relative throughput by designed bisection
+
+Regenerates the paper artifact '`fig7`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig7(run_paper_experiment):
+    run_paper_experiment("fig7")

@@ -1,0 +1,9 @@
+"""Fig. 8: Long Hop relative throughput approaches the random graph
+
+Regenerates the paper artifact '`fig8`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig8(run_paper_experiment):
+    run_paper_experiment("fig8")

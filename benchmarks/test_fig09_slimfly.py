@@ -1,0 +1,9 @@
+"""Fig. 9: Slim Fly short paths vs throughput
+
+Regenerates the paper artifact '`fig9`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig9(run_paper_experiment):
+    run_paper_experiment("fig9")

@@ -1,0 +1,9 @@
+"""Fig. 10: elephant-flow TMs, structured families
+
+Regenerates the paper artifact '`fig10`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig10(run_paper_experiment):
+    run_paper_experiment("fig10")

@@ -1,0 +1,9 @@
+"""Fig. 11: elephant-flow TMs, expander families
+
+Regenerates the paper artifact '`fig11`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig11(run_paper_experiment):
+    run_paper_experiment("fig11")

@@ -1,0 +1,9 @@
+"""Fig. 12: absolute throughput under elephants at matched equipment
+
+Regenerates the paper artifact '`fig12`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig12(run_paper_experiment):
+    run_paper_experiment("fig12")

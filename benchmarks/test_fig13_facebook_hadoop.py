@@ -1,0 +1,9 @@
+"""Fig. 13: Facebook Hadoop TM-H, sampled vs shuffled placement
+
+Regenerates the paper artifact '`fig13`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig13(run_paper_experiment):
+    run_paper_experiment("fig13")

@@ -1,0 +1,9 @@
+"""Fig. 14: Facebook frontend TM-F, sampled vs shuffled placement
+
+Regenerates the paper artifact '`fig14`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig14(run_paper_experiment):
+    run_paper_experiment("fig14")

@@ -1,0 +1,9 @@
+"""Fig. 15: Yuan et al. replication (estimator + equipment effects)
+
+Regenerates the paper artifact '`fig15`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_fig15(run_paper_experiment):
+    run_paper_experiment("fig15")

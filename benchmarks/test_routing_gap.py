@@ -1,0 +1,9 @@
+"""§V: routing gap — single shortest path vs ECMP vs optimal flow.
+
+Regenerates the paper artifact '`routing-gap`' at the current REPRO_SCALE
+and asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_routing_gap(run_paper_experiment):
+    run_paper_experiment("routing-gap")

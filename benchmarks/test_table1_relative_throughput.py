@@ -1,0 +1,9 @@
+"""Table I: relative throughput at the largest size tested
+
+Regenerates the paper artifact '`table1`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_table1(run_paper_experiment):
+    run_paper_experiment("table1")

@@ -1,0 +1,9 @@
+"""Table II: sparse-cut estimator census
+
+Regenerates the paper artifact '`table2`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_table2(run_paper_experiment):
+    run_paper_experiment("table2")

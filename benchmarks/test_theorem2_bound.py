@@ -1,0 +1,9 @@
+"""Theorem 2: every hose TM achieves at least half of A2A
+
+Regenerates the paper artifact '`theorem2`' at the current REPRO_SCALE and
+asserts its shape checks (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+
+def test_theorem2(run_paper_experiment):
+    run_paper_experiment("theorem2")

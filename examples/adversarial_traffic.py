@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The paper's future-work directions, implemented (paper §VI).
+
+1. *Even-worse-case traffic*: local search over matching TMs starting from
+   longest matching, with the Theorem-2 bound as a stopping certificate.
+2. *Throughput-aware task placement*: local search over rack placements of a
+   skewed TM, beating random shuffling.
+
+Run:  python examples/adversarial_traffic.py
+"""
+
+from repro import hypercube, jellyfish, tm_facebook_frontend
+from repro.evaluation import optimize_placement
+from repro.traffic import worst_case_search
+
+
+def main() -> None:
+    # --- 1. adversarial TM search -------------------------------------
+    print("=== even-worse-case traffic search ===")
+    for topo in (hypercube(4), jellyfish(16, 4, seed=3)):
+        res = worst_case_search(topo, max_evaluations=30, seed=0)
+        print(
+            f"{topo.name:22s} LM throughput {res.start_throughput:.4f} -> "
+            f"{res.throughput:.4f}  (bound {res.lower_bound:.4f}, "
+            f"gap {res.gap_to_bound:.3f}, {res.n_evaluations} LP evals)"
+        )
+    print(
+        "gap = 1.0 means the search *proved* worst case via Theorem 2 "
+        "(hypercubes stop instantly;\nrandom graphs leave a small gap — "
+        "exactly the paper's open question)."
+    )
+
+    # --- 2. placement optimization ------------------------------------
+    print("\n=== throughput-aware placement of a skewed TM ===")
+    topo = hypercube(5)
+    rack_tm, _roles = tm_facebook_frontend(n_racks=32, seed=0)
+    res = optimize_placement(topo, rack_tm, max_evaluations=30, seed=1)
+    print(
+        f"{topo.name}: sampled placement {res.baseline_throughput:.4f} -> "
+        f"optimized {res.throughput:.4f}  ({res.gain:.2f}x, "
+        f"{res.n_evaluations} LP evals)"
+    )
+    print(
+        "Random shuffling already helps skewed TMs (Fig. 14); targeted "
+        "search does at least as well."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a topology's throughput the way the paper does.
+
+Builds a Jellyfish network, evaluates it under the three headline traffic
+matrices (all-to-all, random matching, longest matching), checks the
+Theorem-2 lower bound, and compares against a same-equipment random graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    all_to_all,
+    jellyfish,
+    longest_matching,
+    random_matching,
+    relative_throughput,
+    throughput,
+    worst_case_lower_bound,
+)
+from repro.evaluation.experiments.factories import lm_factory
+
+
+def main() -> None:
+    # 1. Build a topology: 32 switches, degree 5, one server each.
+    topo = jellyfish(32, 5, seed=42)
+    print(f"topology: {topo}")
+
+    # 2. Throughput under the TM ladder (absolute, hose-tight units).
+    tms = {
+        "all-to-all": all_to_all(topo),
+        "random matching": random_matching(topo, seed=0),
+        "longest matching (near-worst-case)": longest_matching(topo),
+    }
+    print("\nthroughput by traffic matrix:")
+    for name, tm in tms.items():
+        res = throughput(topo, tm)
+        print(f"  {name:36s} {res.value:.4f}   (LP: {res.n_variables} vars, "
+              f"{res.solve_seconds:.2f}s)")
+
+    # 3. The TM-independent worst-case lower bound (Theorem 2): T_A2A / 2.
+    lb = worst_case_lower_bound(topo)
+    print(f"\nworst-case lower bound (T_A2A / 2): {lb:.4f}")
+    lm_value = throughput(topo, tms["longest matching (near-worst-case)"]).value
+    print(f"longest matching / lower bound:     {lm_value / lb:.3f}  "
+          "(1.0 would be a provably worst-case TM)")
+
+    # 4. Relative throughput: normalize by a same-equipment random graph —
+    #    the paper's apples-to-apples comparison across topologies.
+    rel = relative_throughput(topo, lm_factory, samples=3, seed=7)
+    print(f"\nrelative throughput vs same-equipment random graph: "
+          f"{rel.relative:.3f}")
+    print("(Jellyfish *is* a random graph, so this is ~1 by construction.)")
+
+
+if __name__ == "__main__":
+    main()

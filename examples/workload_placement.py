@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Rack-placement randomization on a skewed real-world TM (paper Figs. 13-14).
+
+Places a synthetic Facebook frontend TM (hot cache racks, quantized
+power-of-ten weights) on several topologies, in rack order ("sampled") and
+with randomized placement ("shuffled"), and reports the throughput gain.
+Shuffling helps structured topologies; expanders barely notice.
+
+Run:  python examples/workload_placement.py
+"""
+
+import numpy as np
+
+from repro import (
+    hypercube,
+    jellyfish,
+    longhop,
+    throughput,
+    tm_facebook_frontend,
+    tm_facebook_hadoop,
+)
+from repro.topologies import dcell, flattened_butterfly
+from repro.traffic import attach_rack_tm
+
+
+def gain(topo, rack_tm, shuffles=3) -> tuple[float, float]:
+    """(sampled, mean shuffled) absolute throughput for one topology."""
+    sampled = throughput(topo, attach_rack_tm(rack_tm, topo, shuffle=False)).value
+    shuffled = float(
+        np.mean(
+            [
+                throughput(
+                    topo, attach_rack_tm(rack_tm, topo, shuffle=True, seed=i)
+                ).value
+                for i in range(shuffles)
+            ]
+        )
+    )
+    return sampled, shuffled
+
+
+def main() -> None:
+    topologies = [
+        hypercube(6),
+        flattened_butterfly(4, 3),
+        dcell(5, 1),
+        longhop(6),
+        jellyfish(64, 6, seed=0),
+    ]
+    for tm_name, rack_tm in (
+        ("TM-H (Hadoop, near-uniform)", tm_facebook_hadoop(seed=0)),
+        ("TM-F (frontend, skewed)", tm_facebook_frontend(seed=0)[0]),
+    ):
+        print(f"\n=== {tm_name} ===")
+        print(f"{'topology':26s} {'sampled':>9s} {'shuffled':>9s} {'gain':>7s}")
+        print("-" * 55)
+        for topo in topologies:
+            sampled, shuffled = gain(topo, rack_tm)
+            print(
+                f"{topo.name:26s} {sampled:9.4f} {shuffled:9.4f} "
+                f"{shuffled / sampled:6.2f}x"
+            )
+    print(
+        "\nUnder the skewed TM-F, randomizing placement spreads the hot racks "
+        "and lifts\nthroughput on structured topologies — the paper's "
+        "workload-placement insight."
+    )
+
+
+if __name__ == "__main__":
+    main()

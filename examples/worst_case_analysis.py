@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Near-worst-case traffic analysis (a miniature of the paper's Fig. 2).
+
+Shows the TM hardness ladder on a hypercube — all-to-all down to longest
+matching and the theoretical lower bound — and demonstrates *why* longest
+matching is hard: it maximizes demand-weighted path length, pushing the
+volumetric bound down to the link-capacity limit.
+
+Run:  python examples/worst_case_analysis.py
+"""
+
+from repro import (
+    all_to_all,
+    hypercube,
+    kodialam_tm,
+    longest_matching,
+    random_matching,
+    throughput,
+    volumetric_upper_bound,
+)
+from repro.utils.graphutils import all_pairs_distances
+
+
+def main() -> None:
+    topo = hypercube(5)
+    print(f"topology: {topo}\n")
+    dist = all_pairs_distances(topo.graph)
+
+    ladder = [
+        ("all-to-all", all_to_all(topo)),
+        ("random matching (10)", random_matching(topo, n_matchings=10, seed=0)),
+        ("random matching (2)", random_matching(topo, n_matchings=2, seed=0)),
+        ("random matching (1)", random_matching(topo, n_matchings=1, seed=0)),
+        ("Kodialam TM", kodialam_tm(topo)),
+        ("longest matching", longest_matching(topo)),
+    ]
+    a2a_value = throughput(topo, ladder[0][1]).value
+    lb = a2a_value / 2.0
+
+    print(f"{'traffic matrix':24s} {'throughput':>10s} {'avg dist':>9s} "
+          f"{'volumetric UB':>13s}")
+    print("-" * 60)
+    for name, tm in ladder:
+        t = throughput(topo, tm).value
+        avg_d = tm.demand_weighted_distance(dist)
+        ub = volumetric_upper_bound(topo, tm)
+        print(f"{name:24s} {t:10.4f} {avg_d:9.3f} {ub:13.4f}")
+    print("-" * 60)
+    print(f"{'lower bound (T_A2A/2)':24s} {lb:10.4f}")
+    print(
+        "\nReading the table: throughput falls as the TM's average flow "
+        "distance rises\n(the volumetric limit), and longest matching "
+        "pins the hypercube exactly to the\nTheorem-2 lower bound — its "
+        "antipodal pairing saturates every unidirectional link."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro — reproduction of *Measuring and Understanding Throughput of Network
+Topologies* (Jyothi, Singla, Godfrey, Kolla; SC 2016).
+
+The package provides:
+
+* :mod:`repro.topologies` — the ten topology families the paper benchmarks
+  plus its theory-section graph constructions;
+* :mod:`repro.traffic` — all-to-all, random matching, longest matching
+  (near-worst-case), Kodialam, elephant, and Facebook-shaped TMs;
+* :mod:`repro.throughput` — exact LP and approximate engines for maximum
+  concurrent flow, theoretical bounds, path-restricted variants;
+* :mod:`repro.cuts` — sparsest cut / bisection bandwidth and the heuristic
+  estimator suite of the paper's Appendix C;
+* :mod:`repro.evaluation` — same-equipment random-graph normalization,
+  relative throughput, and one experiment per paper table/figure;
+* :mod:`repro.theory` — executable forms of the paper's theorems.
+
+Quickstart::
+
+    from repro import jellyfish, longest_matching, throughput
+    topo = jellyfish(64, 6, seed=0)
+    tm = longest_matching(topo)
+    print(throughput(topo, tm).value)
+"""
+
+from repro.topologies import (
+    Topology,
+    bcube,
+    dcell,
+    dragonfly,
+    fat_tree,
+    flattened_butterfly,
+    hypercube,
+    hyperx,
+    jellyfish,
+    longhop,
+    make_topology,
+    slimfly,
+)
+from repro.traffic import (
+    TrafficMatrix,
+    all_to_all,
+    elephant_matching,
+    kodialam_tm,
+    longest_matching,
+    random_matching,
+    tm_facebook_frontend,
+    tm_facebook_hadoop,
+)
+from repro.throughput import (
+    ThroughputResult,
+    throughput,
+    volumetric_upper_bound,
+    worst_case_lower_bound,
+)
+from repro.cuts import bisection_bandwidth, find_sparse_cut, sparsest_cut_bruteforce
+from repro.evaluation import (
+    relative_throughput,
+    same_equipment_random_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Topology",
+    "bcube",
+    "dcell",
+    "dragonfly",
+    "fat_tree",
+    "flattened_butterfly",
+    "hypercube",
+    "hyperx",
+    "jellyfish",
+    "longhop",
+    "make_topology",
+    "slimfly",
+    "TrafficMatrix",
+    "all_to_all",
+    "elephant_matching",
+    "kodialam_tm",
+    "longest_matching",
+    "random_matching",
+    "tm_facebook_frontend",
+    "tm_facebook_hadoop",
+    "ThroughputResult",
+    "throughput",
+    "volumetric_upper_bound",
+    "worst_case_lower_bound",
+    "bisection_bandwidth",
+    "find_sparse_cut",
+    "sparsest_cut_bruteforce",
+    "relative_throughput",
+    "same_equipment_random_graph",
+    "__version__",
+]

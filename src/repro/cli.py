@@ -1,0 +1,86 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig4
+    python -m repro fig5 --scale medium --seed 7
+    python -m repro all --scale small
+
+Output is the ASCII table/series the corresponding bench prints, plus the
+shape-check verdicts recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.evaluation.experiments import EXPERIMENTS, run_experiment
+from repro.evaluation.runner import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'Measuring and Understanding "
+        "Throughput of Network Topologies' (SC16).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig4, table1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each result as JSON into this directory",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12s} {doc}")
+        return 0
+    scale = SCALES[args.scale] if args.scale else None
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    exit_code = 0
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        try:
+            result = run_experiment(exp_id, scale=scale, seed=args.seed)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"[{exp_id} finished in {elapsed:.1f}s]")
+        print()
+        if args.json:
+            from pathlib import Path
+
+            from repro.utils.serialization import experiment_to_json
+
+            out_dir = Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{exp_id}.json").write_text(experiment_to_json(result))
+        if not result.all_checks_pass():
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Cut metrics: sparsest cut, bisection bandwidth, and the estimator suite."""
+
+from repro.cuts.sparsest import (
+    CutResult,
+    cut_sparsity,
+    sparsest_cut_bruteforce,
+    uniform_sparsest_cut_bruteforce,
+)
+from repro.cuts.bisection import (
+    bisection_bandwidth,
+    bisection_bandwidth_bruteforce,
+    bisection_bandwidth_heuristic,
+    bisection_capacity,
+)
+from repro.cuts.heuristics import (
+    SparseCutReport,
+    eigenvector_sweep_cuts,
+    expanding_region_cuts,
+    find_sparse_cut,
+    limited_bruteforce_cut,
+    one_node_cuts,
+    two_node_cuts,
+)
+from repro.cuts.spectral import normalized_laplacian, second_eigenvector, sweep_order
+
+__all__ = [
+    "CutResult",
+    "cut_sparsity",
+    "sparsest_cut_bruteforce",
+    "uniform_sparsest_cut_bruteforce",
+    "bisection_bandwidth",
+    "bisection_bandwidth_bruteforce",
+    "bisection_bandwidth_heuristic",
+    "bisection_capacity",
+    "SparseCutReport",
+    "eigenvector_sweep_cuts",
+    "expanding_region_cuts",
+    "find_sparse_cut",
+    "limited_bruteforce_cut",
+    "one_node_cuts",
+    "two_node_cuts",
+    "normalized_laplacian",
+    "second_eigenvector",
+    "sweep_order",
+]

@@ -1,0 +1,183 @@
+"""The paper's sparse-cut estimator suite (Appendix C).
+
+Five heuristics, each returning its best cut; :func:`find_sparse_cut` runs
+all of them and reports the overall winner plus which estimators found it —
+the data behind Table II.
+
+* limited brute force (capped at 10,000 cuts);
+* one-node cuts;
+* two-node cuts;
+* expanding-region cuts (BFS balls of growing radius around every node);
+* eigenvector sweep of the normalized Laplacian's second eigenvector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cuts.sparsest import (
+    CutResult,
+    _sides_matrix_sparsity,
+    cut_sparsity,
+    sparsest_cut_bruteforce,
+)
+from repro.cuts.spectral import sweep_order
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import all_to_all
+from repro.utils.graphutils import all_pairs_distances
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Tolerance when deciding that two sparsities are "the same cut value".
+SPARSITY_RTOL = 1e-9
+
+
+def _best_of(topology: Topology, tm: TrafficMatrix, sides: np.ndarray, tag: str) -> Optional[CutResult]:
+    """Best cut among the rows of boolean matrix ``sides``."""
+    if sides.size == 0:
+        return None
+    # Discard degenerate rows (empty or full side).
+    any_in = sides.any(axis=1)
+    any_out = ~sides.all(axis=1)
+    sides = sides[any_in & any_out]
+    if sides.shape[0] == 0:
+        return None
+    vals = _sides_matrix_sparsity(topology, tm, sides)
+    best = int(np.argmin(vals))
+    res = cut_sparsity(topology, tm, sides[best])
+    res.found_by = tag
+    return res
+
+
+def limited_bruteforce_cut(
+    topology: Topology,
+    tm: TrafficMatrix,
+    max_cuts: int = 10_000,
+    seed: SeedLike = 0,
+) -> Optional[CutResult]:
+    """Brute force capped at ``max_cuts`` cuts (the paper's 10,000 cap).
+
+    Below the cap this is exact; above it, cuts are sampled uniformly (each
+    node joining S with probability 1/2, node 0 pinned to S).
+    """
+    n = topology.n_switches
+    if n <= 1:
+        return None
+    total = 1 << (n - 1)
+    if total - 1 <= max_cuts:
+        res = sparsest_cut_bruteforce(topology, tm, max_nodes=n)
+        res.found_by = "bruteforce"
+        return res
+    rng = ensure_rng(seed)
+    sides = rng.random((max_cuts, n)) < 0.5
+    sides[:, 0] = True
+    res = _best_of(topology, tm, sides, "bruteforce")
+    return res
+
+
+def one_node_cuts(topology: Topology, tm: TrafficMatrix) -> Optional[CutResult]:
+    """All n cuts isolating a single node."""
+    n = topology.n_switches
+    sides = np.eye(n, dtype=bool)
+    return _best_of(topology, tm, sides, "one_node")
+
+
+def two_node_cuts(topology: Topology, tm: TrafficMatrix) -> Optional[CutResult]:
+    """All n(n-1)/2 cuts isolating a pair of nodes."""
+    n = topology.n_switches
+    if n < 3:
+        return None
+    idx_u, idx_v = np.triu_indices(n, k=1)
+    sides = np.zeros((idx_u.size, n), dtype=bool)
+    sides[np.arange(idx_u.size), idx_u] = True
+    sides[np.arange(idx_u.size), idx_v] = True
+    return _best_of(topology, tm, sides, "two_node")
+
+
+def expanding_region_cuts(topology: Topology, tm: TrafficMatrix) -> Optional[CutResult]:
+    """BFS-ball cuts: for every node, S = ball of radius k, k = 0..diameter."""
+    dist = all_pairs_distances(topology.graph)
+    n = topology.n_switches
+    finite = dist[np.isfinite(dist)]
+    diameter = int(finite.max()) if finite.size else 0
+    sides_list: List[np.ndarray] = []
+    for radius in range(diameter):  # radius = diameter would be the full set
+        sides_list.append(dist <= radius)
+    if not sides_list:
+        return None
+    sides = np.vstack(sides_list)
+    return _best_of(topology, tm, sides, "expanding")
+
+
+def eigenvector_sweep_cuts(topology: Topology, tm: TrafficMatrix) -> Optional[CutResult]:
+    """The n-1 prefix cuts of the spectral sweep order."""
+    order = sweep_order(topology)
+    n = topology.n_switches
+    sides = np.zeros((n - 1, n), dtype=bool)
+    for i in range(n - 1):
+        sides[i, order[: i + 1]] = True
+    return _best_of(topology, tm, sides, "eigenvector")
+
+
+@dataclass
+class SparseCutReport:
+    """Best sparse cut found by the full estimator suite.
+
+    ``estimator_values`` maps estimator name to its best sparsity;
+    ``winners`` lists every estimator whose value ties the overall best
+    (Table II counts winners per estimator).
+    """
+
+    best: CutResult
+    estimator_values: Dict[str, float] = field(default_factory=dict)
+    winners: List[str] = field(default_factory=list)
+
+
+def find_sparse_cut(
+    topology: Topology,
+    tm: Optional[TrafficMatrix] = None,
+    max_bruteforce_cuts: int = 10_000,
+    seed: SeedLike = 0,
+) -> SparseCutReport:
+    """Run every Appendix-C estimator; return the best cut and the census.
+
+    ``tm=None`` uses all-to-all demand (uniform sparsest cut).
+    """
+    if tm is None:
+        tm = all_to_all(topology)
+    elif tm.n_nodes != topology.n_switches:
+        raise ValueError(
+            f"TM has {tm.n_nodes} nodes but topology has {topology.n_switches}"
+        )
+    estimators = {
+        "bruteforce": lambda: limited_bruteforce_cut(
+            topology, tm, max_cuts=max_bruteforce_cuts, seed=seed
+        ),
+        "one_node": lambda: one_node_cuts(topology, tm),
+        "two_node": lambda: two_node_cuts(topology, tm),
+        "expanding": lambda: expanding_region_cuts(topology, tm),
+        "eigenvector": lambda: eigenvector_sweep_cuts(topology, tm),
+    }
+    results: Dict[str, CutResult] = {}
+    for name, fn in estimators.items():
+        res = fn()
+        if res is not None and math.isfinite(res.sparsity):
+            results[name] = res
+    if not results:
+        raise ValueError("no estimator produced a valid cut")
+    best_name = min(results, key=lambda k: results[k].sparsity)
+    best = results[best_name]
+    winners = [
+        name
+        for name, res in results.items()
+        if res.sparsity <= best.sparsity * (1 + SPARSITY_RTOL)
+    ]
+    return SparseCutReport(
+        best=best,
+        estimator_values={k: v.sparsity for k, v in results.items()},
+        winners=winners,
+    )

@@ -1,0 +1,126 @@
+"""Cut sparsity with respect to a demand matrix (paper §II-B).
+
+The sparsity of a cut S is the ratio of its capacity to the demand crossing
+it.  In the directed-arc model each undirected crossing cable contributes
+one unit of capacity *per direction*, and a feasible throughput t must fit
+both directions:
+
+    t * demand(S -> S~) <= capacity(S, S~)      (and symmetrically)
+
+so  sparsity(S) = capacity / max(demand(S->S~), demand(S~->S)), and
+min-over-S sparsity upper-bounds throughput — the invariant the whole cut
+analysis rests on, and a property test in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import all_to_all
+from repro.utils.graphutils import to_csr_adjacency
+
+
+@dataclass
+class CutResult:
+    """A cut and its sparsity."""
+
+    sparsity: float
+    side: np.ndarray  # boolean membership of S
+    capacity: float
+    demand_across: float
+    found_by: str = "exact"
+
+
+def _check_tm(topology: Topology, tm: TrafficMatrix) -> None:
+    if tm.n_nodes != topology.n_switches:
+        raise ValueError(
+            f"TM has {tm.n_nodes} nodes but topology has {topology.n_switches}"
+        )
+
+
+def cut_sparsity(
+    topology: Topology, tm: TrafficMatrix, side: np.ndarray
+) -> CutResult:
+    """Sparsity of one cut.  ``side`` is a boolean S-membership vector.
+
+    Cuts with zero demand across have infinite sparsity (they bound nothing).
+    """
+    _check_tm(topology, tm)
+    side = np.asarray(side, dtype=bool)
+    n = topology.n_switches
+    if side.shape != (n,):
+        raise ValueError(f"side must have shape ({n},)")
+    if not side.any() or side.all():
+        raise ValueError("cut side must be a proper nonempty subset")
+    adj = to_csr_adjacency(topology.graph)
+    s = side.astype(np.float64)
+    capacity = float(s @ adj @ (1.0 - s))
+    d_fwd = float(s @ tm.demand @ (1.0 - s))
+    d_rev = float((1.0 - s) @ tm.demand @ s)
+    demand = max(d_fwd, d_rev)
+    sparsity = capacity / demand if demand > 0 else np.inf
+    return CutResult(
+        sparsity=sparsity, side=side.copy(), capacity=capacity, demand_across=demand
+    )
+
+
+def _sides_matrix_sparsity(
+    topology: Topology, tm: TrafficMatrix, sides: np.ndarray
+) -> np.ndarray:
+    """Vectorized sparsity of many cuts: ``sides`` is (n_cuts, n) boolean."""
+    adj = to_csr_adjacency(topology.graph)
+    S = sides.astype(np.float64)
+    comp = 1.0 - S
+    caps = np.einsum("ij,ij->i", S @ adj, comp)
+    d_fwd = np.einsum("ij,ij->i", S @ tm.demand, comp)
+    d_rev = np.einsum("ij,ij->i", comp @ tm.demand, S)
+    demand = np.maximum(d_fwd, d_rev)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(demand > 0, caps / demand, np.inf)
+    return out
+
+
+def sparsest_cut_bruteforce(
+    topology: Topology,
+    tm: Optional[TrafficMatrix] = None,
+    max_nodes: int = 22,
+) -> CutResult:
+    """Exact sparsest cut by enumerating all 2^(n-1) proper subsets.
+
+    ``tm=None`` means the uniform (all-to-all) demand — the classic uniform
+    sparsest cut.  Refuses graphs larger than ``max_nodes``.
+    """
+    n = topology.n_switches
+    if n > max_nodes:
+        raise ValueError(
+            f"brute force limited to {max_nodes} nodes, graph has {n}"
+        )
+    if tm is None:
+        tm = all_to_all(topology)
+    _check_tm(topology, tm)
+    # Enumerate subsets containing node 0 (each unordered cut once): id i
+    # encodes the membership of nodes 1..n-1, node 0 always in S.  id 0 is
+    # the singleton {0}; the last id is the full set and is dropped.
+    n_subsets = 1 << (n - 1)
+    ids = np.arange(0, n_subsets, dtype=np.uint64)
+    masks = (ids << np.uint64(1)) | np.uint64(1)
+    sides = ((masks[:, None] >> np.arange(n).astype(np.uint64)) & 1).astype(bool)
+    keep = ~sides.all(axis=1)
+    sides = sides[keep]
+    if sides.shape[0] == 0:
+        raise ValueError("graph too small for a proper cut")
+    sparsities = _sides_matrix_sparsity(topology, tm, sides)
+    best = int(np.argmin(sparsities))
+    result = cut_sparsity(topology, tm, sides[best])
+    result.found_by = "bruteforce"
+    return result
+
+
+def uniform_sparsest_cut_bruteforce(topology: Topology, max_nodes: int = 22) -> CutResult:
+    """Exact uniform sparsest cut (all-to-all demand)."""
+    return sparsest_cut_bruteforce(topology, None, max_nodes=max_nodes)

@@ -1,0 +1,32 @@
+"""Evaluation framework: equipment matching, relative throughput, experiments."""
+
+from repro.evaluation.equipment import same_equipment_random_graph
+from repro.evaluation.relative import (
+    RelativeThroughputResult,
+    relative_path_length,
+    relative_throughput,
+)
+from repro.evaluation.failures import FailureCurve, fail_links, failure_sweep
+from repro.evaluation.placement import PlacementResult, optimize_placement
+from repro.evaluation.runner import (
+    SCALES,
+    ExperimentResult,
+    ScaleConfig,
+    scale_from_env,
+)
+
+__all__ = [
+    "FailureCurve",
+    "fail_links",
+    "failure_sweep",
+    "PlacementResult",
+    "optimize_placement",
+    "same_equipment_random_graph",
+    "RelativeThroughputResult",
+    "relative_path_length",
+    "relative_throughput",
+    "SCALES",
+    "ExperimentResult",
+    "ScaleConfig",
+    "scale_from_env",
+]

@@ -1,0 +1,255 @@
+"""Same-equipment random graphs — the paper's normalization device (§IV).
+
+Topologies cannot be compared on raw throughput because they are built from
+different equipment.  The paper's solution: for each topology, build a
+uniform-random graph with *exactly* the same equipment — the same switches
+(degree per node) and the same server placement — and report throughput
+relative to it.
+
+Construction: configuration model on the topology's degree sequence, then
+degree-preserving 2-swaps to remove self-loops and parallel edges, then
+degree-preserving 2-swaps to connect components.  Every step preserves the
+per-node degree, so the equipment signature is preserved exactly (a property
+test in the suite).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _config_model_simple_connected(
+    degrees: np.ndarray, rng: np.random.Generator, max_attempts: int = 60
+) -> nx.Graph:
+    """Random connected graph with the given per-node degree sequence.
+
+    Prefers a simple graph; dense or parallel-cable equipment (e.g. HyperX
+    with link multiplicity K > 1, or degree >= n) may not be realizable as a
+    simple graph, in which case a connected multigraph without self-loops is
+    returned — the paper's normalizer only fixes "number of links per node",
+    not simplicity.
+    """
+    for _ in range(max_attempts):
+        g = nx.configuration_model(
+            degrees.tolist(), seed=int(rng.integers(0, 2**31 - 1))
+        )
+        simple = _repair_simple(g, rng)
+        if simple is None:
+            continue
+        connected = _repair_connected(simple, rng)
+        if connected is None:
+            continue
+        return connected
+    # Multigraph fallback: only self-loops must go (they carry no capacity).
+    for _ in range(max_attempts):
+        g = nx.configuration_model(
+            degrees.tolist(), seed=int(rng.integers(0, 2**31 - 1))
+        )
+        multi = _repair_selfloops_multigraph(g, rng)
+        if multi is None:
+            continue
+        connected = _repair_connected_multigraph(multi, rng)
+        if connected is None:
+            continue
+        return connected
+    raise RuntimeError("failed to realize degree sequence as a connected graph")
+
+
+def _repair_selfloops_multigraph(multigraph: nx.MultiGraph, rng: np.random.Generator):
+    """Remove self-loops by 2-swaps, keeping parallel edges.  None on failure."""
+    g = nx.MultiGraph(multigraph)
+    for _ in range(20_000):
+        loops = list(nx.selfloop_edges(g))
+        if not loops:
+            return g
+        u, _ = loops[0]
+        edges = [e for e in g.edges() if e[0] != e[1]]
+        if not edges:
+            return None
+        for _ in range(200):
+            x, y = edges[int(rng.integers(len(edges)))]
+            if u in (x, y):
+                continue
+            g.remove_edge(u, u)
+            g.remove_edge(x, y)
+            g.add_edge(u, x)
+            g.add_edge(u, y)
+            break
+        else:
+            return None
+    return None
+
+
+def _repair_connected_multigraph(graph: nx.MultiGraph, rng: np.random.Generator):
+    """Join multigraph components by 2-swaps (self-loop-free).  None on failure."""
+    g = nx.MultiGraph(graph)
+    for _ in range(10_000):
+        comps = list(nx.connected_components(g))
+        if len(comps) == 1:
+            return g
+        comps.sort(key=len, reverse=True)
+        big, small = comps[0], comps[1]
+        big_edges = [
+            (u, v) for u, v, _ in g.edges(big, keys=True) if u in big and v in big
+        ]
+        small_edges = [
+            (u, v) for u, v, _ in g.edges(small, keys=True) if u in small and v in small
+        ]
+        if not big_edges or not small_edges:
+            return None
+        u, v = big_edges[int(rng.integers(len(big_edges)))]
+        x, y = small_edges[int(rng.integers(len(small_edges)))]
+        g.remove_edge(u, v)
+        g.remove_edge(x, y)
+        g.add_edge(u, x)
+        g.add_edge(v, y)
+    return None
+
+
+def _repair_simple(multigraph: nx.MultiGraph, rng: np.random.Generator):
+    """Remove self-loops and parallel edges by degree-preserving 2-swaps.
+
+    A bad edge (u, v) and a random edge (x, y) are replaced by (u, x) and
+    (v, y) when that introduces no new conflict.  Returns None on failure.
+    """
+    g = nx.MultiGraph(multigraph)
+    for _ in range(20_000):
+        bad = None
+        for u, v in nx.selfloop_edges(g):
+            bad = (u, v)
+            break
+        if bad is None:
+            seen = set()
+            for u, v in g.edges():
+                key = (min(u, v), max(u, v))
+                if key in seen:
+                    bad = (u, v)
+                    break
+                seen.add(key)
+        if bad is None:
+            return nx.Graph(g)
+        u, v = bad
+        edges = list(g.edges())
+        for _ in range(200):
+            x, y = edges[int(rng.integers(len(edges)))]
+            if rng.random() < 0.5:
+                x, y = y, x
+            if len({u, v, x, y}) < (3 if u == v else 4):
+                continue
+            if g.has_edge(u, x) or g.has_edge(v, y):
+                continue
+            g.remove_edge(u, v)
+            g.remove_edge(x, y)
+            g.add_edge(u, x)
+            g.add_edge(v, y)
+            break
+        else:
+            return None
+    return None
+
+
+def _repair_connected(graph: nx.Graph, rng: np.random.Generator):
+    """Join components by 2-swaps that keep the graph simple.  None on failure."""
+    g = nx.Graph(graph)
+    for _ in range(10_000):
+        comps = list(nx.connected_components(g))
+        if len(comps) == 1:
+            return g
+        # Swap an edge of the largest component with an edge of another.
+        comps.sort(key=len, reverse=True)
+        big, small = comps[0], comps[1]
+        big_edges = [e for e in g.edges(big) if e[0] in big and e[1] in big]
+        small_edges = [e for e in g.edges(small) if e[0] in small and e[1] in small]
+        if not big_edges or not small_edges:
+            return None  # a tree-like fragment: cannot swap without breaking degrees
+        done = False
+        for _ in range(200):
+            u, v = big_edges[int(rng.integers(len(big_edges)))]
+            x, y = small_edges[int(rng.integers(len(small_edges)))]
+            if g.has_edge(u, x) or g.has_edge(v, y):
+                continue
+            g.remove_edge(u, v)
+            g.remove_edge(x, y)
+            g.add_edge(u, x)
+            g.add_edge(v, y)
+            done = True
+            break
+        if not done:
+            return None
+    return None
+
+
+def jellyfish_from_equipment(topology: Topology, seed: SeedLike = None) -> Topology:
+    """A Jellyfish built from the same *total* equipment, servers respread.
+
+    Where :func:`same_equipment_random_graph` keeps every node's server count
+    and degree (the Figs. 5-6 normalizer), this builder models the paper's
+    "Jellyfish with the same equipment as X" comparisons (Figs. 12, 15,
+    Comparison 3): the same switches with the same port counts, but servers
+    spread evenly over all switches the way Jellyfish attaches them, with the
+    remaining ports wired randomly.
+    """
+    rng = ensure_rng(seed)
+    radix = topology.degree_sequence() + topology.servers  # ports per switch
+    n = topology.n_switches
+    total_servers = topology.n_servers
+    base, extra = divmod(total_servers, n)
+    servers = np.full(n, base, dtype=np.int64)
+    servers[:extra] += 1
+    # Give the i-th highest-radix node the i-th largest server count so no
+    # node's network degree goes negative.
+    order = np.argsort(-radix, kind="stable")
+    assigned = np.zeros(n, dtype=np.int64)
+    assigned[order] = np.sort(servers)[::-1]
+    degrees = radix - assigned
+    if np.any(degrees < 1):
+        raise ValueError("equipment too small to respread servers")
+    if degrees.sum() % 2 != 0:
+        # Parity fix: move one server between two nodes with spare ports.
+        donors = np.flatnonzero(assigned > 0)
+        assigned[donors[0]] -= 1
+        receivers = np.flatnonzero(degrees > 1)
+        assigned[receivers[-1]] += 1
+        degrees = radix - assigned
+    g = _config_model_simple_connected(degrees, rng)
+    topo = Topology(
+        name=f"jellyfish_equip[{topology.name}]",
+        graph=nx.convert_node_labels_to_integers(g),
+        servers=assigned,
+        family="jellyfish_equivalent",
+        params={"source": topology.name},
+    )
+    topo.validate()
+    return topo
+
+
+def same_equipment_random_graph(topology: Topology, seed: SeedLike = None) -> Topology:
+    """A Jellyfish-style random graph with ``topology``'s exact equipment.
+
+    Node v keeps its server count and degree; only the wiring is randomized.
+    """
+    rng = ensure_rng(seed)
+    degrees = topology.degree_sequence()
+    if degrees.sum() % 2 != 0:  # pragma: no cover - impossible from a real graph
+        raise ValueError("degree sequence sum must be even")
+    g = _config_model_simple_connected(degrees, rng)
+    rand = Topology(
+        name=f"random[{topology.name}]",
+        graph=nx.convert_node_labels_to_integers(g),
+        servers=topology.servers.copy(),
+        family="random_equivalent",
+        params={"source": topology.name},
+    )
+    rand.validate()
+    new_deg = rand.degree_sequence()
+    if not np.array_equal(np.sort(new_deg), np.sort(degrees)):  # pragma: no cover
+        raise RuntimeError("degree sequence was not preserved")
+    if not np.array_equal(new_deg, degrees):
+        # configuration_model keeps per-node degrees, so this means relabeling
+        # broke alignment; equipment must match per node for server placement.
+        raise RuntimeError("per-node degrees were not preserved")
+    return rand

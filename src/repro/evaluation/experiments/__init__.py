@@ -1,0 +1,62 @@
+"""Registry of all paper-artifact experiments.
+
+Each entry regenerates one table or figure of the paper at the current
+``REPRO_SCALE``; the CLI (``python -m repro <id>``) and the benchmark suite
+both dispatch through :data:`EXPERIMENTS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.evaluation.runner import ExperimentResult, ScaleConfig
+from repro.evaluation.experiments.tm_ladder import fig2, fig4, theorem2_check
+from repro.evaluation.experiments.cuts_exp import butterfly25, fig1, fig3, table2
+from repro.evaluation.experiments.scaling import fig5, fig6, fig7, fig8, fig9, table1
+from repro.evaluation.experiments.nonuniform_exp import fig10, fig11, fig12
+from repro.evaluation.experiments.realworld import fig13, fig14
+from repro.evaluation.experiments.yuan import fig15
+from repro.evaluation.experiments.ablation import ablation_solvers
+from repro.evaluation.experiments.cut_accuracy import cut_accuracy
+from repro.evaluation.experiments.routing_gap import routing_gap
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "table1": table1,
+    "table2": table2,
+    "butterfly25": butterfly25,
+    "theorem2": theorem2_check,
+    "ablation-lp": ablation_solvers,
+    "cut-accuracy": cut_accuracy,
+    "routing-gap": routing_gap,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: ScaleConfig | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id (see :data:`EXPERIMENTS` for the list)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](scale=scale, seed=seed)
+
+
+__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentResult"]

@@ -1,0 +1,82 @@
+"""Solver and TM ablations (DESIGN.md `ablation-lp`).
+
+Two design choices the paper's methodology section motivates:
+
+* **Exact LP vs MWU approximation** — the MWU engine's feasible estimate
+  should land within its ε guarantee at a fraction of the LP's memory.
+* **Longest matching vs Kodialam TM** — the paper chose longest matching
+  because it produces far fewer flows, shrinking the throughput LP (they
+  report ~6x faster, 8x larger networks on the same memory).  We measure
+  flows, LP variables, and solve time for both.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
+from repro.throughput.lp import solve_throughput_lp
+from repro.throughput.approx import solve_throughput_mwu
+from repro.topologies.hypercube import hypercube
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic.worstcase import kodialam_tm, longest_matching
+from repro.utils.rng import stable_seed
+
+
+def ablation_solvers(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """LP vs MWU accuracy/cost, and LM vs Kodialam LP size."""
+    scale = scale or scale_from_env()
+    rows: List[tuple] = []
+    topos = [hypercube(4), jellyfish(24, 5, seed=stable_seed((seed, "j1")))]
+    if scale.max_switches >= 64:
+        topos.append(jellyfish(48, 6, seed=stable_seed((seed, "j2"))))
+    mwu_ok = True
+    lm_smaller = True
+    for topo in topos:
+        lm = longest_matching(topo)
+        kd = kodialam_tm(topo)
+        lp_lm = solve_throughput_lp(topo, lm)
+        lp_kd = solve_throughput_lp(topo, kd)
+        mwu = solve_throughput_mwu(topo, lm, epsilon=0.05)
+        rows.append(
+            (
+                topo.name,
+                "LM",
+                lm.n_flows,
+                lp_lm.n_variables,
+                lp_lm.value,
+                lp_lm.solve_seconds,
+            )
+        )
+        rows.append(
+            (
+                topo.name,
+                "Kodialam",
+                kd.n_flows,
+                lp_kd.n_variables,
+                lp_kd.value,
+                lp_kd.solve_seconds,
+            )
+        )
+        rows.append(
+            (topo.name, "LM (MWU)", lm.n_flows, mwu.n_variables, mwu.value, mwu.solve_seconds)
+        )
+        if not (0.8 * lp_lm.value <= mwu.value <= lp_lm.value * (1 + 1e-6)):
+            mwu_ok = False
+        if lm.n_flows > kd.n_flows:
+            lm_smaller = False
+    checks = {
+        "mwu_within_tolerance_below_lp": mwu_ok,
+        "lm_never_more_flows_than_kodialam": lm_smaller,
+    }
+    return ExperimentResult(
+        experiment_id="ablation-lp",
+        title="Ablation — solver engines and near-worst-case TM cost",
+        headers=["topology", "variant", "flows", "lp_variables", "throughput", "seconds"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "Paper: longest matching's fewer flows let it scale to 1024 nodes "
+            "where the Kodialam TM stopped at 128 (32 GB, Gurobi)."
+        ),
+    )

@@ -1,0 +1,114 @@
+"""§III-B quantitative claims: how accurately do cuts predict throughput?
+
+The paper evaluates bisection bandwidth and sparsest cut on 115 brute-force-
+feasible networks and reports: bisection predicted throughput in 5 of 8
+families, sparsest cut in 7; average errors 7.6% (bisection) and 6.2%
+(sparsest cut) where they differ.  This experiment reproduces the error
+statistics on brute-force-feasible instances (<= 18 switches, exact cuts).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cuts.bisection import bisection_bandwidth_bruteforce
+from repro.cuts.sparsest import sparsest_cut_bruteforce
+from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
+from repro.throughput.mcf import throughput
+from repro.topologies.jellyfish import jellyfish
+from repro.topologies.registry import DISPLAY_NAMES, FAMILY_ORDER, scale_ladder
+from repro.traffic.worstcase import longest_matching
+from repro.utils.rng import stable_seed
+
+#: Exact-cut feasibility cap (2^(n-1) cuts enumerated).
+MAX_EXACT_NODES = 18
+
+#: Relative tolerance for "cut equals throughput".
+EQ_RTOL = 0.01
+
+
+def cut_accuracy(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Exact bisection & sparsest cut vs throughput under longest matching."""
+    scale = scale or scale_from_env()
+    instances = []
+    for family in FAMILY_ORDER:
+        for topo in scale_ladder(family, scale.max_servers, seed=stable_seed((seed, family))):
+            if topo.n_switches <= MAX_EXACT_NODES:
+                instances.append((DISPLAY_NAMES[family], topo))
+    n_extra = {"small": 8, "medium": 20, "large": 100}[scale.name]
+    for i in range(n_extra):
+        instances.append(
+            ("Jellyfish", jellyfish(14, 4, seed=stable_seed((seed, "jf", i))))
+        )
+
+    rows: List[tuple] = []
+    bis_errors: List[float] = []
+    sc_errors: List[float] = []
+    bis_matches = 0
+    sc_matches = 0
+    for label, topo in instances:
+        tm = longest_matching(topo)
+        t = throughput(topo, tm).value
+        bis = bisection_bandwidth_bruteforce(topo, tm).sparsity
+        sc = sparsest_cut_bruteforce(topo, tm).sparsity
+        bis_err = (bis - t) / t
+        sc_err = (sc - t) / t
+        rows.append((label, topo.name, t, sc, bis, 100 * sc_err, 100 * bis_err))
+        if bis_err <= EQ_RTOL:
+            bis_matches += 1
+        else:
+            bis_errors.append(bis_err)
+        if sc_err <= EQ_RTOL:
+            sc_matches += 1
+        else:
+            sc_errors.append(sc_err)
+    n = len(rows)
+    mean_bis = 100 * float(np.mean(bis_errors)) if bis_errors else 0.0
+    mean_sc = 100 * float(np.mean(sc_errors)) if sc_errors else 0.0
+    rows.append(
+        (
+            "SUMMARY",
+            f"{n} networks",
+            float("nan"),
+            float(sc_matches),
+            float(bis_matches),
+            mean_sc,
+            mean_bis,
+        )
+    )
+    checks = {
+        "cuts_upper_bound_throughput": all(
+            r[3] >= r[2] * (1 - 1e-6) and r[4] >= r[2] * (1 - 1e-6)
+            for r in rows[:-1]
+        ),
+        "sparsest_at_least_as_accurate_as_bisection": sc_matches >= bis_matches,
+        # Bisection is restricted to balanced cuts, so its error can only be
+        # >= the sparsest cut's on every instance.
+        "bisection_error_at_least_sparsest": all(
+            r[6] >= r[5] - 1e-9 for r in rows[:-1]
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="cut-accuracy",
+        title="§III-B — exact cut metrics vs worst-case throughput "
+        "(brute-force-feasible networks)",
+        headers=[
+            "family",
+            "instance",
+            "throughput",
+            "sparsest_cut",
+            "bisection",
+            "sc_err_%",
+            "bis_err_%",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=(
+            f"Paper (115 networks): bisection exact in 5/8 families, sparsest "
+            f"cut in 7/8; mean errors 7.6% / 6.2%. Here: {bis_matches}/{n} "
+            f"and {sc_matches}/{n} exact; mean errors {mean_bis:.1f}% / "
+            f"{mean_sc:.1f}%."
+        ),
+    )

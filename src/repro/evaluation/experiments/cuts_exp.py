@@ -1,0 +1,229 @@
+"""Cut-metric experiments: Fig. 1, Fig. 3, Table II, and the butterfly-25 case.
+
+These reproduce §II-B and §III-B: cuts upper-bound throughput but do not
+predict it — including the concrete 25-switch flattened butterfly where the
+sparsest cut is strictly above the worst-case throughput, and the Fig. 1
+construction where the cut ordering of two graphs contradicts their
+throughput ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cuts.heuristics import find_sparse_cut
+from repro.cuts.bisection import bisection_bandwidth
+from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
+from repro.throughput.mcf import throughput
+from repro.topologies.expander import clustered_random_graph, subdivided_expander
+from repro.topologies.flattened_butterfly import flattened_butterfly
+from repro.topologies.natural import natural_network_suite
+from repro.topologies.registry import DISPLAY_NAMES, FAMILY_ORDER, scale_ladder
+from repro.traffic.synthetic import all_to_all
+from repro.traffic.worstcase import longest_matching
+from repro.utils.rng import stable_seed
+
+#: Relative slack when calling a cut "equal to" throughput (LP tolerance +
+#: heuristic luck); the paper uses exact equality on exact cuts.
+MATCH_RTOL = 0.02
+
+
+def fig1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 1 / Theorem 1: sparsest cut can mis-rank networks.
+
+    Graph A: clustered random graph (cut-limited: cut ~ throughput).
+    Graph B: subdivided expander (volume-limited: cut >> throughput).
+    Increasing the subdivision length p widens B's cut/throughput gap, and
+    for suitable p the cut ordering contradicts the throughput ordering.
+    """
+    scale = scale or scale_from_env()
+    del scale  # fixed small sizes: brute-force cuts must stay exact-ish
+    rows: List[tuple] = []
+    graphs = [("A(clustered)", clustered_random_graph(48, 3, 1, seed=stable_seed((seed, "A"))))]
+    for p in (2, 3):
+        graphs.append(
+            (
+                f"B(subdivided,p={p})",
+                subdivided_expander(16, 6, p, seed=stable_seed((seed, "B", p))),
+            )
+        )
+    gaps: Dict[str, float] = {}
+    results: Dict[str, tuple] = {}
+    for name, topo in graphs:
+        tm = all_to_all(topo)
+        t = throughput(topo, tm).value
+        cut = find_sparse_cut(topo, tm, seed=stable_seed((seed, name))).best.sparsity
+        rows.append((name, topo.n_switches, t, cut, cut / t))
+        gaps[name] = cut / t
+        results[name] = (t, cut)
+    checks = {
+        "cut_upper_bounds_throughput": all(r[3] >= r[2] * (1 - 1e-6) for r in rows),
+        "subdivision_widens_gap": gaps["B(subdivided,p=3)"]
+        > gaps["B(subdivided,p=2)"] * 0.999,
+        "gap_B_exceeds_gap_A": gaps["B(subdivided,p=3)"] > gaps["A(clustered)"],
+    }
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Fig. 1 / Theorem 1 — sparsest cut vs throughput on graphs A and B",
+        headers=["graph", "switches", "throughput", "sparse_cut", "cut_over_throughput"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "The volumetric limit (long subdivided paths) makes B's cut a "
+            "progressively worse proxy as p grows — choosing by cut would "
+            "favor the wrong graph."
+        ),
+    )
+
+
+def _cut_scatter_instances(scale: ScaleConfig, seed: int):
+    """Small instances from every family + natural networks for Fig. 3 / Table II."""
+    instances = []
+    cap = min(scale.max_switches, 64)
+    for family in FAMILY_ORDER:
+        for topo in scale_ladder(family, scale.max_servers, seed=stable_seed((seed, family))):
+            if topo.n_switches <= cap and topo.n_servers >= 4:
+                instances.append((DISPLAY_NAMES[family], topo))
+    n_nat = {"small": 12, "medium": 30, "large": 66}[scale.name]
+    for topo in natural_network_suite(seed=stable_seed((seed, "nat")), count=n_nat):
+        if topo.n_switches <= cap:
+            instances.append(("Natural", topo))
+    return instances
+
+
+def fig3(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 3: throughput vs best-heuristic sparse cut under longest matching."""
+    scale = scale or scale_from_env()
+    rows: List[tuple] = []
+    for label, topo in _cut_scatter_instances(scale, seed):
+        tm = longest_matching(topo)
+        t = throughput(topo, tm).value
+        rep = find_sparse_cut(topo, tm, seed=stable_seed((seed, topo.name)))
+        rows.append((label, topo.name, t, rep.best.sparsity, rep.best.sparsity / t))
+    n_gap = sum(1 for r in rows if r[3] > r[2] * (1 + MATCH_RTOL))
+    checks = {
+        "cut_upper_bounds_throughput": all(r[3] >= r[2] * (1 - 1e-6) for r in rows),
+        "cut_differs_for_many": n_gap >= max(3, len(rows) // 3),
+    }
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Fig. 3 — throughput vs sparse cut (longest matching TM)",
+        headers=["family", "instance", "throughput", "sparse_cut", "ratio"],
+        rows=rows,
+        checks=checks,
+        notes=f"{n_gap}/{len(rows)} instances have cut strictly above throughput.",
+    )
+
+
+def table2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Table II: which estimator finds the sparsest cut; does it match throughput?"""
+    scale = scale or scale_from_env()
+    counts: Dict[str, Dict[str, int]] = {}
+    for label, topo in _cut_scatter_instances(scale, seed):
+        tm = longest_matching(topo)
+        t = throughput(topo, tm).value
+        rep = find_sparse_cut(topo, tm, seed=stable_seed((seed, topo.name)))
+        fam = counts.setdefault(
+            label,
+            {
+                "total": 0,
+                "matches": 0,
+                "bruteforce": 0,
+                "one_node": 0,
+                "two_node": 0,
+                "expanding": 0,
+                "eigenvector": 0,
+            },
+        )
+        fam["total"] += 1
+        if rep.best.sparsity <= t * (1 + MATCH_RTOL):
+            fam["matches"] += 1
+        for winner in rep.winners:
+            fam[winner] += 1
+    rows = [
+        (
+            label,
+            c["total"],
+            c["matches"],
+            c["bruteforce"],
+            c["one_node"],
+            c["two_node"],
+            c["expanding"],
+            c["eigenvector"],
+        )
+        for label, c in counts.items()
+    ]
+    totals = {k: sum(c[k] for c in counts.values()) for k in next(iter(counts.values()))}
+    rows.append(
+        (
+            "TOTAL",
+            totals["total"],
+            totals["matches"],
+            totals["bruteforce"],
+            totals["one_node"],
+            totals["two_node"],
+            totals["expanding"],
+            totals["eigenvector"],
+        )
+    )
+    checks = {
+        "eigenvector_finds_most": totals["eigenvector"]
+        >= max(totals["one_node"], totals["two_node"], totals["expanding"]),
+        # At brute-force-feasible sizes cuts often coincide with throughput
+        # (the paper notes gaps grow with n); require only a nontrivial
+        # fraction of strict gaps here.
+        "cut_often_differs_from_throughput": totals["matches"]
+        <= totals["total"] * 0.8,
+    }
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table II — sparse-cut estimator census (longest matching TM)",
+        headers=[
+            "family",
+            "total",
+            "cut==throughput",
+            "bruteforce",
+            "one_node",
+            "two_node",
+            "expanding",
+            "eigenvector",
+        ],
+        rows=rows,
+        checks=checks,
+        notes="Paper totals (581 networks): 82 matches; eigenvector won 499.",
+    )
+
+
+def butterfly25(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """§III-B case study: the 5-ary 3-stage flattened butterfly.
+
+    Paper: throughput 0.565 < sparsest cut 0.6 despite only 25 switches.
+    """
+    del scale
+    topo = flattened_butterfly(5, 3)
+    tm = longest_matching(topo)
+    t = throughput(topo, tm).value
+    rep = find_sparse_cut(topo, tm, seed=seed)
+    bis = bisection_bandwidth(topo, tm, seed=seed)
+    rows = [
+        ("throughput (LM)", t),
+        ("best sparse cut", rep.best.sparsity),
+        ("bisection bandwidth", bis.sparsity),
+        ("paper throughput", 0.565),
+        ("paper sparsest cut", 0.6),
+    ]
+    checks = {
+        "cut_strictly_above_throughput": rep.best.sparsity > t * (1 + 1e-6),
+        "throughput_close_to_paper": abs(t - 0.565) <= 0.08,
+    }
+    return ExperimentResult(
+        experiment_id="butterfly25",
+        title="§III-B — 25-switch flattened butterfly: cut != worst-case throughput",
+        headers=["quantity", "value"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "Our LM and sparsity conventions differ slightly from the paper's "
+            "instance, but the qualitative separation is the reproduced claim."
+        ),
+    )

@@ -1,0 +1,57 @@
+"""Shared TM factories for the experiment modules.
+
+A factory has the signature ``(topology, seed) -> TrafficMatrix`` so that
+relative-throughput comparisons can regenerate the matrix for each
+same-equipment random graph (adaptive TMs like longest matching must be
+recomputed per graph; see :mod:`repro.evaluation.relative`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.nonuniform import elephant_matching
+from repro.traffic.synthetic import all_to_all, random_matching
+from repro.traffic.worstcase import longest_matching
+from repro.utils.rng import SeedLike
+
+TMFactory = Callable[[Topology, SeedLike], TrafficMatrix]
+
+
+def a2a_factory(topology: Topology, seed: SeedLike = None) -> TrafficMatrix:
+    """All-to-all."""
+    del seed
+    return all_to_all(topology)
+
+
+def rm_factory(n_matchings: int) -> TMFactory:
+    """Random matching RM(k) factory."""
+
+    def build(topology: Topology, seed: SeedLike = None) -> TrafficMatrix:
+        return random_matching(topology, n_matchings=n_matchings, seed=seed)
+
+    return build
+
+
+def lm_factory(topology: Topology, seed: SeedLike = None) -> TrafficMatrix:
+    """Longest matching (deterministic per topology)."""
+    return longest_matching(topology, seed)
+
+
+def elephant_factory(percent_large: float) -> TMFactory:
+    """Longest matching with x% weight-10 elephants."""
+
+    def build(topology: Topology, seed: SeedLike = None) -> TrafficMatrix:
+        return elephant_matching(topology, percent_large, seed=seed)
+
+    return build
+
+
+#: The three uniform-weight TM families of Figs. 5-6.
+UNIFORM_TM_FACTORIES = {
+    "A2A": a2a_factory,
+    "RM": rm_factory(1),
+    "LM": lm_factory,
+}

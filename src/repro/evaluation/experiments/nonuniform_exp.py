@@ -1,0 +1,134 @@
+"""Non-uniform TM experiments: Figs. 10-12 — the fat-tree elephant anomaly.
+
+A longest-matching TM with x% weight-10 elephants degrades every topology
+gracefully except the fat tree, whose top-of-rack links carry only their own
+servers' traffic and therefore bottleneck on a single hot rack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.evaluation.experiments.factories import elephant_factory
+from repro.evaluation.equipment import jellyfish_from_equipment
+from repro.evaluation.relative import relative_throughput
+from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
+from repro.throughput.mcf import throughput
+from repro.topologies.fattree import fat_tree
+from repro.topologies.hypercube import hypercube
+from repro.topologies.registry import DISPLAY_NAMES, GROUP1, GROUP2, representative
+from repro.traffic.nonuniform import elephant_matching
+from repro.utils.rng import stable_seed
+
+#: Elephant percentages swept (paper: 1..100 on a log axis).
+PERCENTS: Sequence[float] = (1.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+
+def _sweep_group(
+    families: Sequence[str], scale: ScaleConfig, seed: int
+) -> List[tuple]:
+    rows: List[tuple] = []
+    for family in families:
+        topo = representative(family, seed=stable_seed((seed, family)))
+        if topo.n_switches > scale.max_switches:
+            continue
+        for pct in PERCENTS:
+            res = relative_throughput(
+                topo,
+                elephant_factory(pct),
+                samples=scale.samples,
+                seed=stable_seed((seed, family, pct)),
+            )
+            rows.append((DISPLAY_NAMES[family], pct, res.relative, res.absolute))
+    return rows
+
+
+def _graceful_checks(rows: List[tuple], families: Sequence[str]) -> Dict[str, bool]:
+    checks: Dict[str, bool] = {}
+    for family in families:
+        name = DISPLAY_NAMES[family]
+        vals = [r[2] for r in rows if r[0] == name]
+        if not vals:
+            continue
+        dip = min(vals) / max(vals)
+        if family == "fattree":
+            checks["fattree_dips_sharply"] = dip < 0.8
+        else:
+            checks.setdefault("others_degrade_gracefully", True)
+            if dip < 0.45:
+                checks["others_degrade_gracefully"] = False
+    return checks
+
+
+def fig10(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 10: tunable elephant TM on the structured families."""
+    scale = scale or scale_from_env()
+    rows = _sweep_group(GROUP1, scale, seed)
+    checks = _graceful_checks(rows, GROUP1)
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Fig. 10 — relative throughput vs % of weight-10 flows (group 1)",
+        headers=["topology", "percent_large", "rel_throughput", "abs_throughput"],
+        rows=rows,
+        checks=checks,
+        notes="Fat tree is the anomaly: a few elephants overload its ToR links.",
+    )
+
+
+def fig11(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 11: tunable elephant TM on the expander families."""
+    scale = scale or scale_from_env()
+    rows = _sweep_group(GROUP2, scale, seed)
+    checks = _graceful_checks(rows, GROUP2)
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Fig. 11 — relative throughput vs % of weight-10 flows (group 2)",
+        headers=["topology", "percent_large", "rel_throughput", "abs_throughput"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def fig12(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 12: absolute throughput — fat tree vs hypercube vs matched Jellyfish.
+
+    The Jellyfish points use *exactly* the equipment of the hypercube and of
+    the fat tree (same per-node degrees and server placement).
+    """
+    scale = scale or scale_from_env()
+    hc_dim = 5 if scale.max_switches < 100 else 6
+    ft_k = 6 if scale.max_switches >= 45 else 4
+    topos = {
+        "Hypercube": hypercube(hc_dim),
+        "Fat tree": fat_tree(ft_k),
+    }
+    # Jellyfish proper from the same total equipment: servers respread
+    # evenly, remaining ports wired randomly (the paper's Fig. 12 networks).
+    topos["Jellyfish (hypercube equip.)"] = jellyfish_from_equipment(
+        topos["Hypercube"], seed=stable_seed((seed, "jh"))
+    )
+    topos["Jellyfish (fat tree equip.)"] = jellyfish_from_equipment(
+        topos["Fat tree"], seed=stable_seed((seed, "jf"))
+    )
+    rows: List[tuple] = []
+    series: Dict[str, List[float]] = {}
+    for name, topo in topos.items():
+        for pct in PERCENTS:
+            tm = elephant_matching(topo, pct, seed=stable_seed((seed, name, pct)))
+            t = throughput(topo, tm).value
+            rows.append((name, pct, t))
+            series.setdefault(name, []).append(t)
+    dip = {name: min(v) / max(v) for name, v in series.items()}
+    checks = {
+        "fattree_least_robust": dip["Fat tree"]
+        < min(dip[n] for n in topos if n != "Fat tree"),
+        "jellyfish_beats_fattree_at_small_pct": series["Jellyfish (fat tree equip.)"][0]
+        > series["Fat tree"][0],
+    }
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Fig. 12 — absolute throughput under elephant TMs (matched equipment)",
+        headers=["network", "percent_large", "abs_throughput"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,116 @@
+"""Link-failure robustness analysis (extension beyond the paper).
+
+The paper evaluates pristine topologies; practical benchmark suites also ask
+how throughput degrades as random links fail — one of Jellyfish's original
+selling points.  This module removes a fraction of cables uniformly at
+random (keeping the graph connected) and re-measures throughput, yielding a
+degradation curve per topology.
+
+Not a paper artifact; documented as an extension in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.throughput.mcf import throughput
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def fail_links(
+    topology: Topology, fraction: float, seed: SeedLike = None, max_tries: int = 60
+) -> Topology:
+    """Copy of ``topology`` with ``fraction`` of its cables removed.
+
+    Sampling retries until the surviving graph is connected (a topology with
+    stranded servers has throughput 0 under any all-pairs TM, which says
+    nothing interesting about capacity).  Raises ``ValueError`` when the
+    requested fraction cannot leave the graph connected after ``max_tries``.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    if fraction == 0.0:
+        return topology
+    rng = ensure_rng(seed)
+    if topology.graph.is_multigraph():
+        edges = list(topology.graph.edges(keys=True))
+    else:
+        edges = list(topology.graph.edges())
+    n_fail = int(round(len(edges) * fraction))
+    if n_fail == 0:
+        return topology
+    if n_fail >= len(edges):
+        raise ValueError("cannot fail every link")
+    for _ in range(max_tries):
+        pick = rng.choice(len(edges), size=n_fail, replace=False)
+        g = topology.graph.copy()
+        for i in pick:
+            g.remove_edge(*edges[i])
+        if nx.is_connected(g):
+            failed = Topology(
+                name=f"{topology.name}/failed={fraction:.0%}",
+                graph=g,
+                servers=topology.servers.copy(),
+                family=topology.family,
+                params={**topology.params, "failed_fraction": fraction},
+            )
+            failed.validate()
+            return failed
+    raise ValueError(
+        f"could not remove {fraction:.0%} of links and stay connected"
+    )
+
+
+@dataclass
+class FailureCurve:
+    """Throughput degradation under increasing link-failure fractions."""
+
+    topology_name: str
+    fractions: List[float]
+    throughputs: List[float]
+    relative: List[float]  # normalized by the failure-free value
+
+    def worst_relative(self) -> float:
+        return min(self.relative)
+
+
+def failure_sweep(
+    topology: Topology,
+    tm_factory: Callable[[Topology, SeedLike], TrafficMatrix],
+    fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    samples: int = 2,
+    seed: SeedLike = 0,
+) -> FailureCurve:
+    """Mean throughput over ``samples`` failure draws at each fraction.
+
+    The TM is regenerated per surviving graph (a near-worst-case TM adapts
+    to the failed topology, matching how an adversary would).
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    rng = ensure_rng(seed)
+    fractions = list(fractions)
+    values: List[float] = []
+    for frac in fractions:
+        draws = []
+        for _ in range(samples if frac > 0 else 1):
+            failed = fail_links(topology, frac, seed=rng)
+            tm = tm_factory(failed, rng)
+            draws.append(throughput(failed, tm).value)
+        values.append(float(np.mean(draws)))
+    base = values[0] if fractions[0] == 0.0 else throughput(
+        topology, tm_factory(topology, rng)
+    ).value
+    relative = [v / base if base > 0 else np.inf for v in values]
+    return FailureCurve(
+        topology_name=topology.name,
+        fractions=fractions,
+        throughputs=values,
+        relative=relative,
+    )

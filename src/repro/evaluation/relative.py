@@ -1,0 +1,83 @@
+"""Relative throughput: topology vs same-equipment random graph (paper §IV).
+
+``relative_throughput`` evaluates a TM family on a topology and on
+``samples`` independent same-equipment random graphs, returning the ratio.
+TM families that adapt to the graph (longest matching, random matching) are
+regenerated for each random graph; fixed matrices (e.g. a placed Facebook
+TM) are re-placed on the random graph's identical server layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.evaluation.equipment import same_equipment_random_graph
+from repro.throughput.mcf import throughput
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.rng import SeedLike, spawn_rngs
+
+#: A TM family: builds the matrix for a given topology instance.
+TMFactory = Callable[[Topology, SeedLike], TrafficMatrix]
+
+
+@dataclass
+class RelativeThroughputResult:
+    """Throughput of a topology normalized by its random-graph equivalent."""
+
+    topology_name: str
+    absolute: float
+    random_absolute_mean: float
+    random_absolute_values: List[float]
+    relative: float
+    n_samples: int
+
+
+def relative_throughput(
+    topology: Topology,
+    tm_factory: TMFactory,
+    samples: int = 3,
+    seed: SeedLike = 0,
+    engine: str = "lp",
+) -> RelativeThroughputResult:
+    """Throughput of ``topology`` divided by the mean over ``samples``
+    same-equipment random graphs (each with its own TM from the factory)."""
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rngs = spawn_rngs(seed, 2 * samples + 1)
+    tm = tm_factory(topology, rngs[0])
+    absolute = throughput(topology, tm, engine=engine).value
+    rand_values: List[float] = []
+    for i in range(samples):
+        rand = same_equipment_random_graph(topology, seed=rngs[1 + 2 * i])
+        rand_tm = tm_factory(rand, rngs[2 + 2 * i])
+        rand_values.append(throughput(rand, rand_tm, engine=engine).value)
+    mean = float(np.mean(rand_values))
+    rel = absolute / mean if mean > 0 else np.inf
+    return RelativeThroughputResult(
+        topology_name=topology.name,
+        absolute=absolute,
+        random_absolute_mean=mean,
+        random_absolute_values=rand_values,
+        relative=rel,
+        n_samples=samples,
+    )
+
+
+def relative_path_length(
+    topology: Topology, samples: int = 3, seed: SeedLike = 0
+) -> float:
+    """Mean server-pair distance relative to same-equipment random graphs
+    (the Slim Fly short-paths comparison, Fig. 9)."""
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rngs = spawn_rngs(seed, samples)
+    own = topology.server_pair_mean_distance()
+    rand_vals = [
+        same_equipment_random_graph(topology, seed=r).server_pair_mean_distance()
+        for r in rngs
+    ]
+    return own / float(np.mean(rand_vals))

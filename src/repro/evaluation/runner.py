@@ -1,0 +1,95 @@
+"""Experiment infrastructure: scale profiles and result records.
+
+Every experiment accepts a :class:`ScaleConfig`.  ``REPRO_SCALE`` (env var:
+``small`` | ``medium`` | ``large``) selects how far the parameter sweeps go:
+``small`` keeps every LP at laptop-in-minutes size (the CI default),
+``large`` approaches the paper's instance sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs that bound experiment cost.
+
+    Attributes
+    ----------
+    name:
+        Profile name.
+    max_servers:
+        Cap on servers for scale-ladder sweeps (x axis of Figs. 5-9).
+    max_switches:
+        Safety cap on LP size; instances above it are skipped.
+    samples:
+        Random-graph samples per relative-throughput point (paper uses 10).
+    shuffles:
+        Shuffle samples for the Facebook experiments.
+    """
+
+    name: str
+    max_servers: int
+    max_switches: int
+    samples: int
+    shuffles: int
+
+
+SCALES: Dict[str, ScaleConfig] = {
+    "small": ScaleConfig("small", max_servers=80, max_switches=90, samples=2, shuffles=2),
+    "medium": ScaleConfig(
+        "medium", max_servers=300, max_switches=300, samples=3, shuffles=3
+    ),
+    "large": ScaleConfig(
+        "large", max_servers=1100, max_switches=1100, samples=5, shuffles=5
+    ),
+}
+
+
+def scale_from_env(default: str = "small") -> ScaleConfig:
+    """The scale selected by the ``REPRO_SCALE`` environment variable."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} unknown; expected one of {sorted(SCALES)}"
+        )
+    return SCALES[name]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform record for one paper table/figure reproduction.
+
+    ``rows`` are the same rows the paper's artifact reports; ``notes`` holds
+    the shape claims checked and any scale caveats; ``checks`` maps
+    shape-claim names to booleans (benches assert on them).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    notes: str = ""
+    checks: Dict[str, bool] = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """ASCII rendering: the textual analogue of the paper's artifact."""
+        body = render_table(self.headers, self.rows, title=self.title)
+        parts = [body]
+        if self.checks:
+            checkstr = ", ".join(
+                f"{k}={'PASS' if v else 'FAIL'}" for k, v in self.checks.items()
+            )
+            parts.append(f"shape checks: {checkstr}")
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())

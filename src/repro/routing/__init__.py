@@ -1,0 +1,22 @@
+"""Routing-scheme evaluation: how much throughput a routing policy forfeits.
+
+The paper's §V argues that measuring topologies under a *specific routing
+scheme* (e.g. single-path, as in [47]) reveals the routing's limits rather
+than the topology's; its own methodology uses optimal multipath flow.  This
+subpackage quantifies that argument: throughput under single shortest-path
+routing and under ECMP, compared to the optimal-flow LP.
+"""
+
+from repro.routing.schemes import (
+    RoutingReport,
+    ecmp_throughput,
+    routing_gap_report,
+    single_path_throughput,
+)
+
+__all__ = [
+    "RoutingReport",
+    "ecmp_throughput",
+    "routing_gap_report",
+    "single_path_throughput",
+]

@@ -1,0 +1,130 @@
+"""Concrete routing schemes and their throughput (paper §V).
+
+Both schemes route every demand on shortest paths and are *oblivious* (no
+load adaptation), so their throughput is computed directly from link loads:
+
+* **Single shortest path**: each demand follows one deterministic shortest
+  path (lowest-neighbor-first tie-breaking, as a switch FIB would).
+* **ECMP**: each demand splits equally over all shortest paths, computed by
+  the standard per-node equal splitting over next hops on shortest paths.
+
+Throughput of an oblivious routing = 1 / (max link load at unit demand
+scale), the largest t at which the fixed routing fits.  The gap to
+:func:`repro.throughput.throughput` (optimal multipath flow) is the
+"routing gap" — what a scheme forfeits vs what the topology could do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.throughput.mcf import throughput
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.graphutils import all_pairs_distances, arcs_of
+
+
+def _arc_index(topology: Topology) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict]:
+    tails, heads, caps = arcs_of(topology.graph)
+    index = {(int(u), int(v)): e for e, (u, v) in enumerate(zip(tails, heads))}
+    return tails, heads, caps, index
+
+
+def single_path_throughput(topology: Topology, tm: TrafficMatrix) -> float:
+    """Throughput under deterministic single-shortest-path routing.
+
+    Next hop at u toward destination v is the lowest-numbered neighbor on a
+    shortest path — the deterministic FIB a simple control plane would
+    install.  Returns max t with t * loads <= capacities.
+    """
+    n = topology.n_switches
+    if tm.n_nodes != n:
+        raise ValueError("TM / topology size mismatch")
+    dist = all_pairs_distances(topology.graph)
+    tails, heads, caps, index = _arc_index(topology)
+    neighbors = {v: sorted(topology.graph.neighbors(v)) for v in range(n)}
+    load = np.zeros(caps.size)
+    srcs, dsts, weights = tm.pairs()
+    for s, d, w in zip(srcs, dsts, weights):
+        u = int(s)
+        while u != d:
+            nxt = next(
+                nb for nb in neighbors[u] if dist[nb, d] == dist[u, d] - 1
+            )
+            load[index[(u, nxt)]] += w
+            u = nxt
+    max_util = float((load / caps).max())
+    if max_util <= 0:
+        raise ValueError("traffic matrix has no routable demand")
+    return 1.0 / max_util
+
+
+def ecmp_throughput(topology: Topology, tm: TrafficMatrix) -> float:
+    """Throughput under ECMP (equal split over all shortest paths).
+
+    Splitting is the standard per-hop rule: at node u with demand toward d,
+    flow divides equally among all neighbors one hop closer to d.  Loads are
+    computed destination-by-destination with a vectorized relaxation over
+    nodes in decreasing-distance order.
+    """
+    n = topology.n_switches
+    if tm.n_nodes != n:
+        raise ValueError("TM / topology size mismatch")
+    dist = all_pairs_distances(topology.graph)
+    tails, heads, caps, index = _arc_index(topology)
+    neighbors = {v: list(topology.graph.neighbors(v)) for v in range(n)}
+    load = np.zeros(caps.size)
+    for d in range(n):
+        col = tm.demand[:, d]
+        if col.sum() == 0:
+            continue
+        # inflow[u]: demand at u still heading to d (own demand + relayed).
+        inflow = col.astype(np.float64).copy()
+        order = np.argsort(-dist[:, d], kind="stable")  # far nodes first
+        for u in order:
+            u = int(u)
+            if u == d or inflow[u] <= 0 or not np.isfinite(dist[u, d]):
+                continue
+            downhill = [nb for nb in neighbors[u] if dist[nb, d] == dist[u, d] - 1]
+            share = inflow[u] / len(downhill)
+            for nb in downhill:
+                load[index[(u, nb)]] += share
+                inflow[nb] += share
+    max_util = float((load / caps).max())
+    if max_util <= 0:
+        raise ValueError("traffic matrix has no routable demand")
+    return 1.0 / max_util
+
+
+@dataclass
+class RoutingReport:
+    """Throughput of one (topology, TM) pair under three routing policies."""
+
+    topology_name: str
+    tm_kind: str
+    optimal: float
+    ecmp: float
+    single_path: float
+
+    @property
+    def ecmp_gap(self) -> float:
+        """Fraction of optimal throughput ECMP achieves."""
+        return self.ecmp / self.optimal if self.optimal > 0 else np.inf
+
+    @property
+    def single_path_gap(self) -> float:
+        return self.single_path / self.optimal if self.optimal > 0 else np.inf
+
+
+def routing_gap_report(topology: Topology, tm: TrafficMatrix) -> RoutingReport:
+    """Optimal-flow vs ECMP vs single-path throughput for one instance."""
+    return RoutingReport(
+        topology_name=topology.name,
+        tm_kind=tm.kind,
+        optimal=throughput(topology, tm).value,
+        ecmp=ecmp_throughput(topology, tm),
+        single_path=single_path_throughput(topology, tm),
+    )

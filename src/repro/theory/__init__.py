@@ -1,0 +1,17 @@
+"""Executable theorems: duality, the Theorem-2 bound, Theorem-1 separation."""
+
+from repro.theory.theorems import (
+    Theorem1Point,
+    Theorem2Report,
+    sparsest_cut_lp_relaxation,
+    theorem1_separation,
+    verify_theorem2,
+)
+
+__all__ = [
+    "Theorem1Point",
+    "Theorem2Report",
+    "sparsest_cut_lp_relaxation",
+    "theorem1_separation",
+    "verify_theorem2",
+]

@@ -1,0 +1,160 @@
+"""Executable versions of the paper's theorems (Appendix A, B, and Thm. 3).
+
+* Theorem 3: the dual of the throughput LP is an LP relaxation of sparsest
+  cut.  :func:`sparsest_cut_lp_relaxation` solves the metric relaxation
+  directly; by strong duality its optimum equals throughput exactly, which
+  the test suite verifies on small graphs — a deep end-to-end check of the
+  flow LP.
+* Theorem 2: :func:`verify_theorem2` checks T(TM) >= T_A2A / 2 for a battery
+  of hose TMs.
+* Theorem 1: :func:`theorem1_separation` builds graphs A and B and returns
+  their (throughput, sparse cut) pairs; the Fig. 1 experiment asserts the
+  gap widens with subdivision length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.cuts.heuristics import find_sparse_cut
+from repro.throughput.mcf import throughput
+from repro.topologies.base import Topology
+from repro.topologies.expander import clustered_random_graph, subdivided_expander
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import all_to_all
+from repro.utils.graphutils import to_csr_adjacency
+from repro.utils.rng import SeedLike, stable_seed
+
+
+def sparsest_cut_lp_relaxation(topology: Topology, tm: TrafficMatrix) -> float:
+    """Optimal value of the metric LP relaxation of sparsest cut.
+
+        minimize   sum_{arcs (u,v)} c(u,v) l(u,v)
+        subject to sum_{s,t} D(s,t) l(s,t) = 1,
+                   l(u,v) <= l(u,w) + l(w,v) for all ordered triples,
+                   l >= 0.
+
+    This is the *directed* quasi-metric form, matching the directed-arc
+    capacity model of the throughput LP: every undirected cable contributes
+    one arc of capacity c per direction to the objective.  By Theorem 3 /
+    strong LP duality the optimum equals the throughput of ``tm`` on
+    ``topology`` exactly.  Dense in O(n^3) triangle constraints — small
+    graphs only.
+    """
+    n = topology.n_switches
+    if tm.n_nodes != n:
+        raise ValueError("TM / topology size mismatch")
+    if n > 16:
+        raise ValueError("metric relaxation is O(n^3); limited to n <= 16")
+    # Variables: l(u, v) for ordered pairs u != v.
+    pair_index: Dict[Tuple[int, int], int] = {}
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                pair_index[(u, v)] = len(pair_index)
+    n_var = len(pair_index)
+
+    adj = to_csr_adjacency(topology.graph).toarray()
+    c = np.zeros(n_var)
+    for (u, v), j in pair_index.items():
+        c[j] = adj[u, v]  # arc capacity per direction (0 for non-edges)
+
+    # Demand normalization: sum_{s != t} D(s, t) l(s, t) = 1.
+    a_eq = np.zeros((1, n_var))
+    for (u, v), j in pair_index.items():
+        a_eq[0, j] = tm.demand[u, v]
+    # Directed triangle inequalities: l(u,v) <= l(u,w) + l(w,v).
+    rows, cols, vals = [], [], []
+    r = 0
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            for w in range(n):
+                if w == u or w == v:
+                    continue
+                rows += [r, r, r]
+                cols += [pair_index[(u, v)], pair_index[(u, w)], pair_index[(w, v)]]
+                vals += [1.0, -1.0, -1.0]
+                r += 1
+    A_ub = sp.coo_matrix((vals, (rows, cols)), shape=(r, n_var)).tocsc()
+    res = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=np.zeros(r),
+        A_eq=a_eq,
+        b_eq=np.array([1.0]),
+        bounds=(0, None),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover
+        raise RuntimeError(f"metric relaxation LP failed: {res.message}")
+    return float(res.fun)
+
+
+@dataclass
+class Theorem2Report:
+    """Outcome of a Theorem-2 verification battery."""
+
+    lower_bound: float
+    ratios: Dict[str, float]
+    holds: bool
+
+
+def verify_theorem2(
+    topology: Topology, tms: Dict[str, TrafficMatrix], rtol: float = 1e-6
+) -> Theorem2Report:
+    """Check T(tm) >= T_A2A / 2 for every supplied hose TM."""
+    for name, tm in tms.items():
+        if not tm.is_hose(topology.servers):
+            raise ValueError(f"TM {name!r} is not hose-feasible; bound does not apply")
+    lb = throughput(topology, all_to_all(topology)).value / 2.0
+    ratios = {
+        name: throughput(topology, tm).value / lb for name, tm in tms.items()
+    }
+    holds = all(r >= 1.0 - rtol for r in ratios.values())
+    return Theorem2Report(lower_bound=lb, ratios=ratios, holds=holds)
+
+
+@dataclass
+class Theorem1Point:
+    """One graph of the Theorem-1 construction with its two metrics."""
+
+    name: str
+    throughput: float
+    sparse_cut: float
+
+    @property
+    def gap(self) -> float:
+        return self.sparse_cut / self.throughput
+
+
+def theorem1_separation(
+    n_cluster: int = 48,
+    d: int = 3,
+    beta: int = 1,
+    core: int = 16,
+    core_degree: int = 6,
+    path_lengths: Sequence[int] = (2, 3),
+    seed: SeedLike = 0,
+) -> List[Theorem1Point]:
+    """Build graph A (clustered) and graphs B_p (subdivided expanders) and
+    measure throughput vs best-heuristic sparse cut under all-to-all."""
+    points: List[Theorem1Point] = []
+    a = clustered_random_graph(n_cluster, d, beta, seed=stable_seed((seed, "A")))
+    graphs: List[Tuple[str, Topology]] = [("A", a)]
+    for p in path_lengths:
+        graphs.append(
+            (f"B(p={p})", subdivided_expander(core, core_degree, p, seed=stable_seed((seed, p))))
+        )
+    for name, topo in graphs:
+        tm = all_to_all(topo)
+        t = throughput(topo, tm).value
+        cut = find_sparse_cut(topo, tm, seed=stable_seed((seed, name))).best.sparsity
+        points.append(Theorem1Point(name=name, throughput=t, sparse_cut=cut))
+    return points

@@ -1,0 +1,38 @@
+"""Throughput engines: exact LP, MWU approximation, path-restricted, bounds."""
+
+from repro.throughput.lp import ThroughputResult, solve_throughput_lp
+from repro.throughput.approx import solve_throughput_mwu
+from repro.throughput.mcf import throughput
+from repro.throughput.bounds import (
+    a2a_throughput,
+    volumetric_upper_bound,
+    worst_case_lower_bound,
+)
+from repro.throughput.paths import (
+    k_shortest_paths,
+    paths_for_pairs,
+    solve_throughput_on_paths,
+)
+from repro.throughput.llskr import (
+    CountingEstimate,
+    counting_estimator,
+    llskr_exact_throughput,
+    llskr_path_sets,
+)
+
+__all__ = [
+    "ThroughputResult",
+    "solve_throughput_lp",
+    "solve_throughput_mwu",
+    "throughput",
+    "a2a_throughput",
+    "volumetric_upper_bound",
+    "worst_case_lower_bound",
+    "k_shortest_paths",
+    "paths_for_pairs",
+    "solve_throughput_on_paths",
+    "CountingEstimate",
+    "counting_estimator",
+    "llskr_exact_throughput",
+    "llskr_path_sets",
+]

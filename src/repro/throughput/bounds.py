@@ -1,0 +1,47 @@
+"""Theoretical throughput bounds (paper Theorem 2 and the volumetric bound).
+
+* Theorem 2: if the all-to-all TM achieves throughput t on G, every
+  hose-model TM achieves >= t/2 (two-hop Valiant routing over the reserved
+  A2A overlay).  ``T_A2A / 2`` is therefore a TM-independent lower bound on
+  worst-case throughput, the reference line of Figs. 2 and 4.
+* Volumetric bound: throughput <= total capacity / (demand-weighted shortest
+  distance volume) — the "total work" argument of §II-B's intuition that can
+  be tighter than any cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.throughput.lp import ThroughputResult, solve_throughput_lp
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import all_to_all
+from repro.utils.graphutils import all_pairs_distances
+
+
+def a2a_throughput(topology: Topology) -> ThroughputResult:
+    """Throughput of the all-to-all TM on ``topology`` (exact LP)."""
+    return solve_throughput_lp(topology, all_to_all(topology))
+
+
+def worst_case_lower_bound(topology: Topology) -> float:
+    """Theorem-2 lower bound on the throughput of *any* hose TM: T_A2A / 2."""
+    return a2a_throughput(topology).value / 2.0
+
+
+def volumetric_upper_bound(topology: Topology, tm: TrafficMatrix) -> float:
+    """Total-capacity / flow-volume upper bound on throughput.
+
+    Every unit of demand (u, v) consumes at least dist(u, v) arc-capacity, so
+    t * sum(D[u,v] * dist(u,v)) <= total arc capacity.
+    """
+    if tm.n_nodes != topology.n_switches:
+        raise ValueError("TM / topology size mismatch")
+    dist = all_pairs_distances(topology.graph)
+    volume = float((tm.demand * np.where(np.isfinite(dist), dist, 0.0)).sum())
+    if volume <= 0:
+        raise ValueError("traffic matrix has no positive-distance demand")
+    if np.any(np.isinf(dist[tm.demand > 0])):
+        return 0.0
+    return topology.total_capacity() / volume

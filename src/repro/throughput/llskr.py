@@ -1,0 +1,149 @@
+"""Replication of Yuan et al.'s LLSKR-style throughput methodology (Fig. 15).
+
+Yuan et al. (SC'13) compared fat trees and Jellyfish by (a) splitting each
+flow into subflows routed on a restricted path set and (b) *estimating* each
+subflow's rate as the inverse of the maximum number of subflows sharing a
+link along its path — not by solving the flow problem.  The paper replicates
+their result and then shows it flips once (Comparison 2) throughput is
+computed exactly on the same paths, and (Comparison 3) equipment is
+equalized.
+
+The exact LLSKR path rules are tied to Yuan's simulator; per the DESIGN.md
+substitution policy we reproduce the *methodology*: subflows = the k shortest
+paths of each pair (spread over distinct first hops where available), the
+counting estimator, and the exact path-restricted LP on identical paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.throughput.paths import (
+    Path,
+    ThroughputResult,
+    paths_for_pairs,
+    solve_throughput_on_paths,
+)
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.validation import require_positive_int
+
+
+def _spread_first_hops(paths: List[Path], k: int) -> List[Path]:
+    """Prefer paths with distinct first hops (LLSKR spreads subflows across
+    neighbors), then fill with the remaining shortest ones."""
+    chosen: List[Path] = []
+    used_first = set()
+    for p in paths:
+        if len(chosen) >= k:
+            break
+        if p[1] not in used_first:
+            chosen.append(p)
+            used_first.add(p[1])
+    for p in paths:
+        if len(chosen) >= k:
+            break
+        if p not in chosen:
+            chosen.append(p)
+    return chosen
+
+
+def llskr_path_sets(
+    topology: Topology,
+    tm: TrafficMatrix,
+    subflows: int = 4,
+    path_pool: int = 8,
+) -> Dict[Tuple[int, int], List[Path]]:
+    """LLSKR-style subflow path sets for every demand pair of ``tm``.
+
+    ``path_pool`` shortest paths are enumerated per pair; ``subflows`` are
+    selected with first-hop spreading.
+    """
+    require_positive_int(subflows, "subflows")
+    require_positive_int(path_pool, "path_pool")
+    srcs, dsts, _ = tm.pairs()
+    pairs = [(int(s), int(d)) for s, d in zip(srcs, dsts)]
+    pools = paths_for_pairs(topology, pairs, max(path_pool, subflows))
+    return {pair: _spread_first_hops(pools[pair], subflows) for pair in pairs}
+
+
+@dataclass
+class CountingEstimate:
+    """Result of the Yuan-style counting estimator.
+
+    Throughputs are per *server flow* — Yuan et al. split each end-to-end
+    server flow into subflows and report the average over flows, so networks
+    with different server counts are compared in the same per-flow units.
+    """
+
+    mean_flow_throughput: float
+    min_flow_throughput: float
+    per_flow: np.ndarray
+    flow_weights: np.ndarray
+
+
+def counting_estimator(
+    topology: Topology,
+    tm: TrafficMatrix,
+    path_sets: Dict[Tuple[int, int], List[Path]],
+) -> CountingEstimate:
+    """Yuan et al.'s throughput estimate: invert max link-sharing counts.
+
+    Granularity matters: the unit of sharing is the *server* subflow.  A
+    switch-level demand pair (u, v) stands for ``w = D[u,v] * N_servers``
+    server flows (exact for all-to-all); each splits into k subflows, one
+    per path, so a path carries w server-subflows.  A subflow's rate is the
+    worst fair share along its path, ``min over links of capacity /
+    (server-subflows sharing the link)``; a server flow's throughput is the
+    sum of its subflow rates (capped at 1).  The reported mean weighs each
+    pair by its server-flow count.
+
+    This is an *estimator*, not a flow computation — exactly the
+    methodological gap Fig. 15, Comparison 2 isolates.
+    """
+    tails, heads, caps = topology.arcs()
+    arc_index = {(int(u), int(v)): e for e, (u, v) in enumerate(zip(tails, heads))}
+    m = tails.size
+    n_servers = max(topology.n_servers, 1)
+    usage = np.zeros(m, dtype=np.float64)
+    flow_paths: List[List[np.ndarray]] = []
+    srcs, dsts, weights = tm.pairs()
+    flow_counts = weights * n_servers  # server flows represented per pair
+    for s, d, w in zip(srcs, dsts, flow_counts):
+        plist = path_sets[(int(s), int(d))]
+        arcs_list = []
+        for p in plist:
+            arcs = np.fromiter(
+                (arc_index[(a, b)] for a, b in zip(p, p[1:])), dtype=np.int64
+            )
+            usage[arcs] += float(w)
+            arcs_list.append(arcs)
+        flow_paths.append(arcs_list)
+    per_flow = np.zeros(len(flow_paths))
+    for i, arcs_list in enumerate(flow_paths):
+        rate = 0.0
+        for arcs in arcs_list:
+            max_sharing = float(usage[arcs].max())
+            rate += float(caps[arcs].min()) / max_sharing
+        per_flow[i] = min(rate, 1.0)
+    return CountingEstimate(
+        mean_flow_throughput=float(np.average(per_flow, weights=flow_counts)),
+        min_flow_throughput=float(per_flow.min()),
+        per_flow=per_flow,
+        flow_weights=flow_counts,
+    )
+
+
+def llskr_exact_throughput(
+    topology: Topology,
+    tm: TrafficMatrix,
+    subflows: int = 4,
+    path_pool: int = 8,
+) -> ThroughputResult:
+    """Exact LP throughput restricted to the LLSKR-style path sets
+    (Fig. 15, Comparison 2)."""
+    sets = llskr_path_sets(topology, tm, subflows=subflows, path_pool=path_pool)
+    return solve_throughput_on_paths(topology, tm, sets)

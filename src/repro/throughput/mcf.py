@@ -1,0 +1,50 @@
+"""Top-level throughput API.
+
+:func:`throughput` is the single entry point used by experiments and
+examples; it dispatches to the exact LP engine (default) or the approximate
+multiplicative-weights engine.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.throughput.approx import solve_throughput_mwu
+from repro.throughput.lp import ThroughputResult, solve_throughput_lp
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+
+Engine = Literal["lp", "mwu"]
+
+
+def throughput(
+    topology: Topology,
+    tm: TrafficMatrix,
+    engine: Engine = "lp",
+    **kwargs,
+) -> ThroughputResult:
+    """Throughput of ``tm`` on ``topology``: max t with ``tm * t`` feasible.
+
+    Parameters
+    ----------
+    topology:
+        The network (switch graph + servers).
+    tm:
+        Switch-level traffic matrix (see :mod:`repro.traffic`).
+    engine:
+        ``"lp"`` (exact, HiGHS) or ``"mwu"`` (Garg–Könemann approximation;
+        accepts ``epsilon=``).
+    kwargs:
+        Forwarded to the engine (``want_flows=True`` for the LP engine).
+
+    Returns
+    -------
+    ThroughputResult
+        ``result.value`` is the throughput; use ``float(result)`` when only
+        the number matters.
+    """
+    if engine == "lp":
+        return solve_throughput_lp(topology, tm, **kwargs)
+    if engine == "mwu":
+        return solve_throughput_mwu(topology, tm, **kwargs)
+    raise ValueError(f"unknown engine {engine!r}; expected 'lp' or 'mwu'")

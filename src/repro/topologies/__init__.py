@@ -1,0 +1,97 @@
+"""Network topology constructors.
+
+Every family the paper evaluates (BCube, DCell, Dragonfly, fat tree,
+flattened butterfly, hypercube, HyperX, Jellyfish, Long Hop, Slim Fly) plus
+the theory-section benchmark graphs and the natural-network suite.
+"""
+
+from repro.topologies.base import Topology, make_topology
+from repro.topologies.bcube import bcube
+from repro.topologies.dcell import dcell, dcell_server_count, dcell_switch_count
+from repro.topologies.dragonfly import dragonfly
+from repro.topologies.expander import (
+    clustered_random_graph,
+    random_expander,
+    subdivided_expander,
+)
+from repro.topologies.fattree import fat_tree
+from repro.topologies.flattened_butterfly import flattened_butterfly
+from repro.topologies.hypercube import hypercube
+from repro.topologies.hyperx import (
+    HyperXDesign,
+    design_hyperx,
+    hyperx,
+    hyperx_for_terminals,
+)
+from repro.topologies.jellyfish import jellyfish
+from repro.topologies.longhop import longhop, longhop_generators
+from repro.topologies.natural import natural_network, natural_network_suite
+from repro.topologies.registry import (
+    DISPLAY_NAMES,
+    FAMILY_ORDER,
+    GROUP1,
+    GROUP2,
+    all_families,
+    representative,
+    scale_ladder,
+)
+from repro.topologies.slimfly import slimfly, slimfly_valid_q
+from repro.topologies.xpander import k_lift, xpander
+from repro.topologies.io import (
+    load_topology,
+    save_topology,
+    topology_from_json,
+    topology_to_edgelist,
+    topology_to_json,
+)
+from repro.topologies.properties import (
+    TopologyProperties,
+    analyze,
+    cheeger_bounds,
+    spectral_gap,
+)
+
+__all__ = [
+    "Topology",
+    "make_topology",
+    "bcube",
+    "dcell",
+    "dcell_server_count",
+    "dcell_switch_count",
+    "dragonfly",
+    "clustered_random_graph",
+    "random_expander",
+    "subdivided_expander",
+    "fat_tree",
+    "flattened_butterfly",
+    "hypercube",
+    "HyperXDesign",
+    "design_hyperx",
+    "hyperx",
+    "hyperx_for_terminals",
+    "jellyfish",
+    "longhop",
+    "longhop_generators",
+    "natural_network",
+    "natural_network_suite",
+    "DISPLAY_NAMES",
+    "FAMILY_ORDER",
+    "GROUP1",
+    "GROUP2",
+    "all_families",
+    "representative",
+    "scale_ladder",
+    "slimfly",
+    "slimfly_valid_q",
+    "k_lift",
+    "xpander",
+    "load_topology",
+    "save_topology",
+    "topology_from_json",
+    "topology_to_edgelist",
+    "topology_to_json",
+    "TopologyProperties",
+    "analyze",
+    "cheeger_bounds",
+    "spectral_gap",
+]

@@ -1,0 +1,195 @@
+"""The :class:`Topology` abstraction shared by every network family.
+
+A topology is an undirected (multi)graph of *switching nodes* plus a count of
+terminal servers attached to each node.  Server links are infinite-capacity
+(paper §II-A), so servers are never graph nodes themselves; server-centric
+designs (BCube, DCell) model their relay-servers as switching nodes carrying
+one terminal server each.
+
+Every switch-to-switch cable has capacity 1 per direction; parallel cables
+add capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.graphutils import (
+    all_pairs_distances,
+    arcs_of,
+    degree_sequence,
+    is_connected,
+)
+
+
+@dataclass
+class Topology:
+    """A network topology: switch graph + server placement + provenance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable instance name (e.g. ``"hypercube(d=5)"``).
+    graph:
+        Undirected graph or multigraph with integer nodes ``0..n-1``.  An
+        edge of multiplicity m means m parallel unit-capacity cables.
+    servers:
+        ``servers[v]`` is the number of terminal servers attached to node v.
+    family:
+        Family key used by the registry (e.g. ``"hypercube"``).
+    params:
+        Construction parameters, kept for experiment records.
+    """
+
+    name: str
+    graph: nx.Graph
+    servers: np.ndarray
+    family: str = "custom"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.servers = np.asarray(self.servers, dtype=np.int64)
+        n = self.graph.number_of_nodes()
+        if self.servers.shape != (n,):
+            raise ValueError(
+                f"servers must have shape ({n},), got {self.servers.shape}"
+            )
+        if np.any(self.servers < 0):
+            raise ValueError("server counts must be non-negative")
+        nodes = set(self.graph.nodes())
+        if nodes != set(range(n)):
+            raise ValueError("graph nodes must be exactly 0..n-1")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_switches(self) -> int:
+        """Number of switching nodes (includes server-relay nodes)."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_servers(self) -> int:
+        """Total number of terminal servers."""
+        return int(self.servers.sum())
+
+    @property
+    def n_links(self) -> int:
+        """Number of undirected unit-capacity cables (with multiplicity)."""
+        return self.graph.number_of_edges()
+
+    @property
+    def server_nodes(self) -> np.ndarray:
+        """Node ids with at least one attached server."""
+        return np.flatnonzero(self.servers > 0)
+
+    # ------------------------------------------------------------- structure
+    def degree_sequence(self) -> np.ndarray:
+        """Switch degrees counting cable multiplicity, indexed by node."""
+        return degree_sequence(self.graph)
+
+    def arcs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed arc view ``(tails, heads, capacities)``."""
+        return arcs_of(self.graph)
+
+    def total_capacity(self) -> float:
+        """Sum of directed arc capacities (2 x cables)."""
+        return 2.0 * self.graph.number_of_edges()
+
+    def is_connected(self) -> bool:
+        """True when the switch graph is connected."""
+        return is_connected(self.graph)
+
+    def equipment(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Equipment signature: per-node (degree, servers), degree-sorted.
+
+        Two topologies with equal equipment use exactly the same switches and
+        cables — the paper's criterion for a fair random-graph comparison.
+        """
+        deg = self.degree_sequence()
+        order = np.lexsort((self.servers, deg))
+        return tuple(int(d) for d in deg[order]), tuple(
+            int(s) for s in self.servers[order]
+        )
+
+    # ---------------------------------------------------------------- metrics
+    def server_pair_mean_distance(self) -> float:
+        """Mean switch-graph distance between distinct server pairs.
+
+        Weighted by server multiplicities: a node with a servers contributes
+        a sources and a destinations.  Pairs of servers on the same switch
+        have distance 0 and are included, matching how the paper reports mean
+        flow path length (server-NIC hops are a constant offset everywhere).
+        """
+        hosts = self.server_nodes
+        if hosts.size == 0:
+            raise ValueError("topology has no servers")
+        dist = all_pairs_distances(self.graph)
+        w = self.servers.astype(np.float64)
+        total_servers = w.sum()
+        if total_servers < 2:
+            raise ValueError("need at least two servers")
+        # Sum over ordered node pairs of w_u * w_v * dist, minus self pairs
+        # (dist 0 contributes nothing), normalized by ordered server pairs.
+        weighted = w @ dist @ w
+        n_pairs = total_servers * (total_servers - 1)
+        return float(weighted / n_pairs)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the topology is unusable for experiments."""
+        if self.n_switches == 0:
+            raise ValueError("empty topology")
+        if self.n_servers < 2:
+            raise ValueError("topology needs at least 2 servers for traffic")
+        if not self.is_connected():
+            raise ValueError(f"{self.name}: switch graph is disconnected")
+        if any(u == v for u, v in self.graph.edges()):
+            raise ValueError(f"{self.name}: self-loop cable")
+
+    def with_servers(self, servers_per_node: int) -> "Topology":
+        """Copy of this topology with a uniform server count on every node.
+
+        Only meaningful for families without prescribed server locations
+        (paper §III-A2: 'for all other networks, we add servers to each
+        switch').
+        """
+        n = self.n_switches
+        return Topology(
+            name=f"{self.name}/servers={servers_per_node}",
+            graph=self.graph,
+            servers=np.full(n, servers_per_node, dtype=np.int64),
+            family=self.family,
+            params={**self.params, "servers_per_node": servers_per_node},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, switches={self.n_switches}, "
+            f"servers={self.n_servers}, links={self.n_links})"
+        )
+
+
+def make_topology(
+    graph: nx.Graph,
+    servers: np.ndarray | int,
+    name: str,
+    family: str,
+    params: Dict[str, Any] | None = None,
+) -> Topology:
+    """Construct and validate a :class:`Topology`.
+
+    ``servers`` may be an int (uniform per node) or a per-node array.
+    """
+    g = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    n = g.number_of_nodes()
+    if isinstance(servers, (int, np.integer)):
+        servers_arr = np.full(n, int(servers), dtype=np.int64)
+    else:
+        servers_arr = np.asarray(servers, dtype=np.int64)
+    topo = Topology(
+        name=name, graph=g, servers=servers_arr, family=family, params=params or {}
+    )
+    topo.validate()
+    return topo

@@ -1,0 +1,69 @@
+"""BCube (Guo et al., SIGCOMM 2009): a server-centric modular DC network.
+
+BCube(n, k) has ``n**(k+1)`` servers, each with k+1 NICs, and ``(k+1) * n**k``
+n-port switches arranged in k+1 levels.  Servers relay traffic between their
+NICs, so in the switch-level model both servers and switches are graph nodes;
+servers carry one terminal each and switches carry none.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_nonnegative_int, require_positive_int
+
+
+def bcube(n: int, k: int) -> Topology:
+    """BCube with ``n``-port switches and recursion depth ``k``.
+
+    A server is addressed by k+1 base-n digits ``(a_k, ..., a_0)``.  At level
+    i it connects to the switch identified by its digits with digit i removed.
+
+    Node numbering: servers ``0 .. n**(k+1)-1`` (digit-radix order), then
+    level-0 switches, level-1 switches, etc.
+    """
+    require_positive_int(n, "n")
+    require_nonnegative_int(k, "k")
+    if n < 2:
+        raise ValueError(f"BCube needs n >= 2 ports, got {n}")
+    n_servers = n ** (k + 1)
+    switches_per_level = n**k
+    n_switches = (k + 1) * switches_per_level
+
+    def server_id(digits: tuple) -> int:
+        sid = 0
+        for d in digits:
+            sid = sid * n + d
+        return sid
+
+    def switch_id(level: int, sw_digits: tuple) -> int:
+        sid = 0
+        for d in sw_digits:
+            sid = sid * n + d
+        return n_servers + level * switches_per_level + sid
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n_servers + n_switches))
+    for digits in itertools.product(range(n), repeat=k + 1):
+        sid = server_id(digits)
+        for level in range(k + 1):
+            # digit index: digits are (a_k, ..., a_0); level i removes a_i,
+            # i.e. position (k - i) in the tuple.
+            pos = k - level
+            sw_digits = digits[:pos] + digits[pos + 1 :]
+            g.add_edge(sid, switch_id(level, sw_digits))
+    servers = np.zeros(n_servers + n_switches, dtype=np.int64)
+    servers[:n_servers] = 1
+    topo = Topology(
+        name=f"bcube(n={n},k={k})",
+        graph=g,
+        servers=servers,
+        family="bcube",
+        params={"n": n, "k": k},
+    )
+    topo.validate()
+    return topo

@@ -1,0 +1,91 @@
+"""DCell (Guo et al., SIGCOMM 2008): a recursively defined server-centric DCN.
+
+DCell_0(n) is n servers on one n-port switch.  DCell_k is built from
+``t_{k-1} + 1`` copies of DCell_{k-1} (t = servers per copy), with exactly one
+server-to-server link between every pair of copies.  Servers route, so they
+are switching nodes carrying one terminal each.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_nonnegative_int, require_positive_int
+
+
+def dcell_server_count(n: int, k: int) -> int:
+    """Number of servers t_k in DCell_k built from n-port switches."""
+    t = n
+    for _ in range(k):
+        t = t * (t + 1)
+    return t
+
+
+def dcell_switch_count(n: int, k: int) -> int:
+    """Number of mini-switches in DCell_k (one per DCell_0)."""
+    return dcell_server_count(n, k) // n
+
+
+def dcell(n: int, k: int) -> Topology:
+    """DCell of level ``k`` with ``n`` servers per mini-switch.
+
+    Uses the standard pairing rule: between sub-DCells i < j of a level-l
+    DCell, server with local uid ``j - 1`` in copy i links to server with
+    local uid ``i`` in copy j.
+
+    Node numbering: servers ``0 .. t_k - 1`` (uid order), then one switch per
+    group of n consecutive servers.
+    """
+    require_positive_int(n, "n")
+    require_nonnegative_int(k, "k")
+    if n < 2:
+        raise ValueError(f"DCell needs n >= 2 servers per switch, got {n}")
+    t_k = dcell_server_count(n, k)
+    n_switch = t_k // n
+    g = nx.Graph()
+    g.add_nodes_from(range(t_k + n_switch))
+
+    # Level-0 star edges: server s belongs to switch s // n.
+    for s in range(t_k):
+        g.add_edge(s, t_k + s // n)
+
+    def connect_level(base: int, level: int) -> None:
+        """Add the level-`level` server links inside the DCell rooted at
+        server offset ``base`` (recursion mirrors the construction)."""
+        if level == 0:
+            return
+        t_sub = dcell_server_count(n, level - 1)
+        n_copies = t_sub + 1
+        for copy in range(n_copies):
+            connect_level(base + copy * t_sub, level - 1)
+        for i in range(n_copies):
+            for j in range(i + 1, n_copies):
+                u = base + i * t_sub + (j - 1)
+                v = base + j * t_sub + i
+                g.add_edge(u, v)
+
+    connect_level(0, k)
+    servers = np.zeros(t_k + n_switch, dtype=np.int64)
+    servers[:t_k] = 1
+    topo = Topology(
+        name=f"dcell(n={n},k={k})",
+        graph=g,
+        servers=servers,
+        family="dcell",
+        params={"n": n, "k": k},
+    )
+    topo.validate()
+    return topo
+
+
+def dcell_scale_ladder(n: int, max_servers: int) -> List[Tuple[int, int]]:
+    """(n, k) parameter pairs with at most ``max_servers`` servers."""
+    ladder = []
+    for k in range(0, 4):
+        if dcell_server_count(n, k) <= max_servers:
+            ladder.append((n, k))
+    return ladder

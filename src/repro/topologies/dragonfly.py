@@ -1,0 +1,59 @@
+"""Dragonfly (Kim et al., ISCA 2008), canonical balanced configuration.
+
+With global-link count h per router the balanced design uses a = 2h routers
+per group, p = h servers per router, and g = a*h + 1 groups, so every pair of
+groups is joined by exactly one global link.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+def dragonfly(h: int) -> Topology:
+    """Balanced Dragonfly with ``h`` global links per router.
+
+    * ``g = 2*h*h + 1`` groups of ``a = 2h`` routers;
+    * complete graph inside every group;
+    * between groups: group G's global port q (0-based, q < g-1) leads to
+      group ``q`` if ``q < G`` else ``q + 1`` — i.e. ports are indexed by
+      destination group — and port q belongs to router ``q // h``;
+    * ``h`` servers on every router.
+    """
+    require_positive_int(h, "h")
+    a = 2 * h
+    g_count = a * h + 1
+    n = g_count * a
+
+    def router(group: int, idx: int) -> int:
+        return group * a + idx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    # Intra-group: complete graph on the a routers of each group.
+    for grp in range(g_count):
+        for i in range(a):
+            for j in range(i + 1, a):
+                graph.add_edge(router(grp, i), router(grp, j))
+    # Global links: one per unordered group pair.  In group G the port for
+    # destination D (D != G) is q = D if D < G else D - 1; it belongs to
+    # router q // h.
+    for src in range(g_count):
+        for dst in range(src + 1, g_count):
+            q_src = dst - 1  # dst > src always here
+            q_dst = src  # src < dst
+            graph.add_edge(router(src, q_src // h), router(dst, q_dst // h))
+    servers = np.full(n, h, dtype=np.int64)
+    topo = Topology(
+        name=f"dragonfly(h={h})",
+        graph=graph,
+        servers=servers,
+        family="dragonfly",
+        params={"h": h, "a": a, "groups": g_count},
+    )
+    topo.validate()
+    return topo

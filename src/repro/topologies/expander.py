@@ -1,0 +1,141 @@
+"""Benchmark graphs for the paper's theory section (Fig. 1, Theorem 1).
+
+* :func:`random_expander` — a random 2d-regular graph (whp an expander).
+* :func:`clustered_random_graph` — the paper's graph A: two equal clusters
+  with intra-degree α and inter-degree β, α + β = 2d (Singla et al. NSDI'14).
+* :func:`subdivided_expander` — the paper's graph B: an expander with every
+  edge replaced by a path of length p, which inflates the sparsest cut
+  relative to throughput by the Theorem-1 separation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.graphutils import random_connected_regular_graph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def random_expander(n: int, degree: int, seed: SeedLike = None) -> Topology:
+    """Connected random ``degree``-regular graph on n switches, 1 server each."""
+    require_positive_int(n, "n")
+    require_positive_int(degree, "degree")
+    rng = ensure_rng(seed)
+    g = random_connected_regular_graph(degree, n, rng)
+    topo = Topology(
+        name=f"expander(n={n},d={degree})",
+        graph=g,
+        servers=np.ones(n, dtype=np.int64),
+        family="expander",
+        params={"n": n, "degree": degree},
+    )
+    topo.validate()
+    return topo
+
+
+def _random_bipartite_regular(
+    left: np.ndarray, right: np.ndarray, degree: int, rng: np.random.Generator
+) -> list:
+    """Random simple ``degree``-regular bipartite edge set between two node
+    arrays of equal size, via stub matching with conflict re-draws."""
+    if left.size != right.size:
+        raise ValueError("clusters must have equal size")
+    for _ in range(200):
+        stubs_left = np.repeat(left, degree)
+        stubs_right = np.repeat(right, degree)
+        rng.shuffle(stubs_right)
+        pairs = set(zip(stubs_left.tolist(), stubs_right.tolist()))
+        if len(pairs) == left.size * degree:  # no parallel edges drawn
+            return list(pairs)
+    raise RuntimeError("failed to sample simple regular bipartite graph")
+
+
+def clustered_random_graph(
+    n: int, d: int, beta: int, seed: SeedLike = None
+) -> Topology:
+    """Paper graph A: two n/2-clusters, intra-degree ``2d - beta``, inter ``beta``.
+
+    Total degree 2d per node.  The paper picks β = Θ(α / log n) so the
+    inter-cluster band is the bottleneck cut.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(d, "d")
+    require_positive_int(beta, "beta")
+    if n % 2 != 0:
+        raise ValueError(f"n must be even, got {n}")
+    alpha = 2 * d - beta
+    if alpha <= 0:
+        raise ValueError(f"beta={beta} too large for total degree {2 * d}")
+    half = n // 2
+    if alpha >= half:
+        raise ValueError(f"intra-degree {alpha} must be < cluster size {half}")
+    rng = ensure_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for base in (0, half):
+        sub = random_connected_regular_graph(alpha, half, rng)
+        g.add_edges_from((base + u, base + v) for u, v in sub.edges())
+    inter = _random_bipartite_regular(
+        np.arange(half), np.arange(half, n), beta, rng
+    )
+    g.add_edges_from(inter)
+    topo = Topology(
+        name=f"clustered(n={n},d={d},beta={beta})",
+        graph=g,
+        servers=np.ones(n, dtype=np.int64),
+        family="clustered_random",
+        params={"n": n, "d": d, "alpha": alpha, "beta": beta},
+    )
+    topo.validate()
+    return topo
+
+
+def subdivided_expander(
+    n_core: int,
+    degree: int,
+    path_len: int,
+    seed: SeedLike = None,
+    servers_on_relays: bool = True,
+) -> Topology:
+    """Paper graph B: each edge of a ``degree``-regular expander on
+    ``n_core`` nodes is replaced by a path with ``path_len`` edges.
+
+    Theorem 1 evaluates throughput and sparsest cut with all-to-all demand
+    over *all* n nodes of B — subdivision relays included — so by default
+    every node carries one server.  Set ``servers_on_relays=False`` to keep
+    demand on the expander's original vertex set only.
+    """
+    require_positive_int(n_core, "n_core")
+    require_positive_int(degree, "degree")
+    require_positive_int(path_len, "path_len")
+    rng = ensure_rng(seed)
+    core = random_connected_regular_graph(degree, n_core, rng)
+    g = nx.Graph()
+    g.add_nodes_from(range(n_core))
+    next_id = n_core
+    for u, v in core.edges():
+        if path_len == 1:
+            g.add_edge(u, v)
+            continue
+        prev = u
+        for _ in range(path_len - 1):
+            g.add_node(next_id)
+            g.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+        g.add_edge(prev, v)
+    servers = np.ones(next_id, dtype=np.int64)
+    if not servers_on_relays:
+        servers[n_core:] = 0
+    topo = Topology(
+        name=f"subdivided(n={n_core},d={degree},p={path_len})",
+        graph=g,
+        servers=servers,
+        family="subdivided_expander",
+        params={"n_core": n_core, "degree": degree, "path_len": path_len},
+    )
+    topo.validate()
+    return topo

@@ -1,0 +1,60 @@
+"""Three-level fat tree (Al-Fares et al., SIGCOMM 2008).
+
+The k-ary fat tree is nonblocking: any hose-model traffic matrix achieves
+throughput exactly 1, which the test suite uses as an oracle.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+def fat_tree(k: int) -> Topology:
+    """k-ary three-level fat tree.
+
+    Structure (k even):
+
+    * ``(k/2)**2`` core switches;
+    * ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches;
+    * edge switch e in a pod connects to every aggregation switch in the pod;
+    * aggregation switch a (index j within its pod) connects to core switches
+      ``j*(k/2) .. (j+1)*(k/2)-1``;
+    * ``k/2`` servers per edge switch (total ``k**3/4``), the prescribed
+      server locations for this family.
+    """
+    require_positive_int(k, "k")
+    if k % 2 != 0 or k < 2:
+        raise ValueError(f"fat tree requires even k >= 2, got {k}")
+    half = k // 2
+    n_core = half * half
+    n_agg = k * half
+    n_edge = k * half
+    # Node numbering: cores, then per-pod aggregation, then per-pod edge.
+    core0 = 0
+    agg0 = n_core
+    edge0 = n_core + n_agg
+    g = nx.Graph()
+    g.add_nodes_from(range(n_core + n_agg + n_edge))
+    for pod in range(k):
+        for j in range(half):
+            agg = agg0 + pod * half + j
+            # aggregation j serves core group j
+            for c in range(half):
+                g.add_edge(agg, core0 + j * half + c)
+            for e in range(half):
+                g.add_edge(agg, edge0 + pod * half + e)
+    servers = np.zeros(n_core + n_agg + n_edge, dtype=np.int64)
+    servers[edge0:] = half
+    topo = Topology(
+        name=f"fattree(k={k})",
+        graph=g,
+        servers=servers,
+        family="fattree",
+        params={"k": k},
+    )
+    topo.validate()
+    return topo

@@ -1,0 +1,65 @@
+"""Flattened butterfly (Kim, Dally, Abts 2007): the k-ary n-flat.
+
+Flattening a k-ary n-stage butterfly yields ``k**(n-1)`` switches arranged in
+an (n-1)-dimensional array of side k, fully connected along every axis, with
+k terminals per switch.  The paper's §III-B case study — the 5-ary 3-stage
+flattened butterfly with 25 switches and 125 servers — is ``flattened
+butterfly(k=5, n=3)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+def flattened_butterfly(k: int, n: int) -> Topology:
+    """k-ary n-flat flattened butterfly.
+
+    Parameters
+    ----------
+    k:
+        Radix of the underlying butterfly (array side, also terminals per
+        switch).
+    n:
+        Number of stages of the underlying butterfly; the flat has ``n - 1``
+        array dimensions.
+    """
+    require_positive_int(k, "k")
+    require_positive_int(n, "n")
+    if k < 2:
+        raise ValueError(f"flattened butterfly needs k >= 2, got {k}")
+    if n < 2:
+        raise ValueError(f"flattened butterfly needs n >= 2 stages, got {n}")
+    dims = n - 1
+    n_switch = k**dims
+
+    def node_id(coords: tuple) -> int:
+        nid = 0
+        for c in coords:
+            nid = nid * k + c
+        return nid
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n_switch))
+    for coords in itertools.product(range(k), repeat=dims):
+        nid = node_id(coords)
+        for axis in range(dims):
+            for val in range(coords[axis] + 1, k):
+                other = coords[:axis] + (val,) + coords[axis + 1 :]
+                g.add_edge(nid, node_id(other))
+    servers = np.full(n_switch, k, dtype=np.int64)
+    topo = Topology(
+        name=f"flatbutterfly(k={k},n={n})",
+        graph=g,
+        servers=servers,
+        family="flattened_butterfly",
+        params={"k": k, "n": n},
+    )
+    topo.validate()
+    return topo

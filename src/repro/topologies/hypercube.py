@@ -1,0 +1,46 @@
+"""d-dimensional binary hypercube (Bhuyan & Agrawal)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+def hypercube(dim: int, servers_per_node: int = 1) -> Topology:
+    """Binary hypercube with ``2**dim`` switches of degree ``dim``.
+
+    Nodes are labeled by their integer coordinates; u ~ v iff ``u ^ v`` is a
+    power of two.  Servers are attached uniformly (the family places no
+    restriction on server locations).
+
+    Parameters
+    ----------
+    dim:
+        Hypercube dimension (>= 1).
+    servers_per_node:
+        Terminal servers per switch.
+    """
+    require_positive_int(dim, "dim")
+    require_positive_int(servers_per_node, "servers_per_node")
+    n = 1 << dim
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    # Vectorized edge enumeration: for each axis bit, connect v and v|bit for
+    # every v with that bit clear.
+    for bit_pos in range(dim):
+        bit = 1 << bit_pos
+        lows = np.flatnonzero((np.arange(n) & bit) == 0)
+        g.add_edges_from(zip(lows.tolist(), (lows | bit).tolist()))
+    servers = np.full(n, servers_per_node, dtype=np.int64)
+    topo = Topology(
+        name=f"hypercube(d={dim})",
+        graph=g,
+        servers=servers,
+        family="hypercube",
+        params={"dim": dim, "servers_per_node": servers_per_node},
+    )
+    topo.validate()
+    return topo

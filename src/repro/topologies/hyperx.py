@@ -1,0 +1,177 @@
+"""HyperX (Ahn et al., SC 2009): generalized flattened-butterfly lattices.
+
+A regular HyperX(L, S, K, T) places ``S**L`` switches on an L-dimensional
+lattice of side S, fully connects every axis-aligned line with link
+multiplicity K, and attaches T terminals per switch.
+
+The HyperX paper's design flow searches, for a given switch radix, terminal
+count, and target bisection, the cheapest such lattice.  :func:`design_hyperx`
+reimplements that search for regular HyperX; its discreteness is what makes
+HyperX throughput jump around with scale (paper Fig. 7), so the search — not
+just the lattice — is part of the reproduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class HyperXDesign:
+    """A candidate regular HyperX configuration."""
+
+    L: int  # lattice dimensions
+    S: int  # lattice side (switches per dimension)
+    K: int  # link multiplicity along each dimension
+    T: int  # terminals (servers) per switch
+
+    @property
+    def n_switches(self) -> int:
+        return self.S**self.L
+
+    @property
+    def n_servers(self) -> int:
+        return self.n_switches * self.T
+
+    @property
+    def switch_radix(self) -> int:
+        """Ports used per switch: terminals + K links to each of the S-1
+        other switches in each of the L dimensions."""
+        return self.T + self.K * (self.S - 1) * self.L
+
+    @property
+    def n_cables(self) -> int:
+        return self.L * (self.S**(self.L - 1)) * (self.S * (self.S - 1) // 2) * self.K
+
+    @property
+    def relative_bisection(self) -> float:
+        """Worst-axis bisection as a fraction of terminals, K*floor(S/2)*ceil(S/2)*2/(S*T)."""
+        half_lo = self.S // 2
+        half_hi = self.S - half_lo
+        # Cut along one axis: S**(L-1) lines, each contributing
+        # half_lo*half_hi*K cables; one direction of capacity per cable.
+        cut = (self.S ** (self.L - 1)) * half_lo * half_hi * self.K
+        hosts_half = self.n_servers * half_lo / self.S
+        return cut / hosts_half if hosts_half else 0.0
+
+
+def hyperx(L: int, S: int, K: int = 1, T: int = 1) -> Topology:
+    """Build a regular HyperX lattice.
+
+    Parallel cables (K > 1) are represented as a MultiGraph so capacity
+    accounting and equipment matching stay exact.
+    """
+    require_positive_int(L, "L")
+    require_positive_int(S, "S")
+    require_positive_int(K, "K")
+    require_positive_int(T, "T")
+    if S < 2:
+        raise ValueError(f"HyperX needs lattice side S >= 2, got {S}")
+    n_switch = S**L
+
+    def node_id(coords: tuple) -> int:
+        nid = 0
+        for c in coords:
+            nid = nid * S + c
+        return nid
+
+    g: nx.Graph = nx.MultiGraph() if K > 1 else nx.Graph()
+    g.add_nodes_from(range(n_switch))
+    for coords in itertools.product(range(S), repeat=L):
+        nid = node_id(coords)
+        for axis in range(L):
+            for val in range(coords[axis] + 1, S):
+                other = coords[:axis] + (val,) + coords[axis + 1 :]
+                for _ in range(K):
+                    g.add_edge(nid, node_id(other))
+    servers = np.full(n_switch, T, dtype=np.int64)
+    topo = Topology(
+        name=f"hyperx(L={L},S={S},K={K},T={T})",
+        graph=g,
+        servers=servers,
+        family="hyperx",
+        params={"L": L, "S": S, "K": K, "T": T},
+    )
+    topo.validate()
+    return topo
+
+
+def design_hyperx(
+    radix: int,
+    n_terminals: int,
+    bisection: float,
+    max_L: int = 4,
+    max_K: int = 4,
+) -> Optional[HyperXDesign]:
+    """Least-cost regular HyperX meeting the given constraints.
+
+    Mirrors the HyperX paper's searcher restricted to regular designs: among
+    all (L, S, K, T) with switch radix <= ``radix``, terminals >=
+    ``n_terminals`` and relative bisection >= ``bisection``, return the one
+    minimizing switch count, then cable count, then (deterministically) the
+    tuple itself.  Returns None when infeasible.
+    """
+    require_positive_int(radix, "radix")
+    require_positive_int(n_terminals, "n_terminals")
+    if not 0.0 < bisection <= 1.0:
+        raise ValueError(f"bisection must be in (0, 1], got {bisection}")
+    best: Optional[HyperXDesign] = None
+    best_key = None
+    for L in range(1, max_L + 1):
+        for S in range(2, radix + 2):
+            if S**L > 10**6:
+                break
+            for K in range(1, max_K + 1):
+                link_ports = K * (S - 1) * L
+                if link_ports >= radix:
+                    break
+                t_needed = -(-n_terminals // S**L)  # ceil division
+                if t_needed < 1:
+                    t_needed = 1
+                if t_needed + link_ports > radix:
+                    continue
+                cand = HyperXDesign(L=L, S=S, K=K, T=t_needed)
+                if cand.relative_bisection < bisection:
+                    continue
+                key = (cand.n_switches, cand.n_cables, L, S, K)
+                if best_key is None or key < best_key:
+                    best, best_key = cand, key
+    return best
+
+
+def hyperx_for_terminals(
+    radix: int, n_terminals: int, bisection: float
+) -> Optional[Topology]:
+    """Design and build the cheapest HyperX for the given requirements."""
+    design = design_hyperx(radix, n_terminals, bisection)
+    if design is None:
+        return None
+    topo = hyperx(design.L, design.S, design.K, design.T)
+    topo.params["bisection_target"] = bisection
+    topo.params["relative_bisection"] = design.relative_bisection
+    return topo
+
+
+def hyperx_scale_ladder(
+    radix: int, bisection: float, terminal_counts: List[int]
+) -> List[Topology]:
+    """The HyperX instances the Fig. 7 sweep evaluates, deduplicated."""
+    out: List[Topology] = []
+    seen = set()
+    for n_term in terminal_counts:
+        design = design_hyperx(radix, n_term, bisection)
+        if design is None:
+            continue
+        if design in seen:
+            continue
+        seen.add(design)
+        out.append(hyperx_for_terminals(radix, n_term, bisection))
+    return out

@@ -1,0 +1,103 @@
+"""Topology serialization: JSON documents and edge lists.
+
+Round-trippable persistence for sharing benchmark instances — the
+paper's artifact repository distributes its graphs as files, and
+reproducible comparisons need byte-identical instances.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+
+FORMAT_VERSION = 1
+
+
+def topology_to_json(topology: Topology) -> str:
+    """Serialize a topology (graph + servers + provenance) to JSON."""
+    if topology.graph.is_multigraph():
+        edges = [[int(u), int(v)] for u, v in topology.graph.edges(keys=False)]
+        multigraph = True
+    else:
+        edges = [[int(u), int(v)] for u, v in topology.graph.edges()]
+        multigraph = False
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": topology.name,
+        "family": topology.family,
+        "n_switches": topology.n_switches,
+        "multigraph": multigraph,
+        "edges": edges,
+        "servers": topology.servers.tolist(),
+        "params": _jsonable(topology.params),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj
+
+
+def topology_from_json(text: str) -> Topology:
+    """Rebuild a topology from :func:`topology_to_json` output."""
+    data = json.loads(text)
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported topology format version {data.get('format_version')}"
+        )
+    g = nx.MultiGraph() if data["multigraph"] else nx.Graph()
+    g.add_nodes_from(range(data["n_switches"]))
+    g.add_edges_from((u, v) for u, v in data["edges"])
+    topo = Topology(
+        name=data["name"],
+        graph=g,
+        servers=np.asarray(data["servers"], dtype=np.int64),
+        family=data["family"],
+        params=data.get("params", {}),
+    )
+    topo.validate()
+    return topo
+
+
+def save_topology(topology: Topology, path: Union[str, Path]) -> None:
+    """Write a topology JSON file."""
+    Path(path).write_text(topology_to_json(topology))
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Read a topology JSON file."""
+    return topology_from_json(Path(path).read_text())
+
+
+def topology_to_edgelist(topology: Topology) -> str:
+    """Plain-text edge list: header comments + 'u v' lines + server counts.
+
+    Interoperable with the usual graph tooling; servers are recorded in a
+    trailing comment block so the file stays a valid edge list.
+    """
+    lines = [
+        f"# topology: {topology.name}",
+        f"# switches: {topology.n_switches}",
+    ]
+    if topology.graph.is_multigraph():
+        edge_iter = topology.graph.edges(keys=False)
+    else:
+        edge_iter = topology.graph.edges()
+    lines.extend(f"{u} {v}" for u, v in edge_iter)
+    servers = " ".join(str(int(s)) for s in topology.servers)
+    lines.append(f"# servers: {servers}")
+    return "\n".join(lines) + "\n"

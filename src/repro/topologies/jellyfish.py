@@ -1,0 +1,54 @@
+"""Jellyfish (Singla et al., NSDI 2012): uniform-random regular graphs.
+
+Jellyfish is both a topology proposal and — because a random graph can be
+built for any equipment — the paper's normalizing benchmark (relative
+throughput = topology / same-equipment random graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.graphutils import random_connected_regular_graph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def jellyfish(
+    n_switches: int,
+    degree: int,
+    servers_per_node: int = 1,
+    seed: SeedLike = None,
+) -> Topology:
+    """Random regular Jellyfish on ``n_switches`` switches of ``degree``.
+
+    Parameters
+    ----------
+    n_switches, degree:
+        Graph size and uniform switch-to-switch degree (``degree *
+        n_switches`` must be even, ``degree < n_switches``).
+    servers_per_node:
+        Terminals per switch.
+    seed:
+        RNG seed; fixed seeds give reproducible instances.
+    """
+    require_positive_int(n_switches, "n_switches")
+    require_positive_int(degree, "degree")
+    require_positive_int(servers_per_node, "servers_per_node")
+    rng = ensure_rng(seed)
+    g = random_connected_regular_graph(degree, n_switches, rng)
+    servers = np.full(n_switches, servers_per_node, dtype=np.int64)
+    topo = Topology(
+        name=f"jellyfish(n={n_switches},d={degree})",
+        graph=g,
+        servers=servers,
+        family="jellyfish",
+        params={
+            "n_switches": n_switches,
+            "degree": degree,
+            "servers_per_node": servers_per_node,
+        },
+    )
+    topo.validate()
+    return topo

@@ -1,0 +1,136 @@
+"""Long Hop networks (Tomic, ANCS 2013): Cayley graphs from binary codes.
+
+Tomic builds topologies as Cayley graphs on GF(2)^dim whose generator sets
+come from error-correcting codes, adding "long hop" generators on top of the
+hypercube basis to maximize bisection.  For a Cayley graph on GF(2)^dim with
+generator set G the full spectrum is available in closed form — the
+eigenvalue of character s is
+
+    lambda_s = sum_{g in G} (-1)^{popcount(g & s)},
+
+and every hyperplane bisection's capacity is (n/4) * (|G| - lambda_s).  So
+Tomic's "optimal networks from error-correcting codes" objective — maximize
+the worst bisection — is exactly: choose generators minimizing
+max_{s != 0} lambda_s.  We implement that objective directly with a greedy
+selection (documented substitution in DESIGN.md): start from the hypercube
+basis (connectivity), then repeatedly add the vector minimizing the
+resulting maximum eigenvalue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+def _hamming_weights(values: np.ndarray, dim: int) -> np.ndarray:
+    """Popcount of each value, vectorized over a uint64 array."""
+    out = np.zeros(values.shape, dtype=np.int64)
+    v = values.copy()
+    for _ in range(dim):
+        out += (v & 1).astype(np.int64)
+        v >>= 1
+    return out
+
+
+def cayley_spectrum(generators: List[int], dim: int) -> np.ndarray:
+    """All 2^dim eigenvalues of the Cayley graph on GF(2)^dim.
+
+    ``spectrum[s] = sum_g (-1)^popcount(g & s)``; index 0 is the trivial
+    character (value = degree).
+    """
+    n = 1 << dim
+    chars = np.arange(n, dtype=np.uint64)
+    gens = np.array(generators, dtype=np.uint64)
+    signs = 1 - 2 * (_hamming_weights(chars[:, None] & gens[None, :], dim) % 2)
+    return signs.sum(axis=1)
+
+
+def longhop_generators(dim: int, degree: int) -> List[int]:
+    """Bisection-optimal generator set for a Long Hop network.
+
+    Starts from the dim unit vectors and greedily appends the nonzero vector
+    that minimizes the resulting maximum nontrivial Cayley eigenvalue
+    (= maximizes the worst hyperplane bisection, Tomic's design objective).
+    Ties break toward larger Hamming weight, then numerically.
+    """
+    require_positive_int(dim, "dim")
+    require_positive_int(degree, "degree")
+    n = 1 << dim
+    if degree < dim:
+        raise ValueError(
+            f"degree {degree} must be >= dim {dim} (hypercube basis included)"
+        )
+    if degree > n - 1:
+        raise ValueError(f"degree {degree} exceeds the {n - 1} nonzero vectors")
+    gens = [1 << i for i in range(dim)]
+    chosen = set(gens)
+    chars = np.arange(n, dtype=np.uint64)
+    # Per-candidate sign table: signs[v, s] = +-1 contribution of vector v
+    # to character s.  dim <= ~10 keeps this comfortably in memory.
+    all_vecs = np.arange(n, dtype=np.uint64)
+    signs = 1 - 2 * (_hamming_weights(all_vecs[:, None] & chars[None, :], dim) % 2)
+    spectrum = signs[np.array(gens, dtype=np.int64)].sum(axis=0)
+    weights = _hamming_weights(all_vecs, dim)
+    while len(gens) < degree:
+        candidates = np.array(
+            [v for v in range(1, n) if v not in chosen], dtype=np.int64
+        )
+        # Adding candidate v changes the spectrum by its sign row; the merit
+        # of v is the resulting max over nontrivial characters.
+        new_spec = spectrum[None, 1:] + signs[candidates, 1:]
+        merit = new_spec.max(axis=1)
+        order = np.lexsort((-candidates, weights[candidates], -merit))
+        pick = int(candidates[order[-1]])
+        gens.append(pick)
+        chosen.add(pick)
+        spectrum = spectrum + signs[pick]
+    return gens
+
+
+def longhop(dim: int, degree: int | None = None, servers_per_node: int = 1) -> Topology:
+    """Long Hop network on ``2**dim`` switches.
+
+    Parameters
+    ----------
+    dim:
+        Cayley group dimension; the network has ``2**dim`` switches.
+    degree:
+        Number of generators (switch degree).  Defaults to
+        ``dim + ceil(dim / 2)``, matching the moderate over-provisioning of
+        Tomic's published designs.
+    servers_per_node:
+        Terminals per switch.
+    """
+    require_positive_int(dim, "dim")
+    if degree is None:
+        degree = dim + (dim + 1) // 2
+    gens = longhop_generators(dim, degree)
+    n = 1 << dim
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    all_nodes = np.arange(n, dtype=np.int64)
+    for gen in gens:
+        partners = all_nodes ^ gen
+        mask = all_nodes < partners
+        g.add_edges_from(zip(all_nodes[mask].tolist(), partners[mask].tolist()))
+    servers = np.full(n, servers_per_node, dtype=np.int64)
+    topo = Topology(
+        name=f"longhop(dim={dim},deg={degree})",
+        graph=g,
+        servers=servers,
+        family="longhop",
+        params={
+            "dim": dim,
+            "degree": degree,
+            "generators": gens,
+            "servers_per_node": servers_per_node,
+        },
+    )
+    topo.validate()
+    return topo

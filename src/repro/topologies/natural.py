@@ -1,0 +1,111 @@
+"""Synthetic stand-ins for the paper's 66 "natural networks".
+
+The paper evaluates cut metrics on 66 non-computer networks (food webs,
+social networks, ...), which are not redistributable here.  Per the
+substitution policy in DESIGN.md we generate 66 seeded synthetic graphs whose
+structural regime matches how the paper characterizes its natural networks:
+"often denser in the core and sparser in the edges", small (tens of nodes),
+irregular.  Six generator families x 11 sizes = 66 graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _connectify(g: nx.Graph, rng: np.random.Generator) -> nx.Graph:
+    """Join components by random inter-component edges until connected."""
+    g = nx.convert_node_labels_to_integers(g)
+    comps = [list(c) for c in nx.connected_components(g)]
+    while len(comps) > 1:
+        a = comps.pop()
+        b = comps[-1]
+        u = a[int(rng.integers(len(a)))]
+        v = b[int(rng.integers(len(b)))]
+        g.add_edge(u, v)
+        comps[-1] = b + a
+    return g
+
+
+def _strip_self_loops(g: nx.Graph) -> nx.Graph:
+    g.remove_edges_from(nx.selfloop_edges(g))
+    return g
+
+
+def natural_network(kind: str, size: int, seed: SeedLike = None) -> Topology:
+    """One synthetic natural network.
+
+    ``kind`` is one of ``smallworld``, ``scalefree``, ``plcluster``,
+    ``community``, ``geometric``, ``tree_chords``.  All instances are
+    connected simple graphs with one server per node.
+    """
+    rng = ensure_rng(seed)
+    nxseed = int(rng.integers(0, 2**31 - 1))
+    if kind == "smallworld":
+        g = nx.connected_watts_strogatz_graph(size, k=4, p=0.3, seed=nxseed)
+    elif kind == "scalefree":
+        g = nx.barabasi_albert_graph(size, m=2, seed=nxseed)
+    elif kind == "plcluster":
+        g = nx.powerlaw_cluster_graph(size, m=2, p=0.4, seed=nxseed)
+    elif kind == "community":
+        n_comm = max(2, size // 12)
+        g = nx.planted_partition_graph(
+            n_comm, max(3, size // n_comm), p_in=0.6, p_out=0.08, seed=nxseed
+        )
+        g = nx.Graph(g)  # drop multi-ness
+    elif kind == "geometric":
+        g = nx.random_geometric_graph(size, radius=0.35, seed=nxseed)
+    elif kind == "tree_chords":
+        g = nx.random_labeled_tree(size, seed=nxseed)
+        nodes = np.arange(size)
+        extra = max(2, size // 5)
+        for _ in range(extra):
+            u, v = rng.choice(nodes, size=2, replace=False)
+            g.add_edge(int(u), int(v))
+    else:
+        raise ValueError(f"unknown natural network kind {kind!r}")
+    g = _strip_self_loops(nx.Graph(g))
+    g = _connectify(g, rng)
+    n = g.number_of_nodes()
+    topo = Topology(
+        name=f"natural/{kind}(n={n})",
+        graph=g,
+        servers=np.ones(n, dtype=np.int64),
+        family="natural",
+        params={"kind": kind, "size": size},
+    )
+    topo.validate()
+    return topo
+
+
+NATURAL_KINDS = (
+    "smallworld",
+    "scalefree",
+    "plcluster",
+    "community",
+    "geometric",
+    "tree_chords",
+)
+
+
+def natural_network_suite(seed: SeedLike = 0, count: int = 66) -> List[Topology]:
+    """The seeded suite of synthetic natural networks (default 66).
+
+    Sizes cycle over 16..56 nodes; kinds cycle over the six generators.
+    """
+    rng = ensure_rng(seed)
+    sizes = [16 + 4 * i for i in range(11)]
+    out: List[Topology] = []
+    i = 0
+    while len(out) < count:
+        kind = NATURAL_KINDS[i % len(NATURAL_KINDS)]
+        size = sizes[(i // len(NATURAL_KINDS)) % len(sizes)]
+        out.append(natural_network(kind, size, seed=rng))
+        i += 1
+    return out

@@ -1,0 +1,83 @@
+"""Structural properties of topologies: diameter, path length, expansion.
+
+These are the graph-level quantities the paper discusses alongside
+throughput (Slim Fly's short paths, expanders' spectral gap, HyperX's
+bisection) — useful for diagnosing *why* a topology's throughput behaves as
+it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuts.spectral import normalized_laplacian
+from repro.topologies.base import Topology
+from repro.utils.graphutils import all_pairs_distances
+
+
+@dataclass
+class TopologyProperties:
+    """Summary statistics of a topology's switch graph."""
+
+    name: str
+    n_switches: int
+    n_servers: int
+    n_links: int
+    min_degree: int
+    max_degree: int
+    diameter: int
+    mean_path_length: float
+    spectral_gap: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.n_switches,
+            self.n_servers,
+            self.n_links,
+            f"{self.min_degree}-{self.max_degree}",
+            self.diameter,
+            round(self.mean_path_length, 3),
+            round(self.spectral_gap, 4),
+        )
+
+
+def spectral_gap(topology: Topology) -> float:
+    """Second-smallest eigenvalue of the normalized Laplacian.
+
+    Large gap => strong expansion => (by Cheeger) no sparse cuts; the
+    quantity behind the paper's "expanders win at scale" finding.
+    """
+    lap = normalized_laplacian(topology)
+    vals = np.linalg.eigvalsh(lap)
+    return float(vals[1])
+
+
+def analyze(topology: Topology) -> TopologyProperties:
+    """Compute the full property summary (O(n^2) + one eigendecomposition)."""
+    dist = all_pairs_distances(topology.graph)
+    n = topology.n_switches
+    off_diag = dist[~np.eye(n, dtype=bool)]
+    if np.any(np.isinf(off_diag)):
+        raise ValueError(f"{topology.name}: disconnected")
+    deg = topology.degree_sequence()
+    return TopologyProperties(
+        name=topology.name,
+        n_switches=n,
+        n_servers=topology.n_servers,
+        n_links=topology.n_links,
+        min_degree=int(deg.min()),
+        max_degree=int(deg.max()),
+        diameter=int(off_diag.max()),
+        mean_path_length=float(off_diag.mean()),
+        spectral_gap=spectral_gap(topology),
+    )
+
+
+def cheeger_bounds(topology: Topology) -> tuple[float, float]:
+    """Cheeger's inequality bounds on graph conductance from the gap:
+    lambda_2 / 2 <= h(G) <= sqrt(2 * lambda_2)."""
+    gap = spectral_gap(topology)
+    return gap / 2.0, float(np.sqrt(2.0 * gap))

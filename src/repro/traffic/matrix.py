@@ -1,0 +1,194 @@
+"""Switch-level traffic matrices.
+
+A :class:`TrafficMatrix` stores demand between *switching nodes* of a
+topology.  Server-level demands aggregate losslessly to switch level because
+server links are infinite-capacity (paper §II-A: "our traffic matrices
+effectively encode switch-to-switch traffic"); intra-switch demands are
+dropped for the same reason.
+
+Hose normalization is per server: every server sends at most 1 and receives
+at most 1 unit, so node u's row sum may not exceed ``servers[u]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Relative tolerance used for hose checks (LP solves are ~1e-9 accurate).
+HOSE_RTOL = 1e-9
+
+
+@dataclass
+class TrafficMatrix:
+    """Demand between switch nodes.
+
+    Attributes
+    ----------
+    demand:
+        Dense (n, n) float array; ``demand[u, v]`` is the requested rate from
+        servers at node u to servers at node v.  The diagonal must be zero.
+    kind:
+        Generator name for provenance (e.g. ``"all_to_all"``).
+    meta:
+        Generator parameters.
+    """
+
+    demand: np.ndarray
+    kind: str = "custom"
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.demand = np.asarray(self.demand, dtype=np.float64)
+        if self.demand.ndim != 2 or self.demand.shape[0] != self.demand.shape[1]:
+            raise ValueError(f"demand must be square, got {self.demand.shape}")
+        if np.any(self.demand < 0):
+            raise ValueError("demands must be non-negative")
+        if np.any(np.diag(self.demand) != 0):
+            raise ValueError("diagonal (intra-node) demands must be zero")
+
+    # ------------------------------------------------------------------ views
+    @property
+    def n_nodes(self) -> int:
+        return self.demand.shape[0]
+
+    def pairs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Nonzero demands as ``(sources, destinations, weights)`` arrays."""
+        src, dst = np.nonzero(self.demand)
+        return src, dst, self.demand[src, dst]
+
+    @property
+    def n_flows(self) -> int:
+        """Number of nonzero demand pairs."""
+        return int(np.count_nonzero(self.demand))
+
+    def row_sums(self) -> np.ndarray:
+        return self.demand.sum(axis=1)
+
+    def col_sums(self) -> np.ndarray:
+        return self.demand.sum(axis=0)
+
+    def total_demand(self) -> float:
+        return float(self.demand.sum())
+
+    # ----------------------------------------------------------- hose algebra
+    def hose_utilization(self, servers: np.ndarray) -> float:
+        """Max over nodes of (egress or ingress demand) / servers.
+
+        1.0 means hose-tight; > 1 violates the hose model.  Nodes with zero
+        servers must have zero demand (else ``inf``).
+        """
+        servers = np.asarray(servers, dtype=np.float64)
+        if servers.shape != (self.n_nodes,):
+            raise ValueError("servers array shape mismatch")
+        rows = self.row_sums()
+        cols = self.col_sums()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = np.where(rows > 0, rows / servers, 0.0)
+            c = np.where(cols > 0, cols / servers, 0.0)
+        worst = max(float(np.max(r, initial=0.0)), float(np.max(c, initial=0.0)))
+        return worst
+
+    def is_hose(self, servers: np.ndarray) -> bool:
+        """True when per-server egress and ingress are both <= 1."""
+        return self.hose_utilization(servers) <= 1.0 + HOSE_RTOL
+
+    def normalized_hose(self, servers: np.ndarray) -> "TrafficMatrix":
+        """Rescaled copy whose worst per-server rate is exactly 1.
+
+        The paper's throughput definition rescales the TM anyway, so this
+        only fixes the unit in which throughput is reported.
+        """
+        util = self.hose_utilization(servers)
+        if util == 0.0:
+            raise ValueError("cannot hose-normalize an all-zero traffic matrix")
+        if not np.isfinite(util):
+            raise ValueError("demand from a node with zero servers")
+        return TrafficMatrix(
+            demand=self.demand / util,
+            kind=self.kind,
+            meta={**self.meta, "hose_normalized": True},
+        )
+
+    # ------------------------------------------------------------ transforms
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """Copy with every demand multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return TrafficMatrix(
+            demand=self.demand * factor, kind=self.kind, meta=dict(self.meta)
+        )
+
+    def shuffled(self, seed: SeedLike = None) -> "TrafficMatrix":
+        """Copy with node identities permuted uniformly at random.
+
+        This is the paper's rack-placement randomization (Figs. 13-14): the
+        demand *structure* is unchanged, but which physical node plays which
+        role is random.
+        """
+        rng = ensure_rng(seed)
+        perm = rng.permutation(self.n_nodes)
+        new = np.zeros_like(self.demand)
+        new[np.ix_(perm, perm)] = self.demand
+        return TrafficMatrix(
+            demand=new, kind=self.kind, meta={**self.meta, "shuffled": True}
+        )
+
+    def permuted(self, perm: np.ndarray) -> "TrafficMatrix":
+        """Copy with an explicit node permutation applied (role r -> node perm[r])."""
+        perm = np.asarray(perm)
+        if sorted(perm.tolist()) != list(range(self.n_nodes)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        new = np.zeros_like(self.demand)
+        new[np.ix_(perm, perm)] = self.demand
+        return TrafficMatrix(demand=new, kind=self.kind, meta=dict(self.meta))
+
+    def embedded(self, n_nodes: int, positions: np.ndarray) -> "TrafficMatrix":
+        """Embed this TM into a larger node space.
+
+        Row/column r of this matrix is placed at node ``positions[r]``; all
+        other nodes get zero demand.  Used to attach a rack-level TM to a
+        topology's server-bearing nodes.
+        """
+        positions = np.asarray(positions)
+        if positions.shape != (self.n_nodes,):
+            raise ValueError("positions must have one entry per TM node")
+        if len(set(positions.tolist())) != self.n_nodes:
+            raise ValueError("positions must be distinct")
+        if np.any(positions < 0) or np.any(positions >= n_nodes):
+            raise ValueError("positions out of range")
+        new = np.zeros((n_nodes, n_nodes), dtype=np.float64)
+        new[np.ix_(positions, positions)] = self.demand
+        return TrafficMatrix(
+            demand=new,
+            kind=self.kind,
+            meta={**self.meta, "embedded_into": n_nodes},
+        )
+
+    def restricted(self, nodes: np.ndarray) -> "TrafficMatrix":
+        """Sub-TM on the given node subset (downsampling; paper §IV-B)."""
+        nodes = np.asarray(nodes)
+        sub = self.demand[np.ix_(nodes, nodes)].copy()
+        return TrafficMatrix(
+            demand=sub,
+            kind=self.kind,
+            meta={**self.meta, "downsampled_to": int(nodes.size)},
+        )
+
+    def demand_weighted_distance(self, dist: np.ndarray) -> float:
+        """Average path length weighted by demand (used by Kodialam analysis)."""
+        total = self.total_demand()
+        if total == 0:
+            raise ValueError("empty traffic matrix")
+        finite = np.where(np.isfinite(dist), dist, 0.0)
+        return float((self.demand * finite).sum() / total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrafficMatrix(kind={self.kind!r}, nodes={self.n_nodes}, "
+            f"flows={self.n_flows}, total={self.total_demand():.3f})"
+        )

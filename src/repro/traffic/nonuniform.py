@@ -1,0 +1,70 @@
+"""Non-uniform (elephant-flow) traffic matrices (paper §IV-A2, Figs. 10-12).
+
+Starting from the longest-matching TM, a random x% of flows get weight 10
+while the rest keep weight 1; the result is normalized so the *mean* flow
+weight is 1.  This is the normalization under which the paper's stated
+identity holds — "the relative throughput at 0% ... will be equal to that at
+100% since all flows are scaled by the same factor" — both endpoints recover
+the longest-matching TM exactly.  Elephants therefore exceed the per-server
+hose budget by design (a weight-~9 flow from a 1-server node); the fat-tree
+ToR anomaly of Fig. 12 is precisely the response to that overload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.worstcase import longest_matching
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require_in_range
+
+
+def elephant_matching(
+    topology: Topology,
+    percent_large: float,
+    large_weight: float = 10.0,
+    seed: SeedLike = None,
+) -> TrafficMatrix:
+    """Longest-matching TM with ``percent_large``% elephant flows.
+
+    Parameters
+    ----------
+    topology:
+        Network to generate for.
+    percent_large:
+        Percentage (0-100) of matching flows upgraded to ``large_weight``.
+        The count is rounded to the nearest flow, with at least one elephant
+        whenever ``percent_large > 0``.
+    large_weight:
+        Demand of an elephant relative to a mouse (paper uses 10).
+    seed:
+        Selects *which* flows become elephants.
+    """
+    require_in_range(percent_large, "percent_large", 0.0, 100.0)
+    if large_weight <= 0:
+        raise ValueError(f"large_weight must be positive, got {large_weight}")
+    rng = ensure_rng(seed)
+    base = longest_matching(topology)
+    src, dst, w = base.pairs()
+    demand = np.zeros_like(base.demand)
+    demand[src, dst] = w  # mice weight = aggregated matching weight
+    if percent_large > 0:
+        n_flows = src.size
+        n_large = max(1, int(round(n_flows * percent_large / 100.0)))
+        n_large = min(n_large, n_flows)
+        pick = rng.choice(n_flows, size=n_large, replace=False)
+        demand[src[pick], dst[pick]] = w[pick] * large_weight
+    # Mean-weight normalization: total demand equals the base matching's, so
+    # x = 0 and x = 100 reproduce longest matching exactly.
+    demand *= base.total_demand() / demand.sum()
+    return TrafficMatrix(
+        demand=demand,
+        kind="elephant_matching",
+        meta={
+            "percent_large": float(percent_large),
+            "large_weight": float(large_weight),
+            "normalization": "mean_weight_1",
+        },
+    )

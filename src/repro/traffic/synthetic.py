@@ -1,0 +1,101 @@
+"""Uniform-weight synthetic traffic matrices (paper §III-A2, §IV-A1).
+
+All generators emit hose-tight switch-level matrices (per-server egress and
+ingress at most 1, and exactly 1 where the TM allows) so absolute
+throughputs are directly comparable across TMs on the same topology — the
+convention under which the paper's relationships (A2A = 2 x lower bound,
+longest matching -> lower bound) hold exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.rng import (
+    SeedLike,
+    ensure_rng,
+    permutation_avoiding_fixed_points,
+)
+from repro.utils.validation import require_positive_int
+
+
+def all_to_all(topology: Topology) -> TrafficMatrix:
+    """The complete TM: every server pair exchanges ``1/N`` units.
+
+    At switch level: ``D[u, v] = a_u * a_v / N`` for u != v, where a is the
+    per-node server count and N the total.  Per-server egress is
+    ``(N - a_u) / N < 1`` — the paper's T_A2A, whose throughput is exactly
+    twice the Theorem-2 lower bound.
+    """
+    a = topology.servers.astype(np.float64)
+    n_servers = a.sum()
+    if n_servers < 2:
+        raise ValueError("all_to_all needs at least 2 servers")
+    demand = np.outer(a, a) / n_servers
+    np.fill_diagonal(demand, 0.0)
+    return TrafficMatrix(
+        demand=demand,
+        kind="all_to_all",
+        meta={"n_servers": int(n_servers)},
+    )
+
+
+def random_matching(
+    topology: Topology,
+    n_matchings: int = 1,
+    seed: SeedLike = None,
+    servers_per_switch: Optional[int] = None,
+) -> TrafficMatrix:
+    """Random-matching TM: the RM(k) family of the paper (Figs. 2 and 4).
+
+    RM(k) models k servers per switch, each with one uniformly random
+    outgoing and incoming flow: the TM is the average of ``k = n_matchings``
+    independent server-level random derangements, each weighted 1/k.  Every
+    server's egress and ingress is exactly 1, so RM(k) is hose-tight for all
+    k, and larger k mixes toward all-to-all — reproducing the paper's
+    hardness ordering T_A2A >= T_RM(10) >= T_RM(2) >= T_RM(1).
+
+    For prescribed-server families (fat tree, BCube, DCell, Dragonfly) the
+    matchings run over the prescribed server list; for uniform families over
+    one virtual server per switch.  Matchings never pair a server with
+    itself; same-switch pairings are allowed and aggregate to nothing,
+    exactly like physical same-switch traffic.
+
+    ``servers_per_switch`` is an accepted alias for ``n_matchings`` matching
+    the paper's "random matching with k servers per switch" phrasing.
+    """
+    if servers_per_switch is not None:
+        n_matchings = servers_per_switch
+    require_positive_int(n_matchings, "n_matchings")
+    rng = ensure_rng(seed)
+    n = topology.n_switches
+    host_nodes = np.repeat(np.arange(n), topology.servers)
+    m = host_nodes.size
+    if m < 2:
+        raise ValueError("need at least 2 servers for a matching")
+    demand = np.zeros((n, n), dtype=np.float64)
+    for _ in range(n_matchings):
+        perm = permutation_avoiding_fixed_points(m, rng)
+        np.add.at(demand, (host_nodes, host_nodes[perm]), 1.0 / n_matchings)
+    np.fill_diagonal(demand, 0.0)
+    return TrafficMatrix(
+        demand=demand,
+        kind="random_matching",
+        meta={"n_matchings": n_matchings, "n_servers": int(m)},
+    )
+
+
+def random_permutation_tm(n: int, seed: SeedLike = None) -> TrafficMatrix:
+    """A bare random derangement TM on ``n`` abstract nodes (testing helper)."""
+    require_positive_int(n, "n")
+    if n < 2:
+        raise ValueError("need n >= 2")
+    rng = ensure_rng(seed)
+    perm = permutation_avoiding_fixed_points(n, rng)
+    demand = np.zeros((n, n), dtype=np.float64)
+    demand[np.arange(n), perm] = 1.0
+    return TrafficMatrix(demand=demand, kind="random_permutation", meta={})

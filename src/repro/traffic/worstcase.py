@@ -1,0 +1,144 @@
+"""Near-worst-case traffic matrices (paper §II-C).
+
+* :func:`longest_matching` — the paper's contribution: the server pairing
+  maximizing total shortest-path distance, i.e. a maximum-weight perfect
+  matching on the complete bipartite distance graph, computed exactly with
+  the assignment algorithm.
+* :func:`kodialam_tm` — the prior heuristic of Kodialam et al.: the
+  hose-feasible TM maximizing demand-weighted shortest-path distance, found
+  by a transportation LP.  It may attach many fractional flows per node,
+  which is exactly why the paper prefers longest matching (fewer flows,
+  smaller multicommodity LP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.graphutils import all_pairs_distances
+from repro.utils.matching import max_weight_assignment
+from repro.utils.rng import SeedLike
+
+
+def _host_distance_matrix(topology: Topology) -> tuple[np.ndarray, np.ndarray]:
+    """Per-host distance matrix and the host -> switch map.
+
+    Hosts are servers; the distance between two hosts is the switch-graph
+    distance between their switches (server NIC hops are a constant offset
+    that cannot change any matching).
+    """
+    dist = all_pairs_distances(topology.graph)
+    host_nodes = np.repeat(np.arange(topology.n_switches), topology.servers)
+    return dist[np.ix_(host_nodes, host_nodes)], host_nodes
+
+
+def longest_matching(
+    topology: Topology, seed: SeedLike = None, spread_ties: bool = False
+) -> TrafficMatrix:
+    """The longest-matching near-worst-case TM.
+
+    Each server sends one unit to, and receives one unit from, the partner
+    assigned by a maximum-weight perfect matching under shortest-path
+    distance (self pairs forbidden).
+
+    Distance ties are common on symmetric graphs, and with several servers
+    per switch the assignment solver's default tie-breaking concentrates a
+    switch's servers onto a single partner switch — the hardest optimal
+    matching.  ``spread_ties=True`` perturbs distances by a seeded amount
+    strictly below the integer tie gap, which selects a *different* optimal
+    matching that spreads partners across equally-far switches (closer to
+    the LP-based tie-breaking of the original topobench).  Either way the
+    total matched distance is exactly maximal.
+
+    ``seed`` only matters when ``spread_ties`` is set; the default TM is
+    deterministic given the topology.
+    """
+    from repro.utils.rng import ensure_rng
+
+    host_dist, host_nodes = _host_distance_matrix(topology)
+    m = host_dist.shape[0]
+    if m < 2:
+        raise ValueError("need at least 2 servers")
+    if np.any(np.isinf(host_dist)):
+        raise ValueError("topology is disconnected")
+    if spread_ties:
+        rng = ensure_rng(seed)
+        # Hop distances are integers: total perturbation < 1/2 cannot change
+        # which matchings are optimal, only which optimum is returned.
+        host_dist = host_dist + rng.random((m, m)) / (4.0 * m)
+    assignment, total = max_weight_assignment(host_dist, forbid_diagonal=True)
+    n = topology.n_switches
+    demand = np.zeros((n, n), dtype=np.float64)
+    np.add.at(demand, (host_nodes, host_nodes[assignment]), 1.0)
+    np.fill_diagonal(demand, 0.0)
+    return TrafficMatrix(
+        demand=demand,
+        kind="longest_matching",
+        meta={
+            "n_servers": int(m),
+            "matching_total_distance": float(round(total)),
+            "matching_mean_distance": float(round(total) / m),
+            "spread_ties": spread_ties,
+        },
+    )
+
+
+def kodialam_tm(topology: Topology) -> TrafficMatrix:
+    """The Kodialam et al. near-worst-case TM via a transportation LP.
+
+    maximize    sum_{u != v} dist(u, v) * T(u, v)
+    subject to  per-server egress(u) <= 1,  ingress(v) <= 1,  T >= 0
+
+    Solved over switch-level variables with row/column budgets equal to the
+    node server counts.  Vertex solutions coincide with longest matching on
+    many symmetric graphs (the paper observes they are identical on
+    hypercubes and fat trees); interior ties may yield fractional, many-flow
+    solutions — the behavior the paper's memory comparison highlights.
+    """
+    dist = all_pairs_distances(topology.graph)
+    if np.any(np.isinf(dist)):
+        raise ValueError("topology is disconnected")
+    n = topology.n_switches
+    a = topology.servers.astype(np.float64)
+    active = np.flatnonzero(a > 0)
+    k = active.size
+    if k < 2:
+        raise ValueError("need at least 2 server-bearing nodes")
+    # Variables: T[i, j] over active x active, i != j, flattened row-major.
+    sub_dist = dist[np.ix_(active, active)]
+    c = -(sub_dist.flatten())  # maximize => negate
+    # Row constraints: sum_j T[i, j] <= a[active[i]]; column likewise.
+    n_var = k * k
+    row_idx = np.repeat(np.arange(k), k)
+    col_idx = np.tile(np.arange(k), k)
+    data = np.ones(n_var)
+    A_rows = sp.coo_matrix((data, (row_idx, np.arange(n_var))), shape=(k, n_var))
+    A_cols = sp.coo_matrix((data, (col_idx, np.arange(n_var))), shape=(k, n_var))
+    A_ub = sp.vstack([A_rows, A_cols]).tocsc()
+    b_ub = np.concatenate([a[active], a[active]])
+    # Forbid the diagonal by zero upper bounds.
+    ub = np.full(n_var, np.inf)
+    ub[np.arange(k) * k + np.arange(k)] = 0.0
+    res = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        bounds=list(zip(np.zeros(n_var), ub)),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - solver failure is exceptional
+        raise RuntimeError(f"Kodialam LP failed: {res.message}")
+    T_sub = np.maximum(res.x.reshape(k, k), 0.0)
+    # Numerical dust breaks the zero-diagonal invariant; clear it.
+    np.fill_diagonal(T_sub, 0.0)
+    demand = np.zeros((n, n), dtype=np.float64)
+    demand[np.ix_(active, active)] = T_sub
+    return TrafficMatrix(
+        demand=demand,
+        kind="kodialam",
+        meta={"objective_total_distance": float(-res.fun)},
+    )

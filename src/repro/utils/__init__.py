@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG discipline, graph helpers, matching, tables.
+
+These are the lowest layer of the library; nothing here imports from other
+``repro`` subpackages.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.graphutils import (
+    arcs_of,
+    all_pairs_distances,
+    is_connected,
+    mean_shortest_path_length,
+    to_csr_adjacency,
+)
+from repro.utils.matching import max_weight_assignment
+from repro.utils.tables import render_table, render_series
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "arcs_of",
+    "all_pairs_distances",
+    "is_connected",
+    "mean_shortest_path_length",
+    "to_csr_adjacency",
+    "max_weight_assignment",
+    "render_table",
+    "render_series",
+]

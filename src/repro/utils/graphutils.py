@@ -1,0 +1,160 @@
+"""Graph helpers shared across the library.
+
+All heavy computations (all-pairs shortest paths, connectivity) go through
+``scipy.sparse.csgraph`` on CSR adjacency matrices rather than per-node Python
+loops, per the vectorization guidance for this codebase.
+
+Conventions
+-----------
+* Switch graphs are undirected :class:`networkx.Graph` (or ``MultiGraph`` for
+  families with parallel cables) with integer node labels ``0..n-1``.
+* "Arcs" are the directed unit-capacity view: every undirected edge (with
+  multiplicity m) yields arcs (u, v) and (v, u) of capacity m.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+
+def relabel_to_integers(graph: nx.Graph) -> nx.Graph:
+    """Return a copy of ``graph`` with nodes relabeled to ``0..n-1``.
+
+    The mapping is sorted-stable (sorted by the string form of the original
+    labels) so constructions with tuple-labeled nodes are deterministic.
+    """
+    nodes = sorted(graph.nodes(), key=lambda x: (str(type(x)), str(x)))
+    mapping = {node: i for i, node in enumerate(nodes)}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def to_csr_adjacency(graph: nx.Graph, weight: str | None = None) -> sp.csr_matrix:
+    """CSR adjacency of ``graph`` with nodes assumed labeled ``0..n-1``.
+
+    With ``weight=None`` every parallel edge contributes 1 to the entry, so a
+    MultiGraph edge of multiplicity m appears as capacity m.
+    """
+    n = graph.number_of_nodes()
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    if graph.is_multigraph():
+        edge_iter = graph.edges(keys=False, data=True)
+    else:
+        edge_iter = graph.edges(data=True)
+    for u, v, attrs in edge_iter:
+        w = 1.0 if weight is None else float(attrs.get(weight, 1.0))
+        rows.extend((u, v))
+        cols.extend((v, u))
+        data.extend((w, w))
+    mat = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+    # duplicate (u, v) entries from parallel edges sum on conversion
+    return mat.tocsr()
+
+
+def arcs_of(graph: nx.Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Directed arc list of an undirected (multi)graph.
+
+    Returns ``(tails, heads, capacities)`` where each undirected edge of
+    multiplicity m contributes two arcs of capacity m.  Arcs are deduplicated:
+    parallel edges are merged into a single arc with summed capacity, which is
+    equivalent for all flow computations and keeps the LP small.
+    """
+    adj = to_csr_adjacency(graph)
+    coo = adj.tocoo()
+    return (
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        coo.data.astype(np.float64),
+    )
+
+
+def is_connected(graph: nx.Graph) -> bool:
+    """Connectivity via a sparse BFS (fast for large graphs)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return True
+    adj = to_csr_adjacency(graph)
+    n_comp = csgraph.connected_components(adj, directed=False, return_labels=False)
+    return int(n_comp) == 1
+
+
+def all_pairs_distances(graph: nx.Graph) -> np.ndarray:
+    """Unweighted all-pairs shortest-path length matrix (hops), float array.
+
+    Unreachable pairs are ``inf``.  Uses scipy's BFS-based solver which is
+    orders of magnitude faster than per-node Python BFS.
+    """
+    adj = to_csr_adjacency(graph)
+    return csgraph.shortest_path(adj, method="D", unweighted=True, directed=False)
+
+
+def mean_shortest_path_length(graph: nx.Graph) -> float:
+    """Mean hop distance over ordered distinct pairs of a connected graph."""
+    dist = all_pairs_distances(graph)
+    n = dist.shape[0]
+    if n < 2:
+        return 0.0
+    mask = ~np.eye(n, dtype=bool)
+    vals = dist[mask]
+    if np.any(np.isinf(vals)):
+        raise ValueError("graph is disconnected; mean path length undefined")
+    return float(vals.mean())
+
+
+def distances_from_sources(graph: nx.Graph, sources: List[int]) -> np.ndarray:
+    """BFS distances from each node in ``sources`` (rows) to all nodes."""
+    adj = to_csr_adjacency(graph)
+    return csgraph.shortest_path(
+        adj, method="D", unweighted=True, directed=False, indices=sources
+    )
+
+
+def degree_sequence(graph: nx.Graph) -> np.ndarray:
+    """Degrees counting edge multiplicities, indexed by node id."""
+    n = graph.number_of_nodes()
+    deg = np.zeros(n, dtype=np.int64)
+    for node, d in graph.degree():
+        deg[node] = d
+    return deg
+
+
+def edge_cut_capacity(graph: nx.Graph, side: np.ndarray) -> float:
+    """Capacity of undirected edges crossing the cut defined by boolean ``side``.
+
+    ``side[v]`` is True when v belongs to S.  Counts multiplicity; an
+    undirected edge counts once (its directed-arc capacity is this value in
+    each direction).
+    """
+    adj = to_csr_adjacency(graph)
+    s = side.astype(np.float64)
+    # x^T A (1-x) sums the weight of edges from S to complement, once per
+    # undirected edge because A is symmetric and we only take one orientation.
+    return float(s @ adj @ (1.0 - s))
+
+
+def random_connected_regular_graph(
+    degree: int, n: int, rng: np.random.Generator, max_tries: int = 200
+) -> nx.Graph:
+    """A connected random ``degree``-regular simple graph on ``n`` nodes.
+
+    Rejection-samples ``networkx.random_regular_graph``; for the sizes and
+    degrees used here disconnection is rare, so a couple of tries suffice.
+    """
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n {n}")
+    if (degree * n) % 2 != 0:
+        raise ValueError("degree * n must be even")
+    for _ in range(max_tries):
+        seed = int(rng.integers(0, 2**31 - 1))
+        g = nx.random_regular_graph(degree, n, seed=seed)
+        if nx.is_connected(g):
+            return nx.convert_node_labels_to_integers(g)
+    raise RuntimeError(
+        f"could not sample a connected {degree}-regular graph on {n} nodes"
+    )

@@ -1,0 +1,70 @@
+"""Maximum-weight assignment used by the longest-matching traffic matrix.
+
+The longest-matching TM (paper §II-C) is a maximum-weight perfect matching in
+the complete bipartite graph whose edge (v, w) has weight dist(v, w): i.e. the
+assignment problem, solved exactly by the Jonker–Volgenant implementation in
+:func:`scipy.optimize.linear_sum_assignment`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+# Weight used to forbid an assignment cell (e.g. self pairs).  Large and
+# negative but finite, so the solver can still fall back to a forbidden cell
+# if no other perfect matching exists (callers check for that explicitly).
+_FORBIDDEN = -1.0e12
+
+
+def max_weight_assignment(
+    weights: np.ndarray, forbid_diagonal: bool = True
+) -> Tuple[np.ndarray, float]:
+    """Maximum-weight perfect matching on a square weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        (n, n) array; ``weights[i, j]`` is the benefit of assigning source i
+        to destination j.  Must be finite.
+    forbid_diagonal:
+        Exclude i → i pairs (a traffic flow from a server to itself is
+        meaningless).  Requires n ≠ 1.
+
+    Returns
+    -------
+    (assignment, total_weight):
+        ``assignment[i]`` is the destination matched to source i, and
+        ``total_weight`` the matching's weight under the *original* matrix.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square, contains non-finite entries, or no
+        diagonal-free perfect matching exists (only possible for n == 1).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise ValueError(f"weights must be square, got shape {w.shape}")
+    if not np.all(np.isfinite(w)):
+        raise ValueError("weights must be finite")
+    n = w.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0.0
+    work = w.copy()
+    if forbid_diagonal:
+        if n == 1:
+            raise ValueError("no diagonal-free assignment exists for n=1")
+        np.fill_diagonal(work, _FORBIDDEN)
+    rows, cols = linear_sum_assignment(work, maximize=True)
+    if forbid_diagonal and np.any(rows == cols):
+        # Can only happen if the forbidden weight was selected, i.e. no
+        # derangement assignment exists — impossible for n >= 2 on a complete
+        # bipartite graph, so treat as an internal error.
+        raise RuntimeError("assignment selected a forbidden diagonal cell")
+    assignment = np.empty(n, dtype=np.int64)
+    assignment[rows] = cols
+    total = float(w[rows, cols].sum())
+    return assignment, total

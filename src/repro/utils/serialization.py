@@ -1,0 +1,67 @@
+"""Serialization of experiment results to JSON and CSV.
+
+Experiment outputs are plain records; persisting them lets paper-scale runs
+(`REPRO_SCALE=large`) be archived and diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+import numpy as np
+
+
+def _coerce(value: Any) -> Any:
+    """Make numpy scalars/arrays JSON-serializable."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _coerce(v) for k, v in value.items()}
+    return value
+
+
+def experiment_to_json(result, indent: int = 2) -> str:
+    """Serialize an :class:`ExperimentResult` to a JSON document."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [_coerce(list(row)) for row in result.rows],
+        "checks": dict(result.checks),
+        "notes": result.notes,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def experiment_to_csv(result) -> str:
+    """Serialize an :class:`ExperimentResult`'s rows to CSV (header first)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([_coerce(cell) for cell in row])
+    return buf.getvalue()
+
+
+def experiment_from_json(text: str):
+    """Round-trip: rebuild an ExperimentResult from its JSON form."""
+    from repro.evaluation.runner import ExperimentResult
+
+    data = json.loads(text)
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        headers=data["headers"],
+        rows=[tuple(r) for r in data["rows"]],
+        checks=data.get("checks", {}),
+        notes=data.get("notes", ""),
+    )

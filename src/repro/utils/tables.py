@@ -1,0 +1,82 @@
+"""ASCII rendering for the benchmark harness output.
+
+Every experiment in :mod:`repro.evaluation.experiments` returns structured
+records; these helpers turn them into the same rows/series the paper's tables
+and figures report, printed to stdout by the benches and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+
+def _format_cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render a left-aligned ASCII table with a separator under the header."""
+    str_rows: List[List[str]] = [
+        [_format_cell(cell, floatfmt) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple]],
+    x_label: str,
+    y_label: str,
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render named (x, y) series — the textual analogue of a paper figure.
+
+    ``series`` maps a curve name (e.g. topology or TM name) to a sequence of
+    (x, y) points.  Output is one table per curve, which is both diffable and
+    easy to re-plot.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name in series:
+        points = series[name]
+        lines.append(f"-- {name}")
+        rows = [(x, y) for x, y in points]
+        lines.append(
+            render_table([x_label, y_label], rows, floatfmt=floatfmt)
+        )
+    return "\n".join(lines)
+
+
+def records_to_columns(
+    records: Iterable[Mapping[str, Any]], keys: Sequence[str]
+) -> Dict[str, List[Any]]:
+    """Extract parallel column lists from an iterable of record dicts."""
+    cols: Dict[str, List[Any]] = {k: [] for k in keys}
+    for rec in records:
+        for k in keys:
+            cols[k].append(rec.get(k))
+    return cols

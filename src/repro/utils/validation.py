@@ -1,0 +1,36 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate ``low <= value <= high`` and return ``value`` as float."""
+    v = float(value)
+    if not (low <= v <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return v
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return require_in_range(value, name, 0.0, 1.0)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    fat_tree,
+    hypercube,
+    jellyfish,
+    make_topology,
+)
+
+
+@pytest.fixture
+def tiny_cycle():
+    """C4 with one server per switch: A2A throughput exactly 2."""
+    return make_topology(nx.cycle_graph(4), 1, "C4", "cycle")
+
+
+@pytest.fixture
+def tiny_complete():
+    """K4 with one server per switch: A2A throughput exactly 4."""
+    return make_topology(nx.complete_graph(4), 1, "K4", "complete")
+
+
+@pytest.fixture
+def tiny_star():
+    """Star with 4 leaves (servers on leaves only): A2A throughput 4/3."""
+    servers = np.array([0, 1, 1, 1, 1])
+    return make_topology(nx.star_graph(4), servers, "star4", "star")
+
+
+@pytest.fixture
+def small_hypercube():
+    return hypercube(3)
+
+
+@pytest.fixture
+def medium_hypercube():
+    return hypercube(4)
+
+
+@pytest.fixture
+def small_fattree():
+    return fat_tree(4)
+
+
+@pytest.fixture
+def small_jellyfish():
+    return jellyfish(16, 4, seed=42)

@@ -1,0 +1,87 @@
+"""Tests for the CLI and the experiment registry."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.evaluation.experiments import EXPERIMENTS, run_experiment
+
+EXPECTED_IDS = {
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table1",
+    "table2",
+    "butterfly25",
+    "theorem2",
+    "ablation-lp",
+    "cut-accuracy",
+    "routing-gap",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_all_have_docstrings(self):
+        for fn in EXPERIMENTS.values():
+            assert fn.__doc__, f"{fn.__name__} lacks a docstring"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPECTED_IDS:
+            assert exp_id in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_parser_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4", "--scale", "medium", "--seed", "3"])
+        assert args.scale == "medium"
+        assert args.seed == 3
+
+    def test_run_fast_experiment(self, capsys):
+        # butterfly25 is the cheapest full artifact; run it end-to-end.
+        code = main(["butterfly25"])
+        out = capsys.readouterr().out
+        assert "flattened butterfly" in out
+        assert "shape checks" in out
+        assert code == 0
+
+
+class TestExperimentResult:
+    def test_render_contains_rows_and_checks(self):
+        from repro.evaluation.runner import ExperimentResult
+
+        res = ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=["a", "b"],
+            rows=[(1, 2.5)],
+            checks={"ok": True, "bad": False},
+            notes="note",
+        )
+        text = res.render()
+        assert "T" in text and "2.500" in text
+        assert "ok=PASS" in text and "bad=FAIL" in text
+        assert not res.all_checks_pass()

@@ -1,0 +1,196 @@
+"""Tests for sparsest cut, bisection bandwidth, and the estimator suite."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cuts import (
+    bisection_bandwidth,
+    bisection_bandwidth_bruteforce,
+    cut_sparsity,
+    eigenvector_sweep_cuts,
+    expanding_region_cuts,
+    find_sparse_cut,
+    limited_bruteforce_cut,
+    normalized_laplacian,
+    one_node_cuts,
+    sparsest_cut_bruteforce,
+    two_node_cuts,
+    uniform_sparsest_cut_bruteforce,
+)
+from repro.topologies import hypercube, jellyfish, make_topology
+from repro.traffic import all_to_all, longest_matching
+from repro.throughput import throughput
+
+
+@pytest.fixture
+def barbell():
+    """Two K4s joined by a single edge: the sparsest cut is obvious."""
+    g = nx.barbell_graph(4, 0)
+    return make_topology(g, 1, "barbell", "test")
+
+
+class TestCutSparsity:
+    def test_barbell_bottleneck(self, barbell):
+        tm = all_to_all(barbell)
+        side = np.zeros(8, dtype=bool)
+        side[:4] = True
+        res = cut_sparsity(barbell, tm, side)
+        assert res.capacity == 1.0
+        # demand across = 4*4/8 = 2 in each direction.
+        assert res.demand_across == pytest.approx(2.0)
+        assert res.sparsity == pytest.approx(0.5)
+
+    def test_zero_demand_cut_is_inf(self, barbell):
+        tm = all_to_all(barbell)
+        tm.demand[:, :] = 0.0
+        tm.demand[0, 1] = 1.0
+        tm.demand[1, 0] = 1.0
+        side = np.zeros(8, dtype=bool)
+        side[4:] = True  # no demand crosses
+        assert np.isinf(cut_sparsity(barbell, tm, side).sparsity)
+
+    def test_degenerate_side_rejected(self, barbell):
+        tm = all_to_all(barbell)
+        with pytest.raises(ValueError):
+            cut_sparsity(barbell, tm, np.zeros(8, dtype=bool))
+        with pytest.raises(ValueError):
+            cut_sparsity(barbell, tm, np.ones(8, dtype=bool))
+
+    def test_tm_size_mismatch(self, barbell, small_hypercube):
+        tm = all_to_all(small_hypercube)
+        with pytest.raises(ValueError):
+            cut_sparsity(barbell, tm, np.zeros(8, dtype=bool))
+
+
+class TestBruteforce:
+    def test_barbell_finds_bridge(self, barbell):
+        res = uniform_sparsest_cut_bruteforce(barbell)
+        assert res.sparsity == pytest.approx(0.5)
+        assert res.capacity == 1.0
+
+    def test_upper_bounds_throughput(self, barbell):
+        tm = longest_matching(barbell)
+        cut = sparsest_cut_bruteforce(barbell, tm)
+        t = throughput(barbell, tm).value
+        assert cut.sparsity >= t - 1e-9
+
+    def test_size_limit(self):
+        topo = jellyfish(24, 3, seed=0)
+        with pytest.raises(ValueError):
+            sparsest_cut_bruteforce(topo, None, max_nodes=20)
+
+    def test_hypercube_uniform_cut(self, small_hypercube):
+        # Hypercube bisection: n/2 edges; A2A demand across = (n/2)^2*2/n = n/2
+        # per direction -> sparsity (n/2)/(n/2)... d=3: cap 4, demand 2 -> 2.
+        res = uniform_sparsest_cut_bruteforce(small_hypercube)
+        assert res.sparsity == pytest.approx(2.0)
+
+
+class TestEstimators:
+    def test_one_node_isolates_bottleneck(self):
+        # Star: isolating a leaf gives capacity 1 / demand (n-1)/n * ...
+        g = nx.star_graph(4)
+        topo = make_topology(g, np.array([0, 1, 1, 1, 1]), "star", "star")
+        tm = all_to_all(topo)
+        res = one_node_cuts(topo, tm)
+        assert res is not None
+        assert res.sparsity == pytest.approx(1 / (3 / 4))  # cap 1 / demand 3/4
+
+    def test_two_node(self, barbell):
+        res = two_node_cuts(barbell, all_to_all(barbell))
+        assert res is not None
+        assert res.found_by == "two_node"
+
+    def test_expanding_regions(self, barbell):
+        res = expanding_region_cuts(barbell, all_to_all(barbell))
+        assert res is not None
+        # Ball of radius 1 around a K4 node is the cluster -> finds the bridge.
+        assert res.sparsity == pytest.approx(0.5)
+
+    def test_eigenvector_sweep_finds_barbell_cut(self, barbell):
+        res = eigenvector_sweep_cuts(barbell, all_to_all(barbell))
+        assert res is not None
+        assert res.sparsity == pytest.approx(0.5)
+
+    def test_limited_bruteforce_exact_when_small(self, barbell):
+        res = limited_bruteforce_cut(barbell, all_to_all(barbell), max_cuts=10_000)
+        assert res.sparsity == pytest.approx(0.5)
+
+    def test_limited_bruteforce_sampling_path(self):
+        topo = jellyfish(24, 4, seed=1)
+        tm = all_to_all(topo)
+        res = limited_bruteforce_cut(topo, tm, max_cuts=500, seed=0)
+        assert res is not None and np.isfinite(res.sparsity)
+
+
+class TestFindSparseCut:
+    def test_report_structure(self, barbell):
+        rep = find_sparse_cut(barbell, all_to_all(barbell))
+        assert rep.best.sparsity == pytest.approx(0.5)
+        assert set(rep.estimator_values) <= {
+            "bruteforce",
+            "one_node",
+            "two_node",
+            "expanding",
+            "eigenvector",
+        }
+        assert len(rep.winners) >= 1
+        assert all(
+            rep.estimator_values[w] <= rep.best.sparsity * (1 + 1e-6)
+            for w in rep.winners
+        )
+
+    def test_default_tm_is_a2a(self, small_hypercube):
+        rep = find_sparse_cut(small_hypercube)
+        assert rep.best.sparsity == pytest.approx(2.0)
+
+    def test_upper_bounds_throughput_on_families(self):
+        for topo in (hypercube(3), jellyfish(12, 3, seed=2)):
+            tm = longest_matching(topo)
+            rep = find_sparse_cut(topo, tm)
+            t = throughput(topo, tm).value
+            assert rep.best.sparsity >= t - 1e-9
+
+
+class TestBisection:
+    def test_exact_balanced(self, barbell):
+        res = bisection_bandwidth_bruteforce(barbell)
+        assert res.capacity == 1.0
+        assert res.side.sum() == 4
+
+    def test_heuristic_close_to_exact(self):
+        topo = jellyfish(16, 4, seed=3)
+        exact = bisection_bandwidth_bruteforce(topo)
+        heur = bisection_bandwidth(topo)  # n=16 -> exact path anyway
+        assert heur.sparsity <= exact.sparsity * 1.0 + 1e-9
+        big = jellyfish(30, 4, seed=3)
+        heur2 = bisection_bandwidth(big)
+        assert np.isfinite(heur2.sparsity)
+
+    def test_bisection_ge_sparsest(self, barbell):
+        # Bisection is restricted to balanced cuts, so it can only be
+        # >= the unrestricted sparsest cut.
+        tm = all_to_all(barbell)
+        bis = bisection_bandwidth_bruteforce(barbell, tm)
+        sparsest = sparsest_cut_bruteforce(barbell, tm)
+        assert bis.sparsity >= sparsest.sparsity - 1e-9
+
+
+class TestSpectral:
+    def test_laplacian_psd_and_zero_eigenvalue(self, small_hypercube):
+        lap = normalized_laplacian(small_hypercube)
+        vals = np.linalg.eigvalsh(lap)
+        assert vals[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(vals >= -1e-9)
+
+    def test_laplacian_rejects_isolated(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        # build without validation (validate would reject disconnection)
+        from repro.topologies.base import Topology
+
+        topo = Topology("iso", g, np.ones(3, dtype=np.int64), "test")
+        with pytest.raises(ValueError):
+            normalized_laplacian(topo)

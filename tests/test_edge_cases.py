@@ -1,0 +1,124 @@
+"""Cross-module edge cases and failure-mode tests.
+
+These pin down behaviors at the boundaries: minimal graphs, degenerate TMs,
+multigraphs everywhere, and numerical corners.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cuts import find_sparse_cut, sparsest_cut_bruteforce
+from repro.throughput import solve_throughput_mwu, throughput
+from repro.topologies import hyperx, make_topology
+from repro.topologies.base import Topology
+from repro.traffic import (
+    TrafficMatrix,
+    all_to_all,
+    longest_matching,
+    random_matching,
+)
+
+
+@pytest.fixture
+def two_node():
+    g = nx.Graph()
+    g.add_edge(0, 1)
+    return make_topology(g, 1, "P2", "path")
+
+
+class TestMinimalGraphs:
+    def test_two_node_everything(self, two_node):
+        tm = all_to_all(two_node)
+        # Each server sends 1/2 to the other; one arc each way: t = 2.
+        assert throughput(two_node, tm).value == pytest.approx(2.0)
+        lm = longest_matching(two_node)
+        assert throughput(two_node, lm).value == pytest.approx(1.0)
+        cut = sparsest_cut_bruteforce(two_node, lm)
+        assert cut.sparsity == pytest.approx(1.0)
+
+    def test_two_node_random_matching(self, two_node):
+        tm = random_matching(two_node, seed=0)
+        assert tm.demand[0, 1] == 1.0 and tm.demand[1, 0] == 1.0
+
+    def test_triangle_lm(self):
+        topo = make_topology(nx.complete_graph(3), 1, "K3", "complete")
+        tm = longest_matching(topo)
+        # A 3-cycle derangement: direct arcs give 1; each flow can add 0.5
+        # via its 2-hop reverse path (each reverse arc is shared by two
+        # indirect paths), so the exact optimum is 1.5.
+        assert throughput(topo, tm).value == pytest.approx(1.5)
+
+
+class TestMultigraphSupport:
+    def test_multigraph_throughput_cuts_and_lm(self):
+        topo = hyperx(1, 3, 2, 1)  # triangle with doubled edges
+        tm = longest_matching(topo)
+        t = throughput(topo, tm).value
+        assert t == pytest.approx(3.0)  # exactly 2x the simple triangle's 1.5
+        rep = find_sparse_cut(topo, tm)
+        assert rep.best.sparsity >= t - 1e-9
+
+    def test_multigraph_mwu(self):
+        topo = hyperx(1, 3, 2, 1)
+        tm = all_to_all(topo)
+        exact = throughput(topo, tm).value
+        approx = solve_throughput_mwu(topo, tm, epsilon=0.1).value
+        assert approx <= exact + 1e-9
+        assert approx >= exact * 0.6
+
+
+class TestDegenerateTMs:
+    def test_single_pair_tm(self, small_jellyfish):
+        n = small_jellyfish.n_switches
+        d = np.zeros((n, n))
+        d[0, 1] = 1.0
+        tm = TrafficMatrix(demand=d)
+        t = throughput(small_jellyfish, tm).value
+        # Single unit demand between neighbors or near-neighbors: at least
+        # the degree's worth of disjoint paths is available.
+        assert t >= 1.0
+
+    def test_asymmetric_tm(self, small_jellyfish):
+        # Demand in one direction only must not be limited by reverse arcs.
+        n = small_jellyfish.n_switches
+        d = np.zeros((n, n))
+        d[0, 1:] = 1.0 / (n - 1)
+        tm = TrafficMatrix(demand=d)
+        t_one_way = throughput(small_jellyfish, tm).value
+        both = TrafficMatrix(demand=d + d.T)
+        t_both = throughput(small_jellyfish, both).value
+        # Symmetric duplication cannot do better than the one-way instance.
+        assert t_both <= t_one_way * (1 + 1e-9)
+
+    def test_small_weights_scale_exactly(self, tiny_cycle):
+        d = np.zeros((4, 4))
+        d[0, 2] = 1e-3
+        tm = TrafficMatrix(demand=d)
+        t = throughput(tiny_cycle, tm).value
+        assert t == pytest.approx(2e3, rel=1e-6)
+
+
+class TestNumericalCorners:
+    def test_throughput_result_float_protocol(self, tiny_cycle):
+        res = throughput(tiny_cycle, all_to_all(tiny_cycle))
+        assert float(res) == res.value
+
+    def test_large_capacity_scaling(self, tiny_cycle):
+        # Quadrupling every cable quadruples throughput exactly.
+        g = nx.MultiGraph()
+        for u, v in tiny_cycle.graph.edges():
+            for _ in range(4):
+                g.add_edge(u, v)
+        big = Topology("C4x4", g, tiny_cycle.servers.copy(), "test")
+        tm = all_to_all(tiny_cycle)
+        assert throughput(big, tm).value == pytest.approx(
+            4 * throughput(tiny_cycle, tm).value, rel=1e-9
+        )
+
+    def test_hose_utilization_zero_demand_zero_servers(self):
+        # A node with no servers and no demand is fine.
+        d = np.zeros((3, 3))
+        d[0, 1] = 1.0
+        tm = TrafficMatrix(demand=d)
+        assert tm.is_hose(np.array([1, 1, 0]))

@@ -1,0 +1,117 @@
+"""Tests for equipment matching, relative throughput, and scale config."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    SCALES,
+    relative_path_length,
+    relative_throughput,
+    same_equipment_random_graph,
+    scale_from_env,
+)
+from repro.evaluation.experiments.factories import a2a_factory, lm_factory
+from repro.topologies import dragonfly, fat_tree, hypercube, jellyfish, slimfly
+from repro.throughput import throughput
+from repro.traffic import all_to_all
+
+
+class TestSameEquipment:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: hypercube(4),
+            lambda: fat_tree(4),
+            lambda: dragonfly(1),
+            lambda: jellyfish(12, 3, seed=0),
+        ],
+    )
+    def test_per_node_equipment_preserved(self, builder):
+        topo = builder()
+        rand = same_equipment_random_graph(topo, seed=1)
+        assert np.array_equal(rand.degree_sequence(), topo.degree_sequence())
+        assert np.array_equal(rand.servers, topo.servers)
+        assert rand.n_links == topo.n_links
+        assert rand.is_connected()
+
+    def test_simple_graph(self):
+        topo = hypercube(4)
+        rand = same_equipment_random_graph(topo, seed=2)
+        assert not any(u == v for u, v in rand.graph.edges())
+        seen = set()
+        for u, v in rand.graph.edges():
+            key = (min(u, v), max(u, v))
+            assert key not in seen
+            seen.add(key)
+
+    def test_seed_reproducible(self):
+        topo = hypercube(4)
+        a = same_equipment_random_graph(topo, seed=5)
+        b = same_equipment_random_graph(topo, seed=5)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_actually_randomizes(self):
+        topo = hypercube(4)
+        rand = same_equipment_random_graph(topo, seed=3)
+        assert sorted(rand.graph.edges()) != sorted(topo.graph.edges())
+
+
+class TestRelativeThroughput:
+    def test_random_graph_relative_is_near_1(self):
+        # A random graph measured against random graphs ~ 1 (the Jellyfish
+        # self-normalization of the paper).
+        topo = jellyfish(20, 4, seed=0)
+        res = relative_throughput(topo, a2a_factory, samples=3, seed=1)
+        assert res.relative == pytest.approx(1.0, abs=0.2)
+
+    def test_result_fields(self):
+        topo = hypercube(4)
+        res = relative_throughput(topo, lm_factory, samples=2, seed=0)
+        assert res.n_samples == 2
+        assert len(res.random_absolute_values) == 2
+        assert res.relative == pytest.approx(
+            res.absolute / np.mean(res.random_absolute_values)
+        )
+
+    def test_absolute_matches_direct_call(self):
+        topo = hypercube(4)
+        res = relative_throughput(topo, a2a_factory, samples=1, seed=0)
+        direct = throughput(topo, all_to_all(topo)).value
+        assert res.absolute == pytest.approx(direct, rel=1e-9)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            relative_throughput(hypercube(3), a2a_factory, samples=0)
+
+
+class TestRelativePathLength:
+    def test_slimfly_shorter_than_random(self):
+        assert relative_path_length(slimfly(5), samples=2, seed=0) < 0.97
+
+    def test_random_graph_about_1(self):
+        topo = jellyfish(24, 4, seed=1)
+        assert relative_path_length(topo, samples=3, seed=2) == pytest.approx(
+            1.0, abs=0.12
+        )
+
+
+class TestScaleConfig:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env().name == "small"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert scale_from_env().name == "medium"
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+    def test_profiles_monotone(self):
+        assert (
+            SCALES["small"].max_servers
+            < SCALES["medium"].max_servers
+            < SCALES["large"].max_servers
+        )

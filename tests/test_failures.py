@@ -1,0 +1,65 @@
+"""Tests for the link-failure robustness extension."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.failures import FailureCurve, fail_links, failure_sweep
+from repro.evaluation.experiments.factories import lm_factory
+from repro.topologies import fat_tree, hypercube, jellyfish
+from repro.throughput import throughput
+from repro.traffic import all_to_all
+
+
+class TestFailLinks:
+    def test_removes_expected_count(self):
+        topo = hypercube(4)
+        failed = fail_links(topo, 0.1, seed=0)
+        expected = topo.n_links - round(topo.n_links * 0.1)
+        assert failed.n_links == expected
+        assert failed.is_connected()
+
+    def test_zero_fraction_identity(self):
+        topo = hypercube(3)
+        assert fail_links(topo, 0.0, seed=0) is topo
+
+    def test_servers_preserved(self):
+        topo = fat_tree(4)
+        failed = fail_links(topo, 0.1, seed=1)
+        assert np.array_equal(failed.servers, topo.servers)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fail_links(hypercube(3), 1.0)
+        with pytest.raises(ValueError):
+            fail_links(hypercube(3), -0.1)
+
+    def test_seed_reproducible(self):
+        topo = jellyfish(16, 4, seed=0)
+        a = fail_links(topo, 0.15, seed=7)
+        b = fail_links(topo, 0.15, seed=7)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_throughput_never_increases(self):
+        topo = jellyfish(16, 4, seed=2)
+        tm = all_to_all(topo)
+        base = throughput(topo, tm).value
+        failed = fail_links(topo, 0.1, seed=3)
+        assert throughput(failed, tm).value <= base * (1 + 1e-9)
+
+
+class TestFailureSweep:
+    def test_monotone_trend(self):
+        topo = jellyfish(16, 4, seed=1)
+        curve = failure_sweep(
+            topo, lm_factory, fractions=(0.0, 0.1, 0.2), samples=2, seed=0
+        )
+        assert isinstance(curve, FailureCurve)
+        assert curve.relative[0] == pytest.approx(1.0)
+        # Degradation is graceful but real: strictly below 1 at 20% failures.
+        assert curve.relative[-1] < 1.0
+        assert curve.worst_relative() == min(curve.relative)
+
+    def test_validations(self):
+        topo = hypercube(3)
+        with pytest.raises(ValueError):
+            failure_sweep(topo, lm_factory, samples=0)

@@ -1,0 +1,66 @@
+"""Tests for flow-solution analysis (link utilization, transit share)."""
+
+import numpy as np
+import pytest
+
+from repro.throughput.analysis import (
+    link_utilization,
+    transit_load_share,
+    utilization_by_node_class,
+)
+from repro.topologies import fat_tree, hypercube, jellyfish
+from repro.traffic import all_to_all, longest_matching
+
+
+class TestLinkUtilization:
+    def test_hypercube_lm_saturates_everything(self, medium_hypercube):
+        # Paper §II-C: the antipodal matching perfectly utilizes every
+        # unidirectional link at the optimum.
+        rep = link_utilization(medium_hypercube, longest_matching(medium_hypercube))
+        assert rep.throughput == pytest.approx(1.0, rel=1e-6)
+        assert rep.saturated_fraction == pytest.approx(1.0)
+
+    def test_utilization_bounded(self, small_jellyfish):
+        rep = link_utilization(small_jellyfish, all_to_all(small_jellyfish))
+        assert np.all(rep.utilization <= 1.0 + 1e-6)
+        assert np.all(rep.utilization >= -1e-9)
+        assert 0.0 < rep.mean_utilization() <= 1.0 + 1e-9
+
+    def test_some_link_is_saturated_at_optimum(self, small_jellyfish):
+        # At the LP optimum at least one arc must be tight, else t could grow.
+        rep = link_utilization(small_jellyfish, longest_matching(small_jellyfish))
+        assert rep.max_utilization == pytest.approx(1.0, abs=1e-6)
+
+
+class TestTransitShare:
+    def test_fattree_edge_links_carry_no_transit(self):
+        # The Fig. 12 explanation: fat-tree ToR links carry only traffic
+        # sourced at / destined to their own servers.
+        topo = fat_tree(4)
+        tm = longest_matching(topo)
+        shares = transit_load_share(topo, tm)
+        assert all(v <= 0.05 for v in shares.values())
+
+    def test_hypercube_has_transit(self):
+        topo = hypercube(4)
+        tm = longest_matching(topo)
+        shares = transit_load_share(topo, tm)
+        # Antipodal flows traverse d-hop paths: most load at a node is transit.
+        assert np.mean(list(shares.values())) > 0.3
+
+
+class TestUtilizationByClass:
+    def test_fattree_layers(self):
+        topo = fat_tree(4)
+        # Layers: 4 cores (0), 8 agg (1), 8 edge (2).
+        classes = np.array([0] * 4 + [1] * 8 + [2] * 8)
+        by_class = utilization_by_node_class(topo, all_to_all(topo), classes)
+        assert set(by_class) == {0, 1, 2}
+        for mean_u, max_u in by_class.values():
+            assert 0 <= mean_u <= max_u <= 1 + 1e-6
+
+    def test_bad_classes_shape(self, small_jellyfish):
+        with pytest.raises(ValueError):
+            utilization_by_node_class(
+                small_jellyfish, all_to_all(small_jellyfish), np.zeros(3)
+            )

@@ -1,0 +1,110 @@
+"""Tests for small helpers: table rendering, validation, ladders, spectra."""
+
+import numpy as np
+import pytest
+
+from repro.topologies.dcell import dcell_scale_ladder
+from repro.topologies.hyperx import hyperx_scale_ladder
+from repro.topologies.longhop import cayley_spectrum
+from repro.utils.tables import records_to_columns, render_series, render_table
+from repro.utils.validation import (
+    require_in_range,
+    require_nonnegative_int,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["name", "x"], [("alpha", 1.5), ("b", 2.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.500" in lines[3]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_floatfmt(self):
+        text = render_table(["x"], [(1.23456,)], floatfmt=".1f")
+        assert "1.2" in text and "1.23" not in text
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series(
+            {"curveA": [(1, 0.5), (2, 0.25)]}, "x", "y", title="fig"
+        )
+        assert "fig" in text
+        assert "-- curveA" in text
+        assert "0.250" in text
+
+
+class TestRecordsToColumns:
+    def test_extracts_parallel_lists(self):
+        recs = [{"a": 1, "b": 2}, {"a": 3}]
+        cols = records_to_columns(recs, ["a", "b"])
+        assert cols["a"] == [1, 3]
+        assert cols["b"] == [2, None]
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert require_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(1.5, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")  # bools are not ints here
+
+    def test_nonnegative_int(self):
+        assert require_nonnegative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_nonnegative_int(-1, "x")
+
+    def test_in_range(self):
+        assert require_in_range(0.5, "x", 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            require_in_range(2, "x", 0, 1)
+
+    def test_probability(self):
+        assert require_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+
+
+class TestScaleLadderHelpers:
+    def test_dcell_ladder(self):
+        ladder = dcell_scale_ladder(3, 200)
+        # (3, 0) = 3 servers, (3, 1) = 12, (3, 2) = 156 all fit.
+        assert ladder == [(3, 0), (3, 1), (3, 2)]
+
+    def test_hyperx_ladder_unique_designs(self):
+        topos = hyperx_scale_ladder(16, 0.4, [16, 32, 64])
+        names = [t.name for t in topos]
+        assert len(names) == len(set(names))
+        for t in topos:
+            assert t.params["relative_bisection"] >= 0.4
+
+
+class TestCayleySpectrum:
+    def test_hypercube_spectrum(self):
+        # Q_3: generators = unit vectors; eigenvalues are 3 - 2*popcount(s).
+        gens = [1, 2, 4]
+        spec = cayley_spectrum(gens, 3)
+        assert spec[0] == 3
+        expected = [3 - 2 * bin(s).count("1") for s in range(8)]
+        assert spec.tolist() == expected
+
+    def test_spectrum_bounds(self):
+        from repro.topologies.longhop import longhop_generators
+
+        gens = longhop_generators(5, 8)
+        spec = cayley_spectrum(gens, 5)
+        assert spec[0] == 8  # trivial character = degree
+        assert np.all(np.abs(spec) <= 8)
+        assert spec[1:].max() < 8  # connected: no repeated top eigenvalue

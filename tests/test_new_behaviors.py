@@ -1,0 +1,116 @@
+"""Tests for behaviors added during experiment calibration:
+
+* longest matching with spread tie-breaking;
+* Jellyfish-from-equipment (server respread);
+* server-flow-weighted counting estimator;
+* contiguous Facebook frontend roles;
+* the cut-accuracy experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.equipment import jellyfish_from_equipment
+from repro.evaluation.experiments.cut_accuracy import cut_accuracy
+from repro.evaluation.runner import SCALES
+from repro.throughput import counting_estimator, llskr_path_sets, throughput
+from repro.topologies import fat_tree, hypercube, longhop
+from repro.topologies.longhop import cayley_spectrum, longhop_generators
+from repro.traffic import all_to_all, longest_matching, tm_facebook_frontend
+from repro.utils.graphutils import all_pairs_distances
+
+
+class TestSpreadTies:
+    def test_same_total_distance(self):
+        topo = longhop(4, servers_per_node=3)
+        lm = longest_matching(topo)
+        spread = longest_matching(topo, seed=0, spread_ties=True)
+        assert spread.meta["matching_total_distance"] == pytest.approx(
+            lm.meta["matching_total_distance"]
+        )
+
+    def test_spread_uses_more_destinations(self):
+        topo = longhop(4, servers_per_node=4)
+        lm = longest_matching(topo)
+        spread = longest_matching(topo, seed=1, spread_ties=True)
+        assert spread.n_flows > lm.n_flows  # partners fan out across ties
+
+    def test_spread_still_hose_tight(self):
+        topo = longhop(4, servers_per_node=4)
+        spread = longest_matching(topo, seed=2, spread_ties=True)
+        assert np.allclose(spread.row_sums(), 4.0)
+        assert np.allclose(spread.col_sums(), 4.0)
+
+    def test_spread_not_easier_than_a2a(self):
+        topo = longhop(4, servers_per_node=2)
+        spread = longest_matching(topo, seed=3, spread_ties=True)
+        t_spread = throughput(topo, spread).value
+        t_a2a = throughput(topo, all_to_all(topo).scaled(2.0)).value * 2.0
+        # Same switch egress: spread LM is still at most as easy as A2A.
+        assert t_spread <= t_a2a * (1 + 1e-6)
+
+
+class TestJellyfishFromEquipment:
+    def test_total_equipment_preserved(self):
+        ft = fat_tree(4)
+        jf = jellyfish_from_equipment(ft, seed=0)
+        assert jf.n_switches == ft.n_switches
+        assert jf.n_servers == ft.n_servers
+        # Total ports conserved: degree + servers sums match.
+        assert (jf.degree_sequence() + jf.servers).sum() == (
+            ft.degree_sequence() + ft.servers
+        ).sum()
+
+    def test_servers_respread(self):
+        ft = fat_tree(4)
+        jf = jellyfish_from_equipment(ft, seed=1)
+        # Fat tree piles 2 servers on 8 edge switches; Jellyfish spreads
+        # over all 20 (16 switches with 1, 4 with 0 for 16 servers).
+        assert int(jf.servers.max()) <= 1
+        assert jf.is_connected()
+
+    def test_hypercube_respread_uniform(self):
+        hc = hypercube(4)
+        jf = jellyfish_from_equipment(hc, seed=2)
+        assert np.all(jf.servers == 1)
+        assert np.all(jf.degree_sequence() == 4)
+
+
+class TestWeightedCountingEstimator:
+    def test_weights_proportional_to_server_products(self):
+        ft = fat_tree(4)
+        tm = all_to_all(ft)
+        sets = llskr_path_sets(ft, tm, subflows=2, path_pool=3)
+        est = counting_estimator(ft, tm, sets)
+        # Every host pair has a_u * a_v = 4 server flows.
+        assert np.allclose(est.flow_weights, 4.0)
+
+    def test_mean_in_unit_range(self):
+        ft = fat_tree(4)
+        tm = all_to_all(ft)
+        sets = llskr_path_sets(ft, tm, subflows=2, path_pool=3)
+        est = counting_estimator(ft, tm, sets)
+        assert 0.0 < est.mean_flow_throughput <= 1.0
+
+
+class TestFrontendRoles:
+    def test_roles_are_contiguous_blocks(self):
+        _, roles = tm_facebook_frontend(n_racks=64, seed=0)
+        # cache block first, then misc, then web.
+        changes = np.count_nonzero(np.diff(roles))
+        assert changes == 2
+        assert roles[0] == 1 and roles[-1] == 0
+
+    def test_cache_rows_dominate(self):
+        tm, roles = tm_facebook_frontend(n_racks=32, seed=1)
+        rows = tm.row_sums()
+        assert rows[roles == 1].min() > rows[roles == 0].max()
+
+
+class TestCutAccuracyExperiment:
+    def test_runs_and_passes(self):
+        res = cut_accuracy(scale=SCALES["small"], seed=0)
+        assert res.all_checks_pass(), res.checks
+        # Last row is the summary.
+        assert res.rows[-1][0] == "SUMMARY"
+        assert len(res.rows) > 5

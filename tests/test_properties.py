@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These encode the paper's mathematical structure as executable properties:
+cut >= throughput, Theorem 2, scale inversion, monotonicity under capacity
+addition, hose algebra, and equipment preservation.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cuts import cut_sparsity, sparsest_cut_bruteforce
+from repro.evaluation import same_equipment_random_graph
+from repro.topologies import jellyfish, make_topology
+from repro.topologies.base import Topology
+from repro.traffic import TrafficMatrix, all_to_all, longest_matching, random_matching
+from repro.throughput import throughput, volumetric_upper_bound
+from repro.utils.rng import permutation_avoiding_fixed_points
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_topology(draw):
+    """A connected random regular topology, 6-14 switches."""
+    n = draw(st.integers(min_value=6, max_value=14))
+    d = draw(st.integers(min_value=2, max_value=4))
+    d = min(d, n - 1)
+    if (n * d) % 2:
+        n += 1
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return jellyfish(n, d, seed=seed)
+
+
+@st.composite
+def hose_tm_for(draw, topo: Topology):
+    """A random hose-feasible TM on ``topo``."""
+    n = topo.n_switches
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    demand = rng.random((n, n)) * (rng.random((n, n)) < 0.5)
+    np.fill_diagonal(demand, 0.0)
+    if demand.sum() == 0:
+        demand[0, 1] = 1.0
+    tm = TrafficMatrix(demand=demand, kind="random")
+    return tm.normalized_hose(topo.servers)
+
+
+class TestFlowInvariants:
+    @SETTINGS
+    @given(data=st.data())
+    def test_scale_inversion(self, data):
+        topo = data.draw(small_topology())
+        tm = data.draw(hose_tm_for(topo))
+        c = data.draw(st.floats(min_value=0.25, max_value=4.0))
+        t1 = throughput(topo, tm).value
+        t2 = throughput(topo, tm.scaled(c)).value
+        assert t2 == pytest.approx(t1 / c, rel=1e-4)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_theorem2_lower_bound(self, data):
+        topo = data.draw(small_topology())
+        tm = data.draw(hose_tm_for(topo))
+        lb = throughput(topo, all_to_all(topo)).value / 2.0
+        assert throughput(topo, tm).value >= lb * (1 - 1e-6)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_volumetric_upper_bound(self, data):
+        topo = data.draw(small_topology())
+        tm = data.draw(hose_tm_for(topo))
+        assert throughput(topo, tm).value <= volumetric_upper_bound(topo, tm) * (
+            1 + 1e-6
+        )
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_adding_edge_never_hurts(self, data):
+        topo = data.draw(small_topology())
+        tm = data.draw(hose_tm_for(topo))
+        t1 = throughput(topo, tm).value
+        g = nx.Graph(topo.graph)
+        non_edges = list(nx.non_edges(g))
+        if not non_edges:
+            return
+        idx = data.draw(st.integers(min_value=0, max_value=len(non_edges) - 1))
+        g.add_edge(*non_edges[idx])
+        bigger = Topology("aug", g, topo.servers.copy(), "test")
+        t2 = throughput(bigger, tm).value
+        assert t2 >= t1 * (1 - 1e-6)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_cut_upper_bounds_throughput(self, data):
+        topo = data.draw(small_topology())
+        tm = data.draw(hose_tm_for(topo))
+        cut = sparsest_cut_bruteforce(topo, tm)
+        assert cut.sparsity >= throughput(topo, tm).value * (1 - 1e-6)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_any_single_cut_upper_bounds(self, data):
+        topo = data.draw(small_topology())
+        tm = data.draw(hose_tm_for(topo))
+        n = topo.n_switches
+        bits = data.draw(
+            st.lists(st.booleans(), min_size=n, max_size=n).filter(
+                lambda b: any(b) and not all(b)
+            )
+        )
+        res = cut_sparsity(topo, tm, np.array(bits))
+        assert res.sparsity >= throughput(topo, tm).value * (1 - 1e-6)
+
+
+class TestTrafficInvariants:
+    @SETTINGS
+    @given(data=st.data())
+    def test_longest_matching_is_hose_tight_derangement(self, data):
+        topo = data.draw(small_topology())
+        tm = longest_matching(topo)
+        assert np.allclose(tm.row_sums(), 1.0)
+        assert np.allclose(tm.col_sums(), 1.0)
+        assert np.all(np.diag(tm.demand) == 0)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_random_matching_hose(self, data):
+        topo = data.draw(small_topology())
+        k = data.draw(st.integers(min_value=1, max_value=6))
+        seed = data.draw(st.integers(min_value=0, max_value=1000))
+        tm = random_matching(topo, n_matchings=k, seed=seed)
+        assert tm.is_hose(topo.servers)
+        assert np.allclose(tm.row_sums(), 1.0, atol=1e-9)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_shuffle_preserves_throughput_on_symmetric_graph(self, data):
+        # Vertex-transitive graph: relabeling the TM cannot change throughput.
+        from repro.topologies import hypercube
+
+        topo = hypercube(3)
+        tm = data.draw(hose_tm_for(topo))
+        seed = data.draw(st.integers(min_value=0, max_value=100))
+        # A shuffled TM on an asymmetric graph differs, but the cycle C_n and
+        # hypercube are vertex- and edge-transitive only for automorphic
+        # permutations; use XOR translation which IS an automorphism.
+        mask = data.draw(st.integers(min_value=0, max_value=7))
+        perm = np.arange(8) ^ mask
+        t1 = throughput(topo, tm).value
+        t2 = throughput(topo, tm.permuted(perm)).value
+        del seed
+        assert t2 == pytest.approx(t1, rel=1e-5)
+
+    @given(n=st.integers(min_value=2, max_value=200), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_derangement_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        perm = permutation_avoiding_fixed_points(n, rng)
+        assert not np.any(perm == np.arange(n))
+
+
+class TestEquipmentInvariants:
+    @SETTINGS
+    @given(data=st.data())
+    def test_random_equivalent_preserves_equipment(self, data):
+        topo = data.draw(small_topology())
+        seed = data.draw(st.integers(min_value=0, max_value=1000))
+        rand = same_equipment_random_graph(topo, seed=seed)
+        assert np.array_equal(rand.degree_sequence(), topo.degree_sequence())
+        assert np.array_equal(rand.servers, topo.servers)
+        assert rand.is_connected()

@@ -1,0 +1,79 @@
+"""Property-based tests for routing schemes and failure robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.failures import fail_links
+from repro.routing import ecmp_throughput, single_path_throughput
+from repro.topologies import jellyfish
+from repro.traffic import TrafficMatrix, random_matching
+from repro.throughput import throughput
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def topo_and_tm(draw):
+    n = draw(st.integers(min_value=8, max_value=14))
+    d = draw(st.integers(min_value=3, max_value=4))
+    if (n * d) % 2:
+        n += 1
+    topo = jellyfish(n, d, seed=draw(st.integers(0, 5000)))
+    tm = random_matching(topo, seed=draw(st.integers(0, 5000)))
+    return topo, tm
+
+
+class TestRoutingProperties:
+    @SETTINGS
+    @given(data=st.data())
+    def test_routing_hierarchy(self, data):
+        """single path <= min(optimal) and ecmp <= optimal, always."""
+        topo, tm = data.draw(topo_and_tm())
+        opt = throughput(topo, tm).value
+        assert ecmp_throughput(topo, tm) <= opt * (1 + 1e-9)
+        assert single_path_throughput(topo, tm) <= opt * (1 + 1e-9)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_routing_scale_inversion(self, data):
+        """Oblivious routings share the LP's scale-inversion property."""
+        topo, tm = data.draw(topo_and_tm())
+        c = data.draw(st.floats(min_value=0.5, max_value=3.0))
+        assert ecmp_throughput(topo, tm.scaled(c)) == pytest.approx(
+            ecmp_throughput(topo, tm) / c, rel=1e-9
+        )
+        assert single_path_throughput(topo, tm.scaled(c)) == pytest.approx(
+            single_path_throughput(topo, tm) / c, rel=1e-9
+        )
+
+
+class TestFailureProperties:
+    @SETTINGS
+    @given(data=st.data())
+    def test_failures_never_help(self, data):
+        topo, tm = data.draw(topo_and_tm())
+        frac = data.draw(st.sampled_from([0.05, 0.1, 0.15]))
+        try:
+            failed = fail_links(topo, frac, seed=data.draw(st.integers(0, 1000)))
+        except ValueError:
+            return  # could not stay connected at this fraction: fine
+        t_full = throughput(topo, tm).value
+        t_fail = throughput(failed, tm).value
+        assert t_fail <= t_full * (1 + 1e-9)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_failed_graph_equipment_subset(self, data):
+        topo, _ = data.draw(topo_and_tm())
+        try:
+            failed = fail_links(topo, 0.1, seed=data.draw(st.integers(0, 1000)))
+        except ValueError:
+            return
+        assert np.all(failed.degree_sequence() <= topo.degree_sequence())
+        assert np.array_equal(failed.servers, topo.servers)

@@ -1,0 +1,95 @@
+"""Tests for topology properties and experiment serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.runner import ExperimentResult
+from repro.topologies import hypercube, jellyfish, slimfly
+from repro.topologies.properties import analyze, cheeger_bounds, spectral_gap
+from repro.utils.serialization import (
+    experiment_from_json,
+    experiment_to_csv,
+    experiment_to_json,
+)
+
+
+class TestProperties:
+    def test_hypercube_properties(self):
+        props = analyze(hypercube(4))
+        assert props.n_switches == 16
+        assert props.diameter == 4
+        assert props.mean_path_length == pytest.approx(32 / 15)
+        assert props.min_degree == props.max_degree == 4
+        # Normalized-Laplacian gap of Q_d is 2/d.
+        assert props.spectral_gap == pytest.approx(2 / 4, abs=1e-9)
+
+    def test_slimfly_diameter2(self):
+        props = analyze(slimfly(5))
+        assert props.diameter == 2
+
+    def test_expander_gap_larger_than_ring(self):
+        import networkx as nx
+
+        from repro.topologies import make_topology
+
+        ring = make_topology(nx.cycle_graph(16), 1, "C16", "cycle")
+        jf = jellyfish(16, 4, seed=0)
+        assert spectral_gap(jf) > spectral_gap(ring)
+
+    def test_cheeger_ordering(self):
+        lo, hi = cheeger_bounds(hypercube(3))
+        assert 0 < lo <= hi
+
+    def test_as_row(self):
+        row = analyze(hypercube(3)).as_row()
+        assert row[0] == "hypercube(d=3)"
+        assert len(row) == 8
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Test table",
+        headers=["name", "value"],
+        rows=[("a", 1.5), ("b", np.float64(2.25))],
+        checks={"ok": True},
+        notes="hello",
+    )
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        res = sample_result()
+        text = experiment_to_json(res)
+        data = json.loads(text)
+        assert data["experiment_id"] == "figX"
+        assert data["rows"] == [["a", 1.5], ["b", 2.25]]
+        back = experiment_from_json(text)
+        assert back.experiment_id == res.experiment_id
+        assert back.checks == res.checks
+        assert [tuple(r) for r in back.rows] == [("a", 1.5), ("b", 2.25)]
+
+    def test_numpy_values_serializable(self):
+        res = sample_result()
+        res.rows.append(("c", np.int64(7)))
+        text = experiment_to_json(res)
+        assert json.loads(text)["rows"][2] == ["c", 7]
+
+    def test_csv(self):
+        text = experiment_to_csv(sample_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["butterfly25", "--json", str(tmp_path)])
+        assert code == 0
+        out_file = tmp_path / "butterfly25.json"
+        assert out_file.exists()
+        data = json.loads(out_file.read_text())
+        assert data["experiment_id"] == "butterfly25"
+        capsys.readouterr()

@@ -1,0 +1,88 @@
+"""Tests for the routing-scheme evaluation module (§V)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.routing import (
+    ecmp_throughput,
+    routing_gap_report,
+    single_path_throughput,
+)
+from repro.topologies import fat_tree, hypercube, jellyfish, make_topology
+from repro.traffic import TrafficMatrix, all_to_all, longest_matching, random_matching
+from repro.throughput import throughput
+
+
+class TestSinglePath:
+    def test_single_edge(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        topo = make_topology(g, 1, "edge", "t")
+        d = np.zeros((2, 2))
+        d[0, 1] = 1.0
+        assert single_path_throughput(topo, TrafficMatrix(demand=d)) == 1.0
+
+    def test_cycle_antipodal_halves_optimal(self, tiny_cycle):
+        # C4 demand 0->2: optimum splits both ways (t=2); single path gets 1.
+        d = np.zeros((4, 4))
+        d[0, 2] = 1.0
+        tm = TrafficMatrix(demand=d)
+        assert single_path_throughput(tiny_cycle, tm) == pytest.approx(1.0)
+        assert throughput(tiny_cycle, tm).value == pytest.approx(2.0)
+
+    def test_never_exceeds_optimal(self, small_jellyfish):
+        for tm in (all_to_all(small_jellyfish), longest_matching(small_jellyfish)):
+            sp = single_path_throughput(small_jellyfish, tm)
+            opt = throughput(small_jellyfish, tm).value
+            assert sp <= opt * (1 + 1e-9)
+
+
+class TestECMP:
+    def test_cycle_antipodal_matches_optimal(self, tiny_cycle):
+        # Both shortest paths used equally -> optimal on C4.
+        d = np.zeros((4, 4))
+        d[0, 2] = 1.0
+        tm = TrafficMatrix(demand=d)
+        assert ecmp_throughput(tiny_cycle, tm) == pytest.approx(2.0)
+
+    def test_hypercube_a2a_optimal(self, small_hypercube):
+        # Hypercube + uniform traffic: ECMP's equal split is exactly the
+        # symmetric optimal routing.
+        tm = all_to_all(small_hypercube)
+        assert ecmp_throughput(small_hypercube, tm) == pytest.approx(
+            2.0, rel=1e-9
+        )
+
+    def test_between_single_path_and_optimal(self):
+        topo = jellyfish(16, 4, seed=5)
+        tm = random_matching(topo, seed=1)
+        sp = single_path_throughput(topo, tm)
+        ec = ecmp_throughput(topo, tm)
+        opt = throughput(topo, tm).value
+        assert sp <= ec * (1 + 1e-9) + 1e-9 or sp <= opt  # sp can tie ecmp
+        assert ec <= opt * (1 + 1e-9)
+
+    def test_fattree_ecmp_is_optimal(self, small_fattree):
+        # The canonical ECMP success story: fat tree + uniform traffic.
+        tm = all_to_all(small_fattree)
+        ec = ecmp_throughput(small_fattree, tm)
+        opt = throughput(small_fattree, tm).value
+        assert ec == pytest.approx(opt, rel=1e-6)
+
+
+class TestRoutingReport:
+    def test_report_fields_and_gaps(self, small_jellyfish):
+        tm = longest_matching(small_jellyfish)
+        rep = routing_gap_report(small_jellyfish, tm)
+        assert rep.single_path <= rep.optimal * (1 + 1e-9)
+        assert rep.ecmp <= rep.optimal * (1 + 1e-9)
+        assert 0 < rep.single_path_gap <= 1 + 1e-9
+        assert 0 < rep.ecmp_gap <= 1 + 1e-9
+
+    def test_size_mismatch(self, tiny_cycle, small_hypercube):
+        tm = all_to_all(small_hypercube)
+        with pytest.raises(ValueError):
+            single_path_throughput(tiny_cycle, tm)
+        with pytest.raises(ValueError):
+            ecmp_throughput(tiny_cycle, tm)

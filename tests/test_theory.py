@@ -1,0 +1,109 @@
+"""Tests for the executable theorems (duality, Theorem 1, Theorem 2)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.theory import (
+    sparsest_cut_lp_relaxation,
+    theorem1_separation,
+    verify_theorem2,
+)
+from repro.topologies import hypercube, jellyfish, make_topology
+from repro.traffic import (
+    TrafficMatrix,
+    all_to_all,
+    longest_matching,
+    random_matching,
+)
+from repro.throughput import throughput
+
+
+class TestTheorem3Duality:
+    """The metric LP relaxation of sparsest cut equals throughput exactly."""
+
+    def test_cycle(self, tiny_cycle):
+        tm = all_to_all(tiny_cycle)
+        primal = throughput(tiny_cycle, tm).value
+        dual = sparsest_cut_lp_relaxation(tiny_cycle, tm)
+        assert dual == pytest.approx(primal, rel=1e-5)
+
+    def test_complete(self, tiny_complete):
+        tm = all_to_all(tiny_complete)
+        assert sparsest_cut_lp_relaxation(tiny_complete, tm) == pytest.approx(
+            throughput(tiny_complete, tm).value, rel=1e-5
+        )
+
+    def test_hypercube_matching(self, small_hypercube):
+        tm = longest_matching(small_hypercube)
+        assert sparsest_cut_lp_relaxation(small_hypercube, tm) == pytest.approx(
+            throughput(small_hypercube, tm).value, rel=1e-5
+        )
+
+    def test_random_graph_random_tm(self):
+        topo = jellyfish(10, 3, seed=4)
+        tm = random_matching(topo, seed=1)
+        assert sparsest_cut_lp_relaxation(topo, tm) == pytest.approx(
+            throughput(topo, tm).value, rel=1e-5
+        )
+
+    def test_size_limit(self):
+        topo = jellyfish(18, 4, seed=0)
+        with pytest.raises(ValueError):
+            sparsest_cut_lp_relaxation(topo, all_to_all(topo))
+
+
+class TestTheorem2:
+    def test_holds_for_standard_tms(self, small_jellyfish):
+        tms = {
+            "rm": random_matching(small_jellyfish, seed=0),
+            "lm": longest_matching(small_jellyfish),
+        }
+        report = verify_theorem2(small_jellyfish, tms)
+        assert report.holds
+        assert all(r >= 1.0 - 1e-9 for r in report.ratios.values())
+
+    def test_rejects_non_hose_tm(self, small_jellyfish):
+        n = small_jellyfish.n_switches
+        d = np.zeros((n, n))
+        d[0, 1] = 5.0  # egress 5 from a 1-server node
+        with pytest.raises(ValueError):
+            verify_theorem2(small_jellyfish, {"bad": TrafficMatrix(demand=d)})
+
+    def test_tight_on_hypercube(self, medium_hypercube):
+        # LM achieves exactly the bound on hypercubes: ratio 1.
+        report = verify_theorem2(
+            medium_hypercube, {"lm": longest_matching(medium_hypercube)}
+        )
+        assert report.ratios["lm"] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTheorem1:
+    def test_separation_points(self):
+        pts = theorem1_separation(
+            n_cluster=32,
+            d=3,
+            beta=1,
+            core=12,
+            core_degree=4,
+            path_lengths=(2, 3),
+            seed=0,
+        )
+        names = [p.name for p in pts]
+        assert names == ["A", "B(p=2)", "B(p=3)"]
+        for p in pts:
+            assert p.sparse_cut >= p.throughput - 1e-9
+            assert p.gap >= 1.0 - 1e-9
+
+    def test_gap_grows_with_subdivision(self):
+        pts = theorem1_separation(
+            n_cluster=32,
+            d=3,
+            beta=1,
+            core=12,
+            core_degree=4,
+            path_lengths=(1, 3),
+            seed=1,
+        )
+        by_name = {p.name: p for p in pts}
+        assert by_name["B(p=3)"].gap > by_name["B(p=1)"].gap * 0.999

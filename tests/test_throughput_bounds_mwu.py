@@ -1,0 +1,80 @@
+"""Tests for bounds and the MWU approximate engine."""
+
+import numpy as np
+import pytest
+
+from repro.topologies import hypercube, jellyfish
+from repro.traffic import TrafficMatrix, all_to_all, longest_matching, random_matching
+from repro.throughput import (
+    solve_throughput_mwu,
+    throughput,
+    volumetric_upper_bound,
+    worst_case_lower_bound,
+)
+
+
+class TestBounds:
+    def test_lower_bound_is_half_a2a(self, small_hypercube):
+        lb = worst_case_lower_bound(small_hypercube)
+        a2a = throughput(small_hypercube, all_to_all(small_hypercube)).value
+        assert lb == pytest.approx(a2a / 2)
+
+    def test_theorem2_for_matchings(self, small_jellyfish):
+        lb = worst_case_lower_bound(small_jellyfish)
+        for seed in range(3):
+            tm = random_matching(small_jellyfish, seed=seed)
+            assert throughput(small_jellyfish, tm).value >= lb - 1e-9
+
+    def test_volumetric_upper_bound_holds(self, small_jellyfish):
+        for tm in (all_to_all(small_jellyfish), longest_matching(small_jellyfish)):
+            ub = volumetric_upper_bound(small_jellyfish, tm)
+            t = throughput(small_jellyfish, tm).value
+            assert t <= ub + 1e-9
+
+    def test_volumetric_tight_on_hypercube_lm(self, medium_hypercube):
+        # Paper §II-C: the antipodal matching saturates all links.
+        tm = longest_matching(medium_hypercube)
+        ub = volumetric_upper_bound(medium_hypercube, tm)
+        assert ub == pytest.approx(1.0)
+        assert throughput(medium_hypercube, tm).value == pytest.approx(1.0, rel=1e-6)
+
+    def test_volumetric_rejects_empty(self, small_hypercube):
+        with pytest.raises(ValueError):
+            volumetric_upper_bound(
+                small_hypercube, TrafficMatrix(demand=np.zeros((8, 8)))
+            )
+
+
+class TestMWU:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1])
+    def test_within_tolerance_of_lp(self, epsilon):
+        topo = jellyfish(16, 4, seed=7)
+        tm = longest_matching(topo)
+        exact = throughput(topo, tm).value
+        approx = solve_throughput_mwu(topo, tm, epsilon=epsilon).value
+        assert approx <= exact + 1e-9  # feasible => lower bound
+        assert approx >= exact * (1 - 3.2 * epsilon)  # (1-eps)^3 guarantee
+
+    def test_a2a_on_hypercube(self, small_hypercube):
+        tm = all_to_all(small_hypercube)
+        exact = throughput(small_hypercube, tm).value
+        approx = solve_throughput_mwu(small_hypercube, tm, epsilon=0.1).value
+        assert approx == pytest.approx(exact, rel=0.35)
+        assert approx <= exact + 1e-9
+
+    def test_invalid_epsilon(self, small_hypercube):
+        with pytest.raises(ValueError):
+            solve_throughput_mwu(small_hypercube, all_to_all(small_hypercube), epsilon=1.5)
+
+    def test_reports_phases(self, small_hypercube):
+        res = solve_throughput_mwu(
+            small_hypercube, all_to_all(small_hypercube), epsilon=0.2
+        )
+        assert res.meta["phases"] >= 1
+        assert res.engine == "mwu"
+
+    def test_empty_tm_rejected(self, small_hypercube):
+        with pytest.raises(ValueError):
+            solve_throughput_mwu(
+                small_hypercube, TrafficMatrix(demand=np.zeros((8, 8)))
+            )

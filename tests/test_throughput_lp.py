@@ -1,0 +1,168 @@
+"""Exact-oracle tests for the throughput LP engine.
+
+Every expected value here is derivable by hand (see DESIGN.md §1); these are
+the deepest correctness anchors in the suite.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topologies import fat_tree, hypercube, make_topology
+from repro.traffic import TrafficMatrix, all_to_all, longest_matching, random_matching
+from repro.throughput import solve_throughput_lp, throughput
+from repro.throughput.lp import _reverse_arc_permutation
+
+
+class TestClosedFormOracles:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_complete_graph_a2a_equals_n(self, n):
+        topo = make_topology(nx.complete_graph(n), 1, f"K{n}", "complete")
+        assert throughput(topo, all_to_all(topo)).value == pytest.approx(n, rel=1e-6)
+
+    def test_star_a2a(self, tiny_star):
+        # Each leaf sends/receives (n-1)/n through its single link.
+        assert throughput(tiny_star, all_to_all(tiny_star)).value == pytest.approx(
+            4 / 3, rel=1e-6
+        )
+
+    def test_cycle4_a2a(self, tiny_cycle):
+        assert throughput(tiny_cycle, all_to_all(tiny_cycle)).value == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_hypercube_a2a_is_2(self, dim):
+        topo = hypercube(dim)
+        assert throughput(topo, all_to_all(topo)).value == pytest.approx(2.0, rel=1e-6)
+
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_hypercube_longest_matching_is_1(self, dim):
+        # Paper §II-C: antipodal matching saturates all n*d arcs exactly.
+        topo = hypercube(dim)
+        assert throughput(topo, longest_matching(topo)).value == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_fattree_nonblocking(self, k):
+        # Any hose-tight matching achieves exactly 1 on a fat tree.
+        topo = fat_tree(k)
+        lm = throughput(topo, longest_matching(topo)).value
+        assert lm == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_edge(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        topo = make_topology(g, 1, "edge", "edge")
+        d = np.zeros((2, 2))
+        d[0, 1] = 1.0
+        tm = TrafficMatrix(demand=d)
+        assert throughput(topo, tm).value == pytest.approx(1.0)
+
+    def test_bidirectional_demand_uses_both_arcs(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        topo = make_topology(g, 1, "edge", "edge")
+        d = np.zeros((2, 2))
+        d[0, 1] = 1.0
+        d[1, 0] = 1.0
+        tm = TrafficMatrix(demand=d)
+        # Full duplex: both directions get capacity 1.
+        assert throughput(topo, tm).value == pytest.approx(1.0)
+
+    def test_path_graph_contention(self):
+        # 0-1-2 with demands 0->2 and 1->2 sharing arc (1,2).
+        topo = make_topology(nx.path_graph(3), 1, "P3", "path")
+        d = np.zeros((3, 3))
+        d[0, 2] = 1.0
+        d[1, 2] = 1.0
+        tm = TrafficMatrix(demand=d)
+        assert throughput(topo, tm).value == pytest.approx(0.5)
+
+
+class TestEngineMechanics:
+    def test_scaling_inverse(self, small_jellyfish):
+        tm = longest_matching(small_jellyfish)
+        t1 = throughput(small_jellyfish, tm).value
+        t2 = throughput(small_jellyfish, tm.scaled(2.0)).value
+        assert t2 == pytest.approx(t1 / 2.0, rel=1e-6)
+
+    def test_transposed_aggregation_same_value(self, small_jellyfish):
+        # A many-sources / single-destination TM triggers destination
+        # aggregation; the value must match the mirrored single-source TM.
+        n = small_jellyfish.n_switches
+        d = np.zeros((n, n))
+        d[1:, 0] = 1.0 / (n - 1)  # many sources, one destination
+        tm = TrafficMatrix(demand=d)
+        res = solve_throughput_lp(small_jellyfish, tm)
+        assert res.meta["transposed"] is True
+        d2 = d.T.copy()  # one source, many destinations: row aggregation
+        res2 = solve_throughput_lp(small_jellyfish, TrafficMatrix(demand=d2))
+        assert res2.meta["transposed"] is False
+        assert res.value == pytest.approx(res2.value, rel=1e-6)
+
+    def test_want_flows_conservation(self, tiny_cycle):
+        tm = all_to_all(tiny_cycle)
+        res = solve_throughput_lp(tiny_cycle, tm, want_flows=True)
+        tails, heads, caps = tiny_cycle.arcs()
+        flows = res.flows
+        assert flows is not None
+        # Capacity respected.
+        total = flows.sum(axis=0)
+        assert np.all(total <= caps + 1e-6)
+        # Conservation at a transit node for source block 0 (source node 0):
+        src = res.meta["sources"][0]
+        for v in range(4):
+            inflow = flows[0, heads == v].sum()
+            outflow = flows[0, tails == v].sum()
+            demand_in = tm.demand[src, v] * res.value
+            if v == src:
+                assert outflow - inflow == pytest.approx(
+                    tm.demand[src].sum() * res.value, abs=1e-6
+                )
+            else:
+                assert inflow - outflow == pytest.approx(demand_in, abs=1e-6)
+
+    def test_zero_tm_rejected(self, tiny_cycle):
+        with pytest.raises(ValueError):
+            throughput(tiny_cycle, TrafficMatrix(demand=np.zeros((4, 4))))
+
+    def test_size_mismatch_rejected(self, tiny_cycle):
+        with pytest.raises(ValueError):
+            throughput(tiny_cycle, TrafficMatrix(demand=np.zeros((5, 5))))
+
+    def test_unknown_engine(self, tiny_cycle):
+        with pytest.raises(ValueError):
+            throughput(tiny_cycle, all_to_all(tiny_cycle), engine="quantum")
+
+    def test_reverse_arc_permutation(self):
+        tails = np.array([0, 1, 1, 2])
+        heads = np.array([1, 0, 2, 1])
+        rev = _reverse_arc_permutation(tails, heads)
+        assert rev.tolist() == [1, 0, 3, 2]
+
+    def test_multigraph_capacity(self):
+        g = nx.MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        topo = make_topology(g, 1, "double_edge", "test")
+        d = np.zeros((2, 2))
+        d[0, 1] = 1.0
+        assert throughput(topo, TrafficMatrix(demand=d)).value == pytest.approx(2.0)
+
+
+class TestRandomMatchingBands:
+    def test_rm_between_lm_and_a2a(self, medium_hypercube):
+        # The Fig. 2 ladder on one instance.
+        a2a = throughput(medium_hypercube, all_to_all(medium_hypercube)).value
+        rm10 = throughput(
+            medium_hypercube, random_matching(medium_hypercube, 10, seed=0)
+        ).value
+        rm1 = throughput(
+            medium_hypercube, random_matching(medium_hypercube, 1, seed=0)
+        ).value
+        lm = throughput(medium_hypercube, longest_matching(medium_hypercube)).value
+        assert a2a + 1e-9 >= rm10 >= rm1 - 0.15  # rm ordering (randomness slack)
+        assert rm1 + 1e-9 >= lm
+        assert lm >= a2a / 2 - 1e-9  # Theorem 2

@@ -1,0 +1,132 @@
+"""Tests for k-shortest paths, path-restricted LP, and the LLSKR replication."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.throughput import (
+    counting_estimator,
+    k_shortest_paths,
+    llskr_exact_throughput,
+    llskr_path_sets,
+    paths_for_pairs,
+    solve_throughput_on_paths,
+    throughput,
+)
+from repro.topologies import fat_tree, jellyfish, make_topology
+from repro.traffic import TrafficMatrix, all_to_all
+
+
+class TestKShortestPaths:
+    def test_cycle_two_paths(self):
+        g = nx.cycle_graph(6)
+        paths = k_shortest_paths(g, 0, 3, 2)
+        assert len(paths) == 2
+        assert all(p[0] == 0 and p[-1] == 3 for p in paths)
+        assert len(paths[0]) == 4  # 3 hops
+        assert len(paths[1]) == 4  # the other direction, also 3 hops
+
+    def test_loopless(self):
+        g = nx.complete_graph(5)
+        paths = k_shortest_paths(g, 0, 4, 8)
+        for p in paths:
+            assert len(set(p)) == len(p)
+
+    def test_sorted_by_length(self):
+        g = nx.cycle_graph(7)
+        paths = k_shortest_paths(g, 0, 2, 3)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_fewer_paths_than_k(self):
+        g = nx.path_graph(4)
+        paths = k_shortest_paths(g, 0, 3, 5)
+        assert len(paths) == 1  # a path graph has exactly one loopless route
+
+    def test_no_path(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        assert k_shortest_paths(g, 0, 1, 3) == []
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(nx.path_graph(3), 1, 1, 2)
+
+    def test_paths_for_pairs(self, small_jellyfish):
+        pairs = [(0, 5), (3, 7)]
+        sets = paths_for_pairs(small_jellyfish, pairs, 4)
+        assert set(sets) == set(pairs)
+        assert all(1 <= len(v) <= 4 for v in sets.values())
+
+
+class TestPathRestrictedLP:
+    def test_matches_full_lp_when_paths_suffice(self, tiny_cycle):
+        # On C4 with an antipodal pair TM, the 2 shortest paths per pair are
+        # all simple paths, so the path LP equals the exact LP.
+        n = 4
+        d = np.zeros((n, n))
+        d[0, 2] = 1.0
+        d[2, 0] = 1.0
+        tm = TrafficMatrix(demand=d)
+        g = nx.Graph(tiny_cycle.graph)
+        sets = {
+            (0, 2): k_shortest_paths(g, 0, 2, 4),
+            (2, 0): k_shortest_paths(g, 2, 0, 4),
+        }
+        restricted = solve_throughput_on_paths(tiny_cycle, tm, sets)
+        full = throughput(tiny_cycle, tm).value
+        assert restricted.value == pytest.approx(full, rel=1e-6)
+
+    def test_single_path_restriction_lowers_value(self, tiny_cycle):
+        n = 4
+        d = np.zeros((n, n))
+        d[0, 2] = 1.0
+        tm = TrafficMatrix(demand=d)
+        g = nx.Graph(tiny_cycle.graph)
+        one_path = {(0, 2): k_shortest_paths(g, 0, 2, 1)}
+        restricted = solve_throughput_on_paths(tiny_cycle, tm, one_path)
+        # One path of capacity 1 vs two disjoint paths in the full problem.
+        assert restricted.value == pytest.approx(1.0)
+        assert throughput(tiny_cycle, tm).value == pytest.approx(2.0)
+
+    def test_missing_path_raises(self, tiny_cycle):
+        d = np.zeros((4, 4))
+        d[0, 2] = 1.0
+        with pytest.raises(ValueError):
+            solve_throughput_on_paths(tiny_cycle, TrafficMatrix(demand=d), {})
+
+    def test_restriction_never_exceeds_full(self, small_jellyfish):
+        tm = all_to_all(small_jellyfish)
+        sets = llskr_path_sets(small_jellyfish, tm, subflows=3, path_pool=4)
+        restricted = solve_throughput_on_paths(small_jellyfish, tm, sets)
+        full = throughput(small_jellyfish, tm).value
+        assert restricted.value <= full + 1e-6
+
+
+class TestLLSKR:
+    def test_path_sets_cover_all_pairs(self, small_fattree):
+        tm = all_to_all(small_fattree)
+        sets = llskr_path_sets(small_fattree, tm, subflows=2, path_pool=3)
+        srcs, dsts, _ = tm.pairs()
+        assert set(sets) == set(zip(srcs.tolist(), dsts.tolist()))
+
+    def test_counting_estimator_in_unit_range(self, small_fattree):
+        tm = all_to_all(small_fattree)
+        sets = llskr_path_sets(small_fattree, tm, subflows=2, path_pool=3)
+        est = counting_estimator(small_fattree, tm, sets)
+        assert 0.0 < est.min_flow_throughput <= est.mean_flow_throughput <= 1.0
+
+    def test_exact_lp_on_llskr_paths(self, small_fattree):
+        tm = all_to_all(small_fattree)
+        res = llskr_exact_throughput(small_fattree, tm, subflows=2, path_pool=3)
+        assert res.engine == "paths"
+        assert 0.0 < res.value <= throughput(small_fattree, tm).value + 1e-6
+
+    def test_estimator_underestimates_fattree(self, small_fattree):
+        # The methodological point of Fig. 15: counting underestimates what
+        # the same paths can actually carry (min-throughput comparison).
+        tm = all_to_all(small_fattree)
+        sets = llskr_path_sets(small_fattree, tm, subflows=2, path_pool=3)
+        est = counting_estimator(small_fattree, tm, sets)
+        exact = solve_throughput_on_paths(small_fattree, tm, sets)
+        assert est.min_flow_throughput <= exact.value + 1e-6

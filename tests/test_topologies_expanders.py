@@ -1,0 +1,193 @@
+"""Tests for HyperX, Jellyfish, Long Hop, Slim Fly and the theory graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    HyperXDesign,
+    clustered_random_graph,
+    design_hyperx,
+    hyperx,
+    hyperx_for_terminals,
+    jellyfish,
+    longhop,
+    longhop_generators,
+    natural_network,
+    natural_network_suite,
+    random_expander,
+    slimfly,
+    slimfly_valid_q,
+    subdivided_expander,
+)
+
+
+class TestHyperX:
+    def test_lattice_sizes(self):
+        t = hyperx(2, 4, 1, 2)
+        assert t.n_switches == 16
+        assert t.n_servers == 32
+        assert np.all(t.degree_sequence() == 2 * 3)
+
+    def test_multiplicity(self):
+        t = hyperx(1, 4, 3, 1)
+        assert np.all(t.degree_sequence() == 9)
+        assert t.n_links == 4 * 3 // 2 * 3
+
+    def test_design_respects_radix(self):
+        d = design_hyperx(radix=16, n_terminals=64, bisection=0.4)
+        assert d is not None
+        assert d.switch_radix <= 16
+        assert d.n_servers >= 64
+        assert d.relative_bisection >= 0.4
+
+    def test_design_infeasible_returns_none(self):
+        assert design_hyperx(radix=3, n_terminals=10_000, bisection=0.5) is None
+
+    def test_design_deterministic(self):
+        a = design_hyperx(radix=24, n_terminals=128, bisection=0.4)
+        b = design_hyperx(radix=24, n_terminals=128, bisection=0.4)
+        assert a == b
+
+    def test_build_from_design(self):
+        topo = hyperx_for_terminals(radix=16, n_terminals=32, bisection=0.4)
+        assert topo is not None
+        assert topo.n_servers >= 32
+        assert topo.params["relative_bisection"] >= 0.4
+
+    def test_bisection_formula(self):
+        # L=1, S=4, K=1, T=2: cut = 2*2 = 4 cables, half hosts = 4 -> 1.0
+        d = HyperXDesign(L=1, S=4, K=1, T=2)
+        assert d.relative_bisection == pytest.approx(1.0)
+
+
+class TestJellyfish:
+    def test_regular_connected(self):
+        t = jellyfish(20, 5, seed=0)
+        assert np.all(t.degree_sequence() == 5)
+        assert t.is_connected()
+
+    def test_seed_reproducible(self):
+        a = jellyfish(16, 4, seed=3)
+        b = jellyfish(16, 4, seed=3)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_servers(self):
+        t = jellyfish(10, 3, servers_per_node=4, seed=0)
+        assert t.n_servers == 40
+
+    def test_parity_error(self):
+        with pytest.raises(ValueError):
+            jellyfish(9, 3, seed=0)
+
+
+class TestLongHop:
+    def test_generators_include_basis(self):
+        gens = longhop_generators(5, 8)
+        assert set(gens) >= {1 << i for i in range(5)}
+        assert len(gens) == len(set(gens)) == 8
+
+    def test_cayley_degree_and_size(self):
+        t = longhop(5)
+        assert t.n_switches == 32
+        expected_degree = 5 + 3  # dim + ceil(dim/2)
+        assert np.all(t.degree_sequence() == expected_degree)
+
+    def test_connected_and_vertex_transitive_degree(self):
+        t = longhop(6, degree=9)
+        assert t.is_connected()
+        assert np.all(t.degree_sequence() == 9)
+
+    def test_contains_hypercube(self):
+        t = longhop(4, degree=6)
+        for v in range(16):
+            for i in range(4):
+                assert t.graph.has_edge(v, v ^ (1 << i))
+
+    def test_diameter_shrinks_vs_hypercube(self):
+        t = longhop(6)
+        assert nx.diameter(t.graph) < 6
+
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            longhop_generators(4, 3)  # below dim
+        with pytest.raises(ValueError):
+            longhop_generators(3, 8)  # above 2^dim - 1
+
+
+class TestSlimFly:
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_mms_identities(self, q):
+        t = slimfly(q)
+        assert t.n_switches == 2 * q * q
+        assert np.all(t.degree_sequence() == (3 * q - 1) // 2)
+        assert nx.diameter(t.graph) == 2
+
+    def test_valid_q_list(self):
+        assert slimfly_valid_q(37) == [5, 13, 17, 29, 37]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            slimfly(8)  # not prime
+        with pytest.raises(ValueError):
+            slimfly(7)  # prime but 3 mod 4
+
+
+class TestTheoryGraphs:
+    def test_random_expander(self):
+        t = random_expander(24, 4, seed=0)
+        assert np.all(t.degree_sequence() == 4)
+
+    def test_clustered_random_graph(self):
+        t = clustered_random_graph(32, 3, 2, seed=1)
+        assert t.n_switches == 32
+        assert np.all(t.degree_sequence() == 6)
+        # Exactly beta * n/2 inter-cluster edges.
+        inter = [
+            (u, v) for u, v in t.graph.edges() if (u < 16) != (v < 16)
+        ]
+        assert len(inter) == 2 * 16
+
+    def test_clustered_invalid(self):
+        with pytest.raises(ValueError):
+            clustered_random_graph(31, 3, 2, seed=0)  # odd n
+        with pytest.raises(ValueError):
+            clustered_random_graph(32, 2, 4, seed=0)  # beta = 2d
+
+    def test_subdivided_expander_sizes(self):
+        t = subdivided_expander(12, 4, 3, seed=0)
+        n_edges_core = 12 * 4 // 2
+        assert t.n_switches == 12 + n_edges_core * 2
+        assert t.n_servers == t.n_switches  # servers on relays by default
+
+    def test_subdivided_p1_is_expander(self):
+        t = subdivided_expander(12, 4, 1, seed=0)
+        assert t.n_switches == 12
+
+    def test_subdivided_without_relay_servers(self):
+        t = subdivided_expander(12, 4, 2, seed=0, servers_on_relays=False)
+        assert t.n_servers == 12
+
+
+class TestNaturalNetworks:
+    def test_suite_size_and_connectivity(self):
+        suite = natural_network_suite(seed=0, count=18)
+        assert len(suite) == 18
+        assert all(t.is_connected() for t in suite)
+
+    def test_all_kinds_buildable(self):
+        for kind in (
+            "smallworld",
+            "scalefree",
+            "plcluster",
+            "community",
+            "geometric",
+            "tree_chords",
+        ):
+            t = natural_network(kind, 24, seed=1)
+            assert t.is_connected()
+            assert t.n_servers == t.n_switches
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            natural_network("nope", 24, seed=0)

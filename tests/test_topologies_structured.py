@@ -1,0 +1,189 @@
+"""Structural identity tests for the structured topology families.
+
+Every family has exact size/degree/server-count formulas; these are the
+strongest cheap checks that a constructor builds the topology the paper
+evaluates.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    bcube,
+    dcell,
+    dcell_server_count,
+    dragonfly,
+    fat_tree,
+    flattened_butterfly,
+    hypercube,
+)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 5, 7])
+    def test_sizes(self, dim):
+        t = hypercube(dim)
+        assert t.n_switches == 2**dim
+        assert t.n_links == dim * 2 ** (dim - 1)
+        assert np.all(t.degree_sequence() == dim)
+
+    def test_distances_are_hamming(self):
+        t = hypercube(4)
+        dist = nx.shortest_path_length(t.graph, source=0)
+        for v, d in dist.items():
+            assert d == bin(v).count("1")
+
+    def test_servers_per_node(self):
+        t = hypercube(3, servers_per_node=4)
+        assert t.n_servers == 32
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            hypercube(0)
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_sizes(self, k):
+        t = fat_tree(k)
+        assert t.n_switches == 5 * k * k // 4
+        assert t.n_servers == k**3 // 4
+        # Every switch uses exactly k ports (edge: k/2 servers + k/2 up).
+        deg = t.degree_sequence()
+        servers = t.servers
+        assert np.all(deg + servers == k)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(5)
+
+    def test_core_reaches_every_pod(self):
+        t = fat_tree(4)
+        # Cores are nodes 0..3; each must connect to one agg per pod.
+        for core in range(4):
+            pods = {n // 2 for n in t.graph.neighbors(core)}
+            assert len(pods) == 4
+
+    def test_servers_only_on_edge_layer(self):
+        t = fat_tree(4)
+        # Layout: 4 cores, 8 agg, 8 edge.
+        assert np.all(t.servers[:12] == 0)
+        assert np.all(t.servers[12:] == 2)
+
+
+class TestBCube:
+    @pytest.mark.parametrize("n,k", [(2, 1), (2, 3), (4, 1), (3, 2)])
+    def test_sizes(self, n, k):
+        t = bcube(n, k)
+        assert t.n_servers == n ** (k + 1)
+        assert t.n_switches == n ** (k + 1) + (k + 1) * n**k
+
+    def test_server_degree_is_levels(self):
+        t = bcube(2, 2)
+        deg = t.degree_sequence()
+        # servers occupy the first n^(k+1) ids with degree k+1
+        assert np.all(deg[: t.n_servers] == 3)
+        # switches have degree n
+        assert np.all(deg[t.n_servers :] == 2)
+
+    def test_bcube0_is_star(self):
+        t = bcube(4, 0)
+        assert t.n_switches == 5  # 4 servers + 1 switch
+        assert t.n_links == 4
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            bcube(1, 1)
+
+
+class TestDCell:
+    def test_server_count_formula(self):
+        assert dcell_server_count(5, 0) == 5
+        assert dcell_server_count(5, 1) == 30
+        assert dcell_server_count(5, 2) == 930
+        assert dcell_server_count(2, 2) == 42
+
+    @pytest.mark.parametrize("n,k", [(2, 1), (3, 1), (5, 1), (2, 2)])
+    def test_sizes(self, n, k):
+        t = dcell(n, k)
+        expect = dcell_server_count(n, k)
+        assert t.n_servers == expect
+        assert t.n_switches == expect + expect // n
+
+    def test_level1_server_links(self):
+        # DCell(2,1): 3 copies of DCell_0(2 servers); one link per copy pair.
+        t = dcell(2, 1)
+        server_server = [
+            (u, v)
+            for u, v in t.graph.edges()
+            if t.servers[u] == 1 and t.servers[v] == 1
+        ]
+        assert len(server_server) == 3
+
+    def test_degrees(self):
+        t = dcell(4, 1)
+        deg = t.degree_sequence()
+        # Each server: 1 switch link + 1 level-1 link = 2.
+        assert np.all(deg[: t.n_servers] == 2)
+        assert np.all(deg[t.n_servers :] == 4)
+
+
+class TestDragonfly:
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_sizes(self, h):
+        t = dragonfly(h)
+        a = 2 * h
+        g = a * h + 1
+        assert t.n_switches == g * a
+        assert t.n_servers == g * a * h
+        # Degree: (a - 1) intra + h global.
+        assert np.all(t.degree_sequence() == a - 1 + h)
+
+    def test_one_global_link_per_group_pair(self):
+        t = dragonfly(2)
+        a, g = 4, 9
+        seen = set()
+        for u, v in t.graph.edges():
+            gu, gv = u // a, v // a
+            if gu != gv:
+                pair = (min(gu, gv), max(gu, gv))
+                assert pair not in seen, "duplicate global link"
+                seen.add(pair)
+        assert len(seen) == g * (g - 1) // 2
+
+    def test_groups_are_cliques(self):
+        t = dragonfly(2)
+        for grp in range(9):
+            nodes = range(grp * 4, grp * 4 + 4)
+            for i in nodes:
+                for j in nodes:
+                    if i < j:
+                        assert t.graph.has_edge(i, j)
+
+
+class TestFlattenedButterfly:
+    def test_butterfly25(self):
+        t = flattened_butterfly(5, 3)
+        assert t.n_switches == 25
+        assert t.n_servers == 125
+        assert np.all(t.degree_sequence() == 8)
+
+    @pytest.mark.parametrize("k,n", [(2, 3), (2, 5), (4, 3), (3, 4)])
+    def test_sizes(self, k, n):
+        t = flattened_butterfly(k, n)
+        dims = n - 1
+        assert t.n_switches == k**dims
+        assert np.all(t.degree_sequence() == dims * (k - 1))
+        assert t.n_servers == k**dims * k
+
+    def test_2ary_is_hypercube(self):
+        fb = flattened_butterfly(2, 5)
+        hc = hypercube(4)
+        assert nx.is_isomorphic(fb.graph, hc.graph)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            flattened_butterfly(1, 3)
+        with pytest.raises(ValueError):
+            flattened_butterfly(4, 1)

@@ -1,0 +1,123 @@
+"""Tests for the Topology base class and the family registry."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    DISPLAY_NAMES,
+    FAMILY_ORDER,
+    GROUP1,
+    GROUP2,
+    Topology,
+    all_families,
+    hypercube,
+    make_topology,
+    representative,
+    scale_ladder,
+)
+
+
+class TestTopologyCore:
+    def test_counts(self, tiny_cycle):
+        assert tiny_cycle.n_switches == 4
+        assert tiny_cycle.n_servers == 4
+        assert tiny_cycle.n_links == 4
+        assert tiny_cycle.total_capacity() == 8.0
+
+    def test_arcs_shape(self, tiny_cycle):
+        tails, heads, caps = tiny_cycle.arcs()
+        assert tails.size == heads.size == caps.size == 8
+
+    def test_server_nodes(self, tiny_star):
+        assert tiny_star.server_nodes.tolist() == [1, 2, 3, 4]
+
+    def test_equipment_signature_invariant_under_relabeling(self):
+        a = hypercube(3)
+        g = nx.relabel_nodes(a.graph, {i: (i * 3) % 8 for i in range(8)})
+        b = make_topology(g, 1, "relabel", "test")
+        assert a.equipment() == b.equipment()
+
+    def test_equipment_distinguishes(self, tiny_cycle, tiny_star):
+        assert tiny_cycle.equipment() != tiny_star.equipment()
+
+    def test_server_pair_mean_distance_cycle(self, tiny_cycle):
+        # C4: per node distances to others: 1, 2, 1 -> mean 4/3.
+        assert tiny_cycle.server_pair_mean_distance() == pytest.approx(4 / 3)
+
+    def test_server_pair_mean_distance_weighted(self):
+        # Two servers on node 0 and one on node 1 of an edge: ordered pairs:
+        # (a,b) within node 0 at distance 0 (x2), 4 cross pairs at 1.
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        topo = make_topology(g, np.array([2, 1]), "e", "test")
+        assert topo.server_pair_mean_distance() == pytest.approx(4 / 6)
+
+    def test_with_servers(self, tiny_cycle):
+        t = tiny_cycle.with_servers(3)
+        assert t.n_servers == 12
+        assert t.graph is tiny_cycle.graph
+
+    def test_validate_disconnected(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        topo = Topology("disc", g, np.ones(4, dtype=np.int64), "test")
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_validate_too_few_servers(self):
+        g = nx.path_graph(3)
+        topo = Topology("few", g, np.array([1, 0, 0]), "test")
+        with pytest.raises(ValueError):
+            topo.validate()
+
+    def test_bad_server_shape(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            Topology("bad", g, np.ones(4, dtype=np.int64), "test")
+
+    def test_negative_servers(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            Topology("bad", g, np.array([1, -1, 1]), "test")
+
+    def test_nodes_must_be_contiguous(self):
+        g = nx.Graph()
+        g.add_edge(5, 6)
+        with pytest.raises(ValueError):
+            Topology("bad", g, np.ones(2, dtype=np.int64), "test")
+
+    def test_make_topology_relabels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        topo = make_topology(g, 1, "ab", "test")
+        assert set(topo.graph.nodes()) == {0, 1}
+
+
+class TestRegistry:
+    def test_families_complete(self):
+        assert len(FAMILY_ORDER) == 10
+        assert set(GROUP1) | set(GROUP2) == set(FAMILY_ORDER)
+        assert set(DISPLAY_NAMES) == set(FAMILY_ORDER)
+        assert all_families() == list(FAMILY_ORDER)
+
+    @pytest.mark.parametrize("family", FAMILY_ORDER)
+    def test_representative_buildable(self, family):
+        topo = representative(family, seed=0)
+        assert topo.family == family
+        assert topo.is_connected()
+        assert topo.n_servers >= 4
+
+    @pytest.mark.parametrize("family", FAMILY_ORDER)
+    def test_ladder_monotone_and_capped(self, family):
+        ladder = scale_ladder(family, 150, seed=0)
+        sizes = [t.n_servers for t in ladder]
+        assert sizes == sorted(sizes)
+        assert all(s <= 150 for s in sizes)
+        assert len(ladder) >= 1
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            scale_ladder("torus", 100)
+        with pytest.raises(KeyError):
+            representative("torus")

@@ -1,0 +1,199 @@
+"""Tests for the synthetic / worst-case / non-uniform / Facebook generators."""
+
+import numpy as np
+import pytest
+
+from repro.topologies import fat_tree, hypercube, jellyfish
+from repro.traffic import (
+    all_to_all,
+    attach_rack_tm,
+    elephant_matching,
+    kodialam_tm,
+    longest_matching,
+    random_matching,
+    tm_facebook_frontend,
+    tm_facebook_hadoop,
+)
+from repro.utils.graphutils import all_pairs_distances
+
+
+class TestAllToAll:
+    def test_uniform_topology(self, small_hypercube):
+        tm = all_to_all(small_hypercube)
+        n = small_hypercube.n_switches
+        assert tm.demand[0, 1] == pytest.approx(1 / n)
+        # Per-server egress (n-1)/n.
+        assert tm.row_sums()[0] == pytest.approx((n - 1) / n)
+        assert tm.is_hose(small_hypercube.servers)
+
+    def test_weighted_by_server_counts(self, small_fattree):
+        tm = all_to_all(small_fattree)
+        hosts = small_fattree.server_nodes
+        n_servers = small_fattree.n_servers
+        u, v = hosts[0], hosts[1]
+        assert tm.demand[u, v] == pytest.approx(2 * 2 / n_servers)
+        # Nodes without servers send nothing.
+        non_hosts = np.setdiff1d(np.arange(small_fattree.n_switches), hosts)
+        assert np.all(tm.demand[non_hosts, :] == 0)
+
+    def test_symmetric(self, small_jellyfish):
+        tm = all_to_all(small_jellyfish)
+        assert np.allclose(tm.demand, tm.demand.T)
+
+
+class TestRandomMatching:
+    def test_rm1_is_permutation(self, small_hypercube):
+        tm = random_matching(small_hypercube, seed=0)
+        rows = tm.row_sums()
+        cols = tm.col_sums()
+        assert np.allclose(rows, 1.0)
+        assert np.allclose(cols, 1.0)
+
+    def test_rmk_hose_tight(self, small_hypercube):
+        tm = random_matching(small_hypercube, n_matchings=5, seed=0)
+        assert np.allclose(tm.row_sums(), 1.0, atol=1e-12)
+        assert tm.is_hose(small_hypercube.servers)
+
+    def test_servers_per_switch_alias(self, small_hypercube):
+        a = random_matching(small_hypercube, n_matchings=3, seed=9)
+        b = random_matching(small_hypercube, servers_per_switch=3, seed=9)
+        assert np.allclose(a.demand, b.demand)
+
+    def test_prescribed_servers(self, small_fattree):
+        tm = random_matching(small_fattree, seed=1)
+        hosts = small_fattree.server_nodes
+        # Each edge switch has 2 servers -> egress 2 (minus same-switch pairs).
+        assert np.all(tm.row_sums()[hosts] <= 2 + 1e-12)
+        assert tm.is_hose(small_fattree.servers)
+
+    def test_seed_reproducible(self, small_jellyfish):
+        a = random_matching(small_jellyfish, seed=5)
+        b = random_matching(small_jellyfish, seed=5)
+        assert np.allclose(a.demand, b.demand)
+
+
+class TestLongestMatching:
+    def test_hose_tight_permutation(self, small_hypercube):
+        tm = longest_matching(small_hypercube)
+        assert np.allclose(tm.row_sums(), 1.0)
+        assert np.allclose(tm.col_sums(), 1.0)
+
+    def test_hypercube_pairs_antipodes(self, small_hypercube):
+        # In a hypercube the longest matching pairs antipodal nodes
+        # (distance d); total distance = n * d.
+        tm = longest_matching(small_hypercube)
+        d = small_hypercube.params["dim"]
+        n = small_hypercube.n_switches
+        assert tm.meta["matching_total_distance"] == pytest.approx(n * d)
+
+    def test_maximizes_over_random(self, small_jellyfish):
+        dist = all_pairs_distances(small_jellyfish.graph)
+        lm = longest_matching(small_jellyfish)
+        lm_dist = lm.demand_weighted_distance(dist)
+        for seed in range(3):
+            rm = random_matching(small_jellyfish, seed=seed)
+            assert lm_dist >= rm.demand_weighted_distance(dist) - 1e-9
+
+    def test_deterministic(self, small_jellyfish):
+        a = longest_matching(small_jellyfish)
+        b = longest_matching(small_jellyfish)
+        assert np.allclose(a.demand, b.demand)
+
+
+class TestKodialam:
+    def test_hose_feasible(self, small_hypercube):
+        tm = kodialam_tm(small_hypercube)
+        assert tm.is_hose(small_hypercube.servers)
+
+    def test_at_least_longest_matching_distance(self, small_jellyfish):
+        # The LP relaxes the matching polytope, so its demand-weighted
+        # distance is >= the longest matching's.
+        dist = all_pairs_distances(small_jellyfish.graph)
+        kd = kodialam_tm(small_jellyfish)
+        lm = longest_matching(small_jellyfish)
+        kd_total = (kd.demand * dist).sum()
+        lm_total = (lm.demand * dist).sum()
+        assert kd_total >= lm_total - 1e-6
+
+    def test_respects_server_budgets(self, small_fattree):
+        tm = kodialam_tm(small_fattree)
+        assert tm.is_hose(small_fattree.servers)
+        non_hosts = np.setdiff1d(
+            np.arange(small_fattree.n_switches), small_fattree.server_nodes
+        )
+        assert np.all(tm.demand[non_hosts, :] == 0)
+
+
+class TestElephantMatching:
+    def test_mean_weight_normalized(self, small_hypercube):
+        # Total demand equals the base matching's (mean flow weight = 1), so
+        # elephants intentionally exceed the per-server hose budget.
+        tm = elephant_matching(small_hypercube, 10.0, seed=0)
+        base = longest_matching(small_hypercube)
+        assert tm.total_demand() == pytest.approx(base.total_demand())
+        assert tm.hose_utilization(small_hypercube.servers) > 1.0
+
+    def test_extremes_equal_longest_matching_exactly(self, small_hypercube):
+        base = longest_matching(small_hypercube)
+        t0 = elephant_matching(small_hypercube, 0.0, seed=0)
+        t100 = elephant_matching(small_hypercube, 100.0, seed=0)
+        assert np.allclose(t0.demand, base.demand)
+        assert np.allclose(t100.demand, base.demand)
+
+    def test_elephant_count(self, medium_hypercube):
+        tm = elephant_matching(medium_hypercube, 25.0, seed=1)
+        w = tm.demand[tm.demand > 0]
+        n_large = (w > w.min() * 5).sum()
+        assert n_large == round(0.25 * medium_hypercube.n_switches)
+
+    def test_invalid_percent(self, small_hypercube):
+        with pytest.raises(ValueError):
+            elephant_matching(small_hypercube, 150.0)
+
+    def test_at_least_one_elephant(self, small_hypercube):
+        tm = elephant_matching(small_hypercube, 0.5, seed=0)
+        w = tm.demand[tm.demand > 0]
+        assert (w > w.min() * 5).sum() >= 1
+
+
+class TestFacebookTMs:
+    def test_hadoop_near_uniform(self):
+        tm = tm_facebook_hadoop(seed=0)
+        w = tm.demand[tm.demand > 0]
+        assert set(np.unique(w)) <= {10.0, 100.0}
+        assert (w == 100.0).mean() > 0.8
+
+    def test_frontend_skewed(self):
+        tm, roles = tm_facebook_frontend(seed=0)
+        rows = tm.row_sums()
+        cache_rows = rows[roles == 1]
+        web_rows = rows[roles == 0]
+        assert cache_rows.mean() > 5 * web_rows.mean()
+
+    def test_attach_sampled(self):
+        topo = jellyfish(70, 6, seed=0)
+        tm = tm_facebook_hadoop(seed=0)
+        placed = attach_rack_tm(tm, topo, shuffle=False)
+        assert placed.n_nodes == 70
+        assert placed.hose_utilization(topo.servers) == pytest.approx(1.0)
+
+    def test_attach_downsamples(self):
+        topo = hypercube(5)  # 32 < 64 racks
+        tm = tm_facebook_hadoop(seed=0)
+        placed = attach_rack_tm(tm, topo, shuffle=False)
+        assert placed.n_nodes == 32
+        assert placed.meta["n_locations"] == 32
+
+    def test_attach_shuffle_changes_placement(self):
+        topo = hypercube(6)
+        tm, _ = tm_facebook_frontend(seed=0)
+        a = attach_rack_tm(tm, topo, shuffle=False)
+        b = attach_rack_tm(tm, topo, shuffle=True, seed=3)
+        assert not np.allclose(a.demand, b.demand)
+
+    def test_attach_to_prescribed_servers(self):
+        topo = fat_tree(8)  # 32 edge switches
+        tm, _ = tm_facebook_frontend(seed=0)
+        placed = attach_rack_tm(tm, topo, shuffle=False)
+        non_hosts = np.setdiff1d(np.arange(topo.n_switches), topo.server_nodes)
+        assert np.all(placed.demand[non_hosts, :] == 0)

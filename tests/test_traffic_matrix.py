@@ -1,0 +1,130 @@
+"""Tests for the TrafficMatrix core type."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import TrafficMatrix
+
+
+def simple_tm():
+    d = np.zeros((3, 3))
+    d[0, 1] = 1.0
+    d[1, 2] = 2.0
+    return TrafficMatrix(demand=d, kind="test")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        tm = simple_tm()
+        assert tm.n_nodes == 3
+        assert tm.n_flows == 2
+        assert tm.total_demand() == 3.0
+
+    def test_pairs(self):
+        src, dst, w = simple_tm().pairs()
+        assert src.tolist() == [0, 1]
+        assert dst.tolist() == [1, 2]
+        assert w.tolist() == [1.0, 2.0]
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(demand=np.zeros((2, 3)))
+
+    def test_negative_rejected(self):
+        d = np.zeros((2, 2))
+        d[0, 1] = -1
+        with pytest.raises(ValueError):
+            TrafficMatrix(demand=d)
+
+    def test_diagonal_rejected(self):
+        d = np.eye(3)
+        with pytest.raises(ValueError):
+            TrafficMatrix(demand=d)
+
+
+class TestHose:
+    def test_utilization(self):
+        tm = simple_tm()
+        servers = np.array([1, 1, 1])
+        # node 1: egress 2 -> utilization 2.
+        assert tm.hose_utilization(servers) == 2.0
+        assert not tm.is_hose(servers)
+
+    def test_normalized(self):
+        tm = simple_tm().normalized_hose(np.array([1, 1, 1]))
+        assert tm.hose_utilization(np.array([1, 1, 1])) == pytest.approx(1.0)
+
+    def test_zero_server_demand_invalid(self):
+        tm = simple_tm()
+        servers = np.array([0, 1, 1])
+        assert not tm.is_hose(servers)
+        with pytest.raises(ValueError):
+            tm.normalized_hose(servers)
+
+    def test_all_zero_normalize_raises(self):
+        tm = TrafficMatrix(demand=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            tm.normalized_hose(np.array([1, 1]))
+
+    def test_ingress_counts_too(self):
+        d = np.zeros((3, 3))
+        d[0, 2] = 1.0
+        d[1, 2] = 1.0  # node 2 ingress = 2
+        tm = TrafficMatrix(demand=d)
+        assert tm.hose_utilization(np.ones(3)) == 2.0
+
+
+class TestTransforms:
+    def test_scaled(self):
+        tm = simple_tm().scaled(2.0)
+        assert tm.total_demand() == 6.0
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            simple_tm().scaled(0)
+
+    def test_shuffled_preserves_multiset(self):
+        tm = simple_tm()
+        sh = tm.shuffled(seed=1)
+        assert sorted(sh.demand.flatten()) == sorted(tm.demand.flatten())
+        assert np.all(np.diag(sh.demand) == 0)
+
+    def test_permuted_roundtrip(self):
+        tm = simple_tm()
+        perm = np.array([2, 0, 1])
+        p = tm.permuted(perm)
+        # role r moved to node perm[r]
+        assert p.demand[perm[0], perm[1]] == 1.0
+        assert p.demand[perm[1], perm[2]] == 2.0
+
+    def test_permuted_invalid(self):
+        with pytest.raises(ValueError):
+            simple_tm().permuted(np.array([0, 0, 1]))
+
+    def test_embedded(self):
+        tm = simple_tm()
+        emb = tm.embedded(6, np.array([5, 3, 0]))
+        assert emb.n_nodes == 6
+        assert emb.demand[5, 3] == 1.0
+        assert emb.demand[3, 0] == 2.0
+        assert emb.total_demand() == tm.total_demand()
+
+    def test_embedded_validations(self):
+        tm = simple_tm()
+        with pytest.raises(ValueError):
+            tm.embedded(6, np.array([1, 1, 2]))  # duplicates
+        with pytest.raises(ValueError):
+            tm.embedded(2, np.array([0, 1, 2]))  # out of range
+
+    def test_restricted(self):
+        tm = simple_tm()
+        sub = tm.restricted(np.array([0, 1]))
+        assert sub.n_nodes == 2
+        assert sub.demand[0, 1] == 1.0
+        assert sub.total_demand() == 1.0
+
+    def test_demand_weighted_distance(self):
+        tm = simple_tm()
+        dist = np.array([[0, 1, 2], [1, 0, 3], [2, 3, 0]], dtype=float)
+        # (1*1 + 2*3) / 3
+        assert tm.demand_weighted_distance(dist) == pytest.approx(7 / 3)

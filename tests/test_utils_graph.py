@@ -1,0 +1,143 @@
+"""Tests for repro.utils.graphutils and repro.utils.matching."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.utils.graphutils import (
+    all_pairs_distances,
+    arcs_of,
+    degree_sequence,
+    edge_cut_capacity,
+    is_connected,
+    mean_shortest_path_length,
+    random_connected_regular_graph,
+    to_csr_adjacency,
+)
+from repro.utils.matching import max_weight_assignment
+from repro.utils.rng import ensure_rng
+
+
+class TestAdjacency:
+    def test_simple_graph(self):
+        g = nx.path_graph(3)
+        adj = to_csr_adjacency(g).toarray()
+        expected = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        assert np.array_equal(adj, expected)
+
+    def test_multigraph_capacity_sums(self):
+        g = nx.MultiGraph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        adj = to_csr_adjacency(g).toarray()
+        assert adj[0, 1] == 2.0 and adj[1, 0] == 2.0
+
+    def test_arcs_symmetric(self):
+        g = nx.cycle_graph(5)
+        tails, heads, caps = arcs_of(g)
+        assert tails.size == 10  # 5 edges x 2 directions
+        pairs = set(zip(tails.tolist(), heads.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+        assert np.all(caps == 1.0)
+
+
+class TestDistances:
+    def test_path_graph(self):
+        g = nx.path_graph(4)
+        dist = all_pairs_distances(g)
+        assert dist[0, 3] == 3.0
+        assert dist[1, 2] == 1.0
+
+    def test_disconnected_inf(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        dist = all_pairs_distances(g)
+        assert np.isinf(dist[0, 1])
+
+    def test_mean_path_length_cycle(self):
+        # C4 distances: each node has two at 1, one at 2 -> mean 4/3.
+        g = nx.cycle_graph(4)
+        assert mean_shortest_path_length(g) == pytest.approx(4 / 3)
+
+    def test_mean_path_length_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        with pytest.raises(ValueError):
+            mean_shortest_path_length(g)
+
+
+class TestConnectivityAndCuts:
+    def test_connected(self):
+        assert is_connected(nx.cycle_graph(6))
+
+    def test_disconnected(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_empty_graph_connected(self):
+        assert is_connected(nx.Graph())
+
+    def test_edge_cut_capacity(self):
+        g = nx.cycle_graph(4)
+        side = np.array([True, True, False, False])
+        assert edge_cut_capacity(g, side) == 2.0
+
+    def test_degree_sequence(self):
+        g = nx.star_graph(3)
+        assert degree_sequence(g).tolist() == [3, 1, 1, 1]
+
+
+class TestRandomRegular:
+    def test_regular_and_connected(self):
+        g = random_connected_regular_graph(3, 12, ensure_rng(0))
+        assert all(d == 3 for _, d in g.degree())
+        assert nx.is_connected(g)
+
+    def test_bad_parity_raises(self):
+        with pytest.raises(ValueError):
+            random_connected_regular_graph(3, 7, ensure_rng(0))
+
+    def test_degree_too_large_raises(self):
+        with pytest.raises(ValueError):
+            random_connected_regular_graph(8, 6, ensure_rng(0))
+
+
+class TestAssignment:
+    def test_simple_max_weight(self):
+        w = np.array([[0.0, 5.0], [5.0, 0.0]])
+        assignment, total = max_weight_assignment(w, forbid_diagonal=True)
+        assert assignment.tolist() == [1, 0]
+        assert total == 10.0
+
+    def test_diagonal_forbidden(self):
+        # Diagonal has huge weight but must be avoided.
+        w = np.full((3, 3), 1.0)
+        np.fill_diagonal(w, 100.0)
+        assignment, total = max_weight_assignment(w, forbid_diagonal=True)
+        assert not np.any(assignment == np.arange(3))
+        assert total == 3.0
+
+    def test_allows_diagonal_when_permitted(self):
+        w = np.eye(2) * 10
+        assignment, total = max_weight_assignment(w, forbid_diagonal=False)
+        assert assignment.tolist() == [0, 1]
+        assert total == 20.0
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(ValueError):
+            max_weight_assignment(np.ones((2, 3)))
+
+    def test_nonfinite_raises(self):
+        w = np.array([[np.inf, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            max_weight_assignment(w)
+
+    def test_n1_diagonal_free_raises(self):
+        with pytest.raises(ValueError):
+            max_weight_assignment(np.array([[1.0]]), forbid_diagonal=True)
+
+    def test_empty(self):
+        assignment, total = max_weight_assignment(np.empty((0, 0)))
+        assert assignment.size == 0 and total == 0.0

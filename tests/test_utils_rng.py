@@ -1,0 +1,105 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    choice_without_replacement,
+    ensure_rng,
+    permutation_avoiding_fixed_points,
+    spawn_rngs,
+    stable_seed,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1_000_000)
+        b = ensure_rng(7).integers(0, 1_000_000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_seedsequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(ss), np.random.Generator)
+
+    def test_tuple_seed_is_deterministic(self):
+        a = ensure_rng(("exp", 3)).integers(0, 1_000_000)
+        b = ensure_rng(("exp", 3)).integers(0, 1_000_000)
+        assert a == b
+
+    def test_different_tuples_differ(self):
+        a = ensure_rng(("exp", 3)).integers(0, 2**40)
+        b = ensure_rng(("exp", 4)).integers(0, 2**40)
+        assert a != b
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_distinct_parts_distinct_seeds(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_nonnegative_63bit(self):
+        s = stable_seed("anything", 123, (4, 5))
+        assert 0 <= s < 2**63
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_independent_and_deterministic(self):
+        xs = [g.integers(0, 2**40) for g in spawn_rngs(1, 3)]
+        ys = [g.integers(0, 2**40) for g in spawn_rngs(1, 3)]
+        assert xs == ys
+        assert len(set(xs)) == 3
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator(self):
+        g = np.random.default_rng(9)
+        rngs = spawn_rngs(g, 2)
+        assert len(rngs) == 2
+
+    def test_tuple_seed(self):
+        rngs = spawn_rngs(("fig", 2), 2)
+        assert len(rngs) == 2
+
+
+class TestDerangement:
+    def test_no_fixed_points(self):
+        rng = ensure_rng(0)
+        for n in (2, 3, 5, 17, 100):
+            perm = permutation_avoiding_fixed_points(n, rng)
+            assert not np.any(perm == np.arange(n))
+            assert sorted(perm.tolist()) == list(range(n))
+
+    def test_n1_raises(self):
+        with pytest.raises(ValueError):
+            permutation_avoiding_fixed_points(1, ensure_rng(0))
+
+    def test_n0_empty(self):
+        assert permutation_avoiding_fixed_points(0, ensure_rng(0)).size == 0
+
+
+class TestChoiceWithoutReplacement:
+    def test_distinct(self):
+        out = choice_without_replacement(range(10), 5, ensure_rng(0))
+        assert len(set(out.tolist())) == 5
+
+    def test_too_many_raises(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(range(3), 5, ensure_rng(0))

@@ -1,0 +1,103 @@
+"""Tests for the Xpander family and topology serialization."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topologies import hypercube, hyperx, jellyfish
+from repro.topologies.io import (
+    load_topology,
+    save_topology,
+    topology_from_json,
+    topology_to_edgelist,
+    topology_to_json,
+)
+from repro.topologies.properties import spectral_gap
+from repro.topologies.xpander import k_lift, xpander
+from repro.utils.rng import ensure_rng
+
+
+class TestXpander:
+    def test_sizes_and_regularity(self):
+        t = xpander(degree=4, lift=3, seed=0)
+        assert t.n_switches == 5 * 3
+        assert np.all(t.degree_sequence() == 4)
+        assert t.is_connected()
+
+    def test_lift_one_is_complete_graph(self):
+        t = xpander(degree=3, lift=1, seed=0)
+        assert nx.is_isomorphic(t.graph, nx.complete_graph(4))
+
+    def test_k_lift_preserves_degrees(self):
+        base = nx.complete_graph(5)
+        lifted = k_lift(base, 4, ensure_rng(0))
+        assert lifted.number_of_nodes() == 20
+        assert all(d == 4 for _, d in lifted.degree())
+
+    def test_expansion_comparable_to_random(self):
+        xp = xpander(degree=4, lift=8, seed=1)  # 40 switches
+        jf = jellyfish(40, 4, seed=1)
+        assert spectral_gap(xp) > 0.5 * spectral_gap(jf)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            xpander(degree=1, lift=2)
+
+    def test_seed_reproducible(self):
+        a = xpander(4, 3, seed=9)
+        b = xpander(4, 3, seed=9)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+
+class TestTopologyIO:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: hypercube(3),
+            lambda: hyperx(2, 3, 2, 1),  # multigraph
+            lambda: jellyfish(12, 3, seed=0),
+        ],
+    )
+    def test_json_roundtrip(self, builder):
+        topo = builder()
+        back = topology_from_json(topology_to_json(topo))
+        assert back.name == topo.name
+        assert back.n_switches == topo.n_switches
+        assert back.n_links == topo.n_links
+        assert np.array_equal(back.servers, topo.servers)
+        assert np.array_equal(back.degree_sequence(), topo.degree_sequence())
+
+    def test_file_roundtrip(self, tmp_path):
+        topo = hypercube(3)
+        path = tmp_path / "hc3.json"
+        save_topology(topo, path)
+        back = load_topology(path)
+        assert sorted(back.graph.edges()) == sorted(topo.graph.edges())
+
+    def test_bad_version_rejected(self):
+        import json
+
+        payload = json.loads(topology_to_json(hypercube(2)))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            topology_from_json(json.dumps(payload))
+
+    def test_edgelist_format(self):
+        topo = hypercube(2)
+        text = topology_to_edgelist(topo)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("# topology:")
+        edge_lines = [l for l in lines if not l.startswith("#")]
+        assert len(edge_lines) == topo.n_links
+        assert lines[-1].startswith("# servers:")
+
+    def test_roundtrip_preserves_throughput(self):
+        from repro.throughput import throughput
+        from repro.traffic import longest_matching
+
+        topo = jellyfish(10, 3, seed=3)
+        back = topology_from_json(topology_to_json(topo))
+        tm = longest_matching(topo)
+        assert throughput(back, tm).value == pytest.approx(
+            throughput(topo, tm).value, rel=1e-9
+        )
