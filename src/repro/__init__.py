@@ -13,6 +13,8 @@ The package provides:
   estimator suite of the paper's Appendix C;
 * :mod:`repro.evaluation` — same-equipment random-graph normalization,
   relative throughput, and one experiment per paper table/figure;
+* :mod:`repro.batch` — parallel batch solver and content-addressed result
+  cache behind every experiment sweep (see DESIGN.md);
 * :mod:`repro.theory` — executable forms of the paper's theorems.
 
 Quickstart::
@@ -53,6 +55,7 @@ from repro.throughput import (
     volumetric_upper_bound,
     worst_case_lower_bound,
 )
+from repro.batch import BatchSolver, ResultCache, SolveOutcome, SolveRequest
 from repro.cuts import bisection_bandwidth, find_sparse_cut, sparsest_cut_bruteforce
 from repro.evaluation import (
     relative_throughput,
@@ -91,5 +94,9 @@ __all__ = [
     "sparsest_cut_bruteforce",
     "relative_throughput",
     "same_equipment_random_graph",
+    "BatchSolver",
+    "ResultCache",
+    "SolveOutcome",
+    "SolveRequest",
     "__version__",
 ]

@@ -1,0 +1,32 @@
+"""Batch execution layer: parallel solves + content-addressed result cache.
+
+The sweep experiments build :class:`SolveRequest` lists and hand them to a
+:class:`BatchSolver`, which consults the persistent :class:`ResultCache`
+and fans cache misses out over worker processes.  See DESIGN.md
+("Batch execution and caching") for the architecture.
+"""
+
+from repro.batch.cache import ResultCache, resolve_cache_dir
+from repro.batch.context import get_solver, use_solver
+from repro.batch.jobs import (
+    BatchSolveError,
+    SolveOutcome,
+    SolveRequest,
+    instance_key,
+    values_by_tag,
+)
+from repro.batch.solver import BatchSolver, resolve_workers
+
+__all__ = [
+    "BatchSolveError",
+    "BatchSolver",
+    "ResultCache",
+    "SolveOutcome",
+    "SolveRequest",
+    "get_solver",
+    "instance_key",
+    "resolve_cache_dir",
+    "resolve_workers",
+    "use_solver",
+    "values_by_tag",
+]

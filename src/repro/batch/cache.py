@@ -1,0 +1,146 @@
+"""Persistent content-addressed cache of throughput results.
+
+Storage is an append-only JSON-lines file (``results.jsonl``) under the
+cache directory — human-inspectable, diff-friendly, and safe to append to
+from a single writer process (the :class:`~repro.batch.solver.BatchSolver`
+parent; workers never touch the file).  Keys are the digests produced by
+:func:`repro.batch.jobs.instance_key`, so a cache hit is guaranteed to be
+the same numerical instance regardless of which experiment or run produced
+it.
+
+The cache directory resolves, in order: the explicit ``cache_dir``
+argument, the ``REPRO_CACHE_DIR`` environment variable, then
+``~/.cache/repro``.
+
+Values persist everything of a :class:`ThroughputResult` except ``flows``
+(per-source arc-flow arrays are huge and only requested explicitly; those
+requests bypass the cache entirely — see ``SolveRequest.cacheable``).
+Floats round-trip exactly through JSON (``repr`` is shortest-exact), so a
+warm-cache rerun reproduces bit-identical experiment rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.throughput.lp import ThroughputResult
+from repro.utils.serialization import _coerce
+
+#: Default cache location when neither argument nor env var is given.
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+#: JSON-lines file holding one {"key": ..., "result": ...} record per line.
+CACHE_FILENAME = "results.jsonl"
+
+
+def resolve_cache_dir(cache_dir: Optional[os.PathLike | str] = None) -> Path:
+    """Resolve the cache directory (argument > ``REPRO_CACHE_DIR`` > default)."""
+    raw = cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return Path(raw).expanduser()
+
+
+def _result_to_doc(result: ThroughputResult) -> Dict[str, Any]:
+    return {
+        "value": float(result.value),
+        "engine": result.engine,
+        "n_variables": int(result.n_variables),
+        "n_constraints": int(result.n_constraints),
+        "solve_seconds": float(result.solve_seconds),
+        "meta": _coerce(result.meta),
+    }
+
+
+def _result_from_doc(doc: Dict[str, Any]) -> ThroughputResult:
+    return ThroughputResult(
+        value=float(doc["value"]),
+        engine=doc.get("engine", "lp"),
+        n_variables=int(doc.get("n_variables", 0)),
+        n_constraints=int(doc.get("n_constraints", 0)),
+        solve_seconds=float(doc.get("solve_seconds", 0.0)),
+        flows=None,
+        meta=dict(doc.get("meta", {})),
+    )
+
+
+class ResultCache:
+    """On-disk memo of ``instance key -> ThroughputResult``.
+
+    The JSONL file is read once, lazily; later ``put`` calls update the
+    in-memory map and append a line.  Duplicate keys are harmless — the
+    last line wins on load, and ``put`` skips keys already present.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike | str] = None) -> None:
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        self.path = self.cache_dir / CACHE_FILENAME
+        self._mem: Optional[Dict[str, ThroughputResult]] = None
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ------------------------------------------------------------------ I/O
+    def _load(self) -> Dict[str, ThroughputResult]:
+        if self._mem is None:
+            self._mem = {}
+            if self.path.exists():
+                with self.path.open("r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            doc = json.loads(line)
+                            self._mem[doc["key"]] = _result_from_doc(doc["result"])
+                        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                            continue  # tolerate a torn/corrupt trailing line
+        return self._mem
+
+    def get(self, key: str) -> Optional[ThroughputResult]:
+        """Cached result for ``key``, or None.  Counts hit/miss stats."""
+        result = self._load().get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def contains(self, key: str) -> bool:
+        """Membership test that does not disturb hit/miss counters."""
+        return key in self._load()
+
+    def put(self, key: str, result: ThroughputResult) -> None:
+        """Persist one result (no-op if the key is already stored)."""
+        mem = self._load()
+        if key in mem:
+            return
+        mem[key] = result
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps({"key": key, "result": _result_to_doc(result)}) + "\n"
+            )
+        self.puts += 1
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        n = len(self)
+        if self.path.exists():
+            self.path.unlink()
+        self._mem = {}
+        return n
+
+    # ---------------------------------------------------------------- stats
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }

@@ -1,0 +1,42 @@
+"""Ambient batch solver for experiment code.
+
+Experiment functions keep their ``(scale, seed)`` signatures; the runner
+installs a :class:`~repro.batch.solver.BatchSolver` for the duration of a
+run via :func:`use_solver`, and sweep helpers pick it up with
+:func:`get_solver`.  Outside any run, :func:`get_solver` returns a fresh
+inline solver (``workers=1``, no cache), which behaves exactly like the
+historical call-``throughput()``-in-a-loop code path.
+
+A :class:`contextvars.ContextVar` (not a bare module global) keeps nested
+or threaded experiment runs from clobbering each other's solver.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.batch.solver import BatchSolver
+
+_current_solver: ContextVar[Optional[BatchSolver]] = ContextVar(
+    "repro_batch_solver", default=None
+)
+
+
+def get_solver() -> BatchSolver:
+    """The ambient solver, or a default inline (serial, uncached) one."""
+    solver = _current_solver.get()
+    if solver is None:
+        solver = BatchSolver(workers=1, cache=None)
+    return solver
+
+
+@contextmanager
+def use_solver(solver: BatchSolver) -> Iterator[BatchSolver]:
+    """Install ``solver`` as the ambient solver within the ``with`` block."""
+    token = _current_solver.set(solver)
+    try:
+        yield solver
+    finally:
+        _current_solver.reset(token)

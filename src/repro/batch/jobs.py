@@ -1,0 +1,152 @@
+"""Job model for batched throughput solves.
+
+A :class:`SolveRequest` names one throughput instance — (topology, traffic
+matrix, engine, solver params) — and carries a *content-addressed* key:
+a stable SHA-256 digest of the topology's canonical arc list and
+capacities, the TM's nonzero demand entries, the engine name, and the
+solver parameters.  Two requests with the same key describe numerically
+identical LPs, no matter how or where the objects were constructed, which
+is what makes cross-run memoization (:mod:`repro.batch.cache`) sound.
+
+A :class:`SolveOutcome` pairs a request with either a
+:class:`~repro.throughput.lp.ThroughputResult` or a captured error string,
+so one infeasible or crashing instance never aborts a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.throughput.lp import ThroughputResult
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+
+#: Bump when the key payload layout changes; old cache entries then miss.
+KEY_VERSION = "repro-batch-v1"
+
+#: Engines the batch layer can dispatch (see :func:`repro.throughput.mcf.throughput`).
+BATCH_ENGINES = ("lp", "mwu")
+
+
+def instance_key(
+    topology: Topology,
+    tm: TrafficMatrix,
+    engine: str = "lp",
+    params: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Content-addressed key for one throughput instance.
+
+    The digest covers exactly what the solvers consume: the directed arc
+    list with capacities (sorted into canonical (tail, head) order, so edge
+    insertion order is irrelevant), the node count, the TM's nonzero
+    ``(src, dst, demand)`` triples in row-major order, the engine name, and
+    the sorted solver params.  Anything that changes the numerical instance
+    — permuting node ids, scaling a demand, adding a cable — changes the
+    key; anything that does not (names, families, construction provenance)
+    is excluded.
+    """
+    tails, heads, caps = topology.arcs()
+    order = np.lexsort((heads, tails))
+    src, dst, weights = tm.pairs()
+
+    h = hashlib.sha256()
+    h.update(KEY_VERSION.encode())
+    h.update(b"\x00n\x00" + str(topology.n_switches).encode())
+    h.update(b"\x00arcs\x00")
+    h.update(np.ascontiguousarray(tails[order], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(heads[order], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(caps[order], dtype=np.float64).tobytes())
+    h.update(b"\x00tm\x00" + str(tm.n_nodes).encode())
+    h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
+    h.update(b"\x00engine\x00" + engine.encode())
+    h.update(b"\x00params\x00" + repr(sorted((params or {}).items())).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class SolveRequest:
+    """One throughput instance to solve.
+
+    Attributes
+    ----------
+    topology, tm:
+        The instance itself.
+    engine:
+        ``"lp"`` or ``"mwu"`` (dispatched through
+        :func:`repro.throughput.mcf.throughput`).
+    params:
+        Extra kwargs for the engine (e.g. ``epsilon`` for MWU).
+    tag:
+        Caller-chosen label for mapping outcomes back to sweep points; not
+        part of the key.
+    """
+
+    topology: Topology
+    tm: TrafficMatrix
+    engine: str = "lp"
+    params: Dict[str, Any] = field(default_factory=dict)
+    tag: str = ""
+    _key: Optional[str] = field(default=None, repr=False, compare=False)
+
+    @property
+    def key(self) -> str:
+        """The content-addressed instance key (computed once, then cached)."""
+        if self._key is None:
+            self._key = instance_key(self.topology, self.tm, self.engine, self.params)
+        return self._key
+
+    @property
+    def cacheable(self) -> bool:
+        """Flow-carrying results are too large to persist; skip the cache."""
+        return not self.params.get("want_flows", False)
+
+
+class BatchSolveError(RuntimeError):
+    """A solve outcome was required but the job failed."""
+
+
+def values_by_tag(outcomes: "list[SolveOutcome]") -> Dict[str, list]:
+    """Group required outcome values by request tag (sweep aggregation).
+
+    Raises :class:`BatchSolveError` on the first failed outcome; tags with
+    no outcomes are simply absent (callers use ``.get(tag, [])`` to degrade
+    like the historical serial code did on empty sample sets).
+    """
+    grouped: Dict[str, list] = {}
+    for outcome in outcomes:
+        grouped.setdefault(outcome.tag, []).append(outcome.require().value)
+    return grouped
+
+
+@dataclass
+class SolveOutcome:
+    """Result of one batched solve: a value or a captured error, never both.
+
+    ``key`` is only populated when a cache was consulted — computing the
+    content digest costs a hash over the full instance, which the uncached
+    path must not pay.
+    """
+
+    key: str = ""
+    tag: str = ""
+    result: Optional[ThroughputResult] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+    def require(self) -> ThroughputResult:
+        """The result, or :class:`BatchSolveError` if the job failed."""
+        if not self.ok:
+            ident = self.key[:12] if self.key else (self.tag or "<unkeyed>")
+            raise BatchSolveError(f"solve failed for instance {ident}: {self.error}")
+        assert self.result is not None
+        return self.result

@@ -1,0 +1,278 @@
+"""Parallel batch execution of throughput solves.
+
+:class:`BatchSolver` takes a list of :class:`~repro.batch.jobs.SolveRequest`
+and returns one :class:`~repro.batch.jobs.SolveOutcome` per request, in
+request order, regardless of completion order — so ``workers=N`` is
+bit-identical to ``workers=1``.  Three layers:
+
+1. **Cache probe** — requests whose key is already in the
+   :class:`~repro.batch.cache.ResultCache` never reach a solver.
+2. **Execution** — ``workers=1`` solves inline in the calling process (the
+   deterministic CI path, zero pickling); ``workers>1`` fans out over a
+   ``ProcessPoolExecutor`` (``workers="auto"`` → ``os.cpu_count()``).
+   Independent LP instances parallelize embarrassingly well: HiGHS holds
+   the GIL, so threads would not help.
+3. **Capture** — each job's exception (or pool timeout) is recorded on its
+   own outcome; one infeasible or crashing instance cannot kill a sweep.
+
+Freshly solved cacheable results are written back to the cache by the
+parent process only, so there are no concurrent writers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeout
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.batch.cache import ResultCache
+from repro.batch.jobs import BATCH_ENGINES, SolveOutcome, SolveRequest
+from repro.throughput.lp import ThroughputResult
+from repro.throughput.mcf import throughput
+
+
+def _dispatch(request: SolveRequest) -> ThroughputResult:
+    """Solve one request with the engine it names."""
+    if request.engine not in BATCH_ENGINES:
+        raise ValueError(
+            f"batch layer cannot dispatch engine {request.engine!r}; "
+            f"expected one of {BATCH_ENGINES}"
+        )
+    return throughput(
+        request.topology, request.tm, engine=request.engine, **request.params
+    )
+
+
+def _solve_captured(request: SolveRequest) -> Tuple[Optional[ThroughputResult], Optional[str]]:
+    """Worker entry point: solve, converting any exception into a string.
+
+    Must stay a module-level function (pickled by the process pool).
+    """
+    try:
+        return _dispatch(request), None
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _available_cpus() -> int:
+    """CPUs actually available to this process (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Union[int, str]) -> int:
+    """Normalize the ``workers`` knob: ``"auto"`` → CPU count, else int >= 1.
+
+    ``"auto"`` honors CPU affinity / cgroup limits, so a container allotted
+    2 cores on a 64-core host gets 2 workers, not 64.
+    """
+    if workers == "auto":
+        return _available_cpus()
+    n = int(workers)
+    if n < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return n
+
+
+class BatchSolver:
+    """Fan a batch of throughput solves over workers, memoized by a cache.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (inline, deterministic, no subprocesses), an int > 1, or
+        ``"auto"`` for ``os.cpu_count()``.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables memoization.
+    timeout:
+        Optional wall-clock limit in seconds, measured from batch
+        submission and applied to every job (pool mode only; the inline
+        path runs jobs to completion).  A job that has not finished
+        ``timeout`` seconds after its batch was submitted yields an error
+        outcome and the rest of the batch proceeds; since all jobs are
+        submitted together, this bounds the whole batch wait without one
+        slow job consuming a later job's budget.
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, str] = 1,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.timeout = timeout
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.n_requests = 0
+        self.n_solved = 0
+        self.n_cache_hits = 0
+        self.n_errors = 0
+        # Cache counters are cache-lifetime; remember where they stood when
+        # this solver started so stats() can report per-solver deltas.
+        self._cache_base = (
+            (cache.hits, cache.misses, cache.puts) if cache is not None else (0, 0, 0)
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _recycle_pool(self) -> None:
+        """Discard the pool after a timeout or worker death.
+
+        ``shutdown(wait=False)`` alone would leave a timed-out LP occupying
+        a worker (and a later ``close()`` blocking on it), so remaining
+        worker processes are terminated best-effort; the next batch gets a
+        fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def __enter__(self) -> "BatchSolver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- solving
+    def solve(self, request: SolveRequest) -> SolveOutcome:
+        """Convenience wrapper: solve a single request."""
+        return self.solve_many([request])[0]
+
+    def solve_many(self, requests: Sequence[SolveRequest]) -> List[SolveOutcome]:
+        """Solve every request; outcomes are returned in request order."""
+        outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
+        pending: List[Tuple[int, SolveRequest]] = []
+        self.n_requests += len(requests)
+
+        for i, req in enumerate(requests):
+            # Only the cached path pays for the content digest; inline
+            # uncached solves stay zero-overhead.
+            use_cache = self.cache is not None and req.cacheable
+            cached = self.cache.get(req.key) if use_cache else None
+            if cached is not None:
+                self.n_cache_hits += 1
+                outcomes[i] = SolveOutcome(
+                    key=req.key, tag=req.tag, result=cached, from_cache=True
+                )
+            else:
+                pending.append((i, req))
+
+        if pending:
+            if self.workers == 1:
+                solved = [_solve_captured(req) for _, req in pending]
+            else:
+                solved = self._solve_in_pool([req for _, req in pending])
+            for (i, req), (result, error) in zip(pending, solved):
+                use_cache = self.cache is not None and req.cacheable
+                if error is None and result is not None:
+                    self.n_solved += 1
+                    if use_cache:
+                        self.cache.put(req.key, result)
+                else:
+                    self.n_errors += 1
+                outcomes[i] = SolveOutcome(
+                    key=req.key if use_cache else "",
+                    tag=req.tag,
+                    result=result,
+                    error=error,
+                )
+
+        return [o for o in outcomes if o is not None]
+
+    def _solve_in_pool(
+        self, requests: Sequence[SolveRequest]
+    ) -> List[Tuple[Optional[ThroughputResult], Optional[str]]]:
+        pool = self._ensure_pool()
+        futures = []
+        submit_error: Optional[str] = None
+        for req in requests:
+            if submit_error is not None:
+                futures.append(None)
+                continue
+            try:
+                futures.append(pool.submit(_solve_captured, req))
+            except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+                submit_error = f"{type(exc).__name__}: {exc}"
+                futures.append(None)
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        results: List[Tuple[Optional[ThroughputResult], Optional[str]]] = []
+        needs_recycle = submit_error is not None
+        for fut in futures:
+            if fut is None:
+                results.append((None, submit_error))
+                continue
+            try:
+                remaining = (
+                    max(0.0, deadline - time.monotonic())
+                    if deadline is not None
+                    else None
+                )
+                results.append(fut.result(timeout=remaining))
+            except FuturesTimeout:
+                needs_recycle = True
+                results.append(
+                    (
+                        None,
+                        f"TimeoutError: job not finished within {self.timeout}s "
+                        "of batch submission",
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+                needs_recycle = True
+                results.append((None, f"{type(exc).__name__}: {exc}"))
+        if needs_recycle:
+            # A dead worker poisons a ProcessPoolExecutor forever, and a
+            # timed-out job would pin its worker (and block close()); start
+            # fresh so the next batch keeps its error isolation.
+            self._recycle_pool()
+        return results
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        """Counters for ``ExperimentResult.extras`` and CLI reporting.
+
+        The nested ``cache`` block reports hit/miss/put counts *since this
+        solver was created* (a shared cache accumulates lifetime counters
+        across experiments; per-experiment extras must not inherit them),
+        plus the cache's current path and size.
+        """
+        out: Dict[str, Any] = {
+            "workers": self.workers,
+            "requests": self.n_requests,
+            "solved": self.n_solved,
+            "cache_hits": self.n_cache_hits,
+            "errors": self.n_errors,
+        }
+        if self.cache is not None:
+            base_hits, base_misses, base_puts = self._cache_base
+            out["cache"] = {
+                "path": str(self.cache.path),
+                "entries": len(self.cache),
+                "hits": self.cache.hits - base_hits,
+                "misses": self.cache.misses - base_misses,
+                "puts": self.cache.puts - base_puts,
+            }
+        return out

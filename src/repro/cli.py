@@ -5,10 +5,15 @@ Usage::
     python -m repro list
     python -m repro fig4
     python -m repro fig5 --scale medium --seed 7
-    python -m repro all --scale small
+    python -m repro all --scale small --workers auto
+    python -m repro fig5 --cache-dir /tmp/repro-cache   # warm reruns are free
+    python -m repro cache            # cache stats
+    python -m repro cache clear      # drop all cached results
 
 Output is the ASCII table/series the corresponding bench prints, plus the
-shape-check verdicts recorded in EXPERIMENTS.md.
+shape-check verdicts recorded in EXPERIMENTS.md.  Throughput solves fan out
+over ``--workers`` processes and are memoized in a content-addressed result
+cache (see DESIGN.md, "Batch execution and caching").
 """
 
 from __future__ import annotations
@@ -16,10 +21,21 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
+from repro.batch import ResultCache, resolve_workers
 from repro.evaluation.experiments import EXPERIMENTS, run_experiment
 from repro.evaluation.runner import SCALES
+from repro.utils.serialization import experiment_to_json
+
+
+def _workers_arg(value: str) -> int:
+    """Parse/validate ``--workers`` at the parser, for clean CLI errors."""
+    try:
+        return resolve_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig4, table1), 'all', or 'list'",
+        help="experiment id (e.g. fig4, table1), 'all', 'list', or 'cache'",
+    )
+    parser.add_argument(
+        "cache_action",
+        nargs="?",
+        choices=["stats", "clear"],
+        default=None,
+        help="with 'cache': show stats (default) or clear stored results",
     )
     parser.add_argument(
         "--scale",
@@ -40,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes for throughput solves: an int or 'auto' "
+        "(= cpu count); default 1 (inline, deterministic)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this run",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         default=None,
@@ -48,32 +89,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_command(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.path}")
+        return 0
+    stats = cache.stats()
+    print(f"cache file : {stats['path']}")
+    print(f"entries    : {stats['entries']}")
+    size = cache.path.stat().st_size if cache.path.exists() else 0
+    print(f"size       : {size} bytes")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_action is not None and args.experiment != "cache":
+        parser.error(
+            f"'{args.cache_action}' is only valid after 'cache' "
+            f"(got experiment {args.experiment!r})"
+        )
     if args.experiment == "list":
         for name in EXPERIMENTS:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             print(f"{name:12s} {doc}")
         return 0
+    if args.experiment == "cache":
+        return _cache_command(args)
     scale = SCALES[args.scale] if args.scale else None
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     exit_code = 0
     for exp_id in ids:
         t0 = time.perf_counter()
         try:
-            result = run_experiment(exp_id, scale=scale, seed=args.seed)
+            result = run_experiment(
+                exp_id,
+                scale=scale,
+                seed=args.seed,
+                workers=args.workers,
+                cache=cache,
+            )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - t0
         print(result.render())
-        print(f"[{exp_id} finished in {elapsed:.1f}s]")
+        batch = result.extras.get("batch", {})
+        print(
+            f"[{exp_id} finished in {elapsed:.1f}s; "
+            f"{batch.get('solved', 0)} solved, "
+            f"{batch.get('cache_hits', 0)} cache hits, "
+            f"{batch.get('errors', 0)} errors]"
+        )
         print()
         if args.json:
-            from pathlib import Path
-
-            from repro.utils.serialization import experiment_to_json
-
             out_dir = Path(args.json)
             out_dir.mkdir(parents=True, exist_ok=True)
             (out_dir / f"{exp_id}.json").write_text(experiment_to_json(result))

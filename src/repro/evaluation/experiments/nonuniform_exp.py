@@ -9,11 +9,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.batch import SolveRequest, get_solver
 from repro.evaluation.experiments.factories import elephant_factory
 from repro.evaluation.equipment import jellyfish_from_equipment
-from repro.evaluation.relative import relative_throughput
+from repro.evaluation.relative import RelativeSpec, relative_throughput_many
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
-from repro.throughput.mcf import throughput
 from repro.topologies.fattree import fat_tree
 from repro.topologies.hypercube import hypercube
 from repro.topologies.registry import DISPLAY_NAMES, GROUP1, GROUP2, representative
@@ -27,20 +27,26 @@ PERCENTS: Sequence[float] = (1.0, 5.0, 10.0, 20.0, 50.0, 100.0)
 def _sweep_group(
     families: Sequence[str], scale: ScaleConfig, seed: int
 ) -> List[tuple]:
-    rows: List[tuple] = []
+    specs: List[RelativeSpec] = []
+    points: List[tuple] = []
     for family in families:
         topo = representative(family, seed=stable_seed((seed, family)))
         if topo.n_switches > scale.max_switches:
             continue
         for pct in PERCENTS:
-            res = relative_throughput(
-                topo,
-                elephant_factory(pct),
-                samples=scale.samples,
-                seed=stable_seed((seed, family, pct)),
+            specs.append(
+                (
+                    topo,
+                    elephant_factory(pct),
+                    scale.samples,
+                    stable_seed((seed, family, pct)),
+                )
             )
-            rows.append((DISPLAY_NAMES[family], pct, res.relative, res.absolute))
-    return rows
+            points.append((family, pct))
+    return [
+        (DISPLAY_NAMES[family], pct, res.relative, res.absolute)
+        for (family, pct), res in zip(points, relative_throughput_many(specs))
+    ]
 
 
 def _graceful_checks(rows: List[tuple], families: Sequence[str]) -> Dict[str, bool]:
@@ -112,10 +118,19 @@ def fig12(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
     rows: List[tuple] = []
     series: Dict[str, List[float]] = {}
+    requests = [
+        SolveRequest(
+            topo,
+            elephant_matching(topo, pct, seed=stable_seed((seed, name, pct))),
+            tag=name,
+        )
+        for name, topo in topos.items()
+        for pct in PERCENTS
+    ]
+    outcomes = iter(get_solver().solve_many(requests))
     for name, topo in topos.items():
         for pct in PERCENTS:
-            tm = elephant_matching(topo, pct, seed=stable_seed((seed, name, pct)))
-            t = throughput(topo, tm).value
+            t = next(outcomes).require().value
             rows.append((name, pct, t))
             series.setdefault(name, []).append(t)
     dip = {name: min(v) / max(v) for name, v in series.items()}

@@ -40,8 +40,8 @@ def _facebook_experiment(
     sampled placement) keeps the sampled-vs-shuffled comparison exact: both
     numerators are exact LP values, so the placement effect is noise-free.
     """
+    from repro.batch import SolveRequest, get_solver, values_by_tag
     from repro.evaluation.equipment import same_equipment_random_graph
-    from repro.throughput.mcf import throughput
 
     rows: List[tuple] = []
     values: Dict[str, Dict[str, float]] = {}
@@ -49,34 +49,39 @@ def _facebook_experiment(
         topo = representative(family, seed=stable_seed((seed, exp_id, family)))
         if topo.n_switches > scale.max_switches:
             continue
-        sampled_abs = throughput(
-            topo, attach_rack_tm(rack_tm, topo, shuffle=False)
-        ).value
-        shuffled_abs = float(
-            np.mean(
-                [
-                    throughput(
-                        topo,
-                        attach_rack_tm(
-                            rack_tm,
-                            topo,
-                            shuffle=True,
-                            seed=stable_seed((seed, exp_id, family, "sh", i)),
-                        ),
-                    ).value
-                    for i in range(scale.shuffles)
-                ]
+        requests = [
+            SolveRequest(
+                topo, attach_rack_tm(rack_tm, topo, shuffle=False), tag="sampled"
             )
-        )
-        baseline_vals = []
+        ]
+        for i in range(scale.shuffles):
+            requests.append(
+                SolveRequest(
+                    topo,
+                    attach_rack_tm(
+                        rack_tm,
+                        topo,
+                        shuffle=True,
+                        seed=stable_seed((seed, exp_id, family, "sh", i)),
+                    ),
+                    tag="shuffled",
+                )
+            )
         for i in range(scale.samples):
             rand = same_equipment_random_graph(
                 topo, seed=stable_seed((seed, exp_id, family, "rand", i))
             )
-            baseline_vals.append(
-                throughput(rand, attach_rack_tm(rack_tm, rand, shuffle=False)).value
+            requests.append(
+                SolveRequest(
+                    rand, attach_rack_tm(rack_tm, rand, shuffle=False), tag="baseline"
+                )
             )
-        baseline = float(np.mean(baseline_vals))
+        by_tag = values_by_tag(get_solver().solve_many(requests))
+        sampled_abs = by_tag["sampled"][0]
+        # .get degrades shuffles=0 / samples=0 configs to NaN rather than
+        # aborting the whole experiment (matches the old serial behavior).
+        shuffled_abs = float(np.mean(by_tag.get("shuffled", [])))
+        baseline = float(np.mean(by_tag.get("baseline", [])))
         n_locs = int(topo.server_nodes.size)
         rows.append(
             (

@@ -15,7 +15,11 @@ from repro.evaluation.experiments.factories import (
     UNIFORM_TM_FACTORIES,
     lm_factory,
 )
-from repro.evaluation.relative import relative_path_length, relative_throughput
+from repro.evaluation.relative import (
+    RelativeSpec,
+    relative_path_length,
+    relative_throughput_many,
+)
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.hyperx import hyperx_for_terminals
 from repro.topologies.longhop import longhop
@@ -35,7 +39,8 @@ def _relative_over_ladder(
     seed: int,
     tm_names: Sequence[str] = ("A2A", "RM", "LM"),
 ) -> List[tuple]:
-    rows: List[tuple] = []
+    specs: List[RelativeSpec] = []
+    points: List[tuple] = []
     for family in families:
         ladder = scale_ladder(family, scale.max_servers, seed=stable_seed((seed, family)))
         for topo in ladder:
@@ -43,22 +48,20 @@ def _relative_over_ladder(
                 continue
             for tm_name in tm_names:
                 factory = UNIFORM_TM_FACTORIES[tm_name]
-                res = relative_throughput(
-                    topo,
-                    factory,
-                    samples=scale.samples,
-                    seed=stable_seed((seed, family, topo.name, tm_name)),
-                )
-                rows.append(
+                specs.append(
                     (
-                        DISPLAY_NAMES[family],
-                        topo.n_servers,
-                        tm_name,
-                        res.relative,
-                        res.absolute,
+                        topo,
+                        factory,
+                        scale.samples,
+                        stable_seed((seed, family, topo.name, tm_name)),
                     )
                 )
-    return rows
+                points.append((family, topo, tm_name))
+    results = relative_throughput_many(specs)
+    return [
+        (DISPLAY_NAMES[family], topo.n_servers, tm_name, res.relative, res.absolute)
+        for (family, topo, tm_name), res in zip(points, results)
+    ]
 
 
 def _group_checks(rows: List[tuple]) -> Dict[str, bool]:
@@ -142,6 +145,8 @@ def fig7(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     # graphs where relative throughput is trivially 1).
     terminal_targets = (24, 48, 96, 192, 384, 768)
     values_by_bisection: Dict[float, List[float]] = {}
+    specs: List[RelativeSpec] = []
+    points: List[tuple] = []
     for beta in (0.2, 0.4, 0.5):
         seen = set()
         for n_term in terminal_targets:
@@ -156,22 +161,21 @@ def fig7(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
             if key in seen:
                 continue
             seen.add(key)
-            res = relative_throughput(
-                topo,
-                lm_factory,
-                samples=scale.samples,
-                seed=stable_seed((seed, "hyperx", beta, n_term)),
+            specs.append(
+                (topo, lm_factory, scale.samples, stable_seed((seed, "hyperx", beta, n_term)))
             )
-            rows.append(
-                (
-                    beta,
-                    topo.name,
-                    topo.n_servers,
-                    topo.params["relative_bisection"],
-                    res.relative,
-                )
+            points.append((beta, topo))
+    for (beta, topo), res in zip(points, relative_throughput_many(specs)):
+        rows.append(
+            (
+                beta,
+                topo.name,
+                topo.n_servers,
+                topo.params["relative_bisection"],
+                res.relative,
             )
-            values_by_bisection.setdefault(beta, []).append(res.relative)
+        )
+        values_by_bisection.setdefault(beta, []).append(res.relative)
     # High bisection does not guarantee high performance: some design meeting
     # a >= 0.4 bisection target still falls well short of the random graph.
     high_beta_vals = values_by_bisection.get(0.4, []) + values_by_bisection.get(0.5, [])
@@ -209,21 +213,27 @@ def fig8(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
 
         return longest_matching(topology, seed=tm_seed, spread_ties=True)
 
+    specs: List[RelativeSpec] = []
+    points: List[tuple] = []
     for dim in dims:
         for servers_per_node in (1, 4, 10):
             topo = longhop(dim, servers_per_node=servers_per_node)
             if topo.n_servers > scale.max_servers * 4:
                 break
-            res = relative_throughput(
-                topo,
-                spread_lm_factory,
-                samples=scale.samples,
-                seed=stable_seed((seed, "lh", dim, servers_per_node)),
+            specs.append(
+                (
+                    topo,
+                    spread_lm_factory,
+                    scale.samples,
+                    stable_seed((seed, "lh", dim, servers_per_node)),
+                )
             )
-            rows.append(
-                (dim, servers_per_node, topo.n_servers, topo.params["degree"], res.relative)
-            )
-            last_per_dim.setdefault(dim, []).append(res.relative)
+            points.append((dim, servers_per_node, topo))
+    for (dim, servers_per_node, topo), res in zip(points, relative_throughput_many(specs)):
+        rows.append(
+            (dim, servers_per_node, topo.n_servers, topo.params["degree"], res.relative)
+        )
+        last_per_dim.setdefault(dim, []).append(res.relative)
     all_vals = [r[4] for r in rows]
     checks = {
         # Paper's two Fig. 8 claims that are scale-independent: Long Hop
@@ -248,17 +258,19 @@ def fig9(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 9: Slim Fly — short paths do not translate to higher throughput."""
     scale = scale or scale_from_env()
     rows: List[tuple] = []
+    specs: List[RelativeSpec] = []
+    kept: List[tuple] = []
     for q in slimfly_valid_q(37):
         topo = slimfly(q)
         if topo.n_switches > scale.max_switches:
             break
-        rel_t = relative_throughput(
-            topo, lm_factory, samples=scale.samples, seed=stable_seed((seed, "sf", q))
-        ).relative
+        specs.append((topo, lm_factory, scale.samples, stable_seed((seed, "sf", q))))
+        kept.append((q, topo))
+    for (q, topo), res in zip(kept, relative_throughput_many(specs)):
         rel_p = relative_path_length(
             topo, samples=scale.samples, seed=stable_seed((seed, "sfp", q))
         )
-        rows.append((q, topo.n_servers, rel_t, rel_p))
+        rows.append((q, topo.n_servers, res.relative, rel_p))
     checks = {
         "paths_shorter_than_random": all(r[3] < 0.97 for r in rows),
         "short_paths_dont_buy_throughput": all(r[2] <= 1.15 for r in rows),
@@ -280,6 +292,8 @@ def table1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     checks: Dict[str, bool] = {}
     lm_worse_than_a2a = True
     fattree_lm_better = False
+    specs: List[RelativeSpec] = []
+    points: List[tuple] = []
     for family in GROUP1:
         ladder = [
             t
@@ -289,15 +303,19 @@ def table1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         if not ladder:
             continue
         topo = ladder[-1]
-        vals = {}
         for tm_name in ("A2A", "RM", "LM"):
-            res = relative_throughput(
-                topo,
-                UNIFORM_TM_FACTORIES[tm_name],
-                samples=scale.samples,
-                seed=stable_seed((seed, family, tm_name, "t1")),
+            specs.append(
+                (
+                    topo,
+                    UNIFORM_TM_FACTORIES[tm_name],
+                    scale.samples,
+                    stable_seed((seed, family, tm_name, "t1")),
+                )
             )
-            vals[tm_name] = res.relative
+        points.append((family, topo))
+    results = iter(relative_throughput_many(specs))
+    for family, topo in points:
+        vals = {tm_name: next(results).relative for tm_name in ("A2A", "RM", "LM")}
         rows.append(
             (
                 DISPLAY_NAMES[family],

@@ -5,23 +5,34 @@
 TM families that adapt to the graph (longest matching, random matching) are
 regenerated for each random graph; fixed matrices (e.g. a placed Facebook
 TM) are re-placed on the random graph's identical server layout.
+
+All LP solves route through the ambient :class:`~repro.batch.BatchSolver`
+(see :mod:`repro.batch.context`): instance construction — topologies, TMs,
+random-graph baselines — happens eagerly in seed order (so results are
+bit-identical to the historical serial code), and the resulting
+``SolveRequest`` batch is executed by the solver, which may parallelize it
+and memoize repeats.  ``relative_throughput_many`` batches *entire sweeps*
+into one submission, which is where multicore actually pays off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.batch import BatchSolver, SolveRequest, get_solver
 from repro.evaluation.equipment import same_equipment_random_graph
-from repro.throughput.mcf import throughput
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.utils.rng import SeedLike, spawn_rngs
 
 #: A TM family: builds the matrix for a given topology instance.
 TMFactory = Callable[[Topology, SeedLike], TrafficMatrix]
+
+#: One relative-throughput evaluation: (topology, tm_factory, samples, seed).
+RelativeSpec = Tuple[Topology, TMFactory, int, SeedLike]
 
 
 @dataclass
@@ -36,35 +47,99 @@ class RelativeThroughputResult:
     n_samples: int
 
 
+def _spec_requests(
+    topology: Topology, tm_factory: TMFactory, samples: int, seed: SeedLike, engine: str
+) -> List[SolveRequest]:
+    """The 1 + samples solve requests of one relative-throughput evaluation.
+
+    RNG consumption order matches the historical serial implementation
+    exactly: the topology's own TM first, then alternating random graph /
+    random TM draws.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rngs = spawn_rngs(seed, 2 * samples + 1)
+    requests = [
+        SolveRequest(topology, tm_factory(topology, rngs[0]), engine=engine, tag="self")
+    ]
+    for i in range(samples):
+        rand = same_equipment_random_graph(topology, seed=rngs[1 + 2 * i])
+        rand_tm = tm_factory(rand, rngs[2 + 2 * i])
+        requests.append(SolveRequest(rand, rand_tm, engine=engine, tag=f"rand{i}"))
+    return requests
+
+
+#: Max requests submitted per solve_many call.  Bounds peak memory: each
+#: request holds a dense n x n demand matrix and a topology, so a whole
+#: paper-scale ladder sweep must not sit in RAM at once.  64 in-flight
+#: instances keep any realistic worker pool saturated.
+_CHUNK_SIZE = 64
+
+
+def relative_throughput_many(
+    specs: Sequence[RelativeSpec],
+    engine: str = "lp",
+    solver: Optional[BatchSolver] = None,
+) -> List[RelativeThroughputResult]:
+    """Evaluate many relative-throughput points as chunked solve batches.
+
+    Each spec is ``(topology, tm_factory, samples, seed)``.  The LPs of all
+    specs are submitted through :meth:`BatchSolver.solve_many` in chunks of
+    ``_CHUNK_SIZE``, so a whole figure sweep parallelizes across instances
+    (not just the 1 + samples instances of a single point) while only a
+    bounded window of topologies/TMs is alive at a time; completed chunks
+    retain only their float values.
+    """
+    solver = solver or get_solver()
+    values: List[float] = []
+    bounds: List[Tuple[int, int]] = []
+    buffer: List[SolveRequest] = []
+
+    def flush() -> None:
+        if buffer:
+            values.extend(o.require().value for o in solver.solve_many(buffer))
+            buffer.clear()
+
+    for topology, tm_factory, samples, seed in specs:
+        start = len(values) + len(buffer)
+        buffer.extend(_spec_requests(topology, tm_factory, samples, seed, engine))
+        bounds.append((start, len(values) + len(buffer)))
+        if len(buffer) >= _CHUNK_SIZE:
+            flush()
+    flush()
+
+    results: List[RelativeThroughputResult] = []
+    for (topology, _factory, samples, _seed), (start, stop) in zip(specs, bounds):
+        spec_values = values[start:stop]
+        absolute, rand_values = spec_values[0], spec_values[1:]
+        mean = float(np.mean(rand_values))
+        rel = absolute / mean if mean > 0 else np.inf
+        results.append(
+            RelativeThroughputResult(
+                topology_name=topology.name,
+                absolute=absolute,
+                random_absolute_mean=mean,
+                random_absolute_values=rand_values,
+                relative=rel,
+                n_samples=samples,
+            )
+        )
+    return results
+
+
 def relative_throughput(
     topology: Topology,
     tm_factory: TMFactory,
     samples: int = 3,
     seed: SeedLike = 0,
     engine: str = "lp",
+    solver: Optional[BatchSolver] = None,
 ) -> RelativeThroughputResult:
     """Throughput of ``topology`` divided by the mean over ``samples``
     same-equipment random graphs (each with its own TM from the factory)."""
-    if samples < 1:
-        raise ValueError(f"samples must be >= 1, got {samples}")
-    rngs = spawn_rngs(seed, 2 * samples + 1)
-    tm = tm_factory(topology, rngs[0])
-    absolute = throughput(topology, tm, engine=engine).value
-    rand_values: List[float] = []
-    for i in range(samples):
-        rand = same_equipment_random_graph(topology, seed=rngs[1 + 2 * i])
-        rand_tm = tm_factory(rand, rngs[2 + 2 * i])
-        rand_values.append(throughput(rand, rand_tm, engine=engine).value)
-    mean = float(np.mean(rand_values))
-    rel = absolute / mean if mean > 0 else np.inf
-    return RelativeThroughputResult(
-        topology_name=topology.name,
-        absolute=absolute,
-        random_absolute_mean=mean,
-        random_absolute_values=rand_values,
-        relative=rel,
-        n_samples=samples,
-    )
+    return relative_throughput_many(
+        [(topology, tm_factory, samples, seed)], engine=engine, solver=solver
+    )[0]
 
 
 def relative_path_length(

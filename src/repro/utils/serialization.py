@@ -38,6 +38,7 @@ def experiment_to_json(result, indent: int = 2) -> str:
         "rows": [_coerce(list(row)) for row in result.rows],
         "checks": dict(result.checks),
         "notes": result.notes,
+        "extras": _coerce(getattr(result, "extras", {}) or {}),
     }
     return json.dumps(payload, indent=indent)
 
@@ -64,4 +65,5 @@ def experiment_from_json(text: str):
         rows=[tuple(r) for r in data["rows"]],
         checks=data.get("checks", {}),
         notes=data.get("notes", ""),
+        extras=data.get("extras", {}),
     )

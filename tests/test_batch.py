@@ -1,0 +1,271 @@
+"""Tests for the batch execution layer (repro.batch).
+
+Covers the four guarantees the sweeps depend on: content-addressed keys
+are stable and collision-aware, the on-disk cache round-trips results
+exactly, the process-pool path is bit-identical to the inline path, and a
+failing job is isolated to its own outcome.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchSolveError,
+    BatchSolver,
+    ResultCache,
+    SolveOutcome,
+    SolveRequest,
+    get_solver,
+    instance_key,
+    resolve_workers,
+    use_solver,
+    values_by_tag,
+)
+from repro.throughput import throughput
+from repro.topologies import hypercube, jellyfish, make_topology
+from repro.traffic import all_to_all, longest_matching
+
+
+def _path4(order):
+    """Path topology on 4 nodes wired in the given node order."""
+    g = nx.Graph()
+    g.add_nodes_from(range(4))
+    g.add_edges_from(zip(order, order[1:]))
+    return make_topology(g, 1, "p4", "path")
+
+
+class TestInstanceKey:
+    def test_same_instance_built_twice_same_key(self):
+        a, b = hypercube(3), hypercube(3)
+        assert instance_key(a, all_to_all(a)) == instance_key(b, all_to_all(b))
+
+    def test_random_topology_same_seed_same_key(self):
+        a = jellyfish(12, 3, seed=5)
+        b = jellyfish(12, 3, seed=5)
+        assert instance_key(a, longest_matching(a)) == instance_key(
+            b, longest_matching(b)
+        )
+
+    def test_permuted_node_order_different_key(self):
+        a = _path4([0, 1, 2, 3])
+        b = _path4([0, 2, 1, 3])  # same unlabeled graph, permuted node ids
+        assert instance_key(a, all_to_all(a)) != instance_key(b, all_to_all(b))
+
+    def test_scaled_demand_different_key(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        assert instance_key(topo, tm) != instance_key(topo, tm.scaled(2.0))
+
+    def test_engine_and_params_in_key(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        k_lp = instance_key(topo, tm, engine="lp")
+        k_mwu = instance_key(topo, tm, engine="mwu")
+        k_mwu_eps = instance_key(topo, tm, engine="mwu", params={"epsilon": 0.1})
+        assert len({k_lp, k_mwu, k_mwu_eps}) == 3
+
+    def test_request_key_matches_function(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        assert SolveRequest(topo, tm).key == instance_key(topo, tm)
+
+    def test_want_flows_not_cacheable(self):
+        topo = hypercube(3)
+        req = SolveRequest(topo, all_to_all(topo), params={"want_flows": True})
+        assert not req.cacheable
+        assert SolveRequest(topo, all_to_all(topo)).cacheable
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        result = throughput(topo, tm)
+        cache = ResultCache(tmp_path)
+        key = instance_key(topo, tm)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        got = cache.get(key)
+        assert got is not None
+        assert got.value == result.value
+        assert got.engine == result.engine
+        assert got.n_variables == result.n_variables
+
+    def test_persists_across_instances(self, tmp_path):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        key = instance_key(topo, tm)
+        ResultCache(tmp_path).put(key, throughput(topo, tm))
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.get(key).value == pytest.approx(throughput(topo, tm).value)
+
+    def test_clear(self, tmp_path):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        cache = ResultCache(tmp_path)
+        cache.put(instance_key(topo, tm), throughput(topo, tm))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert not cache.path.exists()
+
+    def test_tolerates_corrupt_lines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        cache.put(instance_key(topo, tm), throughput(topo, tm))
+        with cache.path.open("a") as fh:
+            fh.write("{not json\n")
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 1
+
+    def test_stats_count_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        key = instance_key(topo, tm)
+        cache.get(key)
+        cache.put(key, throughput(topo, tm))
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+
+
+def _small_batch():
+    topos = [hypercube(3), jellyfish(10, 3, seed=1), jellyfish(12, 4, seed=2)]
+    return [SolveRequest(t, all_to_all(t), tag=t.name) for t in topos] + [
+        SolveRequest(t, longest_matching(t), tag=f"{t.name}/lm") for t in topos
+    ]
+
+
+class TestBatchSolver:
+    def test_inline_matches_direct_calls(self):
+        requests = _small_batch()
+        outcomes = BatchSolver(workers=1).solve_many(requests)
+        for req, out in zip(requests, outcomes):
+            assert out.ok and out.tag == req.tag
+            assert out.require().value == throughput(req.topology, req.tm).value
+
+    def test_pool_bit_identical_to_inline(self):
+        requests = _small_batch()
+        inline = BatchSolver(workers=1).solve_many(requests)
+        with BatchSolver(workers=2) as solver:
+            pooled = solver.solve_many(requests)
+        assert [o.require().value for o in pooled] == [
+            o.require().value for o in inline
+        ]
+
+    def test_cache_short_circuits_second_batch(self, tmp_path):
+        requests = _small_batch()
+        solver = BatchSolver(workers=1, cache=ResultCache(tmp_path))
+        first = solver.solve_many(requests)
+        assert solver.n_solved == len(requests)
+        second = solver.solve_many(requests)
+        assert solver.n_solved == len(requests)  # nothing new solved
+        assert solver.n_cache_hits == len(requests)
+        assert all(o.from_cache for o in second)
+        assert [o.require().value for o in second] == [
+            o.require().value for o in first
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_error_isolation(self, workers, tmp_path):
+        good = hypercube(3)
+        bad_tm = all_to_all(hypercube(4))  # 16-node TM on an 8-switch topology
+        requests = [
+            SolveRequest(good, all_to_all(good), tag="ok1"),
+            SolveRequest(good, bad_tm, tag="broken"),
+            SolveRequest(good, longest_matching(good), tag="ok2"),
+        ]
+        with BatchSolver(workers=workers, cache=ResultCache(tmp_path)) as solver:
+            outcomes = solver.solve_many(requests)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "ValueError" in outcomes[1].error
+        with pytest.raises(BatchSolveError):
+            outcomes[1].require()
+        assert solver.n_errors == 1
+        # Failed jobs must not be cached.
+        assert len(solver.cache) == 2
+
+    def test_pool_timeout_yields_error_outcome_then_recovers(self):
+        # A deadline that expires before any LP can finish: every job gets
+        # an error outcome instead of hanging or raising, the poisoned pool
+        # is recycled, and the next batch solves normally.
+        topo = hypercube(4)
+        requests = [SolveRequest(topo, all_to_all(topo), tag="slow")]
+        with BatchSolver(workers=2, timeout=1e-4) as solver:
+            outcomes = solver.solve_many(requests)
+            assert not outcomes[0].ok
+            assert "TimeoutError" in outcomes[0].error
+            assert solver.n_errors == 1
+            solver.timeout = None
+            retry = solver.solve_many(requests)
+            assert retry[0].ok
+            assert retry[0].require().value == pytest.approx(
+                throughput(topo, all_to_all(topo)).value
+            )
+
+    def test_solver_stats_isolate_shared_cache_counters(self, tmp_path):
+        # Two solvers sharing one cache: the second must report only its
+        # own hit/put deltas, not the cache's lifetime counters.
+        cache = ResultCache(tmp_path)
+        requests = _small_batch()
+        first = BatchSolver(workers=1, cache=cache)
+        first.solve_many(requests)
+        assert first.stats()["cache"]["puts"] == len(requests)
+        second = BatchSolver(workers=1, cache=cache)
+        second.solve_many(requests)
+        stats = second.stats()["cache"]
+        assert stats["hits"] == len(requests)
+        assert stats["puts"] == 0 and stats["misses"] == 0
+
+    def test_unknown_engine_is_captured_not_raised(self):
+        topo = hypercube(3)
+        outcomes = BatchSolver(workers=1).solve_many(
+            [SolveRequest(topo, all_to_all(topo), engine="nope")]
+        )
+        assert not outcomes[0].ok and "ValueError" in outcomes[0].error
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers("3") == 3
+        assert resolve_workers("auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_outcome_ok_semantics(self):
+        out = SolveOutcome(key="k", error="boom")
+        assert not out.ok
+        with pytest.raises(BatchSolveError):
+            out.require()
+
+    def test_values_by_tag_groups_and_raises(self):
+        topo = hypercube(3)
+        requests = [
+            SolveRequest(topo, all_to_all(topo), tag="a2a"),
+            SolveRequest(topo, longest_matching(topo), tag="lm"),
+            SolveRequest(topo, all_to_all(topo), tag="a2a"),
+        ]
+        grouped = values_by_tag(BatchSolver(workers=1).solve_many(requests))
+        assert sorted(grouped) == ["a2a", "lm"]
+        assert len(grouped["a2a"]) == 2 and len(grouped["lm"]) == 1
+        assert grouped.get("absent", []) == []
+        with pytest.raises(BatchSolveError):
+            values_by_tag([SolveOutcome(tag="bad", error="boom")])
+
+
+class TestAmbientSolver:
+    def test_default_is_inline_uncached(self):
+        solver = get_solver()
+        assert solver.workers == 1 and solver.cache is None
+
+    def test_use_solver_installs_and_restores(self):
+        mine = BatchSolver(workers=1)
+        with use_solver(mine) as active:
+            assert active is mine
+            assert get_solver() is mine
+        assert get_solver() is not mine

@@ -1,9 +1,13 @@
 """Tests for the CLI and the experiment registry."""
 
+import json
+
 import pytest
 
+import repro.cli
 from repro.cli import build_parser, main
 from repro.evaluation.experiments import EXPERIMENTS, run_experiment
+from repro.evaluation.runner import ExperimentResult
 
 EXPECTED_IDS = {
     "fig1",
@@ -60,13 +64,76 @@ class TestCLI:
         assert args.scale == "medium"
         assert args.seed == 3
 
-    def test_run_fast_experiment(self, capsys):
+    def test_parser_batch_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["all", "--workers", "auto", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert isinstance(args.workers, int) and args.workers >= 1
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert parser.parse_args(["all", "--workers", "3"]).workers == 3
+        with pytest.raises(SystemExit):
+            parser.parse_args(["all", "--workers", "banana"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["all", "--workers", "0"])
+
+    def test_run_fast_experiment(self, capsys, tmp_path):
         # butterfly25 is the cheapest full artifact; run it end-to-end.
-        code = main(["butterfly25"])
+        code = main(["butterfly25", "--cache-dir", str(tmp_path)])
         out = capsys.readouterr().out
         assert "flattened butterfly" in out
         assert "shape checks" in out
         assert code == 0
+
+    def test_json_written_for_every_experiment_id(self, monkeypatch, tmp_path, capsys):
+        def fake_run(exp_id, scale=None, seed=0, workers=1, cache=None):
+            return ExperimentResult(
+                experiment_id=exp_id,
+                title=f"stub {exp_id}",
+                headers=["x"],
+                rows=[(1,)],
+                checks={"ok": True},
+                extras={"batch": {"solved": 0, "cache_hits": 0, "errors": 0}},
+            )
+
+        monkeypatch.setattr(repro.cli, "run_experiment", fake_run)
+        out_dir = tmp_path / "json"
+        code = main(["all", "--no-cache", "--json", str(out_dir)])
+        capsys.readouterr()
+        assert code == 0
+        for exp_id in EXPERIMENTS:
+            path = out_dir / f"{exp_id}.json"
+            assert path.exists(), f"missing JSON export for {exp_id}"
+            doc = json.loads(path.read_text())
+            assert doc["experiment_id"] == exp_id
+            assert doc["extras"]["batch"]["solved"] == 0
+
+
+class TestCacheCommand:
+    def test_cache_action_rejected_for_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["theorem2", "clear"])
+        err = capsys.readouterr().err
+        assert "only valid after 'cache'" in err
+
+    def test_stats_empty(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 0" in out
+
+    def test_stats_and_clear_after_run(self, tmp_path, capsys):
+        # theorem2 routes its solves through the batch layer -> cache fills.
+        assert main(["theorem2", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 0" not in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
 
 
 class TestExperimentResult:

@@ -1,0 +1,75 @@
+"""Cross-engine property tests: lp vs mwu vs path-restricted.
+
+On a panel of small random Jellyfish instances and fat trees, the three
+engines must agree up to their contracts:
+
+* ``mwu`` returns a *feasible* throughput (never above ``lp``) within its
+  (1 − ε)³ multiplicative guarantee of the exact value;
+* the path-restricted LP optimizes over a subset of flows, so its value
+  can never exceed the unrestricted ``lp`` value — and reaches it once the
+  path set is rich enough on tiny instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.throughput import (
+    paths_for_pairs,
+    solve_throughput_mwu,
+    solve_throughput_on_paths,
+    throughput,
+)
+from repro.topologies import fat_tree, jellyfish
+from repro.traffic import all_to_all, longest_matching, random_matching
+from repro.utils.rng import stable_seed
+
+EPSILON = 0.1
+
+#: ~10 small instances: random graphs across sizes/degrees plus fat trees.
+INSTANCES = [
+    ("jf-10-3", lambda: jellyfish(10, 3, seed=11)),
+    ("jf-12-3", lambda: jellyfish(12, 3, seed=12)),
+    ("jf-12-4", lambda: jellyfish(12, 4, seed=13)),
+    ("jf-14-4", lambda: jellyfish(14, 4, seed=14)),
+    ("jf-16-4", lambda: jellyfish(16, 4, seed=15)),
+    ("jf-16-5", lambda: jellyfish(16, 5, seed=16)),
+    ("jf-18-4", lambda: jellyfish(18, 4, seed=17)),
+    ("jf-20-5", lambda: jellyfish(20, 5, seed=18)),
+    ("ft-4", lambda: fat_tree(4)),
+    ("ft-6", lambda: fat_tree(6)),
+]
+
+
+def _tm_for(topo, name):
+    """A mix of TM families across the panel, deterministic per instance."""
+    if name.startswith("ft"):
+        return all_to_all(topo)
+    if name.endswith(("3", "5")):
+        return longest_matching(topo)
+    return random_matching(topo, seed=stable_seed(name))
+
+
+@pytest.mark.parametrize("name,build", INSTANCES, ids=[n for n, _ in INSTANCES])
+class TestEngineAgreement:
+    def test_mwu_within_epsilon_of_lp(self, name, build):
+        topo = build()
+        tm = _tm_for(topo, name)
+        exact = throughput(topo, tm, engine="lp").value
+        approx = solve_throughput_mwu(topo, tm, epsilon=EPSILON).value
+        assert approx <= exact * (1 + 1e-9), "MWU must stay feasible (<= exact)"
+        assert approx >= exact * (1 - EPSILON) ** 3 - 1e-9, (
+            f"{name}: MWU {approx:.4f} below (1-eps)^3 guarantee of {exact:.4f}"
+        )
+
+    def test_restricted_paths_never_beat_lp(self, name, build):
+        topo = build()
+        tm = _tm_for(topo, name)
+        exact = throughput(topo, tm, engine="lp").value
+        srcs, dsts, _ = tm.pairs()
+        path_sets = paths_for_pairs(topo, list(zip(srcs, dsts)), k=2)
+        restricted = solve_throughput_on_paths(topo, tm, path_sets).value
+        assert restricted <= exact * (1 + 1e-6), (
+            f"{name}: restricted {restricted:.4f} exceeds exact {exact:.4f}"
+        )
+        assert restricted > 0.0
