@@ -55,7 +55,16 @@ from repro.throughput import (
     volumetric_upper_bound,
     worst_case_lower_bound,
 )
-from repro.batch import BatchSolver, ResultCache, SolveOutcome, SolveRequest
+from repro.batch import (
+    BaseResultCache,
+    BatchSolver,
+    ResultCache,
+    SolveOutcome,
+    SolveRequest,
+    SqliteResultCache,
+    make_cache,
+    solve_values,
+)
 from repro.cuts import bisection_bandwidth, find_sparse_cut, sparsest_cut_bruteforce
 from repro.evaluation import (
     relative_throughput,
@@ -94,9 +103,13 @@ __all__ = [
     "sparsest_cut_bruteforce",
     "relative_throughput",
     "same_equipment_random_graph",
+    "BaseResultCache",
     "BatchSolver",
     "ResultCache",
     "SolveOutcome",
     "SolveRequest",
+    "SqliteResultCache",
+    "make_cache",
+    "solve_values",
     "__version__",
 ]

@@ -1,13 +1,23 @@
 """Batch execution layer: parallel solves + content-addressed result cache.
 
 The sweep experiments build :class:`SolveRequest` lists and hand them to a
-:class:`BatchSolver`, which consults the persistent :class:`ResultCache`
-and fans cache misses out over worker processes.  See DESIGN.md
-("Batch execution and caching") for the architecture.
+:class:`BatchSolver` (usually the ambient one, via :func:`solve_values` or
+:func:`get_solver`), which consults the persistent result cache — JSONL or
+sqlite, behind :class:`BaseResultCache` — and fans cache misses out over
+worker processes.  See DESIGN.md ("Batch execution and caching") for the
+architecture.
 """
 
-from repro.batch.cache import ResultCache, resolve_cache_dir
-from repro.batch.context import get_solver, use_solver
+from repro.batch.cache import (
+    CACHE_BACKENDS,
+    BaseResultCache,
+    ResultCache,
+    SqliteResultCache,
+    make_cache,
+    resolve_cache_backend,
+    resolve_cache_dir,
+)
+from repro.batch.context import get_solver, solve_instances, solve_values, use_solver
 from repro.batch.jobs import (
     BatchSolveError,
     SolveOutcome,
@@ -18,15 +28,22 @@ from repro.batch.jobs import (
 from repro.batch.solver import BatchSolver, resolve_workers
 
 __all__ = [
+    "CACHE_BACKENDS",
+    "BaseResultCache",
     "BatchSolveError",
     "BatchSolver",
     "ResultCache",
     "SolveOutcome",
     "SolveRequest",
+    "SqliteResultCache",
     "get_solver",
     "instance_key",
+    "make_cache",
+    "resolve_cache_backend",
     "resolve_cache_dir",
     "resolve_workers",
+    "solve_instances",
+    "solve_values",
     "use_solver",
     "values_by_tag",
 ]

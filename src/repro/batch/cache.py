@@ -1,16 +1,32 @@
-"""Persistent content-addressed cache of throughput results.
+"""Persistent content-addressed caches of throughput results.
 
-Storage is an append-only JSON-lines file (``results.jsonl``) under the
-cache directory — human-inspectable, diff-friendly, and safe to append to
-from a single writer process (the :class:`~repro.batch.solver.BatchSolver`
-parent; workers never touch the file).  Keys are the digests produced by
-:func:`repro.batch.jobs.instance_key`, so a cache hit is guaranteed to be
-the same numerical instance regardless of which experiment or run produced
-it.
+Two interchangeable backends implement the :class:`BaseResultCache`
+interface the :class:`~repro.batch.solver.BatchSolver` consumes:
+
+* :class:`ResultCache` — an append-only JSON-lines file
+  (``results.jsonl``): human-inspectable, diff-friendly, and safe to
+  append to from a single writer process (the solver parent; workers
+  never touch the file).
+* :class:`SqliteResultCache` — a sqlite database (``results.sqlite``) in
+  WAL mode with a busy timeout, safe for *concurrent writer processes*
+  (several sweeps sharing one cache directory).
+
+Keys are the digests produced by :func:`repro.batch.jobs.instance_key`,
+so a cache hit is guaranteed to be the same numerical instance regardless
+of which experiment or run produced it.
+
+Both backends honor optional size caps (``max_entries`` entries /
+``max_mb`` megabytes on disk) with LRU-ish eviction: entries are aged by
+last use, and when a ``put`` pushes the store over a cap the least
+recently used entries are dropped — the JSONL backend by compacting the
+file (rewriting it without the evicted or corrupt lines), the sqlite
+backend by deleting rows.
 
 The cache directory resolves, in order: the explicit ``cache_dir``
 argument, the ``REPRO_CACHE_DIR`` environment variable, then
-``~/.cache/repro``.
+``~/.cache/repro``.  The backend resolves: explicit argument, the
+``REPRO_CACHE_BACKEND`` environment variable (``jsonl`` | ``sqlite``),
+then ``jsonl``.  :func:`make_cache` applies both rules.
 
 Values persist everything of a :class:`ThroughputResult` except ``flows``
 (per-source arc-flow arrays are huge and only requested explicitly; those
@@ -23,8 +39,10 @@ from __future__ import annotations
 
 import json
 import os
+import sqlite3
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.throughput.lp import ThroughputResult
 from repro.utils.serialization import _coerce
@@ -35,11 +53,27 @@ DEFAULT_CACHE_DIR = "~/.cache/repro"
 #: JSON-lines file holding one {"key": ..., "result": ...} record per line.
 CACHE_FILENAME = "results.jsonl"
 
+#: Sqlite database file used by the ``sqlite`` backend.
+SQLITE_FILENAME = "results.sqlite"
+
+#: Known backend names (the value space of ``REPRO_CACHE_BACKEND``).
+CACHE_BACKENDS = ("jsonl", "sqlite")
+
 
 def resolve_cache_dir(cache_dir: Optional[os.PathLike | str] = None) -> Path:
     """Resolve the cache directory (argument > ``REPRO_CACHE_DIR`` > default)."""
     raw = cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
     return Path(raw).expanduser()
+
+
+def resolve_cache_backend(backend: Optional[str] = None) -> str:
+    """Resolve the backend name (argument > ``REPRO_CACHE_BACKEND`` > jsonl)."""
+    name = (backend or os.environ.get("REPRO_CACHE_BACKEND") or "jsonl").lower()
+    if name not in CACHE_BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {name!r}; expected one of {CACHE_BACKENDS}"
+        )
+    return name
 
 
 def _result_to_doc(result: ThroughputResult) -> Dict[str, Any]:
@@ -53,33 +87,155 @@ def _result_to_doc(result: ThroughputResult) -> Dict[str, Any]:
     }
 
 
+#: Fields a stored record must carry to deserialize without invention.
+_REQUIRED_DOC_FIELDS = ("value", "engine", "n_variables", "n_constraints", "solve_seconds")
+
+
 def _result_from_doc(doc: Dict[str, Any]) -> ThroughputResult:
+    """Rebuild a result from its stored document.
+
+    Strict: a record missing any required field is *corrupt* (raises
+    ``KeyError``) rather than silently deserialized with fabricated engine
+    or solver stats — loaders count it and move on.
+    """
+    missing = [f for f in _REQUIRED_DOC_FIELDS if f not in doc]
+    if missing:
+        raise KeyError(f"cache record missing fields {missing}")
     return ThroughputResult(
         value=float(doc["value"]),
-        engine=doc.get("engine", "lp"),
-        n_variables=int(doc.get("n_variables", 0)),
-        n_constraints=int(doc.get("n_constraints", 0)),
-        solve_seconds=float(doc.get("solve_seconds", 0.0)),
+        engine=str(doc["engine"]),
+        n_variables=int(doc["n_variables"]),
+        n_constraints=int(doc["n_constraints"]),
+        solve_seconds=float(doc["solve_seconds"]),
         flows=None,
         meta=dict(doc.get("meta", {})),
     )
 
 
-class ResultCache:
-    """On-disk memo of ``instance key -> ThroughputResult``.
+class BaseResultCache:
+    """Interface of an on-disk memo ``instance key -> ThroughputResult``.
 
-    The JSONL file is read once, lazily; later ``put`` calls update the
-    in-memory map and append a line.  Duplicate keys are harmless — the
-    last line wins on load, and ``put`` skips keys already present.
+    Concrete backends provide :meth:`get` / :meth:`contains` / :meth:`put`
+    / :meth:`clear` / :meth:`__len__` plus the shared counters below; the
+    :class:`~repro.batch.solver.BatchSolver` is backend-agnostic and only
+    touches this interface.
+
+    Attributes
+    ----------
+    path:
+        The backing file (jsonl or sqlite database).
+    hits, misses, puts:
+        Lifetime counters, reset by :meth:`clear`.
+    corrupt_lines:
+        Stored records that failed to deserialize and were skipped.
+    evictions:
+        Entries dropped by size-cap enforcement.
     """
 
-    def __init__(self, cache_dir: Optional[os.PathLike | str] = None) -> None:
+    #: Short backend name reported by :meth:`stats`.
+    backend = "base"
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike | str] = None,
+        max_entries: Optional[int] = None,
+        max_mb: Optional[float] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError(f"max_mb must be > 0, got {max_mb}")
         self.cache_dir = resolve_cache_dir(cache_dir)
-        self.path = self.cache_dir / CACHE_FILENAME
-        self._mem: Optional[Dict[str, ThroughputResult]] = None
+        self.max_entries = max_entries
+        self.max_bytes = int(max_mb * 1024 * 1024) if max_mb is not None else None
+        self.path: Path = self.cache_dir  # concrete classes point at a file
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt_lines = 0
+        self.evictions = 0
+        self._warned_corrupt = False
+
+    def _warn_corrupt(self) -> None:
+        """One warning per cache instance when corrupt records were skipped."""
+        if self.corrupt_lines and not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"result cache {self.path} skipped {self.corrupt_lines} "
+                "corrupt record(s); 'repro cache' shows the running count",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # -------------------------------------------------------- backend API
+    def get(self, key: str) -> Optional[ThroughputResult]:
+        """Cached result for ``key``, or None.  Counts hit/miss stats."""
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        """Membership test that does not disturb hit/miss counters."""
+        raise NotImplementedError
+
+    def put(self, key: str, result: ThroughputResult) -> None:
+        """Persist one result (no-op if the key is already stored)."""
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        """Delete all entries and reset counters; returns how many removed."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Current on-disk footprint of the backing file."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "path": str(self.path),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt_lines": self.corrupt_lines,
+            "evictions": self.evictions,
+            "size_bytes": self.size_bytes(),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+
+class ResultCache(BaseResultCache):
+    """JSONL-backed cache (single writer process).
+
+    The file is read once, lazily; later ``put`` calls update the
+    in-memory map and append a line.  Duplicate keys are harmless — the
+    last line wins on load, and ``put`` skips keys already present.  The
+    in-memory dict is kept in least-recently-used order (hits re-append),
+    so cap enforcement compacts the file down to the most recently used
+    entries.
+    """
+
+    backend = "jsonl"
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike | str] = None,
+        max_entries: Optional[int] = None,
+        max_mb: Optional[float] = None,
+    ) -> None:
+        super().__init__(cache_dir, max_entries=max_entries, max_mb=max_mb)
+        self.path = self.cache_dir / CACHE_FILENAME
+        self._mem: Optional[Dict[str, ThroughputResult]] = None
 
     # ------------------------------------------------------------------ I/O
     def _load(self) -> Dict[str, ThroughputResult]:
@@ -95,24 +251,26 @@ class ResultCache:
                             doc = json.loads(line)
                             self._mem[doc["key"]] = _result_from_doc(doc["result"])
                         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                            continue  # tolerate a torn/corrupt trailing line
+                            # Skipped, but *counted*: a torn trailing line is
+                            # benign, a growing count is data loss.
+                            self.corrupt_lines += 1
+                self._warn_corrupt()
         return self._mem
 
     def get(self, key: str) -> Optional[ThroughputResult]:
-        """Cached result for ``key``, or None.  Counts hit/miss stats."""
-        result = self._load().get(key)
+        mem = self._load()
+        result = mem.get(key)
         if result is None:
             self.misses += 1
             return None
+        mem[key] = mem.pop(key)  # refresh LRU position
         self.hits += 1
         return result
 
     def contains(self, key: str) -> bool:
-        """Membership test that does not disturb hit/miss counters."""
         return key in self._load()
 
     def put(self, key: str, result: ThroughputResult) -> None:
-        """Persist one result (no-op if the key is already stored)."""
         mem = self._load()
         if key in mem:
             return
@@ -123,24 +281,236 @@ class ResultCache:
                 json.dumps({"key": key, "result": _result_to_doc(result)}) + "\n"
             )
         self.puts += 1
+        self._enforce_caps()
+
+    # ------------------------------------------------------------- eviction
+    def _over_caps(self, n_entries: int, n_bytes: int) -> bool:
+        if self.max_entries is not None and n_entries > self.max_entries:
+            return True
+        if self.max_bytes is not None and n_bytes > self.max_bytes:
+            return True
+        return False
+
+    def _enforce_caps(self) -> None:
+        """Evict LRU entries and compact the file when a cap is exceeded.
+
+        Eviction has hysteresis: once a cap is exceeded the store shrinks
+        to ~90% of it, so a cache at steady state compacts once per ~10%
+        of fresh inserts instead of rewriting the whole file on every put.
+        Compaction also drops duplicate and corrupt lines as a side effect
+        (the rewrite serializes only the live in-memory entries).
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        mem = self._load()
+        if not self._over_caps(len(mem), self.size_bytes()):
+            return
+        target_entries = (
+            max(1, self.max_entries * 9 // 10) if self.max_entries is not None else None
+        )
+        target_bytes = (
+            max(1, self.max_bytes * 9 // 10) if self.max_bytes is not None else None
+        )
+        lines = {
+            key: json.dumps({"key": key, "result": _result_to_doc(res)}) + "\n"
+            for key, res in mem.items()
+        }
+        total = sum(len(line.encode("utf-8")) for line in lines.values())
+        for key in list(mem):  # LRU order: oldest first
+            over = (target_entries is not None and len(mem) > target_entries) or (
+                target_bytes is not None and total > target_bytes
+            )
+            if not over or len(mem) <= 1:
+                break
+            total -= len(lines.pop(key).encode("utf-8"))
+            del mem[key]
+            self.evictions += 1
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.writelines(lines.values())
+        os.replace(tmp, self.path)
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
         n = len(self)
         if self.path.exists():
             self.path.unlink()
         self._mem = {}
+        self._reset_counters()
         return n
 
-    # ---------------------------------------------------------------- stats
     def __len__(self) -> int:
         return len(self._load())
 
-    def stats(self) -> Dict[str, Any]:
-        return {
-            "path": str(self.path),
-            "entries": len(self),
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-        }
+
+class SqliteResultCache(BaseResultCache):
+    """Sqlite-backed cache, safe for concurrent writer processes.
+
+    WAL journaling plus a generous busy timeout lets several sweeps share
+    one cache directory: each ``put`` is a single ``INSERT OR IGNORE``
+    statement (its own transaction), so two processes solving overlapping
+    instances race benignly — one insert wins, none is lost, and no key is
+    duplicated (``key`` is the primary key).
+
+    A monotonically increasing ``seq`` column orders entries by last use;
+    cap enforcement deletes the lowest-``seq`` rows.
+    """
+
+    backend = "sqlite"
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike | str] = None,
+        max_entries: Optional[int] = None,
+        max_mb: Optional[float] = None,
+    ) -> None:
+        super().__init__(cache_dir, max_entries=max_entries, max_mb=max_mb)
+        self.path = self.cache_dir / SQLITE_FILENAME
+        self._conn: Optional[sqlite3.Connection] = None
+
+    # ------------------------------------------------------------ plumbing
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(str(self.path), timeout=30.0, isolation_level=None)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "  key TEXT PRIMARY KEY,"
+                "  doc TEXT NOT NULL,"
+                "  seq INTEGER NOT NULL"
+                ")"
+            )
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        """Close the sqlite connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------- backend API
+    def get(self, key: str) -> Optional[ThroughputResult]:
+        conn = self._connect()
+        row = conn.execute("SELECT doc FROM results WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        try:
+            result = _result_from_doc(json.loads(row[0]))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Treat an unreadable row as absent: count it, drop it, re-solve.
+            self.corrupt_lines += 1
+            conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._warn_corrupt()
+            self.misses += 1
+            return None
+        conn.execute(
+            "UPDATE results SET seq = (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
+            " WHERE key = ?",
+            (key,),
+        )
+        self.hits += 1
+        return result
+
+    def contains(self, key: str) -> bool:
+        row = self._connect().execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def put(self, key: str, result: ThroughputResult) -> None:
+        conn = self._connect()
+        cur = conn.execute(
+            "INSERT OR IGNORE INTO results (key, doc, seq) VALUES ("
+            "  ?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
+            ")",
+            (key, json.dumps(_result_to_doc(result))),
+        )
+        if cur.rowcount > 0:
+            self.puts += 1
+            self._enforce_caps(conn)
+
+    def size_bytes(self) -> int:
+        """On-disk footprint including the WAL and shared-memory files.
+
+        The main database file stays small while writes accumulate in the
+        WAL, so a byte cap that ignored it would never trigger.
+        """
+        total = 0
+        for path in (
+            self.path,
+            Path(str(self.path) + "-wal"),
+            Path(str(self.path) + "-shm"),
+        ):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _enforce_caps(self, conn: sqlite3.Connection) -> None:
+        # Hysteresis on both caps (shrink to ~90%): steady-state puts must
+        # not pay an eviction round — let alone a checkpoint/VACUUM — each.
+        if self.max_entries is not None:
+            n = len(self)
+            if n > self.max_entries:
+                cur = conn.execute(
+                    "DELETE FROM results WHERE key IN ("
+                    "  SELECT key FROM results ORDER BY seq ASC LIMIT ?"
+                    ")",
+                    (n - max(1, self.max_entries * 9 // 10),),
+                )
+                self.evictions += max(cur.rowcount, 0)
+        if self.max_bytes is not None and self.size_bytes() > self.max_bytes:
+            # Only a store over its byte cap pays for checkpoints/VACUUM;
+            # the WAL usually holds most of the excess, so truncate it
+            # first, then drop LRU rows until comfortably under the cap.
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            target = max(1, self.max_bytes * 9 // 10)
+            while self.size_bytes() > target and len(self) > 1:
+                cur = conn.execute(
+                    "DELETE FROM results WHERE key IN ("
+                    "  SELECT key FROM results ORDER BY seq ASC LIMIT ?"
+                    ")",
+                    (max(1, len(self) // 10),),
+                )
+                self.evictions += max(cur.rowcount, 0)
+                conn.execute("VACUUM")
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def clear(self) -> int:
+        n = len(self)
+        conn = self._connect()
+        conn.execute("DELETE FROM results")
+        conn.execute("VACUUM")
+        self._reset_counters()
+        return n
+
+    def __len__(self) -> int:
+        row = self._connect().execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])
+
+
+def make_cache(
+    cache_dir: Optional[os.PathLike | str] = None,
+    backend: Optional[str] = None,
+    max_entries: Optional[int] = None,
+    max_mb: Optional[float] = None,
+) -> Union[ResultCache, SqliteResultCache]:
+    """Build the configured cache backend.
+
+    ``backend`` falls back to ``REPRO_CACHE_BACKEND`` then ``"jsonl"``;
+    ``cache_dir`` falls back to ``REPRO_CACHE_DIR`` then ``~/.cache/repro``.
+    """
+    name = resolve_cache_backend(backend)
+    cls = SqliteResultCache if name == "sqlite" else ResultCache
+    return cls(cache_dir, max_entries=max_entries, max_mb=max_mb)

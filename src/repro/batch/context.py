@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterator, Optional
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.batch.jobs import SolveRequest
 from repro.batch.solver import BatchSolver
 
 _current_solver: ContextVar[Optional[BatchSolver]] = ContextVar(
@@ -40,3 +41,39 @@ def use_solver(solver: BatchSolver) -> Iterator[BatchSolver]:
         yield solver
     finally:
         _current_solver.reset(token)
+
+
+def solve_values(requests: Sequence[SolveRequest]) -> List[float]:
+    """Throughput values for ``requests`` via the ambient solver.
+
+    One call replaces a historical value-in-a-loop sweep: under
+    ``run_experiment`` the batch parallelizes over ``--workers`` and
+    memoizes in the result cache; outside any run it degrades to the
+    inline serial path with identical values.
+    """
+    return get_solver().solve_values(requests)
+
+
+def solve_instances(
+    instances: Sequence[Tuple[Any, Any]],
+    tm_factory: Callable[[Any], Any],
+    engine: str = "lp",
+) -> List[Tuple[Any, Any, Any, float]]:
+    """Throughput of one TM per ``(label, topology)`` pair, as one batch.
+
+    The common shape of the cut/theorem sweeps: build each topology's
+    matrix eagerly in instance order (preserving historical construction
+    order), submit the whole list through the ambient solver, and hand
+    back ``(label, topology, tm, value)`` tuples for the caller's loop.
+    """
+    tms = [tm_factory(topo) for _, topo in instances]
+    values = solve_values(
+        [
+            SolveRequest(topo, tm, engine=engine, tag=topo.name)
+            for (_, topo), tm in zip(instances, tms)
+        ]
+    )
+    return [
+        (label, topo, tm, value)
+        for (label, topo), tm, value in zip(instances, tms, values)
+    ]

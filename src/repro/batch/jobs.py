@@ -28,8 +28,13 @@ from repro.traffic.matrix import TrafficMatrix
 #: Bump when the key payload layout changes; old cache entries then miss.
 KEY_VERSION = "repro-batch-v1"
 
-#: Engines the batch layer can dispatch (see :func:`repro.throughput.mcf.throughput`).
-BATCH_ENGINES = ("lp", "mwu")
+#: Engines the batch layer can dispatch: ``lp`` and ``mwu`` go through
+#: :func:`repro.throughput.mcf.throughput`; ``paths`` is the LLSKR-style
+#: path-restricted LP (:func:`repro.throughput.llskr.llskr_exact_throughput`).
+#: Its path sets are a deterministic function of the *as-built* graph and
+#: the ``subflows`` / ``path_pool`` params, so :func:`instance_key` hashes
+#: extra order-sensitive structure for this engine — see below.
+BATCH_ENGINES = ("lp", "mwu", "paths")
 
 
 def instance_key(
@@ -48,6 +53,15 @@ def instance_key(
     — permuting node ids, scaling a demand, adding a cable — changes the
     key; anything that does not (names, families, construction provenance)
     is excluded.
+
+    Exception: the ``paths`` engine additionally hashes the graph's node
+    and edge *iteration order*.  Its path enumeration seeds Yen's with BFS
+    shortest paths, whose tie-breaking among equal-length paths follows
+    adjacency insertion order — two graphs with the same canonical arc
+    list but different build order can enumerate different path sets and
+    thus different path-restricted LP values.  Hashing the as-built order
+    is conservative (a re-built graph re-solves instead of risking a stale
+    value) and keeps equal keys implying equal solved LPs.
     """
     tails, heads, caps = topology.arcs()
     order = np.lexsort((heads, tails))
@@ -65,6 +79,11 @@ def instance_key(
     h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
     h.update(b"\x00engine\x00" + engine.encode())
+    if engine == "paths":
+        h.update(b"\x00iter-order\x00")
+        h.update(",".join(map(str, topology.graph.nodes())).encode())
+        h.update(b"|")
+        h.update(";".join(f"{u},{v}" for u, v in topology.graph.edges()).encode())
     h.update(b"\x00params\x00" + repr(sorted((params or {}).items())).encode())
     return h.hexdigest()
 
@@ -78,10 +97,10 @@ class SolveRequest:
     topology, tm:
         The instance itself.
     engine:
-        ``"lp"`` or ``"mwu"`` (dispatched through
-        :func:`repro.throughput.mcf.throughput`).
+        One of :data:`BATCH_ENGINES` (``"lp"``, ``"mwu"``, or ``"paths"``).
     params:
-        Extra kwargs for the engine (e.g. ``epsilon`` for MWU).
+        Extra kwargs for the engine (e.g. ``epsilon`` for MWU, or
+        ``subflows`` / ``path_pool`` for the path-restricted LP).
     tag:
         Caller-chosen label for mapping outcomes back to sweep points; not
         part of the key.

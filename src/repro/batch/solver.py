@@ -26,7 +26,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeout
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.batch.cache import ResultCache
+from repro.batch.cache import BaseResultCache
 from repro.batch.jobs import BATCH_ENGINES, SolveOutcome, SolveRequest
 from repro.throughput.lp import ThroughputResult
 from repro.throughput.mcf import throughput
@@ -39,6 +39,12 @@ def _dispatch(request: SolveRequest) -> ThroughputResult:
             f"batch layer cannot dispatch engine {request.engine!r}; "
             f"expected one of {BATCH_ENGINES}"
         )
+    if request.engine == "paths":
+        # Imported here: llskr pulls in networkx path machinery that the
+        # plain LP path never needs.
+        from repro.throughput.llskr import llskr_exact_throughput
+
+        return llskr_exact_throughput(request.topology, request.tm, **request.params)
     return throughput(
         request.topology, request.tm, engine=request.engine, **request.params
     )
@@ -86,7 +92,9 @@ class BatchSolver:
         ``1`` (inline, deterministic, no subprocesses), an int > 1, or
         ``"auto"`` for ``os.cpu_count()``.
     cache:
-        Optional :class:`ResultCache`; ``None`` disables memoization.
+        Optional :class:`BaseResultCache` backend (JSONL or sqlite — see
+        :func:`repro.batch.cache.make_cache`); ``None`` disables
+        memoization.
     timeout:
         Optional wall-clock limit in seconds, measured from batch
         submission and applied to every job (pool mode only; the inline
@@ -100,7 +108,7 @@ class BatchSolver:
     def __init__(
         self,
         workers: Union[int, str] = 1,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[BaseResultCache] = None,
         timeout: Optional[float] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
@@ -159,6 +167,15 @@ class BatchSolver:
         """Convenience wrapper: solve a single request."""
         return self.solve_many([request])[0]
 
+    def solve_values(self, requests: Sequence[SolveRequest]) -> List[float]:
+        """Throughput values for ``requests``, in request order.
+
+        The mechanical migration path for historical value-in-a-loop code:
+        a failed job raises :class:`~repro.batch.jobs.BatchSolveError`
+        exactly where the historical serial call would have raised.
+        """
+        return [o.require().value for o in self.solve_many(requests)]
+
     def solve_many(self, requests: Sequence[SolveRequest]) -> List[SolveOutcome]:
         """Solve every request; outcomes are returned in request order."""
         outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
@@ -179,16 +196,40 @@ class BatchSolver:
                 pending.append((i, req))
 
         if pending:
+            # Within-batch dedupe: identical cacheable instances (same
+            # content key) are solved once and share the result.  Keys are
+            # only consulted when a cache is attached, so the uncached
+            # inline path still pays no digest cost.
+            unique: List[Tuple[int, SolveRequest]] = []
+            alias: List[int] = []  # pending position -> unique position
+            first_by_key: Dict[str, int] = {}
+            for i, req in pending:
+                if self.cache is not None and req.cacheable:
+                    u = first_by_key.get(req.key)
+                    if u is not None:
+                        alias.append(u)
+                        continue
+                    first_by_key[req.key] = len(unique)
+                alias.append(len(unique))
+                unique.append((i, req))
             if self.workers == 1:
-                solved = [_solve_captured(req) for _, req in pending]
+                solved = [_solve_captured(req) for _, req in unique]
             else:
-                solved = self._solve_in_pool([req for _, req in pending])
-            for (i, req), (result, error) in zip(pending, solved):
+                solved = self._solve_in_pool([req for _, req in unique])
+            primaries = {u: False for u in range(len(unique))}
+            for (i, req), u in zip(pending, alias):
+                result, error = solved[u]
                 use_cache = self.cache is not None and req.cacheable
+                is_duplicate = primaries.get(u, False)
+                primaries[u] = True
                 if error is None and result is not None:
-                    self.n_solved += 1
-                    if use_cache:
-                        self.cache.put(req.key, result)
+                    if is_duplicate:
+                        # Served from the in-batch memo, not a fresh solve.
+                        self.n_cache_hits += 1
+                    else:
+                        self.n_solved += 1
+                        if use_cache:
+                            self.cache.put(req.key, result)
                 else:
                     self.n_errors += 1
                 outcomes[i] = SolveOutcome(
@@ -196,6 +237,7 @@ class BatchSolver:
                     tag=req.tag,
                     result=result,
                     error=error,
+                    from_cache=is_duplicate and error is None,
                 )
 
         return [o for o in outcomes if o is not None]

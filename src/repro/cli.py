@@ -7,6 +7,8 @@ Usage::
     python -m repro fig5 --scale medium --seed 7
     python -m repro all --scale small --workers auto
     python -m repro fig5 --cache-dir /tmp/repro-cache   # warm reruns are free
+    python -m repro fig5 --cache-backend sqlite         # concurrent-writer safe
+    python -m repro fig5 --cache-max-entries 10000 --cache-max-mb 64
     python -m repro cache            # cache stats
     python -m repro cache clear      # drop all cached results
 
@@ -24,7 +26,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.batch import ResultCache, resolve_workers
+from repro.batch import CACHE_BACKENDS, make_cache, resolve_workers
 from repro.evaluation.experiments import EXPERIMENTS, run_experiment
 from repro.evaluation.runner import SCALES
 from repro.utils.serialization import experiment_to_json
@@ -36,6 +38,20 @@ def _workers_arg(value: str) -> int:
         return resolve_workers(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _max_entries_arg(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"--cache-max-entries must be >= 1, got {n}")
+    return n
+
+
+def _max_mb_arg(value: str) -> float:
+    mb = float(value)
+    if mb <= 0:
+        raise argparse.ArgumentTypeError(f"--cache-max-mb must be > 0, got {mb}")
+    return mb
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +92,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=sorted(CACHE_BACKENDS),
+        default=None,
+        help="cache storage backend: 'jsonl' (single writer) or 'sqlite' "
+        "(WAL, safe for concurrent writers); default: REPRO_CACHE_BACKEND "
+        "or 'jsonl'",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=_max_entries_arg,
+        metavar="N",
+        default=None,
+        help="evict least-recently-used cache entries beyond N (default: unbounded)",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=_max_mb_arg,
+        metavar="MB",
+        default=None,
+        help="evict least-recently-used cache entries once the store "
+        "exceeds MB megabytes (default: unbounded)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the persistent result cache for this run",
@@ -89,17 +128,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_cache(args: argparse.Namespace):
+    return make_cache(
+        args.cache_dir,
+        backend=args.cache_backend,
+        max_entries=args.cache_max_entries,
+        max_mb=args.cache_max_mb,
+    )
+
+
 def _cache_command(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
+    cache = _build_cache(args)
     if args.cache_action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached result(s) from {cache.path}")
         return 0
     stats = cache.stats()
     print(f"cache file : {stats['path']}")
+    print(f"backend    : {stats['backend']}")
     print(f"entries    : {stats['entries']}")
-    size = cache.path.stat().st_size if cache.path.exists() else 0
-    print(f"size       : {size} bytes")
+    print(f"size       : {stats['size_bytes']} bytes")
+    print(f"corrupt    : {stats['corrupt_lines']} line(s) skipped")
+    print(f"evictions  : {stats['evictions']}")
     return 0
 
 
@@ -119,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "cache":
         return _cache_command(args)
     scale = SCALES[args.scale] if args.scale else None
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if args.no_cache else _build_cache(args)
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     exit_code = 0
     for exp_id in ids:

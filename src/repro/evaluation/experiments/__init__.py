@@ -10,7 +10,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Optional, Union
 
-from repro.batch import BatchSolver, ResultCache, use_solver
+from repro.batch import BaseResultCache, BatchSolver, make_cache, use_solver
 from repro.evaluation.runner import ExperimentResult, ScaleConfig
 from repro.evaluation.experiments.tm_ladder import fig2, fig4, theorem2_check
 from repro.evaluation.experiments.cuts_exp import butterfly25, fig1, fig3, table2
@@ -55,7 +55,7 @@ def run_experiment(
     scale: ScaleConfig | None = None,
     seed: int = 0,
     workers: Union[int, str] = 1,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[BaseResultCache] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
 ) -> ExperimentResult:
     """Run one experiment by id (see :data:`EXPERIMENTS` for the list).
@@ -66,17 +66,18 @@ def run_experiment(
         Worker processes for batched throughput solves: ``1`` (inline,
         the deterministic default), an int > 1, or ``"auto"``.
     cache, cache_dir:
-        Persistent result memoization: pass a :class:`ResultCache`, or a
-        directory to build one in.  ``None`` for both disables caching.
-        Batch statistics (requests, solves, cache hits, errors) land in
-        ``result.extras["batch"]``.
+        Persistent result memoization: pass a :class:`BaseResultCache`
+        backend, or a directory to build one in (backend selected by
+        ``REPRO_CACHE_BACKEND``: ``jsonl`` default, or ``sqlite``).
+        ``None`` for both disables caching.  Batch statistics (requests,
+        solves, cache hits, errors) land in ``result.extras["batch"]``.
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
     if cache is None and cache_dir is not None:
-        cache = ResultCache(cache_dir)
+        cache = make_cache(cache_dir)
     with BatchSolver(workers=workers, cache=cache) as solver:
         with use_solver(solver):
             result = EXPERIMENTS[experiment_id](scale=scale, seed=seed)

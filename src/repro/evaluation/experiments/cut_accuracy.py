@@ -13,10 +13,10 @@ from typing import List
 
 import numpy as np
 
+from repro.batch import solve_instances
 from repro.cuts.bisection import bisection_bandwidth_bruteforce
 from repro.cuts.sparsest import sparsest_cut_bruteforce
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
-from repro.throughput.mcf import throughput
 from repro.topologies.jellyfish import jellyfish
 from repro.topologies.registry import DISPLAY_NAMES, FAMILY_ORDER, scale_ladder
 from repro.traffic.worstcase import longest_matching
@@ -48,9 +48,7 @@ def cut_accuracy(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentR
     sc_errors: List[float] = []
     bis_matches = 0
     sc_matches = 0
-    for label, topo in instances:
-        tm = longest_matching(topo)
-        t = throughput(topo, tm).value
+    for label, topo, tm, t in solve_instances(instances, longest_matching):
         bis = bisection_bandwidth_bruteforce(topo, tm).sparsity
         sc = sparsest_cut_bruteforce(topo, tm).sparsity
         bis_err = (bis - t) / t

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.batch import SolveRequest, solve_instances, solve_values
 from repro.cuts.heuristics import find_sparse_cut
 from repro.cuts.bisection import bisection_bandwidth
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
-from repro.throughput.mcf import throughput
 from repro.topologies.expander import clustered_random_graph, subdivided_expander
 from repro.topologies.flattened_butterfly import flattened_butterfly
 from repro.topologies.natural import natural_network_suite
@@ -49,9 +49,7 @@ def fig1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         )
     gaps: Dict[str, float] = {}
     results: Dict[str, tuple] = {}
-    for name, topo in graphs:
-        tm = all_to_all(topo)
-        t = throughput(topo, tm).value
+    for name, topo, tm, t in solve_instances(graphs, all_to_all):
         cut = find_sparse_cut(topo, tm, seed=stable_seed((seed, name))).best.sparsity
         rows.append((name, topo.n_switches, t, cut, cut / t))
         gaps[name] = cut / t
@@ -95,9 +93,8 @@ def fig3(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 3: throughput vs best-heuristic sparse cut under longest matching."""
     scale = scale or scale_from_env()
     rows: List[tuple] = []
-    for label, topo in _cut_scatter_instances(scale, seed):
-        tm = longest_matching(topo)
-        t = throughput(topo, tm).value
+    instances = _cut_scatter_instances(scale, seed)
+    for label, topo, tm, t in solve_instances(instances, longest_matching):
         rep = find_sparse_cut(topo, tm, seed=stable_seed((seed, topo.name)))
         rows.append((label, topo.name, t, rep.best.sparsity, rep.best.sparsity / t))
     n_gap = sum(1 for r in rows if r[3] > r[2] * (1 + MATCH_RTOL))
@@ -119,9 +116,8 @@ def table2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Table II: which estimator finds the sparsest cut; does it match throughput?"""
     scale = scale or scale_from_env()
     counts: Dict[str, Dict[str, int]] = {}
-    for label, topo in _cut_scatter_instances(scale, seed):
-        tm = longest_matching(topo)
-        t = throughput(topo, tm).value
+    instances = _cut_scatter_instances(scale, seed)
+    for label, topo, tm, t in solve_instances(instances, longest_matching):
         rep = find_sparse_cut(topo, tm, seed=stable_seed((seed, topo.name)))
         fam = counts.setdefault(
             label,
@@ -202,7 +198,7 @@ def butterfly25(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentRe
     del scale
     topo = flattened_butterfly(5, 3)
     tm = longest_matching(topo)
-    t = throughput(topo, tm).value
+    t = solve_values([SolveRequest(topo, tm, tag="butterfly25")])[0]
     rep = find_sparse_cut(topo, tm, seed=seed)
     bis = bisection_bandwidth(topo, tm, seed=seed)
     rows = [

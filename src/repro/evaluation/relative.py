@@ -90,6 +90,12 @@ def relative_throughput_many(
     bounded window of topologies/TMs is alive at a time; completed chunks
     retain only their float values.
     """
+    # Validate every spec before solving anything: a bad spec mid-sweep
+    # must not waste the LPs already solved (and samples=0 would otherwise
+    # surface later as a np.mean([]) NaN + RuntimeWarning).
+    for _topology, _factory, samples, _seed in specs:
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
     solver = solver or get_solver()
     values: List[float] = []
     bounds: List[Tuple[int, int]] = []
@@ -113,7 +119,13 @@ def relative_throughput_many(
         spec_values = values[start:stop]
         absolute, rand_values = spec_values[0], spec_values[1:]
         mean = float(np.mean(rand_values))
-        rel = absolute / mean if mean > 0 else np.inf
+        if mean > 0:
+            rel = absolute / mean
+        elif absolute == 0:
+            # 0/0: the comparison is undefined, not infinitely good.
+            rel = float("nan")
+        else:
+            rel = np.inf
         results.append(
             RelativeThroughputResult(
                 topology_name=topology.name,

@@ -17,11 +17,11 @@ scale), the largest t at which the fixed routing fits.  The gap to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.throughput.mcf import throughput
+from repro.batch import SolveRequest, solve_values
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.utils.graphutils import all_pairs_distances, arcs_of
@@ -119,12 +119,22 @@ class RoutingReport:
         return self.single_path / self.optimal if self.optimal > 0 else np.inf
 
 
-def routing_gap_report(topology: Topology, tm: TrafficMatrix) -> RoutingReport:
-    """Optimal-flow vs ECMP vs single-path throughput for one instance."""
+def routing_gap_report(
+    topology: Topology, tm: TrafficMatrix, optimal: Optional[float] = None
+) -> RoutingReport:
+    """Optimal-flow vs ECMP vs single-path throughput for one instance.
+
+    ``optimal`` may be supplied by callers that batched the LP solve
+    elsewhere (the routing-gap experiment batches its whole sweep); when
+    omitted, the solve routes through the ambient batch solver, so it is
+    memoized and parallelized under ``run_experiment``.
+    """
+    if optimal is None:
+        optimal = solve_values([SolveRequest(topology, tm, tag=topology.name)])[0]
     return RoutingReport(
         topology_name=topology.name,
         tm_kind=tm.kind,
-        optimal=throughput(topology, tm).value,
+        optimal=optimal,
         ecmp=ecmp_throughput(topology, tm),
         single_path=single_path_throughput(topology, tm),
     )

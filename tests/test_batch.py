@@ -21,6 +21,7 @@ from repro.batch import (
     get_solver,
     instance_key,
     resolve_workers,
+    solve_values,
     use_solver,
     values_by_tag,
 )
@@ -71,6 +72,30 @@ class TestInstanceKey:
         topo = hypercube(3)
         tm = all_to_all(topo)
         assert SolveRequest(topo, tm).key == instance_key(topo, tm)
+
+    def test_paths_engine_key_sensitive_to_build_order(self):
+        # Yen/BFS path enumeration tie-breaks on adjacency insertion order,
+        # so two graphs with identical canonical arcs but different build
+        # order may enumerate different path sets: the lp key may collide
+        # (same LP), the paths key must not (possibly different LP).
+        def cycle4(edge_order):
+            g = nx.Graph()
+            g.add_nodes_from(range(4))
+            g.add_edges_from(edge_order)
+            return make_topology(g, 1, "c4", "cycle")
+
+        a = cycle4([(0, 1), (1, 2), (2, 3), (3, 0)])
+        b = cycle4([(3, 0), (2, 3), (1, 2), (0, 1)])
+        params = {"subflows": 2, "path_pool": 2}
+        assert instance_key(a, all_to_all(a)) == instance_key(b, all_to_all(b))
+        assert instance_key(
+            a, all_to_all(a), engine="paths", params=params
+        ) != instance_key(b, all_to_all(b), engine="paths", params=params)
+        # Identical build order still shares the paths key.
+        c = cycle4([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert instance_key(
+            a, all_to_all(a), engine="paths", params=params
+        ) == instance_key(c, all_to_all(c), engine="paths", params=params)
 
     def test_want_flows_not_cacheable(self):
         topo = hypercube(3)
@@ -242,6 +267,38 @@ class TestBatchSolver:
         assert not out.ok
         with pytest.raises(BatchSolveError):
             out.require()
+
+    def test_solve_values_orders_and_raises(self):
+        topo = hypercube(3)
+        good = [
+            SolveRequest(topo, all_to_all(topo)),
+            SolveRequest(topo, longest_matching(topo)),
+        ]
+        values = BatchSolver(workers=1).solve_values(good)
+        assert values == [
+            throughput(topo, all_to_all(topo)).value,
+            throughput(topo, longest_matching(topo)).value,
+        ]
+        bad = [SolveRequest(topo, all_to_all(hypercube(4)))]
+        with pytest.raises(BatchSolveError):
+            BatchSolver(workers=1).solve_values(bad)
+
+    def test_ambient_solve_values(self):
+        topo = hypercube(3)
+        assert solve_values([SolveRequest(topo, all_to_all(topo))]) == [
+            throughput(topo, all_to_all(topo)).value
+        ]
+
+    def test_within_batch_duplicates_solved_once_when_cached(self, tmp_path):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        requests = [SolveRequest(topo, tm, tag=f"copy{i}") for i in range(3)]
+        solver = BatchSolver(workers=1, cache=ResultCache(tmp_path))
+        outcomes = solver.solve_many(requests)
+        assert solver.n_solved == 1
+        assert solver.n_cache_hits == 2
+        assert len({o.require().value for o in outcomes}) == 1
+        assert [o.tag for o in outcomes] == ["copy0", "copy1", "copy2"]
 
     def test_values_by_tag_groups_and_raises(self):
         topo = hypercube(3)

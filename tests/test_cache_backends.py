@@ -1,0 +1,311 @@
+"""Tests for the result-cache backends (jsonl + sqlite).
+
+Covers the guarantees the batch layer depends on: both backends implement
+the same interface with exact round-trips, corrupt records are counted
+(never silently deserialized with invented data), size caps evict
+LRU-first at exact boundaries, and the sqlite backend survives concurrent
+writer processes without losing or duplicating entries.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.batch import (
+    BaseResultCache,
+    BatchSolver,
+    ResultCache,
+    SolveRequest,
+    SqliteResultCache,
+    instance_key,
+    make_cache,
+    resolve_cache_backend,
+)
+from repro.throughput import throughput
+from repro.throughput.lp import ThroughputResult
+from repro.topologies import hypercube
+from repro.traffic import all_to_all
+
+BACKENDS = [ResultCache, SqliteResultCache]
+
+
+def _result(value: float = 1.5) -> ThroughputResult:
+    return ThroughputResult(
+        value=value,
+        engine="lp",
+        n_variables=7,
+        n_constraints=5,
+        solve_seconds=0.25,
+        meta={"status": 0},
+    )
+
+
+# --------------------------------------------------------------- interface
+class TestBackendInterface:
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_round_trip_exact(self, cls, tmp_path):
+        cache = cls(tmp_path)
+        assert cache.get("k") is None
+        cache.put("k", _result(0.123456789012345678))
+        got = cache.get("k")
+        assert got.value == 0.123456789012345678
+        assert got.engine == "lp"
+        assert got.n_variables == 7 and got.n_constraints == 5
+        assert got.solve_seconds == 0.25
+        assert got.meta == {"status": 0}
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_persists_across_instances(self, cls, tmp_path):
+        cls(tmp_path).put("k", _result(2.0))
+        fresh = cls(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.contains("k")
+        assert fresh.get("k").value == 2.0
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_duplicate_put_is_noop(self, cls, tmp_path):
+        cache = cls(tmp_path)
+        cache.put("k", _result(1.0))
+        cache.put("k", _result(99.0))
+        assert cache.puts == 1
+        assert cache.get("k").value == 1.0
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_clear_resets_counters(self, cls, tmp_path):
+        cache = cls(tmp_path)
+        cache.get("absent")
+        cache.put("k", _result())
+        cache.get("k")
+        assert (cache.hits, cache.misses, cache.puts) == (1, 1, 1)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.puts) == (0, 0, 0)
+        assert cache.corrupt_lines == 0 and cache.evictions == 0
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_stats_schema(self, cls, tmp_path):
+        cache = cls(tmp_path, max_entries=10, max_mb=1.0)
+        cache.put("k", _result())
+        stats = cache.stats()
+        assert stats["backend"] == cls.backend
+        assert stats["entries"] == 1
+        assert stats["corrupt_lines"] == 0
+        assert stats["evictions"] == 0
+        assert stats["max_entries"] == 10
+        assert stats["max_bytes"] == 1024 * 1024
+        assert stats["size_bytes"] > 0
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_solver_is_backend_agnostic(self, cls, tmp_path):
+        topo = hypercube(3)
+        requests = [SolveRequest(topo, all_to_all(topo), tag="a2a")]
+        solver = BatchSolver(workers=1, cache=cls(tmp_path))
+        first = solver.solve_many(requests)
+        warm = BatchSolver(workers=1, cache=cls(tmp_path))
+        second = warm.solve_many(requests)
+        assert warm.n_solved == 0 and warm.n_cache_hits == 1
+        assert second[0].from_cache
+        assert second[0].require().value == first[0].require().value
+
+    def test_invalid_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            SqliteResultCache(tmp_path, max_mb=0)
+
+
+# -------------------------------------------------------------- corruption
+class TestCorruptRecords:
+    def test_jsonl_counts_every_corrupt_line(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("good", _result())
+        with cache.path.open("a") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps({"key": "no-result-field"}) + "\n")
+            fh.write(json.dumps({"key": "partial", "result": {"value": 1.0}}) + "\n")
+        with pytest.warns(RuntimeWarning, match="3 corrupt"):
+            fresh = ResultCache(tmp_path)
+            assert len(fresh) == 1
+        assert fresh.corrupt_lines == 3
+        assert fresh.stats()["corrupt_lines"] == 3
+
+    def test_missing_required_fields_not_fabricated(self, tmp_path):
+        # A record without engine/solver stats must be skipped, not
+        # deserialized with an invented engine="lp" and zeroed stats.
+        cache = ResultCache(tmp_path)
+        doc = {"key": "k", "result": {"value": 2.0}}  # no engine, no stats
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        cache.path.write_text(json.dumps(doc) + "\n")
+        with pytest.warns(RuntimeWarning):
+            fresh = ResultCache(tmp_path)
+            assert fresh.get("k") is None
+        assert fresh.corrupt_lines == 1
+
+    def test_warns_only_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        cache.path.write_text("{broken\n{also broken\n")
+        with pytest.warns(RuntimeWarning) as record:
+            len(cache)
+            len(cache)
+            cache.get("x")
+        assert len([w for w in record if w.category is RuntimeWarning]) == 1
+
+    def test_sqlite_corrupt_row_dropped_and_counted(self, tmp_path):
+        cache = SqliteResultCache(tmp_path)
+        cache.put("ok", _result())
+        cache._connect().execute(
+            "INSERT INTO results (key, doc, seq) VALUES ('bad', '{broken', 99)"
+        )
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get("bad") is None
+        assert cache.corrupt_lines == 1
+        assert not cache.contains("bad")  # unreadable row was dropped
+        assert cache.get("ok").value == _result().value
+
+
+# --------------------------------------------------------------- eviction
+class TestEviction:
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_cap_hit_exactly_keeps_everything(self, cls, tmp_path):
+        cache = cls(tmp_path, max_entries=3)
+        for i in range(3):
+            cache.put(f"k{i}", _result(float(i)))
+        assert len(cache) == 3
+        assert cache.evictions == 0
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_cap_exceeded_evicts_oldest(self, cls, tmp_path):
+        # Eviction has hysteresis (shrinks below the cap so steady-state
+        # puts don't pay an eviction round each); the boundary contract is:
+        # exceeding the cap brings the store back under it, LRU-first.
+        cache = cls(tmp_path, max_entries=3)
+        for i in range(4):
+            cache.put(f"k{i}", _result(float(i)))
+        assert 1 <= len(cache) <= 3
+        assert cache.evictions >= 1
+        assert cache.get("k0") is None  # least recently used is gone
+        assert cache.get("k3").value == 3.0  # newest survives
+
+    @pytest.mark.parametrize("cls", BACKENDS)
+    def test_get_refreshes_lru_position(self, cls, tmp_path):
+        cache = cls(tmp_path, max_entries=3)
+        for i in range(3):
+            cache.put(f"k{i}", _result(float(i)))
+        cache.get("k0")  # k0 is now most recently used
+        cache.put("k3", _result(3.0))
+        assert cache.get("k1") is None  # k1 became the LRU victim
+        assert cache.get("k0") is not None
+
+    def test_jsonl_compaction_preserves_newest_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i in range(5):
+            cache.put(f"k{i}", _result(float(i)))
+        # A fresh instance reads only what compaction kept on disk: at most
+        # the cap, always including the newest entry, oldest gone first.
+        fresh = ResultCache(tmp_path)
+        assert 1 <= len(fresh) <= 2
+        assert fresh.get("k4").value == 4.0
+        assert fresh.get("k0") is None and fresh.get("k1") is None
+
+    def test_steady_state_puts_do_not_compact_every_time(self, tmp_path):
+        # Hysteresis: after one eviction round the store sits below the
+        # cap, so the next several puts must not trigger another round.
+        cache = ResultCache(tmp_path, max_entries=20)
+        for i in range(21):
+            cache.put(f"k{i:03d}", _result(float(i)))
+        rounds_after_first = cache.evictions
+        cache.put("fresh", _result(99.0))
+        assert cache.evictions == rounds_after_first  # no new compaction
+
+    def test_jsonl_byte_cap_compacts_file(self, tmp_path):
+        entry_bytes = len(
+            json.dumps({"key": "k0000", "result": {"value": 0.0}}) + "\n"
+        )
+        cache = ResultCache(tmp_path, max_mb=(entry_bytes * 40) / (1024 * 1024))
+        for i in range(60):
+            cache.put(f"k{i:04d}", _result(float(i)))
+        assert cache.evictions > 0
+        assert cache.path.stat().st_size <= cache.max_bytes
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("k0059").value == 59.0
+
+    def test_real_results_survive_eviction_round_trip(self, tmp_path):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        expected = throughput(topo, tm)
+        cache = ResultCache(tmp_path, max_entries=2)
+        cache.put("filler0", _result(0.0))
+        cache.put("filler1", _result(1.0))
+        cache.put(instance_key(topo, tm), expected)  # newest: survives
+        assert cache.evictions >= 1
+        fresh = ResultCache(tmp_path, max_entries=2)
+        got = fresh.get(instance_key(topo, tm))
+        assert got is not None and got.value == expected.value
+
+
+# ------------------------------------------------------------- concurrency
+def _writer_proc(cache_dir: str, start: int, count: int) -> None:
+    cache = SqliteResultCache(cache_dir)
+    for i in range(start, start + count):
+        cache.put(
+            f"key{i:04d}",
+            ThroughputResult(
+                value=float(i), engine="lp", n_variables=i, n_constraints=i
+            ),
+        )
+    cache.close()
+
+
+class TestSqliteConcurrency:
+    def test_two_writer_processes_no_lost_or_duplicate_entries(self, tmp_path):
+        # Overlapping key ranges: writes race on keys 20..39; every key
+        # must land exactly once with a consistent value.
+        p1 = multiprocessing.Process(target=_writer_proc, args=(str(tmp_path), 0, 40))
+        p2 = multiprocessing.Process(target=_writer_proc, args=(str(tmp_path), 20, 40))
+        p1.start()
+        p2.start()
+        p1.join(timeout=60)
+        p2.join(timeout=60)
+        assert p1.exitcode == 0 and p2.exitcode == 0
+        cache = SqliteResultCache(tmp_path)
+        assert len(cache) == 60
+        for i in range(60):
+            got = cache.get(f"key{i:04d}")
+            assert got is not None
+            assert got.value == float(i)
+            assert got.n_variables == i
+
+
+# ----------------------------------------------------------------- factory
+class TestMakeCache:
+    def test_default_is_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        assert isinstance(make_cache(tmp_path), ResultCache)
+
+    def test_env_selects_sqlite(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        assert isinstance(make_cache(tmp_path), SqliteResultCache)
+
+    def test_argument_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        assert isinstance(make_cache(tmp_path, backend="jsonl"), ResultCache)
+
+    def test_caps_are_forwarded(self, tmp_path):
+        cache = make_cache(tmp_path, backend="sqlite", max_entries=5, max_mb=2.0)
+        assert cache.max_entries == 5
+        assert cache.max_bytes == 2 * 1024 * 1024
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            make_cache(tmp_path, backend="postgres")
+        with pytest.raises(ValueError):
+            resolve_cache_backend("csv")
+
+    def test_backends_are_base_instances(self, tmp_path):
+        assert isinstance(ResultCache(tmp_path), BaseResultCache)
+        assert isinstance(SqliteResultCache(tmp_path), BaseResultCache)

@@ -78,6 +78,29 @@ class TestCLI:
         with pytest.raises(SystemExit):
             parser.parse_args(["all", "--workers", "0"])
 
+    def test_parser_cache_backend_and_cap_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "fig4",
+                "--cache-backend", "sqlite",
+                "--cache-max-entries", "500",
+                "--cache-max-mb", "16",
+            ]
+        )
+        assert args.cache_backend == "sqlite"
+        assert args.cache_max_entries == 500
+        assert args.cache_max_mb == 16.0
+        defaults = parser.parse_args(["fig4"])
+        assert defaults.cache_backend is None
+        assert defaults.cache_max_entries is None and defaults.cache_max_mb is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4", "--cache-backend", "postgres"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4", "--cache-max-entries", "0"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4", "--cache-max-mb", "0"])
+
     def test_run_fast_experiment(self, capsys, tmp_path):
         # butterfly25 is the cheapest full artifact; run it end-to-end.
         code = main(["butterfly25", "--cache-dir", str(tmp_path)])
@@ -121,6 +144,28 @@ class TestCacheCommand:
         assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "entries    : 0" in out
+        assert "backend    : jsonl" in out
+        assert "corrupt    : 0 line(s) skipped" in out
+
+    def test_stats_reports_corrupt_lines(self, tmp_path, capsys):
+        (tmp_path / "results.jsonl").write_text("{torn line\n")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt    : 1 line(s) skipped" in out
+
+    def test_sqlite_backend_stats_and_clear(self, tmp_path, capsys):
+        base = ["--cache-dir", str(tmp_path), "--cache-backend", "sqlite"]
+        assert main(["butterfly25"] + base) == 0
+        capsys.readouterr()
+        assert main(["cache"] + base) == 0
+        out = capsys.readouterr().out
+        assert "backend    : sqlite" in out
+        assert "entries    : 0" not in out
+        assert main(["cache", "clear"] + base) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache"] + base) == 0
+        assert "entries    : 0" in capsys.readouterr().out
 
     def test_stats_and_clear_after_run(self, tmp_path, capsys):
         # theorem2 routes its solves through the batch layer -> cache fills.

@@ -1,8 +1,11 @@
 """Tests for equipment matching, relative throughput, and scale config."""
 
+import math
+
 import numpy as np
 import pytest
 
+from repro.batch import SolveOutcome
 from repro.evaluation import (
     SCALES,
     relative_path_length,
@@ -10,6 +13,8 @@ from repro.evaluation import (
     same_equipment_random_graph,
     scale_from_env,
 )
+from repro.evaluation.relative import relative_throughput_many
+from repro.throughput.lp import ThroughputResult
 from repro.evaluation.experiments.factories import a2a_factory, lm_factory
 from repro.topologies import dragonfly, fat_tree, hypercube, jellyfish, slimfly
 from repro.throughput import throughput
@@ -82,6 +87,59 @@ class TestRelativeThroughput:
     def test_invalid_samples(self):
         with pytest.raises(ValueError):
             relative_throughput(hypercube(3), a2a_factory, samples=0)
+
+    def test_invalid_samples_rejected_before_any_solve(self):
+        # A bad spec anywhere in the sweep must fail fast — no np.mean([])
+        # NaN + RuntimeWarning, and no LPs wasted on the specs before it.
+        topo = hypercube(3)
+
+        class _ExplodingSolver:
+            def solve_many(self, requests):
+                raise AssertionError("solved before validation")
+
+        with pytest.raises(ValueError, match="samples must be >= 1"):
+            relative_throughput_many(
+                [(topo, a2a_factory, 2, 0), (topo, a2a_factory, 0, 0)],
+                solver=_ExplodingSolver(),
+            )
+
+    def test_zero_over_zero_relative_is_nan_not_inf(self):
+        # absolute == 0 and random mean == 0: the comparison is undefined;
+        # reporting inf would claim the topology beats the baseline.
+        topo = hypercube(3)
+
+        class _ZeroSolver:
+            def solve_many(self, requests):
+                return [
+                    SolveOutcome(
+                        tag=r.tag,
+                        result=ThroughputResult(value=0.0, engine="lp"),
+                    )
+                    for r in requests
+                ]
+
+        res = relative_throughput_many(
+            [(topo, a2a_factory, 2, 0)], solver=_ZeroSolver()
+        )[0]
+        assert math.isnan(res.relative)
+        assert res.absolute == 0.0 and res.random_absolute_mean == 0.0
+
+    def test_zero_baseline_with_positive_absolute_is_inf(self):
+        topo = hypercube(3)
+        values = iter([1.0, 0.0, 0.0])
+
+        class _Solver:
+            def solve_many(self, requests):
+                return [
+                    SolveOutcome(
+                        tag=r.tag,
+                        result=ThroughputResult(value=next(values), engine="lp"),
+                    )
+                    for r in requests
+                ]
+
+        res = relative_throughput_many([(topo, a2a_factory, 2, 0)], solver=_Solver())[0]
+        assert res.relative == np.inf
 
 
 class TestRelativePathLength:
