@@ -1,0 +1,55 @@
+"""Public experiment API: declarative registry + session-oriented runner.
+
+Two first-class objects replace the historical ``EXPERIMENTS`` dict and
+per-call ``run_experiment`` plumbing:
+
+* :class:`ExperimentSpec` — a declarative record (id, title, paper
+  artifact, tags, scale sensitivity, shape checks) registered with the
+  :func:`experiment` decorator into :data:`REGISTRY`.
+* :class:`Session` — a context manager owning the scale, seed, one shared
+  :class:`~repro.batch.BatchSolver` and one cache handle across many
+  experiments, with blocking :meth:`Session.run` and event-streaming
+  :meth:`Session.stream` (:class:`RowEvent`, :class:`ProgressEvent`,
+  :class:`BatchStatsEvent`, :class:`ResultEvent`).
+
+See DESIGN.md, "Session and streaming API".
+"""
+
+from repro.api.events import (
+    BatchStatsEvent,
+    EventSink,
+    ExperimentEvent,
+    ProgressEvent,
+    ResultEvent,
+    RowEvent,
+    emit_row,
+    use_sink,
+)
+from repro.api.session import Session, run_experiment
+from repro.api.spec import (
+    PRIMARY_TAGS,
+    REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+    ensure_registered,
+    experiment,
+)
+
+__all__ = [
+    "BatchStatsEvent",
+    "EventSink",
+    "ExperimentEvent",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "PRIMARY_TAGS",
+    "ProgressEvent",
+    "REGISTRY",
+    "ResultEvent",
+    "RowEvent",
+    "Session",
+    "emit_row",
+    "ensure_registered",
+    "experiment",
+    "run_experiment",
+    "use_sink",
+]

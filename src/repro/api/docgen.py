@@ -1,0 +1,54 @@
+"""EXPERIMENTS.md generator, driven by the :data:`~repro.api.spec.REGISTRY`.
+
+``python -m repro list --markdown > EXPERIMENTS.md`` regenerates the
+committed catalog; a test asserts the committed file is never stale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.spec import ExperimentRegistry, ensure_registered
+
+_HEADER = """\
+# Experiment catalog
+
+Generated from the `repro.api` experiment registry — do not edit by hand;
+regenerate with `python -m repro list --markdown > EXPERIMENTS.md`.
+
+Run any experiment with `python -m repro <id>` (see `python -m repro list`);
+`repro all --tag figure|table|theory` runs a filtered sweep in one shared
+Session, and `--stream` adds live per-row progress.
+
+| id | artifact | title | tags | scale-sensitive |
+|----|----------|-------|------|-----------------|
+"""
+
+
+def experiments_markdown(registry: Optional[ExperimentRegistry] = None) -> str:
+    """The full EXPERIMENTS.md content for ``registry`` (default: global)."""
+    registry = registry if registry is not None else ensure_registered()
+    lines = [_HEADER]
+    for spec in registry:
+        lines.append(
+            "| `{id}` | {artifact} | {title} | {tags} | {scale} |\n".format(
+                id=spec.experiment_id,
+                artifact=spec.artifact,
+                title=spec.title,
+                tags=", ".join(spec.tags) or "—",
+                scale="yes" if spec.scale_sensitive else "no",
+            )
+        )
+    lines.append("\n## Shape checks\n")
+    lines.append(
+        "\nEach experiment asserts the paper's qualitative claims as named "
+        "boolean checks on the reproduced rows (conditional checks may be "
+        "absent from a given run at very small scale):\n"
+    )
+    for spec in registry:
+        checks = ", ".join(f"`{c}`" for c in spec.checks) or "(none declared)"
+        lines.append(f"\n- **`{spec.experiment_id}`** — {checks}")
+        if spec.description:
+            lines.append(f"\n  {spec.description}")
+    lines.append("\n")
+    return "".join(lines)

@@ -1,0 +1,111 @@
+"""Typed events of the streaming experiment runner.
+
+A :meth:`repro.api.Session.stream` call yields a sequence of these events
+while the experiment executes:
+
+* :class:`RowEvent` — one result row is final, exactly as it will appear in
+  ``ExperimentResult.rows`` (same tuple, same order).
+* :class:`ProgressEvent` — solve-job progress: ``done`` jobs resolved
+  (solved, cache hit, or error) out of ``total`` submitted so far.  Both
+  counters are monotone within one stream; ``total`` grows as later batches
+  are submitted.
+* :class:`BatchStatsEvent` — one solve batch (a ``solve_many`` call or a
+  drained submit/iter stream) finished; carries that batch's delta stats.
+* :class:`ResultEvent` — terminal: the complete
+  :class:`~repro.evaluation.runner.ExperimentResult`.  Exactly one per
+  stream, always last.
+
+Experiment functions report rows through the ambient sink installed by the
+runner: :func:`emit_row` is a no-op outside a streaming run, so the same
+code serves the blocking path untouched (and bit-identically).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
+
+from repro.evaluation.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class RowEvent:
+    """One finalized result row (``index`` = 0-based position in ``rows``)."""
+
+    experiment_id: str
+    index: int
+    row: Sequence[Any]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Solve-job progress: ``done`` of ``total`` submitted jobs resolved."""
+
+    experiment_id: str
+    done: int
+    total: int
+
+
+@dataclass(frozen=True)
+class BatchStatsEvent:
+    """One solve batch completed; ``stats`` are that batch's deltas."""
+
+    experiment_id: str
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ResultEvent:
+    """Terminal event: the finished experiment result."""
+
+    experiment_id: str
+    result: ExperimentResult
+    elapsed_seconds: float = 0.0
+
+
+ExperimentEvent = Union[RowEvent, ProgressEvent, BatchStatsEvent, ResultEvent]
+
+
+class EventSink:
+    """Receiver for rows emitted by experiment code.
+
+    The base class ignores everything (the blocking path); the runner
+    installs a queue-backed subclass for the duration of a stream.
+    """
+
+    def emit_row(self, row: Sequence[Any]) -> None:  # pragma: no cover - no-op
+        pass
+
+
+#: Ambient sink.  A ContextVar (not a module global) so nested or threaded
+#: runs cannot clobber each other's stream.
+_current_sink: ContextVar[Optional[EventSink]] = ContextVar(
+    "repro_event_sink", default=None
+)
+
+
+def emit_row(row: Sequence[Any]) -> Sequence[Any]:
+    """Report one finalized result row to the ambient sink, if any.
+
+    Returns the row unchanged so call sites can keep their append
+    single-expression: ``rows.append(emit_row((...)))``.  Experiments call
+    this the moment a row's values are final; under ``Session.stream`` the
+    row surfaces immediately as a :class:`RowEvent`, and everywhere else it
+    costs one ContextVar read.
+    """
+    sink = _current_sink.get()
+    if sink is not None:
+        sink.emit_row(row)
+    return row
+
+
+@contextmanager
+def use_sink(sink: EventSink) -> Iterator[EventSink]:
+    """Install ``sink`` as the ambient row sink within the ``with`` block."""
+    token = _current_sink.set(sink)
+    try:
+        yield sink
+    finally:
+        _current_sink.reset(token)

@@ -1,0 +1,301 @@
+"""Session: one solver + one cache handle shared across many experiments.
+
+The paper's artifacts are long LP sweeps; rebuilding a process pool and a
+cache connection per figure (the historical ``run_experiment`` contract)
+wastes both, and prevents later experiments from hitting earlier
+experiments' cached solves within the same process.  A :class:`Session`
+owns the :class:`~repro.batch.BatchSolver` and cache for its whole
+lifetime::
+
+    with Session(scale="small", workers=4, cache_dir="/tmp/c") as session:
+        fig5 = session.run("fig5")            # blocking, like run_experiment
+        for event in session.stream("fig10"):  # typed events as solves land
+            ...
+
+``Session.run`` is bit-identical to the legacy ``run_experiment`` (which is
+now a thin shim over a single-experiment Session).  ``Session.stream``
+executes the experiment in a worker thread and yields
+:class:`~repro.api.events.RowEvent` / :class:`ProgressEvent` /
+:class:`BatchStatsEvent` as solve batches complete, terminated by exactly
+one :class:`ResultEvent`; streamed rows are the result's rows, same tuples,
+same order.  An experiment failure mid-stream propagates to the consumer
+after the events that preceded it.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.api.events import (
+    BatchStatsEvent,
+    EventSink,
+    ExperimentEvent,
+    ProgressEvent,
+    ResultEvent,
+    RowEvent,
+    use_sink,
+)
+from repro.api.spec import ExperimentSpec, ensure_registered
+from repro.batch import BaseResultCache, BatchSolver, make_cache, use_solver
+from repro.evaluation.runner import SCALES, ExperimentResult, ScaleConfig
+
+
+class _QueueSink(EventSink):
+    """Row sink that forwards events to the stream consumer's queue."""
+
+    def __init__(self, experiment_id: str, q: "queue.SimpleQueue") -> None:
+        self.experiment_id = experiment_id
+        self.queue = q
+        self.n_rows = 0
+
+    def emit_row(self, row: Sequence[Any]) -> None:
+        self.queue.put(RowEvent(self.experiment_id, self.n_rows, row))
+        self.n_rows += 1
+
+
+class _StreamError:
+    """Wraps an exception raised by the experiment thread."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+_DONE = object()
+
+
+class Session:
+    """Shared solver/cache context for running and streaming experiments.
+
+    Parameters
+    ----------
+    scale:
+        A :class:`ScaleConfig`, a profile name (``"small"`` | ``"medium"``
+        | ``"large"``), or ``None`` to defer to ``REPRO_SCALE`` exactly like
+        the historical per-call default.
+    seed:
+        Default master seed for every experiment (overridable per call).
+    workers:
+        Worker processes for throughput solves (``1``, an int, ``"auto"``).
+    cache, cache_dir:
+        A :class:`BaseResultCache` backend, or a directory to build one in;
+        ``None`` for both disables memoization.
+    timeout:
+        Optional per-job wall-clock limit, forwarded to the solver.
+    """
+
+    def __init__(
+        self,
+        scale: Union[ScaleConfig, str, None] = None,
+        seed: int = 0,
+        workers: Union[int, str] = 1,
+        cache: Optional[BaseResultCache] = None,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if isinstance(scale, str):
+            if scale not in SCALES:
+                raise ValueError(
+                    f"scale {scale!r} unknown; expected one of {sorted(SCALES)}"
+                )
+            scale = SCALES[scale]
+        self.scale = scale
+        self.seed = seed
+        if cache is None and cache_dir is not None:
+            cache = make_cache(cache_dir)
+        self.cache = cache
+        self.solver = BatchSolver(workers=workers, cache=cache, timeout=timeout)
+        self._active_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Wait for any in-flight stream, then shut the solver down."""
+        self._join_active()
+        self.solver.close()
+        self._closed = True
+
+    def _join_active(self) -> None:
+        # An abandoned stream generator leaves its experiment thread solving
+        # on the shared solver; the next run/stream/close must not race it.
+        thread, self._active_thread = self._active_thread, None
+        if thread is not None and thread.is_alive():
+            thread.join()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("Session is closed")
+
+    # --------------------------------------------------------------- lookup
+    @staticmethod
+    def spec(experiment_id: str) -> ExperimentSpec:
+        """The registered spec for ``experiment_id`` (KeyError if unknown)."""
+        return ensure_registered().get(experiment_id)
+
+    @staticmethod
+    def ids(tag: Optional[str] = None) -> List[str]:
+        """Registered experiment ids, optionally filtered by tag."""
+        registry = ensure_registered()
+        if tag is None:
+            return registry.ids()
+        return [spec.experiment_id for spec in registry.filter(tag)]
+
+    # -------------------------------------------------------------- running
+    def run(
+        self, experiment_id: str, seed: Optional[int] = None
+    ) -> ExperimentResult:
+        """Run one experiment to completion on the shared solver.
+
+        ``result.extras["batch"]`` holds *this experiment's* solve stats
+        (deltas against the shared solver, so a warm experiment late in a
+        sweep correctly reports zero solves).
+        """
+        self._check_open()
+        self._join_active()
+        spec = self.spec(experiment_id)
+        snap = self.solver.snapshot()
+        with use_solver(self.solver):
+            result = spec.fn(
+                scale=self.scale, seed=self.seed if seed is None else seed
+            )
+        result.extras["batch"] = self.solver.stats_since(snap)
+        return result
+
+    def stream(
+        self, experiment_id: str, seed: Optional[int] = None
+    ) -> Iterator[ExperimentEvent]:
+        """Run one experiment, yielding typed events as it progresses.
+
+        Rows stream with the same values, order, and count as the blocking
+        path — the terminal :class:`ResultEvent` carries the identical
+        :class:`ExperimentResult` a ``run`` call would have returned.  An
+        exception inside the experiment (e.g. a failed solve) is re-raised
+        here, after every event that preceded it has been delivered.
+        """
+        # Validate eagerly (this is not the generator itself) so unknown ids
+        # and closed sessions fail at the call, not at first iteration.
+        self._check_open()
+        self._join_active()
+        spec = self.spec(experiment_id)
+        return self._stream(spec, experiment_id, seed)
+
+    def _stream(
+        self, spec: ExperimentSpec, experiment_id: str, seed: Optional[int]
+    ) -> Iterator[ExperimentEvent]:
+        # The worker thread starts lazily, at first iteration — so re-check
+        # that the session is still open (close() may have run since the
+        # generator was created, and running now would leak a fresh pool),
+        # and wait for whichever experiment is already running on the
+        # shared solver before claiming it.
+        self._check_open()
+        self._join_active()
+        q: "queue.SimpleQueue" = queue.SimpleQueue()
+        sink = _QueueSink(experiment_id, q)
+
+        def work() -> None:
+            t0 = time.perf_counter()
+            try:
+                snap = self.solver.snapshot()
+                base_done = snap["solved"] + snap["cache_hits"] + snap["errors"]
+                base_requests = snap["requests"]
+
+                def on_progress(solver: BatchSolver) -> None:
+                    # Raw counter reads only: this fires per resolved job,
+                    # and stats_since() would pay cache I/O (len() is a
+                    # COUNT(*) on the sqlite backend) for every solve.
+                    done = (
+                        solver.n_solved + solver.n_cache_hits + solver.n_errors
+                    ) - base_done
+                    q.put(
+                        ProgressEvent(
+                            experiment_id, done, solver.n_requests - base_requests
+                        )
+                    )
+
+                def on_batch(stats: Dict[str, Any]) -> None:
+                    q.put(BatchStatsEvent(experiment_id, stats))
+
+                self.solver.progress_callback = on_progress
+                self.solver.batch_callback = on_batch
+                try:
+                    with use_solver(self.solver), use_sink(sink):
+                        result = spec.fn(
+                            scale=self.scale,
+                            seed=self.seed if seed is None else seed,
+                        )
+                finally:
+                    self.solver.progress_callback = None
+                    self.solver.batch_callback = None
+                result.extras["batch"] = self.solver.stats_since(snap)
+                if sink.n_rows == 0:
+                    # Experiment not yet ported to incremental emission:
+                    # surface its rows late so consumers still see every row
+                    # exactly once before the terminal event.
+                    for row in result.rows:
+                        sink.emit_row(row)
+                q.put(
+                    ResultEvent(experiment_id, result, time.perf_counter() - t0)
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed to consumer
+                q.put(_StreamError(exc))
+            finally:
+                q.put(_DONE)
+
+        thread = threading.Thread(
+            target=work, name=f"repro-stream-{experiment_id}", daemon=True
+        )
+        self._active_thread = thread
+        thread.start()
+        try:
+            while True:
+                item = q.get()
+                if item is _DONE:
+                    break
+                if isinstance(item, _StreamError):
+                    raise item.exc
+                yield item
+        finally:
+            # Normal exhaustion: the thread is finishing; join is instant.
+            # Early abandonment: the experiment cannot be cancelled mid-LP,
+            # so the thread keeps draining in the background and the next
+            # run/stream/close joins it (see _join_active).
+            if not thread.is_alive():
+                thread.join()
+                if self._active_thread is thread:
+                    self._active_thread = None
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate solve stats across everything this session ran."""
+        return self.solver.stats()
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: Optional[ScaleConfig] = None,
+    seed: int = 0,
+    workers: Union[int, str] = 1,
+    cache: Optional[BaseResultCache] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+) -> ExperimentResult:
+    """Backward-compatible blocking runner: one experiment, one Session.
+
+    Kept so historical call sites (benchmarks, tests, notebooks) work
+    unchanged; new code that runs more than one experiment should hold a
+    :class:`Session` instead of rebuilding solver and cache per call.
+    """
+    with Session(
+        scale=scale, seed=seed, workers=workers, cache=cache, cache_dir=cache_dir
+    ) as session:
+        return session.run(experiment_id)

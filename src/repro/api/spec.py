@@ -1,0 +1,180 @@
+"""Declarative experiment registry: :class:`ExperimentSpec` + ``@experiment``.
+
+Every paper artifact is registered by decorating its function::
+
+    @experiment(
+        "fig5",
+        title="Relative throughput vs servers (structured families)",
+        artifact="Figure 5",
+        tags=("figure", "sweep"),
+        checks=("values_sane",),
+    )
+    def fig5(scale=None, seed=0) -> ExperimentResult: ...
+
+The decorator returns the function unchanged (direct calls keep working)
+and records an :class:`ExperimentSpec` in the module-level :data:`REGISTRY`,
+which replaces the hand-maintained ``EXPERIMENTS`` dict: the CLI, the
+:class:`~repro.api.Session` runner, and the docs generator all read spec
+metadata instead of scraping docstrings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+#: The primary artifact categories ``repro all --tag`` filters on; specs may
+#: carry additional free-form tags (``sweep``, ``cuts``, ...).
+PRIMARY_TAGS = ("figure", "table", "theory")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative record of one paper-artifact experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``fig5``, ``table1``, ``routing-gap``, ...).
+    fn:
+        The experiment function, signature ``(scale=None, seed=0)`` returning
+        an :class:`~repro.evaluation.runner.ExperimentResult`.
+    title:
+        Short human title (the result's own title may carry more detail).
+    artifact:
+        The paper artifact reproduced ("Figure 5", "Table I", "§III-B", ...).
+    tags:
+        Category tags; conventionally at least one of :data:`PRIMARY_TAGS`
+        where applicable, plus free-form refinements.
+    scale_sensitive:
+        Whether ``REPRO_SCALE`` changes the sweep (fixed-size case studies
+        and theorem checks are insensitive).
+    checks:
+        Names of the shape checks the experiment asserts (documentation for
+        EXPERIMENTS.md; conditional checks may be absent from a given run).
+    """
+
+    experiment_id: str
+    fn: Callable
+    title: str
+    artifact: str
+    tags: Tuple[str, ...] = ()
+    scale_sensitive: bool = True
+    checks: Tuple[str, ...] = ()
+
+    @property
+    def description(self) -> str:
+        """First line of the experiment function's docstring."""
+        doc = (self.fn.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+
+def _sort_key(experiment_id: str) -> Tuple[int, int, str]:
+    """Natural artifact order: fig1..fig15, then tables, then the rest."""
+    m = re.fullmatch(r"fig(\d+)", experiment_id)
+    if m:
+        return (0, int(m.group(1)), experiment_id)
+    m = re.fullmatch(r"table(\d+)", experiment_id)
+    if m:
+        return (1, int(m.group(1)), experiment_id)
+    return (2, 0, experiment_id)
+
+
+class ExperimentRegistry:
+    """Id-keyed collection of :class:`ExperimentSpec`, iterated in artifact
+    order (figures numerically, then tables, then named experiments)."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        if spec.experiment_id in self._specs:
+            raise ValueError(
+                f"experiment id {spec.experiment_id!r} is already registered"
+            )
+        self._specs[spec.experiment_id] = spec
+        return spec
+
+    def unregister(self, experiment_id: str) -> None:
+        """Remove a spec (test scaffolding for temporary experiments)."""
+        self._specs.pop(experiment_id, None)
+
+    def get(self, experiment_id: str) -> ExperimentSpec:
+        try:
+            return self._specs[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: {sorted(self._specs)}"
+            ) from None
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        for experiment_id in self.ids():
+            yield self._specs[experiment_id]
+
+    def ids(self) -> List[str]:
+        return sorted(self._specs, key=_sort_key)
+
+    def tags(self) -> List[str]:
+        """Every tag carried by at least one registered spec, sorted."""
+        return sorted({tag for spec in self._specs.values() for tag in spec.tags})
+
+    def filter(self, tag: str) -> List[ExperimentSpec]:
+        """Specs carrying ``tag``, in registry order."""
+        return [spec for spec in self if tag in spec.tags]
+
+    def as_dict(self) -> Dict[str, Callable]:
+        """``{id: fn}`` snapshot in registry order (the legacy shape)."""
+        return {spec.experiment_id: spec.fn for spec in self}
+
+
+#: The process-wide registry.  Populated by importing
+#: :mod:`repro.evaluation.experiments` (see :func:`ensure_registered`).
+REGISTRY = ExperimentRegistry()
+
+
+def experiment(
+    experiment_id: str,
+    *,
+    title: str,
+    artifact: str,
+    tags: Tuple[str, ...] = (),
+    scale_sensitive: bool = True,
+    checks: Tuple[str, ...] = (),
+    registry: Optional[ExperimentRegistry] = None,
+) -> Callable[[Callable], Callable]:
+    """Register the decorated function as a paper-artifact experiment."""
+
+    def decorate(fn: Callable) -> Callable:
+        spec = ExperimentSpec(
+            experiment_id=experiment_id,
+            fn=fn,
+            title=title,
+            artifact=artifact,
+            tags=tuple(tags),
+            scale_sensitive=scale_sensitive,
+            checks=tuple(checks),
+        )
+        (registry if registry is not None else REGISTRY).register(spec)
+        fn.spec = spec
+        return fn
+
+    return decorate
+
+
+def ensure_registered() -> ExperimentRegistry:
+    """Populate :data:`REGISTRY` by importing the experiment modules.
+
+    Imported lazily (not at :mod:`repro.api` import time) so the api
+    package stays import-cycle-free: experiment modules themselves import
+    ``experiment`` / ``emit_row`` from here.
+    """
+    import repro.evaluation.experiments  # noqa: F401  (import registers specs)
+
+    return REGISTRY

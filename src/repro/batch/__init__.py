@@ -17,7 +17,14 @@ from repro.batch.cache import (
     resolve_cache_backend,
     resolve_cache_dir,
 )
-from repro.batch.context import get_solver, solve_instances, solve_values, use_solver
+from repro.batch.context import (
+    get_solver,
+    iter_outcome_values,
+    iter_solve_instances,
+    solve_instances,
+    solve_values,
+    use_solver,
+)
 from repro.batch.jobs import (
     BatchSolveError,
     SolveOutcome,
@@ -38,6 +45,8 @@ __all__ = [
     "SqliteResultCache",
     "get_solver",
     "instance_key",
+    "iter_outcome_values",
+    "iter_solve_instances",
     "make_cache",
     "resolve_cache_backend",
     "resolve_cache_dir",

@@ -54,26 +54,69 @@ def solve_values(requests: Sequence[SolveRequest]) -> List[float]:
     return get_solver().solve_values(requests)
 
 
-def solve_instances(
+def iter_outcome_values(
+    requests: Sequence[SolveRequest], solver: Optional[BatchSolver] = None
+) -> Iterator[float]:
+    """Submit ``requests`` and yield each value as it resolves, in order.
+
+    The streaming analogue of :func:`solve_values`: values become available
+    incrementally (so callers can emit sweep rows while later instances are
+    still solving) and any not-yet-consumed jobs are drained on early exit,
+    keeping the solver's stream queue consistent.  ``solver`` defaults to
+    the ambient one.
+
+    Streams on one solver cannot nest: the solver's outcome queue is a
+    single FIFO, so consuming a second stream inside another's loop would
+    silently cross-wire their values — detected and rejected here.
+    """
+    solver = solver if solver is not None else get_solver()
+    if solver.pending_outcomes:
+        raise RuntimeError(
+            f"ambient solver already has {solver.pending_outcomes} unconsumed "
+            "streamed outcome(s); nested streaming on one solver is not "
+            "supported — finish (or drain) the outer stream first"
+        )
+    for request in requests:
+        solver.submit(request)
+    try:
+        for outcome in solver.iter_outcomes():
+            yield outcome.require().value
+    finally:
+        # require() raising (or the consumer abandoning the generator) must
+        # not leave unconsumed outcomes queued for the next batch.
+        solver.drain()
+
+
+def iter_solve_instances(
     instances: Sequence[Tuple[Any, Any]],
     tm_factory: Callable[[Any], Any],
     engine: str = "lp",
-) -> List[Tuple[Any, Any, Any, float]]:
-    """Throughput of one TM per ``(label, topology)`` pair, as one batch.
+) -> Iterator[Tuple[Any, Any, Any, float]]:
+    """Stream throughput of one TM per ``(label, topology)`` pair.
 
     The common shape of the cut/theorem sweeps: build each topology's
     matrix eagerly in instance order (preserving historical construction
-    order), submit the whole list through the ambient solver, and hand
-    back ``(label, topology, tm, value)`` tuples for the caller's loop.
+    order), submit the whole list through the ambient solver, and yield
+    ``(label, topology, tm, value)`` tuples as each solve completes — the
+    caller's per-instance work (cut search, row emission) overlaps the
+    remaining solves.
     """
+    instances = list(instances)
     tms = [tm_factory(topo) for _, topo in instances]
-    values = solve_values(
+    values = iter_outcome_values(
         [
             SolveRequest(topo, tm, engine=engine, tag=topo.name)
             for (_, topo), tm in zip(instances, tms)
         ]
     )
-    return [
-        (label, topo, tm, value)
-        for (label, topo), tm, value in zip(instances, tms, values)
-    ]
+    for (label, topo), tm, value in zip(instances, tms, values):
+        yield label, topo, tm, value
+
+
+def solve_instances(
+    instances: Sequence[Tuple[Any, Any]],
+    tm_factory: Callable[[Any], Any],
+    engine: str = "lp",
+) -> List[Tuple[Any, Any, Any, float]]:
+    """All-at-once form of :func:`iter_solve_instances` (values in a list)."""
+    return list(iter_solve_instances(instances, tm_factory, engine=engine))

@@ -17,14 +17,37 @@ bit-identical to ``workers=1``.  Three layers:
 
 Freshly solved cacheable results are written back to the cache by the
 parent process only, so there are no concurrent writers.
+
+Two submission styles share those layers: the all-at-once
+:meth:`BatchSolver.solve_many`, and the incremental
+:meth:`BatchSolver.submit` / :meth:`BatchSolver.iter_outcomes` pair that
+releases outcomes in submission order *as they complete* — the substrate of
+the streaming experiment runner (:mod:`repro.api`).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeout
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeout,
+    wait as futures_wait,
+)
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.batch.cache import BaseResultCache
 from repro.batch.jobs import BATCH_ENGINES, SolveOutcome, SolveRequest
@@ -83,6 +106,20 @@ def resolve_workers(workers: Union[int, str]) -> int:
     return n
 
 
+class _StreamEntry:
+    """One incrementally submitted request and its (eventual) outcome."""
+
+    __slots__ = ("request", "use_cache", "outcome", "future", "primary", "submitted_at")
+
+    def __init__(self, request: SolveRequest, use_cache: bool) -> None:
+        self.request = request
+        self.use_cache = use_cache
+        self.outcome: Optional[SolveOutcome] = None
+        self.future = None  # pool future (primaries in pool mode only)
+        self.primary: Optional["_StreamEntry"] = None  # in-flight dedupe target
+        self.submitted_at = 0.0
+
+
 class BatchSolver:
     """Fan a batch of throughput solves over workers, memoized by a cache.
 
@@ -119,6 +156,27 @@ class BatchSolver:
         self.n_solved = 0
         self.n_cache_hits = 0
         self.n_errors = 0
+        #: Observability hooks (see Session.stream): ``progress_callback``
+        #: fires after every job resolution (solve, cache hit, or error) with
+        #: the solver itself; ``batch_callback`` fires once per completed
+        #: batch — a ``solve_many`` call or a fully drained submit/iter
+        #: stream — with that batch's delta stats.  Both run in the calling
+        #: thread; ``None`` (the default) costs nothing.
+        self.progress_callback: Optional[Callable[["BatchSolver"], None]] = None
+        self.batch_callback: Optional[Callable[[Dict[str, Any]], None]] = None
+        # Incremental-submission state (see submit / iter_outcomes).
+        self._stream_pending: Deque[_StreamEntry] = deque()
+        self._stream_by_key: Dict[str, _StreamEntry] = {}
+        self._stream_outstanding: Dict[Any, _StreamEntry] = {}
+        # A timed-out stream job pins its worker; the pool recycle that
+        # frees it is deferred until the stream drains so other in-flight
+        # jobs (still within their own budgets) are not killed mid-solve.
+        self._recycle_deferred = False
+        # Counter snapshot taken when a stream batch begins (first submit
+        # into an empty queue): submit() itself counts requests and
+        # cache hits, so a snapshot taken at iteration time would
+        # under-report the batch's deltas.
+        self._stream_snap: Optional[Dict[str, Any]] = None
         # Cache counters are cache-lifetime; remember where they stood when
         # this solver started so stats() can report per-solver deltas.
         self._cache_base = (
@@ -133,6 +191,11 @@ class BatchSolver:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
+        if self._recycle_deferred:
+            # A timed-out stream job is pinning a worker; a clean shutdown
+            # would block on it forever.
+            self._recycle_pool()
+            self._recycle_deferred = False
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
@@ -178,6 +241,9 @@ class BatchSolver:
 
     def solve_many(self, requests: Sequence[SolveRequest]) -> List[SolveOutcome]:
         """Solve every request; outcomes are returned in request order."""
+        if not requests:
+            return []
+        snap = self.snapshot() if self.batch_callback is not None else None
         outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
         pending: List[Tuple[int, SolveRequest]] = []
         self.n_requests += len(requests)
@@ -189,6 +255,7 @@ class BatchSolver:
             cached = self.cache.get(req.key) if use_cache else None
             if cached is not None:
                 self.n_cache_hits += 1
+                self._fire_progress()
                 outcomes[i] = SolveOutcome(
                     key=req.key, tag=req.tag, result=cached, from_cache=True
                 )
@@ -232,6 +299,7 @@ class BatchSolver:
                             self.cache.put(req.key, result)
                 else:
                     self.n_errors += 1
+                self._fire_progress()
                 outcomes[i] = SolveOutcome(
                     key=req.key if use_cache else "",
                     tag=req.tag,
@@ -240,7 +308,207 @@ class BatchSolver:
                     from_cache=is_duplicate and error is None,
                 )
 
+        if snap is not None:
+            self.batch_callback(self.stats_since(snap))
         return [o for o in outcomes if o is not None]
+
+    # ------------------------------------------------- incremental streaming
+    def submit(self, request: SolveRequest) -> int:
+        """Queue one request for incremental solving; returns its index.
+
+        The streaming counterpart of :meth:`solve_many`: submit any number
+        of requests, then consume :meth:`iter_outcomes` to receive their
+        outcomes *in submission order as they become ready* — a consumer can
+        act on outcome ``i`` while later jobs are still solving.  Semantics
+        match :meth:`solve_many` exactly: cache probe at submission, within-
+        stream dedupe of identical cacheable instances, per-job error
+        capture, and identical stats counting — so a sweep produces
+        bit-identical values and stats whichever path it takes.
+
+        With ``workers > 1`` the job is handed to the process pool
+        immediately, so solving overlaps further submission and consumption;
+        with ``workers = 1`` it is solved lazily during
+        :meth:`iter_outcomes` (keeping submission cheap and the interleaving
+        incremental).
+        """
+        if not self._stream_pending:
+            self._stream_snap = self.snapshot()
+        index = self.n_requests
+        self.n_requests += 1
+        use_cache = self.cache is not None and request.cacheable
+        entry = _StreamEntry(request, use_cache)
+        self._stream_pending.append(entry)
+        if use_cache:
+            cached = self.cache.get(request.key)
+            if cached is not None:
+                self.n_cache_hits += 1
+                entry.outcome = SolveOutcome(
+                    key=request.key, tag=request.tag, result=cached, from_cache=True
+                )
+                self._fire_progress()
+                return index
+            primary = self._stream_by_key.get(request.key)
+            if primary is not None:
+                entry.primary = primary
+                return index
+            self._stream_by_key[request.key] = entry
+        if self.workers > 1:
+            entry.submitted_at = time.monotonic()
+            try:
+                entry.future = self._ensure_pool().submit(_solve_captured, request)
+                self._stream_outstanding[entry.future] = entry
+            except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+                self._resolve_stream_entry(
+                    entry, None, f"{type(exc).__name__}: {exc}"
+                )
+                self._recycle_pool()
+        return index
+
+    def iter_outcomes(self):
+        """Yield a :class:`SolveOutcome` per submitted request, in submission
+        order, each as soon as it (and everything before it) has resolved.
+
+        Pool completions are processed in *completion* order (so progress
+        callbacks and cache writebacks happen promptly) while outcomes are
+        released in submission order.  The iterator ends when every
+        submitted request has been yielded; callers that may abandon it
+        early (e.g. on a failed outcome) should call :meth:`drain` to keep
+        the stream queue consistent for the next batch.
+        """
+        # The batch delta baseline was captured at first submit: submission
+        # already counted requests and submit-time cache hits, which an
+        # iteration-time snapshot would miss (a fully warm batch would
+        # report zero requests and zero hits).
+        snap = self._stream_snap if self.batch_callback is not None else None
+        while self._stream_pending:
+            entry = self._stream_pending[0]
+            if entry.outcome is None:
+                if entry.primary is not None:
+                    # The primary precedes this entry in FIFO order, so it
+                    # has already resolved; served from the in-stream memo.
+                    p = entry.primary.outcome
+                    if p.error is None:
+                        self.n_cache_hits += 1
+                    else:
+                        self.n_errors += 1
+                    entry.outcome = SolveOutcome(
+                        key=entry.request.key,
+                        tag=entry.request.tag,
+                        result=p.result,
+                        error=p.error,
+                        from_cache=p.error is None,
+                    )
+                    self._fire_progress()
+                elif entry.future is not None:
+                    self._wait_for_stream_entry(entry)
+                else:
+                    result, error = _solve_captured(entry.request)
+                    self._resolve_stream_entry(entry, result, error)
+            self._stream_pending.popleft()
+            if not self._stream_pending:
+                self._stream_by_key.clear()
+                if self._recycle_deferred:
+                    self._recycle_pool()
+                    self._recycle_deferred = False
+                if snap is not None:
+                    self.batch_callback(self.stats_since(snap))
+                    snap = None
+                self._stream_snap = None
+            yield entry.outcome
+
+    def drain(self) -> int:
+        """Consume and discard any not-yet-yielded streaming outcomes.
+
+        Safety valve for consumers that abandon :meth:`iter_outcomes` early:
+        remaining jobs still resolve (and cacheable results are still
+        written back), so the next batch starts from a clean queue.
+        Returns the number of outcomes discarded.
+        """
+        n = 0
+        for _ in self.iter_outcomes():
+            n += 1
+        return n
+
+    @property
+    def pending_outcomes(self) -> int:
+        """Submitted-but-not-yet-yielded streaming requests."""
+        return len(self._stream_pending)
+
+    def _resolve_stream_entry(
+        self,
+        entry: _StreamEntry,
+        result: Optional[ThroughputResult],
+        error: Optional[str],
+    ) -> None:
+        req = entry.request
+        if error is None and result is not None:
+            self.n_solved += 1
+            if entry.use_cache:
+                self.cache.put(req.key, result)
+        else:
+            self.n_errors += 1
+        entry.outcome = SolveOutcome(
+            key=req.key if entry.use_cache else "",
+            tag=req.tag,
+            result=result,
+            error=error,
+            from_cache=False,
+        )
+        self._fire_progress()
+
+    def _wait_for_stream_entry(self, entry: _StreamEntry) -> None:
+        """Block until ``entry``'s pool future resolves, processing every
+        other completion (cache writeback + progress) as it lands."""
+        while entry.outcome is None:
+            remaining: Optional[float] = None
+            if self.timeout is not None:
+                remaining = entry.submitted_at + self.timeout - time.monotonic()
+                if remaining <= 0:
+                    self._stream_outstanding.pop(entry.future, None)
+                    self._resolve_stream_entry(
+                        entry,
+                        None,
+                        f"TimeoutError: job not finished within {self.timeout}s "
+                        "of submission",
+                    )
+                    # Parity with solve_many: "the rest of the batch
+                    # proceeds" — other in-flight jobs keep their own
+                    # budgets, so the (worker-pinning) recycle waits until
+                    # the stream drains.  Only a dead pool recycles now.
+                    if self._stream_outstanding:
+                        self._recycle_deferred = True
+                    else:
+                        self._recycle_pool()
+                    return
+            done, _ = futures_wait(
+                list(self._stream_outstanding),
+                timeout=remaining,
+                return_when=FIRST_COMPLETED,
+            )
+            for fut in done:
+                e = self._stream_outstanding.pop(fut)
+                try:
+                    result, error = fut.result()
+                except CancelledError:
+                    # BaseException since 3.8, so `except Exception` would
+                    # miss it: a still-queued job cancelled when a timeout
+                    # recycled the pool must become an error outcome, not
+                    # crash the stream.
+                    result, error = (
+                        None,
+                        "CancelledError: job cancelled when the worker pool "
+                        "was recycled",
+                    )
+                except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+                    result, error = None, f"{type(exc).__name__}: {exc}"
+                    # A dead worker poisons the pool; recycle so jobs
+                    # submitted after this point still solve.
+                    self._recycle_pool()
+                self._resolve_stream_entry(e, result, error)
+
+    def _fire_progress(self) -> None:
+        if self.progress_callback is not None:
+            self.progress_callback(self)
 
     def _solve_in_pool(
         self, requests: Sequence[SolveRequest]
@@ -288,28 +556,43 @@ class BatchSolver:
         if needs_recycle:
             # A dead worker poisons a ProcessPoolExecutor forever, and a
             # timed-out job would pin its worker (and block close()); start
-            # fresh so the next batch keeps its error isolation.
-            self._recycle_pool()
+            # fresh so the next batch keeps its error isolation.  If
+            # streaming futures are still in flight on this pool, defer so
+            # they are not killed mid-solve (the stream drain recycles).
+            if self._stream_outstanding:
+                self._recycle_deferred = True
+            else:
+                self._recycle_pool()
         return results
 
     # --------------------------------------------------------------- stats
-    def stats(self) -> Dict[str, Any]:
-        """Counters for ``ExperimentResult.extras`` and CLI reporting.
+    def snapshot(self) -> Dict[str, Any]:
+        """Opaque counter snapshot for :meth:`stats_since`.
 
-        The nested ``cache`` block reports hit/miss/put counts *since this
-        solver was created* (a shared cache accumulates lifetime counters
-        across experiments; per-experiment extras must not inherit them),
-        plus the cache's current path and size.
+        A :class:`~repro.api.Session` shares one solver across many
+        experiments; per-experiment stats are deltas between snapshots.
         """
-        out: Dict[str, Any] = {
-            "workers": self.workers,
+        snap: Dict[str, Any] = {
             "requests": self.n_requests,
             "solved": self.n_solved,
             "cache_hits": self.n_cache_hits,
             "errors": self.n_errors,
         }
         if self.cache is not None:
-            base_hits, base_misses, base_puts = self._cache_base
+            snap["cache"] = (self.cache.hits, self.cache.misses, self.cache.puts)
+        return snap
+
+    def stats_since(self, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+        """Counter deltas since ``snapshot`` (shape of :meth:`stats`)."""
+        out: Dict[str, Any] = {
+            "workers": self.workers,
+            "requests": self.n_requests - snapshot["requests"],
+            "solved": self.n_solved - snapshot["solved"],
+            "cache_hits": self.n_cache_hits - snapshot["cache_hits"],
+            "errors": self.n_errors - snapshot["errors"],
+        }
+        if self.cache is not None:
+            base_hits, base_misses, base_puts = snapshot.get("cache", (0, 0, 0))
             out["cache"] = {
                 "path": str(self.cache.path),
                 "entries": len(self.cache),
@@ -318,3 +601,21 @@ class BatchSolver:
                 "puts": self.cache.puts - base_puts,
             }
         return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for ``ExperimentResult.extras`` and CLI reporting.
+
+        The nested ``cache`` block reports hit/miss/put counts *since this
+        solver was created* (a shared cache accumulates lifetime counters
+        across experiments; per-solver stats must not inherit them), plus
+        the cache's current path and size.
+        """
+        return self.stats_since(
+            {
+                "requests": 0,
+                "solved": 0,
+                "cache_hits": 0,
+                "errors": 0,
+                "cache": self._cache_base,
+            }
+        )

@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro list
+    python -m repro list --verbose              # full spec metadata
+    python -m repro list --markdown             # regenerate EXPERIMENTS.md
     python -m repro fig4
     python -m repro fig5 --scale medium --seed 7
     python -m repro all --scale small --workers auto
+    python -m repro all --tag figure            # only the figure artifacts
+    python -m repro all --stream --workers 2    # live per-row progress
     python -m repro fig5 --cache-dir /tmp/repro-cache   # warm reruns are free
     python -m repro fig5 --cache-backend sqlite         # concurrent-writer safe
     python -m repro fig5 --cache-max-entries 10000 --cache-max-mb 64
@@ -13,9 +17,12 @@ Usage::
     python -m repro cache clear      # drop all cached results
 
 Output is the ASCII table/series the corresponding bench prints, plus the
-shape-check verdicts recorded in EXPERIMENTS.md.  Throughput solves fan out
-over ``--workers`` processes and are memoized in a content-addressed result
-cache (see DESIGN.md, "Batch execution and caching").
+shape-check verdicts catalogued in EXPERIMENTS.md (generated from the
+experiment registry via ``repro list --markdown``).  Every run holds one
+:class:`repro.api.Session`: a whole ``repro all`` sweep shares a single
+solver pool and cache handle, so later experiments hit earlier experiments'
+cached solves, and ``--stream`` surfaces rows and solve progress as batches
+complete instead of buffering each figure.
 """
 
 from __future__ import annotations
@@ -26,9 +33,18 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro.api import (
+    REGISTRY,
+    BatchStatsEvent,
+    ProgressEvent,
+    ResultEvent,
+    RowEvent,
+    Session,
+    ensure_registered,
+)
+from repro.api.docgen import experiments_markdown
 from repro.batch import CACHE_BACKENDS, make_cache, resolve_workers
-from repro.evaluation.experiments import EXPERIMENTS, run_experiment
-from repro.evaluation.runner import SCALES
+from repro.evaluation.runner import SCALES, ExperimentResult
 from repro.utils.serialization import experiment_to_json
 
 
@@ -84,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for throughput solves: an int or 'auto' "
         "(= cpu count); default 1 (inline, deterministic)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream experiments: print each result row and solve progress "
+        "as batches complete, instead of buffering the whole artifact",
+    )
+    parser.add_argument(
+        "--tag",
+        metavar="TAG",
+        default=None,
+        help="with 'all': only run experiments carrying this registry tag "
+        "(e.g. figure, table, theory)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="with 'list': print full spec metadata (artifact, tags, checks)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with 'list': print the EXPERIMENTS.md catalog generated from "
+        "the experiment registry",
     )
     parser.add_argument(
         "--cache-dir",
@@ -153,6 +193,58 @@ def _cache_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_command(args: argparse.Namespace) -> int:
+    ensure_registered()
+    if args.markdown:
+        print(experiments_markdown(), end="")
+        return 0
+    for spec in REGISTRY:
+        tags = ",".join(spec.tags) or "-"
+        print(f"{spec.experiment_id:12s} [{tags}] {spec.title}")
+        if args.verbose:
+            pad = " " * 13
+            print(f"{pad}artifact: {spec.artifact}; scale-sensitive: "
+                  f"{'yes' if spec.scale_sensitive else 'no'}")
+            if spec.checks:
+                print(f"{pad}checks: {', '.join(spec.checks)}")
+            if spec.description:
+                print(f"{pad}{spec.description}")
+    return 0
+
+
+def _fmt_row(row) -> str:
+    text = ", ".join(str(v) for v in row)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _stream_experiment(session: Session, exp_id: str) -> ExperimentResult:
+    """Consume one experiment's event stream, printing live progress."""
+    result: Optional[ExperimentResult] = None
+    last_total = 0
+    for event in session.stream(exp_id):
+        if isinstance(event, RowEvent):
+            print(f"[{exp_id}] row {event.index + 1}: {_fmt_row(event.row)}", flush=True)
+        elif isinstance(event, ProgressEvent):
+            # One line per batch-size change plus every completion keeps CI
+            # logs readable; terminals get each solve as it lands.
+            if event.done == event.total or event.total != last_total:
+                print(
+                    f"[{exp_id}] solves: {event.done}/{event.total}", flush=True
+                )
+                last_total = event.total
+        elif isinstance(event, BatchStatsEvent):
+            s = event.stats
+            print(
+                f"[{exp_id}] batch done: {s['solved']} solved, "
+                f"{s['cache_hits']} cache hits, {s['errors']} errors",
+                flush=True,
+            )
+        elif isinstance(event, ResultEvent):
+            result = event.result
+    assert result is not None, "stream ended without a ResultEvent"
+    return result
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -161,46 +253,67 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"'{args.cache_action}' is only valid after 'cache' "
             f"(got experiment {args.experiment!r})"
         )
+    if args.tag is not None and args.experiment != "all":
+        parser.error("--tag is only valid with 'all'")
+    if args.experiment != "list" and (args.verbose or args.markdown):
+        # Silently dropping these could launch a multi-minute sweep the
+        # user did not want (e.g. `repro all --markdown`).
+        flag = "--verbose" if args.verbose else "--markdown"
+        parser.error(f"{flag} is only valid with 'list'")
     if args.experiment == "list":
-        for name in EXPERIMENTS:
-            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
-            print(f"{name:12s} {doc}")
-        return 0
+        return _list_command(args)
     if args.experiment == "cache":
         return _cache_command(args)
-    scale = SCALES[args.scale] if args.scale else None
-    cache = None if args.no_cache else _build_cache(args)
-    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    exit_code = 0
-    for exp_id in ids:
-        t0 = time.perf_counter()
-        try:
-            result = run_experiment(
-                exp_id,
-                scale=scale,
-                seed=args.seed,
-                workers=args.workers,
-                cache=cache,
+    if args.experiment == "all":
+        registry = ensure_registered()
+        if args.tag is not None and args.tag not in registry.tags():
+            parser.error(
+                f"unknown --tag {args.tag!r}; known tags: "
+                f"{', '.join(registry.tags())}"
             )
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - t0
-        print(result.render())
-        batch = result.extras.get("batch", {})
-        print(
-            f"[{exp_id} finished in {elapsed:.1f}s; "
-            f"{batch.get('solved', 0)} solved, "
-            f"{batch.get('cache_hits', 0)} cache hits, "
-            f"{batch.get('errors', 0)} errors]"
-        )
-        print()
-        if args.json:
-            out_dir = Path(args.json)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{exp_id}.json").write_text(experiment_to_json(result))
-        if not result.all_checks_pass():
-            exit_code = 1
+        ids = Session.ids(tag=args.tag)
+    else:
+        ids = [args.experiment]
+    cache = None if args.no_cache else _build_cache(args)
+    exit_code = 0
+    t_all = time.perf_counter()
+    with Session(
+        scale=args.scale, seed=args.seed, workers=args.workers, cache=cache
+    ) as session:
+        for exp_id in ids:
+            t0 = time.perf_counter()
+            try:
+                if args.stream:
+                    result = _stream_experiment(session, exp_id)
+                else:
+                    result = session.run(exp_id)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            elapsed = time.perf_counter() - t0
+            print(result.render())
+            batch = result.extras.get("batch", {})
+            print(
+                f"[{exp_id} finished in {elapsed:.1f}s; "
+                f"{batch.get('solved', 0)} solved, "
+                f"{batch.get('cache_hits', 0)} cache hits, "
+                f"{batch.get('errors', 0)} errors]"
+            )
+            print()
+            if args.json:
+                out_dir = Path(args.json)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"{exp_id}.json").write_text(experiment_to_json(result))
+            if not result.all_checks_pass():
+                exit_code = 1
+        if args.experiment == "all":
+            agg = session.stats()
+            print(
+                f"[all: {len(ids)} experiments in "
+                f"{time.perf_counter() - t_all:.1f}s; "
+                f"{agg['solved']} solved, {agg['cache_hits']} cache hits, "
+                f"{agg['errors']} errors]"
+            )
     return exit_code
 
 

@@ -1,17 +1,22 @@
 """Registry of all paper-artifact experiments.
 
-Each entry regenerates one table or figure of the paper at the current
-``REPRO_SCALE``; the CLI (``python -m repro <id>``) and the benchmark suite
-both dispatch through :data:`EXPERIMENTS`.
+Each experiment module registers its functions with the
+``@repro.api.experiment`` decorator; importing this package populates the
+declarative :data:`repro.api.REGISTRY`, which the CLI
+(``python -m repro <id>``), the :class:`repro.api.Session` runner, and the
+benchmark suite all dispatch through.
+
+:data:`EXPERIMENTS` and :func:`run_experiment` are backward-compatible
+shims over the registry and a single-experiment Session — historical call
+sites keep working, bit-identically.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict
 
-from repro.batch import BaseResultCache, BatchSolver, make_cache, use_solver
-from repro.evaluation.runner import ExperimentResult, ScaleConfig
+from repro.api.spec import REGISTRY
+from repro.evaluation.runner import ExperimentResult
 from repro.evaluation.experiments.tm_ladder import fig2, fig4, theorem2_check
 from repro.evaluation.experiments.cuts_exp import butterfly25, fig1, fig3, table2
 from repro.evaluation.experiments.scaling import fig5, fig6, fig7, fig8, fig9, table1
@@ -22,67 +27,15 @@ from repro.evaluation.experiments.ablation import ablation_solvers
 from repro.evaluation.experiments.cut_accuracy import cut_accuracy
 from repro.evaluation.experiments.routing_gap import routing_gap
 
+# Imported after the experiment modules so Session's lazy ensure_registered()
+# finds a fully populated registry the moment this package is importable.
+from repro.api.session import run_experiment
+
 ExperimentFn = Callable[..., ExperimentResult]
 
-EXPERIMENTS: Dict[str, ExperimentFn] = {
-    "fig1": fig1,
-    "fig2": fig2,
-    "fig3": fig3,
-    "fig4": fig4,
-    "fig5": fig5,
-    "fig6": fig6,
-    "fig7": fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-    "fig14": fig14,
-    "fig15": fig15,
-    "table1": table1,
-    "table2": table2,
-    "butterfly25": butterfly25,
-    "theorem2": theorem2_check,
-    "ablation-lp": ablation_solvers,
-    "cut-accuracy": cut_accuracy,
-    "routing-gap": routing_gap,
-}
-
-
-def run_experiment(
-    experiment_id: str,
-    scale: ScaleConfig | None = None,
-    seed: int = 0,
-    workers: Union[int, str] = 1,
-    cache: Optional[BaseResultCache] = None,
-    cache_dir: Optional[Union[str, os.PathLike]] = None,
-) -> ExperimentResult:
-    """Run one experiment by id (see :data:`EXPERIMENTS` for the list).
-
-    Parameters
-    ----------
-    workers:
-        Worker processes for batched throughput solves: ``1`` (inline,
-        the deterministic default), an int > 1, or ``"auto"``.
-    cache, cache_dir:
-        Persistent result memoization: pass a :class:`BaseResultCache`
-        backend, or a directory to build one in (backend selected by
-        ``REPRO_CACHE_BACKEND``: ``jsonl`` default, or ``sqlite``).
-        ``None`` for both disables caching.  Batch statistics (requests,
-        solves, cache hits, errors) land in ``result.extras["batch"]``.
-    """
-    if experiment_id not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
-        )
-    if cache is None and cache_dir is not None:
-        cache = make_cache(cache_dir)
-    with BatchSolver(workers=workers, cache=cache) as solver:
-        with use_solver(solver):
-            result = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
-        result.extras["batch"] = solver.stats()
-    return result
+#: Legacy ``{id: fn}`` view of the registry (see :data:`repro.api.REGISTRY`
+#: for the full :class:`~repro.api.ExperimentSpec` metadata).
+EXPERIMENTS: Dict[str, ExperimentFn] = REGISTRY.as_dict()
 
 
 __all__ = ["EXPERIMENTS", "run_experiment", "ExperimentResult"]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.api import emit_row, experiment
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.throughput.lp import solve_throughput_lp
 from repro.throughput.approx import solve_throughput_mwu
@@ -23,6 +24,13 @@ from repro.traffic.worstcase import kodialam_tm, longest_matching
 from repro.utils.rng import stable_seed
 
 
+@experiment(
+    "ablation-lp",
+    title="Solver engines and near-worst-case TM cost",
+    artifact="Ablation (DESIGN.md)",
+    tags=("ablation",),
+    checks=("mwu_within_tolerance_below_lp", "lm_never_more_flows_than_kodialam"),
+)
 def ablation_solvers(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """LP vs MWU accuracy/cost, and LM vs Kodialam LP size."""
     scale = scale or scale_from_env()
@@ -39,27 +47,33 @@ def ablation_solvers(scale: ScaleConfig | None = None, seed: int = 0) -> Experim
         lp_kd = solve_throughput_lp(topo, kd)
         mwu = solve_throughput_mwu(topo, lm, epsilon=0.05)
         rows.append(
-            (
-                topo.name,
-                "LM",
-                lm.n_flows,
-                lp_lm.n_variables,
-                lp_lm.value,
-                lp_lm.solve_seconds,
+            emit_row(
+                (
+                    topo.name,
+                    "LM",
+                    lm.n_flows,
+                    lp_lm.n_variables,
+                    lp_lm.value,
+                    lp_lm.solve_seconds,
+                )
             )
         )
         rows.append(
-            (
-                topo.name,
-                "Kodialam",
-                kd.n_flows,
-                lp_kd.n_variables,
-                lp_kd.value,
-                lp_kd.solve_seconds,
+            emit_row(
+                (
+                    topo.name,
+                    "Kodialam",
+                    kd.n_flows,
+                    lp_kd.n_variables,
+                    lp_kd.value,
+                    lp_kd.solve_seconds,
+                )
             )
         )
         rows.append(
-            (topo.name, "LM (MWU)", lm.n_flows, mwu.n_variables, mwu.value, mwu.solve_seconds)
+            emit_row(
+                (topo.name, "LM (MWU)", lm.n_flows, mwu.n_variables, mwu.value, mwu.solve_seconds)
+            )
         )
         if not (0.8 * lp_lm.value <= mwu.value <= lp_lm.value * (1 + 1e-6)):
             mwu_ok = False

@@ -13,7 +13,8 @@ from typing import List
 
 import numpy as np
 
-from repro.batch import solve_instances
+from repro.api import emit_row, experiment
+from repro.batch import iter_solve_instances
 from repro.cuts.bisection import bisection_bandwidth_bruteforce
 from repro.cuts.sparsest import sparsest_cut_bruteforce
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
@@ -29,6 +30,17 @@ MAX_EXACT_NODES = 18
 EQ_RTOL = 0.01
 
 
+@experiment(
+    "cut-accuracy",
+    title="Exact cut metrics vs worst-case throughput",
+    artifact="§III-B statistics",
+    tags=("table", "cuts"),
+    checks=(
+        "cuts_upper_bound_throughput",
+        "sparsest_at_least_as_accurate_as_bisection",
+        "bisection_error_at_least_sparsest",
+    ),
+)
 def cut_accuracy(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Exact bisection & sparsest cut vs throughput under longest matching."""
     scale = scale or scale_from_env()
@@ -48,12 +60,12 @@ def cut_accuracy(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentR
     sc_errors: List[float] = []
     bis_matches = 0
     sc_matches = 0
-    for label, topo, tm, t in solve_instances(instances, longest_matching):
+    for label, topo, tm, t in iter_solve_instances(instances, longest_matching):
         bis = bisection_bandwidth_bruteforce(topo, tm).sparsity
         sc = sparsest_cut_bruteforce(topo, tm).sparsity
         bis_err = (bis - t) / t
         sc_err = (sc - t) / t
-        rows.append((label, topo.name, t, sc, bis, 100 * sc_err, 100 * bis_err))
+        rows.append(emit_row((label, topo.name, t, sc, bis, 100 * sc_err, 100 * bis_err)))
         if bis_err <= EQ_RTOL:
             bis_matches += 1
         else:
@@ -66,14 +78,16 @@ def cut_accuracy(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentR
     mean_bis = 100 * float(np.mean(bis_errors)) if bis_errors else 0.0
     mean_sc = 100 * float(np.mean(sc_errors)) if sc_errors else 0.0
     rows.append(
-        (
-            "SUMMARY",
-            f"{n} networks",
-            float("nan"),
-            float(sc_matches),
-            float(bis_matches),
-            mean_sc,
-            mean_bis,
+        emit_row(
+            (
+                "SUMMARY",
+                f"{n} networks",
+                float("nan"),
+                float(sc_matches),
+                float(bis_matches),
+                mean_sc,
+                mean_bis,
+            )
         )
     )
     checks = {

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.batch import SolveRequest, solve_instances, solve_values
+from repro.api import emit_row, experiment
+from repro.batch import SolveRequest, iter_solve_instances, solve_values
 from repro.cuts.heuristics import find_sparse_cut
 from repro.cuts.bisection import bisection_bandwidth
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
@@ -28,6 +29,18 @@ from repro.utils.rng import stable_seed
 MATCH_RTOL = 0.02
 
 
+@experiment(
+    "fig1",
+    title="Sparsest cut can mis-rank networks (Theorem 1 construction)",
+    artifact="Figure 1",
+    tags=("figure", "theory", "cuts"),
+    scale_sensitive=False,
+    checks=(
+        "cut_upper_bounds_throughput",
+        "subdivision_widens_gap",
+        "gap_B_exceeds_gap_A",
+    ),
+)
 def fig1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 1 / Theorem 1: sparsest cut can mis-rank networks.
 
@@ -49,9 +62,9 @@ def fig1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         )
     gaps: Dict[str, float] = {}
     results: Dict[str, tuple] = {}
-    for name, topo, tm, t in solve_instances(graphs, all_to_all):
+    for name, topo, tm, t in iter_solve_instances(graphs, all_to_all):
         cut = find_sparse_cut(topo, tm, seed=stable_seed((seed, name))).best.sparsity
-        rows.append((name, topo.n_switches, t, cut, cut / t))
+        rows.append(emit_row((name, topo.n_switches, t, cut, cut / t)))
         gaps[name] = cut / t
         results[name] = (t, cut)
     checks = {
@@ -89,14 +102,21 @@ def _cut_scatter_instances(scale: ScaleConfig, seed: int):
     return instances
 
 
+@experiment(
+    "fig3",
+    title="Throughput vs sparse cut (longest matching TM)",
+    artifact="Figure 3",
+    tags=("figure", "cuts"),
+    checks=("cut_upper_bounds_throughput", "cut_differs_for_many"),
+)
 def fig3(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 3: throughput vs best-heuristic sparse cut under longest matching."""
     scale = scale or scale_from_env()
     rows: List[tuple] = []
     instances = _cut_scatter_instances(scale, seed)
-    for label, topo, tm, t in solve_instances(instances, longest_matching):
+    for label, topo, tm, t in iter_solve_instances(instances, longest_matching):
         rep = find_sparse_cut(topo, tm, seed=stable_seed((seed, topo.name)))
-        rows.append((label, topo.name, t, rep.best.sparsity, rep.best.sparsity / t))
+        rows.append(emit_row((label, topo.name, t, rep.best.sparsity, rep.best.sparsity / t)))
     n_gap = sum(1 for r in rows if r[3] > r[2] * (1 + MATCH_RTOL))
     checks = {
         "cut_upper_bounds_throughput": all(r[3] >= r[2] * (1 - 1e-6) for r in rows),
@@ -112,12 +132,19 @@ def fig3(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "table2",
+    title="Sparse-cut estimator census (longest matching TM)",
+    artifact="Table II",
+    tags=("table", "cuts"),
+    checks=("eigenvector_finds_most", "cut_often_differs_from_throughput"),
+)
 def table2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Table II: which estimator finds the sparsest cut; does it match throughput?"""
     scale = scale or scale_from_env()
     counts: Dict[str, Dict[str, int]] = {}
     instances = _cut_scatter_instances(scale, seed)
-    for label, topo, tm, t in solve_instances(instances, longest_matching):
+    for label, topo, tm, t in iter_solve_instances(instances, longest_matching):
         rep = find_sparse_cut(topo, tm, seed=stable_seed((seed, topo.name)))
         fam = counts.setdefault(
             label,
@@ -137,29 +164,33 @@ def table2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         for winner in rep.winners:
             fam[winner] += 1
     rows = [
-        (
-            label,
-            c["total"],
-            c["matches"],
-            c["bruteforce"],
-            c["one_node"],
-            c["two_node"],
-            c["expanding"],
-            c["eigenvector"],
+        emit_row(
+            (
+                label,
+                c["total"],
+                c["matches"],
+                c["bruteforce"],
+                c["one_node"],
+                c["two_node"],
+                c["expanding"],
+                c["eigenvector"],
+            )
         )
         for label, c in counts.items()
     ]
     totals = {k: sum(c[k] for c in counts.values()) for k in next(iter(counts.values()))}
     rows.append(
-        (
-            "TOTAL",
-            totals["total"],
-            totals["matches"],
-            totals["bruteforce"],
-            totals["one_node"],
-            totals["two_node"],
-            totals["expanding"],
-            totals["eigenvector"],
+        emit_row(
+            (
+                "TOTAL",
+                totals["total"],
+                totals["matches"],
+                totals["bruteforce"],
+                totals["one_node"],
+                totals["two_node"],
+                totals["expanding"],
+                totals["eigenvector"],
+            )
         )
     )
     checks = {
@@ -190,6 +221,14 @@ def table2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "butterfly25",
+    title="25-switch flattened butterfly: cut != worst-case throughput",
+    artifact="§III-B case study",
+    tags=("cuts",),
+    scale_sensitive=False,
+    checks=("cut_strictly_above_throughput", "throughput_close_to_paper"),
+)
 def butterfly25(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """§III-B case study: the 5-ary 3-stage flattened butterfly.
 
@@ -202,11 +241,14 @@ def butterfly25(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentRe
     rep = find_sparse_cut(topo, tm, seed=seed)
     bis = bisection_bandwidth(topo, tm, seed=seed)
     rows = [
-        ("throughput (LM)", t),
-        ("best sparse cut", rep.best.sparsity),
-        ("bisection bandwidth", bis.sparsity),
-        ("paper throughput", 0.565),
-        ("paper sparsest cut", 0.6),
+        emit_row(r)
+        for r in (
+            ("throughput (LM)", t),
+            ("best sparse cut", rep.best.sparsity),
+            ("bisection bandwidth", bis.sparsity),
+            ("paper throughput", 0.565),
+            ("paper sparsest cut", 0.6),
+        )
     ]
     checks = {
         "cut_strictly_above_throughput": rep.best.sparsity > t * (1 + 1e-6),

@@ -7,12 +7,13 @@ servers' traffic and therefore bottleneck on a single hot rack.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
-from repro.batch import SolveRequest, get_solver
+from repro.api import emit_row, experiment
+from repro.batch import SolveRequest, iter_outcome_values
 from repro.evaluation.experiments.factories import elephant_factory
 from repro.evaluation.equipment import jellyfish_from_equipment
-from repro.evaluation.relative import RelativeSpec, relative_throughput_many
+from repro.evaluation.relative import RelativeSpec, relative_throughput_iter
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.fattree import fat_tree
 from repro.topologies.hypercube import hypercube
@@ -26,7 +27,8 @@ PERCENTS: Sequence[float] = (1.0, 5.0, 10.0, 20.0, 50.0, 100.0)
 
 def _sweep_group(
     families: Sequence[str], scale: ScaleConfig, seed: int
-) -> List[tuple]:
+) -> Iterator[tuple]:
+    """Yield one figure row per (family, percent) point as solves complete."""
     specs: List[RelativeSpec] = []
     points: List[tuple] = []
     for family in families:
@@ -43,10 +45,8 @@ def _sweep_group(
                 )
             )
             points.append((family, pct))
-    return [
-        (DISPLAY_NAMES[family], pct, res.relative, res.absolute)
-        for (family, pct), res in zip(points, relative_throughput_many(specs))
-    ]
+    for (family, pct), res in zip(points, relative_throughput_iter(specs)):
+        yield (DISPLAY_NAMES[family], pct, res.relative, res.absolute)
 
 
 def _graceful_checks(rows: List[tuple], families: Sequence[str]) -> Dict[str, bool]:
@@ -66,10 +66,17 @@ def _graceful_checks(rows: List[tuple], families: Sequence[str]) -> Dict[str, bo
     return checks
 
 
+@experiment(
+    "fig10",
+    title="Relative throughput vs % of weight-10 flows (structured families)",
+    artifact="Figure 10",
+    tags=("figure", "sweep"),
+    checks=("fattree_dips_sharply", "others_degrade_gracefully"),
+)
 def fig10(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 10: tunable elephant TM on the structured families."""
     scale = scale or scale_from_env()
-    rows = _sweep_group(GROUP1, scale, seed)
+    rows = [emit_row(r) for r in _sweep_group(GROUP1, scale, seed)]
     checks = _graceful_checks(rows, GROUP1)
     return ExperimentResult(
         experiment_id="fig10",
@@ -81,10 +88,17 @@ def fig10(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig11",
+    title="Relative throughput vs % of weight-10 flows (expander families)",
+    artifact="Figure 11",
+    tags=("figure", "sweep"),
+    checks=("others_degrade_gracefully",),
+)
 def fig11(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 11: tunable elephant TM on the expander families."""
     scale = scale or scale_from_env()
-    rows = _sweep_group(GROUP2, scale, seed)
+    rows = [emit_row(r) for r in _sweep_group(GROUP2, scale, seed)]
     checks = _graceful_checks(rows, GROUP2)
     return ExperimentResult(
         experiment_id="fig11",
@@ -95,6 +109,13 @@ def fig11(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig12",
+    title="Absolute throughput under elephant TMs (matched equipment)",
+    artifact="Figure 12",
+    tags=("figure", "sweep"),
+    checks=("fattree_least_robust", "jellyfish_beats_fattree_at_small_pct"),
+)
 def fig12(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 12: absolute throughput — fat tree vs hypercube vs matched Jellyfish.
 
@@ -127,11 +148,11 @@ def fig12(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         for name, topo in topos.items()
         for pct in PERCENTS
     ]
-    outcomes = iter(get_solver().solve_many(requests))
+    values = iter_outcome_values(requests)
     for name, topo in topos.items():
         for pct in PERCENTS:
-            t = next(outcomes).require().value
-            rows.append((name, pct, t))
+            t = next(values)
+            rows.append(emit_row((name, pct, t)))
             series.setdefault(name, []).append(t)
     dip = {name: min(v) / max(v) for name, v in series.items()}
     checks = {

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api import emit_row, experiment
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.registry import DISPLAY_NAMES, FAMILY_ORDER, representative
 from repro.traffic.facebook import (
@@ -84,12 +85,14 @@ def _facebook_experiment(
         baseline = float(np.mean(by_tag.get("baseline", [])))
         n_locs = int(topo.server_nodes.size)
         rows.append(
-            (
-                DISPLAY_NAMES[family],
-                n_locs,
-                sampled_abs / baseline,
-                shuffled_abs / baseline,
-                shuffled_abs / sampled_abs,
+            emit_row(
+                (
+                    DISPLAY_NAMES[family],
+                    n_locs,
+                    sampled_abs / baseline,
+                    shuffled_abs / baseline,
+                    shuffled_abs / sampled_abs,
+                )
             )
         )
         values[family] = {
@@ -100,6 +103,13 @@ def _facebook_experiment(
     return rows, values
 
 
+@experiment(
+    "fig13",
+    title="Facebook Hadoop TM-H: sampled vs shuffled placement",
+    artifact="Figure 13",
+    tags=("figure", "sweep", "realworld"),
+    checks=("shuffling_is_noop_under_uniform_tm",),
+)
 def fig13(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 13: the near-uniform Hadoop TM — shuffling is a no-op."""
     scale = scale or scale_from_env()
@@ -124,6 +134,16 @@ def fig13(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig14",
+    title="Facebook frontend TM-F: sampled vs shuffled placement",
+    artifact="Figure 14",
+    tags=("figure", "sweep", "realworld"),
+    checks=(
+        "shuffling_helps_some_structured_topology",
+        "expanders_and_fattree_less_sensitive",
+    ),
+)
 def fig14(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 14: the skewed frontend TM-F — shuffling helps non-expanders."""
     scale = scale or scale_from_env()

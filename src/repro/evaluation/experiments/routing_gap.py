@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.batch import SolveRequest, solve_values
+from repro.api import emit_row, experiment
+from repro.batch import SolveRequest, iter_outcome_values
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.routing.schemes import routing_gap_report
 from repro.topologies.fattree import fat_tree
@@ -23,6 +24,17 @@ from repro.traffic.worstcase import longest_matching
 from repro.utils.rng import stable_seed
 
 
+@experiment(
+    "routing-gap",
+    title="Routing gap: single shortest path vs ECMP vs optimal flow",
+    artifact="§V routing discussion",
+    tags=("table", "routing"),
+    checks=(
+        "single_path_never_materially_beats_ecmp",
+        "ecmp_bounded_by_optimal",
+        "single_path_forfeits_throughput_somewhere",
+    ),
+)
 def routing_gap(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Single-path vs ECMP vs optimal flow across representative topologies."""
     scale = scale or scale_from_env()
@@ -47,20 +59,22 @@ def routing_gap(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentRe
             ("LM", longest_matching(topo)),
         )
     ]
-    optimal_values = solve_values(
+    optimal_values = iter_outcome_values(
         [SolveRequest(topo, tm, tag=f"{topo.name}/{tm_name}") for topo, tm_name, tm in points]
     )
     for (topo, tm_name, tm), optimal in zip(points, optimal_values):
         rep = routing_gap_report(topo, tm, optimal=optimal)
         rows.append(
-            (
-                topo.name,
-                tm_name,
-                rep.optimal,
-                rep.ecmp,
-                rep.single_path,
-                rep.ecmp_gap,
-                rep.single_path_gap,
+            emit_row(
+                (
+                    topo.name,
+                    tm_name,
+                    rep.optimal,
+                    rep.ecmp,
+                    rep.single_path,
+                    rep.ecmp_gap,
+                    rep.single_path_gap,
+                )
             )
         )
         if rep.single_path > rep.ecmp * 1.05:

@@ -7,10 +7,11 @@ near 1 while structured topologies degrade.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 import numpy as np
 
+from repro.api import emit_row, experiment
 from repro.evaluation.experiments.factories import (
     UNIFORM_TM_FACTORIES,
     lm_factory,
@@ -18,7 +19,7 @@ from repro.evaluation.experiments.factories import (
 from repro.evaluation.relative import (
     RelativeSpec,
     relative_path_length,
-    relative_throughput_many,
+    relative_throughput_iter,
 )
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.hyperx import hyperx_for_terminals
@@ -38,7 +39,8 @@ def _relative_over_ladder(
     scale: ScaleConfig,
     seed: int,
     tm_names: Sequence[str] = ("A2A", "RM", "LM"),
-) -> List[tuple]:
+) -> Iterator[tuple]:
+    """Yield one figure row per ladder point as its solves complete."""
     specs: List[RelativeSpec] = []
     points: List[tuple] = []
     for family in families:
@@ -57,11 +59,8 @@ def _relative_over_ladder(
                     )
                 )
                 points.append((family, topo, tm_name))
-    results = relative_throughput_many(specs)
-    return [
-        (DISPLAY_NAMES[family], topo.n_servers, tm_name, res.relative, res.absolute)
-        for (family, topo, tm_name), res in zip(points, results)
-    ]
+    for (family, topo, tm_name), res in zip(points, relative_throughput_iter(specs)):
+        yield (DISPLAY_NAMES[family], topo.n_servers, tm_name, res.relative, res.absolute)
 
 
 def _group_checks(rows: List[tuple]) -> Dict[str, bool]:
@@ -76,10 +75,23 @@ def _group_checks(rows: List[tuple]) -> Dict[str, bool]:
     return checks
 
 
+@experiment(
+    "fig5",
+    title="Relative throughput vs servers (structured families)",
+    artifact="Figure 5",
+    tags=("figure", "sweep"),
+    checks=(
+        "jellyfish_near_1",
+        "values_sane",
+        "fattree_absolute_lm_is_1",
+        "hypercube_lm_degrades_with_scale",
+        "flatbf_lm_below_random_at_largest",
+    ),
+)
 def fig5(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 5: relative throughput vs #servers, structured families."""
     scale = scale or scale_from_env()
-    rows = _relative_over_ladder(GROUP1, scale, seed)
+    rows = [emit_row(r) for r in _relative_over_ladder(GROUP1, scale, seed)]
     checks = _group_checks(rows)
 
     def lm_points(family: str):
@@ -114,10 +126,22 @@ def fig5(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig6",
+    title="Relative throughput vs servers (expander families)",
+    artifact="Figure 6",
+    tags=("figure", "sweep"),
+    checks=(
+        "jellyfish_near_1",
+        "values_sane",
+        "long_hop_near_random",
+        "slim_fly_near_random",
+    ),
+)
 def fig6(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 6: relative throughput vs #servers, expander-family group."""
     scale = scale or scale_from_env()
-    rows = _relative_over_ladder(GROUP2, scale, seed)
+    rows = [emit_row(r) for r in _relative_over_ladder(GROUP2, scale, seed)]
     checks = _group_checks(rows)
     # Expander claim: Long Hop and Slim Fly stay near the random graph.
     for fam, lo in (("Long Hop", 0.7), ("Slim Fly", 0.7)):
@@ -135,6 +159,13 @@ def fig6(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig7",
+    title="HyperX relative throughput (LM) by designed bisection",
+    artifact="Figure 7",
+    tags=("figure", "sweep"),
+    checks=("bisection_no_guarantee", "values_sane"),
+)
 def fig7(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 7: HyperX under longest matching at bisection 0.2 / 0.4 / 0.5."""
     scale = scale or scale_from_env()
@@ -165,14 +196,16 @@ def fig7(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
                 (topo, lm_factory, scale.samples, stable_seed((seed, "hyperx", beta, n_term)))
             )
             points.append((beta, topo))
-    for (beta, topo), res in zip(points, relative_throughput_many(specs)):
+    for (beta, topo), res in zip(points, relative_throughput_iter(specs)):
         rows.append(
-            (
-                beta,
-                topo.name,
-                topo.n_servers,
-                topo.params["relative_bisection"],
-                res.relative,
+            emit_row(
+                (
+                    beta,
+                    topo.name,
+                    topo.n_servers,
+                    topo.params["relative_bisection"],
+                    res.relative,
+                )
             )
         )
         values_by_bisection.setdefault(beta, []).append(res.relative)
@@ -194,6 +227,13 @@ def fig7(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig8",
+    title="Long Hop relative throughput under longest matching",
+    artifact="Figure 8",
+    tags=("figure", "sweep"),
+    checks=("tracks_random_graph", "never_beats_random_by_much"),
+)
 def fig8(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 8: Long Hop relative throughput (LM) approaches 1 with servers.
 
@@ -229,9 +269,11 @@ def fig8(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
                 )
             )
             points.append((dim, servers_per_node, topo))
-    for (dim, servers_per_node, topo), res in zip(points, relative_throughput_many(specs)):
+    for (dim, servers_per_node, topo), res in zip(points, relative_throughput_iter(specs)):
         rows.append(
-            (dim, servers_per_node, topo.n_servers, topo.params["degree"], res.relative)
+            emit_row(
+                (dim, servers_per_node, topo.n_servers, topo.params["degree"], res.relative)
+            )
         )
         last_per_dim.setdefault(dim, []).append(res.relative)
     all_vals = [r[4] for r in rows]
@@ -254,6 +296,13 @@ def fig8(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig9",
+    title="Slim Fly relative throughput and relative path length (LM)",
+    artifact="Figure 9",
+    tags=("figure", "sweep"),
+    checks=("paths_shorter_than_random", "short_paths_dont_buy_throughput"),
+)
 def fig9(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 9: Slim Fly — short paths do not translate to higher throughput."""
     scale = scale or scale_from_env()
@@ -266,11 +315,11 @@ def fig9(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
             break
         specs.append((topo, lm_factory, scale.samples, stable_seed((seed, "sf", q))))
         kept.append((q, topo))
-    for (q, topo), res in zip(kept, relative_throughput_many(specs)):
+    for (q, topo), res in zip(kept, relative_throughput_iter(specs)):
         rel_p = relative_path_length(
             topo, samples=scale.samples, seed=stable_seed((seed, "sfp", q))
         )
-        rows.append((q, topo.n_servers, res.relative, rel_p))
+        rows.append(emit_row((q, topo.n_servers, res.relative, rel_p)))
     checks = {
         "paths_shorter_than_random": all(r[3] < 0.97 for r in rows),
         "short_paths_dont_buy_throughput": all(r[2] <= 1.15 for r in rows),
@@ -285,6 +334,13 @@ def fig9(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "table1",
+    title="Relative throughput (%) at the largest size tested",
+    artifact="Table I",
+    tags=("table", "sweep"),
+    checks=("lm_hurts_structured_families", "fattree_lm_at_least_a2a"),
+)
 def table1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Table I: relative throughput at the largest size tested, per TM."""
     scale = scale or scale_from_env()
@@ -313,16 +369,18 @@ def table1(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
                 )
             )
         points.append((family, topo))
-    results = iter(relative_throughput_many(specs))
+    results = relative_throughput_iter(specs)
     for family, topo in points:
         vals = {tm_name: next(results).relative for tm_name in ("A2A", "RM", "LM")}
         rows.append(
-            (
-                DISPLAY_NAMES[family],
-                topo.n_servers,
-                100 * vals["A2A"],
-                100 * vals["RM"],
-                100 * vals["LM"],
+            emit_row(
+                (
+                    DISPLAY_NAMES[family],
+                    topo.n_servers,
+                    100 * vals["A2A"],
+                    100 * vals["RM"],
+                    100 * vals["LM"],
+                )
             )
         )
         if family == "fattree":

@@ -15,6 +15,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api import emit_row, experiment
 from repro.batch import SolveRequest, get_solver, values_by_tag
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.base import Topology
@@ -73,6 +74,19 @@ def _spawn_int(seed) -> int:
     return stable_seed(seed) % (2**31 - 1)
 
 
+@experiment(
+    "fig2",
+    title="Throughput of the TM hardness ladder",
+    artifact="Figure 2",
+    tags=("figure", "sweep"),
+    checks=(
+        "hardness_ladder",
+        "lm_above_lower_bound",
+        "hypercube_lm_hits_bound",
+        "fattree_lm_equals_a2a",
+        "rrg_lm_within_1.5x_bound",
+    ),
+)
 def fig2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 2: TM ladder on hypercubes, random regular graphs, fat trees."""
     scale = scale or scale_from_env()
@@ -100,7 +114,7 @@ def fig2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         vals = _tm_ladder_point(topo, scale.samples, (seed, topo.name))
         degree = topo.params.get("dim") or topo.params.get("degree") or topo.params.get("k")
         for tm_name, v in vals.items():
-            rows.append((panel, degree, topo.n_servers, tm_name, v))
+            rows.append(emit_row((panel, degree, topo.n_servers, tm_name, v)))
         order = [vals["A2A"], vals["RM(10)"], vals["RM(2)"], vals["RM(1)"], vals["LM"]]
         for hi, lo in zip(order, order[1:]):
             if lo > hi * (1 + LADDER_TOL):
@@ -132,6 +146,13 @@ def fig2(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "fig4",
+    title="Throughput normalized by the Theorem-2 lower bound",
+    artifact="Figure 4",
+    tags=("figure",),
+    checks=("hardness_ladder", "all_in_[1,2]_band"),
+)
 def fig4(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 4: throughput under A2A / RM(5) / RM(1) / LM, normalized by the
     Theorem-2 lower bound, for the 10 topology families."""
@@ -158,12 +179,14 @@ def fig4(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         }
         normalized = {k: v / lb for k, v in vals.items()}
         rows.append(
-            (
-                DISPLAY_NAMES[family],
-                normalized["A2A"],
-                normalized["RM(5)"],
-                normalized["RM(1)"],
-                normalized["LM"],
+            emit_row(
+                (
+                    DISPLAY_NAMES[family],
+                    normalized["A2A"],
+                    normalized["RM(5)"],
+                    normalized["RM(1)"],
+                    normalized["LM"],
+                )
             )
         )
         seqs = [normalized["A2A"], normalized["RM(5)"], normalized["RM(1)"], normalized["LM"]]
@@ -185,6 +208,14 @@ def fig4(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     )
 
 
+@experiment(
+    "theorem2",
+    title="Every hose TM achieves at least half of A2A throughput",
+    artifact="Theorem 2",
+    tags=("theory",),
+    scale_sensitive=False,
+    checks=("theorem2_holds",),
+)
 def theorem2_check(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Empirical Theorem 2: min over TMs of T(TM) / (T_A2A / 2) >= 1."""
     scale = scale or scale_from_env()
@@ -217,7 +248,7 @@ def theorem2_check(scale: ScaleConfig | None = None, seed: int = 0) -> Experimen
             worst_ratio = min(worst_ratio, ratio)
             if ratio < 1.0 - 1e-6:
                 ok = False
-        rows.append((trial, topo.name, a2a, lb, worst_ratio))
+        rows.append(emit_row((trial, topo.name, a2a, lb, worst_ratio)))
     return ExperimentResult(
         experiment_id="theorem2",
         title="Theorem 2 — every hose TM achieves >= T_A2A / 2",

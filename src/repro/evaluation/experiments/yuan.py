@@ -17,6 +17,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api import emit_row, experiment
 from repro.batch import SolveRequest, solve_values
 from repro.evaluation.equipment import jellyfish_from_equipment
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
@@ -70,6 +71,17 @@ def _yuan_jellyfish(ft: Topology, seed: int) -> Topology:
     return topo
 
 
+@experiment(
+    "fig15",
+    title="Yuan et al. replication: estimator and equipment effects",
+    artifact="Figure 15",
+    tags=("figure",),
+    checks=(
+        "counting_estimator_hides_jellyfish_advantage",
+        "exact_lp_improves_jellyfish",
+        "equal_equipment_widens_gap",
+    ),
+)
 def fig15(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 15 — the three comparisons."""
     scale = scale or scale_from_env()
@@ -123,7 +135,7 @@ def fig15(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
         ftv = values["fat_tree"][comp]
         jfv = values["jellyfish"][comp]
         ratios[comp] = jfv / ftv
-        rows.append((comp, ftv, jfv, jfv / ftv))
+        rows.append(emit_row((comp, ftv, jfv, jfv / ftv)))
     checks = {
         # The methodological claim: under the counting estimator with
         # unequal equipment, Jellyfish shows no advantage (paper: "similar

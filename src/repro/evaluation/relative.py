@@ -11,18 +11,19 @@ All LP solves route through the ambient :class:`~repro.batch.BatchSolver`
 random-graph baselines — happens eagerly in seed order (so results are
 bit-identical to the historical serial code), and the resulting
 ``SolveRequest`` batch is executed by the solver, which may parallelize it
-and memoize repeats.  ``relative_throughput_many`` batches *entire sweeps*
-into one submission, which is where multicore actually pays off.
+and memoize repeats.  ``relative_throughput_iter`` batches *entire sweeps*
+through the solver's incremental submission path — multicore pays off
+across the sweep, and each point's result streams out as its solves land.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.batch import BatchSolver, SolveRequest, get_solver
+from repro.batch import BatchSolver, SolveRequest, get_solver, iter_outcome_values
 from repro.evaluation.equipment import same_equipment_random_graph
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
@@ -76,20 +77,49 @@ def _spec_requests(
 _CHUNK_SIZE = 64
 
 
-def relative_throughput_many(
+def _spec_result(
+    topology_name: str, samples: int, spec_values: List[float]
+) -> RelativeThroughputResult:
+    """Fold one spec's ``1 + samples`` solve values into a result record."""
+    absolute, rand_values = spec_values[0], spec_values[1:]
+    mean = float(np.mean(rand_values))
+    if mean > 0:
+        rel = absolute / mean
+    elif absolute == 0:
+        # 0/0: the comparison is undefined, not infinitely good.
+        rel = float("nan")
+    else:
+        rel = np.inf
+    return RelativeThroughputResult(
+        topology_name=topology_name,
+        absolute=absolute,
+        random_absolute_mean=mean,
+        random_absolute_values=rand_values,
+        relative=rel,
+        n_samples=samples,
+    )
+
+
+def relative_throughput_iter(
     specs: Sequence[RelativeSpec],
     engine: str = "lp",
     solver: Optional[BatchSolver] = None,
-) -> List[RelativeThroughputResult]:
-    """Evaluate many relative-throughput points as chunked solve batches.
+) -> Iterator[RelativeThroughputResult]:
+    """Evaluate many relative-throughput points, yielding each as it's ready.
 
     Each spec is ``(topology, tm_factory, samples, seed)``.  The LPs of all
-    specs are submitted through :meth:`BatchSolver.solve_many` in chunks of
+    specs are submitted through the solver's incremental
+    :meth:`~repro.batch.BatchSolver.submit` /
+    :meth:`~repro.batch.BatchSolver.iter_outcomes` path in chunks of
     ``_CHUNK_SIZE``, so a whole figure sweep parallelizes across instances
     (not just the 1 + samples instances of a single point) while only a
-    bounded window of topologies/TMs is alive at a time; completed chunks
-    retain only their float values.
+    bounded window of topologies/TMs is alive at a time — and each spec's
+    result is yielded the moment its last solve lands, letting callers emit
+    figure rows while the rest of the sweep is still solving.  Values,
+    ordering, and solve stats are bit-identical to the all-at-once
+    :func:`relative_throughput_many`.
     """
+    specs = list(specs)
     # Validate every spec before solving anything: a bad spec mid-sweep
     # must not waste the LPs already solved (and samples=0 would otherwise
     # surface later as a np.mean([]) NaN + RuntimeWarning).
@@ -97,46 +127,38 @@ def relative_throughput_many(
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
     solver = solver or get_solver()
-    values: List[float] = []
-    bounds: List[Tuple[int, int]] = []
+    pending: List[Tuple[RelativeSpec, int]] = []
     buffer: List[SolveRequest] = []
 
-    def flush() -> None:
-        if buffer:
-            values.extend(o.require().value for o in solver.solve_many(buffer))
-            buffer.clear()
+    def drain() -> Iterator[RelativeThroughputResult]:
+        # iter_outcome_values owns the streaming protocol (nested-stream
+        # guard, submission, in-order release, drain on early exit); this
+        # only regroups its value stream back into per-spec results.
+        values = iter_outcome_values(list(buffer), solver=solver)
+        buffer.clear()
+        for (topology, _factory, samples, _seed), n_requests in pending:
+            spec_values = [next(values) for _ in range(n_requests)]
+            yield _spec_result(topology.name, samples, spec_values)
+        values.close()  # release the solver's stream promptly, not at GC
+        pending.clear()
 
-    for topology, tm_factory, samples, seed in specs:
-        start = len(values) + len(buffer)
-        buffer.extend(_spec_requests(topology, tm_factory, samples, seed, engine))
-        bounds.append((start, len(values) + len(buffer)))
+    for spec in specs:
+        topology, tm_factory, samples, seed = spec
+        requests = _spec_requests(topology, tm_factory, samples, seed, engine)
+        buffer.extend(requests)
+        pending.append((spec, len(requests)))
         if len(buffer) >= _CHUNK_SIZE:
-            flush()
-    flush()
+            yield from drain()
+    yield from drain()
 
-    results: List[RelativeThroughputResult] = []
-    for (topology, _factory, samples, _seed), (start, stop) in zip(specs, bounds):
-        spec_values = values[start:stop]
-        absolute, rand_values = spec_values[0], spec_values[1:]
-        mean = float(np.mean(rand_values))
-        if mean > 0:
-            rel = absolute / mean
-        elif absolute == 0:
-            # 0/0: the comparison is undefined, not infinitely good.
-            rel = float("nan")
-        else:
-            rel = np.inf
-        results.append(
-            RelativeThroughputResult(
-                topology_name=topology.name,
-                absolute=absolute,
-                random_absolute_mean=mean,
-                random_absolute_values=rand_values,
-                relative=rel,
-                n_samples=samples,
-            )
-        )
-    return results
+
+def relative_throughput_many(
+    specs: Sequence[RelativeSpec],
+    engine: str = "lp",
+    solver: Optional[BatchSolver] = None,
+) -> List[RelativeThroughputResult]:
+    """All-at-once form of :func:`relative_throughput_iter` (a list)."""
+    return list(relative_throughput_iter(specs, engine=engine, solver=solver))
 
 
 def relative_throughput(

@@ -1,0 +1,466 @@
+"""Tests for the `repro.api` Session, spec registry, and streaming runner."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    REGISTRY,
+    BatchStatsEvent,
+    ProgressEvent,
+    ResultEvent,
+    RowEvent,
+    Session,
+    emit_row,
+    ensure_registered,
+    experiment,
+    run_experiment,
+)
+from repro.api.docgen import experiments_markdown
+from repro.api.spec import ExperimentRegistry
+from repro.batch import BatchSolveError, BatchSolver, SolveRequest, solve_values
+from repro.evaluation.experiments import EXPERIMENTS
+from repro.evaluation.runner import ExperimentResult, ScaleConfig
+from repro.topologies import hypercube
+from repro.traffic import all_to_all
+
+#: A deliberately tiny profile: every streamed-vs-blocking comparison below
+#: runs the full chunking/dedupe/emission machinery in seconds.  The switch
+#: cap must admit the family representatives (25-64 switches) that fig10
+#: sweeps, or those comparisons would be vacuous.
+TINY = ScaleConfig("small", max_servers=24, max_switches=40, samples=1, shuffles=1)
+
+
+def _stream_events(session: Session, exp_id: str):
+    return list(session.stream(exp_id))
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_registry_backs_experiments_dict(self):
+        registry = ensure_registered()
+        assert EXPERIMENTS == registry.as_dict()
+        assert set(EXPERIMENTS) == set(registry.ids())
+
+    def test_artifact_order(self):
+        ids = ensure_registered().ids()
+        figs = [i for i in ids if i.startswith("fig")]
+        assert figs == [f"fig{n}" for n in range(1, 16)]
+        assert ids.index("table1") < ids.index("table2") < ids.index("theorem2")
+
+    def test_specs_carry_metadata(self):
+        for spec in ensure_registered():
+            assert spec.title
+            assert spec.artifact
+            assert spec.tags, f"{spec.experiment_id} has no tags"
+            assert spec.description
+
+    def test_tag_filtering(self):
+        registry = ensure_registered()
+        figure_ids = {s.experiment_id for s in registry.filter("figure")}
+        assert figure_ids == {f"fig{n}" for n in range(1, 16)}
+        assert {s.experiment_id for s in registry.filter("theory")} >= {
+            "fig1",
+            "theorem2",
+        }
+        table_ids = {s.experiment_id for s in registry.filter("table")}
+        assert {"table1", "table2"} <= table_ids
+
+    def test_duplicate_registration_rejected(self):
+        registry = ExperimentRegistry()
+
+        @experiment("dup", title="t", artifact="a", registry=registry)
+        def first(scale=None, seed=0):
+            """First."""
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @experiment("dup", title="t2", artifact="a2", registry=registry)
+            def second(scale=None, seed=0):
+                """Second."""
+
+    def test_unknown_id_message_matches_legacy(self):
+        with pytest.raises(KeyError, match="unknown experiment 'fig99'"):
+            Session.spec("fig99")
+
+    def test_declared_checks_match_result(self):
+        # Cheap experiments with unconditional checks: the spec's declared
+        # check names must be exactly what the result asserts.
+        for exp_id in ("butterfly25", "theorem2"):
+            result = run_experiment(exp_id, seed=0)
+            assert set(Session.spec(exp_id).checks) == set(result.checks)
+
+    def test_experiments_md_is_fresh(self):
+        committed = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+        assert committed.exists(), "EXPERIMENTS.md missing; see repro list --markdown"
+        assert committed.read_text() == experiments_markdown(), (
+            "EXPERIMENTS.md is stale; regenerate with "
+            "`python -m repro list --markdown > EXPERIMENTS.md`"
+        )
+
+
+# ----------------------------------------------------------------- session
+class TestSessionRun:
+    def test_shim_equivalent_to_session_run(self):
+        legacy = run_experiment("butterfly25", seed=0)
+        with Session(seed=0) as session:
+            direct = session.run("butterfly25")
+        assert direct.rows == legacy.rows
+        assert direct.checks == legacy.checks
+        assert direct.extras["batch"] == legacy.extras["batch"]
+
+    def test_scale_accepts_profile_name(self):
+        with Session(scale="small") as session:
+            assert session.scale.name == "small"
+        with pytest.raises(ValueError, match="unknown"):
+            Session(scale="galactic")
+
+    def test_shared_cache_across_experiments(self, tmp_path):
+        with Session(seed=0, cache_dir=tmp_path) as session:
+            cold = session.run("theorem2")
+            warm = session.run("theorem2")
+            agg = session.stats()
+        assert cold.rows == warm.rows
+        assert cold.extras["batch"]["solved"] == cold.extras["batch"]["requests"] > 0
+        # Per-experiment stats are deltas on the shared solver: the second
+        # run must report zero solves, not inherit the first run's counters.
+        assert warm.extras["batch"]["solved"] == 0
+        assert warm.extras["batch"]["cache_hits"] == warm.extras["batch"]["requests"]
+        assert agg["solved"] == cold.extras["batch"]["solved"]
+        assert agg["requests"] == 2 * cold.extras["batch"]["requests"]
+
+    def test_closed_session_rejects_runs(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run("butterfly25")
+
+    def test_stream_created_before_close_does_not_run_after(self):
+        # The worker thread starts lazily at first iteration; a generator
+        # obtained before close() must not run the experiment (and leak a
+        # fresh pool) afterwards.
+        session = Session()
+        stream = session.stream("butterfly25")
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(stream)
+
+
+# --------------------------------------------------------------- streaming
+class TestStreaming:
+    @pytest.mark.parametrize("exp_id", ["fig2", "fig5", "fig10"])
+    def test_streamed_rows_bit_identical_to_blocking(self, exp_id):
+        blocking = run_experiment(exp_id, scale=TINY, seed=0)
+        with Session(scale=TINY, seed=0) as session:
+            events = _stream_events(session, exp_id)
+        rows = [e.row for e in events if isinstance(e, RowEvent)]
+        results = [e for e in events if isinstance(e, ResultEvent)]
+        assert rows, f"{exp_id} produced no rows at the tiny test scale"
+        assert rows == list(blocking.rows)
+        assert len(results) == 1
+        assert results[0].result.rows == blocking.rows
+        assert results[0].result.checks == blocking.checks
+        assert (
+            results[0].result.extras["batch"]["solved"]
+            == blocking.extras["batch"]["solved"]
+        )
+
+    def test_event_ordering_invariants(self):
+        with Session(scale=TINY, seed=0) as session:
+            events = _stream_events(session, "routing-gap")
+        # Exactly one terminal ResultEvent, and it is last.
+        assert isinstance(events[-1], ResultEvent)
+        assert sum(isinstance(e, ResultEvent) for e in events) == 1
+        # Rows arrive before the terminal event, interleaved with progress.
+        row_positions = [i for i, e in enumerate(events) if isinstance(e, RowEvent)]
+        progress = [e for e in events if isinstance(e, ProgressEvent)]
+        assert row_positions and row_positions[-1] < len(events) - 1
+        assert progress, "no ProgressEvents streamed"
+        last_progress = max(
+            i for i, e in enumerate(events) if isinstance(e, ProgressEvent)
+        )
+        assert row_positions[0] < last_progress, "rows did not interleave"
+        # ProgressEvents are monotone in both counters, done <= total.
+        for a, b in zip(progress, progress[1:]):
+            assert b.done >= a.done
+            assert b.total >= a.total
+        assert all(e.done <= e.total for e in progress)
+        # RowEvent indices count up from zero.
+        assert [e.index for e in events if isinstance(e, RowEvent)] == list(
+            range(len(row_positions))
+        )
+
+    def test_batch_stats_events(self):
+        with Session(scale=TINY, seed=0) as session:
+            events = _stream_events(session, "fig2")
+        batches = [e for e in events if isinstance(e, BatchStatsEvent)]
+        result = events[-1].result
+        assert batches, "no BatchStatsEvents streamed"
+        assert sum(b.stats["solved"] for b in batches) == result.extras["batch"]["solved"]
+        assert (
+            sum(b.stats["requests"] for b in batches)
+            == result.extras["batch"]["requests"]
+        )
+
+    def test_unported_experiment_still_streams_rows(self):
+        # An experiment that never calls emit_row (e.g. third-party code)
+        # falls back to emitting every row (late, but exactly once) before
+        # the terminal event.
+        registry = ensure_registered()
+
+        @experiment(
+            "legacy-rows",
+            title="builds rows without emit_row",
+            artifact="test scaffolding",
+            tags=("test",),
+        )
+        def legacy_rows(scale=None, seed=0):
+            """Rows assembled the pre-streaming way."""
+            topo = hypercube(2)
+            value = solve_values([SolveRequest(topo, all_to_all(topo))])[0]
+            return ExperimentResult(
+                "legacy-rows", "t", ["name", "value"], [("a", value), ("b", 2.0)]
+            )
+
+        try:
+            with Session(seed=0) as session:
+                events = _stream_events(session, "legacy-rows")
+        finally:
+            registry.unregister("legacy-rows")
+        rows = [e.row for e in events if isinstance(e, RowEvent)]
+        assert isinstance(events[-1], ResultEvent)
+        assert rows == list(events[-1].result.rows) and len(rows) == 2
+
+    def test_stream_matches_run_with_worker_pool(self):
+        with Session(scale=TINY, seed=0, workers=2) as session:
+            events = _stream_events(session, "fig10")
+            pooled_rows = [e.row for e in events if isinstance(e, RowEvent)]
+        inline = run_experiment("fig10", scale=TINY, seed=0)
+        assert pooled_rows == list(inline.rows)
+
+    def test_unknown_id_fails_at_call_not_iteration(self):
+        with Session() as session:
+            with pytest.raises(KeyError, match="unknown experiment"):
+                session.stream("fig99")
+
+    def test_error_propagates_mid_stream(self):
+        registry = ensure_registered()
+
+        @experiment(
+            "boom",
+            title="always fails mid-stream",
+            artifact="test scaffolding",
+            tags=("test",),
+        )
+        def boom(scale=None, seed=0):
+            """Emit one good row, then hit a failing solve."""
+            topo = hypercube(2)
+            good = solve_values([SolveRequest(topo, all_to_all(topo))])[0]
+            emit_row(("good", good))
+            solve_values(
+                [SolveRequest(topo, all_to_all(topo), params={"bogus_kw": 1})]
+            )
+            return ExperimentResult("boom", "t", ["x"], [])  # pragma: no cover
+
+        try:
+            with Session(seed=0) as session:
+                seen = []
+                with pytest.raises(BatchSolveError):
+                    for event in session.stream("boom"):
+                        seen.append(event)
+                # Events preceding the failure were delivered...
+                assert any(
+                    isinstance(e, RowEvent) and e.row[0] == "good" for e in seen
+                )
+                assert not any(isinstance(e, ResultEvent) for e in seen)
+                # ...and the shared session survives for the next experiment.
+                result = session.run("butterfly25")
+                assert result.all_checks_pass()
+        finally:
+            registry.unregister("boom")
+
+    def test_abandoned_stream_does_not_poison_session(self):
+        with Session(scale=TINY, seed=0) as session:
+            stream = session.stream("fig10")
+            first_row = None
+            for event in stream:
+                if isinstance(event, RowEvent):
+                    first_row = event
+                    break
+            stream.close()
+            assert first_row is not None
+            # The next run joins the abandoned worker thread first.
+            result = session.run("butterfly25")
+            assert result.all_checks_pass()
+
+
+# ------------------------------------------------ solver streaming substrate
+class TestBatchSolverStreaming:
+    def _requests(self, n=3):
+        reqs = []
+        for dim in range(2, 2 + n):
+            topo = hypercube(dim)
+            reqs.append(SolveRequest(topo, all_to_all(topo), tag=f"h{dim}"))
+        return reqs
+
+    def test_submission_order_preserved(self):
+        reqs = self._requests()
+        with BatchSolver(workers=1) as solver:
+            batch = [o.require().value for o in solver.solve_many(reqs)]
+            for req in reqs:
+                solver.submit(req)
+            streamed = [o.require().value for o in solver.iter_outcomes()]
+        assert streamed == batch
+
+    def test_pool_streaming_matches_inline(self):
+        reqs = self._requests()
+        inline = [
+            o.require().value for o in BatchSolver(workers=1).solve_many(reqs)
+        ]
+        with BatchSolver(workers=2) as solver:
+            for req in reqs:
+                solver.submit(req)
+            tags = [(o.tag, o.require().value) for o in solver.iter_outcomes()]
+        assert [v for _, v in tags] == inline
+        assert [t for t, _ in tags] == [r.tag for r in reqs]
+
+    def test_streaming_counts_match_solve_many(self, tmp_path):
+        from repro.batch import ResultCache
+
+        reqs = self._requests()
+        dup = SolveRequest(reqs[0].topology, reqs[0].tm, tag="dup")
+        batch_solver = BatchSolver(workers=1, cache=ResultCache(tmp_path / "a"))
+        batch_solver.solve_many(reqs + [dup])
+        stream_solver = BatchSolver(workers=1, cache=ResultCache(tmp_path / "b"))
+        for req in reqs + [dup]:
+            stream_solver.submit(req)
+        outcomes = list(stream_solver.iter_outcomes())
+
+        def counters(solver):
+            return {k: v for k, v in solver.stats().items() if k != "cache"}
+
+        assert counters(stream_solver) == counters(batch_solver)
+        # The duplicate was served from the in-stream memo, not re-solved.
+        assert outcomes[-1].from_cache
+        assert stream_solver.n_solved == len(reqs)
+        assert stream_solver.n_cache_hits == 1
+
+    def test_submit_probes_cache(self, tmp_path):
+        from repro.batch import ResultCache
+
+        cache = ResultCache(tmp_path)
+        req = self._requests(1)[0]
+        with BatchSolver(workers=1, cache=cache) as solver:
+            solver.submit(req)
+            cold = list(solver.iter_outcomes())
+        with BatchSolver(workers=1, cache=cache) as solver:
+            solver.submit(req)
+            warm = list(solver.iter_outcomes())
+            assert solver.n_solved == 0
+            assert solver.n_cache_hits == 1
+        assert warm[0].from_cache
+        assert warm[0].require().value == cold[0].require().value
+
+    def test_error_capture_and_drain(self):
+        topo = hypercube(2)
+        good = SolveRequest(topo, all_to_all(topo))
+        bad = SolveRequest(topo, all_to_all(topo), params={"bogus_kw": 1})
+        with BatchSolver(workers=1) as solver:
+            solver.submit(bad)
+            solver.submit(good)
+            outcomes = solver.iter_outcomes()
+            first = next(outcomes)
+            assert not first.ok
+            with pytest.raises(BatchSolveError):
+                first.require()
+            assert solver.pending_outcomes == 1
+            assert solver.drain() == 1
+            assert solver.pending_outcomes == 0
+            assert solver.n_errors == 1 and solver.n_solved == 1
+
+    def test_cancelled_future_becomes_error_outcome(self):
+        # A job cancelled when a timeout recycles the pool must surface as
+        # a per-job error outcome (CancelledError is a BaseException since
+        # 3.8 and would otherwise escape the capture and crash the stream).
+        from concurrent.futures import Future
+
+        from repro.batch.solver import _StreamEntry
+
+        solver = BatchSolver(workers=2)
+        req = self._requests(1)[0]
+        entry = _StreamEntry(req, use_cache=False)
+        fut = Future()
+        fut.cancel()
+        # Complete the executor's cancellation handshake: without it the
+        # future stays CANCELLED (not CANCELLED_AND_NOTIFIED) and
+        # futures.wait() would block forever.
+        fut.set_running_or_notify_cancel()
+        entry.future = fut
+        solver._stream_outstanding[fut] = entry
+        solver._stream_pending.append(entry)
+        solver.n_requests += 1
+        outcomes = list(solver.iter_outcomes())
+        assert len(outcomes) == 1 and not outcomes[0].ok
+        assert "Cancelled" in outcomes[0].error
+        assert solver.n_errors == 1
+        solver.close()
+
+    def test_progress_callback_fires_per_job(self):
+        reqs = self._requests()
+        ticks = []
+        with BatchSolver(workers=1) as solver:
+            solver.progress_callback = lambda s: ticks.append(
+                (s.n_solved, s.n_requests)
+            )
+            for req in reqs:
+                solver.submit(req)
+            list(solver.iter_outcomes())
+        assert [t[0] for t in ticks] == [1, 2, 3]
+
+    def test_stream_batch_callback_counts_submit_time_hits(self, tmp_path):
+        # The batch delta baseline is captured at first submit: a fully
+        # warm streamed batch must report its requests and cache hits, not
+        # zeros (submission itself counts the probe hits).
+        from repro.batch import ResultCache
+
+        reqs = self._requests(2)
+        cache = ResultCache(tmp_path)
+        with BatchSolver(workers=1, cache=cache) as solver:
+            for req in reqs:
+                solver.submit(req)
+            list(solver.iter_outcomes())
+        batches = []
+        with BatchSolver(workers=1, cache=cache) as solver:
+            solver.batch_callback = batches.append
+            for req in reqs:
+                solver.submit(req)
+            list(solver.iter_outcomes())
+        assert len(batches) == 1
+        assert batches[0]["requests"] == 2
+        assert batches[0]["cache_hits"] == 2 and batches[0]["solved"] == 0
+
+    def test_nested_streaming_rejected_loudly(self):
+        # One solver has one outcome FIFO: consuming a second stream inside
+        # another's loop would silently cross-wire values, so the helpers
+        # refuse instead.
+        from repro.batch import iter_outcome_values, use_solver
+
+        reqs = self._requests(2)
+        with BatchSolver(workers=1) as solver, use_solver(solver):
+            outer = iter_outcome_values(reqs[:1] + reqs[1:])
+            next(outer)  # one outcome still pending on the solver
+            inner = iter_outcome_values(self._requests(1))
+            with pytest.raises(RuntimeError, match="nested streaming"):
+                next(inner)
+
+    def test_snapshot_deltas(self):
+        reqs = self._requests(2)
+        with BatchSolver(workers=1) as solver:
+            solver.solve_many(reqs[:1])
+            snap = solver.snapshot()
+            solver.solve_many(reqs[1:])
+            delta = solver.stats_since(snap)
+        assert delta["requests"] == 1 and delta["solved"] == 1
+        assert solver.stats()["solved"] == 2

@@ -55,6 +55,26 @@ class TestCLI:
         for exp_id in EXPECTED_IDS:
             assert exp_id in out
 
+    def test_list_prints_spec_metadata_not_docstrings(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "[figure,sweep]" in out
+        assert "[theory]" in out
+
+    def test_list_verbose(self, capsys):
+        assert main(["list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "artifact: Figure 5" in out
+        assert "checks:" in out
+        assert "scale-sensitive: no" in out
+
+    def test_list_markdown_matches_generator(self, capsys):
+        from repro.api.docgen import experiments_markdown
+
+        assert main(["list", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out == experiments_markdown()
+
     def test_unknown_experiment_exit_code(self, capsys):
         assert main(["fig99"]) == 2
 
@@ -110,7 +130,7 @@ class TestCLI:
         assert code == 0
 
     def test_json_written_for_every_experiment_id(self, monkeypatch, tmp_path, capsys):
-        def fake_run(exp_id, scale=None, seed=0, workers=1, cache=None):
+        def fake_run(self, exp_id, seed=None):
             return ExperimentResult(
                 experiment_id=exp_id,
                 title=f"stub {exp_id}",
@@ -120,7 +140,7 @@ class TestCLI:
                 extras={"batch": {"solved": 0, "cache_hits": 0, "errors": 0}},
             )
 
-        monkeypatch.setattr(repro.cli, "run_experiment", fake_run)
+        monkeypatch.setattr(repro.cli.Session, "run", fake_run)
         out_dir = tmp_path / "json"
         code = main(["all", "--no-cache", "--json", str(out_dir)])
         capsys.readouterr()
@@ -131,6 +151,70 @@ class TestCLI:
             doc = json.loads(path.read_text())
             assert doc["experiment_id"] == exp_id
             assert doc["extras"]["batch"]["solved"] == 0
+
+    def test_all_reports_aggregate_session_stats(self, monkeypatch, capsys):
+        def fake_run(self, exp_id, seed=None):
+            return ExperimentResult(
+                experiment_id=exp_id,
+                title=f"stub {exp_id}",
+                headers=["x"],
+                rows=[(1,)],
+                checks={"ok": True},
+            )
+
+        monkeypatch.setattr(repro.cli.Session, "run", fake_run)
+        assert main(["all", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert f"[all: {len(EXPERIMENTS)} experiments in" in out
+        assert "0 solved, 0 cache hits, 0 errors]" in out
+
+    def test_tag_filter_selects_subset(self, monkeypatch, capsys):
+        ran = []
+
+        def fake_run(self, exp_id, seed=None):
+            ran.append(exp_id)
+            return ExperimentResult(
+                experiment_id=exp_id,
+                title=f"stub {exp_id}",
+                headers=["x"],
+                rows=[(1,)],
+                checks={"ok": True},
+            )
+
+        monkeypatch.setattr(repro.cli.Session, "run", fake_run)
+        assert main(["all", "--no-cache", "--tag", "theory"]) == 0
+        capsys.readouterr()
+        assert "theorem2" in ran and "fig1" in ran
+        assert "fig5" not in ran
+
+    def test_tag_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["all", "--no-cache", "--tag", "nonsense"])
+        assert "unknown --tag" in capsys.readouterr().err
+        # --tag is rejected (not silently ignored) for every other command.
+        for argv in (["fig4", "--tag", "figure"], ["list", "--tag", "figure"],
+                     ["cache", "--tag", "figure"]):
+            with pytest.raises(SystemExit):
+                main(argv)
+            assert "only valid with 'all'" in capsys.readouterr().err
+
+    def test_list_only_flags_rejected_elsewhere(self, capsys):
+        # Dropping --markdown silently would instead launch a full sweep.
+        for argv in (["all", "--markdown"], ["fig4", "--verbose"],
+                     ["cache", "--markdown"]):
+            with pytest.raises(SystemExit):
+                main(argv)
+            assert "only valid with 'list'" in capsys.readouterr().err
+
+    def test_stream_prints_rows_before_result(self, tmp_path, capsys):
+        code = main(["butterfly25", "--stream", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.splitlines()
+        first_row = next(i for i, l in enumerate(lines) if "] row 1:" in l)
+        finished = next(i for i, l in enumerate(lines) if "finished in" in l)
+        assert first_row < finished
+        assert any("solves:" in l for l in lines[:first_row + 1])
 
 
 class TestCacheCommand:

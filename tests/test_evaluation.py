@@ -15,6 +15,36 @@ from repro.evaluation import (
 )
 from repro.evaluation.relative import relative_throughput_many
 from repro.throughput.lp import ThroughputResult
+
+
+class _FakeStreamSolver:
+    """Duck-typed stand-in for BatchSolver's submit/iter_outcomes contract,
+    returning a scripted value per solve (for edge-case math tests)."""
+
+    def __init__(self, values):
+        self._values = iter(values)
+        self._queue = []
+
+    @property
+    def pending_outcomes(self):
+        return len(self._queue)
+
+    def submit(self, request):
+        self._queue.append(
+            SolveOutcome(
+                tag=request.tag,
+                result=ThroughputResult(value=next(self._values), engine="lp"),
+            )
+        )
+
+    def iter_outcomes(self):
+        while self._queue:
+            yield self._queue.pop(0)
+
+    def drain(self):
+        n = len(self._queue)
+        self._queue.clear()
+        return n
 from repro.evaluation.experiments.factories import a2a_factory, lm_factory
 from repro.topologies import dragonfly, fat_tree, hypercube, jellyfish, slimfly
 from repro.throughput import throughput
@@ -108,37 +138,17 @@ class TestRelativeThroughput:
         # reporting inf would claim the topology beats the baseline.
         topo = hypercube(3)
 
-        class _ZeroSolver:
-            def solve_many(self, requests):
-                return [
-                    SolveOutcome(
-                        tag=r.tag,
-                        result=ThroughputResult(value=0.0, engine="lp"),
-                    )
-                    for r in requests
-                ]
-
         res = relative_throughput_many(
-            [(topo, a2a_factory, 2, 0)], solver=_ZeroSolver()
+            [(topo, a2a_factory, 2, 0)], solver=_FakeStreamSolver([0.0, 0.0, 0.0])
         )[0]
         assert math.isnan(res.relative)
         assert res.absolute == 0.0 and res.random_absolute_mean == 0.0
 
     def test_zero_baseline_with_positive_absolute_is_inf(self):
         topo = hypercube(3)
-        values = iter([1.0, 0.0, 0.0])
-
-        class _Solver:
-            def solve_many(self, requests):
-                return [
-                    SolveOutcome(
-                        tag=r.tag,
-                        result=ThroughputResult(value=next(values), engine="lp"),
-                    )
-                    for r in requests
-                ]
-
-        res = relative_throughput_many([(topo, a2a_factory, 2, 0)], solver=_Solver())[0]
+        res = relative_throughput_many(
+            [(topo, a2a_factory, 2, 0)], solver=_FakeStreamSolver([1.0, 0.0, 0.0])
+        )[0]
         assert res.relative == np.inf
 
 
