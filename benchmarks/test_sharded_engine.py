@@ -1,0 +1,58 @@
+"""Bench: sharded decomposition vs the dense LP on one mid-size instance.
+
+Not a paper artifact — this pins the scaling claim of the sharded engine:
+per-shard LP size is a fraction of the dense LP's, the certified gap
+closes, and the bounded-memory (no-fallback) path stays within a few
+percent of exact.  Scale-insensitive by design (one fixed instance), so
+it stays seconds-long under every ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.throughput import solve_throughput_sharded, throughput
+from repro.topologies import jellyfish
+from repro.traffic import all_to_all
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = jellyfish(40, 5, seed=17)
+    return topo, all_to_all(topo)
+
+
+def test_dense_lp_bench(benchmark, instance, capsys):
+    topo, tm = instance
+    result = benchmark.pedantic(
+        lambda: throughput(topo, tm), rounds=1, iterations=1, warmup_rounds=0
+    )
+    with capsys.disabled():
+        print(
+            f"\n[dense] value={result.value:.6f} vars={result.n_variables} "
+            f"solve={result.solve_seconds:.2f}s"
+        )
+    assert result.value > 0
+
+
+def test_sharded_engine_bench(benchmark, instance, capsys):
+    topo, tm = instance
+    dense = throughput(topo, tm)
+
+    def once():
+        return solve_throughput_sharded(
+            topo, tm, blocks=4, max_rounds=16, exact_fallback=False
+        )
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    meta = result.meta
+    with capsys.disabled():
+        print(
+            f"\n[sharded] lb={meta['lower_bound']:.6f} ub={meta['upper_bound']:.6f} "
+            f"gap={meta['relative_gap']:.2e} shard_vars={result.n_variables} "
+            f"(dense {dense.n_variables}) rounds={meta['rounds']}"
+        )
+    assert result.n_variables < dense.n_variables
+    assert meta["lower_bound"] <= dense.value * (1 + 1e-9)
+    assert meta["upper_bound"] >= dense.value * (1 - 1e-9)
+    assert meta["relative_gap"] < 0.05

@@ -22,6 +22,7 @@ from repro.api.events import (
     ProgressEvent,
     ResultEvent,
     RowEvent,
+    ShardProgressEvent,
     emit_row,
     use_sink,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ResultEvent",
     "RowEvent",
     "Session",
+    "ShardProgressEvent",
     "emit_row",
     "ensure_registered",
     "experiment",

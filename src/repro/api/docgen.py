@@ -1,11 +1,22 @@
-"""EXPERIMENTS.md generator, driven by the :data:`~repro.api.spec.REGISTRY`.
+"""Generated-docs builders: the EXPERIMENTS.md catalog and the API.md
+reference, both derived from live code so they cannot silently go stale.
 
-``python -m repro list --markdown > EXPERIMENTS.md`` regenerates the
-committed catalog; a test asserts the committed file is never stale.
+* :func:`experiments_markdown` renders the experiment catalog from the
+  :data:`~repro.api.spec.REGISTRY`; regenerate the committed file with
+  ``python -m repro list --markdown > EXPERIMENTS.md``.
+* :func:`api_markdown` renders the public-API reference — engine
+  guarantees from :data:`repro.throughput.mcf.ENGINE_GUARANTEES`, plus the
+  exported surface of :mod:`repro.api` and :mod:`repro.batch` with each
+  object's docstring summary; regenerate with
+  ``python -m repro list --api-markdown > API.md``.
+
+Tests (and the CI ``docs`` job) assert both committed files match their
+regenerated form, so any drift fails loudly.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional
 
 from repro.api.spec import ExperimentRegistry, ensure_registered
@@ -51,4 +62,80 @@ def experiments_markdown(registry: Optional[ExperimentRegistry] = None) -> str:
         if spec.description:
             lines.append(f"\n  {spec.description}")
     lines.append("\n")
+    return "".join(lines)
+
+
+_API_HEADER = """\
+# API reference
+
+Generated from live docstrings and the engine registry — do not edit by
+hand; regenerate with `python -m repro list --api-markdown > API.md`.
+
+The layered architecture these objects belong to is described in
+[docs/architecture.md](docs/architecture.md); design rationale lives in
+[DESIGN.md](DESIGN.md).
+"""
+
+
+def _doc_summary(obj) -> str:
+    """First docstring paragraph of ``obj``, collapsed and table-safe.
+
+    Plain data values summarize as their class (or as a constant for
+    builtins) — instances carry no docstring of their own.
+    """
+    if not (inspect.isclass(obj) or inspect.isroutine(obj) or inspect.ismodule(obj)):
+        if type(obj).__module__ == "builtins":
+            return "(constant)"
+        if type(obj).__module__ == "typing":
+            return "(type alias)"
+        obj = type(obj)
+    doc = (inspect.getdoc(obj) or "").strip()
+    if not doc:
+        return "(undocumented)"
+    summary = " ".join(doc.split("\n\n")[0].split())
+    if len(summary) > 180:
+        summary = summary[:177] + "..."
+    return summary.replace("|", "\\|")
+
+
+def _kind(obj) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isroutine(obj):
+        return "function"
+    return "data"
+
+
+def _module_section(title: str, module) -> list:
+    """One `## module` section: a name/kind/summary table over ``__all__``.
+
+    ``__all__`` *is* the supported surface — anything not exported there is
+    internal and deliberately absent from the reference.
+    """
+    lines = [f"\n## `{title}`\n\n"]
+    lines.append(f"{_doc_summary(module)}\n\n")
+    lines.append("| name | kind | summary |\n|------|------|---------|\n")
+    for name in module.__all__:
+        obj = getattr(module, name)
+        lines.append(f"| `{name}` | {_kind(obj)} | {_doc_summary(obj)} |\n")
+    return lines
+
+
+def api_markdown() -> str:
+    """The full API.md content: engines, then the public module surfaces."""
+    import repro.api as api_module
+    import repro.batch as batch_module
+    from repro.throughput.mcf import ENGINE_GUARANTEES
+
+    lines = [_API_HEADER]
+    lines.append("\n## Throughput engines\n\n")
+    lines.append(
+        "Every solve names an engine; the batch layer dispatches it and "
+        "the result cache keys on it.  Guarantees:\n\n"
+    )
+    lines.append("| engine | guarantee |\n|--------|-----------|\n")
+    for name, guarantee in ENGINE_GUARANTEES.items():
+        lines.append(f"| `{name}` | {guarantee} |\n")
+    lines.extend(_module_section("repro.api", api_module))
+    lines.extend(_module_section("repro.batch", batch_module))
     return "".join(lines)

@@ -11,6 +11,9 @@ while the experiment executes:
   are submitted.
 * :class:`BatchStatsEvent` — one solve batch (a ``solve_many`` call or a
   drained submit/iter stream) finished; carries that batch's delta stats.
+* :class:`ShardProgressEvent` — one capacity-coordination round of a
+  sharded solve (:mod:`repro.throughput.sharded`) finished; carries the
+  round's certified lower/upper bounds and relative gap.
 * :class:`ResultEvent` — terminal: the complete
   :class:`~repro.evaluation.runner.ExperimentResult`.  Exactly one per
   stream, always last.
@@ -57,6 +60,24 @@ class BatchStatsEvent:
 
 
 @dataclass(frozen=True)
+class ShardProgressEvent:
+    """One coordination round of one sharded solve completed.
+
+    ``lower_bound`` is certified feasible, ``upper_bound`` the certified
+    metric-relaxation bound; ``relative_gap`` their distance (both bounds
+    are monotone across rounds of one solve).
+    """
+
+    experiment_id: str
+    blocks: int
+    round: int
+    max_rounds: int
+    lower_bound: float
+    upper_bound: float
+    relative_gap: float
+
+
+@dataclass(frozen=True)
 class ResultEvent:
     """Terminal event: the finished experiment result."""
 
@@ -65,7 +86,9 @@ class ResultEvent:
     elapsed_seconds: float = 0.0
 
 
-ExperimentEvent = Union[RowEvent, ProgressEvent, BatchStatsEvent, ResultEvent]
+ExperimentEvent = Union[
+    RowEvent, ProgressEvent, BatchStatsEvent, ShardProgressEvent, ResultEvent
+]
 
 
 class EventSink:

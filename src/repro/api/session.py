@@ -28,6 +28,7 @@ import os
 import queue
 import threading
 import time
+from contextlib import ExitStack
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.api.events import (
@@ -37,11 +38,26 @@ from repro.api.events import (
     ProgressEvent,
     ResultEvent,
     RowEvent,
+    ShardProgressEvent,
     use_sink,
 )
 from repro.api.spec import ExperimentSpec, ensure_registered
-from repro.batch import BaseResultCache, BatchSolver, make_cache, use_solver
+from repro.batch import (
+    DEFAULT_ENGINE_CHOICES,
+    BaseResultCache,
+    BatchSolver,
+    make_cache,
+    use_default_engine,
+    use_solver,
+)
 from repro.evaluation.runner import SCALES, ExperimentResult, ScaleConfig
+from repro.throughput.sharded import (
+    ShardPolicy,
+    ShardProgress,
+    current_shard_policy,
+    use_shard_policy,
+    use_shard_progress,
+)
 
 
 class _QueueSink(EventSink):
@@ -87,6 +103,15 @@ class Session:
         ``None`` for both disables memoization.
     timeout:
         Optional per-job wall-clock limit, forwarded to the solver.
+    engine:
+        Default engine override for every solve that does not name one
+        explicitly (``"lp"`` | ``"mwu"`` | ``"sharded"`` | ``"auto"``);
+        ``None`` keeps each call site's default.  The CLI's ``--engine``
+        flag lands here.
+    shard_threshold, shard_blocks:
+        Shard-policy overrides installed for the session's runs (see
+        :class:`~repro.throughput.sharded.ShardPolicy`); ``None`` defers
+        to the ambient policy / environment.
     """
 
     def __init__(
@@ -97,6 +122,9 @@ class Session:
         cache: Optional[BaseResultCache] = None,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
         timeout: Optional[float] = None,
+        engine: Optional[str] = None,
+        shard_threshold: Optional[int] = None,
+        shard_blocks: Optional[int] = None,
     ) -> None:
         if isinstance(scale, str):
             if scale not in SCALES:
@@ -109,9 +137,39 @@ class Session:
         if cache is None and cache_dir is not None:
             cache = make_cache(cache_dir)
         self.cache = cache
+        if engine is not None and engine not in DEFAULT_ENGINE_CHOICES:
+            # Fail at construction like the scale check above — not at the
+            # first run(), and never from inside a stream worker thread.
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of "
+                f"{DEFAULT_ENGINE_CHOICES}"
+            )
+        self.engine = engine
+        self._shard_policy: Optional[ShardPolicy] = None
+        if shard_threshold is not None or shard_blocks is not None:
+            base = current_shard_policy()
+            self._shard_policy = ShardPolicy(
+                threshold=(
+                    shard_threshold
+                    if shard_threshold is not None
+                    else base.threshold
+                ),
+                blocks=shard_blocks if shard_blocks is not None else base.blocks,
+                prefer=base.prefer,
+            )
         self.solver = BatchSolver(workers=workers, cache=cache, timeout=timeout)
         self._active_thread: Optional[threading.Thread] = None
         self._closed = False
+
+    def _ambient(self) -> ExitStack:
+        """Context stack installing this session's solver and overrides."""
+        stack = ExitStack()
+        stack.enter_context(use_solver(self.solver))
+        if self.engine is not None:
+            stack.enter_context(use_default_engine(self.engine))
+        if self._shard_policy is not None:
+            stack.enter_context(use_shard_policy(self._shard_policy))
+        return stack
 
     # ------------------------------------------------------------- lifecycle
     def __enter__(self) -> "Session":
@@ -165,7 +223,7 @@ class Session:
         self._join_active()
         spec = self.spec(experiment_id)
         snap = self.solver.snapshot()
-        with use_solver(self.solver):
+        with self._ambient():
             result = spec.fn(
                 scale=self.scale, seed=self.seed if seed is None else seed
             )
@@ -226,10 +284,25 @@ class Session:
                 def on_batch(stats: Dict[str, Any]) -> None:
                     q.put(BatchStatsEvent(experiment_id, stats))
 
+                def on_shard(progress: ShardProgress) -> None:
+                    q.put(
+                        ShardProgressEvent(
+                            experiment_id,
+                            blocks=progress.blocks,
+                            round=progress.round,
+                            max_rounds=progress.max_rounds,
+                            lower_bound=progress.lower_bound,
+                            upper_bound=progress.upper_bound,
+                            relative_gap=progress.relative_gap,
+                        )
+                    )
+
                 self.solver.progress_callback = on_progress
                 self.solver.batch_callback = on_batch
                 try:
-                    with use_solver(self.solver), use_sink(sink):
+                    with self._ambient(), use_sink(sink), use_shard_progress(
+                        on_shard
+                    ):
                         result = spec.fn(
                             scale=self.scale,
                             seed=self.seed if seed is None else seed,

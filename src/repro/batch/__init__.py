@@ -26,16 +26,22 @@ from repro.batch.context import (
     use_solver,
 )
 from repro.batch.jobs import (
+    BATCH_ENGINES,
+    DEFAULT_ENGINE_CHOICES,
     BatchSolveError,
     SolveOutcome,
     SolveRequest,
+    default_engine,
     instance_key,
+    use_default_engine,
     values_by_tag,
 )
 from repro.batch.solver import BatchSolver, resolve_workers
 
 __all__ = [
+    "BATCH_ENGINES",
     "CACHE_BACKENDS",
+    "DEFAULT_ENGINE_CHOICES",
     "BaseResultCache",
     "BatchSolveError",
     "BatchSolver",
@@ -43,7 +49,9 @@ __all__ = [
     "SolveOutcome",
     "SolveRequest",
     "SqliteResultCache",
+    "default_engine",
     "get_solver",
+    "use_default_engine",
     "instance_key",
     "iter_outcome_values",
     "iter_solve_instances",

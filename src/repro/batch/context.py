@@ -90,7 +90,7 @@ def iter_outcome_values(
 def iter_solve_instances(
     instances: Sequence[Tuple[Any, Any]],
     tm_factory: Callable[[Any], Any],
-    engine: str = "lp",
+    engine: Optional[str] = None,
 ) -> Iterator[Tuple[Any, Any, Any, float]]:
     """Stream throughput of one TM per ``(label, topology)`` pair.
 
@@ -99,7 +99,9 @@ def iter_solve_instances(
     order), submit the whole list through the ambient solver, and yield
     ``(label, topology, tm, value)`` tuples as each solve completes — the
     caller's per-instance work (cut search, row emission) overlaps the
-    remaining solves.
+    remaining solves.  ``engine=None`` defers to the ambient default
+    (:func:`repro.batch.jobs.default_engine`), so ``--engine`` overrides
+    reach these sweeps.
     """
     instances = list(instances)
     tms = [tm_factory(topo) for _, topo in instances]
@@ -116,7 +118,7 @@ def iter_solve_instances(
 def solve_instances(
     instances: Sequence[Tuple[Any, Any]],
     tm_factory: Callable[[Any], Any],
-    engine: str = "lp",
+    engine: Optional[str] = None,
 ) -> List[Tuple[Any, Any, Any, float]]:
     """All-at-once form of :func:`iter_solve_instances` (values in a list)."""
     return list(iter_solve_instances(instances, tm_factory, engine=engine))

@@ -16,8 +16,10 @@ so one infeasible or crashing instance never aborts a sweep.
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -28,13 +30,55 @@ from repro.traffic.matrix import TrafficMatrix
 #: Bump when the key payload layout changes; old cache entries then miss.
 KEY_VERSION = "repro-batch-v1"
 
-#: Engines the batch layer can dispatch: ``lp`` and ``mwu`` go through
-#: :func:`repro.throughput.mcf.throughput`; ``paths`` is the LLSKR-style
-#: path-restricted LP (:func:`repro.throughput.llskr.llskr_exact_throughput`).
-#: Its path sets are a deterministic function of the *as-built* graph and
-#: the ``subflows`` / ``path_pool`` params, so :func:`instance_key` hashes
+#: Engines the batch layer can dispatch: ``lp``, ``mwu``, and ``sharded``
+#: go through :func:`repro.throughput.mcf.throughput` (``sharded`` is
+#: special-cased to run parent-side so its block subproblems fan out over
+#: the same solver — see :class:`~repro.batch.solver.BatchSolver`);
+#: ``paths`` is the LLSKR-style path-restricted LP
+#: (:func:`repro.throughput.llskr.llskr_exact_throughput`).  Its path sets
+#: are a deterministic function of the *as-built* graph and the
+#: ``subflows`` / ``path_pool`` params, so :func:`instance_key` hashes
 #: extra order-sensitive structure for this engine — see below.
-BATCH_ENGINES = ("lp", "mwu", "paths")
+BATCH_ENGINES = ("lp", "mwu", "paths", "sharded")
+
+#: Engines that may serve as the *ambient default* (``use_default_engine``,
+#: ``Session(engine=...)``, ``--engine``).  ``paths`` is dispatchable but
+#: deliberately excluded here: the path-restricted LP computes a different
+#: quantity (a path-set lower bound with its own parameters), so silently
+#: substituting it for every default solve would corrupt experiment rows.
+DEFAULT_ENGINE_CHOICES = ("lp", "mwu", "sharded", "auto")
+
+#: Ambient engine used by requests that do not name one.  ``"auto"`` is
+#: also accepted: it resolves per instance through the shard policy at
+#: request construction, so keys always carry a concrete engine.
+_default_engine_var: ContextVar[str] = ContextVar(
+    "repro_default_engine", default="lp"
+)
+
+
+def default_engine() -> str:
+    """The ambient engine for requests constructed without an explicit one."""
+    return _default_engine_var.get()
+
+
+@contextmanager
+def use_default_engine(engine: str) -> Iterator[str]:
+    """Install ``engine`` as the ambient default within the ``with`` block.
+
+    This is how ``repro <exp> --engine sharded`` reroutes a whole
+    experiment: call sites that pass ``engine=`` explicitly (the ablation
+    comparisons, the fig15 ``paths`` solves) are deliberately unaffected.
+    """
+    if engine not in DEFAULT_ENGINE_CHOICES:
+        raise ValueError(
+            f"engine {engine!r} cannot be the ambient default; expected one "
+            f"of {DEFAULT_ENGINE_CHOICES}"
+        )
+    token = _default_engine_var.set(engine)
+    try:
+        yield engine
+    finally:
+        _default_engine_var.reset(token)
 
 
 def instance_key(
@@ -97,21 +141,44 @@ class SolveRequest:
     topology, tm:
         The instance itself.
     engine:
-        One of :data:`BATCH_ENGINES` (``"lp"``, ``"mwu"``, or ``"paths"``).
+        One of :data:`BATCH_ENGINES` (``"lp"``, ``"mwu"``, ``"paths"``, or
+        ``"sharded"``), or ``None`` to take the ambient default
+        (:func:`default_engine`, normally ``"lp"``).  ``"auto"`` — given
+        explicitly or as the ambient default — resolves immediately
+        through :func:`repro.throughput.sharded.select_engine`, and a
+        request resolving to ``"sharded"`` has its shard knobs (blocks,
+        tolerance, round budget, fallback) frozen into ``params`` so the
+        content key fully determines the computed value.
     params:
         Extra kwargs for the engine (e.g. ``epsilon`` for MWU, or
         ``subflows`` / ``path_pool`` for the path-restricted LP).
     tag:
         Caller-chosen label for mapping outcomes back to sweep points; not
-        part of the key.
+        part of the key.  The sharded engine tags its internal block
+        subproblems ``shard:...`` — the solver counts those separately in
+        its stats.
     """
 
     topology: Topology
     tm: TrafficMatrix
-    engine: str = "lp"
+    engine: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
     tag: str = ""
     _key: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = default_engine()
+        if self.engine == "auto":
+            from repro.throughput.sharded import select_engine
+
+            self.engine = select_engine(self.topology, self.tm)
+        if self.engine == "sharded":
+            from repro.throughput.sharded import resolve_shard_params
+
+            self.params = resolve_shard_params(
+                self.topology, self.tm, self.params
+            )
 
     @property
     def key(self) -> str:

@@ -56,7 +56,14 @@ from repro.throughput.mcf import throughput
 
 
 def _dispatch(request: SolveRequest) -> ThroughputResult:
-    """Solve one request with the engine it names."""
+    """Solve one request with the engine it names.
+
+    A ``sharded`` request landing here (a pool worker, or a solver-less
+    call) runs with a private inline sub-solver via
+    :func:`repro.throughput.mcf.throughput`; the solver's parent-side
+    paths intercept those requests first so block subproblems share the
+    batch's pool and cache (see :meth:`BatchSolver._solve_local`).
+    """
     if request.engine not in BATCH_ENGINES:
         raise ValueError(
             f"batch layer cannot dispatch engine {request.engine!r}; "
@@ -139,7 +146,11 @@ class BatchSolver:
         ``timeout`` seconds after its batch was submitted yields an error
         outcome and the rest of the batch proceeds; since all jobs are
         submitted together, this bounds the whole batch wait without one
-        slow job consuming a later job's budget.
+        slow job consuming a later job's budget.  A ``sharded`` request
+        runs parent-side and is budgeted *per inner block batch*, not as
+        one job: each coordination round (and the exact fallback) gets a
+        fresh ``timeout``, so its worst case is
+        ``(max_rounds + 1) * timeout``.
     """
 
     def __init__(
@@ -156,6 +167,10 @@ class BatchSolver:
         self.n_solved = 0
         self.n_cache_hits = 0
         self.n_errors = 0
+        #: Requests tagged ``shard:...`` — the sharded engine's internal
+        #: block subproblems, reported separately so sweep-level stats can
+        #: distinguish "instances asked for" from decomposition traffic.
+        self.n_shard_jobs = 0
         #: Observability hooks (see Session.stream): ``progress_callback``
         #: fires after every job resolution (solve, cache hit, or error) with
         #: the solver itself; ``batch_callback`` fires once per completed
@@ -247,6 +262,9 @@ class BatchSolver:
         outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
         pending: List[Tuple[int, SolveRequest]] = []
         self.n_requests += len(requests)
+        self.n_shard_jobs += sum(
+            1 for r in requests if r.tag.startswith("shard:")
+        )
 
         for i, req in enumerate(requests):
             # Only the cached path pays for the content digest; inline
@@ -280,9 +298,24 @@ class BatchSolver:
                 alias.append(len(unique))
                 unique.append((i, req))
             if self.workers == 1:
-                solved = [_solve_captured(req) for _, req in unique]
+                solved = [self._solve_local(req) for _, req in unique]
             else:
-                solved = self._solve_in_pool([req for _, req in unique])
+                # ``sharded`` requests solve parent-side so their block
+                # subproblems fan out over this same pool and cache;
+                # everything else ships to workers.
+                pool_jobs = [
+                    (j, req)
+                    for j, (_, req) in enumerate(unique)
+                    if req.engine != "sharded"
+                ]
+                solved = [(None, None)] * len(unique)
+                for (j, _), res in zip(
+                    pool_jobs, self._solve_in_pool([req for _, req in pool_jobs])
+                ):
+                    solved[j] = res
+                for j, (_, req) in enumerate(unique):
+                    if req.engine == "sharded":
+                        solved[j] = self._solve_local(req)
             primaries = {u: False for u in range(len(unique))}
             for (i, req), u in zip(pending, alias):
                 result, error = solved[u]
@@ -335,6 +368,8 @@ class BatchSolver:
             self._stream_snap = self.snapshot()
         index = self.n_requests
         self.n_requests += 1
+        if request.tag.startswith("shard:"):
+            self.n_shard_jobs += 1
         use_cache = self.cache is not None and request.cacheable
         entry = _StreamEntry(request, use_cache)
         self._stream_pending.append(entry)
@@ -352,7 +387,10 @@ class BatchSolver:
                 entry.primary = primary
                 return index
             self._stream_by_key[request.key] = entry
-        if self.workers > 1:
+        # ``sharded`` requests never ship to workers: they resolve lazily in
+        # iter_outcomes via _solve_local, with this solver (and its pool) as
+        # the block sub-solver.
+        if self.workers > 1 and request.engine != "sharded":
             entry.submitted_at = time.monotonic()
             try:
                 entry.future = self._ensure_pool().submit(_solve_captured, request)
@@ -402,7 +440,7 @@ class BatchSolver:
                 elif entry.future is not None:
                     self._wait_for_stream_entry(entry)
                 else:
-                    result, error = _solve_captured(entry.request)
+                    result, error = self._solve_local(entry.request)
                     self._resolve_stream_entry(entry, result, error)
             self._stream_pending.popleft()
             if not self._stream_pending:
@@ -506,6 +544,41 @@ class BatchSolver:
                     self._recycle_pool()
                 self._resolve_stream_entry(e, result, error)
 
+    def _solve_local(
+        self, request: SolveRequest
+    ) -> Tuple[Optional[ThroughputResult], Optional[str]]:
+        """Solve one request in the calling process, capturing errors.
+
+        ``sharded`` requests get *this* solver as their block sub-solver,
+        so shard subproblems fan out over the batch's worker pool, warm
+        its cache, and count in its stats; every other engine takes the
+        plain captured path.
+        """
+        if request.engine == "sharded":
+            # Suppress batch_callback for the inner block batches: their
+            # solves are already inside the enclosing batch's delta, so
+            # firing per coordination round would double-count them for
+            # consumers summing BatchStatsEvent deltas.  Per-round
+            # observability comes from the shard-progress hook instead.
+            saved_cb, self.batch_callback = self.batch_callback, None
+            try:
+                from repro.throughput.sharded import solve_throughput_sharded
+
+                return (
+                    solve_throughput_sharded(
+                        request.topology,
+                        request.tm,
+                        solver=self,
+                        **request.params,
+                    ),
+                    None,
+                )
+            except Exception as exc:  # noqa: BLE001 - per-job isolation
+                return None, f"{type(exc).__name__}: {exc}"
+            finally:
+                self.batch_callback = saved_cb
+        return _solve_captured(request)
+
     def _fire_progress(self) -> None:
         if self.progress_callback is not None:
             self.progress_callback(self)
@@ -577,6 +650,7 @@ class BatchSolver:
             "solved": self.n_solved,
             "cache_hits": self.n_cache_hits,
             "errors": self.n_errors,
+            "shard_jobs": self.n_shard_jobs,
         }
         if self.cache is not None:
             snap["cache"] = (self.cache.hits, self.cache.misses, self.cache.puts)
@@ -590,6 +664,7 @@ class BatchSolver:
             "solved": self.n_solved - snapshot["solved"],
             "cache_hits": self.n_cache_hits - snapshot["cache_hits"],
             "errors": self.n_errors - snapshot["errors"],
+            "shard_jobs": self.n_shard_jobs - snapshot.get("shard_jobs", 0),
         }
         if self.cache is not None:
             base_hits, base_misses, base_puts = snapshot.get("cache", (0, 0, 0))

@@ -5,7 +5,10 @@ Usage::
     python -m repro list
     python -m repro list --verbose              # full spec metadata
     python -m repro list --markdown             # regenerate EXPERIMENTS.md
+    python -m repro list --api-markdown         # regenerate API.md
     python -m repro fig4
+    python -m repro fig2 --engine sharded       # block-decomposed solves
+    python -m repro fig5 --engine auto --shard-threshold 500000
     python -m repro fig5 --scale medium --seed 7
     python -m repro all --scale small --workers auto
     python -m repro all --tag figure            # only the figure artifacts
@@ -40,10 +43,11 @@ from repro.api import (
     ResultEvent,
     RowEvent,
     Session,
+    ShardProgressEvent,
     ensure_registered,
 )
-from repro.api.docgen import experiments_markdown
-from repro.batch import CACHE_BACKENDS, make_cache, resolve_workers
+from repro.api.docgen import api_markdown, experiments_markdown
+from repro.batch import CACHE_BACKENDS, DEFAULT_ENGINE_CHOICES, make_cache, resolve_workers
 from repro.evaluation.runner import SCALES, ExperimentResult
 from repro.utils.serialization import experiment_to_json
 
@@ -56,11 +60,14 @@ def _workers_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(str(exc))
 
 
-def _max_entries_arg(value: str) -> int:
-    n = int(value)
-    if n < 1:
-        raise argparse.ArgumentTypeError(f"--cache-max-entries must be >= 1, got {n}")
-    return n
+def _positive_int_arg(flag: str):
+    def parse(value: str) -> int:
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError(f"{flag} must be >= 1, got {n}")
+        return n
+
+    return parse
 
 
 def _max_mb_arg(value: str) -> float:
@@ -102,6 +109,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(= cpu count); default 1 (inline, deterministic)",
     )
     parser.add_argument(
+        "--engine",
+        # "paths" is deliberately absent (see DEFAULT_ENGINE_CHOICES): the
+        # path-restricted LP computes a different quantity and only makes
+        # sense where an experiment requests it explicitly.
+        choices=sorted(DEFAULT_ENGINE_CHOICES),
+        default=None,
+        help="override the default throughput engine for every solve that "
+        "does not name one explicitly: 'lp' (exact dense), 'mwu' (O(arcs) "
+        "approximation), 'sharded' (source-block decomposition), or 'auto' "
+        "(dense below --shard-threshold, bounded-memory above)",
+    )
+    parser.add_argument(
+        "--shard-threshold",
+        type=_positive_int_arg("--shard-threshold"),
+        metavar="N",
+        default=None,
+        help="dense-LP flow-variable count above which the auto policy "
+        "(and the sharded engine's exact fallback) abandons the dense "
+        "path (default: REPRO_SHARD_THRESHOLD or 2000000)",
+    )
+    parser.add_argument(
+        "--shard-blocks",
+        type=_positive_int_arg("--shard-blocks"),
+        metavar="B",
+        default=None,
+        help="source-block count for the sharded engine (default: sized "
+        "automatically so each shard LP stays under the threshold)",
+    )
+    parser.add_argument(
         "--stream",
         action="store_true",
         help="stream experiments: print each result row and solve progress "
@@ -126,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
         "the experiment registry",
     )
     parser.add_argument(
+        "--api-markdown",
+        action="store_true",
+        help="with 'list': print the API.md reference generated from the "
+        "public module surfaces and engine guarantees",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="PATH",
         default=None,
@@ -141,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-max-entries",
-        type=_max_entries_arg,
+        type=_positive_int_arg("--cache-max-entries"),
         metavar="N",
         default=None,
         help="evict least-recently-used cache entries beyond N (default: unbounded)",
@@ -195,6 +237,9 @@ def _cache_command(args: argparse.Namespace) -> int:
 
 def _list_command(args: argparse.Namespace) -> int:
     ensure_registered()
+    if args.api_markdown:
+        print(api_markdown(), end="")
+        return 0
     if args.markdown:
         print(experiments_markdown(), end="")
         return 0
@@ -232,6 +277,13 @@ def _stream_experiment(session: Session, exp_id: str) -> ExperimentResult:
                     f"[{exp_id}] solves: {event.done}/{event.total}", flush=True
                 )
                 last_total = event.total
+        elif isinstance(event, ShardProgressEvent):
+            print(
+                f"[{exp_id}] shard round {event.round}/{event.max_rounds} "
+                f"({event.blocks} blocks): lb={event.lower_bound:.6g} "
+                f"ub={event.upper_bound:.6g} gap={event.relative_gap:.2e}",
+                flush=True,
+            )
         elif isinstance(event, BatchStatsEvent):
             s = event.stats
             print(
@@ -255,10 +307,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.tag is not None and args.experiment != "all":
         parser.error("--tag is only valid with 'all'")
-    if args.experiment != "list" and (args.verbose or args.markdown):
+    if args.experiment != "list" and (
+        args.verbose or args.markdown or args.api_markdown
+    ):
         # Silently dropping these could launch a multi-minute sweep the
         # user did not want (e.g. `repro all --markdown`).
-        flag = "--verbose" if args.verbose else "--markdown"
+        flag = (
+            "--verbose"
+            if args.verbose
+            else ("--markdown" if args.markdown else "--api-markdown")
+        )
         parser.error(f"{flag} is only valid with 'list'")
     if args.experiment == "list":
         return _list_command(args)
@@ -278,7 +336,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     t_all = time.perf_counter()
     with Session(
-        scale=args.scale, seed=args.seed, workers=args.workers, cache=cache
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        cache=cache,
+        engine=args.engine,
+        shard_threshold=args.shard_threshold,
+        shard_blocks=args.shard_blocks,
     ) as session:
         for exp_id in ids:
             t0 = time.perf_counter()

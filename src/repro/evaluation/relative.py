@@ -49,7 +49,12 @@ class RelativeThroughputResult:
 
 
 def _spec_requests(
-    topology: Topology, tm_factory: TMFactory, samples: int, seed: SeedLike, engine: str
+    topology: Topology,
+    tm_factory: TMFactory,
+    samples: int,
+    seed: SeedLike,
+    engine: Optional[str],
+
 ) -> List[SolveRequest]:
     """The 1 + samples solve requests of one relative-throughput evaluation.
 
@@ -102,7 +107,7 @@ def _spec_result(
 
 def relative_throughput_iter(
     specs: Sequence[RelativeSpec],
-    engine: str = "lp",
+    engine: Optional[str] = None,
     solver: Optional[BatchSolver] = None,
 ) -> Iterator[RelativeThroughputResult]:
     """Evaluate many relative-throughput points, yielding each as it's ready.
@@ -154,7 +159,7 @@ def relative_throughput_iter(
 
 def relative_throughput_many(
     specs: Sequence[RelativeSpec],
-    engine: str = "lp",
+    engine: Optional[str] = None,
     solver: Optional[BatchSolver] = None,
 ) -> List[RelativeThroughputResult]:
     """All-at-once form of :func:`relative_throughput_iter` (a list)."""
@@ -166,7 +171,7 @@ def relative_throughput(
     tm_factory: TMFactory,
     samples: int = 3,
     seed: SeedLike = 0,
-    engine: str = "lp",
+    engine: Optional[str] = None,
     solver: Optional[BatchSolver] = None,
 ) -> RelativeThroughputResult:
     """Throughput of ``topology`` divided by the mean over ``samples``

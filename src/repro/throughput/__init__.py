@@ -1,12 +1,35 @@
-"""Throughput engines: exact LP, MWU approximation, path-restricted, bounds."""
+"""Throughput engines: exact LP, MWU approximation, sharded, paths, bounds.
+
+Engine semantics at a glance (the per-name contracts live in
+:data:`repro.throughput.mcf.ENGINE_GUARANTEES` and render into API.md):
+
+* ``lp`` — exact, deterministic, O(sources x arcs) memory.
+* ``mwu`` — certified feasible lower bound, (1 - eps)^3 guarantee, O(arcs).
+* ``sharded`` — exact when converged / fallen back, else a certified
+  [lower, upper] sandwich; per-shard memory only.
+* ``paths`` — exact on the restricted path set (lower bound overall).
+* ``auto`` — the size policy choosing between them.
+"""
 
 from repro.throughput.lp import ThroughputResult, solve_throughput_lp
 from repro.throughput.approx import solve_throughput_mwu
-from repro.throughput.mcf import throughput
+from repro.throughput.mcf import ENGINE_GUARANTEES, throughput
 from repro.throughput.bounds import (
     a2a_throughput,
     volumetric_upper_bound,
     worst_case_lower_bound,
+)
+from repro.throughput.sharded import (
+    CapacitySlicedTopology,
+    ShardPolicy,
+    ShardProgress,
+    auto_blocks,
+    dense_lp_size,
+    resolve_shard_params,
+    select_engine,
+    solve_throughput_sharded,
+    use_shard_policy,
+    use_shard_progress,
 )
 from repro.throughput.paths import (
     k_shortest_paths,
@@ -21,10 +44,21 @@ from repro.throughput.llskr import (
 )
 
 __all__ = [
+    "CapacitySlicedTopology",
+    "ENGINE_GUARANTEES",
+    "ShardPolicy",
+    "ShardProgress",
     "ThroughputResult",
+    "auto_blocks",
+    "dense_lp_size",
+    "resolve_shard_params",
+    "select_engine",
     "solve_throughput_lp",
     "solve_throughput_mwu",
+    "solve_throughput_sharded",
     "throughput",
+    "use_shard_policy",
+    "use_shard_progress",
     "a2a_throughput",
     "volumetric_upper_bound",
     "worst_case_lower_bound",

@@ -51,6 +51,17 @@ def solve_throughput_mwu(
 ) -> ThroughputResult:
     """Approximate throughput via multiplicative weights.
 
+    **Semantics** — a *certified feasible lower bound*: the returned value
+    is always achievable (the scaled flow fits the capacities), and the
+    classic guarantee places it within (1 − ε)³ of the exact optimum.
+    Units follow the TM, exactly as for the ``lp`` engine.
+    **Determinism** — no randomness: phase order, path selection, and
+    tie-breaking are fixed by the instance, so equal instances give
+    bit-identical results.  **Memory** — O(arcs), independent of the
+    source count; this is the bounded-memory path the automatic policy
+    can select for huge instances (see
+    :func:`repro.throughput.sharded.select_engine`).
+
     Parameters
     ----------
     epsilon:

@@ -21,12 +21,22 @@ from repro.utils.graphutils import all_pairs_distances
 
 
 def a2a_throughput(topology: Topology) -> ThroughputResult:
-    """Throughput of the all-to-all TM on ``topology`` (exact LP)."""
+    """Throughput of the all-to-all TM on ``topology`` (exact dense LP).
+
+    Exact and deterministic (it *is* the ``lp`` engine on the A2A matrix);
+    the A2A matrix is hose-normalized by construction, so the value is in
+    the paper's per-server throughput units.
+    """
     return solve_throughput_lp(topology, all_to_all(topology))
 
 
 def worst_case_lower_bound(topology: Topology) -> float:
-    """Theorem-2 lower bound on the throughput of *any* hose TM: T_A2A / 2."""
+    """Theorem-2 lower bound on the throughput of *any* hose TM: T_A2A / 2.
+
+    A certified bound, not an estimate: the two-hop Valiant argument makes
+    it achievable by construction.  Same units as :func:`a2a_throughput`;
+    deterministic (one exact LP solve).
+    """
     return a2a_throughput(topology).value / 2.0
 
 
@@ -34,7 +44,11 @@ def volumetric_upper_bound(topology: Topology, tm: TrafficMatrix) -> float:
     """Total-capacity / flow-volume upper bound on throughput.
 
     Every unit of demand (u, v) consumes at least dist(u, v) arc-capacity, so
-    t * sum(D[u,v] * dist(u,v)) <= total arc capacity.
+    t * sum(D[u,v] * dist(u,v)) <= total arc capacity.  A certified upper
+    bound (the uniform-length instance of the metric relaxation the
+    sharded engine evaluates each round); exact only when shortest-path
+    routing is simultaneously optimal for every pair.  Deterministic;
+    units follow the TM.
     """
     if tm.n_nodes != topology.n_switches:
         raise ValueError("TM / topology size mismatch")

@@ -144,6 +144,15 @@ def llskr_exact_throughput(
     path_pool: int = 8,
 ) -> ThroughputResult:
     """Exact LP throughput restricted to the LLSKR-style path sets
-    (Fig. 15, Comparison 2)."""
+    (Fig. 15, Comparison 2).
+
+    This is the batch layer's ``"paths"`` engine.  **Semantics** — exact
+    on its restricted path space, therefore a lower bound on the
+    unrestricted ``"lp"`` value (never above it); units follow the TM.
+    **Determinism** — deterministic for a fixed as-built graph: the
+    BFS/Yen enumeration tie-breaks equal-length paths by adjacency
+    insertion order, which is why the batch content key hashes the
+    iteration order for this engine.
+    """
     sets = llskr_path_sets(topology, tm, subflows=subflows, path_pool=path_pool)
     return solve_throughput_on_paths(topology, tm, sets)

@@ -64,26 +64,70 @@ class ThroughputResult:
         return self.value
 
 
-def _aggregated_demand(tm: TrafficMatrix) -> tuple[np.ndarray, np.ndarray, bool]:
+def _aggregated_demand(
+    tm: TrafficMatrix, allow_transpose: bool = True
+) -> tuple[np.ndarray, np.ndarray, bool]:
     """Pick the smaller aggregation side.
 
     Returns (demand, sources, transposed): ``demand`` is oriented so that its
     nonzero *rows* (the commodity groups) are as few as possible.
+    ``allow_transpose=False`` pins the row orientation — required when the
+    arc capacities are not direction-symmetric (see :func:`transpose_safe`).
     """
     d = tm.demand
     rows_active = np.flatnonzero(d.sum(axis=1) > 0)
     cols_active = np.flatnonzero(d.sum(axis=0) > 0)
-    if cols_active.size < rows_active.size:
+    if allow_transpose and cols_active.size < rows_active.size:
         return d.T.copy(), cols_active, True
     return d, rows_active, False
+
+
+def transpose_safe(
+    tails: np.ndarray, heads: np.ndarray, caps: np.ndarray
+) -> bool:
+    """True when every arc has an equal-capacity opposite-direction partner.
+
+    Only then does reversing all flows map feasible solutions onto feasible
+    solutions, i.e. only then is solving the transposed demand equivalent.
+    Standard topologies (undirected cables) always qualify; capacity-sliced
+    shard views (:mod:`repro.throughput.sharded`) generally do *not* — their
+    per-direction shares drift apart during coordination.
+    """
+    try:
+        rev = _reverse_arc_permutation(tails, heads)
+    except RuntimeError:
+        return False
+    return bool(np.array_equal(caps, caps[rev]))
 
 
 def solve_throughput_lp(
     topology: Topology,
     tm: TrafficMatrix,
     want_flows: bool = False,
+    want_duals: bool = False,
 ) -> ThroughputResult:
     """Exact throughput of ``tm`` on ``topology`` via HiGHS.
+
+    **Semantics** — this is the reference engine: the returned ``value`` is
+    the optimum of the maximum concurrent-flow LP to solver accuracy
+    (HiGHS default tolerances, ~1e-9 relative).  Units follow the TM: with a
+    hose-normalized matrix the value is the paper's throughput metric.
+    **Determinism** — the solve is a pure function of the instance: equal
+    ``(arcs, capacities, demands)`` produce bit-identical results across
+    runs and worker processes (HiGHS is deterministic single-threaded).
+
+    Parameters
+    ----------
+    want_flows:
+        Also return the (sources, arcs) optimal flow array.  Large —
+        requests carrying it bypass the result cache.
+    want_duals:
+        Record two O(arcs) vectors in ``meta``: ``arc_usage`` (total flow
+        per arc at the optimum, summed over source blocks) and
+        ``capacity_duals`` (nonnegative dual prices of the arc-capacity
+        rows).  Both are small enough to cache; the sharded engine's
+        capacity-coordination loop consumes them
+        (:mod:`repro.throughput.sharded`).
 
     Raises ``ValueError`` on shape mismatch or an all-zero TM.  A throughput
     of 0.0 is returned only when demand crosses a disconnection, which
@@ -98,7 +142,12 @@ def solve_throughput_lp(
         raise ValueError("traffic matrix has no demand")
     tails, heads, caps = topology.arcs()
     m = tails.size
-    demand, sources, transposed = _aggregated_demand(tm)
+    # The transposed-instance shortcut is an equivalence only for
+    # direction-symmetric capacities; asymmetric views (shard capacity
+    # slices) must solve the demand in its given orientation.
+    demand, sources, transposed = _aggregated_demand(
+        tm, allow_transpose=transpose_safe(tails, heads, caps)
+    )
     k = sources.size
 
     # Variable layout: x[si * m + e] for source-block si, arc e; then t last.
@@ -175,14 +224,38 @@ def solve_throughput_lp(
             )
         raise RuntimeError(f"throughput LP failed: {res.message}")
     flows = None
+    rev = (
+        _reverse_arc_permutation(tails, heads)
+        if transposed and (want_flows or want_duals)
+        else None
+    )
     if want_flows:
         flows = res.x[:n_x].reshape(k, m)
         if transposed:
             # Flows were computed on the reversed instance; map arc e (u->v)
             # back to its partner (v->u).  Arcs come in symmetric pairs, so
             # the reverse arc exists; build the permutation once.
-            rev = _reverse_arc_permutation(tails, heads)
             flows = flows[:, rev]
+    meta = {
+        "sources": sources,
+        "transposed": transposed,
+        "objective": float(-res.fun),
+    }
+    if want_duals:
+        usage = res.x[:n_x].reshape(k, m).sum(axis=0)
+        ineq = getattr(res, "ineqlin", None)
+        marginals = getattr(ineq, "marginals", None) if ineq is not None else None
+        if marginals is not None and len(marginals) == m:
+            # scipy reports <= constraint marginals as non-positive; the
+            # LP-duality length function is their negation.
+            duals = np.maximum(-np.asarray(marginals, dtype=np.float64), 0.0)
+        else:  # pragma: no cover - solver variant without marginals
+            duals = np.zeros(m)
+        if transposed:
+            usage = usage[rev]
+            duals = duals[rev]
+        meta["arc_usage"] = usage
+        meta["capacity_duals"] = duals
     return ThroughputResult(
         value=float(res.x[n_x]),
         engine="lp",
@@ -190,11 +263,7 @@ def solve_throughput_lp(
         n_constraints=k * n + m,
         solve_seconds=elapsed,
         flows=flows,
-        meta={
-            "sources": sources,
-            "transposed": transposed,
-            "objective": float(-res.fun),
-        },
+        meta=meta,
     )
 
 

@@ -1,20 +1,67 @@
 """Top-level throughput API.
 
 :func:`throughput` is the single entry point used by experiments and
-examples; it dispatches to the exact LP engine (default) or the approximate
-multiplicative-weights engine.
+examples; it dispatches on ``engine``:
+
+* ``"lp"`` (default) — the exact dense LP (:mod:`repro.throughput.lp`).
+* ``"mwu"`` — the Garg–Könemann multiplicative-weights approximation,
+  O(arcs) memory (:mod:`repro.throughput.approx`).
+* ``"sharded"`` — source-block decomposition through the batch layer,
+  bounded per-shard memory (:mod:`repro.throughput.sharded`).
+* ``"auto"`` — the size policy of
+  :func:`repro.throughput.sharded.select_engine`: dense below the shard
+  threshold, the policy's bounded-memory engine above it.
+
+The path-restricted ``"paths"`` engine is not dispatched here — it has a
+different signature contract (path-set parameters) and is reached through
+the batch layer (:data:`repro.batch.jobs.BATCH_ENGINES`) or directly via
+:func:`repro.throughput.llskr.llskr_exact_throughput`.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Dict, Literal
 
 from repro.throughput.approx import solve_throughput_mwu
 from repro.throughput.lp import ThroughputResult, solve_throughput_lp
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
-Engine = Literal["lp", "mwu"]
+Engine = Literal["lp", "mwu", "sharded", "auto"]
+
+#: One-line contract of every engine name the project dispatches, keyed by
+#: the name used in ``SolveRequest.engine`` / ``throughput(engine=...)``.
+#: This is the source of record API.md renders (``repro list --api-markdown``).
+ENGINE_GUARANTEES: Dict[str, str] = {
+    "lp": (
+        "Exact maximum concurrent-flow optimum via HiGHS (interior point "
+        "with simplex fallback), to ~1e-9 relative solver accuracy; "
+        "deterministic; memory O(sources x arcs)."
+    ),
+    "mwu": (
+        "Garg–Könemann multiplicative-weights approximation: a certified "
+        "feasible lower bound within (1 - epsilon)^3 of the optimum; "
+        "deterministic; memory O(arcs)."
+    ),
+    "paths": (
+        "Exact optimum of the path-restricted LP over LLSKR path sets: a "
+        "lower bound on the unrestricted optimum, equal to it once the "
+        "path pool is rich enough; deterministic for a fixed as-built "
+        "graph iteration order."
+    ),
+    "sharded": (
+        "Source-block decomposition with a capacity-coordination loop: "
+        "exact (dense-LP accuracy) when converged or when the exact "
+        "fallback runs; otherwise a certified feasible lower bound with a "
+        "matching metric-relaxation upper bound in meta; deterministic; "
+        "memory O(sources/blocks x arcs) per shard."
+    ),
+    "auto": (
+        "Size policy, not a solver: resolves to 'lp' when the dense LP "
+        "fits under the shard threshold, else to the configured "
+        "bounded-memory engine ('sharded' or 'mwu')."
+    ),
+}
 
 
 def throughput(
@@ -25,6 +72,11 @@ def throughput(
 ) -> ThroughputResult:
     """Throughput of ``tm`` on ``topology``: max t with ``tm * t`` feasible.
 
+    The value's unit follows the TM's normalization: for hose-normalized
+    matrices (per-server rate 1) this is the paper's throughput metric.
+    Every engine is deterministic — equal instances give equal results
+    across runs, worker counts, and cache temperature.
+
     Parameters
     ----------
     topology:
@@ -32,10 +84,16 @@ def throughput(
     tm:
         Switch-level traffic matrix (see :mod:`repro.traffic`).
     engine:
-        ``"lp"`` (exact, HiGHS) or ``"mwu"`` (Garg–Könemann approximation;
-        accepts ``epsilon=``).
+        ``"lp"`` (exact, HiGHS), ``"mwu"`` (Garg–Könemann approximation;
+        accepts ``epsilon=``), ``"sharded"`` (block decomposition; accepts
+        ``blocks=``, ``rtol=``, ``max_rounds=``, ``exact_fallback=``), or
+        ``"auto"`` (size policy; see
+        :func:`repro.throughput.sharded.select_engine`).  See
+        :data:`ENGINE_GUARANTEES` for each engine's exact-vs-bound
+        contract.
     kwargs:
-        Forwarded to the engine (``want_flows=True`` for the LP engine).
+        Forwarded to the engine (``want_flows=True`` / ``want_duals=True``
+        for the LP engine).
 
     Returns
     -------
@@ -43,8 +101,20 @@ def throughput(
         ``result.value`` is the throughput; use ``float(result)`` when only
         the number matters.
     """
+    if engine == "auto":
+        # Imported lazily: the sharded module reaches back into the batch
+        # layer, which imports this module.
+        from repro.throughput.sharded import select_engine
+
+        engine = select_engine(topology, tm)
     if engine == "lp":
         return solve_throughput_lp(topology, tm, **kwargs)
     if engine == "mwu":
         return solve_throughput_mwu(topology, tm, **kwargs)
-    raise ValueError(f"unknown engine {engine!r}; expected 'lp' or 'mwu'")
+    if engine == "sharded":
+        from repro.throughput.sharded import solve_throughput_sharded
+
+        return solve_throughput_sharded(topology, tm, **kwargs)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected 'lp', 'mwu', 'sharded', or 'auto'"
+    )

@@ -93,6 +93,15 @@ def solve_throughput_on_paths(
     maximize t  s.t.  sum of a pair's path flows >= t * demand(pair),
                       per-arc total path flow <= capacity.
 
+    **Semantics** — exact optimum *over the restricted path space*, hence
+    a lower bound on the unrestricted LP value, reaching it once the path
+    sets are flow-decomposition-rich (the cross-engine tests pin both
+    directions).  Units follow the TM, as for every engine.
+    **Determinism** — a pure function of the instance *and the path
+    sets*; callers who cache on instance content must hash path-set
+    provenance too (see the ``paths`` engine note in
+    :func:`repro.batch.jobs.instance_key`).
+
     Every demand pair must appear in ``path_sets`` with at least one path.
     """
     n = topology.n_switches

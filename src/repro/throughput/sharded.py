@@ -1,0 +1,694 @@
+"""Sharded solving of huge concurrent-flow LPs by source-block decomposition.
+
+The dense LP (:mod:`repro.throughput.lp`) holds one flow variable per
+(source, arc) pair — O(sources x arcs) memory — which at paper-scale
+``large`` instances is the one axis the batch layer cannot parallelize: a
+single huge LP dominates wall-clock and memory.  This module splits such an
+instance *within itself*:
+
+1. **Partition** the aggregated sources into ``blocks`` groups.  Flow
+   variables are partitioned by source, so the only coupling between
+   groups is the shared arc capacities.
+2. **Allocate** each block a capacity share ``c_b(e)`` with
+   ``sum_b c_b(e) = cap(e)`` and solve each block's own (much smaller)
+   concurrent-flow LP against its share.  Every block subproblem is an
+   ordinary ``"lp"`` :class:`~repro.batch.jobs.SolveRequest` on a
+   :class:`CapacitySlicedTopology`, so shards fan out across the
+   :class:`~repro.batch.solver.BatchSolver`'s workers and warm-cache like
+   any other job.
+3. **Coordinate** capacity across rounds: shares are reallocated in
+   proportion to each block's per-unit-throughput arc usage (a damped
+   proportional-capacity / dual-price iteration).  Each round certifies
+
+   * a **lower bound**: ``min_b t_b`` — the per-block optima compose into
+     one feasible joint flow because the shares sum to the capacities;
+   * an **upper bound**: the concurrent-flow metric (cut) relaxation
+     evaluated at the aggregated capacity dual prices — for *any*
+     nonnegative arc lengths ``l``,
+     ``t* <= sum_e cap(e) l(e) / sum_{s,d} D[s,d] dist_l(s,d)``.
+
+   The loop stops when the certified relative gap falls below ``rtol``.
+4. **Fallback**: when the loop does not converge and the dense LP fits
+   below the configured threshold, one exact dense solve finishes the job
+   (bit-identical to the ``"lp"`` engine, and sharing its cache key).
+   Above the threshold the best certified lower bound is returned with
+   ``meta`` carrying the matching upper bound, gap, and ``converged``
+   flag — bounded memory is the contract there, not exactness.
+
+**Determinism** — the whole procedure is a pure function of the instance
+and the resolved shard parameters: partitioning is by sorted node id,
+coordination arithmetic runs in the parent process only, and block solves
+are themselves deterministic, so ``workers=N`` equals ``workers=1``
+bit-for-bit and warm cache reruns replay the identical trajectory.
+
+The automatic engine policy lives here too: :func:`select_engine` routes
+instances whose dense LP exceeds :data:`DEFAULT_SHARD_THRESHOLD` flow
+variables (override with ``REPRO_SHARD_THRESHOLD`` or
+:class:`ShardPolicy`) to this engine — or to the MWU engine's O(arcs)
+memory path when the policy prefers it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+from repro.throughput.lp import ThroughputResult
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+
+#: Dense-LP flow-variable count (aggregated sources x arcs) above which the
+#: automatic policy stops building the dense LP.  ~2M float64 variables put
+#: the HiGHS working set in the multi-GB range on these block-structured
+#: instances; below it the dense solve is both faster and exact.
+DEFAULT_SHARD_THRESHOLD = 2_000_000
+
+#: Coordination rounds before giving up on closing the gap iteratively.
+DEFAULT_MAX_ROUNDS = 8
+
+#: Certified relative gap at which the iteration declares convergence.
+DEFAULT_RTOL = 1e-6
+
+#: Fraction of its demand-proportional share a block keeps on every arc in
+#: round 1, so no reallocation can disconnect a block (t_b = 0 with zero
+#: usage is an absorbing state).  The floor halves every round: once flows
+#: have stabilized, capacity parked on arcs a block never uses is pure
+#: waste — a constant floor caps the achievable lower bound.
+SHARE_FLOOR = 0.05
+
+#: Geometric decay of the share floor per round.
+FLOOR_DECAY = 0.5
+
+#: Damping of the share reallocation step in round 1 (1.0 = jump straight
+#: to the usage-proportional target); ramps toward :data:`DAMPING_LATE` as
+#: the allocation stabilizes.
+DAMPING = 0.5
+
+#: Late-round damping (the iteration is near its fixed point; larger steps
+#: close the remaining gap faster without oscillation).
+DAMPING_LATE = 0.9
+
+#: With the exact fallback available, coordination that is still far from
+#: ``rtol`` after this many rounds bails out to the (cheaper, exact) dense
+#: solve instead of burning the full round budget first.  Bounded-memory
+#: runs (no fallback) always use the whole budget.
+FALLBACK_BAIL_ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Resolved sharding knobs, installable as ambient context.
+
+    Attributes
+    ----------
+    threshold:
+        Dense-LP flow-variable count above which :func:`select_engine`
+        abandons the dense path (and above which the sharded engine's
+        exact fallback is disabled).
+    blocks:
+        Forced source-block count for the sharded engine; ``None`` sizes
+        blocks automatically so each shard LP stays under ``threshold``.
+    prefer:
+        Bounded-memory engine for above-threshold instances: ``"sharded"``
+        (default) or ``"mwu"`` (the O(arcs) multiplicative-weights path).
+    """
+
+    threshold: int = DEFAULT_SHARD_THRESHOLD
+    blocks: Optional[int] = None
+    prefer: str = "sharded"
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+        if self.blocks is not None and self.blocks < 1:
+            raise ValueError(f"blocks must be >= 1, got {self.blocks}")
+        if self.prefer not in ("sharded", "mwu"):
+            raise ValueError(
+                f"prefer must be 'sharded' or 'mwu', got {self.prefer!r}"
+            )
+
+
+_policy_var: ContextVar[Optional[ShardPolicy]] = ContextVar(
+    "repro_shard_policy", default=None
+)
+
+
+def current_shard_policy() -> ShardPolicy:
+    """The ambient :class:`ShardPolicy` (context > environment > defaults).
+
+    Environment knobs: ``REPRO_SHARD_THRESHOLD`` (int),
+    ``REPRO_SHARD_BLOCKS`` (int), ``REPRO_LARGE_ENGINE``
+    (``sharded`` | ``mwu``).
+    """
+    policy = _policy_var.get()
+    if policy is not None:
+        return policy
+    threshold = int(os.environ.get("REPRO_SHARD_THRESHOLD", DEFAULT_SHARD_THRESHOLD))
+    blocks_env = os.environ.get("REPRO_SHARD_BLOCKS")
+    prefer = os.environ.get("REPRO_LARGE_ENGINE", "sharded")
+    return ShardPolicy(
+        threshold=threshold,
+        blocks=int(blocks_env) if blocks_env else None,
+        prefer=prefer,
+    )
+
+
+@contextmanager
+def use_shard_policy(policy: ShardPolicy) -> Iterator[ShardPolicy]:
+    """Install ``policy`` as the ambient shard policy within the block."""
+    token = _policy_var.set(policy)
+    try:
+        yield policy
+    finally:
+        _policy_var.reset(token)
+
+
+# ----------------------------------------------------------- progress hook
+@dataclass(frozen=True)
+class ShardProgress:
+    """One coordination round of one sharded solve (observability record)."""
+
+    blocks: int
+    round: int
+    max_rounds: int
+    lower_bound: float
+    upper_bound: float
+    relative_gap: float
+
+
+_progress_var: ContextVar[Optional[Callable[[ShardProgress], None]]] = ContextVar(
+    "repro_shard_progress", default=None
+)
+
+
+@contextmanager
+def use_shard_progress(
+    callback: Callable[[ShardProgress], None],
+) -> Iterator[None]:
+    """Install a per-round observer for sharded solves in this context.
+
+    :meth:`repro.api.Session.stream` uses this to surface
+    ``ShardProgressEvent``\\ s; outside any observer the hook costs one
+    ContextVar read per round.
+    """
+    token = _progress_var.set(callback)
+    try:
+        yield
+    finally:
+        _progress_var.reset(token)
+
+
+def _report_progress(progress: ShardProgress) -> None:
+    callback = _progress_var.get()
+    if callback is not None:
+        callback(progress)
+
+
+# ------------------------------------------------------------ sizing/policy
+def dense_lp_size(topology: Topology, tm: TrafficMatrix) -> int:
+    """Flow-variable count of the dense aggregated LP: ``min(k_src, k_dst) x arcs``.
+
+    This is the quantity the dense engine's memory scales with (the
+    constraint matrix holds ~2 nonzeros per variable) and the unit
+    :data:`DEFAULT_SHARD_THRESHOLD` is expressed in.
+    """
+    k, m = _instance_dims(topology, tm)
+    return k * m
+
+
+def select_engine(
+    topology: Topology,
+    tm: TrafficMatrix,
+    threshold: Optional[int] = None,
+    prefer: Optional[str] = None,
+) -> str:
+    """The automatic engine policy: dense below the threshold, bounded above.
+
+    Returns ``"lp"`` when the dense aggregated LP fits under ``threshold``
+    flow variables (argument > ambient :class:`ShardPolicy` > environment >
+    :data:`DEFAULT_SHARD_THRESHOLD`), else the policy's preferred
+    bounded-memory engine (``"sharded"`` or ``"mwu"``).
+    """
+    policy = current_shard_policy()
+    threshold = policy.threshold if threshold is None else threshold
+    prefer = prefer if prefer is not None else policy.prefer
+    if prefer not in ("sharded", "mwu"):
+        raise ValueError(f"prefer must be 'sharded' or 'mwu', got {prefer!r}")
+    if dense_lp_size(topology, tm) <= threshold:
+        return "lp"
+    return prefer
+
+
+def _instance_dims(topology: Topology, tm: TrafficMatrix) -> Tuple[int, int]:
+    """(aggregated commodity-group count k, arc count m) of one instance."""
+    m = int(topology.arcs()[0].size)
+    k = max(
+        1,
+        min(
+            int(np.count_nonzero(tm.demand.sum(axis=1) > 0)),
+            int(np.count_nonzero(tm.demand.sum(axis=0) > 0)),
+        ),
+    )
+    return k, m
+
+
+def _blocks_for(k: int, m: int, threshold: int) -> int:
+    per_block = max(1, threshold // max(m, 1))
+    return min(max(2, math.ceil(k / per_block)), k)
+
+
+def auto_blocks(topology: Topology, tm: TrafficMatrix, threshold: int) -> int:
+    """Smallest block count keeping each shard LP under ``threshold`` variables.
+
+    A shard holding ``s`` sources costs ``s * arcs`` flow variables, so the
+    bound needs ``ceil(k / blocks) <= threshold // arcs`` — dividing the
+    *dense* size by the threshold undershoots whenever the ceilings bite.
+    When even one source exceeds the threshold (``arcs > threshold``) the
+    best achievable is one source per block.
+    """
+    k, m = _instance_dims(topology, tm)
+    return _blocks_for(k, m, threshold)
+
+
+def resolve_shard_params(
+    topology: Topology, tm: TrafficMatrix, params: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Concrete, key-complete parameter dict for one sharded solve.
+
+    Sharding knobs change the computed value (block count, tolerance,
+    round budget, fallback eligibility), so a cacheable sharded request
+    must carry them *explicitly* — two runs under different ambient
+    policies must not share a cache entry.  Fills every unset knob from
+    the ambient :class:`ShardPolicy` deterministically.
+    """
+    policy = current_shard_policy()
+    out = {k: v for k, v in (params or {}).items() if v is not None}
+    if "blocks" not in out or "exact_fallback" not in out:
+        # One arcs()/demand walk covers both derived knobs.
+        k, m = _instance_dims(topology, tm)
+        if "blocks" not in out:
+            out["blocks"] = (
+                policy.blocks
+                if policy.blocks is not None
+                else _blocks_for(k, m, policy.threshold)
+            )
+        if "exact_fallback" not in out:
+            out["exact_fallback"] = k * m <= policy.threshold
+    out.setdefault("rtol", DEFAULT_RTOL)
+    out.setdefault("max_rounds", DEFAULT_MAX_ROUNDS)
+    return out
+
+
+# --------------------------------------------------------------- shard view
+@dataclass
+class CapacitySlicedTopology(Topology):
+    """A topology view whose directed-arc capacities are a share vector.
+
+    The switch graph and servers are the parent's (shared references); only
+    :meth:`arcs` differs, reporting the block's capacity share.  Because
+    :func:`repro.batch.jobs.instance_key` hashes exactly what ``arcs()``
+    returns, each share vector content-addresses its own cache entry, and
+    the instance pickles to pool workers like any plain topology.
+    """
+
+    arc_tails: np.ndarray = field(default=None, repr=False)
+    arc_heads: np.ndarray = field(default=None, repr=False)
+    arc_caps: np.ndarray = field(default=None, repr=False)
+
+    def arcs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The sliced directed arc view ``(tails, heads, share capacities)``."""
+        return self.arc_tails, self.arc_heads, self.arc_caps
+
+
+def _sliced(
+    parent: Topology,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    share: np.ndarray,
+    block: int,
+) -> CapacitySlicedTopology:
+    return CapacitySlicedTopology(
+        name=f"{parent.name}#shard{block}",
+        graph=parent.graph,
+        servers=parent.servers,
+        family=parent.family,
+        params=parent.params,
+        arc_tails=tails,
+        arc_heads=heads,
+        arc_caps=share,
+    )
+
+
+# ------------------------------------------------------------- upper bound
+def _metric_upper_bound(
+    lengths: np.ndarray,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    caps: np.ndarray,
+    demand: np.ndarray,
+    sources: np.ndarray,
+) -> float:
+    """Concurrent-flow duality bound for one arc-length function.
+
+    For any nonnegative lengths ``l``, every unit of (s, d) demand consumes
+    at least ``dist_l(s, d)`` units of length-weighted capacity, so
+    ``t* <= sum_e cap(e) l(e) / sum_{s,d} D[s,d] dist_l(s,d)`` — certified
+    regardless of how ``l`` was produced (cut indicator functions are the
+    special case that makes this "the cut bound").  Returns ``inf`` when
+    ``l`` carries no information (zero everywhere).
+    """
+    n = demand.shape[0]
+    lengths = np.maximum(np.asarray(lengths, dtype=np.float64), 0.0)
+    top = float(lengths.max(initial=0.0))
+    if top <= 0.0:
+        return math.inf
+    # Strictly positive weights: csgraph treats stored zeros inconsistently
+    # across versions, and any positive perturbation still yields a valid
+    # (marginally weaker) certified bound.
+    lengths = lengths + top * 1e-12
+    graph = sp.csr_matrix((lengths, (tails, heads)), shape=(n, n))
+    dist = csgraph.dijkstra(graph, directed=True, indices=sources)
+    block = demand[sources]
+    reachable = np.isfinite(dist)
+    if np.any(block[~reachable] > 0):
+        # Positive demand across a disconnection: throughput is exactly 0.
+        return 0.0
+    volume = float((block * np.where(reachable, dist, 0.0)).sum())
+    if volume <= 0.0:
+        return math.inf
+    return float((caps @ lengths) / volume)
+
+
+# ------------------------------------------------------------------- solve
+def solve_throughput_sharded(
+    topology: Topology,
+    tm: TrafficMatrix,
+    blocks: Optional[int] = None,
+    rtol: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+    exact_fallback: Optional[bool] = None,
+    solver: Optional[Any] = None,
+) -> ThroughputResult:
+    """Throughput of ``tm`` on ``topology`` by source-block decomposition.
+
+    **Semantics** — ``value`` is *exact* (to dense-LP accuracy) whenever
+    ``meta["converged"]`` or ``meta["fallback"]`` is true: on convergence
+    the certified relative gap is below ``rtol``; on fallback the value is
+    the dense LP's, bit-identical to the ``"lp"`` engine on the same
+    instance.  Otherwise ``value`` is the best *certified feasible lower
+    bound*, with ``meta["upper_bound"]`` the matching metric-relaxation
+    upper bound and ``meta["relative_gap"]`` their certified distance.
+    Units follow the TM, exactly as for the dense engine.
+
+    **Determinism** — a pure function of the instance and resolved
+    parameters; independent of worker count and cache temperature.
+
+    Parameters
+    ----------
+    blocks:
+        Source-block count (default: ambient :class:`ShardPolicy`, else
+        sized so each shard LP stays under the policy threshold).
+    rtol:
+        Certified relative gap at which coordination stops (default 1e-6).
+    max_rounds:
+        Coordination-round budget (default 8).
+    exact_fallback:
+        Permit one dense solve when coordination leaves a residual gap.
+        Default: allowed iff the dense LP fits under the policy threshold —
+        above it, bounded memory wins and the certified bounds are the
+        result.
+    solver:
+        The :class:`~repro.batch.solver.BatchSolver` to fan block solves
+        through.  ``None`` (the standalone path) uses the ambient solver,
+        so direct calls inside a ``run_experiment``/``Session`` context
+        still parallelize and memoize.
+    """
+    n = topology.n_switches
+    if tm.n_nodes != n:
+        raise ValueError(
+            f"TM has {tm.n_nodes} nodes but topology has {n} switches"
+        )
+    if tm.total_demand() <= 0:
+        raise ValueError("traffic matrix has no demand")
+
+    # Lazy imports: repro.batch imports this package's mcf module, so a
+    # module-level import here would cycle.
+    from repro.batch.context import get_solver
+    from repro.batch.jobs import SolveRequest
+
+    params = resolve_shard_params(
+        topology,
+        tm,
+        {
+            "blocks": blocks,
+            "rtol": rtol,
+            "max_rounds": max_rounds,
+            "exact_fallback": exact_fallback,
+        },
+    )
+    n_blocks = int(params["blocks"])
+    rtol = float(params["rtol"])
+    max_rounds = int(params["max_rounds"])
+    exact_fallback = bool(params["exact_fallback"])
+    solver = solver if solver is not None else get_solver()
+
+    t_start = time.perf_counter()
+    tails, heads, caps = topology.arcs()
+    caps = caps.astype(np.float64)
+    m = tails.size
+
+    # Work on whichever orientation has fewer commodity groups, mirroring
+    # the dense engine's aggregation — valid only while every arc has an
+    # equal-capacity opposite partner (always true for the undirected
+    # parent topologies; checked rather than assumed).
+    from repro.throughput.lp import transpose_safe
+
+    demand = tm.demand
+    transposed = False
+    if transpose_safe(tails, heads, caps) and np.count_nonzero(
+        demand.sum(axis=0) > 0
+    ) < np.count_nonzero(demand.sum(axis=1) > 0):
+        demand = demand.T.copy()
+        transposed = True
+    sources = np.flatnonzero(demand.sum(axis=1) > 0)
+    n_blocks = max(1, min(n_blocks, sources.size))
+
+    def _finish(
+        value: float,
+        *,
+        n_variables: int,
+        n_constraints: int,
+        rounds: int,
+        shard_solves: int,
+        lower: float,
+        upper: float,
+        converged: bool,
+        fallback: bool,
+    ) -> ThroughputResult:
+        gap = 0.0
+        if math.isfinite(upper) and upper > 0:
+            gap = max(0.0, (upper - lower) / upper)
+        return ThroughputResult(
+            value=value,
+            engine="sharded",
+            n_variables=n_variables,
+            n_constraints=n_constraints,
+            solve_seconds=time.perf_counter() - t_start,
+            meta={
+                "blocks": n_blocks,
+                "rounds": rounds,
+                "shard_solves": shard_solves,
+                "lower_bound": lower,
+                "upper_bound": upper,
+                "relative_gap": gap,
+                "converged": converged,
+                "fallback": fallback,
+                "transposed": transposed,
+                "rtol": rtol,
+            },
+        )
+
+    def _dense(rounds: int, shard_solves: int, lower: float, upper: float,
+               fallback: bool) -> ThroughputResult:
+        # The dense request carries no shard params, so its cache key is the
+        # plain "lp" instance key: a fallback warms (and is warmed by) runs
+        # that used the dense engine directly.
+        outcome = solver.solve_many([SolveRequest(topology, tm, engine="lp")])[0]
+        result = outcome.require()
+        return _finish(
+            result.value,
+            n_variables=result.n_variables,
+            n_constraints=result.n_constraints,
+            rounds=rounds,
+            shard_solves=shard_solves,
+            lower=max(lower, result.value),
+            upper=min(upper, result.value) if math.isfinite(upper) else result.value,
+            converged=True,
+            fallback=fallback,
+        )
+
+    if n_blocks <= 1:
+        # One block is the dense instance; skip the coordination machinery.
+        return _dense(0, 0, 0.0, math.inf, fallback=True)
+
+    source_blocks = np.array_split(sources, n_blocks)
+    block_tms: List[TrafficMatrix] = []
+    for idx in source_blocks:
+        bd = np.zeros_like(demand)
+        bd[idx, :] = demand[idx, :]
+        block_tms.append(TrafficMatrix(demand=bd, kind="shard"))
+    weights = np.array([bt.total_demand() for bt in block_tms])
+    weights = weights / weights.sum()
+
+    fractions = np.tile(weights[:, None], (1, m))  # (blocks, arcs) shares
+    usage_avg: Optional[np.ndarray] = None
+    best_lb = 0.0
+    best_ub = _metric_upper_bound(np.ones(m), tails, heads, caps, demand, sources)
+    max_vars = 0
+    max_cons = 0
+    shard_solves = 0
+    converged = False
+    rounds_done = 0
+    tiny = np.finfo(np.float64).tiny
+
+    for rnd in range(1, max_rounds + 1):
+        rounds_done = rnd
+        share_caps = fractions * caps[None, :]
+        requests = [
+            SolveRequest(
+                _sliced(topology, tails, heads, share_caps[b], b),
+                block_tms[b],
+                engine="lp",
+                params={"want_duals": True},
+                tag=f"shard:{b}/{n_blocks}:r{rnd}",
+            )
+            for b in range(n_blocks)
+        ]
+        results = [o.require() for o in solver.solve_many(requests)]
+        shard_solves += n_blocks
+        t_blocks = np.array([r.value for r in results])
+        usage = np.vstack(
+            [
+                np.asarray(
+                    r.meta.get("arc_usage", np.zeros(m)), dtype=np.float64
+                )
+                for r in results
+            ]
+        )
+        # Exponential smoothing over rounds: block LPs have massively
+        # degenerate optima (many equal-length paths), and the raw usage
+        # pattern can flap between them; the running average spreads the
+        # share over every path the block has actually routed on.
+        usage_avg = usage if usage_avg is None else 0.5 * usage_avg + 0.5 * usage
+        duals = np.vstack(
+            [
+                np.asarray(
+                    r.meta.get("capacity_duals", np.zeros(m)), dtype=np.float64
+                )
+                for r in results
+            ]
+        )
+        max_vars = max(max_vars, max(r.n_variables for r in results))
+        max_cons = max(max_cons, max(r.n_constraints for r in results))
+
+        best_lb = max(best_lb, float(t_blocks.min()))
+        # Candidate length functions for the metric relaxation: any
+        # nonnegative vector certifies, so take the best of the aggregated
+        # duals, each block's own duals, and the current congestion
+        # profile (load / capacity).
+        for lengths in (
+            duals.sum(axis=0),
+            *duals,
+            usage_avg.sum(axis=0) / caps,
+        ):
+            best_ub = min(
+                best_ub,
+                _metric_upper_bound(lengths, tails, heads, caps, demand, sources),
+            )
+        if best_ub <= 0.0 or t_blocks.max() <= 0.0:
+            # Certified zero: either the metric bound proves throughput 0
+            # (demand across a disconnection), or every block is throttled
+            # to zero under strictly positive shares — same conclusion.
+            return _finish(
+                0.0,
+                n_variables=max_vars,
+                n_constraints=max_cons,
+                rounds=rnd,
+                shard_solves=shard_solves,
+                lower=0.0,
+                upper=0.0,
+                converged=True,
+                fallback=False,
+            )
+        gap = (
+            max(0.0, (best_ub - best_lb) / best_ub)
+            if math.isfinite(best_ub)
+            else math.inf
+        )
+        _report_progress(
+            ShardProgress(
+                blocks=n_blocks,
+                round=rnd,
+                max_rounds=max_rounds,
+                lower_bound=best_lb,
+                upper_bound=best_ub,
+                relative_gap=gap,
+            )
+        )
+        if gap <= rtol:
+            converged = True
+            break
+        if (
+            exact_fallback
+            and rnd >= FALLBACK_BAIL_ROUNDS
+            and gap > 10 * rtol
+        ):
+            # Far from converged and an exact dense solve is permitted:
+            # stop coordinating, the fallback is cheaper than the budget.
+            break
+
+        # Reallocate: a block's capacity need per unit of achieved
+        # throughput is usage / t_b; the optimal allocation is a fixed
+        # point of sharing each arc in proportion to that need.  Damping
+        # plus the per-arc floor keep the iteration stable and every block
+        # connected.
+        # Clamp relative to the best block so a (transiently) starved
+        # block cannot overflow the need ratios.
+        t_floor = float(t_blocks.max()) * 1e-12
+        need = usage / np.maximum(t_blocks, t_floor)[:, None]
+        col_need = need.sum(axis=0)
+        target = np.where(
+            col_need[None, :] > 0, need / np.maximum(col_need, tiny)[None, :],
+            weights[:, None],
+        )
+        floor = SHARE_FLOOR * FLOOR_DECAY ** (rnd - 1)
+        target = np.maximum(target, floor * weights[:, None])
+        target = target / target.sum(axis=0, keepdims=True)
+        damping = DAMPING if rnd < 4 else DAMPING_LATE
+        fractions = (1.0 - damping) * fractions + damping * target
+        # Renormalize exactly (and a hair under) so the combined blocks can
+        # never exceed an arc's capacity by accumulated rounding.
+        fractions = fractions / (fractions.sum(axis=0, keepdims=True) * (1 + 1e-12))
+
+    if not converged and exact_fallback:
+        return _dense(rounds_done, shard_solves, best_lb, best_ub, fallback=True)
+    return _finish(
+        best_lb,
+        n_variables=max_vars,
+        n_constraints=max_cons,
+        rounds=rounds_done,
+        shard_solves=shard_solves,
+        lower=best_lb,
+        upper=best_ub,
+        converged=converged,
+        fallback=False,
+    )

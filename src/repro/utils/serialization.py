@@ -1,7 +1,8 @@
 """Serialization of experiment results to JSON and CSV.
 
 Experiment outputs are plain records; persisting them lets paper-scale runs
-(`REPRO_SCALE=large`) be archived and diffed against EXPERIMENTS.md.
+(`REPRO_SCALE=large`) be archived and diffed across machines and revisions
+(the experiment *catalog* itself is the generated EXPERIMENTS.md).
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from repro.api import (
     experiment,
     run_experiment,
 )
-from repro.api.docgen import experiments_markdown
+from repro.api.docgen import api_markdown, experiments_markdown
 from repro.api.spec import ExperimentRegistry
 from repro.batch import BatchSolveError, BatchSolver, SolveRequest, solve_values
 from repro.evaluation.experiments import EXPERIMENTS
@@ -99,6 +99,28 @@ class TestRegistry:
             "EXPERIMENTS.md is stale; regenerate with "
             "`python -m repro list --markdown > EXPERIMENTS.md`"
         )
+
+    def test_api_md_is_fresh(self):
+        committed = Path(__file__).resolve().parent.parent / "API.md"
+        assert committed.exists(), "API.md missing; see repro list --api-markdown"
+        assert committed.read_text() == api_markdown(), (
+            "API.md is stale; regenerate with "
+            "`python -m repro list --api-markdown > API.md`"
+        )
+
+    def test_api_md_covers_every_engine_and_export(self):
+        # The generator is introspective; guard the properties the
+        # reference must keep: every dispatchable engine documented, every
+        # public export of the api/batch surfaces present.
+        from repro.batch import BATCH_ENGINES
+        import repro.api as api_module
+        import repro.batch as batch_module
+
+        text = api_markdown()
+        for engine in BATCH_ENGINES + ("auto",):
+            assert f"| `{engine}` |" in text
+        for name in list(api_module.__all__) + list(batch_module.__all__):
+            assert f"`{name}`" in text, f"API.md is missing export {name}"
 
 
 # ----------------------------------------------------------------- session

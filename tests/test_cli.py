@@ -201,10 +201,57 @@ class TestCLI:
     def test_list_only_flags_rejected_elsewhere(self, capsys):
         # Dropping --markdown silently would instead launch a full sweep.
         for argv in (["all", "--markdown"], ["fig4", "--verbose"],
-                     ["cache", "--markdown"]):
+                     ["cache", "--markdown"], ["all", "--api-markdown"]):
             with pytest.raises(SystemExit):
                 main(argv)
             assert "only valid with 'list'" in capsys.readouterr().err
+
+    def test_list_api_markdown_matches_generator(self, capsys):
+        from repro.api.docgen import api_markdown
+
+        assert main(["list", "--api-markdown"]) == 0
+        assert capsys.readouterr().out == api_markdown()
+
+    def test_parser_engine_and_shard_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig2", "--engine", "sharded", "--shard-threshold", "5000",
+             "--shard-blocks", "4"]
+        )
+        assert args.engine == "sharded"
+        assert args.shard_threshold == 5000
+        assert args.shard_blocks == 4
+        defaults = parser.parse_args(["fig2"])
+        assert defaults.engine is None
+        assert defaults.shard_threshold is None and defaults.shard_blocks is None
+        for engine in ("lp", "mwu", "sharded", "auto"):
+            assert parser.parse_args(["fig2", "--engine", engine]).engine == engine
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig2", "--engine", "simplex"])
+        with pytest.raises(SystemExit):
+            # The path-restricted LP computes a different quantity; it is
+            # not a drop-in default engine.
+            parser.parse_args(["fig2", "--engine", "paths"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig2", "--shard-threshold", "0"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig2", "--shard-blocks", "0"])
+
+    def test_engine_override_runs_sharded(self, tmp_path, capsys):
+        # End-to-end: a tiny fixed-size experiment under --engine sharded
+        # produces identical rows and streams shard-round progress.
+        code = main(["butterfly25", "--no-cache"])
+        dense_out = capsys.readouterr().out
+        code2 = main([
+            "butterfly25", "--engine", "sharded", "--shard-blocks", "2",
+            "--stream", "--cache-dir", str(tmp_path),
+        ])
+        sharded_out = capsys.readouterr().out
+        assert code == 0 and code2 == 0
+        assert "shard round" in sharded_out
+        dense_rows = [l for l in dense_out.splitlines() if l.startswith("|")]
+        sharded_rows = [l for l in sharded_out.splitlines() if l.startswith("|")]
+        assert dense_rows == sharded_rows
 
     def test_stream_prints_rows_before_result(self, tmp_path, capsys):
         code = main(["butterfly25", "--stream", "--cache-dir", str(tmp_path)])

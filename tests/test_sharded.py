@@ -1,0 +1,417 @@
+"""Tests for the sharded throughput engine and the automatic size policy.
+
+Pins the DESIGN.md invariants: dense-LP agreement at small scale, the
+certified lower/upper sandwich when coordination is cut short, warm-rerun
+zero-solve determinism on both cache backends, parent-side dispatch (pool
+parity), and the above-threshold policy routing that keeps per-shard LPs
+strictly smaller than the dense LP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import REGISTRY, ResultEvent, RowEvent, Session, ShardProgressEvent, emit_row, experiment
+from repro.batch import (
+    BatchSolver,
+    SolveRequest,
+    default_engine,
+    make_cache,
+    use_default_engine,
+)
+from repro.evaluation.runner import ExperimentResult, ScaleConfig
+from repro.throughput import (
+    ShardPolicy,
+    auto_blocks,
+    dense_lp_size,
+    resolve_shard_params,
+    select_engine,
+    solve_throughput_sharded,
+    throughput,
+    use_shard_policy,
+    use_shard_progress,
+)
+from repro.topologies import fat_tree, hypercube, jellyfish
+from repro.traffic import all_to_all, longest_matching, random_matching
+
+RTOL = 1e-6
+
+#: Small instances spanning symmetric and adversarial demand shapes.
+INSTANCES = [
+    ("jf-a2a", lambda: jellyfish(14, 4, seed=5), all_to_all),
+    ("jf-lm", lambda: jellyfish(14, 4, seed=5), longest_matching),
+    ("hc-a2a", lambda: hypercube(3), all_to_all),
+    (
+        "jf-rm",
+        lambda: jellyfish(12, 3, seed=9),
+        lambda t: random_matching(t, n_matchings=2, seed=3),
+    ),
+]
+
+
+# ------------------------------------------------------------- agreement
+class TestDenseAgreement:
+    @pytest.mark.parametrize("name,topo_fn,tm_fn", INSTANCES, ids=[i[0] for i in INSTANCES])
+    def test_matches_dense_lp(self, name, topo_fn, tm_fn):
+        topo = topo_fn()
+        tm = tm_fn(topo)
+        dense = throughput(topo, tm)
+        sharded = solve_throughput_sharded(topo, tm, blocks=3)
+        assert sharded.engine == "sharded"
+        assert sharded.value == pytest.approx(dense.value, rel=RTOL)
+        assert sharded.meta["converged"] or sharded.meta["fallback"]
+
+    def test_single_block_degenerates_to_dense(self):
+        topo = jellyfish(10, 3, seed=1)
+        tm = all_to_all(topo)
+        dense = throughput(topo, tm)
+        sharded = solve_throughput_sharded(topo, tm, blocks=1)
+        assert sharded.value == dense.value  # bit-identical: same LP solve
+        assert sharded.meta["fallback"]
+
+    def test_fallback_value_is_bit_identical_to_lp(self):
+        # The fallback issues a plain "lp" request: not just close, equal.
+        topo = hypercube(3)
+        tm = longest_matching(topo)
+        dense = throughput(topo, tm)
+        sharded = solve_throughput_sharded(topo, tm, blocks=2, rtol=1e-12)
+        assert sharded.meta["fallback"]
+        assert sharded.value == dense.value
+
+    def test_pool_matches_inline(self):
+        topo = jellyfish(12, 4, seed=2)
+        tm = all_to_all(topo)
+        req = SolveRequest(topo, tm, engine="sharded", params={"blocks": 3})
+        with BatchSolver(workers=1) as s1:
+            inline = s1.solve(SolveRequest(topo, tm, engine="sharded", params={"blocks": 3}))
+        with BatchSolver(workers=2) as s2:
+            pooled = s2.solve(req)
+        assert inline.require().value == pooled.require().value
+
+
+# ---------------------------------------------------------------- sandwich
+class TestCertifiedBounds:
+    def test_bounds_sandwich_dense_optimum(self):
+        # Medium-ish instance, coordination cut short with no fallback:
+        # the certified bounds must bracket the true optimum.
+        topo = jellyfish(24, 5, seed=11)
+        for tm in (all_to_all(topo), longest_matching(topo)):
+            dense = throughput(topo, tm).value
+            sharded = solve_throughput_sharded(
+                topo, tm, blocks=3, max_rounds=3, exact_fallback=False
+            )
+            lb = sharded.meta["lower_bound"]
+            ub = sharded.meta["upper_bound"]
+            assert lb <= ub
+            assert lb <= dense * (1 + 1e-9)
+            assert ub >= dense * (1 - 1e-9)
+            assert sharded.value == lb  # the reported value is the certified LB
+            assert lb > 0
+
+    def test_bounds_monotone_across_rounds(self):
+        topo = jellyfish(16, 4, seed=3)
+        tm = longest_matching(topo)
+        seen = []
+        with use_shard_progress(seen.append):
+            solve_throughput_sharded(
+                topo, tm, blocks=4, max_rounds=6, exact_fallback=False
+            )
+        assert len(seen) == 6
+        lbs = [p.lower_bound for p in seen]
+        ubs = [p.upper_bound for p in seen]
+        assert lbs == sorted(lbs)
+        assert ubs == sorted(ubs, reverse=True)
+        assert all(p.blocks == 4 for p in seen)
+
+    def test_asymmetric_slice_never_takes_transpose_shortcut(self):
+        # Regression: the dense engine's transposed-instance shortcut is
+        # only an equivalence for direction-symmetric capacities.  A shard
+        # capacity slice is asymmetric, and an incast-shaped block TM
+        # (fewer destinations than sources) used to trigger the shortcut
+        # and solve the wrong LP.
+        from repro.throughput.sharded import CapacitySlicedTopology
+        from repro.throughput import solve_throughput_lp, solve_throughput_mwu
+        from repro.traffic.matrix import TrafficMatrix
+
+        topo = jellyfish(10, 3, seed=21)
+        tails, heads, caps = topo.arcs()
+        rng = np.random.default_rng(0)
+        sliced_caps = caps * rng.uniform(0.2, 1.0, size=caps.size)
+        sliced = CapacitySlicedTopology(
+            name="slice",
+            graph=topo.graph,
+            servers=topo.servers,
+            arc_tails=tails,
+            arc_heads=heads,
+            arc_caps=sliced_caps,
+        )
+        demand = np.zeros((10, 10))
+        demand[1:5, 0] = 1.0  # 4 sources, 1 destination
+        tm = TrafficMatrix(demand=demand, kind="incast")
+        exact = solve_throughput_lp(sliced, tm)
+        assert exact.meta["transposed"] is False
+        # Engine-independent oracle: MWU solves the directed instance
+        # natively and certifies a feasible value within (1-eps)^3.
+        approx = solve_throughput_mwu(sliced, tm, epsilon=0.05)
+        assert approx.value <= exact.value * (1 + 1e-9)
+        assert exact.value * (1 - 0.05) ** 3 <= approx.value
+
+    def test_auto_blocks_respects_threshold(self):
+        # Regression: blocks = ceil(dense/threshold) overshot the per-shard
+        # bound whenever the source-split ceiling bit.
+        import math as _math
+
+        topo = jellyfish(16, 4, seed=3)  # k = 16 sources under A2A
+        tm = all_to_all(topo)
+        m = topo.arcs()[0].size
+        k = 16
+        for threshold in (m + 1, 2 * m, 3 * m + 1, 5 * m, k * m - 1):
+            blocks = auto_blocks(topo, tm, threshold)
+            per_shard = _math.ceil(k / blocks) * m
+            assert per_shard <= threshold, (threshold, blocks, per_shard)
+        # One source alone exceeding the threshold: best effort, 1 per block.
+        assert auto_blocks(topo, tm, m - 1) == k
+
+    def test_disconnected_demand_is_zero(self):
+        # Demand across a disconnection: certified 0, no overflow in the
+        # reallocation arithmetic even with a permanently starved block.
+        import networkx as nx
+        from repro.topologies.base import Topology
+        from repro.traffic.matrix import TrafficMatrix
+
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        topo = Topology("disc", g, np.ones(4, dtype=np.int64))
+        demand = np.zeros((4, 4))
+        demand[0, 2] = 1.0  # crosses the component boundary
+        demand[1, 0] = 1.0
+        tm = TrafficMatrix(demand=demand)
+        result = solve_throughput_sharded(topo, tm, blocks=2, exact_fallback=False)
+        assert result.value == 0.0
+        assert result.meta["upper_bound"] == 0.0
+
+    def test_transposed_instance_agrees(self):
+        # Fewer active destinations than sources: the top-level transpose
+        # path must preserve the optimum.
+        topo = jellyfish(12, 4, seed=6)
+        n = topo.n_switches
+        demand = np.zeros((n, n))
+        demand[:, 0] = 1.0  # everyone sends to node 0
+        demand[0, 0] = 0.0
+        demand[0, 1] = 1.0
+        from repro.traffic.matrix import TrafficMatrix
+
+        tm = TrafficMatrix(demand=demand, kind="incast")
+        dense = throughput(topo, tm)
+        sharded = solve_throughput_sharded(topo, tm, blocks=2)
+        assert sharded.value == pytest.approx(dense.value, rel=RTOL)
+
+
+# ------------------------------------------------------------ determinism
+class TestWarmRerunDeterminism:
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_warm_rerun_zero_solves(self, tmp_path, backend):
+        topo = jellyfish(14, 4, seed=8)
+        tm = all_to_all(topo)
+        req_params = {"blocks": 3}
+
+        cold_cache = make_cache(tmp_path, backend=backend)
+        with BatchSolver(workers=1, cache=cold_cache) as solver:
+            cold = solver.solve(
+                SolveRequest(topo, tm, engine="sharded", params=dict(req_params))
+            )
+            cold_stats = solver.stats()
+        assert cold_stats["solved"] > 0
+        assert cold_stats["shard_jobs"] > 0
+
+        warm_cache = make_cache(tmp_path, backend=backend)
+        with BatchSolver(workers=1, cache=warm_cache) as solver:
+            warm = solver.solve(
+                SolveRequest(topo, tm, engine="sharded", params=dict(req_params))
+            )
+            warm_stats = solver.stats()
+        assert warm_stats["solved"] == 0, "warm rerun must perform zero solves"
+        assert warm.from_cache
+        assert warm.require().value == cold.require().value
+        assert warm.require().meta == cold.require().meta
+
+    def test_block_solves_share_cache_across_engines(self, tmp_path):
+        # The exact fallback is a plain lp request: a dense run warms it.
+        topo = jellyfish(12, 3, seed=4)
+        tm = all_to_all(topo)
+        cache = make_cache(tmp_path)
+        with BatchSolver(workers=1, cache=cache) as solver:
+            solver.solve(SolveRequest(topo, tm, engine="lp"))
+            before = solver.stats()["solved"]
+            out = solver.solve(
+                SolveRequest(topo, tm, engine="sharded", params={"blocks": 2})
+            )
+            result = out.require()
+            # Fallback hit the warmed dense entry: the only fresh solves
+            # are the block LPs plus the parent sharded request itself.
+            assert result.meta["fallback"]
+            extra = solver.stats()["solved"] - before
+            assert extra == result.meta["shard_solves"] + 1
+            assert solver.stats()["cache_hits"] == 1
+
+
+# ---------------------------------------------------------------- policy
+class TestAutoPolicy:
+    def test_select_engine_threshold(self):
+        topo = jellyfish(16, 4, seed=3)
+        tm = all_to_all(topo)
+        assert select_engine(topo, tm) == "lp"  # tiny instance, huge default
+        assert select_engine(topo, tm, threshold=10) == "sharded"
+        assert select_engine(topo, tm, threshold=10, prefer="mwu") == "mwu"
+
+    def test_env_threshold(self, monkeypatch):
+        topo = jellyfish(16, 4, seed=3)
+        tm = all_to_all(topo)
+        monkeypatch.setenv("REPRO_SHARD_THRESHOLD", "10")
+        assert select_engine(topo, tm) == "sharded"
+        monkeypatch.setenv("REPRO_LARGE_ENGINE", "mwu")
+        assert select_engine(topo, tm) == "mwu"
+
+    def test_auto_request_resolves_concrete_engine(self):
+        topo = jellyfish(16, 4, seed=3)
+        tm = all_to_all(topo)
+        assert SolveRequest(topo, tm, engine="auto").engine == "lp"
+        with use_shard_policy(ShardPolicy(threshold=100)):
+            req = SolveRequest(topo, tm, engine="auto")
+        assert req.engine == "sharded"
+        # Shard knobs are frozen into params so the key determines the value.
+        assert req.params["blocks"] == auto_blocks(topo, tm, 100)
+        assert req.params["exact_fallback"] is False
+        assert "rtol" in req.params and "max_rounds" in req.params
+
+    def test_engine_override_reaches_relative_sweeps(self):
+        # Regression: relative_throughput's helpers used to hard-default
+        # engine="lp", silently ignoring --engine for the large sweep
+        # experiments (fig5/scaling/nonuniform) it matters most for.
+        from repro.batch import use_solver
+        from repro.evaluation.relative import relative_throughput
+
+        topo = jellyfish(10, 3, seed=2)
+        with BatchSolver(workers=1) as solver:
+            with use_solver(solver), use_default_engine("sharded"):
+                relative_throughput(
+                    topo, lambda t, rng: all_to_all(t), samples=1, seed=0
+                )
+            assert solver.stats()["shard_jobs"] > 0, (
+                "--engine override must reach the relative-throughput sweeps"
+            )
+
+    def test_session_rejects_unknown_engine_eagerly(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Session(engine="shraded")
+
+    def test_default_engine_context(self):
+        topo = jellyfish(10, 3, seed=2)
+        tm = all_to_all(topo)
+        assert default_engine() == "lp"
+        assert SolveRequest(topo, tm).engine == "lp"
+        with use_default_engine("sharded"):
+            req = SolveRequest(topo, tm)
+            assert req.engine == "sharded"
+            assert "blocks" in req.params
+        # Explicit engines are never overridden.
+        with use_default_engine("sharded"):
+            assert SolveRequest(topo, tm, engine="mwu").engine == "mwu"
+        with pytest.raises(ValueError, match="cannot be the ambient default"):
+            use_default_engine("nope").__enter__()
+        # "paths" dispatches fine per-request but computes a different
+        # quantity, so it may never be the ambient default.
+        with pytest.raises(ValueError, match="cannot be the ambient default"):
+            use_default_engine("paths").__enter__()
+        with pytest.raises(ValueError, match="unknown engine"):
+            Session(engine="paths")
+
+    def test_above_threshold_solves_in_bounded_memory(self):
+        # Synthetic above-threshold instance: the dense LP would need
+        # k x m flow variables; the sharded path must stay well under that
+        # per shard and still certify bounds around the true optimum.
+        topo = jellyfish(30, 4, seed=13)
+        tm = all_to_all(topo)
+        dense_vars = dense_lp_size(topo, tm)
+        with use_shard_policy(ShardPolicy(threshold=2000)):
+            assert select_engine(topo, tm) == "sharded"
+            params = resolve_shard_params(topo, tm, {})
+            assert params["exact_fallback"] is False
+            result = solve_throughput_sharded(topo, tm, **params)
+        assert result.meta["fallback"] is False
+        # Each shard LP stays under the threshold (+1 for the scale
+        # variable t) where the dense LP would not have.
+        assert dense_vars > 2000
+        assert result.n_variables <= 2000 + 1 < dense_vars, (
+            "per-shard LP must be a fraction of the dense LP"
+        )
+        dense = throughput(topo, tm).value
+        assert result.meta["lower_bound"] <= dense * (1 + 1e-9)
+        assert result.meta["upper_bound"] >= dense * (1 - 1e-9)
+        assert result.meta["lower_bound"] > 0.5 * dense
+
+
+# ---------------------------------------------------------------- session
+class TestSessionIntegration:
+    def _register_probe(self):
+        @experiment(
+            "shard-probe",
+            title="Sharded probe",
+            artifact="test",
+            tags=("test",),
+            checks=(),
+        )
+        def shard_probe(scale=None, seed=0) -> ExperimentResult:
+            """Solve one instance through the ambient solver and emit it."""
+            from repro.batch import get_solver
+
+            topo = jellyfish(12, 3, seed=7)
+            tm = all_to_all(topo)
+            out = get_solver().solve(SolveRequest(topo, tm))
+            result = out.require()
+            rows = [emit_row(("jf-12-3", result.engine, result.value))]
+            return ExperimentResult(
+                experiment_id="shard-probe",
+                title="probe",
+                headers=["topo", "engine", "value"],
+                rows=rows,
+            )
+
+        return shard_probe
+
+    def test_session_engine_override_and_shard_events(self):
+        self._register_probe()
+        try:
+            with Session() as plain:
+                baseline = plain.run("shard-probe")
+            assert baseline.rows[0][1] == "lp"
+
+            with Session(engine="sharded", shard_blocks=2) as session:
+                events = list(session.stream("shard-probe"))
+            rows = [e for e in events if isinstance(e, RowEvent)]
+            shards = [e for e in events if isinstance(e, ShardProgressEvent)]
+            (final,) = [e for e in events if isinstance(e, ResultEvent)]
+            assert rows[0].row[1] == "sharded"
+            assert shards, "sharded solve must surface ShardProgressEvents"
+            assert all(e.blocks == 2 for e in shards)
+            assert shards[0].lower_bound <= shards[0].upper_bound
+            # Engine differs, value agrees within the engine contract.
+            assert rows[0].row[2] == pytest.approx(baseline.rows[0][2], rel=RTOL)
+            assert final.result.extras["batch"]["shard_jobs"] > 0
+        finally:
+            REGISTRY.unregister("shard-probe")
+
+    def test_fig2_rows_match_dense_under_sharded_engine(self):
+        # The acceptance criterion, at a deliberately tiny scale: every
+        # fig2 row value under --engine sharded matches the dense rows
+        # within 1e-6 relative.
+        tiny = ScaleConfig("small", max_servers=16, max_switches=10, samples=1, shuffles=1)
+        with Session(scale=tiny) as dense_session:
+            dense_rows = dense_session.run("fig2").rows
+        with Session(scale=tiny, engine="sharded", shard_blocks=2) as shard_session:
+            shard_rows = shard_session.run("fig2").rows
+        assert len(dense_rows) == len(shard_rows) > 0
+        for dense_row, shard_row in zip(dense_rows, shard_rows):
+            assert dense_row[:4] == shard_row[:4]
+            assert shard_row[4] == pytest.approx(dense_row[4], rel=RTOL)
