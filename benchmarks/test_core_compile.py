@@ -1,0 +1,139 @@
+"""Perf benchmark for the compiled instance core (repro.core.ArcGraph).
+
+Times the three hot paths the compile step was built for, before-vs-after,
+on a ``large``-profile topology:
+
+* **arcs extraction** — walking the networkx graph per call (the seed
+  behavior) vs returning the compiled core's cached arrays;
+* **key hashing** — the v1 ``instance_key`` (full arc/TM array re-hash +
+  lexsort per request) vs the v2 digest-composition key;
+* **worker payload** — pickled ``SolveRequest`` bytes with the graph-
+  carrying topology vs the compiled array form pool workers now receive.
+
+Results (medians, speedups, payload sizes) are written to
+``BENCH_core.json`` at the repo root so the perf trajectory is recorded
+run over run.  The assertions are deliberately loose (compiled paths must
+not be dramatically slower); the JSON carries the real numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import SolveRequest, instance_key
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic import all_to_all, longest_matching
+from repro.utils.graphutils import arcs_of
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_core.json"
+
+#: A `large`-scale instance (ROADMAP profile: hundreds of switches).
+N_SWITCHES = 260
+DEGREE = 12
+
+
+def _median_seconds(fn, repeats: int = 9) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _legacy_instance_key(topology, tm, engine="lp", params=None) -> str:
+    """The pre-core (v1) key: re-walks and re-hashes the whole instance."""
+    tails, heads, caps = arcs_of(topology.graph)
+    order = np.lexsort((heads, tails))
+    src, dst, weights = tm.pairs()
+    h = hashlib.sha256()
+    h.update(b"repro-batch-v1")
+    h.update(b"\x00n\x00" + str(topology.n_switches).encode())
+    h.update(b"\x00arcs\x00")
+    h.update(np.ascontiguousarray(tails[order], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(heads[order], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(caps[order], dtype=np.float64).tobytes())
+    h.update(b"\x00tm\x00" + str(tm.n_nodes).encode())
+    h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
+    h.update(b"\x00engine\x00" + engine.encode())
+    h.update(b"\x00params\x00" + repr(sorted((params or {}).items())).encode())
+    return h.hexdigest()
+
+
+def test_core_compile_hot_paths_and_record():
+    topo = jellyfish(N_SWITCHES, DEGREE, seed=0)
+    tm = all_to_all(topo)
+    core = topo.compile()  # pay the one-time compile before timing
+    tm.content_digest()
+
+    before_arcs = _median_seconds(lambda: arcs_of(topo.graph))
+    after_arcs = _median_seconds(lambda: topo.arcs())
+
+    before_key = _median_seconds(lambda: _legacy_instance_key(topo, tm))
+    after_key = _median_seconds(lambda: instance_key(topo, tm))
+
+    # Payload sizes on the sweeps' canonical near-worst-case TM (a
+    # matching: O(n) nonzeros), where both the graph swap and the sparse
+    # TM wire form bite; legacy = graph-carrying topology + dense demand.
+    lm = longest_matching(topo)
+    req = SolveRequest(topo, lm, engine="lp")
+
+    def legacy_wire_form():
+        # What the seed shipped per job: the networkx graph plus the dense
+        # demand block (and the request envelope).
+        return pickle.dumps(
+            {
+                "graph": topo.graph,
+                "servers": topo.servers,
+                "demand": lm.demand,
+                "engine": req.engine,
+                "params": req.params,
+                "tag": req.tag,
+            }
+        )
+
+    legacy_payload = legacy_wire_form()
+    payload = pickle.dumps(req)
+    before_pickle = _median_seconds(legacy_wire_form)
+    after_pickle = _median_seconds(lambda: pickle.dumps(req))
+
+    record = {
+        "benchmark": "core_compile",
+        "topology": topo.name,
+        "n_switches": topo.n_switches,
+        "n_arcs": core.n_arcs,
+        "arcs_extraction": {
+            "networkx_walk_s": before_arcs,
+            "compiled_s": after_arcs,
+            "speedup": before_arcs / max(after_arcs, 1e-12),
+        },
+        "instance_key": {
+            "v1_full_rehash_s": before_key,
+            "v2_digest_s": after_key,
+            "speedup": before_key / max(after_key, 1e-12),
+        },
+        "worker_payload": {
+            "graph_bytes": len(legacy_payload),
+            "array_bytes": len(payload),
+            "shrink_factor": len(legacy_payload) / max(len(payload), 1),
+            "graph_pickle_s": before_pickle,
+            "array_pickle_s": after_pickle,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # The compiled paths must win decisively on this instance size; allow
+    # wide margins so CI noise cannot flake the build.
+    assert after_arcs < before_arcs, record["arcs_extraction"]
+    assert after_key < before_key, record["instance_key"]
+    assert len(payload) < len(legacy_payload), record["worker_payload"]
+    assert b"networkx" not in payload

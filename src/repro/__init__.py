@@ -5,6 +5,9 @@ The package provides:
 
 * :mod:`repro.topologies` — the ten topology families the paper benchmarks
   plus its theory-section graph constructions;
+* :mod:`repro.core` — the compiled sparse instance core
+  (:class:`~repro.core.ArcGraph`): canonical arc arrays, CSR adjacency,
+  and content digests computed once per topology;
 * :mod:`repro.traffic` — all-to-all, random matching, longest matching
   (near-worst-case), Kodialam, elephant, and Facebook-shaped TMs;
 * :mod:`repro.throughput` — exact LP and approximate engines for maximum

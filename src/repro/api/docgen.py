@@ -122,9 +122,11 @@ def _module_section(title: str, module) -> list:
 
 
 def api_markdown() -> str:
-    """The full API.md content: engines, then the public module surfaces."""
+    """The full API.md content: engines, backends, then the module surfaces."""
     import repro.api as api_module
     import repro.batch as batch_module
+    import repro.core as core_module
+    from repro.throughput.backends import LP_BACKENDS
     from repro.throughput.mcf import ENGINE_GUARANTEES
 
     lines = [_API_HEADER]
@@ -136,6 +138,21 @@ def api_markdown() -> str:
     lines.append("| engine | guarantee |\n|--------|-----------|\n")
     for name, guarantee in ENGINE_GUARANTEES.items():
         lines.append(f"| `{name}` | {guarantee} |\n")
+    lines.append("\n## LP backends\n\n")
+    lines.append(
+        "The `lp` engine delegates the assembled LP to a registered "
+        "backend (`--lp-backend`, `Session(lp_backend=...)`, "
+        "`REPRO_LP_BACKEND`); the resolved name is frozen into request "
+        "params and cache keys:\n\n"
+    )
+    lines.append(
+        "| backend | linprog method chain | description |\n"
+        "|---------|----------------------|-------------|\n"
+    )
+    for name, backend in sorted(LP_BACKENDS.items()):
+        chain = " → ".join(f"`{m}`" for m in backend.methods)
+        lines.append(f"| `{name}` | {chain} | {backend.description} |\n")
+    lines.extend(_module_section("repro.core", core_module))
     lines.extend(_module_section("repro.api", api_module))
     lines.extend(_module_section("repro.batch", batch_module))
     return "".join(lines)

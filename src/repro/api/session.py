@@ -51,6 +51,7 @@ from repro.batch import (
     use_solver,
 )
 from repro.evaluation.runner import SCALES, ExperimentResult, ScaleConfig
+from repro.throughput.backends import resolve_lp_backend, use_lp_backend
 from repro.throughput.sharded import (
     ShardPolicy,
     ShardProgress,
@@ -108,6 +109,12 @@ class Session:
         explicitly (``"lp"`` | ``"mwu"`` | ``"sharded"`` | ``"auto"``);
         ``None`` keeps each call site's default.  The CLI's ``--engine``
         flag lands here.
+    lp_backend:
+        Default LP backend for every dense solve that does not name one
+        explicitly (a :data:`repro.throughput.LP_BACKENDS` name); ``None``
+        keeps the ambient default.  The CLI's ``--lp-backend`` flag lands
+        here; the resolved name is frozen into request params, hence into
+        cache keys.
     shard_threshold, shard_blocks:
         Shard-policy overrides installed for the session's runs (see
         :class:`~repro.throughput.sharded.ShardPolicy`); ``None`` defers
@@ -123,6 +130,7 @@ class Session:
         cache_dir: Optional[Union[str, os.PathLike]] = None,
         timeout: Optional[float] = None,
         engine: Optional[str] = None,
+        lp_backend: Optional[str] = None,
         shard_threshold: Optional[int] = None,
         shard_blocks: Optional[int] = None,
     ) -> None:
@@ -145,6 +153,10 @@ class Session:
                 f"{DEFAULT_ENGINE_CHOICES}"
             )
         self.engine = engine
+        if lp_backend is not None:
+            # Same construction-time validation contract as engine/scale.
+            resolve_lp_backend(lp_backend)
+        self.lp_backend = lp_backend
         self._shard_policy: Optional[ShardPolicy] = None
         if shard_threshold is not None or shard_blocks is not None:
             base = current_shard_policy()
@@ -167,6 +179,8 @@ class Session:
         stack.enter_context(use_solver(self.solver))
         if self.engine is not None:
             stack.enter_context(use_default_engine(self.engine))
+        if self.lp_backend is not None:
+            stack.enter_context(use_lp_backend(self.lp_backend))
         if self._shard_policy is not None:
             stack.enter_context(use_shard_policy(self._shard_policy))
         return stack

@@ -19,16 +19,21 @@ import hashlib
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Union
 
-import numpy as np
-
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+from repro.throughput.backends import normalize_lp_backend_param
 from repro.throughput.lp import ThroughputResult
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
 #: Bump when the key payload layout changes; old cache entries then miss.
-KEY_VERSION = "repro-batch-v1"
+#: v2: the topology and TM components are the precomputed content digests
+#: of the compiled core (`ArcGraph.digest`, `TrafficMatrix.content_digest`)
+#: instead of per-request re-hashes of the full arrays, and the `paths`
+#: iteration-order component is the numpy fingerprint
+#: (`Topology.iteration_fingerprint`) instead of joined strings.
+KEY_VERSION = "repro-batch-v2"
 
 #: Engines the batch layer can dispatch: ``lp``, ``mwu``, and ``sharded``
 #: go through :func:`repro.throughput.mcf.throughput` (``sharded`` is
@@ -82,52 +87,53 @@ def use_default_engine(engine: str) -> Iterator[str]:
 
 
 def instance_key(
-    topology: Topology,
+    topology: Union[Topology, ArcGraph],
     tm: TrafficMatrix,
     engine: str = "lp",
     params: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Content-addressed key for one throughput instance.
 
-    The digest covers exactly what the solvers consume: the directed arc
-    list with capacities (sorted into canonical (tail, head) order, so edge
-    insertion order is irrelevant), the node count, the TM's nonzero
-    ``(src, dst, demand)`` triples in row-major order, the engine name, and
-    the sorted solver params.  Anything that changes the numerical instance
-    — permuting node ids, scaling a demand, adding a cable — changes the
+    The key covers exactly what the solvers consume — via two precomputed
+    content digests plus the request envelope: the compiled core's digest
+    (canonical (tail, head)-sorted arc list with capacities and the node
+    count — edge insertion order is irrelevant; see
+    :class:`repro.core.ArcGraph`), the TM's digest (nonzero ``(src, dst,
+    demand)`` triples in row-major order), the engine name, and the sorted
+    solver params.  Anything that changes the numerical instance —
+    permuting node ids, scaling a demand, adding a cable — changes the
     key; anything that does not (names, families, construction provenance)
     is excluded.
 
+    Both digests are computed once (at topology compile / first TM use)
+    and memoized, so keying an already-compiled instance performs **no
+    networkx traversal and no re-hash of the arc or demand arrays** —
+    submit-time key cost on warm sweeps is a few hundred bytes of hashing.
+
     Exception: the ``paths`` engine additionally hashes the graph's node
-    and edge *iteration order*.  Its path enumeration seeds Yen's with BFS
-    shortest paths, whose tie-breaking among equal-length paths follows
-    adjacency insertion order — two graphs with the same canonical arc
-    list but different build order can enumerate different path sets and
-    thus different path-restricted LP values.  Hashing the as-built order
-    is conservative (a re-built graph re-solves instead of risking a stale
+    and edge *iteration order* (the numpy fingerprint of
+    :meth:`~repro.topologies.base.Topology.iteration_fingerprint`, also
+    cached).  Its path enumeration seeds Yen's with BFS shortest paths,
+    whose tie-breaking among equal-length paths follows adjacency
+    insertion order — two graphs with the same canonical arc list but
+    different build order can enumerate different path sets and thus
+    different path-restricted LP values.  Hashing the as-built order is
+    conservative (a re-built graph re-solves instead of risking a stale
     value) and keeps equal keys implying equal solved LPs.
     """
-    tails, heads, caps = topology.arcs()
-    order = np.lexsort((heads, tails))
-    src, dst, weights = tm.pairs()
-
+    core = as_arcgraph(topology)
     h = hashlib.sha256()
     h.update(KEY_VERSION.encode())
-    h.update(b"\x00n\x00" + str(topology.n_switches).encode())
-    h.update(b"\x00arcs\x00")
-    h.update(np.ascontiguousarray(tails[order], dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(heads[order], dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(caps[order], dtype=np.float64).tobytes())
-    h.update(b"\x00tm\x00" + str(tm.n_nodes).encode())
-    h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
+    h.update(b"\x00topo\x00" + bytes.fromhex(core.digest))
+    h.update(b"\x00tm\x00" + bytes.fromhex(tm.content_digest()))
     h.update(b"\x00engine\x00" + engine.encode())
     if engine == "paths":
-        h.update(b"\x00iter-order\x00")
-        h.update(",".join(map(str, topology.graph.nodes())).encode())
-        h.update(b"|")
-        h.update(";".join(f"{u},{v}" for u, v in topology.graph.edges()).encode())
+        if not isinstance(topology, Topology):
+            raise TypeError(
+                "the 'paths' engine keys on graph iteration order and "
+                "needs the full Topology, not a compiled ArcGraph"
+            )
+        h.update(b"\x00iter-order\x00" + topology.iteration_fingerprint())
     h.update(b"\x00params\x00" + repr(sorted((params or {}).items())).encode())
     return h.hexdigest()
 
@@ -145,9 +151,11 @@ class SolveRequest:
         ``"sharded"``), or ``None`` to take the ambient default
         (:func:`default_engine`, normally ``"lp"``).  ``"auto"`` — given
         explicitly or as the ambient default — resolves immediately
-        through :func:`repro.throughput.sharded.select_engine`, and a
-        request resolving to ``"sharded"`` has its shard knobs (blocks,
-        tolerance, round budget, fallback) frozen into ``params`` so the
+        through :func:`repro.throughput.sharded.select_engine`.  A request
+        resolving to ``"sharded"`` has its shard knobs (blocks, tolerance,
+        round budget, fallback, block LP backend) frozen into ``params``,
+        and an ``"lp"`` request has its resolved LP backend name frozen in
+        (:func:`repro.throughput.backends.resolve_lp_backend`), so the
         content key fully determines the computed value.
     params:
         Extra kwargs for the engine (e.g. ``epsilon`` for MWU, or
@@ -157,14 +165,25 @@ class SolveRequest:
         part of the key.  The sharded engine tags its internal block
         subproblems ``shard:...`` — the solver counts those separately in
         its stats.
+
+    **Worker payloads** — pickling a request whose engine consumes only
+    the compiled instance (``lp``, ``mwu``) replaces the topology with its
+    :class:`~repro.core.ArcGraph`: pool workers receive compact int64/
+    float64 arrays, never a networkx graph.  ``paths`` requests keep the
+    full topology (Yen's enumeration walks the as-built graph) and
+    ``sharded`` requests solve parent-side anyway.
     """
 
-    topology: Topology
+    topology: Union[Topology, ArcGraph]
     tm: TrafficMatrix
     engine: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
     tag: str = ""
     _key: Optional[str] = field(default=None, repr=False, compare=False)
+
+    #: Engines whose solve consumes only the compiled array form — their
+    #: requests ship to pool workers graph-free (see ``__getstate__``).
+    _ARRAY_ONLY_ENGINES = ("lp", "mwu")
 
     def __post_init__(self) -> None:
         if self.engine is None:
@@ -179,6 +198,20 @@ class SolveRequest:
             self.params = resolve_shard_params(
                 self.topology, self.tm, self.params
             )
+        elif self.engine == "lp":
+            self.params = normalize_lp_backend_param(self.params)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        topology = state["topology"]
+        if self.engine in self._ARRAY_ONLY_ENGINES and isinstance(
+            topology, Topology
+        ):
+            state["topology"] = topology.compile()
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     @property
     def key(self) -> str:

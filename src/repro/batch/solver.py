@@ -55,6 +55,24 @@ from repro.throughput.lp import ThroughputResult
 from repro.throughput.mcf import throughput
 
 
+def _pinned_params(request: SolveRequest) -> dict:
+    """Request params with the LP backend made explicit for dispatch.
+
+    The canonical param form omits the *default* backend from ``lp`` and
+    ``sharded`` requests
+    (:func:`repro.throughput.backends.normalize_lp_backend_param`); pinning
+    it here keeps the key ↔ configuration binding exact even when a request
+    is solved under a different ambient backend than it was built under —
+    the solve must never re-consult the ambient.
+    """
+    params = request.params
+    if request.engine in ("lp", "sharded") and "lp_backend" not in params:
+        from repro.throughput.backends import DEFAULT_LP_BACKEND
+
+        params = {**params, "lp_backend": DEFAULT_LP_BACKEND}
+    return params
+
+
 def _dispatch(request: SolveRequest) -> ThroughputResult:
     """Solve one request with the engine it names.
 
@@ -76,7 +94,7 @@ def _dispatch(request: SolveRequest) -> ThroughputResult:
 
         return llskr_exact_throughput(request.topology, request.tm, **request.params)
     return throughput(
-        request.topology, request.tm, engine=request.engine, **request.params
+        request.topology, request.tm, engine=request.engine, **_pinned_params(request)
     )
 
 
@@ -569,7 +587,7 @@ class BatchSolver:
                         request.topology,
                         request.tm,
                         solver=self,
-                        **request.params,
+                        **_pinned_params(request),
                     ),
                     None,
                 )

@@ -8,6 +8,7 @@ Usage::
     python -m repro list --api-markdown         # regenerate API.md
     python -m repro fig4
     python -m repro fig2 --engine sharded       # block-decomposed solves
+    python -m repro fig2 --lp-backend highs-ipm # pin the dense LP backend
     python -m repro fig5 --engine auto --shard-threshold 500000
     python -m repro fig5 --scale medium --seed 7
     python -m repro all --scale small --workers auto
@@ -49,6 +50,7 @@ from repro.api import (
 from repro.api.docgen import api_markdown, experiments_markdown
 from repro.batch import CACHE_BACKENDS, DEFAULT_ENGINE_CHOICES, make_cache, resolve_workers
 from repro.evaluation.runner import SCALES, ExperimentResult
+from repro.throughput.backends import LP_BACKENDS
 from repro.utils.serialization import experiment_to_json
 
 
@@ -119,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
         "does not name one explicitly: 'lp' (exact dense), 'mwu' (O(arcs) "
         "approximation), 'sharded' (source-block decomposition), or 'auto' "
         "(dense below --shard-threshold, bounded-memory above)",
+    )
+    parser.add_argument(
+        "--lp-backend",
+        choices=sorted(LP_BACKENDS),
+        default=None,
+        help="LP backend for every dense solve that does not name one "
+        "explicitly: 'auto' (IPM with simplex fallback, the default), "
+        "'highs' (HiGHS's choice), 'highs-ds' (dual simplex), or "
+        "'highs-ipm' (interior point only); frozen into cache keys",
     )
     parser.add_argument(
         "--shard-threshold",
@@ -341,6 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         cache=cache,
         engine=args.engine,
+        lp_backend=args.lp_backend,
         shard_threshold=args.shard_threshold,
         shard_blocks=args.shard_blocks,
     ) as session:

@@ -1,0 +1,22 @@
+"""Compiled sparse instance core.
+
+:class:`ArcGraph` is the array-native form of one network instance: the
+canonical directed arc list (``tails``/``heads``/``caps``), a CSR adjacency
+view, and a content digest computed **once** at compile time.  Everything
+downstream of topology construction — the throughput engines, the cut and
+property code, and the batch layer's content-addressed keys — speaks
+``ArcGraph`` instead of walking the networkx graph, which makes repeated
+arc extraction, key hashing, and pool-worker payloads cheap.
+
+``Topology.compile()`` (:mod:`repro.topologies.base`) builds and caches the
+``ArcGraph`` of a topology; :func:`as_arcgraph` normalizes either form.
+See DESIGN.md "Compiled instance core".
+"""
+
+from repro.core.arcgraph import ArcGraph, as_arcgraph, compile_graph
+
+__all__ = [
+    "ArcGraph",
+    "as_arcgraph",
+    "compile_graph",
+]

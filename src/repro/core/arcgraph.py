@@ -1,0 +1,433 @@
+"""The compiled sparse instance core: :class:`ArcGraph`.
+
+An ``ArcGraph`` is the immutable, array-native form of one network's
+directed-arc view:
+
+* ``tails`` / ``heads`` / ``caps`` — the canonical arc list (int64/int64/
+  float64), sorted by ``(tail, head)`` with parallel arcs merged, exactly
+  the order :func:`repro.utils.graphutils.arcs_of` has always produced;
+* ``indptr`` — CSR row offsets over ``tails``, so per-node adjacency and
+  scipy ``csgraph`` calls need no conversion;
+* ``digest`` — a SHA-256 content digest over ``(n_nodes, tails, heads,
+  caps)``, computed **once** at compile time.  The batch layer's
+  content-addressed instance keys reuse it instead of re-hashing the full
+  arc arrays per request (:func:`repro.batch.jobs.instance_key`).
+
+The digest is two-stage: a *structure* digest over ``(n_nodes, tails,
+heads)`` plus a capacity hash on top.  :meth:`with_caps` — the capacity
+overlay used by the sharded engine's :class:`CapacitySlicedTopology` —
+therefore re-hashes only the 32-byte structure digest and the new capacity
+vector, never the arc structure.
+
+Instances are immutable: the arrays are marked read-only at construction,
+and every derived quantity (CSR adjacency, hop distances, the reverse-arc
+permutation) is computed lazily and memoized.  Equality of content is
+equality of ``digest``; two independently compiled graphs with the same
+canonical arcs and capacities are interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+#: Bump when the digest layout changes; cache keys built on it then miss.
+ARCGRAPH_VERSION = b"repro-arcgraph-v1"
+
+
+def _content_digests(
+    n_nodes: int, tails: np.ndarray, heads: np.ndarray, caps: np.ndarray
+) -> Tuple[bytes, str]:
+    """(structure digest bytes, full content digest hex) of one arc set.
+
+    Split out as a module function so tests can count invocations — the
+    whole point of compiling is that this runs once per topology, not once
+    per solve request.
+    """
+    h = hashlib.sha256()
+    h.update(ARCGRAPH_VERSION)
+    h.update(b"\x00n\x00" + str(n_nodes).encode())
+    h.update(b"\x00arcs\x00")
+    h.update(tails.tobytes())
+    h.update(heads.tobytes())
+    structure = h.digest()
+    return structure, _cap_digest(structure, caps)
+
+
+def _cap_digest(structure: bytes, caps: np.ndarray) -> str:
+    """Full content digest from a structure digest and a capacity vector."""
+    h = hashlib.sha256()
+    h.update(structure)
+    h.update(b"\x00caps\x00")
+    h.update(caps.tobytes())
+    return h.hexdigest()
+
+
+def _frozen(arr: np.ndarray, dtype) -> np.ndarray:
+    """A C-contiguous read-only copy-if-needed view of ``arr``."""
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if out is arr or out.base is arr:
+        out = out.copy()
+    out.flags.writeable = False
+    return out
+
+
+class ArcGraph:
+    """Immutable compiled arc view of one topology (see module docstring).
+
+    Construct via :meth:`from_arrays` / :func:`compile_graph` or, almost
+    always, via :meth:`repro.topologies.base.Topology.compile`.
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "tails",
+        "heads",
+        "caps",
+        "indptr",
+        "structure_digest",
+        "digest",
+        "_memo",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        tails: np.ndarray,
+        heads: np.ndarray,
+        caps: np.ndarray,
+    ) -> None:
+        n_nodes = int(n_nodes)
+        if n_nodes < 1:
+            raise ValueError("ArcGraph needs at least one node")
+        tails = np.ascontiguousarray(tails, dtype=np.int64)
+        heads = np.ascontiguousarray(heads, dtype=np.int64)
+        caps = np.ascontiguousarray(caps, dtype=np.float64)
+        if not (tails.shape == heads.shape == caps.shape) or tails.ndim != 1:
+            raise ValueError("tails/heads/caps must be equal-length 1-D arrays")
+        if tails.size:
+            lo = min(int(tails.min()), int(heads.min()))
+            hi = max(int(tails.max()), int(heads.max()))
+            if lo < 0 or hi >= n_nodes:
+                raise ValueError(
+                    f"arc endpoints must lie in [0, {n_nodes}), got [{lo}, {hi}]"
+                )
+            if np.any(tails == heads):
+                raise ValueError("self-loop arcs are not allowed")
+        # Canonicalize: sort by (tail, head).  Arrays from arcs_of() are
+        # already canonical, so this is a cheap monotonicity check there.
+        key = tails * np.int64(n_nodes) + heads
+        if tails.size and np.any(np.diff(key) <= 0):
+            if np.unique(key).size != key.size:
+                raise ValueError("duplicate arcs; merge parallel arcs first")
+            order = np.argsort(key, kind="stable")
+            tails, heads, caps = tails[order], heads[order], caps[order]
+        object.__setattr__(self, "n_nodes", n_nodes)
+        object.__setattr__(self, "tails", _frozen(tails, np.int64))
+        object.__setattr__(self, "heads", _frozen(heads, np.int64))
+        object.__setattr__(self, "caps", _frozen(caps, np.float64))
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(tails, minlength=n_nodes), out=indptr[1:])
+        indptr.flags.writeable = False
+        object.__setattr__(self, "indptr", indptr)
+        structure, digest = _content_digests(
+            n_nodes, self.tails, self.heads, self.caps
+        )
+        object.__setattr__(self, "structure_digest", structure)
+        object.__setattr__(self, "digest", digest)
+        object.__setattr__(self, "_memo", {})
+
+    # The slots are assigned once in __init__ / __setstate__; everything
+    # else is an error — ArcGraph is shared across requests and caches.
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+        raise AttributeError(f"ArcGraph is immutable (cannot set {name!r})")
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_arrays(
+        cls,
+        n_nodes: int,
+        tails: np.ndarray,
+        heads: np.ndarray,
+        caps: np.ndarray,
+    ) -> "ArcGraph":
+        """Compile an arc list (canonicalized on the way in)."""
+        return cls(n_nodes, tails, heads, caps)
+
+    def with_caps(self, caps: np.ndarray) -> "ArcGraph":
+        """A capacity overlay: same arc structure, new capacity vector.
+
+        This is the cheap path the sharded engine's capacity slices take —
+        the shared ``tails``/``heads``/``indptr`` arrays and the 32-byte
+        structure digest are reused, so only the new capacities are hashed.
+        The resulting digest is identical to a from-scratch compile of the
+        same ``(structure, caps)`` content.
+        """
+        caps = _frozen(caps, np.float64)
+        if caps.shape != self.caps.shape:
+            raise ValueError(
+                f"caps must have shape {self.caps.shape}, got {caps.shape}"
+            )
+        out = object.__new__(ArcGraph)
+        object.__setattr__(out, "n_nodes", self.n_nodes)
+        object.__setattr__(out, "tails", self.tails)
+        object.__setattr__(out, "heads", self.heads)
+        object.__setattr__(out, "caps", caps)
+        object.__setattr__(out, "indptr", self.indptr)
+        object.__setattr__(out, "structure_digest", self.structure_digest)
+        object.__setattr__(out, "digest", _cap_digest(self.structure_digest, caps))
+        object.__setattr__(out, "_memo", {})
+        return out
+
+    # ---------------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict:
+        # Memoized derivatives are dropped: they are cheap to rebuild and
+        # (hop distances) potentially large.  The digests travel with the
+        # arrays so unpickling never re-hashes.
+        return {
+            "n_nodes": self.n_nodes,
+            "tails": np.asarray(self.tails),
+            "heads": np.asarray(self.heads),
+            "caps": np.asarray(self.caps),
+            "indptr": np.asarray(self.indptr),
+            "structure_digest": self.structure_digest,
+            "digest": self.digest,
+        }
+
+    def __setstate__(self, state: Dict) -> None:
+        for name in ("tails", "heads", "caps", "indptr"):
+            state[name].flags.writeable = False
+        for name in (
+            "n_nodes",
+            "tails",
+            "heads",
+            "caps",
+            "indptr",
+            "structure_digest",
+            "digest",
+        ):
+            object.__setattr__(self, name, state[name])
+        object.__setattr__(self, "_memo", {})
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_arcs(self) -> int:
+        """Number of directed arcs (parallel cables merged)."""
+        return int(self.tails.size)
+
+    def arc_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The canonical ``(tails, heads, caps)`` triple (read-only views)."""
+        return self.tails, self.heads, self.caps
+
+    def total_capacity(self) -> float:
+        """Sum of directed arc capacities."""
+        return float(self.caps.sum())
+
+    # --------------------------------------------------------------- adjacency
+    def adjacency(self) -> sp.csr_matrix:
+        """Capacity-weighted CSR adjacency (memoized; treat as read-only).
+
+        Identical in structure and values to
+        :func:`repro.utils.graphutils.to_csr_adjacency` of the source
+        graph: symmetric for ordinary topologies, entry = summed parallel
+        capacity.
+        """
+        adj = self._memo.get("adjacency")
+        if adj is None:
+            adj = self.csr_with(self.caps)
+            self._memo["adjacency"] = adj
+        return adj
+
+    def csr_with(self, data: np.ndarray) -> sp.csr_matrix:
+        """CSR matrix with this graph's structure and per-arc ``data``.
+
+        The arc list is already in CSR order, so this is a zero-sort
+        wrapper — the fast path for per-round length functions (MWU, the
+        sharded coordinator's metric bound).
+        """
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.shape != self.tails.shape:
+            raise ValueError("data must have one entry per arc")
+        return sp.csr_matrix(
+            (data, self.heads, self.indptr), shape=(self.n_nodes, self.n_nodes)
+        )
+
+    def degrees(self) -> np.ndarray:
+        """Capacity-weighted out-degree per node, as int64 (memoized).
+
+        Equals the networkx multiplicity-counting degree sequence for
+        compiled (integer-capacity) topologies.  Raises ``ValueError`` for
+        non-integral capacity vectors (e.g. a shard capacity slice) —
+        cable-count degrees are undefined there, and truncating would be
+        silently wrong.
+        """
+        deg = self._memo.get("degrees")
+        if deg is None:
+            out = np.zeros(self.n_nodes, dtype=np.float64)
+            np.add.at(out, self.tails, self.caps)
+            rounded = np.rint(out)
+            if not np.allclose(out, rounded, rtol=0.0, atol=1e-9):
+                raise ValueError(
+                    "degree sequence undefined for non-integral capacities "
+                    "(capacity-sliced view?)"
+                )
+            deg = rounded.astype(np.int64)
+            deg.flags.writeable = False
+            self._memo["degrees"] = deg
+        return deg
+
+    # ----------------------------------------------------------------- lookup
+    def arc_ids(self, tails: np.ndarray, heads: np.ndarray) -> np.ndarray:
+        """Vectorized arc index lookup: position of each ``(tail, head)``.
+
+        Raises ``KeyError`` if any queried arc is absent.  O(q log m) via
+        binary search on the canonical sort keys — replaces the per-call
+        Python dict the engines used to build.
+        """
+        tails = np.asarray(tails, dtype=np.int64)
+        heads = np.asarray(heads, dtype=np.int64)
+        want = tails * np.int64(self.n_nodes) + heads
+        have = self._sort_keys()
+        pos = np.searchsorted(have, want)
+        ok = (pos < have.size) & (have[np.minimum(pos, have.size - 1)] == want)
+        if not np.all(ok):
+            bad = int(np.flatnonzero(~ok)[0])
+            raise KeyError(f"no arc ({int(tails[bad])}, {int(heads[bad])})")
+        return pos
+
+    def _sort_keys(self) -> np.ndarray:
+        keys = self._memo.get("sort_keys")
+        if keys is None:
+            keys = self.tails * np.int64(self.n_nodes) + self.heads
+            keys.flags.writeable = False
+            self._memo["sort_keys"] = keys
+        return keys
+
+    # ------------------------------------------------------------- structure
+    def reverse_permutation(self) -> np.ndarray:
+        """Permutation mapping each arc to its opposite-direction partner.
+
+        Memoized.  Raises ``ValueError`` when some arc has no reverse
+        partner (the arc set is not direction-symmetric).
+        """
+        rev = self._memo.get("reverse")
+        if rev is None:
+            have = self._sort_keys()
+            want = self.heads * np.int64(self.n_nodes) + self.tails
+            pos = np.searchsorted(have, want)
+            ok = (pos < have.size) & (
+                have[np.minimum(pos, have.size - 1)] == want
+            )
+            if not np.all(ok):
+                self._memo["reverse"] = False
+                raise ValueError("arc set is not direction-symmetric")
+            rev = pos
+            rev.flags.writeable = False
+            self._memo["reverse"] = rev
+        elif rev is False:
+            raise ValueError("arc set is not direction-symmetric")
+        return rev
+
+    def transpose_safe(self) -> bool:
+        """True when every arc has an equal-capacity reverse partner.
+
+        Only then is solving the transposed demand equivalent (all flows
+        reversed).  Memoized — the dense engine consults this per solve.
+        """
+        safe = self._memo.get("transpose_safe")
+        if safe is None:
+            try:
+                rev = self.reverse_permutation()
+            except ValueError:
+                safe = False
+            else:
+                safe = bool(np.array_equal(self.caps, self.caps[rev]))
+            self._memo["transpose_safe"] = safe
+        return safe
+
+    # ---------------------------------------------------------------- metrics
+    def is_connected(self) -> bool:
+        """Undirected connectivity via sparse connected components (memoized)."""
+        conn = self._memo.get("connected")
+        if conn is None:
+            if self.n_nodes <= 1:
+                conn = True
+            else:
+                n_comp = csgraph.connected_components(
+                    self.adjacency(), directed=False, return_labels=False
+                )
+                conn = int(n_comp) == 1
+            self._memo["connected"] = conn
+        return conn
+
+    def hop_distances(self, sources: Optional[np.ndarray] = None) -> np.ndarray:
+        """Unweighted shortest-path hop distances (``inf`` if unreachable).
+
+        ``sources=None`` computes (and memoizes) the full all-pairs
+        matrix — the quantity the property, cut, and worst-case-TM code all
+        need, now paid once per topology instead of once per caller.  With
+        ``sources`` given, rows come from the memoized matrix when present,
+        else from a targeted BFS.
+        """
+        full = self._memo.get("hop_distances")
+        if sources is None:
+            if full is None:
+                full = csgraph.shortest_path(
+                    self.adjacency(), method="D", unweighted=True, directed=False
+                )
+                full.flags.writeable = False
+                self._memo["hop_distances"] = full
+            return full
+        sources = np.asarray(sources, dtype=np.int64)
+        if full is not None:
+            return full[sources]
+        return csgraph.shortest_path(
+            self.adjacency(),
+            method="D",
+            unweighted=True,
+            directed=False,
+            indices=sources,
+        )
+
+    # ------------------------------------------------------------------ dunder
+    def compile(self) -> "ArcGraph":
+        """An ArcGraph compiles to itself (duck-types ``Topology.compile``)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArcGraph(nodes={self.n_nodes}, arcs={self.n_arcs}, "
+            f"digest={self.digest[:12]})"
+        )
+
+
+def compile_graph(graph) -> ArcGraph:
+    """Compile a networkx (multi)graph into an :class:`ArcGraph`.
+
+    Uses the same canonical arc extraction as
+    :func:`repro.utils.graphutils.arcs_of` (CSR-merged parallel edges, both
+    directions, sorted by ``(tail, head)``), so the compiled arrays are
+    bit-identical to what ``Topology.arcs()`` has always returned.
+    """
+    # Imported here: graphutils pulls in networkx, which the array-only
+    # paths through this module never need.
+    from repro.utils.graphutils import arcs_of
+
+    tails, heads, caps = arcs_of(graph)
+    return ArcGraph(graph.number_of_nodes(), tails, heads, caps)
+
+
+def as_arcgraph(instance) -> ArcGraph:
+    """Normalize a :class:`Topology` or :class:`ArcGraph` to an ArcGraph."""
+    if isinstance(instance, ArcGraph):
+        return instance
+    compiled = getattr(instance, "compile", None)
+    if compiled is not None:
+        return compiled()
+    raise TypeError(
+        f"cannot compile {type(instance).__name__!r} into an ArcGraph"
+    )

@@ -29,7 +29,6 @@ from repro.cuts.spectral import sweep_order
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.synthetic import all_to_all
-from repro.utils.graphutils import all_pairs_distances
 from repro.utils.rng import SeedLike, ensure_rng
 
 #: Tolerance when deciding that two sparsities are "the same cut value".
@@ -100,7 +99,7 @@ def two_node_cuts(topology: Topology, tm: TrafficMatrix) -> Optional[CutResult]:
 
 def expanding_region_cuts(topology: Topology, tm: TrafficMatrix) -> Optional[CutResult]:
     """BFS-ball cuts: for every node, S = ball of radius k, k = 0..diameter."""
-    dist = all_pairs_distances(topology.graph)
+    dist = topology.compile().hop_distances()
     n = topology.n_switches
     finite = dist[np.isfinite(dist)]
     diameter = int(finite.max()) if finite.size else 0

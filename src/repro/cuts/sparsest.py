@@ -22,7 +22,6 @@ import numpy as np
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.synthetic import all_to_all
-from repro.utils.graphutils import to_csr_adjacency
 
 
 @dataclass
@@ -57,7 +56,7 @@ def cut_sparsity(
         raise ValueError(f"side must have shape ({n},)")
     if not side.any() or side.all():
         raise ValueError("cut side must be a proper nonempty subset")
-    adj = to_csr_adjacency(topology.graph)
+    adj = topology.compile().adjacency()
     s = side.astype(np.float64)
     capacity = float(s @ adj @ (1.0 - s))
     d_fwd = float(s @ tm.demand @ (1.0 - s))
@@ -73,7 +72,7 @@ def _sides_matrix_sparsity(
     topology: Topology, tm: TrafficMatrix, sides: np.ndarray
 ) -> np.ndarray:
     """Vectorized sparsity of many cuts: ``sides`` is (n_cuts, n) boolean."""
-    adj = to_csr_adjacency(topology.graph)
+    adj = topology.compile().adjacency()
     S = sides.astype(np.float64)
     comp = 1.0 - S
     caps = np.einsum("ij,ij->i", S @ adj, comp)

@@ -11,12 +11,11 @@ import numpy as np
 import scipy.linalg
 
 from repro.topologies.base import Topology
-from repro.utils.graphutils import to_csr_adjacency
 
 
 def normalized_laplacian(topology: Topology) -> np.ndarray:
     """Dense normalized Laplacian ``I - D^-1/2 A D^-1/2`` (capacity-weighted)."""
-    adj = to_csr_adjacency(topology.graph).toarray()
+    adj = topology.compile().adjacency().toarray()
     deg = adj.sum(axis=1)
     if np.any(deg == 0):
         raise ValueError("normalized Laplacian undefined for isolated nodes")

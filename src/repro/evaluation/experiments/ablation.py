@@ -1,13 +1,24 @@
 """Solver and TM ablations (DESIGN.md `ablation-lp`).
 
-Two design choices the paper's methodology section motivates:
+Design choices the paper's methodology section motivates, now measurable
+in one registry-driven artifact:
 
-* **Exact LP vs MWU approximation** — the MWU engine's feasible estimate
-  should land within its ε guarantee at a fraction of the LP's memory.
+* **HiGHS simplex vs IPM vs MWU** — every single-method backend in the
+  LP backend registry (:data:`repro.throughput.LP_BACKENDS`) solves the
+  same longest-matching instances, alongside the MWU engine's O(arcs)
+  approximation.  The exact backends must agree to solver accuracy; the
+  MWU estimate must land within its ε guarantee at a fraction of the
+  memory.  Adding a backend to the registry adds a row here — the sweep
+  enumerates the registry, it does not name solvers.
 * **Longest matching vs Kodialam TM** — the paper chose longest matching
   because it produces far fewer flows, shrinking the throughput LP (they
   report ~6x faster, 8x larger networks on the same memory).  We measure
   flows, LP variables, and solve time for both.
+
+Every solve is an ordinary :class:`~repro.batch.SolveRequest` through the
+ambient batch solver, so the ablation parallelizes over ``--workers`` and
+memoizes per (instance, engine, backend) like every other artifact.
+ROADMAP: run at ``--scale medium`` for the reportable comparison.
 """
 
 from __future__ import annotations
@@ -15,49 +26,89 @@ from __future__ import annotations
 from typing import List
 
 from repro.api import emit_row, experiment
+from repro.batch import SolveRequest, get_solver
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
-from repro.throughput.lp import solve_throughput_lp
-from repro.throughput.approx import solve_throughput_mwu
+from repro.throughput.backends import LP_BACKENDS
 from repro.topologies.hypercube import hypercube
 from repro.topologies.jellyfish import jellyfish
 from repro.traffic.worstcase import kodialam_tm, longest_matching
 from repro.utils.rng import stable_seed
 
+#: Relative agreement demanded of the exact backends (HiGHS default
+#: tolerances are ~1e-9; 1e-6 leaves headroom for IPM crossover noise).
+BACKEND_RTOL = 1e-6
+
+
+def _single_method_backends():
+    """The registry's concrete (single-method) backends, name-sorted.
+
+    ``auto`` is excluded: it is a fallback chain over these, not a third
+    solver — including it would double-count whichever method it picks.
+    """
+    return [
+        backend
+        for _, backend in sorted(LP_BACKENDS.items())
+        if len(backend.methods) == 1
+    ]
+
 
 @experiment(
     "ablation-lp",
-    title="Solver engines and near-worst-case TM cost",
+    title="LP backends, MWU, and near-worst-case TM cost",
     artifact="Ablation (DESIGN.md)",
     tags=("ablation",),
-    checks=("mwu_within_tolerance_below_lp", "lm_never_more_flows_than_kodialam"),
+    checks=(
+        "lp_backends_agree",
+        "mwu_within_tolerance_below_lp",
+        "lm_never_more_flows_than_kodialam",
+    ),
 )
 def ablation_solvers(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
-    """LP vs MWU accuracy/cost, and LM vs Kodialam LP size."""
+    """Registry-driven LP backend sweep, MWU accuracy, and LM vs Kodialam size."""
     scale = scale or scale_from_env()
+    solver = get_solver()
     rows: List[tuple] = []
     topos = [hypercube(4), jellyfish(24, 5, seed=stable_seed((seed, "j1")))]
     if scale.max_switches >= 64:
         topos.append(jellyfish(48, 6, seed=stable_seed((seed, "j2"))))
+    backends = _single_method_backends()
+    backends_ok = True
     mwu_ok = True
     lm_smaller = True
     for topo in topos:
         lm = longest_matching(topo)
         kd = kodialam_tm(topo)
-        lp_lm = solve_throughput_lp(topo, lm)
-        lp_kd = solve_throughput_lp(topo, kd)
-        mwu = solve_throughput_mwu(topo, lm, epsilon=0.05)
-        rows.append(
-            emit_row(
-                (
-                    topo.name,
-                    "LM",
-                    lm.n_flows,
-                    lp_lm.n_variables,
-                    lp_lm.value,
-                    lp_lm.solve_seconds,
+        requests = [
+            SolveRequest(
+                topo,
+                lm,
+                engine="lp",
+                params={"lp_backend": backend.name},
+                tag=backend.name,
+            )
+            for backend in backends
+        ]
+        requests.append(SolveRequest(topo, kd, engine="lp", tag="kodialam"))
+        requests.append(
+            SolveRequest(topo, lm, engine="mwu", params={"epsilon": 0.05}, tag="mwu")
+        )
+        outcomes = solver.solve_many(requests)
+        by_tag = {o.tag: o.require() for o in outcomes}
+        for backend in backends:
+            res = by_tag[backend.name]
+            rows.append(
+                emit_row(
+                    (
+                        topo.name,
+                        f"LM ({backend.name})",
+                        lm.n_flows,
+                        res.n_variables,
+                        res.value,
+                        res.solve_seconds,
+                    )
                 )
             )
-        )
+        lp_kd = by_tag["kodialam"]
         rows.append(
             emit_row(
                 (
@@ -70,27 +121,35 @@ def ablation_solvers(scale: ScaleConfig | None = None, seed: int = 0) -> Experim
                 )
             )
         )
+        mwu = by_tag["mwu"]
         rows.append(
             emit_row(
                 (topo.name, "LM (MWU)", lm.n_flows, mwu.n_variables, mwu.value, mwu.solve_seconds)
             )
         )
-        if not (0.8 * lp_lm.value <= mwu.value <= lp_lm.value * (1 + 1e-6)):
+        values = [by_tag[backend.name].value for backend in backends]
+        ref = values[0]
+        if any(abs(v - ref) > BACKEND_RTOL * max(abs(ref), 1.0) for v in values):
+            backends_ok = False
+        if not (0.8 * ref <= mwu.value <= ref * (1 + 1e-6)):
             mwu_ok = False
         if lm.n_flows > kd.n_flows:
             lm_smaller = False
     checks = {
+        "lp_backends_agree": backends_ok,
         "mwu_within_tolerance_below_lp": mwu_ok,
         "lm_never_more_flows_than_kodialam": lm_smaller,
     }
     return ExperimentResult(
         experiment_id="ablation-lp",
-        title="Ablation — solver engines and near-worst-case TM cost",
+        title="Ablation — LP backends, MWU, and near-worst-case TM cost",
         headers=["topology", "variant", "flows", "lp_variables", "throughput", "seconds"],
         rows=rows,
         checks=checks,
         notes=(
-            "Paper: longest matching's fewer flows let it scale to 1024 nodes "
-            "where the Kodialam TM stopped at 128 (32 GB, Gurobi)."
+            "Backends enumerate the LP backend registry (simplex vs interior "
+            "point on identical instances); the MWU row is the O(arcs) "
+            "engine.  Paper: longest matching's fewer flows let it scale to "
+            "1024 nodes where the Kodialam TM stopped at 128 (32 GB, Gurobi)."
         ),
     )

@@ -24,11 +24,10 @@ import numpy as np
 from repro.batch import SolveRequest, solve_values
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
-from repro.utils.graphutils import all_pairs_distances, arcs_of
 
 
 def _arc_index(topology: Topology) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict]:
-    tails, heads, caps = arcs_of(topology.graph)
+    tails, heads, caps = topology.compile().arc_arrays()
     index = {(int(u), int(v)): e for e, (u, v) in enumerate(zip(tails, heads))}
     return tails, heads, caps, index
 
@@ -43,7 +42,7 @@ def single_path_throughput(topology: Topology, tm: TrafficMatrix) -> float:
     n = topology.n_switches
     if tm.n_nodes != n:
         raise ValueError("TM / topology size mismatch")
-    dist = all_pairs_distances(topology.graph)
+    dist = topology.compile().hop_distances()
     tails, heads, caps, index = _arc_index(topology)
     neighbors = {v: sorted(topology.graph.neighbors(v)) for v in range(n)}
     load = np.zeros(caps.size)
@@ -73,7 +72,7 @@ def ecmp_throughput(topology: Topology, tm: TrafficMatrix) -> float:
     n = topology.n_switches
     if tm.n_nodes != n:
         raise ValueError("TM / topology size mismatch")
-    dist = all_pairs_distances(topology.graph)
+    dist = topology.compile().hop_distances()
     tails, heads, caps, index = _arc_index(topology)
     neighbors = {v: list(topology.graph.neighbors(v)) for v in range(n)}
     load = np.zeros(caps.size)

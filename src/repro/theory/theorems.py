@@ -27,7 +27,6 @@ from repro.topologies.base import Topology
 from repro.topologies.expander import clustered_random_graph, subdivided_expander
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.synthetic import all_to_all
-from repro.utils.graphutils import to_csr_adjacency
 from repro.utils.rng import SeedLike, stable_seed
 
 
@@ -59,7 +58,7 @@ def sparsest_cut_lp_relaxation(topology: Topology, tm: TrafficMatrix) -> float:
                 pair_index[(u, v)] = len(pair_index)
     n_var = len(pair_index)
 
-    adj = to_csr_adjacency(topology.graph).toarray()
+    adj = topology.compile().adjacency().toarray()
     c = np.zeros(n_var)
     for (u, v), j in pair_index.items():
         c[j] = adj[u, v]  # arc capacity per direction (0 for non-edges)

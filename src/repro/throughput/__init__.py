@@ -13,6 +13,14 @@ Engine semantics at a glance (the per-name contracts live in
 
 from repro.throughput.lp import ThroughputResult, solve_throughput_lp
 from repro.throughput.approx import solve_throughput_mwu
+from repro.throughput.backends import (
+    LP_BACKENDS,
+    LPBackend,
+    default_lp_backend,
+    register_lp_backend,
+    resolve_lp_backend,
+    use_lp_backend,
+)
 from repro.throughput.mcf import ENGINE_GUARANTEES, throughput
 from repro.throughput.bounds import (
     a2a_throughput,
@@ -46,9 +54,15 @@ from repro.throughput.llskr import (
 __all__ = [
     "CapacitySlicedTopology",
     "ENGINE_GUARANTEES",
+    "LP_BACKENDS",
+    "LPBackend",
     "ShardPolicy",
     "ShardProgress",
     "ThroughputResult",
+    "default_lp_backend",
+    "register_lp_backend",
+    "resolve_lp_backend",
+    "use_lp_backend",
     "auto_blocks",
     "dense_lp_size",
     "resolve_shard_params",

@@ -21,11 +21,12 @@ discussion motivates (DESIGN.md `ablation-lp`).
 from __future__ import annotations
 
 import time
+from typing import Union
 
 import numpy as np
-import scipy.sparse as sp
 from scipy.sparse import csgraph
 
+from repro.core.arcgraph import ArcGraph, as_arcgraph
 from repro.throughput.lp import ThroughputResult
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
@@ -44,7 +45,7 @@ def _extract_path(predecessors: np.ndarray, src: int, dst: int) -> np.ndarray:
 
 
 def solve_throughput_mwu(
-    topology: Topology,
+    topology: Union[Topology, ArcGraph],
     tm: TrafficMatrix,
     epsilon: float = 0.05,
     max_phases: int = 100_000,
@@ -72,14 +73,14 @@ def solve_throughput_mwu(
     """
     if not 0 < epsilon < 1:
         raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
-    n = topology.n_switches
+    ag = as_arcgraph(topology)
+    n = ag.n_nodes
     if tm.n_nodes != n:
         raise ValueError("TM / topology size mismatch")
     if tm.total_demand() <= 0:
         raise ValueError("traffic matrix has no demand")
-    tails, heads, caps = topology.arcs()
-    m = tails.size
-    arc_index = {(int(u), int(v)): e for e, (u, v) in enumerate(zip(tails, heads))}
+    tails, heads, caps = ag.arc_arrays()
+    m = ag.n_arcs
 
     delta = (1 + epsilon) * ((1 + epsilon) * m) ** (-1.0 / epsilon)
     lengths = np.full(m, delta, dtype=np.float64) / caps
@@ -95,7 +96,9 @@ def solve_throughput_mwu(
             dests = dest_lists[int(s)]
             remaining = tm.demand[s, dests].copy()
             while np.any(remaining > 0):
-                graph = sp.csr_matrix((lengths, (tails, heads)), shape=(n, n))
+                # Arc order is CSR-canonical, so the length function wraps
+                # into a CSR matrix with zero sorting or conversion cost.
+                graph = ag.csr_with(lengths)
                 dist, pred = csgraph.dijkstra(
                     graph,
                     directed=True,
@@ -107,10 +110,7 @@ def solve_throughput_mwu(
                     if d <= 0:
                         continue
                     path = _extract_path(pred, int(s), int(v))
-                    arc_ids = np.fromiter(
-                        (arc_index[(int(a), int(b))] for a, b in zip(path, path[1:])),
-                        dtype=np.int64,
-                    )
+                    arc_ids = ag.arc_ids(path[:-1], path[1:])
                     bottleneck = float(caps[arc_ids].min())
                     send = min(d, bottleneck)
                     load[arc_ids] += send

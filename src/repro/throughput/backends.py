@@ -1,0 +1,184 @@
+"""Pluggable LP backend registry for the dense throughput engine.
+
+The ``lp`` engine assembles one sparse LP and hands it to a *backend*: a
+named chain of ``scipy.optimize.linprog`` methods tried in order until one
+succeeds (or proves infeasibility).  Historically the chain was hard-coded
+— interior point with a simplex fallback; the registry makes it a named,
+selectable, cache-keyed knob so the HiGHS-simplex vs IPM vs MWU ablation
+(`ablation-lp`) is a registry sweep rather than a fork of the solver.
+
+Selection precedence for one solve: explicit ``lp_backend`` argument /
+``SolveRequest`` param > ambient :func:`use_lp_backend` context (the CLI's
+``--lp-backend`` and ``Session(lp_backend=...)`` land here) >
+``REPRO_LP_BACKEND`` environment variable > ``"auto"``.  The resolved
+backend name is frozen into every ``lp`` request's params at construction,
+so cache keys fully determine the solver configuration that produced a
+stored value.
+
+Registered backends:
+
+* ``auto`` — ``highs-ipm`` then ``highs`` fallback (the historical chain;
+  IPM is 10-20x faster than simplex on these degenerate block LPs, the
+  fallback catches its rare convergence failures).
+* ``highs`` — HiGHS's own choice, effectively dual simplex on these LPs.
+* ``highs-ds`` — dual simplex, forced.
+* ``highs-ipm`` — interior point only, no simplex fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LPBackend:
+    """One named way of solving the assembled throughput LP.
+
+    Attributes
+    ----------
+    name:
+        Registry key; what ``--lp-backend`` selects and cache keys record.
+    methods:
+        ``scipy.optimize.linprog`` method names tried in order.  A method
+        that succeeds — or returns status 2 (infeasible), which is an
+        *answer*, not a failure — ends the chain; anything else falls
+        through to the next method.
+    description:
+        One line for ``--help`` and the generated API.md table.
+    """
+
+    name: str
+    methods: Tuple[str, ...]
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ValueError(f"backend {self.name!r} declares no methods")
+
+
+#: The registry.  Mutated only via :func:`register_lp_backend`.
+LP_BACKENDS: Dict[str, LPBackend] = {}
+
+
+def register_lp_backend(backend: LPBackend) -> LPBackend:
+    """Add ``backend`` to the registry (idempotent for identical entries)."""
+    existing = LP_BACKENDS.get(backend.name)
+    if existing is not None and existing != backend:
+        raise ValueError(f"LP backend {backend.name!r} already registered")
+    LP_BACKENDS[backend.name] = backend
+    return backend
+
+
+register_lp_backend(
+    LPBackend(
+        "auto",
+        ("highs-ipm", "highs"),
+        "Interior point with simplex fallback (default; fastest on these "
+        "degenerate block LPs).",
+    )
+)
+register_lp_backend(
+    LPBackend(
+        "highs",
+        ("highs",),
+        "HiGHS's own method choice — effectively dual simplex on these LPs.",
+    )
+)
+register_lp_backend(
+    LPBackend("highs-ds", ("highs-ds",), "HiGHS dual simplex, forced.")
+)
+register_lp_backend(
+    LPBackend(
+        "highs-ipm",
+        ("highs-ipm",),
+        "HiGHS interior point only, no simplex fallback.",
+    )
+)
+
+#: Backend used when nothing selects one explicitly.
+DEFAULT_LP_BACKEND = "auto"
+
+_backend_var: ContextVar[Optional[str]] = ContextVar(
+    "repro_lp_backend", default=None
+)
+
+
+def default_lp_backend() -> str:
+    """The ambient backend name: context > ``REPRO_LP_BACKEND`` > auto."""
+    name = _backend_var.get()
+    if name is not None:
+        return name
+    return os.environ.get("REPRO_LP_BACKEND", DEFAULT_LP_BACKEND)
+
+
+def resolve_lp_backend(name: Optional[str] = None) -> LPBackend:
+    """The :class:`LPBackend` for ``name`` (``None`` = ambient default)."""
+    if name is None:
+        name = default_lp_backend()
+    try:
+        return LP_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {name!r}; expected one of "
+            f"{sorted(LP_BACKENDS)}"
+        ) from None
+
+
+@contextmanager
+def use_lp_backend(name: str) -> Iterator[str]:
+    """Install ``name`` as the ambient LP backend within the ``with`` block.
+
+    This is how ``repro <exp> --lp-backend highs-ipm`` reroutes every dense
+    solve of an invocation; requests that set ``params['lp_backend']``
+    explicitly (the ablation sweep) are unaffected.
+    """
+    resolve_lp_backend(name)  # fail fast on unknown names
+    token = _backend_var.set(name)
+    try:
+        yield name
+    finally:
+        _backend_var.reset(token)
+
+
+def normalize_lp_backend_param(params: Dict) -> Dict:
+    """Canonicalize the ``lp_backend`` entry of a solver-params dict.
+
+    The resolved backend is frozen into the params — and therefore into
+    the batch layer's content keys — so two runs under different ambient
+    backends never share a cache entry.  The default backend is *omitted*
+    rather than spelled out, giving every configuration exactly one
+    canonical form (and keeping default-backend keys identical however
+    the request was built).  Returns a new dict when a change is needed;
+    the input is never mutated.
+    """
+    resolved = resolve_lp_backend(params.get("lp_backend")).name
+    if resolved == DEFAULT_LP_BACKEND:
+        if "lp_backend" in params:
+            params = {k: v for k, v in params.items() if k != "lp_backend"}
+        return params
+    if params.get("lp_backend") != resolved:
+        params = {**params, "lp_backend": resolved}
+    return params
+
+
+def run_linprog_chain(backend: LPBackend, **linprog_kwargs):
+    """Run ``backend``'s method chain; returns ``(result, method_used)``.
+
+    Mirrors the historical hard-coded behavior for ``auto``: a method that
+    succeeds or proves infeasibility (status 2) ends the chain, any other
+    failure tries the next method; the last method's result is returned
+    regardless.
+    """
+    from scipy.optimize import linprog
+
+    res = None
+    method = backend.methods[0]
+    for method in backend.methods:
+        res = linprog(method=method, **linprog_kwargs)
+        if res.success or res.status == 2:
+            break
+    return res, method

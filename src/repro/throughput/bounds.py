@@ -17,7 +17,6 @@ from repro.throughput.lp import ThroughputResult, solve_throughput_lp
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.synthetic import all_to_all
-from repro.utils.graphutils import all_pairs_distances
 
 
 def a2a_throughput(topology: Topology) -> ThroughputResult:
@@ -52,7 +51,7 @@ def volumetric_upper_bound(topology: Topology, tm: TrafficMatrix) -> float:
     """
     if tm.n_nodes != topology.n_switches:
         raise ValueError("TM / topology size mismatch")
-    dist = all_pairs_distances(topology.graph)
+    dist = topology.compile().hop_distances()
     volume = float((tm.demand * np.where(np.isfinite(dist), dist, 0.0)).sum())
     if volume <= 0:
         raise ValueError("traffic matrix has no positive-distance demand")

@@ -104,9 +104,9 @@ def counting_estimator(
     This is an *estimator*, not a flow computation — exactly the
     methodological gap Fig. 15, Comparison 2 isolates.
     """
-    tails, heads, caps = topology.arcs()
-    arc_index = {(int(u), int(v)): e for e, (u, v) in enumerate(zip(tails, heads))}
-    m = tails.size
+    ag = topology.compile()
+    caps = ag.caps
+    m = ag.n_arcs
     n_servers = max(topology.n_servers, 1)
     usage = np.zeros(m, dtype=np.float64)
     flow_paths: List[List[np.ndarray]] = []
@@ -116,9 +116,8 @@ def counting_estimator(
         plist = path_sets[(int(s), int(d))]
         arcs_list = []
         for p in plist:
-            arcs = np.fromiter(
-                (arc_index[(a, b)] for a, b in zip(p, p[1:])), dtype=np.int64
-            )
+            nodes = np.asarray(p, dtype=np.int64)
+            arcs = ag.arc_ids(nodes[:-1], nodes[1:])
             usage[arcs] += float(w)
             arcs_list.append(arcs)
         flow_paths.append(arcs_list)

@@ -15,18 +15,25 @@ When the demand matrix has fewer distinct destinations than sources we solve
 the transposed instance instead — arcs always come in equal-capacity
 opposite pairs here, so reversing every flow maps feasible solutions onto
 feasible solutions with the same t.
+
+The engine consumes the compiled :class:`~repro.core.ArcGraph` form of the
+instance (a :class:`~repro.topologies.base.Topology` compiles on the way
+in), and delegates the actual solve to a named backend from the registry in
+:mod:`repro.throughput.backends` (``--lp-backend``; default ``auto`` =
+interior point with simplex fallback).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.optimize import linprog
 
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+from repro.throughput.backends import resolve_lp_backend, run_linprog_chain
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
@@ -49,7 +56,8 @@ class ThroughputResult:
         Optional (n_sources, n_arcs) array of per-source arc flows at the
         optimum (only when requested).
     meta:
-        Engine-specific extras.
+        Engine-specific extras (the ``lp`` engine records ``lp_backend``
+        and the linprog ``method`` that produced the value).
     """
 
     value: float
@@ -72,7 +80,8 @@ def _aggregated_demand(
     Returns (demand, sources, transposed): ``demand`` is oriented so that its
     nonzero *rows* (the commodity groups) are as few as possible.
     ``allow_transpose=False`` pins the row orientation — required when the
-    arc capacities are not direction-symmetric (see :func:`transpose_safe`).
+    arc capacities are not direction-symmetric (see
+    :meth:`repro.core.ArcGraph.transpose_safe`).
     """
     d = tm.demand
     rows_active = np.flatnonzero(d.sum(axis=1) > 0)
@@ -92,6 +101,9 @@ def transpose_safe(
     Standard topologies (undirected cables) always qualify; capacity-sliced
     shard views (:mod:`repro.throughput.sharded`) generally do *not* — their
     per-direction shares drift apart during coordination.
+
+    Free-array form kept for callers without a compiled instance; compiled
+    code paths use the memoized :meth:`repro.core.ArcGraph.transpose_safe`.
     """
     try:
         rev = _reverse_arc_permutation(tails, heads)
@@ -101,10 +113,11 @@ def transpose_safe(
 
 
 def solve_throughput_lp(
-    topology: Topology,
+    topology: Union[Topology, ArcGraph],
     tm: TrafficMatrix,
     want_flows: bool = False,
     want_duals: bool = False,
+    lp_backend: Optional[str] = None,
 ) -> ThroughputResult:
     """Exact throughput of ``tm`` on ``topology`` via HiGHS.
 
@@ -112,12 +125,16 @@ def solve_throughput_lp(
     the optimum of the maximum concurrent-flow LP to solver accuracy
     (HiGHS default tolerances, ~1e-9 relative).  Units follow the TM: with a
     hose-normalized matrix the value is the paper's throughput metric.
-    **Determinism** — the solve is a pure function of the instance: equal
-    ``(arcs, capacities, demands)`` produce bit-identical results across
-    runs and worker processes (HiGHS is deterministic single-threaded).
+    **Determinism** — the solve is a pure function of the instance *and the
+    backend*: equal ``(arcs, capacities, demands, lp_backend)`` produce
+    bit-identical results across runs and worker processes (HiGHS is
+    deterministic single-threaded).
 
     Parameters
     ----------
+    topology:
+        A :class:`Topology` (compiled on entry) or an already-compiled
+        :class:`~repro.core.ArcGraph` — the form pool workers receive.
     want_flows:
         Also return the (sources, arcs) optimal flow array.  Large —
         requests carrying it bypass the result cache.
@@ -128,25 +145,31 @@ def solve_throughput_lp(
         rows).  Both are small enough to cache; the sharded engine's
         capacity-coordination loop consumes them
         (:mod:`repro.throughput.sharded`).
+    lp_backend:
+        Registry name of the linprog method chain (see
+        :mod:`repro.throughput.backends`); ``None`` takes the ambient
+        default (normally ``"auto"``).
 
     Raises ``ValueError`` on shape mismatch or an all-zero TM.  A throughput
     of 0.0 is returned only when demand crosses a disconnection, which
     :meth:`Topology.validate` normally excludes.
     """
-    n = topology.n_switches
+    ag = as_arcgraph(topology)
+    n = ag.n_nodes
     if tm.n_nodes != n:
         raise ValueError(
             f"TM has {tm.n_nodes} nodes but topology has {n} switches"
         )
     if tm.total_demand() <= 0:
         raise ValueError("traffic matrix has no demand")
-    tails, heads, caps = topology.arcs()
-    m = tails.size
+    backend = resolve_lp_backend(lp_backend)
+    tails, heads, caps = ag.arc_arrays()
+    m = ag.n_arcs
     # The transposed-instance shortcut is an equivalence only for
     # direction-symmetric capacities; asymmetric views (shard capacity
     # slices) must solve the demand in its given orientation.
     demand, sources, transposed = _aggregated_demand(
-        tm, allow_transpose=transpose_safe(tails, heads, caps)
+        tm, allow_transpose=ag.transpose_safe()
     )
     k = sources.size
 
@@ -189,28 +212,19 @@ def solve_throughput_lp(
     c[n_x] = -1.0  # maximize t
 
     t0 = time.perf_counter()
-    # Interior point is 10-20x faster than simplex on these highly degenerate
-    # block-structured LPs (measured in this repo); fall back to simplex on
-    # the rare IPM convergence failure.
-    res = linprog(
-        c,
+    # The backend names the linprog method chain; "auto" is IPM with a
+    # simplex fallback on the rare IPM convergence failure (IPM is 10-20x
+    # faster than simplex on these highly degenerate block-structured LPs,
+    # measured in this repo).
+    res, method = run_linprog_chain(
+        backend,
+        c=c,
         A_ub=A_ub,
         b_ub=b_ub,
         A_eq=A_eq,
         b_eq=b_eq,
         bounds=(0, None),
-        method="highs-ipm",
     )
-    if not res.success and res.status not in (2,):
-        res = linprog(
-            c,
-            A_ub=A_ub,
-            b_ub=b_ub,
-            A_eq=A_eq,
-            b_eq=b_eq,
-            bounds=(0, None),
-            method="highs",
-        )
     elapsed = time.perf_counter() - t0
     if not res.success:
         if res.status == 2:  # infeasible: only possible at t = 0 edge cases
@@ -220,12 +234,14 @@ def solve_throughput_lp(
                 n_variables=n_var,
                 n_constraints=k * n + m,
                 solve_seconds=elapsed,
-                meta={"status": "infeasible"},
+                meta={"status": "infeasible", "lp_backend": backend.name},
             )
-        raise RuntimeError(f"throughput LP failed: {res.message}")
+        raise RuntimeError(
+            f"throughput LP failed (backend {backend.name!r}): {res.message}"
+        )
     flows = None
     rev = (
-        _reverse_arc_permutation(tails, heads)
+        ag.reverse_permutation()
         if transposed and (want_flows or want_duals)
         else None
     )
@@ -234,12 +250,15 @@ def solve_throughput_lp(
         if transposed:
             # Flows were computed on the reversed instance; map arc e (u->v)
             # back to its partner (v->u).  Arcs come in symmetric pairs, so
-            # the reverse arc exists; build the permutation once.
+            # the reverse arc exists; the permutation is memoized on the
+            # compiled core.
             flows = flows[:, rev]
     meta = {
         "sources": sources,
         "transposed": transposed,
         "objective": float(-res.fun),
+        "lp_backend": backend.name,
+        "method": method,
     }
     if want_duals:
         usage = res.x[:n_x].reshape(k, m).sum(axis=0)

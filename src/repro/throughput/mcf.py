@@ -34,9 +34,11 @@ Engine = Literal["lp", "mwu", "sharded", "auto"]
 #: This is the source of record API.md renders (``repro list --api-markdown``).
 ENGINE_GUARANTEES: Dict[str, str] = {
     "lp": (
-        "Exact maximum concurrent-flow optimum via HiGHS (interior point "
-        "with simplex fallback), to ~1e-9 relative solver accuracy; "
-        "deterministic; memory O(sources x arcs)."
+        "Exact maximum concurrent-flow optimum via HiGHS through a "
+        "registered backend (default 'auto': interior point with simplex "
+        "fallback — see repro.throughput.backends), to ~1e-9 relative "
+        "solver accuracy; deterministic per backend; memory "
+        "O(sources x arcs)."
     ),
     "mwu": (
         "Garg–Könemann multiplicative-weights approximation: a certified "

@@ -104,12 +104,12 @@ def solve_throughput_on_paths(
 
     Every demand pair must appear in ``path_sets`` with at least one path.
     """
-    n = topology.n_switches
+    ag = topology.compile()
+    n = ag.n_nodes
     if tm.n_nodes != n:
         raise ValueError("TM / topology size mismatch")
-    tails, heads, caps = topology.arcs()
-    arc_index = {(int(u), int(v)): e for e, (u, v) in enumerate(zip(tails, heads))}
-    m = tails.size
+    caps = ag.caps
+    m = ag.n_arcs
 
     srcs, dsts, weights = tm.pairs()
     n_pairs = srcs.size
@@ -125,9 +125,8 @@ def solve_throughput_on_paths(
         if not plist:
             raise ValueError(f"no path supplied for demand pair {key}")
         for p in plist:
-            arcs = np.fromiter(
-                (arc_index[(a, b)] for a, b in zip(p, p[1:])), dtype=np.int64
-            )
+            nodes = np.asarray(p, dtype=np.int64)
+            arcs = ag.arc_ids(nodes[:-1], nodes[1:])
             path_pair.append(pi)
             path_arcs.append(arcs)
     n_paths = len(path_arcs)

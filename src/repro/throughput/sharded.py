@@ -59,9 +59,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 from scipy.sparse import csgraph
 
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+from repro.throughput.backends import (
+    normalize_lp_backend_param,
+    resolve_lp_backend,
+)
 from repro.throughput.lp import ThroughputResult
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
@@ -250,7 +254,7 @@ def select_engine(
 
 def _instance_dims(topology: Topology, tm: TrafficMatrix) -> Tuple[int, int]:
     """(aggregated commodity-group count k, arc count m) of one instance."""
-    m = int(topology.arcs()[0].size)
+    m = as_arcgraph(topology).n_arcs
     k = max(
         1,
         min(
@@ -285,10 +289,11 @@ def resolve_shard_params(
     """Concrete, key-complete parameter dict for one sharded solve.
 
     Sharding knobs change the computed value (block count, tolerance,
-    round budget, fallback eligibility), so a cacheable sharded request
-    must carry them *explicitly* — two runs under different ambient
-    policies must not share a cache entry.  Fills every unset knob from
-    the ambient :class:`ShardPolicy` deterministically.
+    round budget, fallback eligibility, and the LP backend the block
+    solves run on), so a cacheable sharded request must carry them
+    *explicitly* — two runs under different ambient policies must not
+    share a cache entry.  Fills every unset knob from the ambient
+    :class:`ShardPolicy` (and the ambient LP backend) deterministically.
     """
     policy = current_shard_policy()
     out = {k: v for k, v in (params or {}).items() if v is not None}
@@ -305,7 +310,10 @@ def resolve_shard_params(
             out["exact_fallback"] = k * m <= policy.threshold
     out.setdefault("rtol", DEFAULT_RTOL)
     out.setdefault("max_rounds", DEFAULT_MAX_ROUNDS)
-    return out
+    # Same canonical form as the lp engine's requests: the default backend
+    # is omitted, a non-default one is frozen in (and inherited by the
+    # block subproblem and fallback requests).
+    return normalize_lp_backend_param(out)
 
 
 # --------------------------------------------------------------- shard view
@@ -313,47 +321,60 @@ def resolve_shard_params(
 class CapacitySlicedTopology(Topology):
     """A topology view whose directed-arc capacities are a share vector.
 
-    The switch graph and servers are the parent's (shared references); only
-    :meth:`arcs` differs, reporting the block's capacity share.  Because
-    :func:`repro.batch.jobs.instance_key` hashes exactly what ``arcs()``
-    returns, each share vector content-addresses its own cache entry, and
-    the instance pickles to pool workers like any plain topology.
+    The switch graph and servers are the parent's (shared references), and
+    the compiled core is a cheap *capacity overlay* on the parent's
+    compiled :class:`~repro.core.ArcGraph`
+    (:meth:`~repro.core.ArcGraph.with_caps`): arc structure, CSR offsets,
+    and the 32-byte structure digest are shared, only the share vector is
+    new.  Because :func:`repro.batch.jobs.instance_key` keys on the
+    compiled digest, each share vector content-addresses its own cache
+    entry, and the instance ships to pool workers as compact arrays.
     """
 
     arc_tails: np.ndarray = field(default=None, repr=False)
     arc_heads: np.ndarray = field(default=None, repr=False)
     arc_caps: np.ndarray = field(default=None, repr=False)
 
+    def compile(self) -> ArcGraph:
+        """The sliced core (built from the arc arrays when not provided)."""
+        if self._compiled is None:
+            self._compiled = ArcGraph(
+                self.graph.number_of_nodes(),
+                self.arc_tails,
+                self.arc_heads,
+                self.arc_caps,
+            )
+        return self._compiled
+
     def arcs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The sliced directed arc view ``(tails, heads, share capacities)``."""
-        return self.arc_tails, self.arc_heads, self.arc_caps
+        return self.compile().arc_arrays()
 
 
 def _sliced(
     parent: Topology,
-    tails: np.ndarray,
-    heads: np.ndarray,
+    core: ArcGraph,
     share: np.ndarray,
     block: int,
 ) -> CapacitySlicedTopology:
+    overlay = core.with_caps(share)
     return CapacitySlicedTopology(
         name=f"{parent.name}#shard{block}",
         graph=parent.graph,
         servers=parent.servers,
         family=parent.family,
         params=parent.params,
-        arc_tails=tails,
-        arc_heads=heads,
-        arc_caps=share,
+        _compiled=overlay,
+        arc_tails=overlay.tails,
+        arc_heads=overlay.heads,
+        arc_caps=overlay.caps,
     )
 
 
 # ------------------------------------------------------------- upper bound
 def _metric_upper_bound(
     lengths: np.ndarray,
-    tails: np.ndarray,
-    heads: np.ndarray,
-    caps: np.ndarray,
+    core: ArcGraph,
     demand: np.ndarray,
     sources: np.ndarray,
 ) -> float:
@@ -366,7 +387,7 @@ def _metric_upper_bound(
     special case that makes this "the cut bound").  Returns ``inf`` when
     ``l`` carries no information (zero everywhere).
     """
-    n = demand.shape[0]
+    caps = core.caps
     lengths = np.maximum(np.asarray(lengths, dtype=np.float64), 0.0)
     top = float(lengths.max(initial=0.0))
     if top <= 0.0:
@@ -375,7 +396,7 @@ def _metric_upper_bound(
     # across versions, and any positive perturbation still yields a valid
     # (marginally weaker) certified bound.
     lengths = lengths + top * 1e-12
-    graph = sp.csr_matrix((lengths, (tails, heads)), shape=(n, n))
+    graph = core.csr_with(lengths)
     dist = csgraph.dijkstra(graph, directed=True, indices=sources)
     block = demand[sources]
     reachable = np.isfinite(dist)
@@ -396,6 +417,7 @@ def solve_throughput_sharded(
     rtol: Optional[float] = None,
     max_rounds: Optional[int] = None,
     exact_fallback: Optional[bool] = None,
+    lp_backend: Optional[str] = None,
     solver: Optional[Any] = None,
 ) -> ThroughputResult:
     """Throughput of ``tm`` on ``topology`` by source-block decomposition.
@@ -426,6 +448,10 @@ def solve_throughput_sharded(
         Default: allowed iff the dense LP fits under the policy threshold —
         above it, bounded memory wins and the certified bounds are the
         result.
+    lp_backend:
+        LP backend name (:mod:`repro.throughput.backends`) for the block
+        subproblems and the exact fallback; ``None`` takes the ambient
+        default.  Frozen into the request params, hence into cache keys.
     solver:
         The :class:`~repro.batch.solver.BatchSolver` to fan block solves
         through.  ``None`` (the standalone path) uses the ambient solver,
@@ -445,6 +471,11 @@ def solve_throughput_sharded(
     from repro.batch.context import get_solver
     from repro.batch.jobs import SolveRequest
 
+    # Resolve the backend once, from the argument (request dispatch always
+    # passes one explicitly) falling back to the ambient — and never
+    # re-consult the ambient afterwards, so block solves and the fallback
+    # run exactly the configuration this solve is keyed under.
+    lp_backend = resolve_lp_backend(lp_backend).name
     params = resolve_shard_params(
         topology,
         tm,
@@ -453,6 +484,7 @@ def solve_throughput_sharded(
             "rtol": rtol,
             "max_rounds": max_rounds,
             "exact_fallback": exact_fallback,
+            "lp_backend": lp_backend,
         },
     )
     n_blocks = int(params["blocks"])
@@ -462,19 +494,17 @@ def solve_throughput_sharded(
     solver = solver if solver is not None else get_solver()
 
     t_start = time.perf_counter()
-    tails, heads, caps = topology.arcs()
-    caps = caps.astype(np.float64)
-    m = tails.size
+    core = as_arcgraph(topology)
+    caps = core.caps
+    m = core.n_arcs
 
     # Work on whichever orientation has fewer commodity groups, mirroring
     # the dense engine's aggregation — valid only while every arc has an
     # equal-capacity opposite partner (always true for the undirected
-    # parent topologies; checked rather than assumed).
-    from repro.throughput.lp import transpose_safe
-
+    # parent topologies; checked on the memoized core rather than assumed).
     demand = tm.demand
     transposed = False
-    if transpose_safe(tails, heads, caps) and np.count_nonzero(
+    if core.transpose_safe() and np.count_nonzero(
         demand.sum(axis=0) > 0
     ) < np.count_nonzero(demand.sum(axis=1) > 0):
         demand = demand.T.copy()
@@ -514,15 +544,22 @@ def solve_throughput_sharded(
                 "fallback": fallback,
                 "transposed": transposed,
                 "rtol": rtol,
+                "lp_backend": lp_backend,
             },
         )
 
     def _dense(rounds: int, shard_solves: int, lower: float, upper: float,
                fallback: bool) -> ThroughputResult:
         # The dense request carries no shard params, so its cache key is the
-        # plain "lp" instance key: a fallback warms (and is warmed by) runs
-        # that used the dense engine directly.
-        outcome = solver.solve_many([SolveRequest(topology, tm, engine="lp")])[0]
+        # plain "lp" instance key (same frozen backend): a fallback warms
+        # (and is warmed by) runs that used the dense engine directly.
+        outcome = solver.solve_many(
+            [
+                SolveRequest(
+                    topology, tm, engine="lp", params={"lp_backend": lp_backend}
+                )
+            ]
+        )[0]
         result = outcome.require()
         return _finish(
             result.value,
@@ -552,7 +589,7 @@ def solve_throughput_sharded(
     fractions = np.tile(weights[:, None], (1, m))  # (blocks, arcs) shares
     usage_avg: Optional[np.ndarray] = None
     best_lb = 0.0
-    best_ub = _metric_upper_bound(np.ones(m), tails, heads, caps, demand, sources)
+    best_ub = _metric_upper_bound(np.ones(m), core, demand, sources)
     max_vars = 0
     max_cons = 0
     shard_solves = 0
@@ -565,10 +602,10 @@ def solve_throughput_sharded(
         share_caps = fractions * caps[None, :]
         requests = [
             SolveRequest(
-                _sliced(topology, tails, heads, share_caps[b], b),
+                _sliced(topology, core, share_caps[b], b),
                 block_tms[b],
                 engine="lp",
-                params={"want_duals": True},
+                params={"want_duals": True, "lp_backend": lp_backend},
                 tag=f"shard:{b}/{n_blocks}:r{rnd}",
             )
             for b in range(n_blocks)
@@ -612,7 +649,7 @@ def solve_throughput_sharded(
         ):
             best_ub = min(
                 best_ub,
-                _metric_upper_bound(lengths, tails, heads, caps, demand, sources),
+                _metric_upper_bound(lengths, core, demand, sources),
             )
         if best_ub <= 0.0 or t_blocks.max() <= 0.0:
             # Certified zero: either the metric bound proves throughput 0

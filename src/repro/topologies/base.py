@@ -12,23 +12,25 @@ add capacity.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
-from repro.utils.graphutils import (
-    all_pairs_distances,
-    arcs_of,
-    degree_sequence,
-    is_connected,
-)
+from repro.core.arcgraph import ArcGraph, compile_graph
 
 
 @dataclass
 class Topology:
     """A network topology: switch graph + server placement + provenance.
+
+    Topologies are immutable once constructed (mutating ``graph`` after
+    construction is unsupported): structural views are served by a
+    compiled :class:`~repro.core.ArcGraph` built once by :meth:`compile`
+    and cached, so arc extraction, connectivity, distances, and the batch
+    layer's content keys never re-walk the networkx graph.
 
     Attributes
     ----------
@@ -50,6 +52,12 @@ class Topology:
     servers: np.ndarray
     family: str = "custom"
     params: Dict[str, Any] = field(default_factory=dict)
+    _compiled: Optional[ArcGraph] = field(
+        default=None, repr=False, compare=False
+    )
+    _iter_fingerprint: Optional[bytes] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.servers = np.asarray(self.servers, dtype=np.int64)
@@ -63,6 +71,45 @@ class Topology:
         nodes = set(self.graph.nodes())
         if nodes != set(range(n)):
             raise ValueError("graph nodes must be exactly 0..n-1")
+
+    # ------------------------------------------------------------------ core
+    def compile(self) -> ArcGraph:
+        """The compiled :class:`~repro.core.ArcGraph` of this topology.
+
+        Built on first use and cached — repeated calls return the identical
+        object, so every consumer downstream (engines, cuts, properties,
+        batch keys) shares one canonical arc list, one CSR adjacency, and
+        one precomputed content digest.
+        """
+        if self._compiled is None:
+            self._compiled = compile_graph(self.graph)
+        return self._compiled
+
+    def iteration_fingerprint(self) -> bytes:
+        """Digest of the graph's node/edge *iteration* order (cached).
+
+        Canonical arc sorting deliberately erases construction order, but
+        the ``paths`` engine's BFS/Yen enumeration tie-breaks on adjacency
+        insertion order — this fingerprint is the extra key component that
+        keeps its cache entries sound (see
+        :func:`repro.batch.jobs.instance_key`).  Computed from flat int64
+        arrays of the as-built node and edge sequences, no string building.
+        """
+        if self._iter_fingerprint is None:
+            h = hashlib.sha256()
+            g = self.graph
+            nodes = np.fromiter(
+                g.nodes(), dtype=np.int64, count=g.number_of_nodes()
+            )
+            h.update(b"nodes\x00" + nodes.tobytes())
+            edges = np.fromiter(
+                (x for uv in g.edges() for x in uv),
+                dtype=np.int64,
+                count=2 * g.number_of_edges(),
+            )
+            h.update(b"edges\x00" + edges.tobytes())
+            self._iter_fingerprint = h.digest()
+        return self._iter_fingerprint
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -88,11 +135,11 @@ class Topology:
     # ------------------------------------------------------------- structure
     def degree_sequence(self) -> np.ndarray:
         """Switch degrees counting cable multiplicity, indexed by node."""
-        return degree_sequence(self.graph)
+        return self.compile().degrees()
 
     def arcs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Directed arc view ``(tails, heads, capacities)``."""
-        return arcs_of(self.graph)
+        """Directed arc view ``(tails, heads, capacities)`` (compiled)."""
+        return self.compile().arc_arrays()
 
     def total_capacity(self) -> float:
         """Sum of directed arc capacities (2 x cables)."""
@@ -100,7 +147,7 @@ class Topology:
 
     def is_connected(self) -> bool:
         """True when the switch graph is connected."""
-        return is_connected(self.graph)
+        return self.compile().is_connected()
 
     def equipment(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
         """Equipment signature: per-node (degree, servers), degree-sorted.
@@ -126,7 +173,7 @@ class Topology:
         hosts = self.server_nodes
         if hosts.size == 0:
             raise ValueError("topology has no servers")
-        dist = all_pairs_distances(self.graph)
+        dist = self.compile().hop_distances()
         w = self.servers.astype(np.float64)
         total_servers = w.sum()
         if total_servers < 2:
@@ -162,6 +209,10 @@ class Topology:
             servers=np.full(n, servers_per_node, dtype=np.int64),
             family=self.family,
             params={**self.params, "servers_per_node": servers_per_node},
+            # The graph is shared, so the compiled core (and the iteration
+            # fingerprint) carry over — arcs do not depend on servers.
+            _compiled=self._compiled,
+            _iter_fingerprint=self._iter_fingerprint,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.cuts.spectral import normalized_laplacian
 from repro.topologies.base import Topology
-from repro.utils.graphutils import all_pairs_distances
 
 
 @dataclass
@@ -56,8 +55,12 @@ def spectral_gap(topology: Topology) -> float:
 
 
 def analyze(topology: Topology) -> TopologyProperties:
-    """Compute the full property summary (O(n^2) + one eigendecomposition)."""
-    dist = all_pairs_distances(topology.graph)
+    """Compute the full property summary (O(n^2) + one eigendecomposition).
+
+    Runs on the compiled core: distances come from the memoized CSR hop
+    matrix, degrees from the compiled capacity-weighted degree vector.
+    """
+    dist = topology.compile().hop_distances()
     n = topology.n_switches
     off_diag = dist[~np.eye(n, dtype=bool)]
     if np.any(np.isinf(off_diag)):

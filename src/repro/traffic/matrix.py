@@ -12,8 +12,9 @@ at most 1 unit, so node u's row sum may not exceed ``servers[u]``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +42,7 @@ class TrafficMatrix:
     demand: np.ndarray
     kind: str = "custom"
     meta: Dict[str, Any] = field(default_factory=dict)
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.demand = np.asarray(self.demand, dtype=np.float64)
@@ -74,6 +76,28 @@ class TrafficMatrix:
 
     def total_demand(self) -> float:
         return float(self.demand.sum())
+
+    def content_digest(self) -> str:
+        """SHA-256 digest of the numerical demand content (cached).
+
+        Covers the node count and the nonzero ``(src, dst, demand)``
+        triples in row-major order — exactly what the solvers consume, so
+        two matrices share a digest iff they describe the same instance
+        (``kind`` and ``meta`` provenance excluded).  Computed once; the
+        batch layer's :func:`repro.batch.jobs.instance_key` builds on it.
+        Mutating ``demand`` after first use is unsupported (matrices are
+        immutable by convention — transforms return copies).
+        """
+        if self._digest is None:
+            src, dst, weights = self.pairs()
+            h = hashlib.sha256()
+            h.update(b"repro-tm-v1")
+            h.update(b"\x00n\x00" + str(self.n_nodes).encode())
+            h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # ----------------------------------------------------------- hose algebra
     def hose_utilization(self, servers: np.ndarray) -> float:
@@ -113,6 +137,38 @@ class TrafficMatrix:
             kind=self.kind,
             meta={**self.meta, "hose_normalized": True},
         )
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle sparse demand as nonzero triples (exact round trip).
+
+        Sweep TMs are mostly matchings — O(n) nonzeros in an O(n^2) dense
+        block — and every pool-worker payload carries one, so the wire
+        form switches to ``(n, src, dst, weights)`` whenever the triples
+        are smaller.  Values are the same float64 bits, so the rebuilt
+        matrix is numerically identical and keeps the cached digest.
+        """
+        state = dict(self.__dict__)
+        d = self.demand
+        if d.ndim == 2 and np.count_nonzero(d) * 3 < d.size:
+            src, dst = np.nonzero(d)
+            state["demand"] = (
+                "coo-v1",
+                d.shape[0],
+                src.astype(np.int64),
+                dst.astype(np.int64),
+                np.ascontiguousarray(d[src, dst], dtype=np.float64),
+            )
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        demand = state.get("demand")
+        if isinstance(demand, tuple) and demand and demand[0] == "coo-v1":
+            _, n, src, dst, weights = demand
+            dense = np.zeros((n, n), dtype=np.float64)
+            dense[src, dst] = weights
+            state = {**state, "demand": dense}
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------ transforms
     def scaled(self, factor: float) -> "TrafficMatrix":

@@ -19,7 +19,6 @@ from scipy.optimize import linprog
 
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
-from repro.utils.graphutils import all_pairs_distances
 from repro.utils.matching import max_weight_assignment
 from repro.utils.rng import SeedLike
 
@@ -31,7 +30,7 @@ def _host_distance_matrix(topology: Topology) -> tuple[np.ndarray, np.ndarray]:
     distance between their switches (server NIC hops are a constant offset
     that cannot change any matching).
     """
-    dist = all_pairs_distances(topology.graph)
+    dist = topology.compile().hop_distances()
     host_nodes = np.repeat(np.arange(topology.n_switches), topology.servers)
     return dist[np.ix_(host_nodes, host_nodes)], host_nodes
 
@@ -99,7 +98,7 @@ def kodialam_tm(topology: Topology) -> TrafficMatrix:
     hypercubes and fat trees); interior ties may yield fractional, many-flow
     solutions — the behavior the paper's memory comparison highlights.
     """
-    dist = all_pairs_distances(topology.graph)
+    dist = topology.compile().hop_distances()
     if np.any(np.isinf(dist)):
         raise ValueError("topology is disconnected")
     n = topology.n_switches

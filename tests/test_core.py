@@ -1,0 +1,376 @@
+"""Tests for the compiled instance core (repro.core) and its integration.
+
+Covers the contract the refactor rests on: compilation is canonical
+(build order never changes the digest, relabeling always does), cached
+(second compile is the identical object), pickleable, and the batch
+layer's keys and worker payloads consume the compiled form — no networkx
+traversal, no full-array re-hash, no graph in a pool payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import networkx as nx
+import numpy as np
+import pytest
+
+import repro.core.arcgraph as arcgraph_mod
+from repro.batch import BatchSolver, SolveRequest, instance_key
+from repro.batch.solver import _solve_captured
+from repro.core import ArcGraph, as_arcgraph, compile_graph
+from repro.throughput import throughput
+from repro.topologies import hypercube, jellyfish, make_topology
+from repro.topologies.base import Topology
+from repro.traffic import all_to_all, longest_matching
+
+
+def _graph_from_edges(edge_order, n=None):
+    g = nx.Graph()
+    if n is not None:
+        g.add_nodes_from(range(n))
+    g.add_edges_from(edge_order)
+    return g
+
+
+class TestCompilationInvariance:
+    def test_edge_insertion_order_irrelevant(self):
+        # Same canonical arc set, different build order => same digest.
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        a = compile_graph(_graph_from_edges(edges, n=4))
+        b = compile_graph(_graph_from_edges(list(reversed(edges)), n=4))
+        assert a.digest == b.digest
+        assert np.array_equal(a.tails, b.tails)
+        assert np.array_equal(a.heads, b.heads)
+        assert np.array_equal(a.caps, b.caps)
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_isomorphic_relabeling_same_canonical_arcs_same_digest(self, seed):
+        # Relabel a graph and relabel it back: the canonical arc set is
+        # unchanged, so the digest must be too — regardless of the node
+        # and adjacency iteration orders the round trip scrambled.
+        g = nx.random_regular_graph(3, 10, seed=seed)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(10)
+        scrambled = nx.relabel_nodes(g, {i: int(perm[i]) for i in range(10)})
+        back = nx.relabel_nodes(
+            scrambled, {int(perm[i]): i for i in range(10)}
+        )
+        assert compile_graph(g).digest == compile_graph(back).digest
+
+    def test_true_relabeling_changes_digest(self):
+        path = _graph_from_edges([(0, 1), (1, 2), (2, 3)])
+        permuted = _graph_from_edges([(0, 2), (2, 1), (1, 3)])
+        assert compile_graph(path).digest != compile_graph(permuted).digest
+
+    def test_capacity_changes_digest(self):
+        core = compile_graph(_graph_from_edges([(0, 1), (1, 2), (2, 0)]))
+        assert core.with_caps(core.caps * 2.0).digest != core.digest
+
+    def test_unsorted_arrays_canonicalized(self):
+        core = compile_graph(_graph_from_edges([(0, 1), (1, 2)]))
+        order = np.argsort(-np.arange(core.n_arcs))  # reversed order
+        rebuilt = ArcGraph(
+            core.n_nodes, core.tails[order], core.heads[order], core.caps[order]
+        )
+        assert rebuilt.digest == core.digest
+
+    def test_with_caps_matches_fresh_compile_digest(self):
+        # The overlay's two-stage digest must equal a from-scratch compile
+        # of the same content — shard cache entries depend on it.
+        topo = jellyfish(12, 3, seed=5)
+        core = topo.compile()
+        rng = np.random.default_rng(0)
+        share = np.asarray(core.caps) * rng.uniform(0.1, 1.0, core.n_arcs)
+        overlay = core.with_caps(share)
+        fresh = ArcGraph(core.n_nodes, core.tails, core.heads, share)
+        assert overlay.digest == fresh.digest
+        assert overlay.structure_digest == core.structure_digest
+
+    def test_multigraph_parallel_edges_merge(self):
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(3))
+        g.add_edges_from([(0, 1), (0, 1), (1, 2)])
+        core = compile_graph(g)
+        topo_caps = dict(zip(zip(core.tails.tolist(), core.heads.tolist()), core.caps))
+        assert topo_caps[(0, 1)] == 2.0 and topo_caps[(1, 2)] == 1.0
+
+
+class TestArcGraphBehavior:
+    def test_pickle_round_trip(self):
+        core = hypercube(3).compile()
+        clone = pickle.loads(pickle.dumps(core))
+        assert clone.digest == core.digest
+        assert clone.structure_digest == core.structure_digest
+        assert np.array_equal(clone.tails, core.tails)
+        assert np.array_equal(clone.indptr, core.indptr)
+        # Derived structure still works (memo was dropped, rebuilds).
+        assert clone.transpose_safe()
+        assert clone.is_connected()
+
+    def test_compile_is_cached_identity(self):
+        topo = hypercube(3)
+        assert topo.compile() is topo.compile()
+
+    def test_with_servers_shares_compiled_core(self):
+        topo = hypercube(3)
+        core = topo.compile()
+        assert topo.with_servers(4).compile() is core
+
+    def test_immutability(self):
+        core = hypercube(2).compile()
+        with pytest.raises(ValueError):
+            core.caps[0] = 7.0
+        with pytest.raises(AttributeError):
+            core.digest = "nope"
+
+    def test_degrees_match_and_reject_fractional_caps(self):
+        topo = jellyfish(12, 3, seed=8)
+        core = topo.compile()
+        from repro.utils.graphutils import degree_sequence
+
+        assert np.array_equal(core.degrees(), degree_sequence(topo.graph))
+        sliced = core.with_caps(np.asarray(core.caps) * 0.3)
+        with pytest.raises(ValueError, match="non-integral"):
+            sliced.degrees()
+
+    def test_arc_ids_lookup_and_missing(self):
+        core = compile_graph(_graph_from_edges([(0, 1), (1, 2)]))
+        ids = core.arc_ids([0, 2], [1, 1])
+        tails, heads, _ = core.arc_arrays()
+        assert tails[ids[0]] == 0 and heads[ids[0]] == 1
+        assert tails[ids[1]] == 2 and heads[ids[1]] == 1
+        with pytest.raises(KeyError):
+            core.arc_ids([0], [2])
+
+    def test_reverse_permutation_and_asymmetry(self):
+        core = hypercube(3).compile()
+        rev = core.reverse_permutation()
+        assert np.array_equal(core.tails[rev], core.heads)
+        assert core.transpose_safe()
+        lopsided = core.with_caps(np.arange(1.0, core.n_arcs + 1.0))
+        assert not lopsided.transpose_safe()
+
+    def test_adjacency_and_distances_match_graphutils(self):
+        from repro.utils.graphutils import all_pairs_distances, to_csr_adjacency
+
+        topo = jellyfish(14, 3, seed=2)
+        core = topo.compile()
+        assert (core.adjacency() != to_csr_adjacency(topo.graph)).nnz == 0
+        assert np.array_equal(
+            core.hop_distances(), all_pairs_distances(topo.graph)
+        )
+        assert np.array_equal(
+            core.hop_distances(np.array([0, 3])),
+            all_pairs_distances(topo.graph)[[0, 3]],
+        )
+
+    def test_as_arcgraph_forms(self):
+        topo = hypercube(2)
+        core = topo.compile()
+        assert as_arcgraph(topo) is core
+        assert as_arcgraph(core) is core
+        with pytest.raises(TypeError):
+            as_arcgraph(42)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            ArcGraph(2, [0], [2], [1.0])  # endpoint out of range
+        with pytest.raises(ValueError):
+            ArcGraph(2, [0], [0], [1.0])  # self loop
+        with pytest.raises(ValueError):
+            ArcGraph(3, [0, 0], [1, 1], [1.0, 1.0])  # duplicate arc
+
+
+class TestInstanceKeyUsesCompiledDigests:
+    def test_no_graph_walk_and_no_rehash_once_compiled(self, monkeypatch):
+        topo = jellyfish(12, 3, seed=9)
+        tm = all_to_all(topo)
+        topo.compile()
+        tm.content_digest()
+        calls = {"digests": 0, "arcs_of": 0}
+        real_digests = arcgraph_mod._content_digests
+
+        def counting_digests(*args, **kwargs):
+            calls["digests"] += 1
+            return real_digests(*args, **kwargs)
+
+        monkeypatch.setattr(arcgraph_mod, "_content_digests", counting_digests)
+        import repro.utils.graphutils as gu
+
+        real_arcs_of = gu.arcs_of
+
+        def counting_arcs_of(graph):
+            calls["arcs_of"] += 1
+            return real_arcs_of(graph)
+
+        monkeypatch.setattr(gu, "arcs_of", counting_arcs_of)
+
+        keys = {instance_key(topo, tm) for _ in range(5)}
+        keys.add(SolveRequest(topo, tm).key)
+        assert len(keys) == 1
+        assert calls == {"digests": 0, "arcs_of": 0}
+
+    def test_key_equality_against_fresh_build(self):
+        a = jellyfish(10, 3, seed=4)
+        b = jellyfish(10, 3, seed=4)
+        assert instance_key(a, longest_matching(a)) == instance_key(
+            b, longest_matching(b)
+        )
+
+    def test_key_accepts_compiled_core_directly(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        assert instance_key(topo.compile(), tm) == instance_key(topo, tm)
+
+    def test_paths_key_needs_full_topology(self):
+        topo = hypercube(3)
+        with pytest.raises(TypeError):
+            instance_key(topo.compile(), all_to_all(topo), engine="paths")
+
+    def test_lp_backend_frozen_into_key(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        default = SolveRequest(topo, tm)
+        pinned = SolveRequest(topo, tm, params={"lp_backend": "highs-ipm"})
+        assert default.params == {}
+        assert pinned.params["lp_backend"] == "highs-ipm"
+        assert default.key != pinned.key
+        # Spelling out the default is the same configuration => same key.
+        spelled = SolveRequest(topo, tm, params={"lp_backend": "auto"})
+        assert spelled.key == default.key
+
+    def test_dispatch_pins_construction_time_backend(self):
+        # A default-keyed request solved under a *different* ambient
+        # backend must still run the default chain — the key has to fully
+        # determine the configuration that produced a cached value.
+        from repro.batch.solver import _dispatch
+        from repro.throughput import use_lp_backend
+
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        req = SolveRequest(topo, tm)  # params == {}: canonical default form
+        with use_lp_backend("highs-ds"):
+            result = _dispatch(req)
+        assert result.meta["lp_backend"] == "auto"
+
+    def test_ambient_backend_reaches_default_requests(self):
+        from repro.throughput import use_lp_backend
+
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        with use_lp_backend("highs-ds"):
+            req = SolveRequest(topo, tm)
+        assert req.params["lp_backend"] == "highs-ds"
+        assert req.key != SolveRequest(topo, tm).key
+
+
+class TestWorkerPayloads:
+    def test_lp_payload_contains_arrays_not_graph(self):
+        topo = jellyfish(16, 4, seed=1)
+        tm = all_to_all(topo)
+        req = SolveRequest(topo, tm, engine="lp")
+        payload = pickle.dumps(req)
+        assert b"networkx" not in payload, "nx.Graph leaked into pool payload"
+        # Regression: the compiled payload must stay smaller than shipping
+        # the graph-carrying request dict the old path pickled.
+        raw = pickle.dumps(
+            {**req.__dict__, "topology": req.topology}
+        )
+        assert b"networkx" in raw
+        assert len(payload) < len(raw)
+
+    def test_mwu_payload_graph_free_and_paths_keeps_graph(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        assert b"networkx" not in pickle.dumps(
+            SolveRequest(topo, tm, engine="mwu", params={"epsilon": 0.2})
+        )
+        # Yen's enumeration walks the as-built graph: paths requests must
+        # keep the full topology.
+        assert b"networkx" in pickle.dumps(
+            SolveRequest(
+                topo, tm, engine="paths", params={"subflows": 2, "path_pool": 2}
+            )
+        )
+
+    def test_unpickled_request_solves_identically(self):
+        topo = jellyfish(10, 3, seed=7)
+        tm = all_to_all(topo)
+        req = pickle.loads(pickle.dumps(SolveRequest(topo, tm, engine="lp")))
+        assert isinstance(req.topology, ArcGraph)
+        result, error = _solve_captured(req)
+        assert error is None
+        assert result.value == throughput(topo, tm).value
+
+    def test_pool_results_bit_identical_to_inline(self):
+        topo = jellyfish(10, 3, seed=3)
+        tm = all_to_all(topo)
+        inline = BatchSolver(workers=1).solve(SolveRequest(topo, tm)).require()
+        with BatchSolver(workers=2) as solver:
+            pooled = solver.solve(SolveRequest(topo, tm)).require()
+        assert pooled.value == inline.value
+
+
+class TestEngineArcGraphEntrypoints:
+    def test_lp_and_mwu_accept_compiled_core(self):
+        topo = jellyfish(10, 3, seed=5)
+        tm = all_to_all(topo)
+        from repro.throughput import solve_throughput_lp, solve_throughput_mwu
+
+        assert (
+            solve_throughput_lp(topo.compile(), tm).value
+            == solve_throughput_lp(topo, tm).value
+        )
+        assert (
+            solve_throughput_mwu(topo.compile(), tm, epsilon=0.2).value
+            == solve_throughput_mwu(topo, tm, epsilon=0.2).value
+        )
+
+    def test_backend_values_agree(self):
+        topo = jellyfish(10, 3, seed=5)
+        tm = longest_matching(topo)
+        from repro.throughput import solve_throughput_lp
+
+        vals = {
+            name: solve_throughput_lp(topo, tm, lp_backend=name).value
+            for name in ("auto", "highs", "highs-ds", "highs-ipm")
+        }
+        ref = vals["auto"]
+        for name, v in vals.items():
+            assert v == pytest.approx(ref, rel=1e-6), name
+
+    def test_unknown_backend_rejected(self):
+        from repro.throughput import resolve_lp_backend
+
+        with pytest.raises(ValueError):
+            resolve_lp_backend("glop")
+
+    def test_sliced_topology_compiles_to_its_slice(self):
+        # Regression: CapacitySlicedTopology.compile() must report the
+        # share vector, not the parent graph's full capacities.
+        from repro.throughput.sharded import CapacitySlicedTopology
+
+        topo = jellyfish(10, 3, seed=21)
+        tails, heads, caps = topo.arcs()
+        share = np.asarray(caps) * 0.25
+        sliced = CapacitySlicedTopology(
+            name="slice",
+            graph=topo.graph,
+            servers=topo.servers,
+            arc_tails=tails,
+            arc_heads=heads,
+            arc_caps=share,
+        )
+        assert np.array_equal(sliced.compile().caps, share)
+        assert sliced.compile().digest != topo.compile().digest
+        assert sliced.compile().structure_digest == topo.compile().structure_digest
+
+
+class TestTopologyImmutableConvention:
+    def test_make_topology_still_validates(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2)])
+        topo = make_topology(g, 1, "p3", "path")
+        assert isinstance(topo, Topology)
+        assert topo.compile().n_arcs == 4
