@@ -1,0 +1,135 @@
+"""Perf benchmark for the what-if engine (repro.whatif).
+
+Times one scenario sweep (random failures + maintenance windows + uniform
+degradations on a jellyfish instance) three ways:
+
+* **cold** — every scenario solved from scratch, no hints, no cache (the
+  seed behavior: a full LP per perturbed instance);
+* **warm** — the engine path: one parent solve with duals, every child
+  warm-started from the parent hint, degradations answered by the bound
+  alone (no LP);
+* **cached rerun** — the same sweep against a populated result cache:
+  zero solves, the steady-state cost of re-asking a what-if question.
+
+Results (medians, scenarios/sec, bound-skip counts) are written to
+``BENCH_whatif.json`` at the repo root so the perf trajectory is recorded
+run over run.  Assertions are deliberately loose (the warm path must not
+be dramatically slower than cold, the cached rerun must not solve); the
+JSON carries the real numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import BatchSolver, SolveRequest
+from repro.batch.cache import ResultCache
+from repro.throughput import solve_throughput_lp
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic import all_to_all
+from repro.whatif import (
+    maintenance_windows,
+    random_failures,
+    uniform_degradation,
+    whatif_sweep,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_whatif.json"
+
+N_SWITCHES = 32
+DEGREE = 6
+REPEATS = 3
+
+
+def _median_seconds(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def test_whatif_cold_warm_bound_and_record(tmp_path):
+    topo = jellyfish(N_SWITCHES, DEGREE, seed=0)
+    tm = all_to_all(topo)
+    ag = topo.compile()
+    scenarios = (
+        uniform_degradation(topo, factors=(0.9, 0.75, 0.5))
+        + random_failures(topo, n_fail=3, samples=4, seed=0)
+        + maintenance_windows(topo, n_windows=4, drain=0.5)
+    )
+
+    def cold_sweep():
+        # Seed behavior: one independent full LP per scenario, plus the
+        # baseline — no duals, no hints, no cache.
+        values = [solve_throughput_lp(topo, tm).value]
+        values += [
+            solve_throughput_lp(ag.with_caps(s.caps), tm).value
+            for s in scenarios
+        ]
+        return values
+
+    def warm_sweep():
+        with BatchSolver(workers=1) as solver:
+            return whatif_sweep(topo, tm, scenarios, solver=solver)
+
+    cold_s = _median_seconds(cold_sweep)
+    warm_s = _median_seconds(warm_sweep)
+    warm_report = warm_sweep()
+
+    cache = ResultCache(tmp_path / "cache")
+    with BatchSolver(workers=1, cache=cache) as solver:
+        whatif_sweep(topo, tm, scenarios, solver=solver)  # populate
+
+    def cached_sweep():
+        with BatchSolver(workers=1, cache=cache) as solver:
+            report = whatif_sweep(topo, tm, scenarios, solver=solver)
+        assert report.stats["solved"] == 0
+        return report
+
+    cached_s = _median_seconds(cached_sweep)
+    cached_report = cached_sweep()
+
+    n = len(scenarios)
+    record = {
+        "benchmark": "whatif",
+        "topology": topo.name,
+        "n_switches": topo.n_switches,
+        "n_arcs": ag.n_arcs,
+        "n_scenarios": n,
+        "cold": {
+            "seconds": cold_s,
+            "scenarios_per_sec": n / max(cold_s, 1e-12),
+        },
+        "warm": {
+            "seconds": warm_s,
+            "scenarios_per_sec": n / max(warm_s, 1e-12),
+            "skipped_by_bound": warm_report.n_skipped_by_bound,
+            "solved": warm_report.stats["solved"],
+            "speedup_vs_cold": cold_s / max(warm_s, 1e-12),
+        },
+        "cached_rerun": {
+            "seconds": cached_s,
+            "scenarios_per_sec": n / max(cached_s, 1e-12),
+            "solved": cached_report.stats["solved"],
+            "cache_hits": cached_report.stats["cache_hits"],
+            "skipped_by_bound": cached_report.stats["skipped_by_bound"],
+            "speedup_vs_cold": cold_s / max(cached_s, 1e-12),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Correctness anchors, loose enough that CI noise cannot flake them.
+    assert warm_report.n_skipped_by_bound >= 3  # all uniform degradations
+    assert cached_report.stats["solved"] == 0
+    assert cached_s < cold_s  # a cached rerun must beat solving everything
+    # The bound-skipped degradations are exact homogeneous scalings.
+    by_name = {o.name: o for o in warm_report.outcomes}
+    for f in (0.9, 0.75, 0.5):
+        assert abs(by_name[f"degrade/{f:g}"].relative - f) < 1e-6

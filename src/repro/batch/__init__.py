@@ -36,7 +36,7 @@ from repro.batch.jobs import (
     use_default_engine,
     values_by_tag,
 )
-from repro.batch.solver import BatchSolver, resolve_workers
+from repro.batch.solver import BatchSolver, bound_skip_result, resolve_workers
 
 __all__ = [
     "BATCH_ENGINES",
@@ -49,6 +49,7 @@ __all__ = [
     "SolveOutcome",
     "SolveRequest",
     "SqliteResultCache",
+    "bound_skip_result",
     "default_engine",
     "get_solver",
     "use_default_engine",

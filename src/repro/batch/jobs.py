@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterator, Optional, Union
 from repro.core.arcgraph import ArcGraph, as_arcgraph
 from repro.throughput.backends import normalize_lp_backend_param
 from repro.throughput.lp import ThroughputResult
+from repro.throughput.warmstart import SolveHint
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
@@ -165,6 +166,13 @@ class SolveRequest:
         part of the key.  The sharded engine tags its internal block
         subproblems ``shard:...`` — the solver counts those separately in
         its stats.
+    hint:
+        Optional :class:`~repro.throughput.warmstart.SolveHint` from a
+        parent solve of a capacity overlay of the same instance.  Advisory
+        only — it tightens the child LP's bounds and lets the solver skip
+        the solve when the hint's interval already answers the query — so
+        it is deliberately **not** part of the key or the params: hinted
+        and unhinted solves of the same instance share one cache entry.
 
     **Worker payloads** — pickling a request whose engine consumes only
     the compiled instance (``lp``, ``mwu``) replaces the topology with its
@@ -179,6 +187,7 @@ class SolveRequest:
     engine: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
     tag: str = ""
+    hint: Optional["SolveHint"] = field(default=None, repr=False, compare=False)
     _key: Optional[str] = field(default=None, repr=False, compare=False)
 
     #: Engines whose solve consumes only the compiled array form — their

@@ -93,8 +93,62 @@ def _dispatch(request: SolveRequest) -> ThroughputResult:
         from repro.throughput.llskr import llskr_exact_throughput
 
         return llskr_exact_throughput(request.topology, request.tm, **request.params)
+    extra = {}
+    if request.engine == "lp" and request.hint is not None:
+        # Advisory: tightens the child LP's variable box (see
+        # repro.throughput.warmstart); never part of the key or params.
+        extra["warm_start"] = request.hint
     return throughput(
-        request.topology, request.tm, engine=request.engine, **_pinned_params(request)
+        request.topology,
+        request.tm,
+        engine=request.engine,
+        **extra,
+        **_pinned_params(request),
+    )
+
+
+def bound_skip_result(request: SolveRequest) -> Optional[ThroughputResult]:
+    """A hint-certified result for ``request``, or ``None`` if it must solve.
+
+    When a request carries a :class:`~repro.throughput.warmstart.SolveHint`
+    whose dual upper bound and flow-scaling lower bound close to within the
+    hint's ``rtol``, the child's throughput is already known (up to that
+    tolerance) and the LP solve is pure waste.  The synthetic result reports
+    the certified-feasible lower bound as its value and records both bounds
+    in ``meta`` (``skipped_by_bound=True``); it is **never written to the
+    cache** — cached values must be solved values, not rtol-wide intervals.
+
+    Only ``lp`` requests are eligible (the bounds certify the exact
+    concurrent-flow optimum, which is what the LP computes; ``mwu``/
+    ``paths`` values have their own approximation semantics), and only when
+    the caller wants the plain value — ``want_flows`` / ``want_duals``
+    require arrays a skipped solve cannot produce.  A hint whose shape does
+    not match the instance falls through to a real solve.
+    """
+    hint = request.hint
+    if hint is None or request.engine != "lp":
+        return None
+    if request.params.get("want_flows") or request.params.get("want_duals"):
+        return None
+    from repro.core.arcgraph import as_arcgraph
+
+    try:
+        caps = as_arcgraph(request.topology).caps
+        answer = hint.answers(caps)
+    except (ValueError, TypeError):
+        return None
+    if answer is None:
+        return None
+    lower, upper = answer
+    return ThroughputResult(
+        value=float(lower),
+        engine="lp",
+        meta={
+            "skipped_by_bound": True,
+            "bound_lower": float(lower),
+            "bound_upper": float(upper),
+            "parent_value": float(hint.value),
+        },
     )
 
 
@@ -189,6 +243,9 @@ class BatchSolver:
         #: block subproblems, reported separately so sweep-level stats can
         #: distinguish "instances asked for" from decomposition traffic.
         self.n_shard_jobs = 0
+        #: Requests answered by a parent-solve hint's bound interval alone
+        #: (no LP run, no cache write) — see :func:`bound_skip_result`.
+        self.n_bound_skips = 0
         #: Observability hooks (see Session.stream): ``progress_callback``
         #: fires after every job resolution (solve, cache hit, or error) with
         #: the solver itself; ``batch_callback`` fires once per completed
@@ -295,6 +352,14 @@ class BatchSolver:
                 outcomes[i] = SolveOutcome(
                     key=req.key, tag=req.tag, result=cached, from_cache=True
                 )
+                continue
+            skipped = bound_skip_result(req)
+            if skipped is not None:
+                self.n_bound_skips += 1
+                self._fire_progress()
+                outcomes[i] = SolveOutcome(
+                    key=req.key if use_cache else "", tag=req.tag, result=skipped
+                )
             else:
                 pending.append((i, req))
 
@@ -400,6 +465,21 @@ class BatchSolver:
                 )
                 self._fire_progress()
                 return index
+        skipped = bound_skip_result(request)
+        if skipped is not None:
+            # Mirrors solve_many: answered from the hint interval alone, not
+            # cached, and never registered as an in-stream dedupe primary
+            # (later identical requests must not inherit an interval value
+            # when they could solve exactly).
+            self.n_bound_skips += 1
+            entry.outcome = SolveOutcome(
+                key=request.key if use_cache else "",
+                tag=request.tag,
+                result=skipped,
+            )
+            self._fire_progress()
+            return index
+        if use_cache:
             primary = self._stream_by_key.get(request.key)
             if primary is not None:
                 entry.primary = primary
@@ -669,6 +749,7 @@ class BatchSolver:
             "cache_hits": self.n_cache_hits,
             "errors": self.n_errors,
             "shard_jobs": self.n_shard_jobs,
+            "bound_skips": self.n_bound_skips,
         }
         if self.cache is not None:
             snap["cache"] = (self.cache.hits, self.cache.misses, self.cache.puts)
@@ -683,6 +764,7 @@ class BatchSolver:
             "cache_hits": self.n_cache_hits - snapshot["cache_hits"],
             "errors": self.n_errors - snapshot["errors"],
             "shard_jobs": self.n_shard_jobs - snapshot.get("shard_jobs", 0),
+            "skipped_by_bound": self.n_bound_skips - snapshot.get("bound_skips", 0),
         }
         if self.cache is not None:
             base_hits, base_misses, base_puts = snapshot.get("cache", (0, 0, 0))

@@ -15,6 +15,9 @@ Usage::
     python -m repro all --tag figure            # only the figure artifacts
     python -m repro all --stream --workers 2    # live per-row progress
     python -m repro fig5 --cache-dir /tmp/repro-cache   # warm reruns are free
+    python -m repro whatif-failures --cache-dir /tmp/repro-cache
+                                     # failure/degradation what-if CDFs;
+                                     # warm rerun needs zero solves
     python -m repro fig5 --cache-backend sqlite         # concurrent-writer safe
     python -m repro fig5 --cache-max-entries 10000 --cache-max-mb 64
     python -m repro cache            # cache stats
@@ -369,11 +372,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             elapsed = time.perf_counter() - t0
             print(result.render())
             batch = result.extras.get("batch", {})
+            skipped = batch.get("skipped_by_bound", 0)
             print(
                 f"[{exp_id} finished in {elapsed:.1f}s; "
                 f"{batch.get('solved', 0)} solved, "
                 f"{batch.get('cache_hits', 0)} cache hits, "
-                f"{batch.get('errors', 0)} errors]"
+                + (f"{skipped} bound-skipped, " if skipped else "")
+                + f"{batch.get('errors', 0)} errors]"
             )
             print()
             if args.json:

@@ -183,6 +183,82 @@ class ArcGraph:
         object.__setattr__(out, "_memo", {})
         return out
 
+    def with_scaled_caps(self, factor: float) -> "ArcGraph":
+        """A uniform capacity-degradation overlay: every cap scaled by
+        ``factor`` (>= 0).  Shares structure with :meth:`with_caps`."""
+        factor = float(factor)
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return self.with_caps(self.caps * factor)
+
+    def with_failed_arcs(
+        self, arc_ids: np.ndarray, symmetric: bool = True
+    ) -> "ArcGraph":
+        """A failure overlay: the given arcs get capacity 0.
+
+        ``symmetric=True`` (the default, matching undirected cable
+        failures) also zeroes each arc's opposite-direction partner, so a
+        direction-symmetric parent stays direction-symmetric.  This is the
+        what-if engine's perturbation primitive: the overlay shares the
+        parent's arrays and structure digest, so constructing thousands of
+        failure scenarios costs one capacity vector each.
+        """
+        arc_ids = np.asarray(arc_ids, dtype=np.int64)
+        if arc_ids.size and (
+            arc_ids.min() < 0 or arc_ids.max() >= self.n_arcs
+        ):
+            raise ValueError(
+                f"arc ids must lie in [0, {self.n_arcs}), got "
+                f"[{int(arc_ids.min())}, {int(arc_ids.max())}]"
+            )
+        caps = np.array(self.caps)
+        caps[arc_ids] = 0.0
+        if symmetric:
+            caps[self.reverse_permutation()[arc_ids]] = 0.0
+        return self.with_caps(caps)
+
+    def undirected_links(self) -> np.ndarray:
+        """The ``(n_links, 2)`` arc-id pairs of each undirected cable bundle.
+
+        Row ``[i, rev(i)]`` with ``i < rev(i)`` — one row per unordered
+        ``{u, v}`` adjacency, in canonical arc order of the lower arc id.
+        Scenario generators sample *links* from this and fail both arc
+        directions.  Memoized; requires a direction-symmetric arc set.
+        """
+        links = self._memo.get("undirected_links")
+        if links is None:
+            rev = self.reverse_permutation()
+            fwd = np.flatnonzero(np.arange(self.n_arcs) < rev)
+            links = np.column_stack([fwd, rev[fwd]])
+            links.flags.writeable = False
+            self._memo["undirected_links"] = links
+        return links
+
+    def capacity_connected(self) -> bool:
+        """Connectivity over positive-capacity arcs only.
+
+        Unlike :meth:`is_connected` (which treats every structural arc as
+        an edge), this ignores arcs a failure overlay has zeroed — the
+        question a what-if scenario asks of its perturbed instance.
+        """
+        if self.n_nodes <= 1:
+            return True
+        alive = self.caps > 0
+        if not np.all(alive):
+            adj = sp.csr_matrix(
+                (
+                    self.caps[alive],
+                    (self.tails[alive], self.heads[alive]),
+                ),
+                shape=(self.n_nodes, self.n_nodes),
+            )
+        else:
+            adj = self.adjacency()
+        n_comp = csgraph.connected_components(
+            adj, directed=False, return_labels=False
+        )
+        return int(n_comp) == 1
+
     # ---------------------------------------------------------------- pickling
     def __getstate__(self) -> Dict:
         # Memoized derivatives are dropped: they are cheap to rebuild and

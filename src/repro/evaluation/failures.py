@@ -6,6 +6,17 @@ selling points.  This module removes a fraction of cables uniformly at
 random (keeping the graph connected) and re-measures throughput, yielding a
 degradation curve per topology.
 
+Two deliberate differences from the fixed-TM what-if engine
+(:mod:`repro.whatif`): the TM here is *regenerated per surviving graph* (a
+near-worst-case matrix adapts to the failed topology, matching how an
+adversary would), which is exactly why these solves cannot share the
+parent's dual hints; and failures are graph-level edge removals, not
+capacity overlays, so each draw produces a genuinely different instance.
+All solves still route through the ambient :class:`~repro.batch.BatchSolver`
+— cached, pooled, engine/backend-aware — and every draw derives its own
+child seed up front, so draw ``i`` at fraction ``f`` reproduces
+bit-identically regardless of which other fractions the sweep contains.
+
 Not a paper artifact; documented as an extension in DESIGN.md.
 """
 
@@ -17,10 +28,11 @@ from typing import Callable, List, Sequence
 import networkx as nx
 import numpy as np
 
-from repro.throughput.mcf import throughput
+from repro.batch import SolveRequest, solve_values
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.numeric import safe_ratio
+from repro.utils.rng import SeedLike, ensure_rng, stable_seed
 
 
 def fail_links(
@@ -32,36 +44,43 @@ def fail_links(
     stranded servers has throughput 0 under any all-pairs TM, which says
     nothing interesting about capacity).  Raises ``ValueError`` when the
     requested fraction cannot leave the graph connected after ``max_tries``.
+
+    Always returns a tagged copy — including at ``fraction=0.0``, where no
+    edges are removed but the result still carries the ``failed_fraction``
+    param and the ``/failed=...`` name suffix, so downstream labels and
+    cache provenance are uniform across a sweep's fractions.
     """
     if not 0.0 <= fraction < 1.0:
         raise ValueError(f"fraction must be in [0, 1), got {fraction}")
-    if fraction == 0.0:
-        return topology
     rng = ensure_rng(seed)
     if topology.graph.is_multigraph():
         edges = list(topology.graph.edges(keys=True))
     else:
         edges = list(topology.graph.edges())
     n_fail = int(round(len(edges) * fraction))
-    if n_fail == 0:
-        return topology
     if n_fail >= len(edges):
         raise ValueError("cannot fail every link")
+
+    def _tagged(g) -> Topology:
+        failed = Topology(
+            name=f"{topology.name}/failed={fraction:.0%}",
+            graph=g,
+            servers=topology.servers.copy(),
+            family=topology.family,
+            params={**topology.params, "failed_fraction": fraction},
+        )
+        failed.validate()
+        return failed
+
+    if n_fail == 0:
+        return _tagged(topology.graph.copy())
     for _ in range(max_tries):
         pick = rng.choice(len(edges), size=n_fail, replace=False)
         g = topology.graph.copy()
         for i in pick:
             g.remove_edge(*edges[i])
         if nx.is_connected(g):
-            failed = Topology(
-                name=f"{topology.name}/failed={fraction:.0%}",
-                graph=g,
-                servers=topology.servers.copy(),
-                family=topology.family,
-                params={**topology.params, "failed_fraction": fraction},
-            )
-            failed.validate()
-            return failed
+            return _tagged(g)
     raise ValueError(
         f"could not remove {fraction:.0%} of links and stay connected"
     )
@@ -91,23 +110,57 @@ def failure_sweep(
 
     The TM is regenerated per surviving graph (a near-worst-case TM adapts
     to the failed topology, matching how an adversary would).
+
+    **Seeding** — every draw's failure pick and TM get child seeds derived
+    up front from ``(seed, fraction, draw index)`` via
+    :func:`~repro.utils.rng.stable_seed` (a ``Generator`` seed contributes
+    one entropy integer first).  The baseline gets its own child seed the
+    same way, so the same ``seed`` yields the same baseline and the same
+    per-fraction draws no matter which ``fractions`` the sweep contains —
+    historically the baseline drew from the RNG *after* the sweep had
+    consumed it, so reordering fractions silently changed it.
+
+    **Execution** — instances are constructed eagerly in deterministic
+    order and solved in one batch through the ambient solver
+    (:func:`repro.batch.solve_values`): rows are bit-identical serial,
+    multi-worker, or warm-from-cache.  The 0/0 relative case (both the
+    draw and the baseline infeasible) reports NaN, not ``inf``.
     """
     if samples < 1:
         raise ValueError("samples must be >= 1")
-    rng = ensure_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        entropy = int(seed.integers(0, 2**63 - 1))
+    else:
+        entropy = stable_seed("failure-sweep", seed)
     fractions = list(fractions)
-    values: List[float] = []
+
+    requests: List[SolveRequest] = []
+    counts: List[int] = []
     for frac in fractions:
-        draws = []
-        for _ in range(samples if frac > 0 else 1):
-            failed = fail_links(topology, frac, seed=rng)
-            tm = tm_factory(failed, rng)
-            draws.append(throughput(failed, tm).value)
-        values.append(float(np.mean(draws)))
-    base = values[0] if fractions[0] == 0.0 else throughput(
-        topology, tm_factory(topology, rng)
-    ).value
-    relative = [v / base if base > 0 else np.inf for v in values]
+        n_draws = samples if frac > 0 else 1
+        counts.append(n_draws)
+        for i in range(n_draws):
+            fail_seed = stable_seed(entropy, float(frac), i, "fail")
+            tm_seed = stable_seed(entropy, float(frac), i, "tm")
+            failed = fail_links(topology, frac, seed=fail_seed)
+            tm = tm_factory(failed, ensure_rng(tm_seed))
+            requests.append(SolveRequest(failed, tm, tag=f"f={frac:g}/{i}"))
+    has_zero = fractions and fractions[0] == 0.0
+    if not has_zero:
+        # Baseline on the pristine topology, with its own stable child
+        # seed — independent of everything the sweep drew above.
+        base_tm = tm_factory(topology, ensure_rng(stable_seed(entropy, "baseline")))
+        requests.append(SolveRequest(topology, base_tm, tag="baseline"))
+
+    solved = solve_values(requests)
+
+    values: List[float] = []
+    pos = 0
+    for n_draws in counts:
+        values.append(float(np.mean(solved[pos : pos + n_draws])))
+        pos += n_draws
+    base = values[0] if has_zero else solved[-1]
+    relative = [safe_ratio(v, base) for v in values]
     return FailureCurve(
         topology_name=topology.name,
         fractions=fractions,

@@ -16,6 +16,7 @@ import numpy as np
 from repro.throughput.lp import solve_throughput_lp
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
+from repro.utils.numeric import safe_ratio
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -31,11 +32,8 @@ class PlacementResult:
 
     @property
     def gain(self) -> float:
-        return (
-            self.throughput / self.baseline_throughput
-            if self.baseline_throughput > 0
-            else np.inf
-        )
+        """throughput / baseline (NaN for the undefined 0/0 case)."""
+        return safe_ratio(self.throughput, self.baseline_throughput)
 
 
 def optimize_placement(

@@ -24,6 +24,7 @@ import numpy as np
 from repro.batch import SolveRequest, solve_values
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
+from repro.utils.numeric import safe_ratio
 
 
 def _arc_index(topology: Topology) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict]:
@@ -110,12 +111,12 @@ class RoutingReport:
 
     @property
     def ecmp_gap(self) -> float:
-        """Fraction of optimal throughput ECMP achieves."""
-        return self.ecmp / self.optimal if self.optimal > 0 else np.inf
+        """Fraction of optimal throughput ECMP achieves (NaN for 0/0)."""
+        return safe_ratio(self.ecmp, self.optimal)
 
     @property
     def single_path_gap(self) -> float:
-        return self.single_path / self.optimal if self.optimal > 0 else np.inf
+        return safe_ratio(self.single_path, self.optimal)
 
 
 def routing_gap_report(

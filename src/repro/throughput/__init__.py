@@ -13,6 +13,7 @@ Engine semantics at a glance (the per-name contracts live in
 
 from repro.throughput.lp import ThroughputResult, solve_throughput_lp
 from repro.throughput.approx import solve_throughput_mwu
+from repro.throughput.warmstart import BOUND_SLACK, SolveHint
 from repro.throughput.backends import (
     LP_BACKENDS,
     LPBackend,
@@ -58,6 +59,8 @@ __all__ = [
     "LPBackend",
     "ShardPolicy",
     "ShardProgress",
+    "SolveHint",
+    "BOUND_SLACK",
     "ThroughputResult",
     "default_lp_backend",
     "register_lp_backend",

@@ -165,20 +165,31 @@ def normalize_lp_backend_param(params: Dict) -> Dict:
     return params
 
 
-def run_linprog_chain(backend: LPBackend, **linprog_kwargs):
+#: linprog methods that honor a starting-point hint.  The HiGHS wrappers
+#: currently ignore ``x0`` (scipy warns), so a warm-start solution hint is
+#: only forwarded where it is consumed; hint-derived *bound* tightening
+#: (see :mod:`repro.throughput.warmstart`) works on every method.
+X0_METHODS = ("revised simplex",)
+
+
+def run_linprog_chain(backend: LPBackend, x0=None, **linprog_kwargs):
     """Run ``backend``'s method chain; returns ``(result, method_used)``.
 
     Mirrors the historical hard-coded behavior for ``auto``: a method that
     succeeds or proves infeasibility (status 2) ends the chain, any other
     failure tries the next method; the last method's result is returned
-    regardless.
+    regardless.  ``x0`` (a warm-start solution hint) is passed through to
+    methods in :data:`X0_METHODS` and silently dropped elsewhere.
     """
     from scipy.optimize import linprog
 
     res = None
     method = backend.methods[0]
     for method in backend.methods:
-        res = linprog(method=method, **linprog_kwargs)
+        kwargs = dict(linprog_kwargs)
+        if x0 is not None and method in X0_METHODS:
+            kwargs["x0"] = x0
+        res = linprog(method=method, **kwargs)
         if res.success or res.status == 2:
             break
     return res, method

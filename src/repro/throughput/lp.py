@@ -34,6 +34,7 @@ import scipy.sparse as sp
 
 from repro.core.arcgraph import ArcGraph, as_arcgraph
 from repro.throughput.backends import resolve_lp_backend, run_linprog_chain
+from repro.throughput.warmstart import BOUND_SLACK, SolveHint
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
@@ -118,6 +119,7 @@ def solve_throughput_lp(
     want_flows: bool = False,
     want_duals: bool = False,
     lp_backend: Optional[str] = None,
+    warm_start: Optional[SolveHint] = None,
 ) -> ThroughputResult:
     """Exact throughput of ``tm`` on ``topology`` via HiGHS.
 
@@ -149,6 +151,15 @@ def solve_throughput_lp(
         Registry name of the linprog method chain (see
         :mod:`repro.throughput.backends`); ``None`` takes the ambient
         default (normally ``"auto"``).
+    warm_start:
+        Optional :class:`~repro.throughput.warmstart.SolveHint` from a
+        parent solve of a capacity-overlay sibling (same arcs, same TM).
+        The hinted throughput interval clamps the ``t`` variable's box
+        (with relative slack, so an inexact hint can never cut off the
+        optimum) and the solution hint is forwarded to backends whose
+        linprog method accepts ``x0``.  Purely an accelerator: the value
+        solved is unchanged, so warm and cold solves of one instance are
+        interchangeable (and share a cache key).
 
     Raises ``ValueError`` on shape mismatch or an all-zero TM.  A throughput
     of 0.0 is returned only when demand crosses a disconnection, which
@@ -211,6 +222,21 @@ def solve_throughput_lp(
     c = np.zeros(n_var)
     c[n_x] = -1.0  # maximize t
 
+    bounds = (0, None)
+    hint_bounds = None
+    if warm_start is not None:
+        hint_lo, hint_hi = warm_start.bounds_for(caps)
+        if np.isfinite(hint_hi) and hint_hi >= 0:
+            # Clamp only the t variable's box.  The slack keeps ~1e-9
+            # dual noise in the parent from making the true optimum
+            # infeasible; the lower side stays 0 (a too-high lower bound
+            # would silently misreport an infeasible child as t=0).
+            hint_bounds = (hint_lo, hint_hi)
+            var_bounds = np.zeros((n_var, 2))
+            var_bounds[:, 1] = np.inf
+            var_bounds[n_x, 1] = hint_hi * (1.0 + BOUND_SLACK) + BOUND_SLACK
+            bounds = var_bounds
+
     t0 = time.perf_counter()
     # The backend names the linprog method chain; "auto" is IPM with a
     # simplex fallback on the rare IPM convergence failure (IPM is 10-20x
@@ -223,7 +249,7 @@ def solve_throughput_lp(
         b_ub=b_ub,
         A_eq=A_eq,
         b_eq=b_eq,
-        bounds=(0, None),
+        bounds=bounds,
     )
     elapsed = time.perf_counter() - t0
     if not res.success:
@@ -260,6 +286,8 @@ def solve_throughput_lp(
         "lp_backend": backend.name,
         "method": method,
     }
+    if hint_bounds is not None:
+        meta["warm_start_bounds"] = hint_bounds
     if want_duals:
         usage = res.x[:n_x].reshape(k, m).sum(axis=0)
         ineq = getattr(res, "ineqlin", None)

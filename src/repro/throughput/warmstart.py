@@ -1,0 +1,152 @@
+"""Warm-start hints for capacity-overlay solves (the what-if engine's math).
+
+A :class:`SolveHint` packages what one *parent* LP solve (with
+``want_duals=True``) knows that is transferable to every capacity overlay
+of the same instance — same arc structure, same traffic matrix, only the
+capacity vector ``c'`` changed:
+
+* **Dual upper bound** — the parent's optimal capacity duals ``y`` are a
+  valid length function for any child.  By concurrent-flow weak duality,
+  ``t(c') <= (y . c') / sum_ij d_ij dist_y(i, j)``, and at the parent
+  optimum the denominator equals ``(y . c) / t(c)``, so
+
+      ``t(c') <= t(c) * (y . c') / (y . c)``
+
+  — an O(arcs) dot product, no shortest paths, no solve.
+* **Flow-scaling lower bound** — the parent's optimal per-arc usage ``u``
+  is a feasible flow for demand ``t(c) * d``; scaled by
+  ``alpha = min_e c'_e / u_e`` (over used arcs) it fits the child's
+  capacities, so ``t(c') >= alpha * t(c)``.  ``alpha`` may exceed 1:
+  failing links the parent optimum never used leaves the parent flow
+  feasible unscaled, and the two bounds meet at ``t(c)``.
+
+When the two bounds agree to ``rtol`` the child's throughput is known
+without solving — the batch layer answers the request from the hint alone
+(``skipped_by_bound`` in its stats).  When they do not, the hint still
+tightens the child LP: :func:`repro.throughput.lp.solve_throughput_lp`
+clamps the throughput variable's box to the hinted interval (with
+:data:`BOUND_SLACK` relative slack so ~1e-9 solver noise in the parent's
+duals can never cut off the true optimum).
+
+Both bounds are exact (not heuristic) up to the parent solve's own
+numerical accuracy; uniform degradations (``c' = f * c``) are the
+degenerate case where they coincide at ``f * t(c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Relative slack applied to hint bounds before they constrain a child LP,
+#: and the floor for bound-skip tolerances.  Parent duals/usage are solver
+#: output (~1e-9 relative accuracy); 1e-6 keeps the tightened box safely
+#: outside that noise.
+BOUND_SLACK = 1e-6
+
+#: Usage below this fraction of the busiest arc is treated as numerical
+#: zero when computing the flow-scaling factor (a 1e-12 ghost flow on a
+#: failed arc must not collapse the lower bound).
+USAGE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class SolveHint:
+    """Transferable knowledge from a parent solve (see module docstring).
+
+    Attributes
+    ----------
+    value:
+        The parent's optimal throughput ``t(c)``.
+    caps:
+        The parent's capacity vector ``c`` (canonical arc order).
+    duals:
+        Nonnegative capacity duals ``y`` at the parent optimum (``None``
+        disables the upper bound).
+    usage:
+        Total optimal flow per arc ``u`` (``None`` disables the lower
+        bound).
+    rtol:
+        Relative gap at which the two bounds "agree" and a solve may be
+        skipped; floored at :data:`BOUND_SLACK`.
+    """
+
+    value: float
+    caps: np.ndarray
+    duals: Optional[np.ndarray] = None
+    usage: Optional[np.ndarray] = None
+    rtol: float = BOUND_SLACK
+
+    @classmethod
+    def from_result(cls, result, caps, rtol: float = BOUND_SLACK) -> "SolveHint":
+        """Build a hint from a duals-carrying :class:`ThroughputResult`.
+
+        ``result.meta`` arrays may be lists (results rebuilt from the JSON
+        cache) — coerced here, so warm reruns hint identically to cold
+        ones.
+        """
+        meta = result.meta or {}
+        duals = meta.get("capacity_duals")
+        usage = meta.get("arc_usage")
+        return cls(
+            value=float(result.value),
+            caps=np.ascontiguousarray(caps, dtype=np.float64),
+            duals=(
+                np.ascontiguousarray(duals, dtype=np.float64)
+                if duals is not None
+                else None
+            ),
+            usage=(
+                np.ascontiguousarray(usage, dtype=np.float64)
+                if usage is not None
+                else None
+            ),
+            rtol=max(float(rtol), BOUND_SLACK),
+        )
+
+    def bounds_for(self, child_caps: np.ndarray) -> Tuple[float, float]:
+        """``(lower, upper)`` throughput bounds for capacity vector
+        ``child_caps`` (``(0.0, inf)`` when a side's data is missing)."""
+        caps = np.asarray(child_caps, dtype=np.float64)
+        if caps.shape != self.caps.shape:
+            raise ValueError(
+                f"child caps must have shape {self.caps.shape}, got {caps.shape}"
+            )
+        lower, upper = 0.0, float("inf")
+        if self.value <= 0:
+            # A zero-throughput parent bounds nothing useful; capacity
+            # overlays of a disconnected-demand instance stay 0 only if
+            # they cannot add capacity, which with_caps overlays can.
+            return (0.0, float("inf"))
+        if self.duals is not None:
+            parent_weight = float(self.duals @ self.caps)
+            if parent_weight > 0:
+                upper = self.value * float(self.duals @ caps) / parent_weight
+        if self.usage is not None:
+            used = self.usage > USAGE_FLOOR * float(self.usage.max(initial=0.0))
+            if np.any(used):
+                alpha = float(np.min(caps[used] / self.usage[used]))
+                lower = self.value * max(alpha, 0.0)
+            else:  # parent routed nothing — the trivial bound
+                lower = 0.0
+        # Numerical noise in duals/usage can cross the bounds by ~1e-9;
+        # report a consistent interval.
+        if lower > upper:
+            lower = upper
+        return (lower, upper)
+
+    def answers(self, child_caps: np.ndarray) -> Optional[Tuple[float, float]]:
+        """The ``(value, upper)`` pair when the bounds close the query.
+
+        Returns ``None`` when a solve is still needed.  The returned value
+        is the certified-feasible lower bound (conservative side); the
+        interval width is at most ``rtol`` relative.
+        """
+        lower, upper = self.bounds_for(child_caps)
+        if not np.isfinite(upper):
+            return None
+        if upper <= lower * (1.0 + self.rtol) + self.rtol * max(self.value, 1e-12):
+            return (lower, upper)
+        return None

@@ -22,6 +22,7 @@ from repro.throughput.lp import solve_throughput_lp
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.worstcase import longest_matching
+from repro.utils.numeric import safe_ratio
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -38,8 +39,10 @@ class AdversarialSearchResult:
 
     @property
     def gap_to_bound(self) -> float:
-        """throughput / lower bound; 1.0 means provably worst-case."""
-        return self.throughput / self.lower_bound if self.lower_bound > 0 else np.inf
+        """throughput / lower bound; 1.0 means provably worst-case.
+
+        NaN when both are 0 (undefined, not infinitely bad)."""
+        return safe_ratio(self.throughput, self.lower_bound)
 
 
 def _matching_tm(topology: Topology, perm: np.ndarray, hosts: np.ndarray) -> TrafficMatrix:

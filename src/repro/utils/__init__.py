@@ -4,6 +4,7 @@ These are the lowest layer of the library; nothing here imports from other
 ``repro`` subpackages.
 """
 
+from repro.utils.numeric import safe_ratio
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.graphutils import (
     arcs_of,
@@ -17,6 +18,7 @@ from repro.utils.tables import render_table, render_series
 
 __all__ = [
     "ensure_rng",
+    "safe_ratio",
     "spawn_rngs",
     "arcs_of",
     "all_pairs_distances",

@@ -1,0 +1,25 @@
+"""Small numeric helpers shared across evaluation code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with principled degenerate cases.
+
+    A zero denominator historically mapped to ``inf`` everywhere a relative
+    metric was computed, which silently misreports the 0/0 case: a zero
+    numerator over a zero denominator is an *undefined* comparison (both
+    sides failed), not an infinitely good one.  Returns:
+
+    * the plain ratio when ``denominator > 0``;
+    * ``nan`` when both are 0 (undefined, excluded from aggregates by
+      ``nanmean``-style reductions);
+    * ``inf`` when only the denominator is 0.
+    """
+    if denominator > 0:
+        return float(numerator) / float(denominator)
+    if numerator == 0:
+        return float("nan")
+    return float(np.inf)

@@ -1,0 +1,34 @@
+"""Incremental what-if engine: failure/degradation scenarios as overlays.
+
+Scenarios are capacity overlays of one compiled instance
+(:mod:`repro.whatif.scenarios`); the sweep engine solves them through the
+ambient batch solver, warm-started from the unperturbed parent solve and
+skipping scenarios the parent's dual bound already answers
+(:mod:`repro.whatif.engine`).  See DESIGN.md ("What-if engine").
+"""
+
+from repro.whatif.engine import (
+    ScenarioOutcome,
+    WhatIfReport,
+    default_rtol,
+    whatif_sweep,
+)
+from repro.whatif.scenarios import (
+    Scenario,
+    maintenance_windows,
+    random_failures,
+    targeted_cut_failures,
+    uniform_degradation,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioOutcome",
+    "WhatIfReport",
+    "default_rtol",
+    "maintenance_windows",
+    "random_failures",
+    "targeted_cut_failures",
+    "uniform_degradation",
+    "whatif_sweep",
+]

@@ -1,0 +1,184 @@
+"""The what-if sweep: batched, warm-started scenario evaluation.
+
+One :func:`whatif_sweep` call answers a list of
+:class:`~repro.whatif.scenarios.Scenario` capacity overlays against a fixed
+(topology, TM) instance:
+
+1. **Parent solve** — the unperturbed instance solves once with
+   ``want_duals=True`` through the ambient :class:`~repro.batch.BatchSolver`
+   (cached like any other solve, so a warm rerun costs zero solves).
+2. **Hint** — the parent's value, capacity duals, and per-arc usage become a
+   :class:`~repro.throughput.warmstart.SolveHint`.
+3. **Children** — each scenario becomes an ``ArcGraph.with_caps`` overlay
+   (structure digest shared with the parent; only the capacity vector is
+   new) and a hinted ``SolveRequest`` through the same solver: the batch
+   layer answers a child from the hint's bound interval alone when it closes
+   to ``rtol`` (``skipped_by_bound`` in stats), and otherwise solves a
+   bound-tightened LP — cached, pooled, and engine/backend-aware like every
+   other batched solve.
+
+The TM is **fixed across scenarios** — that is what makes the parent's duals
+transferable (same demand pattern, different capacities).  Sweeps whose TM
+adapts to each failed graph want :func:`repro.evaluation.failures.
+failure_sweep`, which regenerates the matrix per draw and therefore can
+share neither hints nor the parent baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.batch import BatchSolver, SolveRequest, get_solver
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+from repro.throughput.warmstart import BOUND_SLACK, SolveHint
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.numeric import safe_ratio
+from repro.whatif.scenarios import Scenario
+
+
+def default_rtol() -> float:
+    """Bound-skip tolerance: ``REPRO_WHATIF_RTOL`` env var, else 1e-6.
+
+    A scenario whose hint interval closes to within this relative width is
+    answered without a solve; the reported value is then the certified
+    feasible lower bound, at most ``rtol`` below the true optimum.
+    """
+    return float(os.environ.get("REPRO_WHATIF_RTOL", BOUND_SLACK))
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's answer and how it was obtained."""
+
+    name: str
+    kind: str
+    value: float
+    relative: float  # value / parent value; NaN when both are 0
+    skipped_by_bound: bool = False
+    from_cache: bool = False
+    error: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class WhatIfReport:
+    """Every scenario's outcome plus the sweep's batch-stats delta."""
+
+    topology_name: str
+    parent_value: float
+    outcomes: List[ScenarioOutcome]
+    stats: Dict[str, Any]
+
+    def relative_values(self, kind: Optional[str] = None) -> List[float]:
+        """Sorted relative throughputs (one CDF's x-axis), optionally
+        filtered to one scenario kind."""
+        vals = [
+            o.relative
+            for o in self.outcomes
+            if o.ok and (kind is None or o.kind == kind)
+        ]
+        return sorted(vals)
+
+    @property
+    def n_skipped_by_bound(self) -> int:
+        return sum(1 for o in self.outcomes if o.skipped_by_bound)
+
+
+def whatif_sweep(
+    topology: Union[Topology, ArcGraph],
+    tm: TrafficMatrix,
+    scenarios: Sequence[Scenario],
+    solver: Optional[BatchSolver] = None,
+    rtol: Optional[float] = None,
+    topology_name: Optional[str] = None,
+) -> WhatIfReport:
+    """Throughput of every scenario overlay, warm-started from the parent.
+
+    Parameters
+    ----------
+    topology, tm:
+        The unperturbed instance.  The TM is held fixed across scenarios
+        (see module docstring).
+    scenarios:
+        Capacity overlays to evaluate (see :mod:`repro.whatif.scenarios`).
+    solver:
+        Batch solver to route solves through; ``None`` takes the ambient
+        one (:func:`repro.batch.get_solver`) — under ``run_experiment``
+        that is the session's cached, possibly multi-worker solver.
+    rtol:
+        Bound-skip tolerance; ``None`` reads :func:`default_rtol`.
+    topology_name:
+        Report label; defaults to the topology's own name when it has one.
+    """
+    if solver is None:
+        solver = get_solver()
+    if rtol is None:
+        rtol = default_rtol()
+    ag = as_arcgraph(topology)
+    if topology_name is None:
+        topology_name = getattr(topology, "name", "") or f"arcgraph/{ag.digest[:12]}"
+
+    snap = solver.snapshot()
+    parent = (
+        solver.solve(
+            SolveRequest(
+                ag, tm, engine="lp", params={"want_duals": True}, tag="whatif:parent"
+            )
+        )
+        .require()
+    )
+    hint = SolveHint.from_result(parent, ag.caps, rtol=rtol)
+
+    requests = [
+        SolveRequest(
+            ag.with_caps(np.asarray(s.caps, dtype=np.float64)),
+            tm,
+            engine="lp",
+            hint=hint,
+            tag=s.name,
+        )
+        for s in scenarios
+    ]
+    outcomes: List[ScenarioOutcome] = []
+    for scenario, outcome in zip(scenarios, solver.solve_many(requests)):
+        if outcome.ok:
+            result = outcome.result
+            outcomes.append(
+                ScenarioOutcome(
+                    name=scenario.name,
+                    kind=scenario.kind,
+                    value=result.value,
+                    relative=safe_ratio(result.value, parent.value),
+                    skipped_by_bound=bool(
+                        result.meta.get("skipped_by_bound", False)
+                    ),
+                    from_cache=outcome.from_cache,
+                    meta=dict(scenario.meta),
+                )
+            )
+        else:
+            outcomes.append(
+                ScenarioOutcome(
+                    name=scenario.name,
+                    kind=scenario.kind,
+                    value=float("nan"),
+                    relative=float("nan"),
+                    error=outcome.error,
+                    meta=dict(scenario.meta),
+                )
+            )
+    return WhatIfReport(
+        topology_name=topology_name,
+        parent_value=parent.value,
+        outcomes=outcomes,
+        stats=solver.stats_since(snap),
+    )

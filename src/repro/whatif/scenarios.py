@@ -1,0 +1,229 @@
+"""Scenario generators for the what-if engine.
+
+A :class:`Scenario` is nothing but a *capacity overlay*: a name, a kind,
+and the child capacity vector in the parent's canonical arc order.  Failed
+links are arcs with capacity zeroed (both directions of the cable);
+degraded or draining links keep their arcs with scaled capacity.  The
+instance structure — node count, arc list, CSR layout — never changes, so
+every scenario shares the parent :class:`~repro.core.ArcGraph`'s structure
+digest and costs one ``with_caps`` array copy to materialize
+(:mod:`repro.whatif.engine` does that at solve time).
+
+Three generators cover the failure families the robustness literature
+sweeps (plus uniform degradation, the bound-skip calibration case):
+
+* :func:`random_failures` — k uniformly random cable failures per draw,
+  resampled until the surviving capacity keeps the graph connected.
+* :func:`targeted_cut_failures` — adversarial failures concentrated on the
+  sparsest cut found by the Appendix-C estimators (:mod:`repro.cuts`).
+* :func:`maintenance_windows` — rolling windows draining a contiguous
+  chunk of cables to a fraction of their capacity, the planned-works case.
+* :func:`uniform_degradation` — every capacity scaled by one factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+from repro.topologies.base import Topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.rng import SeedLike, ensure_rng, stable_seed
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One what-if question: "what is throughput under these capacities?"
+
+    Attributes
+    ----------
+    name:
+        Unique label within a sweep; becomes the solve request's tag and
+        the report row's key.
+    kind:
+        Generator family (``"random-failure"``, ``"targeted-cut"``,
+        ``"maintenance"``, ``"degradation"``) — the CDF grouping axis.
+    caps:
+        Child capacity vector, canonical arc order of the parent
+        :class:`~repro.core.ArcGraph`.
+    meta:
+        Generator-specific detail (failed link ids, drain factor, draw
+        seed) for provenance in experiment rows.
+    """
+
+    name: str
+    kind: str
+    caps: np.ndarray
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def _compiled(topology: Union[Topology, ArcGraph]) -> ArcGraph:
+    return as_arcgraph(topology)
+
+
+def uniform_degradation(
+    topology: Union[Topology, ArcGraph],
+    factors: Sequence[float] = (0.9, 0.75, 0.5),
+) -> List[Scenario]:
+    """Every capacity scaled by each factor in ``factors``.
+
+    Concurrent-flow throughput is positively homogeneous in the capacity
+    vector, so the exact answer is ``factor * parent`` — which is precisely
+    what the parent-dual upper bound and the flow-scaling lower bound both
+    evaluate to.  These scenarios are therefore always answered by the
+    bound alone (``skipped_by_bound``), making them the engine's
+    calibration family and the CI smoke test's assertion target.
+    """
+    ag = _compiled(topology)
+    scenarios = []
+    for f in factors:
+        f = float(f)
+        if f < 0:
+            raise ValueError(f"degradation factor must be >= 0, got {f}")
+        scenarios.append(
+            Scenario(
+                name=f"degrade/{f:g}",
+                kind="degradation",
+                caps=ag.caps * f,
+                meta={"factor": f},
+            )
+        )
+    return scenarios
+
+
+def random_failures(
+    topology: Union[Topology, ArcGraph],
+    n_fail: int,
+    samples: int = 4,
+    seed: SeedLike = 0,
+    max_tries: int = 60,
+) -> List[Scenario]:
+    """``samples`` independent draws of ``n_fail`` random cable failures.
+
+    Each draw gets its own child seed derived up front via
+    :func:`~repro.utils.rng.stable_seed` — draw ``i`` reproduces
+    bit-identically no matter how many other draws ran before it (the
+    seed-order bug class fixed in ``failure_sweep``).  A draw is resampled
+    (fresh sub-seed, up to ``max_tries``) until the surviving capacity
+    keeps the graph connected; exhausting the budget raises ``ValueError``.
+    """
+    ag = _compiled(topology)
+    links = ag.undirected_links()
+    if not 0 <= n_fail < len(links):
+        raise ValueError(
+            f"n_fail must be in [0, {len(links)}), got {n_fail}"
+        )
+    scenarios = []
+    for i in range(samples):
+        draw_seed = stable_seed("whatif-random", seed, i)
+        caps = None
+        for attempt in range(max_tries):
+            rng = ensure_rng(stable_seed(draw_seed, attempt))
+            pick = rng.choice(len(links), size=n_fail, replace=False)
+            child = ag.with_failed_arcs(links[np.sort(pick), 0])
+            if child.capacity_connected():
+                caps = child.caps
+                picked = np.sort(pick)
+                break
+        if caps is None:
+            raise ValueError(
+                f"could not fail {n_fail} links and stay connected "
+                f"after {max_tries} tries (draw {i})"
+            )
+        scenarios.append(
+            Scenario(
+                name=f"random/k={n_fail}/draw={i}",
+                kind="random-failure",
+                caps=caps,
+                meta={"n_fail": n_fail, "draw": i, "links": picked.tolist()},
+            )
+        )
+    return scenarios
+
+
+def targeted_cut_failures(
+    topology: Topology,
+    tm: Optional[TrafficMatrix] = None,
+    max_fail: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[Scenario]:
+    """Adversarial failures concentrated on the sparsest cut.
+
+    Finds the best cut the Appendix-C estimators can (:func:`repro.cuts.
+    find_sparse_cut`), then fails the first ``j`` cut-crossing cables for
+    ``j = 1..max_fail`` — the worst place to lose capacity, since every
+    crossing demand is bottlenecked there.  Scenarios that would disconnect
+    the graph (``j`` equal to the full crossing set) are dropped.  Needs
+    the full :class:`Topology` (cut search walks the graph), unlike the
+    other generators.
+    """
+    from repro.cuts.heuristics import find_sparse_cut
+
+    ag = _compiled(topology)
+    report = find_sparse_cut(topology, tm=tm, seed=seed)
+    side = report.best.side
+    links = ag.undirected_links()
+    tails, heads = ag.tails[links[:, 0]], ag.heads[links[:, 0]]
+    crossing = np.flatnonzero(side[tails] != side[heads])
+    if max_fail is None:
+        max_fail = len(crossing)
+    scenarios = []
+    for j in range(1, min(max_fail, len(crossing)) + 1):
+        child = ag.with_failed_arcs(links[crossing[:j], 0])
+        if not child.capacity_connected():
+            break
+        scenarios.append(
+            Scenario(
+                name=f"cut/j={j}",
+                kind="targeted-cut",
+                caps=child.caps,
+                meta={
+                    "n_fail": j,
+                    "cut_sparsity": float(report.best.sparsity),
+                    "cut_found_by": report.best.found_by,
+                },
+            )
+        )
+    return scenarios
+
+
+def maintenance_windows(
+    topology: Union[Topology, ArcGraph],
+    n_windows: int = 8,
+    drain: float = 0.5,
+) -> List[Scenario]:
+    """Rolling maintenance: each window drains a contiguous chunk of cables.
+
+    The canonical link order is partitioned into ``n_windows`` near-equal
+    contiguous windows; window ``w``'s scenario scales those cables'
+    capacities by ``drain`` (0 = taken fully offline, 0.5 = half-rate
+    during works).  Together the windows cover every cable exactly once —
+    the planned-works schedule question "which maintenance window hurts
+    throughput most?".
+    """
+    if not 0.0 <= drain < 1.0:
+        raise ValueError(f"drain must be in [0, 1), got {drain}")
+    if n_windows < 1:
+        raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+    ag = _compiled(topology)
+    links = ag.undirected_links()
+    n_windows = min(n_windows, len(links))
+    rev = ag.reverse_permutation()
+    scenarios = []
+    for w, chunk in enumerate(np.array_split(np.arange(len(links)), n_windows)):
+        caps = np.array(ag.caps)
+        arc_ids = links[chunk, 0]
+        caps[arc_ids] *= drain
+        caps[rev[arc_ids]] *= drain
+        scenarios.append(
+            Scenario(
+                name=f"maint/w={w}",
+                kind="maintenance",
+                caps=caps,
+                meta={"window": w, "n_links": int(chunk.size), "drain": drain},
+            )
+        )
+    return scenarios

@@ -1,11 +1,14 @@
 """Tests for the link-failure robustness extension."""
 
+import networkx as nx
 import numpy as np
 import pytest
 
+from repro.batch import BatchSolver, use_solver
+from repro.batch.cache import ResultCache
 from repro.evaluation.failures import FailureCurve, fail_links, failure_sweep
 from repro.evaluation.experiments.factories import lm_factory
-from repro.topologies import fat_tree, hypercube, jellyfish
+from repro.topologies import Topology, fat_tree, hypercube, jellyfish
 from repro.throughput import throughput
 from repro.traffic import all_to_all
 
@@ -18,9 +21,16 @@ class TestFailLinks:
         assert failed.n_links == expected
         assert failed.is_connected()
 
-    def test_zero_fraction_identity(self):
+    def test_zero_fraction_tagged_copy(self):
+        # Historically fraction=0.0 returned the original object untagged;
+        # every fraction must now yield a uniformly tagged copy.
         topo = hypercube(3)
-        assert fail_links(topo, 0.0, seed=0) is topo
+        zero = fail_links(topo, 0.0, seed=0)
+        assert zero is not topo
+        assert zero.params["failed_fraction"] == 0.0
+        assert zero.name == f"{topo.name}/failed=0%"
+        assert sorted(zero.graph.edges()) == sorted(topo.graph.edges())
+        assert "failed_fraction" not in topo.params
 
     def test_servers_preserved(self):
         topo = fat_tree(4)
@@ -46,6 +56,30 @@ class TestFailLinks:
         failed = fail_links(topo, 0.1, seed=3)
         assert throughput(failed, tm).value <= base * (1 + 1e-9)
 
+    def test_multigraph_removes_single_parallel_cable(self):
+        # Parallel cables are distinct edge keys; failing one must leave
+        # its siblings in place, never collapse the whole bundle.
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(4))
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            g.add_edge(u, v)
+            g.add_edge(u, v)  # every cable doubled
+        topo = Topology(name="ring2x", graph=g, servers=np.ones(4, dtype=int))
+        failed = fail_links(topo, 1 / 8, seed=0)
+        assert failed.graph.number_of_edges() == 7
+        # Removing one parallel cable cannot disconnect the doubled ring.
+        assert nx.is_connected(failed.graph)
+        degrees = sorted(d for _, d in failed.graph.degree())
+        assert degrees == [3, 3, 4, 4]
+
+    def test_retry_exhaustion_raises(self):
+        # Every edge of a tree is a bridge: any removal disconnects, so
+        # the connectivity retry loop must exhaust and raise.
+        g = nx.path_graph(6)
+        topo = Topology(name="path", graph=g, servers=np.ones(6, dtype=int))
+        with pytest.raises(ValueError, match="stay connected"):
+            fail_links(topo, 0.2, seed=0, max_tries=5)
+
 
 class TestFailureSweep:
     def test_monotone_trend(self):
@@ -63,3 +97,36 @@ class TestFailureSweep:
         topo = hypercube(3)
         with pytest.raises(ValueError):
             failure_sweep(topo, lm_factory, samples=0)
+
+    def test_baseline_independent_of_fraction_order(self):
+        # Historically the baseline TM drew from the RNG *after* the sweep
+        # consumed it, so the same seed gave different baselines depending
+        # on `fractions`.  Child seeds are now derived up front.
+        topo = jellyfish(16, 4, seed=4)
+        a = failure_sweep(topo, lm_factory, fractions=(0.1,), samples=2, seed=3)
+        b = failure_sweep(
+            topo, lm_factory, fractions=(0.1, 0.2), samples=2, seed=3
+        )
+        base_a = a.throughputs[0] / a.relative[0]
+        base_b = b.throughputs[0] / b.relative[0]
+        assert base_a == pytest.approx(base_b, rel=1e-12)
+        # And the shared fraction's draws are identical too.
+        assert a.throughputs[0] == b.throughputs[0]
+
+    def test_rows_bit_identical_serial_pooled_warm(self, tmp_path):
+        topo = jellyfish(16, 4, seed=5)
+        kwargs = dict(fractions=(0.0, 0.1), samples=2, seed=9)
+
+        def run(solver):
+            with solver, use_solver(solver):
+                curve = failure_sweep(topo, lm_factory, **kwargs)
+            return (curve.fractions, curve.throughputs, curve.relative)
+
+        serial = run(BatchSolver(workers=1))
+        pooled = run(BatchSolver(workers=2))
+        cache = ResultCache(tmp_path / "cache")
+        cold = run(BatchSolver(workers=1, cache=cache))
+        warm_solver = BatchSolver(workers=1, cache=cache)
+        warm = run(warm_solver)
+        assert serial == pooled == cold == warm
+        assert warm_solver.n_solved == 0  # every row served from the cache

@@ -1,0 +1,291 @@
+"""Tests for the incremental what-if engine (scenarios, hints, bound-skips)."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchSolver, SolveRequest, use_solver
+from repro.batch.cache import ResultCache
+from repro.throughput import SolveHint, solve_throughput_lp
+from repro.topologies import fat_tree, hypercube, jellyfish
+from repro.traffic import all_to_all
+from repro.whatif import (
+    Scenario,
+    maintenance_windows,
+    random_failures,
+    targeted_cut_failures,
+    uniform_degradation,
+    whatif_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    topo = fat_tree(4)
+    return topo, all_to_all(topo)
+
+
+@pytest.fixture(scope="module")
+def parent_hint(instance):
+    topo, tm = instance
+    parent = solve_throughput_lp(topo, tm, want_duals=True)
+    return parent, SolveHint.from_result(parent, topo.compile().caps)
+
+
+class TestArcGraphOverlays:
+    def test_overlays_share_structure_digest(self, instance):
+        topo, _ = instance
+        ag = topo.compile()
+        scaled = ag.with_scaled_caps(0.5)
+        failed = ag.with_failed_arcs(ag.undirected_links()[0])
+        assert scaled.structure_digest == ag.structure_digest
+        assert failed.structure_digest == ag.structure_digest
+        # Full digests differ: the capacity vector changed.
+        assert scaled.digest != ag.digest
+
+    def test_failed_arcs_zero_both_directions(self, instance):
+        topo, _ = instance
+        ag = topo.compile()
+        link = ag.undirected_links()[2]
+        failed = ag.with_failed_arcs(link[:1])
+        assert failed.caps[link[0]] == 0.0
+        assert failed.caps[link[1]] == 0.0
+        assert np.count_nonzero(failed.caps == 0) == 2
+
+    def test_capacity_connected_ignores_dead_arcs(self, instance):
+        topo, _ = instance
+        ag = topo.compile()
+        assert ag.capacity_connected()
+        # Zeroing every arc of one node strands it.
+        incident = np.flatnonzero(
+            (ag.tails == 0) | (ag.heads == 0)
+        )
+        assert not ag.with_failed_arcs(incident).capacity_connected()
+
+
+class TestSolveHint:
+    def test_bounds_sandwich_true_value(self, instance, parent_hint):
+        topo, tm = instance
+        _, hint = parent_hint
+        ag = topo.compile()
+        for link_row in (1, 5, 9):
+            child = ag.with_failed_arcs(ag.undirected_links()[link_row])
+            lower, upper = hint.bounds_for(child.caps)
+            true_value = solve_throughput_lp(child, tm).value
+            assert lower - 1e-6 <= true_value <= upper + 1e-6
+
+    def test_uniform_degradation_closes_bounds(self, instance, parent_hint):
+        topo, _ = instance
+        parent, hint = parent_hint
+        caps = topo.compile().caps * 0.6
+        lower, upper = hint.bounds_for(caps)
+        assert lower == pytest.approx(0.6 * parent.value, rel=1e-6)
+        assert upper == pytest.approx(0.6 * parent.value, rel=1e-6)
+        assert hint.answers(caps) is not None
+
+    def test_open_interval_requires_solve(self, instance, parent_hint):
+        topo, _ = instance
+        _, hint = parent_hint
+        ag = topo.compile()
+        # Failing a used link leaves a wide interval: no skip.
+        child = ag.with_failed_arcs(ag.undirected_links()[0])
+        assert hint.answers(child.caps) is None
+
+    def test_cache_roundtrip_lists_coerced(self, instance, parent_hint):
+        # Cached results rebuild meta arrays as lists; the hint must accept
+        # them so warm reruns hint identically to cold ones.
+        topo, _ = instance
+        parent, hint = parent_hint
+        from dataclasses import replace
+
+        listy = replace(
+            parent,
+            meta={
+                **parent.meta,
+                "capacity_duals": np.asarray(parent.meta["capacity_duals"]).tolist(),
+                "arc_usage": np.asarray(parent.meta["arc_usage"]).tolist(),
+            },
+        )
+        rebuilt = SolveHint.from_result(listy, topo.compile().caps)
+        caps = topo.compile().caps * 0.5
+        assert rebuilt.bounds_for(caps) == pytest.approx(hint.bounds_for(caps))
+
+    def test_shape_mismatch_raises(self, parent_hint):
+        _, hint = parent_hint
+        with pytest.raises(ValueError):
+            hint.bounds_for(np.ones(3))
+
+
+class TestWarmStart:
+    def test_warm_solve_matches_cold(self, instance, parent_hint):
+        topo, tm = instance
+        _, hint = parent_hint
+        ag = topo.compile()
+        child = ag.with_failed_arcs(ag.undirected_links()[4])
+        cold = solve_throughput_lp(child, tm)
+        warm = solve_throughput_lp(child, tm, warm_start=hint)
+        assert warm.value == pytest.approx(cold.value, rel=1e-7)
+        assert "warm_start_bounds" in warm.meta
+        assert "warm_start_bounds" not in cold.meta
+
+
+class TestBoundSkip:
+    def test_solve_many_skips_and_counts(self, instance, parent_hint):
+        topo, tm = instance
+        parent, hint = parent_hint
+        ag = topo.compile()
+        degraded = ag.with_scaled_caps(0.7)
+        failed = ag.with_failed_arcs(ag.undirected_links()[0])
+        with BatchSolver(workers=1) as solver:
+            outcomes = solver.solve_many(
+                [
+                    SolveRequest(degraded, tm, engine="lp", hint=hint, tag="deg"),
+                    SolveRequest(failed, tm, engine="lp", hint=hint, tag="fail"),
+                ]
+            )
+            stats = solver.stats()
+        assert stats["skipped_by_bound"] == 1
+        assert stats["solved"] == 1
+        deg, fail = outcomes
+        assert deg.result.meta["skipped_by_bound"] is True
+        assert deg.result.value == pytest.approx(0.7 * parent.value, rel=1e-6)
+        assert "skipped_by_bound" not in fail.result.meta
+
+    def test_streaming_path_skips_identically(self, instance, parent_hint):
+        topo, tm = instance
+        parent, hint = parent_hint
+        degraded = topo.compile().with_scaled_caps(0.7)
+        with BatchSolver(workers=1) as solver:
+            solver.submit(SolveRequest(degraded, tm, engine="lp", hint=hint))
+            (outcome,) = list(solver.iter_outcomes())
+            assert solver.stats()["skipped_by_bound"] == 1
+        assert outcome.result.value == pytest.approx(0.7 * parent.value, rel=1e-6)
+
+    def test_skipped_results_not_cached(self, instance, parent_hint, tmp_path):
+        topo, tm = instance
+        _, hint = parent_hint
+        degraded = topo.compile().with_scaled_caps(0.7)
+        cache = ResultCache(tmp_path / "cache")
+        with BatchSolver(workers=1, cache=cache) as solver:
+            solver.solve(SolveRequest(degraded, tm, engine="lp", hint=hint))
+        # An interval answer must never masquerade as a solved value.
+        assert cache.puts == 0
+        assert len(cache) == 0
+
+    def test_duals_requests_never_skip(self, instance, parent_hint):
+        topo, tm = instance
+        _, hint = parent_hint
+        degraded = topo.compile().with_scaled_caps(0.7)
+        with BatchSolver(workers=1) as solver:
+            outcome = solver.solve(
+                SolveRequest(
+                    degraded,
+                    tm,
+                    engine="lp",
+                    params={"want_duals": True},
+                    hint=hint,
+                )
+            )
+            assert solver.stats()["skipped_by_bound"] == 0
+        assert "capacity_duals" in outcome.result.meta
+
+
+class TestScenarioGenerators:
+    def test_random_failures_deterministic(self, instance):
+        topo, _ = instance
+        a = random_failures(topo, n_fail=2, samples=3, seed=11)
+        b = random_failures(topo, n_fail=2, samples=3, seed=11)
+        assert [s.name for s in a] == [s.name for s in b]
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa.caps, sb.caps)
+            assert sa.meta["links"] == sb.meta["links"]
+
+    def test_random_failures_draws_independent_of_sample_count(self, instance):
+        # Draw i is keyed by (seed, i): adding more samples never changes
+        # the earlier draws (the seed-order bug class).
+        topo, _ = instance
+        short = random_failures(topo, n_fail=2, samples=2, seed=5)
+        long = random_failures(topo, n_fail=2, samples=4, seed=5)
+        for sa, sb in zip(short, long):
+            assert np.array_equal(sa.caps, sb.caps)
+
+    def test_random_failures_keep_connectivity(self):
+        topo = jellyfish(16, 4, seed=3)
+        ag = topo.compile()
+        for s in random_failures(topo, n_fail=3, samples=4, seed=0):
+            assert ag.with_caps(s.caps).capacity_connected()
+
+    def test_maintenance_windows_cover_every_link_once(self, instance):
+        topo, _ = instance
+        ag = topo.compile()
+        scenarios = maintenance_windows(topo, n_windows=5, drain=0.0)
+        touched = np.zeros(ag.n_arcs, dtype=int)
+        for s in scenarios:
+            touched += (s.caps == 0).astype(int)
+        assert np.all(touched == 1)
+
+    def test_targeted_cut_concentrates_on_crossing_links(self, instance):
+        topo, tm = instance
+        scenarios = targeted_cut_failures(topo, tm=tm, max_fail=2)
+        assert scenarios, "cut generator found no usable scenario"
+        assert all(s.kind == "targeted-cut" for s in scenarios)
+        assert scenarios[0].meta["n_fail"] == 1
+
+    def test_uniform_degradation_validates(self, instance):
+        topo, _ = instance
+        with pytest.raises(ValueError):
+            uniform_degradation(topo, factors=(-0.5,))
+
+
+class TestWhatIfSweep:
+    @pytest.fixture(scope="class")
+    def scenarios(self, instance):
+        topo, tm = instance
+        return (
+            uniform_degradation(topo, factors=(0.8, 0.5))
+            + random_failures(topo, n_fail=2, samples=2, seed=1)
+            + maintenance_windows(topo, n_windows=3, drain=0.5)
+        )
+
+    def test_degradations_skipped_and_relative_exact(self, instance, scenarios):
+        topo, tm = instance
+        report = whatif_sweep(topo, tm, scenarios, solver=BatchSolver(workers=1))
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["degrade/0.8"].skipped_by_bound
+        assert by_name["degrade/0.8"].relative == pytest.approx(0.8, rel=1e-6)
+        assert report.n_skipped_by_bound >= 2
+        assert all(o.ok for o in report.outcomes)
+        assert report.stats["skipped_by_bound"] == report.n_skipped_by_bound
+
+    def test_serial_workers_warm_bit_identical(
+        self, instance, scenarios, tmp_path
+    ):
+        topo, tm = instance
+
+        def run(solver):
+            with solver:
+                rep = whatif_sweep(topo, tm, scenarios, solver=solver)
+            return [(o.name, o.value, o.relative) for o in rep.outcomes]
+
+        serial = run(BatchSolver(workers=1))
+        pooled = run(BatchSolver(workers=2))
+        cache = ResultCache(tmp_path / "cache")
+        cold = run(BatchSolver(workers=1, cache=cache))
+        warm_solver = BatchSolver(workers=1, cache=cache)
+        warm = run(warm_solver)
+        assert serial == pooled == cold == warm
+        assert warm_solver.n_solved == 0  # fully answered by cache + bounds
+
+    def test_ambient_solver_used_when_none_given(self, instance, scenarios):
+        topo, tm = instance
+        solver = BatchSolver(workers=1)
+        with use_solver(solver):
+            report = whatif_sweep(topo, tm, scenarios[:3])
+        assert solver.n_requests == 4  # parent + 3 children
+        assert len(report.outcomes) == 3
+
+    def test_relative_values_sorted_cdf(self, instance, scenarios):
+        topo, tm = instance
+        report = whatif_sweep(topo, tm, scenarios, solver=BatchSolver(workers=1))
+        rel = report.relative_values()
+        assert rel == sorted(rel)
+        assert len(rel) == len(scenarios)
