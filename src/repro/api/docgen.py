@@ -6,9 +6,9 @@ reference, both derived from live code so they cannot silently go stale.
   ``python -m repro list --markdown > EXPERIMENTS.md``.
 * :func:`api_markdown` renders the public-API reference — engine
   guarantees from :data:`repro.throughput.mcf.ENGINE_GUARANTEES`, plus the
-  exported surface of :mod:`repro.api` and :mod:`repro.batch` with each
-  object's docstring summary; regenerate with
-  ``python -m repro list --api-markdown > API.md``.
+  exported surfaces of :mod:`repro.core`, :mod:`repro.api`,
+  :mod:`repro.batch`, and :mod:`repro.lint` with each object's docstring
+  summary; regenerate with ``python -m repro list --api-markdown > API.md``.
 
 Tests (and the CI ``docs`` job) assert both committed files match their
 regenerated form, so any drift fails loudly.
@@ -126,6 +126,7 @@ def api_markdown() -> str:
     import repro.api as api_module
     import repro.batch as batch_module
     import repro.core as core_module
+    import repro.lint as lint_module
     from repro.throughput.backends import LP_BACKENDS
     from repro.throughput.mcf import ENGINE_GUARANTEES
 
@@ -155,4 +156,5 @@ def api_markdown() -> str:
     lines.extend(_module_section("repro.core", core_module))
     lines.extend(_module_section("repro.api", api_module))
     lines.extend(_module_section("repro.batch", batch_module))
+    lines.extend(_module_section("repro.lint", lint_module))
     return "".join(lines)

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.throughput.lp import ThroughputResult
+from repro.utils.envknobs import knob_str
 from repro.utils.serialization import _coerce
 
 #: Default cache location when neither argument nor env var is given.
@@ -62,13 +63,13 @@ CACHE_BACKENDS = ("jsonl", "sqlite")
 
 def resolve_cache_dir(cache_dir: Optional[os.PathLike | str] = None) -> Path:
     """Resolve the cache directory (argument > ``REPRO_CACHE_DIR`` > default)."""
-    raw = cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    raw = cache_dir or knob_str("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
     return Path(raw).expanduser()
 
 
 def resolve_cache_backend(backend: Optional[str] = None) -> str:
     """Resolve the backend name (argument > ``REPRO_CACHE_BACKEND`` > jsonl)."""
-    name = (backend or os.environ.get("REPRO_CACHE_BACKEND") or "jsonl").lower()
+    name = (backend or knob_str("REPRO_CACHE_BACKEND") or "jsonl").lower()
     if name not in CACHE_BACKENDS:
         raise ValueError(
             f"unknown cache backend {name!r}; expected one of {CACHE_BACKENDS}"

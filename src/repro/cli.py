@@ -22,6 +22,9 @@ Usage::
     python -m repro fig5 --cache-max-entries 10000 --cache-max-mb 64
     python -m repro cache            # cache stats
     python -m repro cache clear      # drop all cached results
+    python -m repro lint             # check repo invariants (R001-R006)
+    python -m repro lint --format json --rule R002 --rule R003
+    python -m repro lint --update-baseline   # grandfather current findings
 
 Output is the ASCII table/series the corresponding bench prints, plus the
 shape-check verdicts catalogued in EXPERIMENTS.md (generated from the
@@ -90,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig4, table1), 'all', 'list', or 'cache'",
+        help="experiment id (e.g. fig4, table1), 'all', 'list', 'cache', "
+        "or 'lint'",
     )
     parser.add_argument(
         "cache_action",
@@ -221,6 +225,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as JSON into this directory",
     )
+    lint = parser.add_argument_group("lint", "options for 'repro lint'")
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="lint_format",
+        help="lint report format (default: text)",
+    )
+    lint.add_argument(
+        "--rule",
+        metavar="RULE",
+        action="append",
+        dest="lint_rules",
+        default=None,
+        help="run only this rule id (repeatable, e.g. --rule R002); "
+        "default: all rules",
+    )
+    lint.add_argument(
+        "--lint-path",
+        metavar="PATH",
+        action="append",
+        dest="lint_paths",
+        default=None,
+        help="file or directory to lint (repeatable); default: the repo's "
+        "src/ tree",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings (default: "
+        "reprolint-baseline.json at the project root)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding "
+        "(existing justifications are preserved)",
+    )
     return parser
 
 
@@ -247,6 +290,40 @@ def _cache_command(args: argparse.Namespace) -> int:
     print(f"corrupt    : {stats['corrupt_lines']} line(s) skipped")
     print(f"evictions  : {stats['evictions']}")
     return 0
+
+
+def _lint_command(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        exit_code,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        save_baseline,
+    )
+
+    try:
+        result = run_lint(
+            paths=args.lint_paths,
+            rules=args.lint_rules,
+            baseline=args.baseline,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        entries = load_baseline(result.baseline_path)
+        justifications = {e.fingerprint: e.justification for e in entries}
+        count = save_baseline(
+            result.baseline_path,
+            result.findings + result.grandfathered,
+            justifications,
+        )
+        print(f"wrote {count} baseline entr(ies) to {result.baseline_path}")
+        return 0
+    render = render_json if args.lint_format == "json" else render_text
+    print(render(result), end="")
+    return exit_code(result)
 
 
 def _list_command(args: argparse.Namespace) -> int:
@@ -332,10 +409,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             else ("--markdown" if args.markdown else "--api-markdown")
         )
         parser.error(f"{flag} is only valid with 'list'")
+    if args.experiment != "lint":
+        lint_flags = {
+            "--format": args.lint_format != "text",
+            "--rule": args.lint_rules is not None,
+            "--lint-path": args.lint_paths is not None,
+            "--baseline": args.baseline is not None,
+            "--update-baseline": args.update_baseline,
+        }
+        used = [flag for flag, on in lint_flags.items() if on]
+        if used:
+            parser.error(f"{used[0]} is only valid with 'lint'")
     if args.experiment == "list":
         return _list_command(args)
     if args.experiment == "cache":
         return _cache_command(args)
+    if args.experiment == "lint":
+        return _lint_command(args)
     if args.experiment == "all":
         registry = ensure_registered()
         if args.tag is not None and args.tag not in registry.tags():

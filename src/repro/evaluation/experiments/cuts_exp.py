@@ -13,8 +13,8 @@ from typing import Dict, List
 
 from repro.api import emit_row, experiment
 from repro.batch import SolveRequest, iter_solve_instances, solve_values
-from repro.cuts.heuristics import find_sparse_cut
 from repro.cuts.bisection import bisection_bandwidth
+from repro.cuts.heuristics import find_sparse_cut
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.expander import clustered_random_graph, subdivided_expander
 from repro.topologies.flattened_butterfly import flattened_butterfly

@@ -1,3 +1,4 @@
+# repro-lint: allow[R006] — shared TM-factory helpers, not an experiment module
 """Shared TM factories for the experiment modules.
 
 A factory has the signature ``(topology, seed) -> TrafficMatrix`` so that

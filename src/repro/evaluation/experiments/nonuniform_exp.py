@@ -11,8 +11,8 @@ from typing import Dict, Iterator, List, Sequence
 
 from repro.api import emit_row, experiment
 from repro.batch import SolveRequest, iter_outcome_values
-from repro.evaluation.experiments.factories import elephant_factory
 from repro.evaluation.equipment import jellyfish_from_equipment
+from repro.evaluation.experiments.factories import elephant_factory
 from repro.evaluation.relative import RelativeSpec, relative_throughput_iter
 from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
 from repro.topologies.fattree import fat_tree

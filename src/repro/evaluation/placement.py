@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.throughput.lp import solve_throughput_lp
+from repro.batch.context import get_solver
+from repro.batch.jobs import SolveRequest
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.utils.numeric import safe_ratio
@@ -60,13 +61,18 @@ def optimize_placement(
         )
     rng = ensure_rng(seed)
     n = topology.n_switches
+    solver = get_solver()
 
     def placed(positions: np.ndarray) -> TrafficMatrix:
         tm = rack_tm.embedded(n, positions)
         return tm.normalized_hose(topology.servers)
 
     def evaluate(positions: np.ndarray) -> float:
-        return solve_throughput_lp(topology, placed(positions)).value
+        # Each candidate is one ambient-solver job: under an experiment run
+        # the search shares the run's result cache (revisited placements are
+        # free); standalone it degrades to the historical inline solve.
+        request = SolveRequest(topology, placed(positions), tag="placement")
+        return solver.solve(request).require().value
 
     baseline_pos = hosts[:n_racks].copy()
     baseline = evaluate(baseline_pos)

@@ -8,10 +8,10 @@ Every experiment accepts a :class:`ScaleConfig`.  ``REPRO_SCALE`` (env var:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
+from repro.utils.envknobs import knob_str
 from repro.utils.tables import render_table
 
 
@@ -53,7 +53,7 @@ SCALES: Dict[str, ScaleConfig] = {
 
 def scale_from_env(default: str = "small") -> ScaleConfig:
     """The scale selected by the ``REPRO_SCALE`` environment variable."""
-    name = os.environ.get("REPRO_SCALE", default).lower()
+    name = knob_str("REPRO_SCALE", default).lower()
     if name not in SCALES:
         raise ValueError(
             f"REPRO_SCALE={name!r} unknown; expected one of {sorted(SCALES)}"

@@ -1,0 +1,60 @@
+"""``repro.lint`` — AST-based checker for the repo's whole-program invariants.
+
+The scaling layers (batch cache, engine registry, what-if bounds) rest on
+invariants no unit test can see whole: every solve routed through the
+ambient :class:`~repro.batch.solver.BatchSolver`, every result-affecting
+knob frozen into the cache key, all randomness derived from
+``stable_seed``/``ensure_rng``.  Each has been broken and re-fixed by hand
+at least once (see DESIGN.md "Static invariants"); this package enforces
+them statically, over the source AST, so regressions fail in CI instead
+of poisoning shared caches.
+
+Use it from the CLI (``repro lint [--format json] [--rule R00x]``) or
+programmatically::
+
+    from repro.lint import run_lint
+    result = run_lint(["src"])
+    assert result.clean, result.findings
+
+Findings can be suppressed per line (``# repro-lint: allow[R001]`` with a
+justification in the comment) or grandfathered in the committed baseline
+file (``reprolint-baseline.json``); stale baseline entries fail the run
+so paid-off debt cannot linger.
+"""
+
+from repro.lint.baseline import (
+    BASELINE_FILENAME,
+    BaselineEntry,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.model import ModuleInfo, ProjectModel
+from repro.lint.report import (
+    exit_code,
+    findings_from_json,
+    render_json,
+    render_text,
+)
+from repro.lint.rules import RULES, Finding, Rule, all_rules, select_rules
+from repro.lint.runner import LintResult, default_paths, run_lint
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "select_rules",
+    "ProjectModel",
+    "ModuleInfo",
+    "LintResult",
+    "run_lint",
+    "default_paths",
+    "BaselineEntry",
+    "BASELINE_FILENAME",
+    "load_baseline",
+    "save_baseline",
+    "render_text",
+    "render_json",
+    "findings_from_json",
+    "exit_code",
+]

@@ -1,0 +1,129 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline entry records a finding we have decided to live with (with a
+justification), identified by its line-independent fingerprint
+(rule + file + message) so unrelated edits don't invalidate it.  The
+runner partitions current findings into *new* (fail the run),
+*grandfathered* (matched an entry), and reports *stale* entries (match
+nothing any more — the debt was paid, so the baseline must be trimmed;
+CI fails on stale entries the same way the docs jobs fail on drift).
+
+The file is plain sorted JSON (``reprolint-baseline.json`` at the repo
+root) so diffs review like code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.rules import Finding
+
+#: Default baseline filename, resolved against the project root.
+BASELINE_FILENAME = "reprolint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.message}"
+
+
+def load_baseline(path: Path | str) -> List[BaselineEntry]:
+    """Entries from ``path`` (an absent file is an empty baseline)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    return [
+        BaselineEntry(
+            rule=entry["rule"],
+            path=entry["path"],
+            message=entry["message"],
+            justification=entry.get("justification", ""),
+        )
+        for entry in doc.get("entries", [])
+    ]
+
+
+def save_baseline(
+    path: Path | str,
+    findings: Iterable[Finding],
+    justifications: Optional[dict] = None,
+) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    ``justifications`` maps fingerprints to justification strings; existing
+    justifications are preserved by the caller passing them through.
+    """
+    justifications = justifications or {}
+    entries = sorted(
+        {
+            (f.rule, f.path, f.message)
+            for f in findings
+        }
+    )
+    doc = {
+        "version": _VERSION,
+        "entries": [
+            {
+                "rule": rule,
+                "path": rel,
+                "message": message,
+                "justification": justifications.get(
+                    f"{rule}::{rel}::{message}", ""
+                ),
+            }
+            for rule, rel, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(doc["entries"])
+
+
+def partition(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    active_rules: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(new, grandfathered, stale_entries)``.  Stale detection is
+    restricted to ``active_rules`` (when a ``--rule`` filter ran, entries
+    for unselected rules are not stale — they simply were not checked).
+    """
+    known = {entry.fingerprint for entry in entries}
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    matched: set = set()
+    for finding in findings:
+        if finding.fingerprint in known:
+            grandfathered.append(finding)
+            matched.add(finding.fingerprint)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for entry in entries
+        if entry.fingerprint not in matched
+        and (active_rules is None or entry.rule in active_rules)
+    ]
+    return new, grandfathered, stale

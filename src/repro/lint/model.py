@@ -1,0 +1,235 @@
+"""Cross-file project model for ``repro lint``.
+
+The linter parses every ``.py`` file under the lint roots once into a
+:class:`ModuleInfo` (AST + source lines + per-line suppressions + an
+import-alias map), and bundles them into a :class:`ProjectModel` that
+rules consume.  Single-module rules walk one AST at a time; cross-file
+rules (registry coverage) see the whole model, plus the repo docs
+(``EXPERIMENTS.md``, ``README.md``) needed for documented-name checks.
+
+Name resolution is import-based: ``ModuleInfo.resolve`` canonicalizes an
+attribute chain like ``np.random.default_rng`` to
+``numpy.random.default_rng`` using the module's own import statements, so
+rules match *what a name means*, not what it is spelled as.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Suppression comment: ``# repro-lint: allow[R001]`` or ``allow[R001,R004]``.
+#: On a code line it suppresses findings on that line; on a comment-only
+#: line it also suppresses the line below it.
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+#: Documentation files the cross-file rules may consult.
+_DOC_NAMES = ("EXPERIMENTS.md", "README.md")
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map of 1-based line number -> rule ids allowed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        out.setdefault(i, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # A comment-only allow line covers the statement below it.
+            out.setdefault(i + 1, set()).update(rules)
+    return out
+
+
+def _module_name(relpath: Path) -> str:
+    """Dotted module name for a file path (anchored at the ``repro`` package).
+
+    Files outside any package root fall back to their stem, which keeps the
+    linter usable on loose fixture trees.
+    """
+    parts = list(relpath.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts) if parts else relpath.stem
+
+
+def _import_aliases(tree: ast.Module, package: str) -> Dict[str, str]:
+    """Local name -> canonical dotted origin, from the module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random import
+    default_rng`` maps ``default_rng -> numpy.random.default_rng``; a bare
+    ``import os.path`` binds the top package (``os -> os``).  Relative
+    imports resolve against ``package``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".", 1)[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                prefix_parts = package.split(".") if package else []
+                cut = len(prefix_parts) - (node.level - 1)
+                prefix = ".".join(prefix_parts[: max(cut, 0)])
+                base = f"{prefix}.{base}" if base and prefix else (prefix or base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path  # absolute location on disk
+    relpath: str  # project-root-relative posix path (stable across cwds)
+    module: str  # dotted module name, e.g. "repro.batch.cache"
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.path.name == "__init__.py":
+            return self.module
+        return self.module.rsplit(".", 1)[0] if "." in self.module else ""
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted origin of an expression, or ``None``.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when the module imported ``numpy as np``; unimported roots (local
+        variables, builtins) resolve to the raw chain so rules can still
+        match builtins like ``hash``.
+        """
+        raw = dotted_name(node)
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return raw
+        return f"{origin}.{rest}" if rest else origin
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when an allow comment covers ``rule_id`` at ``line``."""
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule_id in rules or "*" in rules)
+
+
+class ProjectModel:
+    """All parsed modules plus the docs the cross-file rules consult."""
+
+    def __init__(
+        self,
+        modules: List[ModuleInfo],
+        root: Path,
+        docs: Dict[str, str],
+        parse_errors: List[Tuple[str, int, str]],
+    ) -> None:
+        self.modules = modules
+        self.root = root
+        self.docs = docs  # doc filename -> text (only files that exist)
+        self.parse_errors = parse_errors  # (relpath, line, message)
+        self._by_name = {mod.module: mod for mod in modules}
+
+    def module_named(self, name: str) -> Optional[ModuleInfo]:
+        return self._by_name.get(name)
+
+    def doc(self, name: str) -> Optional[str]:
+        return self.docs.get(name)
+
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Sequence[Path | str],
+        project_root: Optional[Path | str] = None,
+    ) -> "ProjectModel":
+        """Parse every ``.py`` file under ``paths``.
+
+        ``project_root`` anchors finding paths (and is where docs are
+        looked up); when omitted it is discovered by walking up from the
+        first path looking for ``EXPERIMENTS.md`` or ``.git``, falling
+        back to the current directory.
+        """
+        resolved = [Path(p).resolve() for p in paths]
+        root = (
+            Path(project_root).resolve()
+            if project_root is not None
+            else _discover_root(resolved)
+        )
+        files: List[Path] = []
+        for path in resolved:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        modules: List[ModuleInfo] = []
+        parse_errors: List[Tuple[str, int, str]] = []
+        for file in files:
+            try:
+                relpath = file.relative_to(root).as_posix()
+            except ValueError:
+                relpath = file.as_posix()
+            source = file.read_text(encoding="utf-8")
+            lines = source.splitlines()
+            try:
+                tree = ast.parse(source, filename=str(file))
+            except SyntaxError as exc:
+                parse_errors.append((relpath, exc.lineno or 1, exc.msg or "syntax error"))
+                continue
+            module = _module_name(Path(relpath))
+            info = ModuleInfo(
+                path=file,
+                relpath=relpath,
+                module=module,
+                tree=tree,
+                lines=lines,
+                suppressions=_suppressions(lines),
+            )
+            info.aliases = _import_aliases(tree, info.package)
+            modules.append(info)
+        docs = {}
+        for name in _DOC_NAMES:
+            doc_path = root / name
+            if doc_path.is_file():
+                docs[name] = doc_path.read_text(encoding="utf-8")
+        return cls(modules, root, docs, parse_errors)
+
+
+def _discover_root(paths: Sequence[Path]) -> Path:
+    start = paths[0] if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in [start, *start.parents]:
+        if (candidate / "EXPERIMENTS.md").is_file() or (candidate / ".git").exists():
+            return candidate
+    return Path.cwd()

@@ -1,0 +1,402 @@
+"""Per-module invariant rules R001–R005.
+
+Each rule encodes a bug class this repo has actually shipped (see the
+"Static invariants" section of DESIGN.md for the history):
+
+* **R001 solver-bypass** — direct calls to the LP/MWU/sharded engine
+  entrypoints outside the throughput/batch layers skip the ambient
+  :class:`~repro.batch.solver.BatchSolver`, so they are invisible to the
+  result cache, the ``--engine`` override, and batch stats (the PR 4
+  ``--engine`` silent no-op was this shape).
+* **R002 unseeded-rng** — randomness not derived from
+  ``ensure_rng``/``stable_seed`` (unseeded ``default_rng()``, legacy
+  ``np.random.*`` global state, stdlib ``random``) breaks bit-identical
+  reruns and cross-process determinism.
+* **R003 stray-env-knob** — ``os.environ`` reads outside
+  :mod:`repro.utils.envknobs` are undeclared knobs; a result-affecting one
+  that is not frozen into cache keys poisons shared caches (the PR 5
+  backend-missing-from-key bug).
+* **R004 seed-dependent-hash** — builtin ``hash()`` is salted per process
+  (``PYTHONHASHSEED``) and ``id()`` is address-dependent; either one
+  feeding a key, digest, or sort order breaks cross-process determinism
+  (``stable_seed`` exists precisely because of this).
+* **R005 networkx-in-hot-path** — ``repro.core``/``repro.batch``/
+  ``repro.whatif`` are ArcGraph-native per PR 5: a networkx import there
+  reintroduces graph-walk costs and fat pool payloads on the hot path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.model import ModuleInfo, ProjectModel
+from repro.lint.rules import Finding, Rule, register
+
+# --------------------------------------------------------------- R001
+
+
+@register
+class SolverBypassRule(Rule):
+    id = "R001"
+    title = "solver-bypass"
+    rationale = (
+        "every solve must route through the ambient BatchSolver so caching, "
+        "pooling, --engine overrides, and batch stats see it"
+    )
+
+    #: Engine entrypoints (and raw LP access) only the throughput/batch
+    #: layers may touch.
+    BANNED = {
+        "repro.throughput.lp.solve_throughput_lp",
+        "repro.throughput.approx.solve_throughput_mwu",
+        "repro.throughput.sharded.solve_throughput_sharded",
+        "repro.batch.solver._solve_local",
+        "scipy.optimize.linprog",
+    }
+
+    #: Module prefixes allowed to call engine internals directly.
+    ALLOWED_PREFIXES = ("repro.throughput", "repro.batch", "repro.lint")
+
+    def _exempt(self, module: ModuleInfo) -> bool:
+        if not module.module.startswith("repro"):
+            return False  # fixture trees still lint
+        return any(
+            module.module == prefix or module.module.startswith(prefix + ".")
+            for prefix in self.ALLOWED_PREFIXES
+        )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        if self._exempt(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    qualified = f"{node.module}.{alias.name}"
+                    if qualified in self.BANNED:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"imports engine internal '{qualified}'; route "
+                            "solves through the ambient BatchSolver "
+                            "(repro.batch.context) instead",
+                            node.col_offset,
+                        )
+            elif isinstance(node, ast.Call):
+                resolved = module.resolve(node.func)
+                if resolved in self.BANNED:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"calls engine internal '{resolved}'; route solves "
+                        "through the ambient BatchSolver "
+                        "(repro.batch.context) instead",
+                        node.col_offset,
+                    )
+
+
+# --------------------------------------------------------------- R002
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "R002"
+    title = "unseeded-rng"
+    rationale = (
+        "all randomness must derive from ensure_rng/stable_seed so a single "
+        "master seed reproduces every artifact bit-identically"
+    )
+
+    #: numpy.random attributes that are part of the seeded-Generator API.
+    ALLOWED_NP_RANDOM = {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+
+    #: The seed-discipline module itself (it wraps default_rng).
+    EXEMPT_MODULES = {"repro.utils.rng"}
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        if module.module in self.EXEMPT_MODULES:
+            return
+        stdlib_random = module.aliases.get("random") == "random"
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "imports from the stdlib 'random' module (global, "
+                    "unseedable per-run state); use repro.utils.rng."
+                    "ensure_rng / stable_seed",
+                    node.col_offset,
+                )
+            elif isinstance(node, ast.Call):
+                resolved = module.resolve(node.func)
+                if resolved is None:
+                    continue
+                if resolved == "numpy.random.default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "unseeded numpy.random.default_rng() draws OS "
+                        "entropy; take a seed and pass it through "
+                        "repro.utils.rng.ensure_rng",
+                        node.col_offset,
+                    )
+                elif resolved.startswith("numpy.random."):
+                    attr = resolved.rsplit(".", 1)[1]
+                    if attr not in self.ALLOWED_NP_RANDOM:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"legacy numpy.random.{attr} uses hidden global "
+                            "state; use a Generator from "
+                            "repro.utils.rng.ensure_rng",
+                            node.col_offset,
+                        )
+                elif stdlib_random and resolved.startswith("random."):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"stdlib '{resolved}' uses global, unseedable "
+                        "per-run state; use repro.utils.rng.ensure_rng",
+                        node.col_offset,
+                    )
+
+
+# --------------------------------------------------------------- R003
+
+
+@register
+class StrayEnvKnobRule(Rule):
+    id = "R003"
+    title = "stray-env-knob"
+    rationale = (
+        "env knobs are declared once in repro.utils.envknobs; an ad-hoc "
+        "os.environ read that changes solve output is a cache-key hazard"
+    )
+
+    #: The one module allowed to touch the process environment.
+    WHITELIST = {"repro.utils.envknobs"}
+
+    _BANNED_CALLS = {"os.getenv", "os.putenv", "os.unsetenv"}
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        if module.module in self.WHITELIST:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                resolved = module.resolve(node)
+                if resolved in ("os.environ", "os.environb"):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"reads {resolved} directly; declare the knob in "
+                        "repro.utils.envknobs.KNOBS and use its accessors",
+                        node.col_offset,
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = module.resolve(node.func)
+                if resolved in self._BANNED_CALLS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"calls {resolved}; declare the knob in "
+                        "repro.utils.envknobs.KNOBS and use its accessors",
+                        node.col_offset,
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in ("environ", "environb", "getenv", "putenv"):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"imports os.{alias.name}; declare the knob in "
+                            "repro.utils.envknobs.KNOBS and use its accessors",
+                            node.col_offset,
+                        )
+
+
+# --------------------------------------------------------------- R004
+
+
+_HASHY_NAME = re.compile(r"(key|digest|hash|seed|fingerprint)", re.IGNORECASE)
+
+
+@register
+class SeedDependentHashRule(Rule):
+    id = "R004"
+    title = "seed-dependent-hash"
+    rationale = (
+        "builtin hash() is salted per process (PYTHONHASHSEED) and id() is "
+        "address-dependent; neither may feed keys, digests, or sort orders"
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int]] = set()
+
+        def emit(node: ast.AST, message: str) -> Iterator[Finding]:
+            spot = (node.lineno, node.col_offset)
+            if spot not in seen:
+                seen.add(spot)
+                yield self.finding(module, node.lineno, message, node.col_offset)
+
+        def id_calls(subtree: ast.AST) -> Iterator[ast.Call]:
+            for sub in ast.walk(subtree):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                    and sub.func.id not in module.aliases
+                ):
+                    yield sub
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"
+                    and "hash" not in module.aliases
+                ):
+                    yield from emit(
+                        node,
+                        "builtin hash() is salted per process "
+                        "(PYTHONHASHSEED); use repro.utils.rng.stable_seed "
+                        "or hashlib",
+                    )
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "key"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id in ("id", "hash")
+                    ):
+                        yield from emit(
+                            keyword.value,
+                            f"sorts/keys by builtin {keyword.value.id}(), "
+                            "which is process-dependent; key on stable "
+                            "content instead",
+                        )
+                resolved = module.resolve(node.func)
+                if resolved is not None and _HASHY_NAME.search(
+                    resolved.rsplit(".", 1)[-1]
+                ):
+                    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                        for call in id_calls(arg):
+                            yield from emit(
+                                call,
+                                "id() is address-dependent and must not "
+                                f"feed '{resolved}'; use stable content "
+                                "identity",
+                            )
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is None:
+                        continue
+                    for call in id_calls(key):
+                        yield from emit(
+                            call,
+                            "id() as a dict key is address-dependent; key "
+                            "on stable content identity",
+                        )
+
+
+# --------------------------------------------------------------- R005
+
+
+@register
+class NetworkxHotPathRule(Rule):
+    id = "R005"
+    title = "networkx-in-hot-path"
+    rationale = (
+        "repro.core/batch/whatif are ArcGraph-native (PR 5): a networkx "
+        "import there reintroduces graph walks and fat pool payloads"
+    )
+
+    HOT_PREFIXES = ("repro.core", "repro.batch", "repro.whatif")
+
+    #: Modules that transitively pull in networkx; banned at module level in
+    #: hot packages (a function-scoped lazy import is the sanctioned
+    #: compile-boundary idiom — see repro.core.arcgraph.compile_graph).
+    HEAVY_MODULES = ("repro.utils.graphutils",)
+
+    def _hot(self, module: ModuleInfo) -> bool:
+        return any(
+            module.module == prefix or module.module.startswith(prefix + ".")
+            for prefix in self.HOT_PREFIXES
+        )
+
+    def _top_level_imports(
+        self, tree: ast.Module
+    ) -> Iterator[ast.Import | ast.ImportFrom]:
+        """Module-level imports, looking through top-level If/Try guards."""
+        stack: List[ast.AST] = list(tree.body)
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield node
+            elif isinstance(node, (ast.If, ast.Try)):
+                for body in (
+                    getattr(node, "body", []),
+                    getattr(node, "orelse", []),
+                    getattr(node, "finalbody", []),
+                ):
+                    stack.extend(body)
+                for handler in getattr(node, "handlers", []):
+                    stack.extend(handler.body)
+
+    @staticmethod
+    def _imports_of(node: ast.Import | ast.ImportFrom) -> List[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        return [node.module] if node.module else []
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        if not self._hot(module):
+            return
+        top_level = set()
+        for node in self._top_level_imports(module.tree):
+            top_level.add(id(node))
+            for name in self._imports_of(node):
+                if any(
+                    name == heavy or name.startswith(heavy + ".")
+                    for heavy in self.HEAVY_MODULES
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"module-level import of '{name}' pulls networkx "
+                        "into a hot-path package; import it lazily at the "
+                        "compile boundary instead",
+                        node.col_offset,
+                    )
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in self._imports_of(node):
+                    if name == "networkx" or name.startswith("networkx."):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            "imports networkx inside an ArcGraph-native "
+                            "hot-path package; operate on the compiled "
+                            "ArcGraph instead",
+                            node.col_offset,
+                        )

@@ -1,0 +1,190 @@
+"""Cross-file rule R006: registry coverage and uniqueness.
+
+The experiment registry (PR 3) only works if every experiment module
+actually registers: a module under ``repro/evaluation/experiments/`` that
+defines no ``@experiment`` spec, or is not imported by the package
+``__init__``, silently vanishes from ``repro list`` / ``repro all`` — the
+exact failure mode the registry was built to prevent.  Registered names
+must also be unique (a duplicate id silently shadows an earlier
+experiment) and documented (EXPERIMENTS.md is generated, so an id missing
+from it means the committed docs are stale).
+
+The same uniqueness logic covers the engine tuple
+(``repro.batch.jobs.BATCH_ENGINES``) and the LP-backend registrations
+(``repro.throughput.backends``): duplicate names there silently shadow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.model import ModuleInfo, ProjectModel
+from repro.lint.rules import Finding, Rule, register
+
+#: The experiment package every spec must live in.
+EXPERIMENT_PACKAGE = "repro.evaluation.experiments"
+
+
+def _experiment_ids(module: ModuleInfo) -> List[Tuple[str, int]]:
+    """(experiment id, line) for every ``@experiment("id", ...)`` in a module."""
+    found: List[Tuple[str, int]] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            resolved = module.resolve(decorator.func) or ""
+            if resolved.rsplit(".", 1)[-1] != "experiment":
+                continue
+            if decorator.args and isinstance(decorator.args[0], ast.Constant):
+                value = decorator.args[0].value
+                if isinstance(value, str):
+                    found.append((value, decorator.lineno))
+    return found
+
+
+@register
+class RegistryCoverageRule(Rule):
+    id = "R006"
+    title = "registry-coverage"
+    rationale = (
+        "an experiment module that does not register (or is not imported by "
+        "the package __init__) silently vanishes from repro list/all; "
+        "duplicate registry names silently shadow"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        yield from self._check_experiments(project)
+        yield from self._check_engines(project)
+        yield from self._check_backends(project)
+
+    # ------------------------------------------------ experiment modules
+
+    def _check_experiments(self, project: ProjectModel) -> Iterator[Finding]:
+        package_init = project.module_named(EXPERIMENT_PACKAGE)
+        members = [
+            mod
+            for mod in project.modules
+            if mod.module.startswith(EXPERIMENT_PACKAGE + ".")
+        ]
+        init_imports: set = set()
+        if package_init is not None:
+            for node in ast.walk(package_init.tree):
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    base = node.module
+                    if node.level:  # from .mod import f inside the package
+                        base = f"{EXPERIMENT_PACKAGE}.{node.module}"
+                    init_imports.add(base)
+                    for alias in node.names:
+                        init_imports.add(f"{base}.{alias.name}")
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        init_imports.add(alias.name)
+        seen_ids: Dict[str, Tuple[str, int]] = {}
+        docs = project.doc("EXPERIMENTS.md")
+        for mod in members:
+            ids = _experiment_ids(mod)
+            if not ids:
+                yield self.finding(
+                    mod,
+                    1,
+                    "experiment module defines no @experiment spec; register "
+                    "one or move the helpers out of the experiments package",
+                )
+                continue
+            if package_init is not None and mod.module not in init_imports:
+                yield self.finding(
+                    mod,
+                    1,
+                    f"'{mod.module}' is not imported by the experiments "
+                    "package __init__, so its specs never reach the registry",
+                )
+            for exp_id, line in ids:
+                if exp_id in seen_ids:
+                    first_path, first_line = seen_ids[exp_id]
+                    yield self.finding(
+                        mod,
+                        line,
+                        f"duplicate experiment id '{exp_id}' (first "
+                        f"registered at {first_path}:{first_line}) silently "
+                        "shadows the earlier registration",
+                    )
+                else:
+                    seen_ids[exp_id] = (mod.relpath, line)
+                if docs is not None and f"`{exp_id}`" not in docs:
+                    yield self.finding(
+                        mod,
+                        line,
+                        f"experiment id '{exp_id}' is missing from "
+                        "EXPERIMENTS.md; regenerate it with "
+                        "'repro list --markdown'",
+                    )
+
+    # ------------------------------------------------ engine registry
+
+    def _check_engines(self, project: ProjectModel) -> Iterator[Finding]:
+        jobs = project.module_named("repro.batch.jobs")
+        if jobs is None:
+            return
+        for node in ast.walk(jobs.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "BATCH_ENGINES" not in targets:
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                seen: set = set()
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        if element.value in seen:
+                            yield self.finding(
+                                jobs,
+                                element.lineno,
+                                f"duplicate engine name '{element.value}' "
+                                "in BATCH_ENGINES",
+                            )
+                        seen.add(element.value)
+
+    # ------------------------------------------------ LP backend registry
+
+    def _check_backends(self, project: ProjectModel) -> Iterator[Finding]:
+        backends = project.module_named("repro.throughput.backends")
+        if backends is None:
+            return
+        seen: Dict[str, int] = {}
+        for node in ast.walk(backends.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = backends.resolve(node.func) or ""
+            if resolved.rsplit(".", 1)[-1] != "register_lp_backend":
+                continue
+            for name, line in _backend_names(node):
+                if name in seen:
+                    yield self.finding(
+                        backends,
+                        line,
+                        f"duplicate LP backend name '{name}' (first "
+                        f"registered at line {seen[name]}) silently shadows "
+                        "the earlier registration",
+                    )
+                else:
+                    seen[name] = line
+
+
+def _backend_names(call: ast.Call) -> Iterator[Tuple[str, int]]:
+    """String ``name=...`` kwargs anywhere inside a registration call."""
+    for node in ast.walk(call):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "name"
+                    and isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, str)
+                ):
+                    yield keyword.value.value, keyword.value.lineno

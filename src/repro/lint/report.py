@@ -1,0 +1,92 @@
+"""Reporters and exit codes for ``repro lint``.
+
+Text output is one ``path:line:col: RULE message`` line per finding (the
+format editors and CI log scrapers already understand), followed by a
+summary.  JSON output is a single stable document that round-trips back
+into :class:`~repro.lint.rules.Finding` objects via
+:func:`findings_from_json`, so tooling can consume lint results without
+parsing text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, List
+
+from repro.lint.rules import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.runner import LintResult
+
+JSON_VERSION = 1
+
+
+def exit_code(result: "LintResult") -> int:
+    """0 = clean against the baseline; 1 = new findings or stale entries."""
+    return 1 if (result.findings or result.stale) else 0
+
+
+def _finding_doc(finding: Finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def render_json(result: "LintResult") -> str:
+    """The machine-readable report (stable key order, newline-terminated)."""
+    doc = {
+        "version": JSON_VERSION,
+        "files_checked": result.files_checked,
+        "rules": result.rules_run,
+        "findings": [_finding_doc(f) for f in result.findings],
+        "grandfathered": [_finding_doc(f) for f in result.grandfathered],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "message": e.message}
+            for e in result.stale
+        ],
+        "suppressed": result.suppressed,
+        "exit_code": exit_code(result),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    """Reconstruct the new-finding list from a :func:`render_json` document."""
+    doc = json.loads(text)
+    if doc.get("version") != JSON_VERSION:
+        raise ValueError(f"unsupported lint JSON version {doc.get('version')!r}")
+    return [
+        Finding(
+            path=entry["path"],
+            line=entry["line"],
+            col=entry["col"],
+            rule=entry["rule"],
+            message=entry["message"],
+        )
+        for entry in doc["findings"]
+    ]
+
+
+def render_text(result: "LintResult") -> str:
+    """Human-readable report: findings, stale entries, then a summary line."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for entry in result.stale:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path}: "
+            f"{entry.message} (no longer fires; remove it from the baseline)"
+        )
+    summary = (
+        f"repro lint: {len(result.findings)} finding(s), "
+        f"{len(result.grandfathered)} grandfathered, "
+        f"{result.suppressed} suppressed, "
+        f"{len(result.stale)} stale baseline entr(ies) "
+        f"across {result.files_checked} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

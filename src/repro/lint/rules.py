@@ -1,0 +1,99 @@
+"""Rule framework for ``repro lint``.
+
+A rule is a class with an ``id`` (``R001``...), a ``title``, a
+``rationale`` (which shipped bug class it encodes), and a ``check``
+generator over the :class:`~repro.lint.model.ProjectModel`.  Most rules
+are per-module AST walks and only override :meth:`Rule.check_module`;
+cross-file rules (registry coverage) override :meth:`Rule.check` and see
+the whole project.
+
+Rules self-register into :data:`RULES` via the :func:`register` decorator
+at import time; :func:`all_rules` is the stable-ordered catalog the runner
+and the docs use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.lint.model import ModuleInfo, ProjectModel
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # project-root-relative posix path
+    line: int  # 1-based
+    rule: str
+    message: str
+    col: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching.
+
+        Line numbers drift with unrelated edits, so grandfathered entries
+        match on (rule, file, message) only.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class: per-module by default, override ``check`` to go cross-file."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self.check_module(module, project)
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self, module: ModuleInfo, line: int, message: str, col: int = 0
+    ) -> Finding:
+        return Finding(
+            path=module.relpath, line=line, rule=self.id, message=message, col=col
+        )
+
+
+#: Registry of rule id -> singleton instance, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in catalog (registration) order."""
+    return list(RULES.values())
+
+
+def select_rules(ids: Optional[List[str]] = None) -> List[Rule]:
+    """The rules for ``ids`` (``None`` = all), rejecting unknown ids."""
+    if ids is None:
+        return all_rules()
+    unknown = [rule_id for rule_id in ids if rule_id not in RULES]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s) {unknown}; known rules: {sorted(RULES)}"
+        )
+    return [RULES[rule_id] for rule_id in ids]

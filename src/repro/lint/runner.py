@@ -1,0 +1,102 @@
+"""Orchestration: run the rules over a tree and settle against the baseline.
+
+:func:`run_lint` is the single entry point the CLI, the tests, and CI all
+use: build the :class:`~repro.lint.model.ProjectModel`, run the selected
+rules, drop suppressed findings (``# repro-lint: allow[RULE]``), and
+partition the rest against the committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.lint import purity as _purity  # noqa: F401  (registers R001-R005)
+from repro.lint import registry as _registry  # noqa: F401  (registers R006)
+from repro.lint.baseline import BASELINE_FILENAME, BaselineEntry, load_baseline, partition
+from repro.lint.model import ProjectModel
+from repro.lint.rules import Finding, select_rules
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)  # new (fail the run)
+    grandfathered: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    baseline_path: Optional[Path] = None  # resolved baseline location
+
+    @property
+    def clean(self) -> bool:
+        """True when the run passes against the baseline."""
+        return not self.findings and not self.stale
+
+
+def default_paths() -> List[Path]:
+    """The source tree to lint: ``src/`` from the repo root when present,
+    else the installed ``repro`` package's own directory."""
+    src = Path("src")
+    if (src / "repro").is_dir():
+        return [src]
+    return [Path(__file__).resolve().parents[1]]
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[Path, str]]] = None,
+    rules: Optional[List[str]] = None,
+    baseline: Optional[Union[Path, str]] = None,
+    project_root: Optional[Union[Path, str]] = None,
+) -> LintResult:
+    """Lint ``paths`` (default: the repo's ``src/``) with ``rules`` (default:
+    all), settling findings against ``baseline``.
+
+    ``baseline`` defaults to ``reprolint-baseline.json`` in the discovered
+    project root; pass an explicit path to pin it, or a path to a missing
+    file for an empty baseline.
+    """
+    lint_paths = [Path(p) for p in paths] if paths else default_paths()
+    project = ProjectModel.from_paths(lint_paths, project_root=project_root)
+    selected = select_rules(rules)
+
+    raw: List[Finding] = [
+        Finding(path=rel, line=line, rule="E999", message=f"syntax error: {msg}")
+        for rel, line, msg in project.parse_errors
+    ]
+    for rule in selected:
+        raw.extend(rule.check(project))
+
+    by_path = {module.relpath: module for module in project.modules}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort()
+
+    if baseline is None:
+        baseline_path: Path = project.root / BASELINE_FILENAME
+    else:
+        baseline_path = Path(baseline)
+    entries = load_baseline(baseline_path)
+    active = [rule.id for rule in selected]
+    if rules is None:
+        active.append("E999")
+    new, grandfathered, stale = partition(kept, entries, active_rules=active)
+
+    return LintResult(
+        findings=new,
+        grandfathered=grandfathered,
+        stale=stale,
+        suppressed=suppressed,
+        files_checked=len(project.modules) + len(project.parse_errors),
+        rules_run=[rule.id for rule in selected],
+        baseline_path=baseline_path,
+    )

@@ -19,6 +19,11 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+# The metric-LP below is a *cut-structure* LP (triangle-inequality polytope),
+# not a throughput solve: there is no (topology, TM) instance to cache or
+# route through the batch layer.
+# repro-lint: allow[R001]
 from scipy.optimize import linprog
 
 from repro.batch import SolveRequest, get_solver, solve_instances
@@ -82,6 +87,7 @@ def sparsest_cut_lp_relaxation(topology: Topology, tm: TrafficMatrix) -> float:
                 vals += [1.0, -1.0, -1.0]
                 r += 1
     A_ub = sp.coo_matrix((vals, (rows, cols)), shape=(r, n_var)).tocsc()
+    # repro-lint: allow[R001] — metric/cut LP, not a throughput solve
     res = linprog(
         c,
         A_ub=A_ub,

@@ -27,11 +27,12 @@ Registered backends:
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
+
+from repro.utils.envknobs import knob_str
 
 
 @dataclass(frozen=True)
@@ -112,7 +113,7 @@ def default_lp_backend() -> str:
     name = _backend_var.get()
     if name is not None:
         return name
-    return os.environ.get("REPRO_LP_BACKEND", DEFAULT_LP_BACKEND)
+    return knob_str("REPRO_LP_BACKEND", DEFAULT_LP_BACKEND)
 
 
 def resolve_lp_backend(name: Optional[str] = None) -> LPBackend:

@@ -51,7 +51,6 @@ memory path when the policy prefers it.
 from __future__ import annotations
 
 import math
-import os
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -69,6 +68,7 @@ from repro.throughput.backends import (
 from repro.throughput.lp import ThroughputResult
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
+from repro.utils.envknobs import knob_int, knob_str
 
 #: Dense-LP flow-variable count (aggregated sources x arcs) above which the
 #: automatic policy stops building the dense LP.  ~2M float64 variables put
@@ -156,13 +156,10 @@ def current_shard_policy() -> ShardPolicy:
     policy = _policy_var.get()
     if policy is not None:
         return policy
-    threshold = int(os.environ.get("REPRO_SHARD_THRESHOLD", DEFAULT_SHARD_THRESHOLD))
-    blocks_env = os.environ.get("REPRO_SHARD_BLOCKS")
-    prefer = os.environ.get("REPRO_LARGE_ENGINE", "sharded")
     return ShardPolicy(
-        threshold=threshold,
-        blocks=int(blocks_env) if blocks_env else None,
-        prefer=prefer,
+        threshold=knob_int("REPRO_SHARD_THRESHOLD", DEFAULT_SHARD_THRESHOLD),
+        blocks=knob_int("REPRO_SHARD_BLOCKS"),
+        prefer=knob_str("REPRO_LARGE_ENGINE", "sharded"),
     )
 
 

@@ -18,7 +18,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.throughput.lp import solve_throughput_lp
+from repro.batch.context import get_solver
+from repro.batch.jobs import SolveRequest
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.worstcase import longest_matching
@@ -87,11 +88,19 @@ def worst_case_search(
     # host-level pairing greedily from the demand matrix.
     perm = _extract_permutation(start, hosts)
     current = _matching_tm(topology, perm, hosts)
-    current_t = solve_throughput_lp(topology, current).value
+    solver = get_solver()
+
+    def evaluate(tm: TrafficMatrix) -> float:
+        # Candidates route through the ambient solver: under an experiment
+        # run the search shares the run's cache/pool; standalone it degrades
+        # to the historical inline solve with identical values.
+        return solver.solve(SolveRequest(topology, tm, tag="adversarial")).require().value
+
+    current_t = evaluate(current)
     start_t = current_t
     from repro.traffic.synthetic import all_to_all  # local import: no cycle
 
-    lb = solve_throughput_lp(topology, all_to_all(topology)).value / 2.0
+    lb = evaluate(all_to_all(topology)) / 2.0
     evals = 0
     while evals < max_evaluations:
         if current_t <= lb * (1 + 1e-6):
@@ -102,7 +111,7 @@ def worst_case_search(
         if cand[i] == i or cand[j] == j:
             continue  # would create a self pair
         cand_tm = _matching_tm(topology, cand, hosts)
-        cand_t = solve_throughput_lp(topology, cand_tm).value
+        cand_t = evaluate(cand_tm)
         evals += 1
         if cand_t < current_t - tolerance:
             perm, current_t = cand, cand_t

@@ -1,0 +1,155 @@
+"""Central registry of ``REPRO_*`` environment knobs.
+
+Every environment variable that changes library behavior is declared here,
+and **every** ``os.environ`` read in the library goes through the typed
+accessors below.  This is the single whitelisted module for rule **R003**
+(``stray-env-knob``) of ``repro lint``: an env knob that changes solve
+output but is read ad hoc at a call site is a cache-key hazard — PR 5's
+backend-missing-from-key bug was exactly that shape — so new knobs must be
+declared in :data:`KNOBS` (with whether they are result-affecting) before
+any code can read them.
+
+The declared table is also the documentation source of truth: tests assert
+that each knob appears in the README knob table and that no undeclared
+``REPRO_*`` name is referenced anywhere under ``src/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class EnvKnob:
+    """Declaration of one environment knob.
+
+    ``result_affecting`` marks knobs that can change solve *output* (engine
+    routing, backend choice, tolerance): any such knob must be frozen into
+    the cache key by the layer that consumes it, never read inside a solve.
+    """
+
+    name: str
+    kind: str  # "str" | "int" | "float"
+    default: Optional[str]  # documented default (None = no default)
+    result_affecting: bool
+    description: str
+
+
+_DECLARED = [
+    EnvKnob(
+        "REPRO_SCALE",
+        kind="str",
+        default="small",
+        result_affecting=True,
+        description="experiment scale preset (small | medium | large); "
+        "selects instance sizes and sample counts for every sweep",
+    ),
+    EnvKnob(
+        "REPRO_CACHE_DIR",
+        kind="str",
+        default="~/.cache/repro",
+        result_affecting=False,
+        description="directory of the persistent result cache",
+    ),
+    EnvKnob(
+        "REPRO_CACHE_BACKEND",
+        kind="str",
+        default="jsonl",
+        result_affecting=False,
+        description="result-cache storage backend (jsonl | sqlite)",
+    ),
+    EnvKnob(
+        "REPRO_LP_BACKEND",
+        kind="str",
+        default="auto",
+        result_affecting=True,
+        description="dense-LP backend for every solve that does not name "
+        "one explicitly; the resolved name is frozen into cache keys",
+    ),
+    EnvKnob(
+        "REPRO_SHARD_THRESHOLD",
+        kind="int",
+        default="2000000",
+        result_affecting=True,
+        description="dense-LP flow-variable count above which the 'auto' "
+        "engine policy abandons the dense path; frozen into resolved "
+        "shard params at request construction",
+    ),
+    EnvKnob(
+        "REPRO_SHARD_BLOCKS",
+        kind="int",
+        default=None,
+        result_affecting=True,
+        description="source-block count for the sharded engine (default: "
+        "sized so each shard LP stays under the threshold); frozen into "
+        "resolved shard params at request construction",
+    ),
+    EnvKnob(
+        "REPRO_LARGE_ENGINE",
+        kind="str",
+        default="sharded",
+        result_affecting=True,
+        description="engine the 'auto' policy prefers above the shard "
+        "threshold (sharded | mwu)",
+    ),
+    EnvKnob(
+        "REPRO_WHATIF_RTOL",
+        kind="float",
+        default="1e-6",
+        result_affecting=True,
+        description="relative gap at which the what-if engine answers a "
+        "scenario from parent-dual bounds alone (bound-skipped results "
+        "are never cached, so the tolerance never poisons the cache)",
+    ),
+]
+
+#: The knob table, keyed by environment-variable name.
+KNOBS: Dict[str, EnvKnob] = {knob.name: knob for knob in _DECLARED}
+
+
+def read_knob(name: str) -> Optional[str]:
+    """Raw value of a *declared* knob, or ``None`` when unset.
+
+    Reading an undeclared name raises ``KeyError`` — declare the knob in
+    :data:`KNOBS` first (and document it in the README table).
+    """
+    if name not in KNOBS:
+        raise KeyError(
+            f"undeclared environment knob {name!r}; add it to "
+            f"repro.utils.envknobs.KNOBS before reading it"
+        )
+    return os.environ.get(name)
+
+
+def knob_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """String knob value, or ``default`` when unset."""
+    raw = read_knob(name)
+    return default if raw is None else raw
+
+
+def knob_int(name: str, default: Optional[int] = None) -> Optional[int]:
+    """Integer knob value, or ``default`` when unset or empty."""
+    raw = read_knob(name)
+    if raw is None or raw == "":
+        return default
+    return int(raw)
+
+
+def knob_float(name: str, default: Optional[float] = None) -> Optional[float]:
+    """Float knob value, or ``default`` when unset or empty."""
+    raw = read_knob(name)
+    if raw is None or raw == "":
+        return default
+    return float(raw)
+
+
+__all__ = [
+    "EnvKnob",
+    "KNOBS",
+    "read_knob",
+    "knob_str",
+    "knob_int",
+    "knob_float",
+]

@@ -26,7 +26,6 @@ share neither hints nor the parent baseline.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -37,6 +36,7 @@ from repro.core.arcgraph import ArcGraph, as_arcgraph
 from repro.throughput.warmstart import BOUND_SLACK, SolveHint
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
+from repro.utils.envknobs import knob_float
 from repro.utils.numeric import safe_ratio
 from repro.whatif.scenarios import Scenario
 
@@ -48,7 +48,7 @@ def default_rtol() -> float:
     answered without a solve; the reported value is then the certified
     feasible lower bound, at most ``rtol`` below the true optimum.
     """
-    return float(os.environ.get("REPRO_WHATIF_RTOL", BOUND_SLACK))
+    return knob_float("REPRO_WHATIF_RTOL", BOUND_SLACK)
 
 
 @dataclass

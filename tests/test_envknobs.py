@@ -1,0 +1,116 @@
+"""Tests for the central env-knob registry (``repro.utils.envknobs``).
+
+The knob table is the source of truth three ways: every ``REPRO_*`` name
+referenced anywhere under ``src/`` must be declared, every declared knob
+must be documented in the README table, and every read must go through the
+typed accessors (enforced separately by lint rule R003).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.utils.envknobs import KNOBS, knob_float, knob_int, knob_str, read_knob
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+KNOB_NAME_RE = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*\b")
+
+
+def referenced_knob_names():
+    names = set()
+    for path in SRC.rglob("*.py"):
+        names.update(KNOB_NAME_RE.findall(path.read_text()))
+    return names
+
+
+class TestDeclarationCoverage:
+    def test_every_referenced_knob_is_declared(self):
+        undeclared = referenced_knob_names() - set(KNOBS)
+        assert not undeclared, (
+            f"REPRO_* names referenced in src/ but not declared in "
+            f"repro.utils.envknobs.KNOBS: {sorted(undeclared)}"
+        )
+
+    def test_every_declared_knob_is_referenced(self):
+        # A declared-but-unused knob is dead configuration surface.
+        unused = set(KNOBS) - referenced_knob_names()
+        assert not unused, f"declared but never read: {sorted(unused)}"
+
+    def test_every_declared_knob_is_documented_in_readme(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        missing = [name for name in KNOBS if f"`{name}`" not in readme]
+        assert not missing, (
+            f"knobs missing from the README table: {missing}"
+        )
+
+    def test_table_is_keyed_consistently(self):
+        for name, knob in KNOBS.items():
+            assert knob.name == name
+            assert knob.kind in ("str", "int", "float")
+            assert knob.description
+
+
+class TestAccessors:
+    def test_read_knob_rejects_undeclared_names(self):
+        with pytest.raises(KeyError, match="undeclared"):
+            read_knob("REPRO_NOT_A_KNOB")
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert knob_str("REPRO_SCALE", "small") == "small"
+        assert knob_str("REPRO_SCALE") is None
+        assert read_knob("REPRO_SCALE") is None
+
+    def test_set_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert knob_str("REPRO_SCALE", "small") == "medium"
+
+    def test_int_parses_and_defaults_on_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BLOCKS", "8")
+        assert knob_int("REPRO_SHARD_BLOCKS", 4) == 8
+        monkeypatch.setenv("REPRO_SHARD_BLOCKS", "")
+        assert knob_int("REPRO_SHARD_BLOCKS", 4) == 4
+        monkeypatch.delenv("REPRO_SHARD_BLOCKS")
+        assert knob_int("REPRO_SHARD_BLOCKS") is None
+
+    def test_float_parses_and_defaults_on_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHATIF_RTOL", "1e-3")
+        assert knob_float("REPRO_WHATIF_RTOL", 1e-6) == 1e-3
+        monkeypatch.setenv("REPRO_WHATIF_RTOL", "")
+        assert knob_float("REPRO_WHATIF_RTOL", 1e-6) == 1e-6
+
+    def test_malformed_int_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_THRESHOLD", "many")
+        with pytest.raises(ValueError):
+            knob_int("REPRO_SHARD_THRESHOLD", 1)
+
+
+class TestKnobSemantics:
+    def test_result_affecting_flags(self):
+        # Cache-location/storage knobs must NOT be marked result-affecting;
+        # engine/backend/tolerance knobs must be.
+        assert not KNOBS["REPRO_CACHE_DIR"].result_affecting
+        assert not KNOBS["REPRO_CACHE_BACKEND"].result_affecting
+        for name in (
+            "REPRO_LP_BACKEND",
+            "REPRO_SHARD_THRESHOLD",
+            "REPRO_SHARD_BLOCKS",
+            "REPRO_LARGE_ENGINE",
+            "REPRO_WHATIF_RTOL",
+        ):
+            assert KNOBS[name].result_affecting, name
+
+    def test_knobs_route_behavior(self, monkeypatch):
+        # End-to-end: the sharded policy reads through the registry.
+        from repro.throughput.sharded import current_shard_policy
+
+        monkeypatch.setenv("REPRO_SHARD_THRESHOLD", "123")
+        monkeypatch.setenv("REPRO_SHARD_BLOCKS", "7")
+        monkeypatch.setenv("REPRO_LARGE_ENGINE", "mwu")
+        policy = current_shard_policy()
+        assert policy.threshold == 123
+        assert policy.blocks == 7
+        assert policy.prefer == "mwu"

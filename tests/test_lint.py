@@ -1,0 +1,683 @@
+"""Tests for ``repro.lint`` — the repo-invariant static analyzer.
+
+Each rule gets a fixture pair: a minimal snippet it must fire on and a
+compliant snippet it must stay quiet on.  Framework behavior (suppression
+comments, baseline grandfathering/staleness, JSON round-trip) is covered
+on the same fixtures, and a meta-test asserts the real ``src/`` tree is
+clean against the committed baseline — the linter linting the repo that
+ships it.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    BaselineEntry,
+    Finding,
+    RULES,
+    findings_from_json,
+    load_baseline,
+    render_json,
+    render_text,
+    run_lint,
+    save_baseline,
+)
+from repro.lint.baseline import partition
+from repro.lint.model import ProjectModel
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_project(tmp_path, files, docs=None):
+    """Write ``{relpath: source}`` under a src/ tree and lint it."""
+    src = tmp_path / "src"
+    for relpath, source in files.items():
+        path = src / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    for name, text in (docs or {}).items():
+        (tmp_path / name).write_text(text)
+    return src
+
+
+def lint(tmp_path, files, rules=None, docs=None, baseline=None):
+    src = make_project(tmp_path, files, docs=docs)
+    return run_lint(
+        paths=[src],
+        rules=rules,
+        baseline=baseline or (tmp_path / "missing-baseline.json"),
+        project_root=tmp_path,
+    )
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+class TestRuleCatalog:
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+    def test_rules_carry_rationale(self):
+        for rule in RULES.values():
+            assert rule.title and rule.rationale
+
+
+class TestR001SolverBypass:
+    def test_fires_on_direct_lp_call(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/evaluation/exp.py": """
+                from repro.throughput.lp import solve_throughput_lp
+
+                def run(topo, tm):
+                    return solve_throughput_lp(topo, tm).value
+                """
+            },
+            rules=["R001"],
+        )
+        assert rule_ids(result) == ["R001", "R001"]  # import + call
+
+    def test_fires_on_aliased_module_call(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/theory/t.py": """
+                from repro.throughput import approx as ap
+
+                def run(topo, tm):
+                    return ap.solve_throughput_mwu(topo, tm)
+                """
+            },
+            rules=["R001"],
+        )
+        assert rule_ids(result) == ["R001"]
+
+    def test_quiet_inside_throughput_and_batch(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/throughput/mcf2.py": """
+                from repro.throughput.lp import solve_throughput_lp
+                """,
+                "repro/batch/solver2.py": """
+                from repro.throughput.approx import solve_throughput_mwu
+                """,
+            },
+            rules=["R001"],
+        )
+        assert result.findings == []
+
+    def test_quiet_on_ambient_solver_use(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/evaluation/good.py": """
+                from repro.batch.context import get_solver
+                from repro.batch.jobs import SolveRequest
+
+                def run(topo, tm):
+                    return get_solver().solve(SolveRequest(topo, tm)).require().value
+                """
+            },
+            rules=["R001"],
+        )
+        assert result.findings == []
+
+
+class TestR002UnseededRng:
+    def test_fires_on_unseeded_default_rng(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/traffic/gen.py": """
+                import numpy as np
+
+                def sample():
+                    return np.random.default_rng().normal()
+                """
+            },
+            rules=["R002"],
+        )
+        # unseeded default_rng() plus the legacy-normal call resolved on it
+        assert "R002" in rule_ids(result)
+        assert any("unseeded" in f.message for f in result.findings)
+
+    def test_fires_on_legacy_global_state(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/traffic/gen.py": "import numpy as np\nx = np.random.rand(3)\n"},
+            rules=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+        assert "legacy" in result.findings[0].message
+
+    def test_fires_on_stdlib_random(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/traffic/gen.py": """
+                import random
+
+                def pick(items):
+                    return random.choice(items)
+                """
+            },
+            rules=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+
+    def test_fires_on_from_random_import(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/traffic/gen.py": "from random import shuffle\n"},
+            rules=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+
+    def test_quiet_on_seeded_generator_discipline(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/traffic/gen.py": """
+                import numpy as np
+
+                from repro.utils.rng import ensure_rng
+
+                def sample(seed=None):
+                    rng = ensure_rng(seed)
+                    sub = np.random.default_rng(rng.integers(2**63))
+                    return sub.normal(), isinstance(rng, np.random.Generator)
+                """
+            },
+            rules=["R002"],
+        )
+        assert result.findings == []
+
+
+class TestR003StrayEnvKnob:
+    def test_fires_on_environ_read(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/batch/knobby.py": """
+                import os
+
+                LIMIT = int(os.environ.get("REPRO_LIMIT", "10"))
+                """
+            },
+            rules=["R003"],
+        )
+        assert rule_ids(result) == ["R003"]
+
+    def test_fires_on_getenv_and_import(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/whatif/knobby.py": """
+                import os
+                from os import environ
+
+                X = os.getenv("REPRO_X")
+                """
+            },
+            rules=["R003"],
+        )
+        assert rule_ids(result) == ["R003", "R003"]
+
+    def test_quiet_in_envknobs_whitelist_module(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/utils/envknobs.py": """
+                import os
+
+                def read_knob(name):
+                    return os.environ.get(name)
+                """
+            },
+            rules=["R003"],
+        )
+        assert result.findings == []
+
+
+class TestR004SeedDependentHash:
+    def test_fires_on_builtin_hash(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/utils/keys.py": "def key(x):\n    return hash(x)\n"},
+            rules=["R004"],
+        )
+        assert rule_ids(result) == ["R004"]
+
+    def test_fires_on_sort_key_id(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/utils/keys.py": "def order(xs):\n    return sorted(xs, key=id)\n"},
+            rules=["R004"],
+        )
+        assert rule_ids(result) == ["R004"]
+
+    def test_fires_on_id_feeding_key_function(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/batch/keys.py": """
+                def instance_key(topo):
+                    return make_key(id(topo))
+                """
+            },
+            rules=["R004"],
+        )
+        assert rule_ids(result) == ["R004"]
+
+    def test_quiet_on_hashlib_and_stable_seed(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/utils/keys.py": """
+                import hashlib
+
+                from repro.utils.rng import stable_seed
+
+                def key(text):
+                    return hashlib.sha256(text.encode()).hexdigest(), stable_seed(text)
+                """
+            },
+            rules=["R004"],
+        )
+        assert result.findings == []
+
+
+class TestR005NetworkxHotPath:
+    def test_fires_on_networkx_import_in_core(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/core/walk.py": "import networkx as nx\n"},
+            rules=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+
+    def test_fires_even_on_lazy_networkx_import(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/batch/payload.py": """
+                def rebuild(doc):
+                    import networkx as nx
+                    return nx.Graph(doc)
+                """
+            },
+            rules=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+
+    def test_fires_on_module_level_graphutils(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/whatif/overlay.py": "from repro.utils.graphutils import to_graph\n"},
+            rules=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+
+    def test_quiet_on_lazy_graphutils_boundary(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/core/compilemod.py": """
+                def compile_graph(graph):
+                    from repro.utils.graphutils import canonical_arcs
+                    return canonical_arcs(graph)
+                """
+            },
+            rules=["R005"],
+        )
+        assert result.findings == []
+
+    def test_quiet_outside_hot_packages(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/topologies/fancy.py": "import networkx as nx\n"},
+            rules=["R005"],
+        )
+        assert result.findings == []
+
+
+EXPERIMENT_OK = {
+    "repro/evaluation/experiments/__init__.py": """
+    from repro.evaluation.experiments.alpha import fig_a
+    """,
+    "repro/evaluation/experiments/alpha.py": """
+    from repro.api import experiment
+
+    @experiment("fig-a", title="A")
+    def fig_a(scale=None, seed=0):
+        return None
+    """,
+}
+
+
+class TestR006RegistryCoverage:
+    def test_quiet_on_registered_imported_documented(self, tmp_path):
+        result = lint(
+            tmp_path,
+            EXPERIMENT_OK,
+            rules=["R006"],
+            docs={"EXPERIMENTS.md": "| `fig-a` | A |\n"},
+        )
+        assert result.findings == []
+
+    def test_fires_on_module_without_spec(self, tmp_path):
+        files = dict(EXPERIMENT_OK)
+        files["repro/evaluation/experiments/helpers.py"] = "def tm(): pass\n"
+        result = lint(
+            tmp_path, files, rules=["R006"], docs={"EXPERIMENTS.md": "`fig-a`"}
+        )
+        assert rule_ids(result) == ["R006"]
+        assert "no @experiment" in result.findings[0].message
+
+    def test_fires_on_missing_init_import(self, tmp_path):
+        files = dict(EXPERIMENT_OK)
+        files["repro/evaluation/experiments/beta.py"] = textwrap.dedent(
+            """
+            from repro.api import experiment
+
+            @experiment("fig-b", title="B")
+            def fig_b(scale=None, seed=0):
+                return None
+            """
+        )
+        result = lint(
+            tmp_path, files, rules=["R006"], docs={"EXPERIMENTS.md": "`fig-a` `fig-b`"}
+        )
+        assert rule_ids(result) == ["R006"]
+        assert "not imported" in result.findings[0].message
+
+    def test_fires_on_duplicate_experiment_id(self, tmp_path):
+        files = dict(EXPERIMENT_OK)
+        files["repro/evaluation/experiments/__init__.py"] = textwrap.dedent(
+            """
+            from repro.evaluation.experiments.alpha import fig_a
+            from repro.evaluation.experiments.dup import fig_dup
+            """
+        )
+        files["repro/evaluation/experiments/dup.py"] = textwrap.dedent(
+            """
+            from repro.api import experiment
+
+            @experiment("fig-a", title="A again")
+            def fig_dup(scale=None, seed=0):
+                return None
+            """
+        )
+        result = lint(
+            tmp_path, files, rules=["R006"], docs={"EXPERIMENTS.md": "`fig-a`"}
+        )
+        assert any("duplicate experiment id" in f.message for f in result.findings)
+
+    def test_fires_on_undocumented_id(self, tmp_path):
+        result = lint(
+            tmp_path,
+            EXPERIMENT_OK,
+            rules=["R006"],
+            docs={"EXPERIMENTS.md": "nothing here\n"},
+        )
+        assert rule_ids(result) == ["R006"]
+        assert "EXPERIMENTS.md" in result.findings[0].message
+
+    def test_missing_docs_skips_documented_check(self, tmp_path):
+        result = lint(tmp_path, EXPERIMENT_OK, rules=["R006"])
+        assert result.findings == []
+
+    def test_fires_on_duplicate_engine_name(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/batch/jobs.py": 'BATCH_ENGINES = ("lp", "mwu", "lp")\n'},
+            rules=["R006"],
+        )
+        assert rule_ids(result) == ["R006"]
+        assert "duplicate engine" in result.findings[0].message
+
+
+class TestSuppression:
+    def test_same_line_allow(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/utils/keys.py": "K = hash('x')  # repro-lint: allow[R004]\n"
+            },
+            rules=["R004"],
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_comment_line_above_allow(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/utils/keys.py": (
+                    "# repro-lint: allow[R004] — interning experiment\n"
+                    "K = hash('x')\n"
+                )
+            },
+            rules=["R004"],
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_allow_covers_only_named_rules(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "import networkx as nx  # repro-lint: allow[R004]\n"
+                )
+            },
+            rules=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+        assert result.suppressed == 0
+
+    def test_multi_rule_allow(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "import networkx as nx  # repro-lint: allow[R004, R005]\n"
+                )
+            },
+            rules=["R005"],
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestBaseline:
+    def test_grandfathered_finding_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            baseline,
+            [
+                Finding(
+                    path="src/repro/utils/keys.py",
+                    line=1,
+                    rule="R004",
+                    message=(
+                        "builtin hash() is salted per process (PYTHONHASHSEED); "
+                        "use repro.utils.rng.stable_seed or hashlib"
+                    ),
+                )
+            ],
+        )
+        result = lint(
+            tmp_path,
+            {"repro/utils/keys.py": "K = hash('x')\n"},
+            rules=["R004"],
+            baseline=baseline,
+        )
+        assert result.findings == []
+        assert len(result.grandfathered) == 1
+        assert result.stale == []
+        assert result.clean
+
+    def test_stale_entry_fails_the_run(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            baseline,
+            [Finding(path="src/repro/gone.py", line=1, rule="R004", message="old")],
+        )
+        result = lint(
+            tmp_path,
+            {"repro/utils/clean.py": "X = 1\n"},
+            rules=["R004"],
+            baseline=baseline,
+        )
+        assert result.findings == []
+        assert len(result.stale) == 1
+        assert not result.clean
+
+    def test_stale_detection_respects_rule_filter(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            baseline,
+            [Finding(path="src/repro/gone.py", line=1, rule="R004", message="old")],
+        )
+        # Only R005 ran, so the R004 entry simply was not checked.
+        result = lint(
+            tmp_path,
+            {"repro/utils/clean.py": "X = 1\n"},
+            rules=["R005"],
+            baseline=baseline,
+        )
+        assert result.stale == []
+        assert result.clean
+
+    def test_baseline_matching_ignores_line_numbers(self, tmp_path):
+        finding = Finding(path="a.py", line=10, rule="R004", message="m")
+        moved = Finding(path="a.py", line=99, rule="R004", message="m")
+        entry = BaselineEntry(rule="R004", path="a.py", message="m")
+        new, grandfathered, stale = partition([moved], [entry])
+        assert new == [] and grandfathered == [moved] and stale == []
+        assert finding.fingerprint == moved.fingerprint
+
+    def test_save_load_round_trip_preserves_justification(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        finding = Finding(path="a.py", line=1, rule="R004", message="m")
+        save_baseline(baseline, [finding], {finding.fingerprint: "legacy interning"})
+        entries = load_baseline(baseline)
+        assert entries == [
+            BaselineEntry(
+                rule="R004", path="a.py", message="m", justification="legacy interning"
+            )
+        ]
+
+
+class TestReporters:
+    def test_json_round_trips_findings(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/utils/keys.py": "K = hash('x')\n"},
+            rules=["R004"],
+        )
+        recovered = findings_from_json(render_json(result))
+        assert recovered == result.findings
+        doc = json.loads(render_json(result))
+        assert doc["exit_code"] == 1
+        assert doc["rules"] == ["R004"]
+
+    def test_text_report_names_rule_and_location(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/utils/keys.py": "K = hash('x')\n"},
+            rules=["R004"],
+        )
+        text = render_text(result)
+        assert "src/repro/utils/keys.py:1:" in text
+        assert "R004" in text
+        assert "1 finding(s)" in text
+
+    def test_syntax_error_reported_not_crashing(self, tmp_path):
+        result = lint(tmp_path, {"repro/broken.py": "def f(:\n    pass\n"})
+        assert [f.rule for f in result.findings] == ["E999"]
+
+
+class TestRealTree:
+    """The linter linting the repo that ships it."""
+
+    def test_src_matches_committed_baseline(self):
+        result = run_lint(
+            paths=[REPO_ROOT / "src"],
+            baseline=REPO_ROOT / "reprolint-baseline.json",
+            project_root=REPO_ROOT,
+        )
+        assert result.clean, (
+            "repro lint found non-baseline findings:\n"
+            + "\n".join(f.render() for f in result.findings)
+            + "\nstale baseline entries:\n"
+            + "\n".join(e.fingerprint for e in result.stale)
+        )
+
+    def test_src_tree_has_suppressions_documented(self):
+        # The repo's own suppressions exist and are deliberate: each allow
+        # comment carries a justification beyond the bare marker.
+        result = run_lint(
+            paths=[REPO_ROOT / "src"],
+            baseline=REPO_ROOT / "reprolint-baseline.json",
+            project_root=REPO_ROOT,
+        )
+        assert result.suppressed >= 1
+
+    def test_cli_lint_exits_zero_on_real_tree(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = cli_main(["lint"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 finding(s)" in out
+
+    def test_cli_lint_json_format(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = cli_main(["lint", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["findings"] == []
+        assert doc["rules"] == sorted(RULES)
+
+    def test_cli_rejects_lint_flags_elsewhere(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["fig2", "--format", "json"])
+
+    def test_cli_unknown_rule_is_usage_error(self, capsys):
+        assert cli_main(["lint", "--rule", "R999"]) == 2
+
+
+class TestCliUpdateBaseline:
+    def test_update_baseline_writes_and_then_passes(self, tmp_path, monkeypatch, capsys):
+        src = make_project(
+            tmp_path, {"repro/utils/keys.py": "K = hash('x')\n"}
+        )
+        baseline = tmp_path / "baseline.json"
+        monkeypatch.chdir(tmp_path)
+        code = cli_main(
+            [
+                "lint",
+                "--lint-path",
+                str(src),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        assert code == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+        code = cli_main(
+            ["lint", "--lint-path", str(src), "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "1 grandfathered" in out
