@@ -1,0 +1,166 @@
+"""Load benchmark for the throughput service (repro.service).
+
+Boots a real :class:`ThroughputService` (asyncio server, real sockets) on
+an ephemeral port over one shared :class:`Session` with a persistent
+result cache, then drives it with the package's own load generator:
+
+* **cold pass** — 8 concurrent clients, each its own tenant, race through
+  20 distinct uploaded-ring MWU queries; every query is a real solve;
+* **warm pass** — the same clients re-ask the same 20 queries three times
+  over; every answer must come from the content-addressed cache with
+  **zero** additional solves.
+
+The service contract under test: N clients asking one topology cost one
+solve (single-flight dedupe), warm traffic is served at cache-hit speed,
+and both passes attribute per-tenant counts in ``/stats``.  Results are
+written to ``BENCH_service.json`` at the repo root so the perf trajectory
+is recorded run over run; the warm/cold qps ratio is asserted at the
+10x floor the service story promises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from pathlib import Path
+
+from repro.api import Session
+from repro.service import ServiceClient, ServiceConfig, ThroughputService, run_load
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_service.json"
+
+N_CLIENTS = 8
+N_DOCS = 20
+WARM_REPEAT = 3
+
+
+def _ring(n: int):
+    dense = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        dense[i][(i + 1) % n] = 1.0
+        dense[(i + 1) % n][i] = 1.0
+    return dense
+
+
+#: Twenty distinct instances, each a few hundred ms of MWU — heavy enough
+#: that the cold pass is solver-bound, small enough that the whole
+#: benchmark stays in CI budget.
+DOCS = [
+    {
+        "topology": {"adjacency": _ring(n)},
+        "tm": {"kind": "uniform"},
+        "engine": "mwu",
+        "params": {"epsilon": 0.2},
+    }
+    for n in range(8, 8 + N_DOCS)
+]
+
+
+@contextlib.contextmanager
+def _serving(session: Session):
+    config = ServiceConfig(host="127.0.0.1", port=0)
+    box: dict = {}
+    ready = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            service = ThroughputService(session, config)
+            box["service"] = service
+            box["loop"] = asyncio.get_running_loop()
+            box["addr"] = await service.start()
+            ready.set()
+            await service.wait_drained()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    try:
+        yield box["addr"][1]
+    finally:
+        asyncio.run_coroutine_threadsafe(
+            box["service"].drain(), box["loop"]
+        ).result(timeout=60)
+        thread.join(timeout=10)
+
+
+def test_service_cold_vs_warm_load_and_record(tmp_path):
+    with Session(seed=0, workers=1, cache_dir=tmp_path / "cache") as session:
+        with _serving(session) as port:
+            cold = run_load(
+                "127.0.0.1", port, DOCS, n_clients=N_CLIENTS,
+                tenant_prefix="cold",
+            )
+            with ServiceClient(port=port) as probe:
+                solved_before_warm = probe.stats()["solver"]["solved"]
+            warm = run_load(
+                "127.0.0.1", port, DOCS, n_clients=N_CLIENTS,
+                repeat=WARM_REPEAT, tenant_prefix="warm",
+            )
+            with ServiceClient(port=port) as probe:
+                stats = probe.stats()
+
+    solver = stats["solver"]
+    warm_solves = solver["solved"] - solved_before_warm
+    speedup = warm["qps"] / max(cold["qps"], 1e-12)
+    warm_tenants = {
+        t: c for t, c in stats["cache"]["tenants"].items()
+        if t.startswith("warm-")
+    }
+
+    record = {
+        "benchmark": "service-load",
+        "clients": N_CLIENTS,
+        "distinct_queries": N_DOCS,
+        "warm_repeat": WARM_REPEAT,
+        "cold": {
+            "seconds": cold["seconds"],
+            "qps": cold["qps"],
+            "latency": cold["latency"],
+            "errors": cold["errors"],
+        },
+        "warm": {
+            "seconds": warm["seconds"],
+            "qps": warm["qps"],
+            "latency": warm["latency"],
+            "errors": warm["errors"],
+            "solves": warm_solves,
+            "from_cache": warm["from_cache"],
+            "speedup_vs_cold": speedup,
+        },
+        "solver": {
+            "requests": solver["requests"],
+            "solved": solver["solved"],
+            "cache_hits": solver["cache_hits"],
+            "errors": solver["errors"],
+        },
+        "per_tenant_warm_hits": {
+            t: c["hits"] for t, c in sorted(warm_tenants.items())
+        },
+        "admission": stats["service"]["admission"],
+        "instance_cache": stats["service"]["instance_cache"],
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Contract anchors (the JSON carries the real numbers).
+    assert cold["errors"] == 0 and warm["errors"] == 0
+    assert cold["queries"] == N_DOCS
+    assert warm["queries"] == N_DOCS * WARM_REPEAT
+    # Cold pass: every distinct instance solved exactly once, even with 8
+    # clients racing (single-flight dedupe would collapse duplicates).
+    assert solver["solved"] == N_DOCS
+    # Warm pass: zero solves — all answers from the content-addressed cache.
+    assert warm_solves == 0
+    assert warm["from_cache"] == warm["queries"]
+    # The headline: warm traffic is at least 10x cold throughput.
+    assert speedup >= 10.0, (
+        f"warm qps {warm['qps']:.1f} is only {speedup:.1f}x cold "
+        f"{cold['qps']:.1f}"
+    )
+    # Every warm client shows up in the per-tenant cache attribution.
+    assert set(warm_tenants) == {f"warm-{i}" for i in range(N_CLIENTS)}
+    assert sum(c["hits"] for c in warm_tenants.values()) == warm["queries"]

@@ -7,8 +7,9 @@ reference, both derived from live code so they cannot silently go stale.
 * :func:`api_markdown` renders the public-API reference — engine
   guarantees from :data:`repro.throughput.mcf.ENGINE_GUARANTEES`, plus the
   exported surfaces of :mod:`repro.core`, :mod:`repro.api`,
-  :mod:`repro.batch`, and :mod:`repro.lint` with each object's docstring
-  summary; regenerate with ``python -m repro list --api-markdown > API.md``.
+  :mod:`repro.batch`, :mod:`repro.service`, and :mod:`repro.lint` with
+  each object's docstring summary; regenerate with
+  ``python -m repro list --api-markdown > API.md``.
 
 Tests (and the CI ``docs`` job) assert both committed files match their
 regenerated form, so any drift fails loudly.
@@ -127,6 +128,7 @@ def api_markdown() -> str:
     import repro.batch as batch_module
     import repro.core as core_module
     import repro.lint as lint_module
+    import repro.service as service_module
     from repro.throughput.backends import LP_BACKENDS
     from repro.throughput.mcf import ENGINE_GUARANTEES
 
@@ -156,5 +158,6 @@ def api_markdown() -> str:
     lines.extend(_module_section("repro.core", core_module))
     lines.extend(_module_section("repro.api", api_module))
     lines.extend(_module_section("repro.batch", batch_module))
+    lines.extend(_module_section("repro.service", service_module))
     lines.extend(_module_section("repro.lint", lint_module))
     return "".join(lines)

@@ -46,6 +46,8 @@ from repro.batch import (
     DEFAULT_ENGINE_CHOICES,
     BaseResultCache,
     BatchSolver,
+    SolveOutcome,
+    SolveRequest,
     make_cache,
     use_default_engine,
     use_solver,
@@ -171,6 +173,10 @@ class Session:
             )
         self.solver = BatchSolver(workers=workers, cache=cache, timeout=timeout)
         self._active_thread: Optional[threading.Thread] = None
+        # Serializes the experiment surface (run/stream/close claim the
+        # solver's progress callbacks and stats deltas); query() does not
+        # take it — concurrent queries ride the solver's own locks.
+        self._exec_lock = threading.RLock()
         self._closed = False
 
     def _ambient(self) -> ExitStack:
@@ -194,9 +200,10 @@ class Session:
 
     def close(self) -> None:
         """Wait for any in-flight stream, then shut the solver down."""
-        self._join_active()
-        self.solver.close()
-        self._closed = True
+        with self._exec_lock:
+            self._join_active()
+            self.solver.close()
+            self._closed = True
 
     def _join_active(self) -> None:
         # An abandoned stream generator leaves its experiment thread solving
@@ -234,15 +241,17 @@ class Session:
         sweep correctly reports zero solves).
         """
         self._check_open()
-        self._join_active()
-        spec = self.spec(experiment_id)
-        snap = self.solver.snapshot()
-        with self._ambient():
-            result = spec.fn(
-                scale=self.scale, seed=self.seed if seed is None else seed
-            )
-        result.extras["batch"] = self.solver.stats_since(snap)
-        return result
+        with self._exec_lock:
+            self._check_open()
+            self._join_active()
+            spec = self.spec(experiment_id)
+            snap = self.solver.snapshot()
+            with self._ambient():
+                result = spec.fn(
+                    scale=self.scale, seed=self.seed if seed is None else seed
+                )
+            result.extras["batch"] = self.solver.stats_since(snap)
+            return result
 
     def stream(
         self, experiment_id: str, seed: Optional[int] = None
@@ -263,6 +272,16 @@ class Session:
         return self._stream(spec, experiment_id, seed)
 
     def _stream(
+        self, spec: ExperimentSpec, experiment_id: str, seed: Optional[int]
+    ) -> Iterator[ExperimentEvent]:
+        # Hold the experiment lock for the stream's whole lifetime (released
+        # when the generator is exhausted or closed), so two threads cannot
+        # both claim the solver's progress callbacks.  query() calls keep
+        # flowing concurrently — they never take this lock.
+        with self._exec_lock:
+            yield from self._stream_locked(spec, experiment_id, seed)
+
+    def _stream_locked(
         self, spec: ExperimentSpec, experiment_id: str, seed: Optional[int]
     ) -> Iterator[ExperimentEvent]:
         # The worker thread starts lazily, at first iteration — so re-check
@@ -361,6 +380,41 @@ class Session:
                 thread.join()
                 if self._active_thread is thread:
                     self._active_thread = None
+
+    # -------------------------------------------------------------- querying
+    def query(
+        self,
+        topology: Any,
+        tm: Any,
+        engine: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        tag: str = "",
+    ) -> SolveOutcome:
+        """Solve one throughput instance on the shared solver (thread-safe).
+
+        Unlike :meth:`run`/:meth:`stream` — which claim the whole solver and
+        therefore serialize — any number of threads may call ``query``
+        concurrently: the request goes straight through
+        :meth:`~repro.batch.BatchSolver.solve_many`, whose counters, cache,
+        and cross-thread single-flight dedupe are lock-protected.  Two
+        threads querying the same instance at the same time perform **one**
+        solve; the loser gets the winner's cached result.  This is the
+        primitive :mod:`repro.service` multiplexes clients onto.
+
+        The session's ambient defaults (engine, LP backend, shard policy)
+        apply exactly as they do for experiments, so a query and an
+        experiment asking the same instance share one cache entry.
+        """
+        self._check_open()
+        with self._ambient():
+            request = SolveRequest(
+                topology,
+                tm,
+                engine=engine,
+                params=dict(params or {}),
+                tag=tag,
+            )
+            return self.solver.solve_many([request])[0]
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:

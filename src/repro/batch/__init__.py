@@ -37,6 +37,7 @@ from repro.batch.jobs import (
     values_by_tag,
 )
 from repro.batch.solver import BatchSolver, bound_skip_result, resolve_workers
+from repro.batch.tenancy import current_tenant, use_tenant
 
 __all__ = [
     "BATCH_ENGINES",
@@ -50,6 +51,7 @@ __all__ = [
     "SolveRequest",
     "SqliteResultCache",
     "bound_skip_result",
+    "current_tenant",
     "default_engine",
     "get_solver",
     "use_default_engine",
@@ -63,5 +65,6 @@ __all__ = [
     "solve_instances",
     "solve_values",
     "use_solver",
+    "use_tenant",
     "values_by_tag",
 ]

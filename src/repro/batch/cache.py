@@ -40,10 +40,12 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.batch.tenancy import current_tenant
 from repro.throughput.lp import ThroughputResult
 from repro.utils.envknobs import knob_str
 from repro.utils.serialization import _coerce
@@ -150,6 +152,9 @@ class BaseResultCache:
         self.max_entries = max_entries
         self.max_bytes = int(max_mb * 1024 * 1024) if max_mb is not None else None
         self.path: Path = self.cache_dir  # concrete classes point at a file
+        # Re-entrant: ``put`` -> ``_enforce_caps`` -> ``__len__`` nests, and
+        # the service front-end probes one shared cache from many threads.
+        self._lock = threading.RLock()
         self._reset_counters()
 
     def _reset_counters(self) -> None:
@@ -158,7 +163,20 @@ class BaseResultCache:
         self.puts = 0
         self.corrupt_lines = 0
         self.evictions = 0
+        #: Per-tenant ``{"hits": n, "misses": n}`` maps (see repro.batch.tenancy).
+        self.tenant_counts: Dict[str, Dict[str, int]] = {}
         self._warned_corrupt = False
+
+    def _count_access(self, hit: bool) -> None:
+        """Count one probe globally and, when tagged, against the tenant."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        tenant = current_tenant()
+        if tenant:
+            counts = self.tenant_counts.setdefault(tenant, {"hits": 0, "misses": 0})
+            counts["hits" if hit else "misses"] += 1
 
     def _warn_corrupt(self) -> None:
         """One warning per cache instance when corrupt records were skipped."""
@@ -200,19 +218,23 @@ class BaseResultCache:
 
     # --------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Any]:
-        return {
-            "backend": self.backend,
-            "path": str(self.path),
-            "entries": len(self),
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "corrupt_lines": self.corrupt_lines,
-            "evictions": self.evictions,
-            "size_bytes": self.size_bytes(),
-            "max_entries": self.max_entries,
-            "max_bytes": self.max_bytes,
-        }
+        with self._lock:
+            out: Dict[str, Any] = {
+                "backend": self.backend,
+                "path": str(self.path),
+                "entries": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "corrupt_lines": self.corrupt_lines,
+                "evictions": self.evictions,
+                "size_bytes": self.size_bytes(),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
+            if self.tenant_counts:
+                out["tenants"] = {t: dict(c) for t, c in self.tenant_counts.items()}
+        return out
 
 
 class ResultCache(BaseResultCache):
@@ -259,30 +281,33 @@ class ResultCache(BaseResultCache):
         return self._mem
 
     def get(self, key: str) -> Optional[ThroughputResult]:
-        mem = self._load()
-        result = mem.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        mem[key] = mem.pop(key)  # refresh LRU position
-        self.hits += 1
-        return result
+        with self._lock:
+            mem = self._load()
+            result = mem.get(key)
+            if result is None:
+                self._count_access(hit=False)
+                return None
+            mem[key] = mem.pop(key)  # refresh LRU position
+            self._count_access(hit=True)
+            return result
 
     def contains(self, key: str) -> bool:
-        return key in self._load()
+        with self._lock:
+            return key in self._load()
 
     def put(self, key: str, result: ThroughputResult) -> None:
-        mem = self._load()
-        if key in mem:
-            return
-        mem[key] = result
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(
-                json.dumps({"key": key, "result": _result_to_doc(result)}) + "\n"
-            )
-        self.puts += 1
-        self._enforce_caps()
+        with self._lock:
+            mem = self._load()
+            if key in mem:
+                return
+            mem[key] = result
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps({"key": key, "result": _result_to_doc(result)}) + "\n"
+                )
+            self.puts += 1
+            self._enforce_caps()
 
     # ------------------------------------------------------------- eviction
     def _over_caps(self, n_entries: int, n_bytes: int) -> bool:
@@ -332,15 +357,17 @@ class ResultCache(BaseResultCache):
         os.replace(tmp, self.path)
 
     def clear(self) -> int:
-        n = len(self)
-        if self.path.exists():
-            self.path.unlink()
-        self._mem = {}
-        self._reset_counters()
-        return n
+        with self._lock:
+            n = len(self)
+            if self.path.exists():
+                self.path.unlink()
+            self._mem = {}
+            self._reset_counters()
+            return n
 
     def __len__(self) -> int:
-        return len(self._load())
+        with self._lock:
+            return len(self._load())
 
 
 class SqliteResultCache(BaseResultCache):
@@ -372,7 +399,14 @@ class SqliteResultCache(BaseResultCache):
     def _connect(self) -> sqlite3.Connection:
         if self._conn is None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(str(self.path), timeout=30.0, isolation_level=None)
+            # check_same_thread=False: the service front-end shares one
+            # cache across job threads; our RLock serializes all access.
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=30.0,
+                isolation_level=None,
+                check_same_thread=False,
+            )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute("PRAGMA busy_timeout=30000")
@@ -388,9 +422,10 @@ class SqliteResultCache(BaseResultCache):
 
     def close(self) -> None:
         """Close the sqlite connection (idempotent)."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -400,45 +435,51 @@ class SqliteResultCache(BaseResultCache):
 
     # -------------------------------------------------------- backend API
     def get(self, key: str) -> Optional[ThroughputResult]:
-        conn = self._connect()
-        row = conn.execute("SELECT doc FROM results WHERE key = ?", (key,)).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        try:
-            result = _result_from_doc(json.loads(row[0]))
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # Treat an unreadable row as absent: count it, drop it, re-solve.
-            self.corrupt_lines += 1
-            conn.execute("DELETE FROM results WHERE key = ?", (key,))
-            self._warn_corrupt()
-            self.misses += 1
-            return None
-        conn.execute(
-            "UPDATE results SET seq = (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
-            " WHERE key = ?",
-            (key,),
-        )
-        self.hits += 1
-        return result
+        with self._lock:
+            conn = self._connect()
+            row = conn.execute(
+                "SELECT doc FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self._count_access(hit=False)
+                return None
+            try:
+                result = _result_from_doc(json.loads(row[0]))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # Treat an unreadable row as absent: count it, drop it, re-solve.
+                self.corrupt_lines += 1
+                conn.execute("DELETE FROM results WHERE key = ?", (key,))
+                self._warn_corrupt()
+                self._count_access(hit=False)
+                return None
+            conn.execute(
+                "UPDATE results SET seq ="
+                " (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
+                " WHERE key = ?",
+                (key,),
+            )
+            self._count_access(hit=True)
+            return result
 
     def contains(self, key: str) -> bool:
-        row = self._connect().execute(
-            "SELECT 1 FROM results WHERE key = ?", (key,)
-        ).fetchone()
-        return row is not None
+        with self._lock:
+            row = self._connect().execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            return row is not None
 
     def put(self, key: str, result: ThroughputResult) -> None:
-        conn = self._connect()
-        cur = conn.execute(
-            "INSERT OR IGNORE INTO results (key, doc, seq) VALUES ("
-            "  ?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
-            ")",
-            (key, json.dumps(_result_to_doc(result))),
-        )
-        if cur.rowcount > 0:
-            self.puts += 1
-            self._enforce_caps(conn)
+        with self._lock:
+            conn = self._connect()
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO results (key, doc, seq) VALUES ("
+                "  ?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
+                ")",
+                (key, json.dumps(_result_to_doc(result))),
+            )
+            if cur.rowcount > 0:
+                self.puts += 1
+                self._enforce_caps(conn)
 
     def size_bytes(self) -> int:
         """On-disk footprint including the WAL and shared-memory files.
@@ -489,16 +530,20 @@ class SqliteResultCache(BaseResultCache):
                 conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
 
     def clear(self) -> int:
-        n = len(self)
-        conn = self._connect()
-        conn.execute("DELETE FROM results")
-        conn.execute("VACUUM")
-        self._reset_counters()
-        return n
+        with self._lock:
+            n = len(self)
+            conn = self._connect()
+            conn.execute("DELETE FROM results")
+            conn.execute("VACUUM")
+            self._reset_counters()
+            return n
 
     def __len__(self) -> int:
-        row = self._connect().execute("SELECT COUNT(*) FROM results").fetchone()
-        return int(row[0])
+        with self._lock:
+            row = self._connect().execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+            return int(row[0])
 
 
 def make_cache(

@@ -28,6 +28,7 @@ the streaming experiment runner (:mod:`repro.api`).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import (
@@ -45,12 +46,14 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
 from repro.batch.cache import BaseResultCache
 from repro.batch.jobs import BATCH_ENGINES, SolveOutcome, SolveRequest
+from repro.batch.tenancy import current_tenant
 from repro.throughput.lp import ThroughputResult
 from repro.throughput.mcf import throughput
 
@@ -254,6 +257,21 @@ class BatchSolver:
         #: thread; ``None`` (the default) costs nothing.
         self.progress_callback: Optional[Callable[["BatchSolver"], None]] = None
         self.batch_callback: Optional[Callable[[Dict[str, Any]], None]] = None
+        # Concurrency: the counters above are mutated under ``_lock`` so
+        # concurrent ``solve_many`` callers (the service front-end) never
+        # lose increments; ``_pool_lock`` serializes pool create/recycle;
+        # ``_inflight`` is the cross-caller single-flight registry — the
+        # first thread to claim a cacheable key solves it, later threads
+        # wait for the writeback and take the cache hit.  The incremental
+        # submit/iter stream remains a single-consumer structure (a
+        # :class:`~repro.api.Session` serializes it).
+        self._lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+        #: Per-tenant counter attribution (see :mod:`repro.batch.tenancy`):
+        #: ``{tenant: {requests, solved, cache_hits, errors, bound_skips}}``.
+        #: Empty until a solve runs inside ``use_tenant``.
+        self.tenant_stats: Dict[str, Dict[str, int]] = {}
         # Incremental-submission state (see submit / iter_outcomes).
         self._stream_pending: Deque[_StreamEntry] = deque()
         self._stream_by_key: Dict[str, _StreamEntry] = {}
@@ -273,11 +291,55 @@ class BatchSolver:
             (cache.hits, cache.misses, cache.puts) if cache is not None else (0, 0, 0)
         )
 
+    # ------------------------------------------------------------- counters
+    def _bump(
+        self,
+        requests: int = 0,
+        solved: int = 0,
+        cache_hits: int = 0,
+        errors: int = 0,
+        shard_jobs: int = 0,
+        bound_skips: int = 0,
+    ) -> None:
+        """Increment counters atomically, attributing to the ambient tenant.
+
+        The single mutation point for every counter: concurrent
+        ``solve_many`` callers (service request threads) otherwise lose
+        increments to read-modify-write races.  Shard-internal jobs are
+        counted globally but not per tenant — tenants asked for instances,
+        not for the decomposition traffic they caused.
+        """
+        tenant = current_tenant()
+        with self._lock:
+            self.n_requests += requests
+            self.n_solved += solved
+            self.n_cache_hits += cache_hits
+            self.n_errors += errors
+            self.n_shard_jobs += shard_jobs
+            self.n_bound_skips += bound_skips
+            if tenant:
+                t = self.tenant_stats.setdefault(
+                    tenant,
+                    {
+                        "requests": 0,
+                        "solved": 0,
+                        "cache_hits": 0,
+                        "errors": 0,
+                        "bound_skips": 0,
+                    },
+                )
+                t["requests"] += requests
+                t["solved"] += solved
+                t["cache_hits"] += cache_hits
+                t["errors"] += errors
+                t["bound_skips"] += bound_skips
+
     # ------------------------------------------------------------- lifecycle
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -286,9 +348,10 @@ class BatchSolver:
             # would block on it forever.
             self._recycle_pool()
             self._recycle_deferred = False
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _recycle_pool(self) -> None:
         """Discard the pool after a timeout or worker death.
@@ -298,7 +361,8 @@ class BatchSolver:
         worker processes are terminated best-effort; the next batch gets a
         fresh pool.
         """
-        pool, self._pool = self._pool, None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
         if pool is None:
             return
         pool.shutdown(wait=False, cancel_futures=True)
@@ -336,9 +400,9 @@ class BatchSolver:
         snap = self.snapshot() if self.batch_callback is not None else None
         outcomes: List[Optional[SolveOutcome]] = [None] * len(requests)
         pending: List[Tuple[int, SolveRequest]] = []
-        self.n_requests += len(requests)
-        self.n_shard_jobs += sum(
-            1 for r in requests if r.tag.startswith("shard:")
+        self._bump(
+            requests=len(requests),
+            shard_jobs=sum(1 for r in requests if r.tag.startswith("shard:")),
         )
 
         for i, req in enumerate(requests):
@@ -347,7 +411,7 @@ class BatchSolver:
             use_cache = self.cache is not None and req.cacheable
             cached = self.cache.get(req.key) if use_cache else None
             if cached is not None:
-                self.n_cache_hits += 1
+                self._bump(cache_hits=1)
                 self._fire_progress()
                 outcomes[i] = SolveOutcome(
                     key=req.key, tag=req.tag, result=cached, from_cache=True
@@ -355,7 +419,7 @@ class BatchSolver:
                 continue
             skipped = bound_skip_result(req)
             if skipped is not None:
-                self.n_bound_skips += 1
+                self._bump(bound_skips=1)
                 self._fire_progress()
                 outcomes[i] = SolveOutcome(
                     key=req.key if use_cache else "", tag=req.tag, result=skipped
@@ -380,41 +444,22 @@ class BatchSolver:
                     first_by_key[req.key] = len(unique)
                 alias.append(len(unique))
                 unique.append((i, req))
-            if self.workers == 1:
-                solved = [self._solve_local(req) for _, req in unique]
-            else:
-                # ``sharded`` requests solve parent-side so their block
-                # subproblems fan out over this same pool and cache;
-                # everything else ships to workers.
-                pool_jobs = [
-                    (j, req)
-                    for j, (_, req) in enumerate(unique)
-                    if req.engine != "sharded"
-                ]
-                solved = [(None, None)] * len(unique)
-                for (j, _), res in zip(
-                    pool_jobs, self._solve_in_pool([req for _, req in pool_jobs])
-                ):
-                    solved[j] = res
-                for j, (_, req) in enumerate(unique):
-                    if req.engine == "sharded":
-                        solved[j] = self._solve_local(req)
+            solved, from_flight = self._solve_unique(unique)
             primaries = {u: False for u in range(len(unique))}
             for (i, req), u in zip(pending, alias):
                 result, error = solved[u]
                 use_cache = self.cache is not None and req.cacheable
-                is_duplicate = primaries.get(u, False)
+                is_duplicate = primaries.get(u, False) or u in from_flight
                 primaries[u] = True
                 if error is None and result is not None:
                     if is_duplicate:
-                        # Served from the in-batch memo, not a fresh solve.
-                        self.n_cache_hits += 1
+                        # Served from the in-batch memo or another caller's
+                        # in-flight solve, not a fresh solve here.
+                        self._bump(cache_hits=1)
                     else:
-                        self.n_solved += 1
-                        if use_cache:
-                            self.cache.put(req.key, result)
+                        self._bump(solved=1)
                 else:
-                    self.n_errors += 1
+                    self._bump(errors=1)
                 self._fire_progress()
                 outcomes[i] = SolveOutcome(
                     key=req.key if use_cache else "",
@@ -427,6 +472,91 @@ class BatchSolver:
         if snap is not None:
             self.batch_callback(self.stats_since(snap))
         return [o for o in outcomes if o is not None]
+
+    def _solve_unique(
+        self, unique: List[Tuple[int, SolveRequest]]
+    ) -> Tuple[
+        List[Tuple[Optional[ThroughputResult], Optional[str]]], Set[int]
+    ]:
+        """Solve the deduped request list, single-flighted across threads.
+
+        Among *concurrent* ``solve_many`` callers (service request
+        threads), the first to claim a cacheable key becomes its owner and
+        solves it; the others wait for the owner's cache writeback and
+        take the hit — two clients asking the same instance at the same
+        moment cost one LP, same as asking it in sequence.  Returns the
+        per-unique ``(result, error)`` list plus the set of positions that
+        were served by another caller's in-flight solve (counted as cache
+        hits by the caller).  Owners write fresh results back *before*
+        releasing their claim so a released waiter always finds the entry;
+        if the owner's solve failed (error, uncacheable result) the waiter
+        falls back to solving locally rather than inheriting the failure.
+        """
+        waits: Dict[int, threading.Event] = {}
+        claimed: Dict[int, threading.Event] = {}
+        if self.cache is not None:
+            with self._lock:
+                for u, (_, req) in enumerate(unique):
+                    if not req.cacheable:
+                        continue
+                    held = self._inflight.get(req.key)
+                    if held is not None:
+                        waits[u] = held
+                    else:
+                        event = threading.Event()
+                        self._inflight[req.key] = event
+                        claimed[u] = event
+        solved: List[Tuple[Optional[ThroughputResult], Optional[str]]]
+        solved = [(None, None)] * len(unique)
+        try:
+            to_solve = [
+                (u, req)
+                for u, (_, req) in enumerate(unique)
+                if u not in waits
+            ]
+            if self.workers == 1:
+                for u, req in to_solve:
+                    solved[u] = self._solve_local(req)
+            else:
+                # ``sharded`` requests solve parent-side so their block
+                # subproblems fan out over this same pool and cache;
+                # everything else ships to workers.
+                pool_jobs = [(u, req) for u, req in to_solve if req.engine != "sharded"]
+                for (u, _), res in zip(
+                    pool_jobs, self._solve_in_pool([req for _, req in pool_jobs])
+                ):
+                    solved[u] = res
+                for u, req in to_solve:
+                    if req.engine == "sharded":
+                        solved[u] = self._solve_local(req)
+            for u in claimed:
+                _, req = unique[u]
+                result, error = solved[u]
+                if error is None and result is not None:
+                    self.cache.put(req.key, result)
+        finally:
+            # Claims release even if a solve raised: a waiter blocked on a
+            # crashed owner must fall back, not hang.
+            if claimed:
+                with self._lock:
+                    for u in claimed:
+                        self._inflight.pop(unique[u][1].key, None)
+                for event in claimed.values():
+                    event.set()
+        from_flight: Set[int] = set()
+        for u, event in waits.items():
+            _, req = unique[u]
+            event.wait()
+            cached = self.cache.get(req.key)
+            if cached is not None:
+                solved[u] = (cached, None)
+                from_flight.add(u)
+            else:
+                result, error = self._solve_local(req)
+                if error is None and result is not None:
+                    self.cache.put(req.key, result)
+                solved[u] = (result, error)
+        return solved, from_flight
 
     # ------------------------------------------------- incremental streaming
     def submit(self, request: SolveRequest) -> int:
@@ -450,16 +580,17 @@ class BatchSolver:
         if not self._stream_pending:
             self._stream_snap = self.snapshot()
         index = self.n_requests
-        self.n_requests += 1
-        if request.tag.startswith("shard:"):
-            self.n_shard_jobs += 1
+        self._bump(
+            requests=1,
+            shard_jobs=1 if request.tag.startswith("shard:") else 0,
+        )
         use_cache = self.cache is not None and request.cacheable
         entry = _StreamEntry(request, use_cache)
         self._stream_pending.append(entry)
         if use_cache:
             cached = self.cache.get(request.key)
             if cached is not None:
-                self.n_cache_hits += 1
+                self._bump(cache_hits=1)
                 entry.outcome = SolveOutcome(
                     key=request.key, tag=request.tag, result=cached, from_cache=True
                 )
@@ -471,7 +602,7 @@ class BatchSolver:
             # cached, and never registered as an in-stream dedupe primary
             # (later identical requests must not inherit an interval value
             # when they could solve exactly).
-            self.n_bound_skips += 1
+            self._bump(bound_skips=1)
             entry.outcome = SolveOutcome(
                 key=request.key if use_cache else "",
                 tag=request.tag,
@@ -524,9 +655,9 @@ class BatchSolver:
                     # has already resolved; served from the in-stream memo.
                     p = entry.primary.outcome
                     if p.error is None:
-                        self.n_cache_hits += 1
+                        self._bump(cache_hits=1)
                     else:
-                        self.n_errors += 1
+                        self._bump(errors=1)
                     entry.outcome = SolveOutcome(
                         key=entry.request.key,
                         tag=entry.request.tag,
@@ -578,11 +709,11 @@ class BatchSolver:
     ) -> None:
         req = entry.request
         if error is None and result is not None:
-            self.n_solved += 1
+            self._bump(solved=1)
             if entry.use_cache:
                 self.cache.put(req.key, result)
         else:
-            self.n_errors += 1
+            self._bump(errors=1)
         entry.outcome = SolveOutcome(
             key=req.key if entry.use_cache else "",
             tag=req.tag,
@@ -743,14 +874,19 @@ class BatchSolver:
         A :class:`~repro.api.Session` shares one solver across many
         experiments; per-experiment stats are deltas between snapshots.
         """
-        snap: Dict[str, Any] = {
-            "requests": self.n_requests,
-            "solved": self.n_solved,
-            "cache_hits": self.n_cache_hits,
-            "errors": self.n_errors,
-            "shard_jobs": self.n_shard_jobs,
-            "bound_skips": self.n_bound_skips,
-        }
+        with self._lock:
+            snap: Dict[str, Any] = {
+                "requests": self.n_requests,
+                "solved": self.n_solved,
+                "cache_hits": self.n_cache_hits,
+                "errors": self.n_errors,
+                "shard_jobs": self.n_shard_jobs,
+                "bound_skips": self.n_bound_skips,
+            }
+            if self.tenant_stats:
+                snap["tenants"] = {
+                    t: dict(counts) for t, counts in self.tenant_stats.items()
+                }
         if self.cache is not None:
             snap["cache"] = (self.cache.hits, self.cache.misses, self.cache.puts)
         return snap
@@ -766,6 +902,16 @@ class BatchSolver:
             "shard_jobs": self.n_shard_jobs - snapshot.get("shard_jobs", 0),
             "skipped_by_bound": self.n_bound_skips - snapshot.get("bound_skips", 0),
         }
+        with self._lock:
+            if self.tenant_stats:
+                base = snapshot.get("tenants", {})
+                out["tenants"] = {
+                    tenant: {
+                        field: count - base.get(tenant, {}).get(field, 0)
+                        for field, count in counts.items()
+                    }
+                    for tenant, counts in self.tenant_stats.items()
+                }
         if self.cache is not None:
             base_hits, base_misses, base_puts = snapshot.get("cache", (0, 0, 0))
             out["cache"] = {

@@ -1,0 +1,48 @@
+"""Ambient tenant identity for multi-client solve attribution.
+
+The service front-end (:mod:`repro.service`) multiplexes many clients onto
+one shared :class:`~repro.batch.solver.BatchSolver` and result cache.  For
+its ``/stats`` endpoint (and ``repro cache``) to attribute solves, cache
+hits, and bound-skips to the client that caused them, the solver and cache
+need to know *who is asking* at counter-increment time.
+
+That identity is ambient, not plumbed through every call signature: a
+:class:`contextvars.ContextVar` set by :func:`use_tenant` for the duration
+of one request's execution.  Each service job runs in its own worker
+thread (its own context), so concurrent tenants never clobber each other.
+The tag is **observability-only** — it must never reach
+:func:`repro.batch.jobs.instance_key` or any params dict, because two
+tenants asking the same numerical instance must share one cache entry
+(that sharing is the whole point of the service).
+
+Outside any ``use_tenant`` block the tenant is the empty string and all
+per-tenant accounting is skipped, so single-client library use pays one
+ContextVar read and nothing else.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+#: Ambient tenant label ("" = untagged single-client use).
+_current_tenant: ContextVar[str] = ContextVar("repro_tenant", default="")
+
+
+def current_tenant() -> str:
+    """The ambient tenant label, or ``""`` when untagged."""
+    return _current_tenant.get()
+
+
+@contextmanager
+def use_tenant(tenant: str) -> Iterator[str]:
+    """Attribute solver/cache counters to ``tenant`` within the block."""
+    token = _current_tenant.set(tenant)
+    try:
+        yield tenant
+    finally:
+        _current_tenant.reset(token)
+
+
+__all__ = ["current_tenant", "use_tenant"]

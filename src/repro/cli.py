@@ -25,6 +25,10 @@ Usage::
     python -m repro lint             # check repo invariants (R001-R006)
     python -m repro lint --format json --rule R002 --rule R003
     python -m repro lint --update-baseline   # grandfather current findings
+    python -m repro serve --port 8432 --workers 2 --cache-dir /tmp/repro-cache
+                                     # throughput-as-a-service (Ctrl-C drains)
+    python -m repro query --family jellyfish --engine mwu --tenant alice
+    python -m repro query --spec '{"adjacency": [[0,1],[1,0]]}'
 
 Output is the ASCII table/series the corresponding bench prints, plus the
 shape-check verdicts catalogued in EXPERIMENTS.md (generated from the
@@ -94,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig4, table1), 'all', 'list', 'cache', "
-        "or 'lint'",
+        "'lint', 'serve', or 'query'",
     )
     parser.add_argument(
         "cache_action",
@@ -225,6 +229,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as JSON into this directory",
     )
+    service = parser.add_argument_group(
+        "service", "options for 'repro serve' and 'repro query'"
+    )
+    service.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind/connect address for the throughput service "
+        "(default: 127.0.0.1)",
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="service TCP port (default: REPRO_SERVICE_PORT or 8432; "
+        "0 binds an ephemeral port)",
+    )
+    service.add_argument(
+        "--max-inflight",
+        type=_positive_int_arg("--max-inflight"),
+        metavar="N",
+        default=None,
+        help="with 'serve': total concurrent solve jobs admitted before "
+        "answering 429 (default: REPRO_SERVICE_MAX_INFLIGHT or 2x workers, "
+        "min 8)",
+    )
+    service.add_argument(
+        "--tenant-cap",
+        type=_positive_int_arg("--tenant-cap"),
+        metavar="N",
+        default=None,
+        help="with 'serve': per-tenant concurrent job cap (default: "
+        "REPRO_SERVICE_TENANT_CAP or half the in-flight budget)",
+    )
+    service.add_argument(
+        "--tenant",
+        default=None,
+        help="with 'query': tenant label sent with the request (shows up "
+        "in the service's per-tenant /stats)",
+    )
+    service.add_argument(
+        "--family",
+        default=None,
+        help="with 'query': topology family to ask the service about "
+        "(e.g. jellyfish, fattree)",
+    )
+    service.add_argument(
+        "--ladder",
+        type=int,
+        metavar="I",
+        default=None,
+        help="with 'query': pick rung I of the family's scale ladder "
+        "instead of its representative",
+    )
+    service.add_argument(
+        "--max-servers",
+        type=_positive_int_arg("--max-servers"),
+        metavar="N",
+        default=None,
+        help="with 'query --ladder': server cap bounding the ladder "
+        "(default 256)",
+    )
+    service.add_argument(
+        "--tm-kind",
+        choices=["all_to_all", "uniform"],
+        default=None,
+        help="with 'query': traffic matrix kind (default all_to_all)",
+    )
+    service.add_argument(
+        "--spec",
+        metavar="JSON",
+        default=None,
+        help="with 'query': raw query document (overrides --family et al.); "
+        "see repro.service.queries for the grammar",
+    )
+    service.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="with 'query': synchronous wait budget before the service "
+        "answers 504 (default: the service's request timeout)",
+    )
     lint = parser.add_argument_group("lint", "options for 'repro lint'")
     lint.add_argument(
         "--format",
@@ -326,6 +412,78 @@ def _lint_command(args: argparse.Namespace) -> int:
     return exit_code(result)
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    """``repro serve``: stand up the HTTP service over one shared Session.
+
+    Blocks until SIGTERM or Ctrl-C, then drains gracefully (stops
+    admitting, finishes running jobs, closes the listener and session).
+    """
+    from repro.service import ServiceConfig, serve
+
+    cache = None if args.no_cache else _build_cache(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        tenant_cap=args.tenant_cap,
+    )
+    with Session(
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
+        cache=cache,
+        engine=args.engine,
+        lp_backend=args.lp_backend,
+        shard_threshold=args.shard_threshold,
+        shard_blocks=args.shard_blocks,
+    ) as session:
+        serve(session, config)
+    return 0
+
+
+def _query_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``repro query``: one-shot HTTP client against a running service."""
+    import json as _json
+
+    from repro.service import DEFAULT_PORT, ServiceClient, ServiceError
+    from repro.utils.envknobs import knob_int
+
+    if args.spec is not None:
+        try:
+            doc = _json.loads(args.spec)
+        except _json.JSONDecodeError as exc:
+            parser.error(f"--spec is not valid JSON: {exc}")
+    else:
+        if args.family is None:
+            parser.error("repro query needs --family (or a raw --spec)")
+        topology = {"family": args.family, "seed": args.seed}
+        if args.ladder is not None:
+            topology["ladder"] = args.ladder
+            topology["max_servers"] = args.max_servers or 256
+        doc = {"topology": topology}
+        if args.tm_kind is not None:
+            doc["tm"] = {"kind": args.tm_kind}
+        if args.engine is not None:
+            doc["engine"] = args.engine
+    port = args.port
+    if port is None:
+        port = knob_int("REPRO_SERVICE_PORT", 8432) or DEFAULT_PORT
+    try:
+        with ServiceClient(args.host, port, tenant=args.tenant or "") as client:
+            answer = client.throughput(doc, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach the service at {args.host}:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(_json.dumps(answer, indent=2))
+    return 0
+
+
 def _list_command(args: argparse.Namespace) -> int:
     ensure_registered()
     if args.api_markdown:
@@ -409,6 +567,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             else ("--markdown" if args.markdown else "--api-markdown")
         )
         parser.error(f"{flag} is only valid with 'list'")
+    if args.experiment != "serve":
+        serve_flags = {
+            "--max-inflight": args.max_inflight is not None,
+            "--tenant-cap": args.tenant_cap is not None,
+        }
+        used = [flag for flag, on in serve_flags.items() if on]
+        if used:
+            parser.error(f"{used[0]} is only valid with 'serve'")
+    if args.experiment != "query":
+        query_flags = {
+            "--tenant": args.tenant is not None,
+            "--family": args.family is not None,
+            "--ladder": args.ladder is not None,
+            "--max-servers": args.max_servers is not None,
+            "--tm-kind": args.tm_kind is not None,
+            "--spec": args.spec is not None,
+            "--timeout": args.timeout is not None,
+        }
+        used = [flag for flag, on in query_flags.items() if on]
+        if used:
+            parser.error(f"{used[0]} is only valid with 'query'")
+    if args.experiment not in ("serve", "query"):
+        if args.host != "127.0.0.1":
+            parser.error("--host is only valid with 'serve' or 'query'")
+        if args.port is not None:
+            parser.error("--port is only valid with 'serve' or 'query'")
     if args.experiment != "lint":
         lint_flags = {
             "--format": args.lint_format != "text",
@@ -426,6 +610,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args)
     if args.experiment == "lint":
         return _lint_command(args)
+    if args.experiment == "serve":
+        return _serve_command(args)
+    if args.experiment == "query":
+        return _query_command(args, parser)
     if args.experiment == "all":
         registry = ensure_registered()
         if args.tag is not None and args.tag not in registry.tags():

@@ -21,8 +21,9 @@ Each rule encodes a bug class this repo has actually shipped (see the
   feeding a key, digest, or sort order breaks cross-process determinism
   (``stable_seed`` exists precisely because of this).
 * **R005 networkx-in-hot-path** — ``repro.core``/``repro.batch``/
-  ``repro.whatif`` are ArcGraph-native per PR 5: a networkx import there
-  reintroduces graph-walk costs and fat pool payloads on the hot path.
+  ``repro.whatif``/``repro.service`` are ArcGraph-native per PR 5: a
+  networkx import there reintroduces graph-walk costs and fat pool
+  payloads on the hot path (and, for the service, in every request).
 """
 
 from __future__ import annotations
@@ -325,11 +326,12 @@ class NetworkxHotPathRule(Rule):
     id = "R005"
     title = "networkx-in-hot-path"
     rationale = (
-        "repro.core/batch/whatif are ArcGraph-native (PR 5): a networkx "
-        "import there reintroduces graph walks and fat pool payloads"
+        "repro.core/batch/whatif/service are ArcGraph-native (PR 5): a "
+        "networkx import there reintroduces graph walks and fat pool "
+        "payloads"
     )
 
-    HOT_PREFIXES = ("repro.core", "repro.batch", "repro.whatif")
+    HOT_PREFIXES = ("repro.core", "repro.batch", "repro.whatif", "repro.service")
 
     #: Modules that transitively pull in networkx; banned at module level in
     #: hot packages (a function-scoped lazy import is the sanctioned

@@ -1,0 +1,69 @@
+"""Throughput-as-a-service: asyncio HTTP front-end over one shared Session.
+
+The ROADMAP's "millions of users" story: a long-lived service multiplexes
+many concurrent clients onto **one** :class:`~repro.api.Session` — one
+:class:`~repro.batch.BatchSolver`, one persistent content-addressed cache
+— so popular topologies are solved once and then served as cache hits.
+
+Endpoints
+---------
+``GET/POST /throughput``
+    Synchronous query: a named topology (``{"family": "jellyfish"}``) or
+    an uploaded adjacency/TM payload, plus engine/params; answers with the
+    throughput value, cache provenance, and the content key.
+``POST /jobs`` / ``GET /jobs/<id>`` / ``GET /jobs/<id>/events``
+    Submit a query *or a whole experiment* as a job; stream its typed
+    events (``row`` / ``progress`` / ``batch`` / ``shard`` / ``result``)
+    back as server-sent events, 1:1 with :mod:`repro.api.events`.
+``GET /healthz`` / ``GET /stats``
+    Liveness, and solver + cache + admission counters with per-tenant
+    attribution (clients declare themselves via a ``Tenant`` header).
+
+Admission control bounds in-flight solves (``429`` + ``Retry-After`` when
+saturated, per-tenant caps, ``503`` while draining on SIGTERM); see
+:mod:`repro.service.app` for the threading architecture and DESIGN.md
+("Throughput-as-a-service") for the rationale.
+
+Start one with ``repro serve`` or programmatically::
+
+    with Session(workers=2, cache_dir=...) as session:
+        serve(session, ServiceConfig(port=8432))
+"""
+
+from repro.service.app import (
+    DEFAULT_PORT,
+    ServiceConfig,
+    ThroughputService,
+    event_frame,
+    resolve_max_inflight,
+    resolve_tenant_cap,
+    serve,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import HttpError, Request, SSEWriter, parse_sse_stream
+from repro.service.jobs import Admission, Job, JobTable
+from repro.service.loadgen import run_load
+from repro.service.queries import InstanceCache, QuerySpec, parse_query
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Admission",
+    "HttpError",
+    "InstanceCache",
+    "Job",
+    "JobTable",
+    "QuerySpec",
+    "Request",
+    "SSEWriter",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ThroughputService",
+    "event_frame",
+    "parse_query",
+    "parse_sse_stream",
+    "resolve_max_inflight",
+    "resolve_tenant_cap",
+    "run_load",
+    "serve",
+]

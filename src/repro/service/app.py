@@ -1,0 +1,621 @@
+"""The throughput service: asyncio front-end over one shared Session.
+
+Architecture (see docs/architecture.md, "Service layer"):
+
+* The **event loop** owns every piece of mutable service state —
+  admission counts, the job table, job event queues.  Handlers run on the
+  loop; worker threads never touch that state directly, they schedule
+  mutations back with ``call_soon_threadsafe``.
+* **Jobs** execute on a thread pool sized to the admission budget.  A
+  query job tags its thread with the client's tenant
+  (:func:`repro.batch.use_tenant`), resolves the instance spec through
+  the bounded :class:`~repro.service.queries.InstanceCache`, and calls
+  :meth:`Session.query <repro.api.Session.query>` — the thread-safe,
+  single-flight-deduped primitive, so N clients asking one topology cost
+  one solve.  An experiment job drives :meth:`Session.stream
+  <repro.api.Session.stream>` and forwards each typed event to the loop.
+* **SSE** maps the stream's event types 1:1 onto frames — ``row``,
+  ``progress``, ``batch``, ``shard``, ``result`` (plus ``error``) — and a
+  job retains its frames, so a consumer attaching late replays the
+  identical stream.
+* **Backpressure**: a full admission budget answers ``429`` with
+  ``Retry-After``; a tenant over its cap likewise; a draining service
+  answers ``503``.  Slots are released by job *completion* (scheduled
+  from the job thread's ``finally``), so a client that times out or
+  disconnects cannot leak a slot: the solve finishes, warms the cache,
+  and frees the budget.
+* **Drain**: SIGTERM/SIGINT stops admission, waits up to the grace
+  period for running jobs, then closes the listener and the session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.events import (
+    BatchStatsEvent,
+    ExperimentEvent,
+    ProgressEvent,
+    ResultEvent,
+    RowEvent,
+    ShardProgressEvent,
+)
+from repro.api.session import Session
+from repro.batch import use_tenant
+from repro.service.http import (
+    HttpError,
+    Request,
+    SSEWriter,
+    error_response,
+    json_response,
+    read_request,
+)
+from repro.service.jobs import STREAM_END, Admission, Job, JobTable
+from repro.service.queries import InstanceCache, QuerySpec, parse_query
+from repro.utils.envknobs import knob_int
+from repro.utils.serialization import _coerce
+
+#: Default service port (``REPRO_SERVICE_PORT`` overrides, flags trump both).
+DEFAULT_PORT = 8432
+
+#: Wall-clock budget for one synchronous ``/throughput`` call.
+DEFAULT_REQUEST_TIMEOUT = 300.0
+
+#: How long ``drain`` waits for running jobs before giving up on them.
+DEFAULT_DRAIN_GRACE = 30.0
+
+
+def resolve_max_inflight(workers: int, value: Optional[int] = None) -> int:
+    """Admission budget: flag > ``REPRO_SERVICE_MAX_INFLIGHT`` > derived.
+
+    The derived default is ``2x`` the solver's worker processes (so the
+    pool stays saturated while cache hits fly past it) with a floor of 8
+    (cache-hit traffic needs no workers at all).
+    """
+    if value is None:
+        value = knob_int("REPRO_SERVICE_MAX_INFLIGHT")
+    if value is None:
+        value = max(8, 2 * max(1, workers))
+    if value < 1:
+        raise ValueError(f"max_inflight must be >= 1, got {value}")
+    return value
+
+
+def resolve_tenant_cap(max_inflight: int, value: Optional[int] = None) -> int:
+    """Per-tenant cap: flag > ``REPRO_SERVICE_TENANT_CAP`` > half the budget."""
+    if value is None:
+        value = knob_int("REPRO_SERVICE_TENANT_CAP")
+    if value is None:
+        value = max(1, max_inflight // 2)
+    if value < 1:
+        raise ValueError(f"tenant_cap must be >= 1, got {value}")
+    return value
+
+
+@dataclass
+class ServiceConfig:
+    """Resolved service knobs (see the envknobs table in the README)."""
+
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    max_inflight: Optional[int] = None
+    tenant_cap: Optional[int] = None
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT
+    drain_grace: float = DEFAULT_DRAIN_GRACE
+
+    def resolved_port(self) -> int:
+        port = self.port
+        if port is None:
+            port = knob_int("REPRO_SERVICE_PORT", DEFAULT_PORT)
+        assert port is not None
+        return port
+
+
+def event_frame(event: ExperimentEvent) -> Tuple[str, Dict[str, Any]]:
+    """Map one typed stream event onto its SSE ``(name, payload)`` frame."""
+    if isinstance(event, RowEvent):
+        return "row", {
+            "experiment_id": event.experiment_id,
+            "index": event.index,
+            "row": _coerce(list(event.row)),
+        }
+    if isinstance(event, ProgressEvent):
+        return "progress", {
+            "experiment_id": event.experiment_id,
+            "done": event.done,
+            "total": event.total,
+        }
+    if isinstance(event, BatchStatsEvent):
+        return "batch", {
+            "experiment_id": event.experiment_id,
+            "stats": _coerce(event.stats),
+        }
+    if isinstance(event, ShardProgressEvent):
+        return "shard", {
+            "experiment_id": event.experiment_id,
+            "blocks": event.blocks,
+            "round": event.round,
+            "max_rounds": event.max_rounds,
+            "lower_bound": event.lower_bound,
+            "upper_bound": event.upper_bound,
+            "relative_gap": event.relative_gap,
+        }
+    if isinstance(event, ResultEvent):
+        result = event.result
+        return "result", {
+            "experiment_id": event.experiment_id,
+            "elapsed_seconds": event.elapsed_seconds,
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": _coerce([list(row) for row in result.rows]),
+            "checks": dict(result.checks),
+            "notes": result.notes,
+            "batch": _coerce(result.extras.get("batch", {})),
+        }
+    raise TypeError(f"unmapped stream event {type(event).__name__}")
+
+
+class ThroughputService:
+    """One shared :class:`Session` behind an asyncio HTTP front-end."""
+
+    def __init__(
+        self, session: Session, config: Optional[ServiceConfig] = None
+    ) -> None:
+        self.session = session
+        self.config = config or ServiceConfig()
+        budget = resolve_max_inflight(
+            session.solver.workers, self.config.max_inflight
+        )
+        self.admission = Admission(
+            max_inflight=budget,
+            tenant_cap=resolve_tenant_cap(budget, self.config.tenant_cap),
+        )
+        self.jobs = JobTable()
+        self.instances = InstanceCache()
+        self.executor = ThreadPoolExecutor(
+            max_workers=budget, thread_name_prefix="repro-service"
+        )
+        self.draining = False
+        self.started_at = time.time()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.resolved_port(),
+        )
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain (POSIX loops only)."""
+        assert self._loop is not None
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.drain())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Stop admitting, wait for running jobs (bounded), then shut down."""
+        if self.draining:
+            return
+        self.draining = True
+        running = self.jobs.running()
+        if running:
+            waits = [job.done.wait() for job in running]
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*waits), timeout=self.config.drain_grace
+                )
+            except asyncio.TimeoutError:
+                pass  # grace expired; abandon stragglers
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        self._drained.set()
+
+    # ----------------------------------------------------------- connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(error_response(exc.status, exc.message))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                try:
+                    done = await self._dispatch(request, writer)
+                except HttpError as exc:
+                    extra = (
+                        {"Retry-After": exc.retry_after}
+                        if getattr(exc, "retry_after", None)
+                        else {}
+                    )
+                    writer.write(
+                        error_response(exc.status, exc.message, **extra)
+                    )
+                    await writer.drain()
+                    break
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    writer.write(error_response(500, f"internal error: {exc}"))
+                    await writer.drain()
+                    break
+                if done or not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request.  Returns True when the connection must close
+        (streaming responses own the socket until the stream ends)."""
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            await self._write(writer, self._healthz())
+            return False
+        if path == "/stats" and method == "GET":
+            await self._write(writer, json_response(200, self.stats()))
+            return False
+        if path == "/throughput" and method in ("GET", "POST"):
+            await self._write(writer, await self._throughput(request))
+            return False
+        if path == "/jobs" and method == "POST":
+            await self._write(writer, self._submit(request))
+            return False
+        if path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(rest[: -len("/events")], writer)
+                return True
+            job = self.jobs.get(rest)
+            if job is None:
+                raise HttpError(404, f"unknown job {rest!r}")
+            await self._write(writer, json_response(200, job.describe()))
+            return False
+        raise HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, payload: bytes) -> None:
+        writer.write(payload)
+        await writer.drain()
+
+    # -------------------------------------------------------------- handlers
+    def _healthz(self) -> bytes:
+        status = "draining" if self.draining else "ok"
+        return json_response(
+            200 if not self.draining else 503,
+            {
+                "status": status,
+                "inflight": self.admission.inflight,
+                "uptime_seconds": time.time() - self.started_at,
+            },
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "service": {
+                "draining": self.draining,
+                "uptime_seconds": time.time() - self.started_at,
+                "admission": self.admission.stats(),
+                "jobs": self.jobs.stats(),
+                "instance_cache": self.instances.stats(),
+            },
+            "solver": _coerce(self.session.stats()),
+        }
+        if self.session.cache is not None:
+            doc["cache"] = _coerce(self.session.cache.stats())
+        return doc
+
+    def _admit(self, tenant: str) -> None:
+        if self.draining:
+            raise HttpError(503, "service is draining")
+        ok, why = self.admission.try_admit(tenant)
+        if not ok:
+            exc = HttpError(429, why)
+            exc.retry_after = "1"  # type: ignore[attr-defined]
+            raise exc
+
+    def _launch(self, job: Job, fn, *args) -> None:
+        """Admitted -> tracked -> running; the slot frees on completion."""
+        assert self._loop is not None
+        self.jobs.add(job)
+        loop = self._loop
+
+        def release_once() -> None:
+            if not job._released:
+                job._released = True
+                self.admission.release(job.tenant)
+
+        job.release_once = release_once  # type: ignore[attr-defined]
+        try:
+            future = self.executor.submit(fn, job, loop, *args)
+        except RuntimeError as exc:  # executor shut down mid-drain
+            job.finish("error", f"service shutting down: {exc}")
+            release_once()
+            return
+        job.future = future  # type: ignore[attr-defined]
+
+    def _finish_job(
+        self,
+        job: Job,
+        status: str,
+        result: Optional[Dict[str, Any]],
+        error: Optional[str],
+    ) -> None:
+        """Terminal bookkeeping, always on the loop thread."""
+        if job.status != "running":
+            return
+        if result is not None:
+            job.result = result
+            # Experiment streams already emitted their ResultEvent frame;
+            # only query jobs need the terminal result published here.
+            if not any(name == "result" for name, _ in job.frames):
+                job.publish("result", result)
+        if error is not None:
+            job.publish("error", {"error": error})
+        job.finish(status, error)
+        release = getattr(job, "release_once", None)
+        if release is not None:
+            release()
+
+    # ----------------------------------------------------------------- query
+    async def _throughput(self, request: Request) -> bytes:
+        """Synchronous query: admit, solve (or hit the cache), answer."""
+        doc = request.json() if request.method == "POST" else _doc_from_query(
+            request.query
+        )
+        spec = parse_query(doc)
+        tenant = request.tenant
+        self._admit(tenant)
+        job = Job(kind="query", tenant=tenant, detail=spec.canonical()[:120])
+        self._launch(job, self._run_query, spec)
+        timeout = _timeout_of(request, self.config.request_timeout)
+        try:
+            await asyncio.wait_for(job.done.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            future = getattr(job, "future", None)
+            if future is not None and future.cancel():
+                # Never started: give the slot back immediately.
+                self._finish_job(job, "cancelled", None, "timed out queued")
+                raise HttpError(
+                    429, f"query queued longer than {timeout:.0f}s; retry"
+                )
+            raise HttpError(
+                504,
+                f"query exceeded {timeout:.0f}s; it continues in job "
+                f"{job.id} and will warm the cache",
+            )
+        if job.status != "done" or job.result is None:
+            raise HttpError(500, job.error or "query failed")
+        return json_response(200, dict(job.result, job=job.id))
+
+    def _run_query(
+        self, job: Job, loop: asyncio.AbstractEventLoop, spec: QuerySpec
+    ) -> None:
+        """Job-thread body of one query (sync or submitted)."""
+        try:
+            with use_tenant(job.tenant):
+                topology, tm = self.instances.resolve(spec)
+                t0 = time.perf_counter()
+                outcome = self.session.query(
+                    topology,
+                    tm,
+                    engine=spec.engine,
+                    params=spec.params,
+                    tag=f"service:{job.id}",
+                )
+                elapsed = time.perf_counter() - t0
+            result = outcome.require()
+            doc = {
+                "value": result.value,
+                "engine": result.engine,
+                "from_cache": outcome.from_cache,
+                "skipped_by_bound": bool(result.meta.get("skipped_by_bound")),
+                "solve_seconds": result.solve_seconds,
+                "elapsed_seconds": elapsed,
+                "n_variables": result.n_variables,
+                "n_constraints": result.n_constraints,
+                "key": outcome.key,
+            }
+            loop.call_soon_threadsafe(self._finish_job, job, "done", doc, None)
+        except HttpError as exc:
+            loop.call_soon_threadsafe(
+                self._finish_job, job, "error", None, exc.message
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaces as job error
+            loop.call_soon_threadsafe(
+                self._finish_job, job, "error", None, str(exc)
+            )
+
+    # ------------------------------------------------------------------ jobs
+    def _submit(self, request: Request) -> bytes:
+        """``POST /jobs``: admit a query or experiment job, return its id."""
+        doc = request.json()
+        if not isinstance(doc, dict):
+            raise HttpError(400, "job document must be a JSON object")
+        tenant = request.tenant
+        if "experiment" in doc:
+            experiment_id = doc["experiment"]
+            try:
+                self.session.spec(experiment_id)
+            except KeyError as exc:
+                raise HttpError(
+                    400, f"unknown experiment {experiment_id!r}"
+                ) from exc
+            seed = doc.get("seed")
+            if seed is not None and not isinstance(seed, int):
+                raise HttpError(400, "'seed' must be an integer")
+            self._admit(tenant)
+            job = Job(kind="experiment", tenant=tenant, detail=experiment_id)
+            self._launch(job, self._run_experiment, experiment_id, seed)
+        else:
+            spec = parse_query(doc)
+            self._admit(tenant)
+            job = Job(kind="query", tenant=tenant, detail=spec.canonical()[:120])
+            self._launch(job, self._run_query, spec)
+        return json_response(
+            202,
+            {
+                "job": job.id,
+                "kind": job.kind,
+                "status": job.status,
+                "events": f"/jobs/{job.id}/events",
+            },
+        )
+
+    def _run_experiment(
+        self,
+        job: Job,
+        loop: asyncio.AbstractEventLoop,
+        experiment_id: str,
+        seed: Optional[int],
+    ) -> None:
+        """Job-thread body of one experiment stream.
+
+        ``Session.stream`` serializes experiments on the session's
+        executive lock, so concurrent experiment jobs queue here (their
+        admission slots stay claimed — deliberate: an experiment *is* a
+        big chunk of the budget) while query jobs keep flowing.
+        """
+        try:
+            with use_tenant(job.tenant):
+                summary: Optional[Dict[str, Any]] = None
+                for event in self.session.stream(experiment_id, seed=seed):
+                    name, payload = event_frame(event)
+                    if name == "result":
+                        summary = {
+                            "experiment_id": payload["experiment_id"],
+                            "elapsed_seconds": payload["elapsed_seconds"],
+                            "rows": len(payload["rows"]),
+                            "checks": payload["checks"],
+                        }
+                    loop.call_soon_threadsafe(job.publish, name, payload)
+            loop.call_soon_threadsafe(
+                self._finish_job, job, "done", summary, None
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaces as job error
+            loop.call_soon_threadsafe(
+                self._finish_job, job, "error", None, str(exc)
+            )
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """``GET /jobs/<id>/events``: SSE replay + live tail of one job."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        sse = SSEWriter(writer)
+        await sse.start()
+        sent = 0
+        # Replay everything already published, then chase the live queue.
+        while True:
+            while sent < len(job.frames):
+                name, payload = job.frames[sent]
+                await sse.send(name, payload)
+                sent += 1
+            if job.status != "running":
+                await sse.send("end", {"job": job.id, "status": job.status})
+                return
+            item = await job.queue.get()
+            if item == STREAM_END:
+                continue  # terminal status lands on the next loop turn
+
+
+def _doc_from_query(query: Dict[str, str]) -> Dict[str, Any]:
+    """Build a query document from ``GET /throughput`` URL parameters."""
+    doc: Dict[str, Any] = {}
+    topo: Dict[str, Any] = {}
+    for name in ("family", "seed", "ladder", "max_servers"):
+        if name in query:
+            topo[name] = query[name]
+    if topo:
+        doc["topology"] = topo
+    if "tm" in query:
+        doc["tm"] = {"kind": query["tm"]}
+    if "engine" in query:
+        doc["engine"] = query["engine"]
+    if "params" in query:
+        try:
+            doc["params"] = json.loads(query["params"])
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"'params' is not JSON: {exc}") from exc
+    return doc
+
+
+def _timeout_of(request: Request, default: float) -> float:
+    raw = request.query.get("timeout")
+    if raw is None:
+        return default
+    try:
+        timeout = float(raw)
+    except ValueError as exc:
+        raise HttpError(400, "'timeout' must be a number") from exc
+    if timeout <= 0:
+        raise HttpError(400, "'timeout' must be positive")
+    return min(timeout, default)
+
+
+async def _serve_async(
+    session: Session, config: ServiceConfig, ready=None
+) -> None:
+    service = ThroughputService(session, config)
+    host, port = await service.start()
+    service.install_signal_handlers()
+    if ready is not None:
+        ready(service, host, port)
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    await service.wait_drained()
+    print("repro service drained; bye", flush=True)
+
+
+def serve(session: Session, config: Optional[ServiceConfig] = None) -> None:
+    """Blocking entry point: serve until SIGTERM/SIGINT, then drain."""
+    try:
+        asyncio.run(_serve_async(session, config or ServiceConfig()))
+    except KeyboardInterrupt:
+        # The signal handler normally drains first; a second Ctrl-C lands
+        # here and just exits.
+        pass
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServiceConfig",
+    "ThroughputService",
+    "event_frame",
+    "resolve_max_inflight",
+    "resolve_tenant_cap",
+    "serve",
+]

@@ -1,0 +1,173 @@
+"""Blocking HTTP client for the throughput service.
+
+Stdlib ``http.client`` only — this is the smoke/CLI/benchmark client, not
+an SDK.  One :class:`ServiceClient` holds one keep-alive connection and is
+**not** thread-safe; the load generator gives each simulated client its
+own instance (that is the point of a load test).
+
+``query_with_retry`` implements the polite saturation dance the service's
+admission control expects: on ``429`` sleep ``Retry-After`` seconds and
+try again, up to a deadline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.service.http import parse_sse_stream
+
+
+class ServiceError(Exception):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str, retry_after: float = 0.0):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """One keep-alive connection to a running throughput service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8432,
+        tenant: str = "",
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------- plumbing
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        stream: bool = False,
+    ):
+        headers = {"Accept": "application/json"}
+        if self.tenant:
+            headers["Tenant"] = self.tenant
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+        except (http.client.HTTPException, OSError):
+            # Stale keep-alive connection: reconnect once.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+        if stream:
+            return response
+        raw = response.read()
+        if response.status >= 400:
+            self._raise(response, raw)
+        return json.loads(raw.decode("utf-8"))
+
+    def _raise(self, response, raw: bytes) -> None:
+        try:
+            message = json.loads(raw.decode("utf-8")).get("error", "")
+        except (ValueError, UnicodeDecodeError):
+            message = raw.decode("latin-1", "replace")[:200]
+        retry_after = 0.0
+        header = response.getheader("Retry-After")
+        if header:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        # Error responses close the connection server-side.
+        self.close()
+        raise ServiceError(response.status, message, retry_after)
+
+    # ------------------------------------------------------------ endpoints
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def throughput(
+        self, doc: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Synchronous query: POST the spec, get the value (or raise)."""
+        path = "/throughput"
+        if timeout is not None:
+            path += f"?timeout={timeout}"
+        return self._request("POST", path, body=doc)
+
+    def query_with_retry(
+        self,
+        doc: Dict[str, Any],
+        deadline_seconds: float = 60.0,
+        backoff: float = 0.2,
+    ) -> Dict[str, Any]:
+        """``throughput`` with polite 429 retries until the deadline."""
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            try:
+                return self.throughput(doc)
+            except ServiceError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                time.sleep(max(exc.retry_after, backoff))
+
+    def submit(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``: returns ``{"job": id, "events": path, ...}``."""
+        return self._request("POST", "/jobs", body=doc)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[Tuple[str, Any]]:
+        """Stream a job's SSE frames as ``(event, payload)`` tuples.
+
+        The generator ends after the server's terminal ``end`` frame.  The
+        connection is dedicated to the stream and closed afterwards.
+        """
+        response = self._request("GET", f"/jobs/{job_id}/events", stream=True)
+        if response.status >= 400:
+            self._raise(response, response.read())
+        try:
+            lines = (line.decode("utf-8") for line in response)
+            for event, payload in parse_sse_stream(lines):
+                yield event, payload
+                if event == "end":
+                    return
+        finally:
+            self.close()
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,252 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the throughput service.
+
+Deliberately tiny: the service needs request parsing, JSON responses, and
+server-sent events over ``asyncio`` streams — not a framework.  Stdlib
+only (the repo's no-new-hard-deps rule), HTTP/1.1 with keep-alive, bodies
+via ``Content-Length`` (chunked uploads are rejected with 501).
+
+Server-sent events (SSE) frames are the classic two-field form::
+
+    event: row
+    data: {"experiment_id": "fig2", "index": 0, "row": [...]}
+
+one blank line between frames, which is exactly what ``EventSource``
+clients and :class:`repro.service.client.ServiceClient` parse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upload ceiling: adjacency + TM payloads for a few thousand nodes fit
+#: comfortably; anything larger is a mistake, not a workload.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Header-section ceiling (request line + headers).
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request problem with a definite status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # keys lower-cased
+    body: bytes = b""
+    keep_alive: bool = True
+
+    @property
+    def tenant(self) -> str:
+        """The client-declared tenant label (``tenant`` header), or ``""``."""
+        return self.headers.get("tenant", "").strip()
+
+    def json(self) -> Any:
+        """Parse the body as JSON (400 on syntax errors / wrong type)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for malformed or oversized requests — the
+    connection handler answers with the error status and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            n = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {n} bytes exceeds the upload cap")
+        body = await reader.readexactly(n)
+
+    split = urlsplit(target)
+    query = {k: v for k, v in parse_qsl(split.query, keep_blank_values=True)}
+    connection = headers.get("connection", "").lower()
+    keep_alive = version != "HTTP/1.0" and "close" not in connection
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one complete (non-streaming) HTTP response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    doc: Any,
+    extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """A JSON document as a complete response."""
+    body = (json.dumps(doc) + "\n").encode("utf-8")
+    return response_bytes(
+        status, body, extra_headers=extra_headers, keep_alive=keep_alive
+    )
+
+
+def error_response(status: int, message: str, **extra: str) -> bytes:
+    """The service's uniform error body (connection closes after it)."""
+    return json_response(
+        status,
+        {"error": message, "status": status},
+        extra_headers=dict(extra) or None,
+        keep_alive=False,
+    )
+
+
+@dataclass
+class SSEWriter:
+    """Streams server-sent events over an established response.
+
+    ``start`` writes the response head (no Content-Length — the stream
+    ends when the connection does); ``send`` writes one frame and drains,
+    so backpressure from a slow client propagates to the producer loop.
+    """
+
+    writer: asyncio.StreamWriter
+    started: bool = field(default=False, init=False)
+
+    async def start(self) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        self.writer.write(head.encode("latin-1"))
+        await self.writer.drain()
+        self.started = True
+
+    async def send(self, event: str, data: Any) -> None:
+        frame = f"event: {event}\ndata: {json.dumps(data)}\n\n"
+        self.writer.write(frame.encode("utf-8"))
+        await self.writer.drain()
+
+
+def parse_sse_stream(lines: Iterable[str]) -> Iterator[Tuple[str, Any]]:
+    """Parse an iterable of text lines into ``(event, data)`` tuples.
+
+    Shared by the blocking client and tests; tolerant of comment lines
+    (``: ...``) and extra blank lines.
+    """
+    event: Optional[str] = None
+    data_parts = []
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if line.startswith(":"):
+            continue
+        if line.startswith("event:"):
+            event = line[len("event:"):].strip()
+        elif line.startswith("data:"):
+            data_parts.append(line[len("data:"):].strip())
+        elif line == "":
+            if event is not None or data_parts:
+                payload = json.loads("\n".join(data_parts)) if data_parts else None
+                yield (event or "message", payload)
+            event, data_parts = None, []
+    if event is not None or data_parts:
+        payload = json.loads("\n".join(data_parts)) if data_parts else None
+        yield (event or "message", payload)
+
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "SSEWriter",
+    "MAX_BODY_BYTES",
+    "error_response",
+    "json_response",
+    "parse_sse_stream",
+    "read_request",
+    "response_bytes",
+]

@@ -1,0 +1,177 @@
+"""Job records and admission control for the throughput service.
+
+**Admission** is the service's backpressure: a bounded budget of in-flight
+jobs (derived from the solver's worker count unless configured), plus a
+per-tenant concurrency cap so one chatty client cannot starve the rest.
+All admission state lives on the asyncio event-loop thread and is mutated
+*only* there — handlers run on the loop, and job threads release their
+slots by scheduling :meth:`Admission.release` back onto the loop with
+``call_soon_threadsafe`` — so no lock is needed and counts can never tear.
+
+A rejected request gets ``429`` with a ``Retry-After`` hint (or ``503``
+while draining).  Release is idempotent per admit: whichever of
+"job finished", "job cancelled before starting", or "client gave up and
+the job errored out" happens, the slot is returned exactly once.
+
+**Jobs** are the unit of streaming: one submitted query or experiment,
+with an ``asyncio.Queue`` of SSE-ready ``(event, payload)`` frames fed
+from the job's worker thread.  Completed jobs keep their frames so a
+late-connecting consumer replays the full stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Sentinel closing a job's event queue.
+STREAM_END = ("__end__", None)
+
+#: Completed jobs retained for late status/event reads.
+MAX_FINISHED_JOBS = 256
+
+
+class Admission:
+    """Loop-thread-only in-flight accounting with per-tenant caps."""
+
+    def __init__(self, max_inflight: int, tenant_cap: int) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if tenant_cap < 1:
+            raise ValueError(f"tenant_cap must be >= 1, got {tenant_cap}")
+        self.max_inflight = max_inflight
+        self.tenant_cap = tenant_cap
+        self.inflight = 0
+        self.per_tenant: Dict[str, int] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_admit(self, tenant: str) -> Tuple[bool, str]:
+        """Claim one slot, or explain the refusal (loop thread only)."""
+        if self.inflight >= self.max_inflight:
+            self.rejected += 1
+            return False, (
+                f"service saturated: {self.inflight} of "
+                f"{self.max_inflight} solve slots in flight"
+            )
+        if tenant and self.per_tenant.get(tenant, 0) >= self.tenant_cap:
+            self.rejected += 1
+            return False, (
+                f"tenant {tenant!r} at its concurrency cap "
+                f"({self.tenant_cap})"
+            )
+        self.inflight += 1
+        if tenant:
+            self.per_tenant[tenant] = self.per_tenant.get(tenant, 0) + 1
+        self.admitted += 1
+        return True, ""
+
+    def release(self, tenant: str) -> None:
+        """Return one slot (loop thread only; callers guard idempotence)."""
+        self.inflight = max(0, self.inflight - 1)
+        if tenant:
+            left = self.per_tenant.get(tenant, 0) - 1
+            if left > 0:
+                self.per_tenant[tenant] = left
+            else:
+                self.per_tenant.pop(tenant, None)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "tenant_cap": self.tenant_cap,
+            "per_tenant": dict(self.per_tenant),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One admitted unit of work and its event stream.
+
+    ``frames`` accumulates every SSE frame ever published (rows, progress,
+    batch stats, the terminal result or error), and ``queue`` wakes the
+    live consumer; a consumer that attaches after completion replays
+    ``frames`` and sees the identical stream.
+    """
+
+    kind: str  # "query" | "experiment"
+    tenant: str
+    detail: str
+    id: str = field(default_factory=lambda: f"job-{next(_job_ids)}")
+    status: str = "running"  # running | done | error | cancelled
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    frames: List[Tuple[str, Any]] = field(default_factory=list)
+    queue: "asyncio.Queue[Tuple[str, Any]]" = field(
+        default_factory=asyncio.Queue
+    )
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    _released: bool = field(default=False, repr=False)
+
+    def publish(self, event: str, payload: Any) -> None:
+        """Record one frame and wake the consumer (loop thread only)."""
+        self.frames.append((event, payload))
+        self.queue.put_nowait((event, payload))
+
+    def finish(self, status: str, error: Optional[str] = None) -> None:
+        """Terminal transition; closes the event stream (loop thread only)."""
+        self.status = status
+        self.error = error
+        self.done.set()
+        self.queue.put_nowait(STREAM_END)
+
+    def describe(self) -> Dict[str, Any]:
+        doc = {
+            "job": self.id,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "detail": self.detail,
+            "status": self.status,
+            "events": len(self.frames),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+class JobTable:
+    """Loop-thread-only registry of live + recently finished jobs."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Job] = {}
+        self.total = 0
+
+    def add(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        self.total += 1
+        # Evict oldest *finished* jobs beyond the retention cap.
+        finished = [
+            j for j in self.jobs.values() if j.status != "running"
+        ]
+        for stale in finished[: max(0, len(finished) - MAX_FINISHED_JOBS)]:
+            self.jobs.pop(stale.id, None)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def running(self) -> List[Job]:
+        return [j for j in self.jobs.values() if j.status == "running"]
+
+    def stats(self) -> Dict[str, Any]:
+        by_status: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {"total": self.total, "by_status": by_status}
+
+
+__all__ = ["Admission", "Job", "JobTable", "STREAM_END", "MAX_FINISHED_JOBS"]

@@ -1,0 +1,114 @@
+"""In-process load generator for the throughput service.
+
+Drives N concurrent simulated clients — each its own thread, its own
+keep-alive connection, its own tenant label — through a shared work queue
+of query documents, and reports queries/sec plus latency percentiles.
+Used by ``benchmarks/test_service_load.py`` (cold-vs-warm comparison for
+``BENCH_service.json``) and the CI ``service-smoke`` job; it lives in the
+package so `repro serve` deployments can reuse it against a live host.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for an empty list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_load(
+    host: str,
+    port: int,
+    docs: Sequence[Dict[str, Any]],
+    n_clients: int = 8,
+    repeat: int = 1,
+    tenant_prefix: str = "client",
+    deadline_seconds: float = 120.0,
+) -> Dict[str, Any]:
+    """Fan ``docs`` (x ``repeat``) across ``n_clients`` concurrent clients.
+
+    Every request retries politely on 429, so a saturated service slows
+    the generator down instead of failing it — exactly the admission
+    contract.  Returns aggregate stats::
+
+        {"queries": n, "errors": n, "seconds": s, "qps": q,
+         "latency": {"p50": s, "p90": s, "p99": s, "max": s},
+         "from_cache": n, "solved": n, "per_tenant": {...}}
+    """
+    work: "queue.Queue[Dict[str, Any]]" = queue.Queue()
+    for _ in range(repeat):
+        for doc in docs:
+            work.put(doc)
+    n_total = work.qsize()
+
+    latencies: List[float] = []
+    outcomes: List[Dict[str, Any]] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        tenant = f"{tenant_prefix}-{index}"
+        with ServiceClient(host, port, tenant=tenant) as client:
+            while True:
+                try:
+                    doc = work.get_nowait()
+                except queue.Empty:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    answer = client.query_with_retry(
+                        doc, deadline_seconds=deadline_seconds
+                    )
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+                        outcomes.append(answer)
+                except ServiceError as exc:
+                    with lock:
+                        errors.append(f"{tenant}: {exc}")
+                finally:
+                    work.task_done()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(n_clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - t0
+
+    n_ok = len(outcomes)
+    return {
+        "clients": n_clients,
+        "queries": n_ok,
+        "requested": n_total,
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "seconds": seconds,
+        "qps": (n_ok / seconds) if seconds > 0 else 0.0,
+        "latency": {
+            "p50": percentile(latencies, 50),
+            "p90": percentile(latencies, 90),
+            "p99": percentile(latencies, 99),
+            "max": max(latencies, default=0.0),
+        },
+        "from_cache": sum(1 for o in outcomes if o.get("from_cache")),
+        "values": sorted({round(o["value"], 12) for o in outcomes}),
+    }
+
+
+__all__ = ["percentile", "run_load"]

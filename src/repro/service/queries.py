@@ -1,0 +1,261 @@
+"""Query specs: JSON documents naming (or carrying) one throughput instance.
+
+The service accepts two instance shapes:
+
+* **Named topology** — ``{"family": "jellyfish"}`` resolves the family's
+  registry representative; add ``"ladder": i, "max_servers": m`` to pick
+  rung ``i`` of the family's scale ladder instead.  ``"seed"`` feeds the
+  randomized families (default 0, so two clients naming the same spec get
+  the *same* instance and therefore the same cache key).
+* **Uploaded adjacency** — ``{"adjacency": [[...], ...]}``: a square
+  capacity matrix (``adjacency[u][v]`` = directed capacity, 0 = no arc),
+  compiled straight into an :class:`~repro.core.ArcGraph` without ever
+  touching networkx.
+
+Traffic matrices: ``{"tm": {"kind": "all_to_all"}}`` (default; named
+topologies only — it needs server placements), ``{"kind": "uniform"}``
+(all-pairs ``1/(n-1)``, the upload-friendly hose-feasible default), or an
+uploaded dense ``{"demand": [[...], ...]}``.
+
+Resolved instances are memoized process-wide (bounded, LRU): topology
+construction + arc compilation costs milliseconds — enough to dominate a
+warm cache hit — and the memo key is the canonical spec JSON, so repeat
+queries for popular topologies skip straight to the solver's
+content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import ArcGraph
+from repro.service.http import HttpError
+from repro.topologies import FAMILY_ORDER, representative, scale_ladder
+from repro.topologies.base import Topology
+from repro.traffic import TrafficMatrix, all_to_all
+
+#: Resolved-instance memo size (specs, not solve results — those live in
+#: the persistent content-addressed cache).
+INSTANCE_CACHE_SIZE = 128
+
+#: Engines a query may name (mirrors repro.batch.DEFAULT_ENGINE_CHOICES).
+QUERY_ENGINES = ("lp", "mwu", "sharded", "auto")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One validated throughput query (instance + engine + params)."""
+
+    topology_doc: Dict[str, Any]
+    tm_doc: Dict[str, Any]
+    engine: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        """Stable JSON identity of the *instance* part (memo key)."""
+        return json.dumps(
+            {"topology": self.topology_doc, "tm": self.tm_doc}, sort_keys=True
+        )
+
+
+def parse_query(doc: Any) -> QuerySpec:
+    """Validate a request document into a :class:`QuerySpec` (400 on junk)."""
+    if not isinstance(doc, dict):
+        raise HttpError(400, "query document must be a JSON object")
+    topo_doc = doc.get("topology", doc)  # flat or nested form
+    if not isinstance(topo_doc, dict):
+        raise HttpError(400, "'topology' must be a JSON object")
+    topo: Dict[str, Any] = {}
+    if "adjacency" in topo_doc:
+        adjacency = topo_doc["adjacency"]
+        if not isinstance(adjacency, list) or not adjacency:
+            raise HttpError(400, "'adjacency' must be a non-empty 2-D list")
+        topo["adjacency"] = adjacency
+    elif "family" in topo_doc:
+        family = topo_doc["family"]
+        if family not in FAMILY_ORDER:
+            raise HttpError(
+                400,
+                f"unknown family {family!r}; known: {', '.join(FAMILY_ORDER)}",
+            )
+        topo["family"] = family
+        topo["seed"] = _as_int(topo_doc.get("seed", 0), "seed")
+        if "ladder" in topo_doc:
+            topo["ladder"] = _as_int(topo_doc["ladder"], "ladder")
+            topo["max_servers"] = _as_int(
+                topo_doc.get("max_servers", 256), "max_servers"
+            )
+    else:
+        raise HttpError(400, "topology needs either 'family' or 'adjacency'")
+
+    tm_doc = doc.get("tm", {})
+    if not isinstance(tm_doc, dict):
+        raise HttpError(400, "'tm' must be a JSON object")
+    tm: Dict[str, Any] = {}
+    if "demand" in tm_doc:
+        if not isinstance(tm_doc["demand"], list) or not tm_doc["demand"]:
+            raise HttpError(400, "'demand' must be a non-empty 2-D list")
+        tm["demand"] = tm_doc["demand"]
+    else:
+        kind = tm_doc.get("kind", "all_to_all" if "family" in topo else "uniform")
+        if kind not in ("all_to_all", "uniform"):
+            raise HttpError(
+                400, f"unknown tm kind {kind!r}; expected all_to_all | uniform"
+            )
+        if kind == "all_to_all" and "adjacency" in topo:
+            raise HttpError(
+                400,
+                "tm kind 'all_to_all' needs server placements; uploaded "
+                "adjacencies have none — use kind 'uniform' or upload 'demand'",
+            )
+        tm["kind"] = kind
+
+    engine = doc.get("engine")
+    if engine is not None and engine not in QUERY_ENGINES:
+        raise HttpError(
+            400, f"unknown engine {engine!r}; expected one of {QUERY_ENGINES}"
+        )
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise HttpError(400, "'params' must be a JSON object")
+    return QuerySpec(
+        topology_doc=topo, tm_doc=tm, engine=engine, params=dict(params)
+    )
+
+
+def _as_int(value: Any, name: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"{name!r} must be an integer") from exc
+
+
+# --------------------------------------------------------------- resolution
+def _build_topology(doc: Dict[str, Any]) -> Union[Topology, ArcGraph]:
+    if "adjacency" in doc:
+        return _arcgraph_from_adjacency(doc["adjacency"])
+    family, seed = doc["family"], doc["seed"]
+    if "ladder" in doc:
+        ladder = scale_ladder(family, doc["max_servers"], seed=seed)
+        if not ladder:
+            raise HttpError(
+                400,
+                f"family {family!r} has no instance under "
+                f"{doc['max_servers']} servers",
+            )
+        index = doc["ladder"]
+        if not 0 <= index < len(ladder):
+            raise HttpError(
+                400,
+                f"ladder index {index} out of range; family {family!r} has "
+                f"{len(ladder)} rung(s) under {doc['max_servers']} servers",
+            )
+        return ladder[index]
+    return representative(family, seed=seed)
+
+
+def _arcgraph_from_adjacency(adjacency: Any) -> ArcGraph:
+    try:
+        dense = np.asarray(adjacency, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"adjacency is not numeric: {exc}") from exc
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise HttpError(400, f"adjacency must be square, got shape {dense.shape}")
+    if np.any(dense < 0):
+        raise HttpError(400, "adjacency capacities must be non-negative")
+    tails, heads = np.nonzero(dense)
+    if tails.size == 0:
+        raise HttpError(400, "adjacency has no arcs")
+    try:
+        return ArcGraph(dense.shape[0], tails, heads, dense[tails, heads])
+    except ValueError as exc:
+        raise HttpError(400, f"bad adjacency: {exc}") from exc
+
+
+def _build_tm(
+    doc: Dict[str, Any], topology: Union[Topology, ArcGraph]
+) -> TrafficMatrix:
+    if "demand" in doc:
+        try:
+            tm = TrafficMatrix(
+                demand=np.asarray(doc["demand"], dtype=np.float64), kind="uploaded"
+            )
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad demand matrix: {exc}") from exc
+        n = topology.n_nodes if isinstance(topology, ArcGraph) else len(
+            topology.servers
+        )
+        if tm.n_nodes != n:
+            raise HttpError(
+                400,
+                f"demand is {tm.n_nodes}x{tm.n_nodes} but the topology has "
+                f"{n} nodes",
+            )
+        return tm
+    if doc["kind"] == "all_to_all":
+        assert isinstance(topology, Topology)  # parse_query rejected uploads
+        return all_to_all(topology)
+    n = topology.n_nodes if isinstance(topology, ArcGraph) else len(topology.servers)
+    if n < 2:
+        raise HttpError(400, "uniform tm needs at least 2 nodes")
+    demand = np.full((n, n), 1.0 / (n - 1))
+    np.fill_diagonal(demand, 0.0)
+    return TrafficMatrix(demand=demand, kind="uniform", meta={"n_nodes": n})
+
+
+class InstanceCache:
+    """Bounded, thread-safe memo ``canonical spec -> (topology, tm)``.
+
+    Hit rate is the service's warm-path speedup: repeat queries skip
+    topology construction and arc compilation and go straight to the
+    solver's content-addressed result cache.
+    """
+
+    def __init__(self, max_entries: int = INSTANCE_CACHE_SIZE) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._mem: Dict[str, Tuple[Union[Topology, ArcGraph], TrafficMatrix]] = {}
+
+    def resolve(
+        self, spec: QuerySpec
+    ) -> Tuple[Union[Topology, ArcGraph], TrafficMatrix]:
+        key = spec.canonical()
+        with self._lock:
+            if key in self._mem:
+                self.hits += 1
+                self._mem[key] = self._mem.pop(key)  # LRU refresh
+                return self._mem[key]
+            self.misses += 1
+        # Build outside the lock: ladder construction can take a while and
+        # concurrent distinct specs should not serialize on it.  A racing
+        # duplicate build is benign (same spec -> same instance).
+        topology = _build_topology(spec.topology_doc)
+        tm = _build_tm(spec.tm_doc, topology)
+        with self._lock:
+            self._mem[key] = (topology, tm)
+            while len(self._mem) > self.max_entries:
+                self._mem.pop(next(iter(self._mem)))
+        return topology, tm
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._mem),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+__all__ = [
+    "InstanceCache",
+    "QuerySpec",
+    "QUERY_ENGINES",
+    "parse_query",
+]

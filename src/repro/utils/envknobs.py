@@ -95,6 +95,31 @@ _DECLARED = [
         "threshold (sharded | mwu)",
     ),
     EnvKnob(
+        "REPRO_SERVICE_PORT",
+        kind="int",
+        default="8432",
+        result_affecting=False,
+        description="default TCP port of 'repro serve' (the HTTP "
+        "throughput service); --port overrides",
+    ),
+    EnvKnob(
+        "REPRO_SERVICE_MAX_INFLIGHT",
+        kind="int",
+        default=None,
+        result_affecting=False,
+        description="total concurrent solve jobs the service admits "
+        "before answering 429 (default: 2x solver workers, min 8); "
+        "--max-inflight overrides",
+    ),
+    EnvKnob(
+        "REPRO_SERVICE_TENANT_CAP",
+        kind="int",
+        default=None,
+        result_affecting=False,
+        description="per-tenant concurrent job cap in the service "
+        "(default: half the in-flight budget); --tenant-cap overrides",
+    ),
+    EnvKnob(
         "REPRO_WHATIF_RTOL",
         kind="float",
         default="1e-6",

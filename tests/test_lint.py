@@ -113,6 +113,23 @@ class TestR001SolverBypass:
         )
         assert result.findings == []
 
+    def test_fires_in_service_handler(self, tmp_path):
+        # repro.service is NOT in ALLOWED_PREFIXES: handlers must route
+        # through Session/BatchSolver or the shared cache never sees them.
+        result = lint(
+            tmp_path,
+            {
+                "repro/service/shortcut.py": """
+                from repro.throughput.lp import solve_throughput_lp
+
+                def handle(topo, tm):
+                    return solve_throughput_lp(topo, tm).value
+                """
+            },
+            rules=["R001"],
+        )
+        assert rule_ids(result) == ["R001", "R001"]  # import + call
+
     def test_quiet_on_ambient_solver_use(self, tmp_path):
         result = lint(
             tmp_path,
@@ -333,6 +350,38 @@ class TestR005NetworkxHotPath:
                 def compile_graph(graph):
                     from repro.utils.graphutils import canonical_arcs
                     return canonical_arcs(graph)
+                """
+            },
+            rules=["R005"],
+        )
+        assert result.findings == []
+
+    def test_fires_on_networkx_in_service(self, tmp_path):
+        # repro.service joined HOT_PREFIXES with the service PR: a request
+        # handler touching networkx would pay graph-walk costs per query.
+        result = lint(
+            tmp_path,
+            {
+                "repro/service/handlers.py": """
+                import networkx as nx
+
+                def parse_upload(doc):
+                    return nx.from_numpy_array(doc)
+                """
+            },
+            rules=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+
+    def test_quiet_on_arcgraph_native_service(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/service/handlers.py": """
+                from repro.core import ArcGraph
+
+                def parse_upload(tails, heads, caps):
+                    return ArcGraph(4, tails, heads, caps)
                 """
             },
             rules=["R005"],

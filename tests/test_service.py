@@ -1,0 +1,467 @@
+"""Tests for ``repro.service`` — throughput-as-a-service over one Session.
+
+The harness below runs a real :class:`ThroughputService` — real asyncio
+server, real sockets, real :class:`ServiceClient` connections — on an
+ephemeral port, against a tiny-scale :class:`Session` with a persistent
+cache.  Instances are uploaded ring adjacencies (milliseconds to solve,
+and their size is under the test's control), so the suite exercises the
+full concurrency story — shared cache across clients, single-flight
+dedupe, SSE streaming, admission 429s, per-tenant attribution — without
+slow representative topologies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import Session, run_experiment
+from repro.batch import BatchSolver, SolveRequest, use_tenant
+from repro.batch.cache import ResultCache, SqliteResultCache
+from repro.evaluation.runner import ScaleConfig
+from repro.service import (
+    InstanceCache,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ThroughputService,
+    parse_query,
+)
+from repro.service.http import HttpError
+from repro.topologies import jellyfish
+from repro.traffic import all_to_all
+from repro.utils.serialization import _coerce
+
+TINY = ScaleConfig("small", max_servers=24, max_switches=40, samples=1, shuffles=1)
+
+
+def ring(n: int, cap: float = 1.0):
+    """Bidirectional n-cycle as an uploadable adjacency matrix."""
+    dense = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        dense[i][(i + 1) % n] = cap
+        dense[(i + 1) % n][i] = cap
+    return dense
+
+
+def ring_doc(n: int, engine: str = "lp", params=None):
+    doc = {
+        "topology": {"adjacency": ring(n)},
+        "tm": {"kind": "uniform"},
+        "engine": engine,
+    }
+    if params:
+        doc["params"] = params
+    return doc
+
+
+#: ~4s of MWU iterations: the deterministic "slow query" that keeps an
+#: admission slot busy long enough for saturation tests to observe it.
+SLOW_DOC = ring_doc(16, engine="mwu", params={"epsilon": 0.05})
+
+
+@pytest.fixture()
+def session(tmp_path):
+    with Session(scale=TINY, seed=0, workers=1, cache_dir=tmp_path / "cache") as s:
+        yield s
+
+
+@contextlib.contextmanager
+def serving(session: Session, **overrides):
+    """Run a ThroughputService on an ephemeral port in a background loop."""
+    config = ServiceConfig(host="127.0.0.1", port=0, **overrides)
+    box: dict = {}
+    ready = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            service = ThroughputService(session, config)
+            box["service"] = service
+            box["loop"] = asyncio.get_running_loop()
+            box["addr"] = await service.start()
+            ready.set()
+            await service.wait_drained()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - harness diagnostics
+            box["error"] = exc
+            ready.set()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    if "error" in box:
+        raise box["error"]
+    try:
+        yield box["addr"][1], box["service"], box["loop"]
+    finally:
+        future = asyncio.run_coroutine_threadsafe(
+            box["service"].drain(), box["loop"]
+        )
+        future.result(timeout=60)
+        thread.join(timeout=10)
+
+
+# ----------------------------------------------------- solver thread safety
+class TestBatchSolverThreadSafety:
+    """Satellite: racing submitters on one shared BatchSolver."""
+
+    def test_racing_submitters_keep_counters_exact(self, tmp_path):
+        shared = jellyfish(10, 3, seed=11)
+        shared_tm = all_to_all(shared)
+        distinct = {
+            name: jellyfish(12, 3, seed=s)
+            for name, s in (("a1", 21), ("a2", 22), ("b1", 23))
+        }
+        batches = {
+            "alice": [
+                SolveRequest(distinct["a1"], all_to_all(distinct["a1"]), engine="lp"),
+                SolveRequest(distinct["a2"], all_to_all(distinct["a2"]), engine="lp"),
+                SolveRequest(shared, shared_tm, engine="lp"),
+            ],
+            "bob": [
+                SolveRequest(distinct["b1"], all_to_all(distinct["b1"]), engine="lp"),
+                SolveRequest(shared, shared_tm, engine="lp"),
+            ],
+        }
+        values: dict = {}
+        barrier = threading.Barrier(2)
+
+        with BatchSolver(workers=1, cache=ResultCache(tmp_path / "c")) as solver:
+
+            def submit(tenant: str) -> None:
+                with use_tenant(tenant):
+                    barrier.wait()
+                    outcomes = solver.solve_many(batches[tenant])
+                values[tenant] = [o.require().value for o in outcomes]
+
+            threads = [
+                threading.Thread(target=submit, args=(t,)) for t in batches
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = solver.stats()
+
+        # Exact accounting despite the race: 5 requests over 4 unique keys.
+        assert stats["requests"] == 5
+        assert stats["errors"] == 0
+        assert stats["solved"] == 4, "shared instance must be solved once"
+        assert stats["solved"] + stats["cache_hits"] == stats["requests"]
+        # The shared instance answers bit-identically for both submitters.
+        assert values["alice"][2] == values["bob"][1]
+        # Per-tenant attribution survives the race.
+        tenants = stats["tenants"]
+        assert tenants["alice"]["requests"] == 3
+        assert tenants["bob"]["requests"] == 2
+        assert sum(t["solved"] for t in tenants.values()) == 4
+
+    def test_session_query_is_concurrency_safe(self, tmp_path):
+        topo = jellyfish(10, 3, seed=11)
+        tm = all_to_all(topo)
+        results = []
+        with Session(seed=0, cache_dir=tmp_path / "c") as session:
+            def ask() -> None:
+                results.append(session.query(topo, tm, engine="lp"))
+
+            threads = [threading.Thread(target=ask) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = session.stats()
+        assert len(results) == 4
+        assert len({o.require().value for o in results}) == 1
+        assert len({o.key for o in results}) == 1
+        assert stats["solved"] == 1, "single-flight dedupe must collapse solves"
+        assert stats["cache_hits"] == 3
+
+
+# ------------------------------------------------------------ query grammar
+class TestParseQuery:
+    def test_flat_and_nested_forms_agree(self):
+        flat = parse_query({"family": "jellyfish", "seed": 3})
+        nested = parse_query({"topology": {"family": "jellyfish", "seed": 3}})
+        assert flat.canonical() == nested.canonical()
+        assert flat.tm_doc == {"kind": "all_to_all"}
+
+    def test_upload_defaults_to_uniform_tm(self):
+        spec = parse_query({"adjacency": ring(4)})
+        assert spec.tm_doc == {"kind": "uniform"}
+
+    def test_all_to_all_rejected_for_uploads(self):
+        with pytest.raises(HttpError) as err:
+            parse_query({"adjacency": ring(4), "tm": {"kind": "all_to_all"}})
+        assert err.value.status == 400
+        assert "server placements" in err.value.message
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            [],
+            {"family": "moebius"},
+            {"topology": {}},
+            {"adjacency": []},
+            {"adjacency": ring(4), "engine": "simplex"},
+            {"adjacency": ring(4), "params": "epsilon=0.1"},
+            {"family": "jellyfish", "ladder": "first"},
+        ],
+    )
+    def test_junk_documents_are_400(self, doc):
+        with pytest.raises(HttpError) as err:
+            parse_query(doc)
+        assert err.value.status == 400
+
+    def test_non_square_adjacency_rejected_at_resolution(self):
+        spec = parse_query({"adjacency": [[0.0, 1.0], [1.0, 0.0], [0.0, 0.0]]})
+        with pytest.raises(HttpError) as err:
+            InstanceCache().resolve(spec)
+        assert err.value.status == 400
+        assert "square" in err.value.message
+
+    def test_instance_cache_memoizes_canonical_specs(self):
+        cache = InstanceCache()
+        spec = parse_query(ring_doc(6))
+        topo1, tm1 = cache.resolve(spec)
+        topo2, tm2 = cache.resolve(parse_query(ring_doc(6)))
+        assert topo1 is topo2 and tm1 is tm2
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+
+# ------------------------------------------------------------ live service
+class TestServiceEndpoints:
+    def test_healthz_stats_and_routing(self, session):
+        with serving(session) as (port, service, _loop):
+            with ServiceClient(port=port) as client:
+                health = client.healthz()
+                assert health["status"] == "ok"
+                stats = client.stats()
+                assert stats["service"]["admission"]["inflight"] == 0
+                assert "solver" in stats and "cache" in stats
+                with pytest.raises(ServiceError) as err:
+                    client._request("GET", "/nope")
+                assert err.value.status == 404
+                with pytest.raises(ServiceError) as err:
+                    client.throughput({"topology": {"family": "moebius"}})
+                assert err.value.status == 400
+
+    def test_get_with_url_params_matches_post(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port) as client:
+                posted = client.throughput(
+                    {"family": "hypercube", "seed": 0, "engine": "lp",
+                     "topology": {"family": "hypercube", "ladder": 0,
+                                  "max_servers": 24}}
+                )
+                got = client._request(
+                    "GET",
+                    "/throughput?family=hypercube&ladder=0&max_servers=24"
+                    "&engine=lp",
+                )
+                assert got["value"] == posted["value"]
+                assert got["key"] == posted["key"]
+                assert got["from_cache"] is True
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_cold_then_warm_round_trip(self, tmp_path, backend):
+        # The service story names the sqlite backend (concurrent-writer
+        # safe); both backends must serve warm hits identically.
+        cache = (
+            SqliteResultCache(tmp_path / "c.sqlite")
+            if backend == "sqlite"
+            else ResultCache(tmp_path / "c")
+        )
+        with Session(scale=TINY, seed=0, cache=cache) as session:
+            with serving(session) as (port, _service, _loop):
+                with ServiceClient(port=port, tenant="warmth") as client:
+                    cold = client.throughput(ring_doc(8))
+                    warm = client.throughput(ring_doc(8))
+            stats = session.stats()
+        assert cold["from_cache"] is False and warm["from_cache"] is True
+        assert warm["value"] == cold["value"]
+        assert warm["key"] == cold["key"]
+        assert stats["solved"] == 1
+
+    def test_draining_service_rejects_with_503(self, session):
+        with serving(session) as (port, service, loop):
+            done = threading.Event()
+            loop.call_soon_threadsafe(
+                lambda: (setattr(service, "draining", True), done.set())
+            )
+            assert done.wait(5)
+            with ServiceClient(port=port) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.throughput(ring_doc(6))
+                assert err.value.status == 503
+
+
+class TestConcurrentClients:
+    def test_shared_cache_and_tenant_attribution(self, session):
+        """N clients, one topology: one solve, N-1 hits, all attributed."""
+        n_clients = 4
+        answers: list = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n_clients)
+
+        def hammer(index: int) -> None:
+            with ServiceClient(port=port, tenant=f"team-{index}") as client:
+                barrier.wait()
+                answer = client.query_with_retry(ring_doc(10))
+                with lock:
+                    answers.append(answer)
+
+        with serving(session) as (port, _service, _loop):
+            threads = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(port=port) as client:
+                stats = client.stats()
+
+        assert len(answers) == n_clients
+        assert len({a["value"] for a in answers}) == 1
+        assert len({a["key"] for a in answers}) == 1
+        solver = stats["solver"]
+        assert solver["solved"] == 1, "concurrent same-key queries must dedupe"
+        assert solver["cache_hits"] == n_clients - 1
+        # Every tenant shows up in both solver and cache attribution.
+        expected = {f"team-{i}" for i in range(n_clients)}
+        assert expected <= set(solver["tenants"])
+        assert sum(t["requests"] for t in solver["tenants"].values()) == n_clients
+        cache_tenants = stats["cache"]["tenants"]
+        assert expected <= set(cache_tenants)
+        assert sum(t["hits"] for t in cache_tenants.values()) == n_clients - 1
+
+
+# -------------------------------------------------------------------- jobs
+class TestJobStreaming:
+    def test_sse_stream_is_bit_identical_to_blocking_run(self, session):
+        blocking = run_experiment("routing-gap", scale=TINY, seed=0)
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port, tenant="streamer") as client:
+                submitted = client.submit({"experiment": "routing-gap"})
+                assert submitted["kind"] == "experiment"
+                frames = list(client.events(submitted["job"]))
+                replay = list(client.events(submitted["job"]))
+
+        # Terminal frames: result then end, exactly once each.
+        names = [name for name, _ in frames]
+        assert names[-1] == "end" and names[-2] == "result"
+        assert names.count("result") == 1
+        assert frames[-1][1]["status"] == "done"
+
+        # Rows stream 1:1 with the blocking path, bit-identical through
+        # the same JSON round-trip the wire imposes.
+        normalize = lambda rows: json.loads(  # noqa: E731
+            json.dumps(_coerce([list(r) for r in rows]))
+        )
+        streamed_rows = [p["row"] for name, p in frames if name == "row"]
+        assert streamed_rows == normalize(blocking.rows)
+        result = frames[-2][1]
+        assert result["rows"] == normalize(blocking.rows)
+        assert result["headers"] == list(blocking.headers)
+        assert result["checks"] == dict(blocking.checks)
+
+        # A late consumer replays the identical stream.
+        assert replay == frames
+
+    def test_submitted_query_job_and_status(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port, tenant="jobber") as client:
+                submitted = client.submit(ring_doc(6))
+                frames = list(client.events(submitted["job"]))
+                status = client.job(submitted["job"])
+                with pytest.raises(ServiceError) as err:
+                    client.job("job-999999")
+        assert err.value.status == 404
+        assert [n for n, _ in frames] == ["result", "end"]
+        assert status["status"] == "done"
+        assert status["result"]["value"] == frames[0][1]["value"]
+
+    def test_unknown_experiment_is_rejected_at_submit(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.submit({"experiment": "fig99"})
+                assert err.value.status == 400
+
+
+# -------------------------------------------------------- admission control
+class TestAdmissionControl:
+    def test_saturation_answers_429_then_retry_succeeds(self, session):
+        with serving(session, max_inflight=1, tenant_cap=1) as (
+            port,
+            _service,
+            _loop,
+        ):
+            with ServiceClient(port=port, tenant="patient") as client:
+                # Occupy the whole budget with the slow MWU job...
+                slow = client.submit(SLOW_DOC)
+                # ...so an immediate sync query is refused with 429.
+                with pytest.raises(ServiceError) as err:
+                    client.throughput(ring_doc(6))
+                assert err.value.status == 429
+                assert err.value.retry_after > 0
+                # The polite retry loop lands once the slot frees.
+                answer = client.query_with_retry(
+                    ring_doc(6), deadline_seconds=60
+                )
+                assert answer["value"] == pytest.approx(10 / 9)
+                stats = client.stats()
+                slow_status = client.job(slow["job"])
+        assert stats["service"]["admission"]["rejected"] >= 1
+        assert stats["service"]["admission"]["inflight"] == 0
+        assert slow_status["status"] == "done"
+
+    def test_tenant_cap_spares_other_tenants(self, session):
+        with serving(session, max_inflight=8, tenant_cap=1) as (
+            port,
+            _service,
+            _loop,
+        ):
+            with ServiceClient(port=port, tenant="greedy") as greedy, \
+                    ServiceClient(port=port, tenant="modest") as modest:
+                greedy.submit(SLOW_DOC)
+                with pytest.raises(ServiceError) as err:
+                    greedy.throughput(ring_doc(6))
+                assert err.value.status == 429
+                assert "greedy" in err.value.message
+                # A different tenant sails through the same instant.
+                answer = modest.throughput(ring_doc(6))
+                assert answer["from_cache"] is False
+
+    def test_sync_timeout_keeps_job_warming_the_cache(self, session):
+        slowish = ring_doc(12, engine="mwu", params={"epsilon": 0.1})
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port, tenant="impatient") as client:
+                with pytest.raises(ServiceError) as err:
+                    client.throughput(slowish, timeout=0.05)
+                assert err.value.status == 504
+                assert "job-" in err.value.message
+                job_id = err.value.message.split("job ")[1].split(" ")[0]
+                # The abandoned job runs to completion and warms the cache.
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    status = client.job(job_id)
+                    if status["status"] != "running":
+                        break
+                    time.sleep(0.1)
+                assert status["status"] == "done"
+                warm = client.throughput(slowish)
+                assert warm["from_cache"] is True
+                assert warm["value"] == status["result"]["value"]
+                stats = client.stats()
+        assert stats["service"]["admission"]["inflight"] == 0, (
+            "a timed-out sync query must not leak its admission slot"
+        )
