@@ -1,0 +1,137 @@
+"""Perf benchmark for the fluid simulator (repro.sim).
+
+Two measurements, written to ``BENCH_sim.json`` at the repo root:
+
+* **stepping** — the :class:`~repro.sim.FluidSimulation` churn loop: a
+  flow population with arrivals and departures stepped to drain, reported
+  as flow-steps/sec (flows active × steps taken per second).  This is the
+  allocator's vectorized bottleneck search under constant re-allocation —
+  a genuine stress benchmark for the compiled core.
+* **engine** — cold vs warm ``sim`` solves through the ambient
+  :class:`~repro.batch.solver.BatchSolver`: cold pays route compilation +
+  allocation per instance, the warm rerun must answer every instance from
+  the result cache without a single solve.
+
+Assertions are deliberately loose (warm must beat cold; the stepping loop
+must actually churn); the JSON carries the real numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import BatchSolver, SolveRequest
+from repro.batch.cache import ResultCache
+from repro.sim import FluidSimulation
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic import all_to_all
+from repro.utils.rng import ensure_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_sim.json"
+
+N_SWITCHES = 32
+DEGREE = 6
+REPEATS = 3
+
+
+def _median_seconds(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _churn_loop(topo) -> tuple:
+    """One arrival/departure episode; returns (flow_steps, steps)."""
+    sim = FluidSimulation(topo, link_delay=0.5)
+    rng = ensure_rng(7)
+    pairs = [
+        (int(a), int(b))
+        for a, b in rng.integers(0, topo.n_switches, size=(40, 2))
+        if a != b
+    ]
+    flow_steps = 0
+    for i, (src, dst) in enumerate(pairs):
+        sim.add_flow(src, dst, volume=1.0 + (i % 5))
+        if i % 4 == 3:  # arrivals interleaved with stepping
+            flow_steps += sim.n_active * 2
+            sim.step(0.25)
+            sim.step(0.25)
+    while sim.n_active:
+        flow_steps += sim.n_active
+        sim.step(0.25)
+        if sim.steps > 10_000:  # pragma: no cover - safety valve
+            raise RuntimeError("churn loop failed to drain")
+    return flow_steps, sim.steps
+
+
+def test_sim_stepping_and_engine_cache(tmp_path):
+    topo = jellyfish(N_SWITCHES, DEGREE, seed=0)
+    ag = topo.compile()
+
+    # --- stepping rate -------------------------------------------------
+    flow_steps, n_steps = _churn_loop(topo)
+    step_s = _median_seconds(lambda: _churn_loop(topo))
+    assert flow_steps > 0 and n_steps > 10
+
+    # --- engine: cold vs warm through the batch layer ------------------
+    tms = [all_to_all(topo)]
+    for k in (1, 2, 4):
+        from repro.traffic.synthetic import random_matching
+
+        tms.append(random_matching(topo, n_matchings=k, seed=(0, k)))
+
+    def requests():
+        return [SolveRequest(topo, tm, engine="sim") for tm in tms]
+
+    def cold_solve():
+        with BatchSolver(workers=1) as solver:
+            return solver.solve_many(requests())
+
+    cold_s = _median_seconds(cold_solve)
+
+    cache = ResultCache(tmp_path / "cache")
+    with BatchSolver(workers=1, cache=cache) as solver:
+        solver.solve_many(requests())  # populate
+
+    def warm_solve():
+        with BatchSolver(workers=1, cache=cache) as solver:
+            outcomes = solver.solve_many(requests())
+            assert solver.stats()["solved"] == 0
+            return outcomes
+
+    warm_s = _median_seconds(warm_solve)
+    warm_outcomes = warm_solve()
+
+    record = {
+        "benchmark": "sim",
+        "topology": topo.name,
+        "n_switches": topo.n_switches,
+        "n_arcs": ag.n_arcs,
+        "stepping": {
+            "seconds": step_s,
+            "steps": n_steps,
+            "flow_steps": flow_steps,
+            "flow_steps_per_sec": flow_steps / max(step_s, 1e-12),
+        },
+        "engine": {
+            "n_instances": len(tms),
+            "cold_seconds": cold_s,
+            "cold_solves_per_sec": len(tms) / max(cold_s, 1e-12),
+            "warm_seconds": warm_s,
+            "warm_speedup_vs_cold": cold_s / max(warm_s, 1e-12),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Correctness anchors, loose enough that CI noise cannot flake them.
+    assert all(o.ok and o.from_cache for o in warm_outcomes)
+    assert all(o.result.engine == "sim" for o in warm_outcomes)
+    assert warm_s < cold_s  # cached rerun must beat recomputing routes

@@ -7,8 +7,8 @@ reference, both derived from live code so they cannot silently go stale.
 * :func:`api_markdown` renders the public-API reference — engine
   guarantees from :data:`repro.throughput.mcf.ENGINE_GUARANTEES`, plus the
   exported surfaces of :mod:`repro.core`, :mod:`repro.api`,
-  :mod:`repro.batch`, :mod:`repro.service`, and :mod:`repro.lint` with
-  each object's docstring summary; regenerate with
+  :mod:`repro.batch`, :mod:`repro.sim`, :mod:`repro.service`, and
+  :mod:`repro.lint` with each object's docstring summary; regenerate with
   ``python -m repro list --api-markdown > API.md``.
 
 Tests (and the CI ``docs`` job) assert both committed files match their
@@ -129,6 +129,7 @@ def api_markdown() -> str:
     import repro.core as core_module
     import repro.lint as lint_module
     import repro.service as service_module
+    import repro.sim as sim_module
     from repro.throughput.backends import LP_BACKENDS
     from repro.throughput.mcf import ENGINE_GUARANTEES
 
@@ -158,6 +159,7 @@ def api_markdown() -> str:
     lines.extend(_module_section("repro.core", core_module))
     lines.extend(_module_section("repro.api", api_module))
     lines.extend(_module_section("repro.batch", batch_module))
+    lines.extend(_module_section("repro.sim", sim_module))
     lines.extend(_module_section("repro.service", service_module))
     lines.extend(_module_section("repro.lint", lint_module))
     return "".join(lines)

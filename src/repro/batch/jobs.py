@@ -36,23 +36,33 @@ from repro.traffic.matrix import TrafficMatrix
 #: (`Topology.iteration_fingerprint`) instead of joined strings.
 KEY_VERSION = "repro-batch-v2"
 
-#: Engines the batch layer can dispatch: ``lp``, ``mwu``, and ``sharded``
-#: go through :func:`repro.throughput.mcf.throughput` (``sharded`` is
-#: special-cased to run parent-side so its block subproblems fan out over
-#: the same solver — see :class:`~repro.batch.solver.BatchSolver`);
-#: ``paths`` is the LLSKR-style path-restricted LP
+#: Engines the batch layer can dispatch: ``lp``, ``mwu``, ``sim``, and
+#: ``sharded`` go through :func:`repro.throughput.mcf.throughput`
+#: (``sharded`` is special-cased to run parent-side so its block
+#: subproblems fan out over the same solver — see
+#: :class:`~repro.batch.solver.BatchSolver`); ``paths`` is the LLSKR-style
+#: path-restricted LP
 #: (:func:`repro.throughput.llskr.llskr_exact_throughput`).  Its path sets
 #: are a deterministic function of the *as-built* graph and the
 #: ``subflows`` / ``path_pool`` params, so :func:`instance_key` hashes
-#: extra order-sensitive structure for this engine — see below.
-BATCH_ENGINES = ("lp", "mwu", "paths", "sharded")
+#: extra order-sensitive structure for this engine — see below.  ``sim``
+#: (the fluid simulator, :mod:`repro.sim`) needs no such special case:
+#: its route compilation ties every tie-break to the canonical sorted arc
+#: list, so the content digests plus the frozen ``routing``/``k`` params
+#: fully determine its value.
+BATCH_ENGINES = ("lp", "mwu", "paths", "sharded", "sim")
 
 #: Engines that may serve as the *ambient default* (``use_default_engine``,
 #: ``Session(engine=...)``, ``--engine``).  ``paths`` is dispatchable but
 #: deliberately excluded here: the path-restricted LP computes a different
 #: quantity (a path-set lower bound with its own parameters), so silently
 #: substituting it for every default solve would corrupt experiment rows.
-DEFAULT_ENGINE_CHOICES = ("lp", "mwu", "sharded", "auto")
+#: ``sim`` *is* admitted — it also computes achieved (not optimal)
+#: throughput, but unlike ``paths`` its route params resolve and freeze at
+#: request construction, its results are labeled ``engine="sim"`` all the
+#: way through, and rerouting a whole experiment through the simulator is
+#: exactly what ``--engine sim`` is for.
+DEFAULT_ENGINE_CHOICES = ("lp", "mwu", "sharded", "auto", "sim")
 
 #: Ambient engine used by requests that do not name one.  ``"auto"`` is
 #: also accepted: it resolves per instance through the shard policy at
@@ -148,8 +158,8 @@ class SolveRequest:
     topology, tm:
         The instance itself.
     engine:
-        One of :data:`BATCH_ENGINES` (``"lp"``, ``"mwu"``, ``"paths"``, or
-        ``"sharded"``), or ``None`` to take the ambient default
+        One of :data:`BATCH_ENGINES` (``"lp"``, ``"mwu"``, ``"paths"``,
+        ``"sharded"``, or ``"sim"``), or ``None`` to take the ambient default
         (:func:`default_engine`, normally ``"lp"``).  ``"auto"`` — given
         explicitly or as the ambient default — resolves immediately
         through :func:`repro.throughput.sharded.select_engine`.  A request
@@ -157,7 +167,10 @@ class SolveRequest:
         round budget, fallback, block LP backend) frozen into ``params``,
         and an ``"lp"`` request has its resolved LP backend name frozen in
         (:func:`repro.throughput.backends.resolve_lp_backend`), so the
-        content key fully determines the computed value.
+        content key fully determines the computed value.  A ``"sim"``
+        request likewise freezes its resolved routing mode (and ``k``
+        under ksp routing) via
+        :func:`repro.sim.engine.resolve_sim_params`.
     params:
         Extra kwargs for the engine (e.g. ``epsilon`` for MWU, or
         ``subflows`` / ``path_pool`` for the path-restricted LP).
@@ -175,7 +188,8 @@ class SolveRequest:
         and unhinted solves of the same instance share one cache entry.
 
     **Worker payloads** — pickling a request whose engine consumes only
-    the compiled instance (``lp``, ``mwu``) replaces the topology with its
+    the compiled instance (``lp``, ``mwu``, ``sim``) replaces the topology
+    with its
     :class:`~repro.core.ArcGraph`: pool workers receive compact int64/
     float64 arrays, never a networkx graph.  ``paths`` requests keep the
     full topology (Yen's enumeration walks the as-built graph) and
@@ -192,7 +206,7 @@ class SolveRequest:
 
     #: Engines whose solve consumes only the compiled array form — their
     #: requests ship to pool workers graph-free (see ``__getstate__``).
-    _ARRAY_ONLY_ENGINES = ("lp", "mwu")
+    _ARRAY_ONLY_ENGINES = ("lp", "mwu", "sim")
 
     def __post_init__(self) -> None:
         if self.engine is None:
@@ -209,6 +223,10 @@ class SolveRequest:
             )
         elif self.engine == "lp":
             self.params = normalize_lp_backend_param(self.params)
+        elif self.engine == "sim":
+            from repro.sim.engine import resolve_sim_params
+
+            self.params = resolve_sim_params(self.params)
 
     def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()

@@ -11,12 +11,26 @@ arc extraction, key hashing, and pool-worker payloads cheap.
 ``Topology.compile()`` (:mod:`repro.topologies.base`) builds and caches the
 ``ArcGraph`` of a topology; :func:`as_arcgraph` normalizes either form.
 See DESIGN.md "Compiled instance core".
+
+:mod:`repro.core.routes` compiles deterministic fixed route sets (ECMP
+splits or k-shortest paths) directly on the arc arrays — the input the
+fluid simulator (:mod:`repro.sim`) allocates rates over.
 """
 
 from repro.core.arcgraph import ArcGraph, as_arcgraph, compile_graph
+from repro.core.routes import (
+    ROUTING_MODES,
+    RouteSet,
+    compile_routes,
+    k_shortest_routes,
+)
 
 __all__ = [
     "ArcGraph",
     "as_arcgraph",
     "compile_graph",
+    "RouteSet",
+    "ROUTING_MODES",
+    "compile_routes",
+    "k_shortest_routes",
 ]

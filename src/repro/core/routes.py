@@ -1,0 +1,472 @@
+"""Deterministic route-set compilation on the compiled core.
+
+The fluid simulator (:mod:`repro.sim`) allocates rates over *fixed* route
+sets.  This module builds those sets directly on :class:`ArcGraph` arrays —
+no networkx, no dependence on graph build order — in two modes:
+
+* ``"ecmp"`` — every commodity splits equally over all of its shortest
+  paths, expressed as one fractional arc-incidence vector per commodity
+  (the standard per-node equal split over downhill neighbors, the same
+  rule :func:`repro.routing.schemes.ecmp_throughput` applies).
+* ``"ksp"`` — up to ``k`` shortest loopless paths per commodity (Yen's
+  algorithm), demand split equally across the paths found.
+
+**Determinism without iteration-order hashing.**  The legacy ``paths``
+engine enumerates with networkx, whose tie-breaking follows adjacency
+*insertion* order — which is why its cache keys must hash the as-built
+iteration fingerprint.  Here every tie breaks lexicographically on the
+canonical ``(tail, head)``-sorted arc list: two graphs with equal
+``ArcGraph.digest`` compile byte-identical route sets, so the ``sim``
+engine's cache key needs nothing beyond the content digests and the
+resolved routing params.
+
+Routes use **positive-capacity arcs only** — a failure overlay
+(:meth:`ArcGraph.with_failed_arcs`) reroutes or, when a commodity is cut
+off, leaves it with zero subflows (the simulator reports it unroutable).
+
+The compiled :class:`RouteSet` is array-native: one sparse arc×subflow
+fraction matrix plus flat per-subflow commodity/weight arrays, ready for
+the allocator's vectorized bottleneck search.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+
+#: Supported routing modes (the value space of ``REPRO_SIM_ROUTING``).
+ROUTING_MODES = ("ecmp", "ksp")
+
+#: Subflow count per commodity in ``ksp`` mode when none is given.
+DEFAULT_KSP_K = 4
+
+PairArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class RouteSet:
+    """Compiled fixed routes for a set of commodities on one arc set.
+
+    Attributes
+    ----------
+    n_arcs, n_commodities, n_subflows:
+        Shape of the compiled set.  A *subflow* is one routed unit — a
+        single path in ``ksp`` mode, the whole ECMP split DAG in ``ecmp``
+        mode.
+    srcs, dsts, demands:
+        The commodities, in the row-major nonzero order of the source TM.
+    sub_commodity:
+        Commodity index of each subflow (int64, nondecreasing).
+    sub_weight:
+        Demand share each subflow carries per unit of allocation level:
+        ``demand / n_paths`` in ``ksp`` mode, ``demand`` in ``ecmp`` mode.
+    incidence:
+        ``(n_arcs, n_subflows)`` CSR matrix; entry ``(a, f)`` is the
+        fraction of subflow ``f``'s rate crossing arc ``a`` (1.0 on a
+        path, fractional on an ECMP split).
+    routing, k:
+        The resolved route parameters (``k`` is ``None`` in ecmp mode).
+
+    A commodity that cannot reach its destination over positive-capacity
+    arcs has zero subflows; see :meth:`routable`.
+    """
+
+    def __init__(
+        self,
+        n_arcs: int,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        demands: np.ndarray,
+        sub_commodity: np.ndarray,
+        sub_weight: np.ndarray,
+        incidence: sp.csr_matrix,
+        routing: str,
+        k: Optional[int],
+    ) -> None:
+        self.n_arcs = int(n_arcs)
+        self.srcs = _frozen(srcs, np.int64)
+        self.dsts = _frozen(dsts, np.int64)
+        self.demands = _frozen(demands, np.float64)
+        self.sub_commodity = _frozen(sub_commodity, np.int64)
+        self.sub_weight = _frozen(sub_weight, np.float64)
+        self.incidence = incidence
+        self.routing = routing
+        self.k = k
+
+    @property
+    def n_commodities(self) -> int:
+        return int(self.srcs.size)
+
+    @property
+    def n_subflows(self) -> int:
+        return int(self.sub_commodity.size)
+
+    def subflow_counts(self) -> np.ndarray:
+        """Number of subflows per commodity (0 = unroutable)."""
+        return np.bincount(self.sub_commodity, minlength=self.n_commodities)
+
+    def routable(self) -> np.ndarray:
+        """Boolean mask of commodities with at least one route."""
+        return self.subflow_counts() > 0
+
+    def sub_arc_span(self) -> np.ndarray:
+        """Fraction-weighted arc count per subflow (its effective hop length)."""
+        return np.asarray(self.incidence.sum(axis=0)).ravel()
+
+    def weighted_incidence(self) -> sp.csr_matrix:
+        """``incidence`` with each subflow column scaled by its weight.
+
+        ``weighted_incidence() @ levels`` is the per-arc load of an
+        allocation — the allocator's inner product.
+        """
+        return self.incidence.multiply(self.sub_weight[np.newaxis, :]).tocsr()
+
+    def content_digest(self) -> str:
+        """SHA-256 over the compiled arrays and the routing params.
+
+        Equal digests mean byte-identical route sets; the determinism
+        tests compare digests across independent compiles.
+        """
+        inc = self.incidence.tocsr()
+        h = hashlib.sha256()
+        h.update(b"repro-routes-v1")
+        h.update(f"\x00{self.routing}\x00{self.k}\x00{self.n_arcs}\x00".encode())
+        for arr in (
+            self.srcs,
+            self.dsts,
+            self.demands,
+            self.sub_commodity,
+            self.sub_weight,
+            np.ascontiguousarray(inc.indptr, dtype=np.int64),
+            np.ascontiguousarray(inc.indices, dtype=np.int64),
+            np.ascontiguousarray(inc.data, dtype=np.float64),
+        ):
+            h.update(arr.tobytes())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RouteSet(routing={self.routing!r}, commodities="
+            f"{self.n_commodities}, subflows={self.n_subflows})"
+        )
+
+
+def _frozen(arr: Union[np.ndarray, Sequence], dtype: type) -> np.ndarray:
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if out.flags.writeable:
+        out = out.copy() if out.base is not None else out
+        out.flags.writeable = False
+    return out
+
+
+class _PositiveAdjacency:
+    """Forward and reverse adjacency over positive-capacity arcs.
+
+    All arrays follow the canonical ``(tail, head)`` sort of the parent
+    :class:`ArcGraph`, so neighbor iteration order — and therefore every
+    tie-break below — is a pure function of graph content.
+    """
+
+    def __init__(self, ag: ArcGraph) -> None:
+        alive = ag.caps > 0
+        self.arc_ids = np.flatnonzero(alive)  # local -> global arc id
+        self.tails = ag.tails[self.arc_ids]
+        self.heads = ag.heads[self.arc_ids]
+        n = ag.n_nodes
+        self.n_nodes = n
+        self.fwd_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self.tails, minlength=n), out=self.fwd_indptr[1:])
+        # Reverse adjacency: arcs sorted by (head, tail); needed for the
+        # distance-to-destination BFS (arcs may be direction-asymmetric).
+        rev_order = np.lexsort((self.tails, self.heads))
+        self.rev_local = rev_order  # reverse slot -> local arc index
+        self.rev_tails = self.tails[rev_order]
+        rev_heads = self.heads[rev_order]
+        self.rev_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rev_heads, minlength=n), out=self.rev_indptr[1:])
+
+    def dist_to(
+        self,
+        dst: int,
+        banned_nodes: Optional[Set[int]] = None,
+        banned_arcs: Optional[Set[int]] = None,
+    ) -> np.ndarray:
+        """Hop distance from every node *to* ``dst`` (inf if unreachable).
+
+        BFS over incoming arcs; ``banned_arcs`` holds *local* arc indices.
+        """
+        n = self.n_nodes
+        dist = np.full(n, np.inf)
+        if banned_nodes and dst in banned_nodes:
+            return dist
+        dist[dst] = 0.0
+        frontier = [dst]
+        while frontier:
+            nxt: List[int] = []
+            for v in frontier:
+                d = dist[v] + 1.0
+                for slot in range(self.rev_indptr[v], self.rev_indptr[v + 1]):
+                    if banned_arcs and int(self.rev_local[slot]) in banned_arcs:
+                        continue
+                    u = int(self.rev_tails[slot])
+                    if dist[u] != np.inf:
+                        continue
+                    if banned_nodes and u in banned_nodes:
+                        continue
+                    dist[u] = d
+                    nxt.append(u)
+            frontier = nxt
+        return dist
+
+    def lex_shortest(
+        self,
+        src: int,
+        dist: np.ndarray,
+        banned_nodes: Optional[Set[int]] = None,
+        banned_arcs: Optional[Set[int]] = None,
+    ) -> Tuple[Tuple[int, ...], List[int]]:
+        """The lexicographically smallest shortest path from ``src``.
+
+        ``dist`` must be a :meth:`dist_to` result computed under the same
+        bans.  Follows the unique greedy rule: at each node take the
+        lowest-numbered neighbor one hop closer to the destination.
+        Returns the node tuple and the local arc indices traversed.
+        """
+        nodes = [src]
+        arcs: List[int] = []
+        u = src
+        while dist[u] > 0:
+            target = dist[u] - 1.0
+            for local in range(self.fwd_indptr[u], self.fwd_indptr[u + 1]):
+                if banned_arcs and local in banned_arcs:
+                    continue
+                v = int(self.heads[local])
+                if banned_nodes and v in banned_nodes:
+                    continue
+                if dist[v] == target:
+                    nodes.append(v)
+                    arcs.append(local)
+                    u = v
+                    break
+            else:  # pragma: no cover - dist guarantees a downhill arc
+                raise RuntimeError("no downhill arc despite finite distance")
+        return tuple(nodes), arcs
+
+
+def _path_arcs(adj: _PositiveAdjacency, nodes: Tuple[int, ...]) -> List[int]:
+    """Local arc indices of a node path (each hop's canonical arc)."""
+    arcs: List[int] = []
+    for u, v in zip(nodes[:-1], nodes[1:]):
+        for local in range(adj.fwd_indptr[u], adj.fwd_indptr[u + 1]):
+            if int(adj.heads[local]) == v:
+                arcs.append(local)
+                break
+        else:  # pragma: no cover - paths are built from live arcs
+            raise KeyError(f"no positive-capacity arc ({u}, {v})")
+    return arcs
+
+
+def k_shortest_routes(
+    ag: ArcGraph, src: int, dst: int, k: int
+) -> List[Tuple[int, ...]]:
+    """Up to ``k`` shortest loopless ``src -> dst`` paths on positive arcs.
+
+    Yen's algorithm with fully content-determined tie-breaking: the base
+    path and every spur path are the lexicographically smallest shortest
+    paths under their bans, and equal-length candidates pop in node-tuple
+    order.  Returns ``[]`` when ``dst`` is unreachable.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if src == dst:
+        raise ValueError("src and dst must differ")
+    adj = _PositiveAdjacency(ag)
+    return _yen(adj, int(src), int(dst), int(k))
+
+
+def _yen(
+    adj: _PositiveAdjacency, src: int, dst: int, k: int
+) -> List[Tuple[int, ...]]:
+    dist0 = adj.dist_to(dst)
+    if not np.isfinite(dist0[src]):
+        return []
+    first, _ = adj.lex_shortest(src, dist0)
+    paths: List[Tuple[int, ...]] = [first]
+    seen = {first}
+    candidates: List[Tuple[int, Tuple[int, ...]]] = []
+    while len(paths) < k:
+        prev = paths[-1]
+        prev_arcs = _path_arcs(adj, prev)
+        for i in range(len(prev) - 1):
+            root = prev[: i + 1]
+            spur = prev[i]
+            banned_nodes = set(root[:-1])
+            banned_arcs: Set[int] = set()
+            for p in paths:
+                if len(p) > i + 1 and p[: i + 1] == root:
+                    banned_arcs.add(_path_arcs(adj, p[: i + 2])[-1])
+            dist = adj.dist_to(dst, banned_nodes, banned_arcs)
+            if not np.isfinite(dist[spur]):
+                continue
+            spur_path, _ = adj.lex_shortest(spur, dist, banned_nodes, banned_arcs)
+            total = root[:-1] + spur_path
+            if total not in seen:
+                seen.add(total)
+                heapq.heappush(candidates, (len(total), total))
+        del prev_arcs
+        if not candidates:
+            break
+        _, best = heapq.heappop(candidates)
+        paths.append(best)
+    return paths
+
+
+def _ecmp_fractions(
+    adj: _PositiveAdjacency, src: int, dst: int, dist: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(local arc indices, fractions) of the ECMP split for one commodity.
+
+    ``dist`` is :meth:`_PositiveAdjacency.dist_to` of ``dst``.  One unit
+    of flow enters at ``src`` and splits equally over downhill arcs at
+    every node, processed in decreasing-distance order so each node's
+    inflow is complete before it splits.
+    """
+    frac = np.zeros(adj.arc_ids.size)
+    if not np.isfinite(dist[src]):
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    inflow = np.zeros(adj.n_nodes)
+    inflow[src] = 1.0
+    reach = np.flatnonzero(np.isfinite(dist) & (dist <= dist[src]))
+    order = reach[np.argsort(-dist[reach], kind="stable")]
+    for u in order:
+        u = int(u)
+        if u == dst or inflow[u] <= 0.0:
+            continue
+        lo, hi = int(adj.fwd_indptr[u]), int(adj.fwd_indptr[u + 1])
+        heads = adj.heads[lo:hi]
+        downhill = np.flatnonzero(dist[heads] == dist[u] - 1.0)
+        share = inflow[u] / downhill.size
+        locals_ = lo + downhill
+        frac[locals_] += share
+        np.add.at(inflow, heads[downhill], share)
+    used = np.flatnonzero(frac)
+    return used, frac[used]
+
+
+def _as_pair_arrays(tm) -> PairArrays:
+    """Commodity arrays from a TrafficMatrix-like object or a 3-tuple."""
+    pairs = getattr(tm, "pairs", None)
+    if callable(pairs):
+        srcs, dsts, demands = pairs()
+    else:
+        srcs, dsts, demands = tm
+    srcs = np.ascontiguousarray(srcs, dtype=np.int64)
+    dsts = np.ascontiguousarray(dsts, dtype=np.int64)
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    if not (srcs.shape == dsts.shape == demands.shape) or srcs.ndim != 1:
+        raise ValueError("commodities must be equal-length 1-D arrays")
+    if srcs.size and np.any(srcs == dsts):
+        raise ValueError("self-commodities (src == dst) are not routable")
+    if np.any(demands <= 0):
+        raise ValueError("commodity demands must be positive")
+    return srcs, dsts, demands
+
+
+def compile_routes(
+    topology,
+    tm,
+    routing: str = "ecmp",
+    k: Optional[int] = None,
+) -> RouteSet:
+    """Compile the fixed route set of ``tm``'s commodities on ``topology``.
+
+    ``topology`` is a :class:`Topology` or :class:`ArcGraph`; ``tm`` is a
+    :class:`~repro.traffic.matrix.TrafficMatrix` (or a raw ``(srcs, dsts,
+    demands)`` triple).  Deterministic and insertion-order independent:
+    equal ``(ArcGraph.digest, commodities, routing, k)`` produce
+    byte-identical route sets (see :meth:`RouteSet.content_digest`).
+    """
+    if routing not in ROUTING_MODES:
+        raise ValueError(
+            f"unknown routing {routing!r}; expected one of {ROUTING_MODES}"
+        )
+    ag = as_arcgraph(topology)
+    srcs, dsts, demands = _as_pair_arrays(tm)
+    if srcs.size and (
+        min(int(srcs.min()), int(dsts.min())) < 0
+        or max(int(srcs.max()), int(dsts.max())) >= ag.n_nodes
+    ):
+        raise ValueError("commodity endpoints out of node range")
+    adj = _PositiveAdjacency(ag)
+
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    data: List[np.ndarray] = []
+    sub_commodity: List[int] = []
+    sub_weight: List[float] = []
+    n_sub = 0
+
+    if routing == "ecmp":
+        k = None
+        # One BFS per distinct destination, shared by its commodities.
+        dist_cache = {}
+        for ci in range(srcs.size):
+            dst = int(dsts[ci])
+            dist = dist_cache.get(dst)
+            if dist is None:
+                dist = adj.dist_to(dst)
+                dist_cache[dst] = dist
+            used, fracs = _ecmp_fractions(adj, int(srcs[ci]), dst, dist)
+            if used.size == 0:
+                continue  # unreachable: commodity stays subflow-less
+            rows.append(adj.arc_ids[used])
+            cols.append(np.full(used.size, n_sub, dtype=np.int64))
+            data.append(fracs)
+            sub_commodity.append(ci)
+            sub_weight.append(float(demands[ci]))
+            n_sub += 1
+    else:
+        k = int(k if k is not None else DEFAULT_KSP_K)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        for ci in range(srcs.size):
+            paths = _yen(adj, int(srcs[ci]), int(dsts[ci]), k)
+            if not paths:
+                continue
+            share = float(demands[ci]) / len(paths)
+            for nodes in paths:
+                arcs = np.asarray(_path_arcs(adj, nodes), dtype=np.int64)
+                rows.append(adj.arc_ids[arcs])
+                cols.append(np.full(arcs.size, n_sub, dtype=np.int64))
+                data.append(np.ones(arcs.size))
+                sub_commodity.append(ci)
+                sub_weight.append(share)
+                n_sub += 1
+
+    if rows:
+        incidence = sp.csr_matrix(
+            (
+                np.concatenate(data),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(ag.n_arcs, n_sub),
+        )
+    else:
+        incidence = sp.csr_matrix((ag.n_arcs, 0))
+    return RouteSet(
+        n_arcs=ag.n_arcs,
+        srcs=srcs,
+        dsts=dsts,
+        demands=demands,
+        sub_commodity=np.asarray(sub_commodity, dtype=np.int64),
+        sub_weight=np.asarray(sub_weight, dtype=np.float64),
+        incidence=incidence,
+        routing=routing,
+        k=k,
+    )

@@ -26,6 +26,7 @@ from repro.evaluation.experiments.yuan import fig15
 from repro.evaluation.experiments.ablation import ablation_solvers
 from repro.evaluation.experiments.cut_accuracy import cut_accuracy
 from repro.evaluation.experiments.routing_gap import routing_gap
+from repro.evaluation.experiments.sim_gap import sim_gap
 from repro.evaluation.experiments.whatif_exp import whatif_failures
 
 # Imported after the experiment modules so Session's lazy ensure_registered()

@@ -1,0 +1,122 @@
+"""sim-gap: achieved (simulated) throughput vs the LP optimum vs the MWU bound.
+
+The LP answers "what could an omniscient router achieve"; the ``sim``
+engine answers "what do max-min fair flows on fixed ECMP routes actually
+capture".  This experiment measures the gap across the topology families
+with the TM hardness ladder on the x-axis, sandwiching each instance:
+
+    sim  <=  lp  <=  mwu / (1 - eps)^3
+
+Both inequalities are structural — the simulator's allocation is a
+feasible flow, and the MWU value divided by its guarantee factor is a
+certified upper bound — so the checks hold to solver accuracy on every
+instance, not just in aggregate.  The interesting column is ``capture``
+(sim / lp): how much of the LP headroom fair fixed-route transport keeps,
+per family and per TM hardness rung.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.api import emit_row, experiment
+from repro.batch import SolveRequest, get_solver, values_by_tag
+from repro.evaluation.runner import ExperimentResult, ScaleConfig, scale_from_env
+from repro.topologies.base import Topology
+from repro.topologies.fattree import fat_tree
+from repro.topologies.hypercube import hypercube
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic.synthetic import all_to_all, random_matching
+from repro.traffic.worstcase import longest_matching
+from repro.utils.numeric import safe_ratio
+from repro.utils.rng import ensure_rng
+
+#: MWU accuracy for the upper-bound column; coarse is fine (the bound is
+#: divided by (1 - eps)^3, so eps only widens the sandwich).
+SIM_GAP_EPSILON = 0.25
+
+#: Feasibility slack: sim may exceed lp only by accumulated float noise.
+SIM_LP_SLACK = 1e-9
+
+
+@experiment(
+    "sim-gap",
+    title="Simulated achieved throughput vs LP optimum vs MWU bound",
+    artifact="sim-vs-LP gap table",
+    tags=("table", "sweep", "sim"),
+    checks=("sim_below_lp", "lp_within_mwu_upper", "sim_positive"),
+)
+def sim_gap(scale: ScaleConfig | None = None, seed: int = 0) -> ExperimentResult:
+    """Sandwich sim <= lp <= mwu-upper across families x TM ladder."""
+    scale = scale or scale_from_env()
+    rng = ensure_rng(seed)
+    rows: List[tuple] = []
+    sim_below = True
+    lp_below_upper = True
+    sim_positive = True
+
+    panels: List[tuple[str, Topology]] = []
+    for dim in range(3, 12):
+        if 2**dim > scale.max_switches:
+            break
+        panels.append(("hypercube", hypercube(dim)))
+        panels.append(("random_graph", jellyfish(2**dim, dim, seed=rng)))
+    for k in range(4, 21, 2):
+        if 5 * k * k // 4 > scale.max_switches:
+            break
+        panels.append(("fat_tree", fat_tree(k)))
+
+    upper_factor = (1.0 - SIM_GAP_EPSILON) ** 3
+    for panel, topo in panels:
+        ladder = [
+            ("A2A", all_to_all(topo)),
+            ("RM(1)", random_matching(topo, n_matchings=1, seed=(seed, topo.name))),
+            ("LM", longest_matching(topo)),
+        ]
+        requests = []
+        for tm_name, tm in ladder:
+            requests.append(SolveRequest(topo, tm, engine="sim", tag=f"sim:{tm_name}"))
+            requests.append(SolveRequest(topo, tm, engine="lp", tag=f"lp:{tm_name}"))
+            requests.append(
+                SolveRequest(
+                    topo,
+                    tm,
+                    engine="mwu",
+                    params={"epsilon": SIM_GAP_EPSILON},
+                    tag=f"mwu:{tm_name}",
+                )
+            )
+        by_tag: Dict[str, list] = values_by_tag(get_solver().solve_many(requests))
+        for tm_name, _ in ladder:
+            sim_v = by_tag[f"sim:{tm_name}"][0]
+            lp_v = by_tag[f"lp:{tm_name}"][0]
+            mwu_upper = by_tag[f"mwu:{tm_name}"][0] / upper_factor
+            capture = safe_ratio(sim_v, lp_v)
+            rows.append(
+                emit_row(
+                    (panel, topo.name, tm_name, sim_v, lp_v, mwu_upper, capture)
+                )
+            )
+            if sim_v > lp_v * (1.0 + SIM_LP_SLACK):
+                sim_below = False
+            if lp_v > mwu_upper * (1.0 + SIM_LP_SLACK):
+                lp_below_upper = False
+            if not sim_v > 0.0:
+                sim_positive = False
+    return ExperimentResult(
+        experiment_id="sim-gap",
+        title="sim-gap — achieved (max-min, ECMP) vs optimal (LP) throughput",
+        headers=["panel", "topology", "tm", "sim", "lp", "mwu_upper", "capture"],
+        rows=rows,
+        checks={
+            "sim_below_lp": sim_below,
+            "lp_within_mwu_upper": lp_below_upper,
+            "sim_positive": sim_positive,
+        },
+        notes=(
+            "capture = sim/lp: the fraction of LP headroom max-min fair "
+            "flows on fixed ECMP routes retain.  sim <= lp is structural "
+            "(the allocation is a feasible flow); mwu_upper = mwu/(1-eps)^3 "
+            "is the certified upper bound."
+        ),
+    )

@@ -21,9 +21,10 @@ Each rule encodes a bug class this repo has actually shipped (see the
   feeding a key, digest, or sort order breaks cross-process determinism
   (``stable_seed`` exists precisely because of this).
 * **R005 networkx-in-hot-path** — ``repro.core``/``repro.batch``/
-  ``repro.whatif``/``repro.service`` are ArcGraph-native per PR 5: a
-  networkx import there reintroduces graph-walk costs and fat pool
-  payloads on the hot path (and, for the service, in every request).
+  ``repro.whatif``/``repro.service``/``repro.sim`` are ArcGraph-native
+  per PR 5 (the simulator's allocator loop per PR 9): a networkx import
+  there reintroduces graph-walk costs and fat pool payloads on the hot
+  path (and, for the service, in every request).
 """
 
 from __future__ import annotations
@@ -53,12 +54,20 @@ class SolverBypassRule(Rule):
         "repro.throughput.lp.solve_throughput_lp",
         "repro.throughput.approx.solve_throughput_mwu",
         "repro.throughput.sharded.solve_throughput_sharded",
+        "repro.sim.engine.solve_throughput_sim",
         "repro.batch.solver._solve_local",
         "scipy.optimize.linprog",
     }
 
-    #: Module prefixes allowed to call engine internals directly.
-    ALLOWED_PREFIXES = ("repro.throughput", "repro.batch", "repro.lint")
+    #: Module prefixes allowed to call engine internals directly.  The
+    #: simulator package hosts the ``sim`` engine entrypoint, so it sits
+    #: with the other engine layers here.
+    ALLOWED_PREFIXES = (
+        "repro.throughput",
+        "repro.batch",
+        "repro.lint",
+        "repro.sim",
+    )
 
     def _exempt(self, module: ModuleInfo) -> bool:
         if not module.module.startswith("repro"):
@@ -326,12 +335,18 @@ class NetworkxHotPathRule(Rule):
     id = "R005"
     title = "networkx-in-hot-path"
     rationale = (
-        "repro.core/batch/whatif/service are ArcGraph-native (PR 5): a "
-        "networkx import there reintroduces graph walks and fat pool "
-        "payloads"
+        "repro.core/batch/whatif/service/sim are ArcGraph-native (PR 5; "
+        "the simulator per PR 9): a networkx import there reintroduces "
+        "graph walks and fat pool payloads"
     )
 
-    HOT_PREFIXES = ("repro.core", "repro.batch", "repro.whatif", "repro.service")
+    HOT_PREFIXES = (
+        "repro.core",
+        "repro.batch",
+        "repro.whatif",
+        "repro.service",
+        "repro.sim",
+    )
 
     #: Modules that transitively pull in networkx; banned at module level in
     #: hot packages (a function-scoped lazy import is the sanctioned

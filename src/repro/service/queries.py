@@ -44,7 +44,9 @@ from repro.traffic import TrafficMatrix, all_to_all
 INSTANCE_CACHE_SIZE = 128
 
 #: Engines a query may name (mirrors repro.batch.DEFAULT_ENGINE_CHOICES).
-QUERY_ENGINES = ("lp", "mwu", "sharded", "auto")
+#: ``sim`` works on uploaded adjacencies too — its route compiler runs
+#: directly on the bare :class:`~repro.core.ArcGraph`.
+QUERY_ENGINES = ("lp", "mwu", "sharded", "auto", "sim")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,33 @@
+"""Flow-level fluid simulator: achieved throughput over fixed routes.
+
+The LP engines answer "what could an omniscient router achieve"; this
+package answers "what do max-min fair flows on *fixed* routes actually
+capture".  Three layers:
+
+* :mod:`repro.sim.allocator` — vectorized progressive-filling max-min
+  fair allocation over a compiled :class:`~repro.core.RouteSet`.
+* :mod:`repro.sim.engine` — the ``sim`` throughput engine: one static
+  allocation reported as a :class:`~repro.throughput.lp.ThroughputResult`
+  (feasible by construction, so sim ≤ lp always).  Registered in
+  :data:`repro.batch.BATCH_ENGINES`; route params resolve through
+  ``REPRO_SIM_ROUTING`` / ``REPRO_SIM_K`` and freeze into cache keys.
+* :mod:`repro.sim.fluid` — time-stepped arrivals/departures with an
+  optional per-link delay that throttles ramp-up.
+
+Everything is array-native on the compiled core (no networkx — lint rule
+R005 covers this package) and fully deterministic.  See DESIGN.md
+"Fluid simulator".
+"""
+
+from repro.sim.allocator import Allocation, maxmin_allocate
+from repro.sim.engine import resolve_sim_params, solve_throughput_sim
+from repro.sim.fluid import FlowState, FluidSimulation
+
+__all__ = [
+    "Allocation",
+    "maxmin_allocate",
+    "resolve_sim_params",
+    "solve_throughput_sim",
+    "FlowState",
+    "FluidSimulation",
+]

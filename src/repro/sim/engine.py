@@ -1,0 +1,124 @@
+"""The ``sim`` throughput engine: achieved max-min throughput over fixed routes.
+
+:func:`solve_throughput_sim` compiles the instance's route set
+(:func:`repro.core.compile_routes` — ECMP equal-split shortest paths by
+default, or ``k`` shortest paths with ``routing="ksp"``), runs the
+progressive-filling allocator (:mod:`repro.sim.allocator`), and reports
+``min_i(achieved_i / demand_i)`` as a :class:`ThroughputResult` — the same
+objective the LP maximizes, so sim and lp values compare directly.
+
+The allocation is a feasible multicommodity flow by construction, so
+**sim ≤ lp always** (the differential harness fuzzes this sandwich).  Sim
+answers a different question than the LP: not "what could an omniscient
+router achieve" but "what do max-min fair flows on fixed routes actually
+capture" — the gap between the two is the routing/fairness headroom the
+``sim-gap`` experiment measures.
+
+Route parameters come from :func:`resolve_sim_params` (``REPRO_SIM_ROUTING``
+/ ``REPRO_SIM_K`` knobs), which the batch layer calls at request
+construction so the resolved values are frozen into cache keys.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, Optional
+
+from repro.core import as_arcgraph, compile_routes
+from repro.core.routes import DEFAULT_KSP_K, ROUTING_MODES
+from repro.sim.allocator import maxmin_allocate
+from repro.throughput.lp import ThroughputResult
+from repro.utils.envknobs import knob_int, knob_str
+
+
+def resolve_sim_params(params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Freeze the route parameters of a ``sim`` request into its params.
+
+    Resolution order: explicit param > environment knob > built-in default
+    (``ecmp``).  ``k`` is only meaningful — and only kept — under ``ksp``
+    routing, so two requests that differ in an irrelevant ``k`` cannot
+    produce distinct cache keys for the same computation.  Mirrors
+    :func:`repro.throughput.backends.normalize_lp_backend_param` /
+    :func:`repro.throughput.sharded.resolve_shard_params`.
+    """
+    params = dict(params or {})
+    routing = params.get("routing") or knob_str("REPRO_SIM_ROUTING", "ecmp")
+    if routing not in ROUTING_MODES:
+        raise ValueError(
+            f"unknown sim routing {routing!r}; expected one of {ROUTING_MODES}"
+        )
+    params["routing"] = routing
+    if routing == "ksp":
+        k = params.get("k")
+        if k is None:
+            k = knob_int("REPRO_SIM_K", DEFAULT_KSP_K)
+        k = int(k)
+        if k < 1:
+            raise ValueError(f"sim k must be >= 1, got {k}")
+        params["k"] = k
+    else:
+        params.pop("k", None)
+    return params
+
+
+def solve_throughput_sim(
+    topology,
+    tm,
+    routing: Optional[str] = None,
+    k: Optional[int] = None,
+) -> ThroughputResult:
+    """Simulated achieved throughput of ``tm`` on ``topology``.
+
+    Accepts a :class:`~repro.topologies.base.Topology` or a bare
+    :class:`~repro.core.ArcGraph` (the service's upload path).  Follows the
+    library's edge-case conventions: a TM with no demand yields ``NaN``
+    (0/0 per :func:`repro.utils.numeric.safe_ratio`), and an instance where
+    some commodity cannot reach its destination yields ``0.0``.
+    """
+    started = time.perf_counter()
+    explicit: Dict[str, Any] = {}
+    if routing is not None:
+        explicit["routing"] = routing
+    if k is not None:
+        explicit["k"] = k
+    resolved = resolve_sim_params(explicit)
+    routing = resolved["routing"]
+    k = resolved.get("k")
+    ag = as_arcgraph(topology)
+    meta: Dict[str, Any] = {"routing": routing}
+    if k is not None:
+        meta["k"] = k
+    if tm.total_demand() <= 0:
+        meta["status"] = "zero-demand"
+        return ThroughputResult(
+            value=math.nan,
+            engine="sim",
+            solve_seconds=time.perf_counter() - started,
+            meta=meta,
+        )
+    routes = compile_routes(ag, tm, routing=routing, k=k)
+    if not routes.routable().all():
+        meta["status"] = "unroutable-commodity"
+        meta["n_unroutable"] = int((~routes.routable()).sum())
+        return ThroughputResult(
+            value=0.0,
+            engine="sim",
+            n_variables=routes.n_subflows,
+            n_constraints=routes.n_arcs,
+            solve_seconds=time.perf_counter() - started,
+            meta=meta,
+        )
+    alloc = maxmin_allocate(routes, ag.caps)
+    meta["status"] = "ok"
+    meta["rounds"] = alloc.rounds
+    meta["n_saturated"] = int(alloc.saturated.sum())
+    meta["max_ratio"] = float(alloc.ratios.max())
+    return ThroughputResult(
+        value=alloc.value,
+        engine="sim",
+        n_variables=routes.n_subflows,
+        n_constraints=routes.n_arcs,
+        solve_seconds=time.perf_counter() - started,
+        meta=meta,
+    )

@@ -1,0 +1,235 @@
+"""Time-stepped fluid dynamics on top of the max-min allocator.
+
+:class:`FluidSimulation` runs a population of finite-volume flows over a
+fixed-route instance through discrete time steps.  At each step the
+equilibrium rates of the currently-active flows come from the same
+progressive-filling allocator the ``sim`` engine uses; actual sending
+rates relax toward that equilibrium with a first-order lag controlled by
+the per-link delay knob — flows on longer routes ramp more slowly, the
+fluid caricature of TCP's RTT-bound window growth (cf. the achieved-vs-
+nominal gap studied in arXiv:0907.3710).  With ``link_delay=0`` rates
+jump straight to equilibrium and a static population reproduces the
+engine's allocation exactly after one step.
+
+Flows arrive via :meth:`add_flow` (a commodity plus a volume to deliver)
+and depart when their remaining volume hits zero; departures free
+capacity that the next step's allocation immediately redistributes.  The
+whole loop is array-native — routes compile once per distinct commodity
+set, rates come from vectorized allocations, and remaining volumes update
+in bulk — so stepping rate (flows × steps / second) is a stress benchmark
+for the compiled core (``benchmarks/test_sim.py``).
+
+Determinism: flow ids are assigned by arrival order, the route cache is
+keyed on sorted commodity ids, and nothing reads a clock or RNG — equal
+call sequences produce bit-identical trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import ArcGraph, RouteSet, as_arcgraph, compile_routes
+from repro.sim.allocator import maxmin_allocate
+
+
+@dataclass
+class FlowState:
+    """One finite-volume flow in the simulation."""
+
+    flow_id: int
+    src: int
+    dst: int
+    volume: float  # remaining volume to deliver
+    rate: float = 0.0  # current sending rate (lags the fair share)
+    delivered: float = 0.0
+    arrived_at: float = 0.0
+    departed_at: Optional[float] = None
+
+
+class FluidSimulation:
+    """Discrete-time fluid simulation of max-min fair flows.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.topologies.base.Topology` or compiled
+        :class:`~repro.core.ArcGraph`.
+    routing, k:
+        Route-set parameters, as for the ``sim`` engine.
+    link_delay:
+        Per-link delay in time units.  A flow whose route spans ``h``
+        weighted hops relaxes toward its fair share with time constant
+        ``h * link_delay``; ``0.0`` (default) disables the lag entirely.
+    """
+
+    def __init__(
+        self,
+        topology,
+        routing: str = "ecmp",
+        k: Optional[int] = None,
+        link_delay: float = 0.0,
+    ) -> None:
+        self.graph: ArcGraph = as_arcgraph(topology)
+        self.routing = routing
+        self.k = k
+        self.link_delay = float(link_delay)
+        self.now = 0.0
+        self.steps = 0
+        self._next_id = 0
+        self._active: Dict[int, FlowState] = {}
+        self.departed: List[FlowState] = []
+        self._route_cache: Dict[Tuple[Tuple[int, int], ...], RouteSet] = {}
+        self._last_spans: Dict[Tuple[int, int], float] = {}
+
+    # -- population -----------------------------------------------------
+
+    def add_flow(self, src: int, dst: int, volume: float) -> int:
+        """Admit a flow carrying ``volume`` from ``src`` to ``dst``."""
+        if volume <= 0 or not math.isfinite(volume):
+            raise ValueError(f"flow volume must be positive, got {volume}")
+        if src == dst:
+            raise ValueError("flow endpoints must differ")
+        flow_id = self._next_id
+        self._next_id += 1
+        self._active[flow_id] = FlowState(
+            flow_id=flow_id,
+            src=int(src),
+            dst=int(dst),
+            volume=float(volume),
+            arrived_at=self.now,
+        )
+        return flow_id
+
+    def remove_flow(self, flow_id: int) -> FlowState:
+        """Withdraw an active flow before it completes (it still departs)."""
+        state = self._active.pop(flow_id)
+        state.departed_at = self.now
+        self.departed.append(state)
+        return state
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def active_flows(self) -> List[FlowState]:
+        """Active flows in arrival order."""
+        return [self._active[fid] for fid in sorted(self._active)]
+
+    # -- dynamics -------------------------------------------------------
+
+    def _routes_for(self, flows: List[FlowState]) -> RouteSet:
+        """Route set for the distinct (src, dst) pairs of ``flows``.
+
+        Cached per commodity set: a churn loop whose flows revisit the
+        same pairs compiles routes once, which is what keeps the stepping
+        benchmark's inner loop allocation-only.
+        """
+        pairs = sorted({(f.src, f.dst) for f in flows})
+        key = tuple(pairs)
+        routes = self._route_cache.get(key)
+        if routes is None:
+            srcs = np.asarray([p[0] for p in pairs], dtype=np.int64)
+            dsts = np.asarray([p[1] for p in pairs], dtype=np.int64)
+            # Unit demands: routes depend on the (src, dst) pairs alone;
+            # live flow counts rescale the weights per step in fair_rates,
+            # so the cached set stays valid as the population churns.
+            routes = compile_routes(
+                self.graph,
+                (srcs, dsts, np.ones(len(pairs))),
+                routing=self.routing,
+                k=self.k,
+            )
+            self._route_cache[key] = routes
+        return routes
+
+    def fair_rates(self) -> Dict[int, float]:
+        """Equilibrium max-min rate of each active flow at this instant.
+
+        Flows of one commodity share its allocation equally (they are
+        indistinguishable fluid), so the commodity demand handed to the
+        allocator is its live flow count; an unroutable commodity's flows
+        get rate 0 and simply never drain (callers can withdraw them).
+        """
+        flows = self.active_flows()
+        if not flows:
+            return {}
+        routes = self._routes_for(flows)
+        pairs = sorted({(f.src, f.dst) for f in flows})
+        index = {p: i for i, p in enumerate(pairs)}
+        counts = np.zeros(len(pairs))
+        for f in flows:
+            counts[index[(f.src, f.dst)]] += 1.0
+        # Scale subflow weights by live flow counts: weight = count * share.
+        scaled = RouteSet(
+            n_arcs=routes.n_arcs,
+            srcs=routes.srcs,
+            dsts=routes.dsts,
+            demands=counts,
+            sub_commodity=routes.sub_commodity,
+            sub_weight=routes.sub_weight * counts[routes.sub_commodity],
+            incidence=routes.incidence,
+            routing=routes.routing,
+            k=routes.k,
+        )
+        alloc = maxmin_allocate(scaled, self.graph.caps)
+        per_commodity = alloc.ratios  # rate per flow of each commodity
+        spans = np.zeros(len(pairs))
+        np.add.at(spans, routes.sub_commodity, routes.sub_arc_span())
+        self._last_spans = {p: float(spans[i]) for p, i in index.items()}
+        return {
+            f.flow_id: float(per_commodity[index[(f.src, f.dst)]]) for f in flows
+        }
+
+    def step(self, dt: float) -> List[FlowState]:
+        """Advance time by ``dt``; returns flows that completed this step.
+
+        Rates relax toward the instantaneous fair share with per-flow
+        smoothing ``alpha = dt / (dt + hops * link_delay)`` (1.0 when
+        ``link_delay`` is 0), then volumes drain at the relaxed rate,
+        capped at the remaining volume.  Completed flows depart at the end
+        of the step; capacity they held is redistributed on the next step,
+        matching the one-step reaction lag of a real transport loop.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        targets = self.fair_rates()
+        finished: List[FlowState] = []
+        for fid in sorted(targets):
+            state = self._active[fid]
+            target = targets[fid]
+            if self.link_delay > 0.0:
+                hops = self._last_spans.get((state.src, state.dst), 1.0)
+                alpha = dt / (dt + hops * self.link_delay)
+                state.rate += alpha * (target - state.rate)
+            else:
+                state.rate = target
+            sent = min(state.rate * dt, state.volume)
+            state.volume -= sent
+            state.delivered += sent
+            if state.volume <= 0.0:
+                finished.append(state)
+        self.now += dt
+        self.steps += 1
+        for state in finished:
+            del self._active[state.flow_id]
+            state.departed_at = self.now
+            state.rate = 0.0
+            self.departed.append(state)
+        return finished
+
+    def run_until_drained(
+        self, dt: float, max_steps: int = 100_000
+    ) -> int:
+        """Step until every flow departs; returns the number of steps."""
+        start = self.steps
+        while self._active:
+            if self.steps - start >= max_steps:
+                raise RuntimeError(
+                    f"simulation did not drain within {max_steps} steps"
+                )
+            self.step(dt)
+        return self.steps - start

@@ -27,7 +27,7 @@ import numpy as np
 from scipy.sparse import csgraph
 
 from repro.core.arcgraph import ArcGraph, as_arcgraph
-from repro.throughput.lp import ThroughputResult
+from repro.throughput.lp import ThroughputResult, zero_demand_result
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
@@ -78,16 +78,37 @@ def solve_throughput_mwu(
     if tm.n_nodes != n:
         raise ValueError("TM / topology size mismatch")
     if tm.total_demand() <= 0:
-        raise ValueError("traffic matrix has no demand")
+        return zero_demand_result("mwu")
     tails, heads, caps = ag.arc_arrays()
     m = ag.n_arcs
 
-    delta = (1 + epsilon) * ((1 + epsilon) * m) ** (-1.0 / epsilon)
-    lengths = np.full(m, delta, dtype=np.float64) / caps
-    load = np.zeros(m, dtype=np.float64)
-
     sources = np.flatnonzero(tm.demand.sum(axis=1) > 0)
     dest_lists = {int(s): np.flatnonzero(tm.demand[s]) for s in sources}
+
+    # A demand pair with no positive-capacity route caps throughput at
+    # exactly 0.0 (the lp engine's infeasible answer); detect it up front
+    # so the phase loop never chases an unreachable destination.
+    hop = csgraph.dijkstra(
+        ag.csr_with(np.where(caps > 0, 1.0, np.inf)),
+        directed=True,
+        indices=sources,
+    )
+    for row, s in enumerate(sources):
+        if np.any(~np.isfinite(hop[row, dest_lists[int(s)]])):
+            return ThroughputResult(
+                value=0.0,
+                engine="mwu",
+                n_variables=m,
+                n_constraints=m,
+                meta={"status": "infeasible", "epsilon": epsilon},
+            )
+
+    delta = (1 + epsilon) * ((1 + epsilon) * m) ** (-1.0 / epsilon)
+    # Zero-capacity arcs (failure overlays) take infinite length, so the
+    # shortest-path routing below never touches them.
+    with np.errstate(divide="ignore"):
+        lengths = np.full(m, delta, dtype=np.float64) / caps
+    load = np.zeros(m, dtype=np.float64)
 
     t0 = time.perf_counter()
     phases = 0
@@ -122,7 +143,10 @@ def solve_throughput_mwu(
     elapsed = time.perf_counter() - t0
     if phases == 0:  # pragma: no cover - cannot happen with delta < 1/m
         raise RuntimeError("MWU made no progress")
-    overload = float(np.max(load / caps))
+    # Only positive-capacity arcs can carry load; zero-cap overlay arcs
+    # would contribute 0/0 here.
+    pos = caps > 0
+    overload = float(np.max(load[pos] / caps[pos]))
     value = phases / overload if overload > 0 else 0.0
     return ThroughputResult(
         value=value,

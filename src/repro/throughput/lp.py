@@ -73,6 +73,20 @@ class ThroughputResult:
         return self.value
 
 
+def zero_demand_result(engine: str) -> ThroughputResult:
+    """The NaN result every engine returns for a TM with no demand.
+
+    Throughput is "what fraction of the demand fits"; with zero demand the
+    question is 0/0, and :func:`repro.utils.numeric.safe_ratio` renders
+    0/0 as NaN.  Returning that (instead of raising) lets sweeps over
+    generated TMs degrade per-instance, matching how downstream ratio
+    columns already treat the value.
+    """
+    return ThroughputResult(
+        value=float("nan"), engine=engine, meta={"status": "zero-demand"}
+    )
+
+
 def _aggregated_demand(
     tm: TrafficMatrix, allow_transpose: bool = True
 ) -> tuple[np.ndarray, np.ndarray, bool]:
@@ -161,8 +175,10 @@ def solve_throughput_lp(
         solved is unchanged, so warm and cold solves of one instance are
         interchangeable (and share a cache key).
 
-    Raises ``ValueError`` on shape mismatch or an all-zero TM.  A throughput
-    of 0.0 is returned only when demand crosses a disconnection, which
+    Raises ``ValueError`` on shape mismatch.  An all-zero TM returns NaN
+    (:func:`zero_demand_result` — the 0/0 convention of
+    :func:`repro.utils.numeric.safe_ratio`); a throughput of 0.0 is
+    returned only when demand crosses a disconnection, which
     :meth:`Topology.validate` normally excludes.
     """
     ag = as_arcgraph(topology)
@@ -172,7 +188,7 @@ def solve_throughput_lp(
             f"TM has {tm.n_nodes} nodes but topology has {n} switches"
         )
     if tm.total_demand() <= 0:
-        raise ValueError("traffic matrix has no demand")
+        return zero_demand_result("lp")
     backend = resolve_lp_backend(lp_backend)
     tails, heads, caps = ag.arc_arrays()
     m = ag.n_arcs

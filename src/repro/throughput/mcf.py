@@ -8,6 +8,9 @@ examples; it dispatches on ``engine``:
   O(arcs) memory (:mod:`repro.throughput.approx`).
 * ``"sharded"`` — source-block decomposition through the batch layer,
   bounded per-shard memory (:mod:`repro.throughput.sharded`).
+* ``"sim"`` — the flow-level fluid simulator: *achieved* max-min fair
+  throughput over fixed ECMP/k-shortest routes (:mod:`repro.sim`), a
+  feasible lower bound on the LP optimum.
 * ``"auto"`` — the size policy of
   :func:`repro.throughput.sharded.select_engine`: dense below the shard
   threshold, the policy's bounded-memory engine above it.
@@ -27,7 +30,7 @@ from repro.throughput.lp import ThroughputResult, solve_throughput_lp
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
-Engine = Literal["lp", "mwu", "sharded", "auto"]
+Engine = Literal["lp", "mwu", "sharded", "sim", "auto"]
 
 #: One-line contract of every engine name the project dispatches, keyed by
 #: the name used in ``SolveRequest.engine`` / ``throughput(engine=...)``.
@@ -57,6 +60,14 @@ ENGINE_GUARANTEES: Dict[str, str] = {
         "fallback runs; otherwise a certified feasible lower bound with a "
         "matching metric-relaxation upper bound in meta; deterministic; "
         "memory O(sources/blocks x arcs) per shard."
+    ),
+    "sim": (
+        "Flow-level fluid simulation: the max-min fair allocation over "
+        "fixed routes (ECMP equal-split by default, k-shortest with "
+        "routing='ksp') — the *achieved* throughput of fair transport, a "
+        "feasible lower bound on the LP optimum (sim <= lp always); "
+        "deterministic and insertion-order independent; memory O(route "
+        "incidence nonzeros)."
     ),
     "auto": (
         "Size policy, not a solver: resolves to 'lp' when the dense LP "
@@ -88,7 +99,8 @@ def throughput(
     engine:
         ``"lp"`` (exact, HiGHS), ``"mwu"`` (Garg–Könemann approximation;
         accepts ``epsilon=``), ``"sharded"`` (block decomposition; accepts
-        ``blocks=``, ``rtol=``, ``max_rounds=``, ``exact_fallback=``), or
+        ``blocks=``, ``rtol=``, ``max_rounds=``, ``exact_fallback=``),
+        ``"sim"`` (fluid simulator; accepts ``routing=``, ``k=``), or
         ``"auto"`` (size policy; see
         :func:`repro.throughput.sharded.select_engine`).  See
         :data:`ENGINE_GUARANTEES` for each engine's exact-vs-bound
@@ -117,6 +129,14 @@ def throughput(
         from repro.throughput.sharded import solve_throughput_sharded
 
         return solve_throughput_sharded(topology, tm, **kwargs)
+    if engine == "sim":
+        # Imported lazily: the simulator builds on repro.core only, but
+        # keeping it out of the base import keeps cold `import repro`
+        # unchanged.
+        from repro.sim.engine import solve_throughput_sim
+
+        return solve_throughput_sim(topology, tm, **kwargs)
     raise ValueError(
-        f"unknown engine {engine!r}; expected 'lp', 'mwu', 'sharded', or 'auto'"
+        f"unknown engine {engine!r}; expected 'lp', 'mwu', 'sharded', "
+        f"'sim', or 'auto'"
     )

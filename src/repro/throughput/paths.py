@@ -17,7 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
-from repro.throughput.lp import ThroughputResult
+from repro.throughput.lp import ThroughputResult, zero_demand_result
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.utils.validation import require_positive_int
@@ -102,7 +102,9 @@ def solve_throughput_on_paths(
     provenance too (see the ``paths`` engine note in
     :func:`repro.batch.jobs.instance_key`).
 
-    Every demand pair must appear in ``path_sets`` with at least one path.
+    A demand pair with no supplied path (a disconnection) yields value
+    0.0 with ``meta["status"] == "unroutable-commodity"``; an empty TM
+    yields NaN (:func:`repro.throughput.lp.zero_demand_result`).
     """
     ag = topology.compile()
     n = ag.n_nodes
@@ -114,7 +116,7 @@ def solve_throughput_on_paths(
     srcs, dsts, weights = tm.pairs()
     n_pairs = srcs.size
     if n_pairs == 0:
-        raise ValueError("traffic matrix has no demand")
+        return zero_demand_result("paths")
 
     # Flatten all paths, remembering which pair each belongs to.
     path_pair: List[int] = []
@@ -123,7 +125,14 @@ def solve_throughput_on_paths(
         key = (int(srcs[pi]), int(dsts[pi]))
         plist = path_sets.get(key, [])
         if not plist:
-            raise ValueError(f"no path supplied for demand pair {key}")
+            # A demand pair with no path (disconnection) pins the
+            # path-restricted optimum at exactly 0.0 — the same answer
+            # the unrestricted LP gives, per the safe_ratio convention.
+            return ThroughputResult(
+                value=0.0,
+                engine="paths",
+                meta={"status": "unroutable-commodity", "pair": list(key)},
+            )
         for p in plist:
             nodes = np.asarray(p, dtype=np.int64)
             arcs = ag.arc_ids(nodes[:-1], nodes[1:])

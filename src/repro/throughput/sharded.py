@@ -65,7 +65,7 @@ from repro.throughput.backends import (
     normalize_lp_backend_param,
     resolve_lp_backend,
 )
-from repro.throughput.lp import ThroughputResult
+from repro.throughput.lp import ThroughputResult, zero_demand_result
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 from repro.utils.envknobs import knob_int, knob_str
@@ -461,7 +461,7 @@ def solve_throughput_sharded(
             f"TM has {tm.n_nodes} nodes but topology has {n} switches"
         )
     if tm.total_demand() <= 0:
-        raise ValueError("traffic matrix has no demand")
+        return zero_demand_result("sharded")
 
     # Lazy imports: repro.batch imports this package's mcf module, so a
     # module-level import here would cycle.

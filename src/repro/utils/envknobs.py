@@ -120,6 +120,24 @@ _DECLARED = [
         "(default: half the in-flight budget); --tenant-cap overrides",
     ),
     EnvKnob(
+        "REPRO_SIM_ROUTING",
+        kind="str",
+        default="ecmp",
+        result_affecting=True,
+        description="route-set mode of the 'sim' fluid-simulator engine "
+        "(ecmp | ksp); frozen into resolved sim params at request "
+        "construction",
+    ),
+    EnvKnob(
+        "REPRO_SIM_K",
+        kind="int",
+        default="4",
+        result_affecting=True,
+        description="paths per commodity when the 'sim' engine routes "
+        "with ksp; ignored (and dropped from cache keys) under ecmp "
+        "routing",
+    ),
+    EnvKnob(
         "REPRO_WHATIF_RTOL",
         kind="float",
         default="1e-6",

@@ -32,6 +32,7 @@ EXPECTED_IDS = {
     "ablation-lp",
     "cut-accuracy",
     "routing-gap",
+    "sim-gap",
     "whatif-failures",
 }
 

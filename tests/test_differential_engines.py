@@ -1,0 +1,244 @@
+"""Differential test harness: the simulator against the LP optimum.
+
+The ``sim`` engine is an *independent second implementation* of
+throughput — different algorithm (water filling vs LP), different code
+path (route compiler + allocator vs sparse LP assembly) — which makes it
+a differential oracle for every engine.  Two properties are fuzzed over
+seeded random instances, on both cache backends, across serial, pooled,
+and warm (cache-hit) runs:
+
+* **Sandwich**: sim <= lp <= mwu/(1-eps)^3 on every instance.  The left
+  inequality is structural (the allocation is a feasible flow); the right
+  is MWU's certified guarantee.  A violation of either means one of the
+  three implementations mis-solved the instance.
+* **Single-bottleneck equality**: on instance families where the max-min
+  fair ECMP allocation is provably optimal (uniform star, path, ring —
+  symmetric instances whose LP optimum saturates every subflow's
+  bottleneck at a common level), sim must equal lp to solver accuracy.
+
+Instance counts satisfy the PR's acceptance floor: 100+ seeded instances
+per cache backend (jsonl + sqlite), every one holding the sandwich.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.batch import BatchSolver, SolveRequest
+from repro.batch.cache import make_cache
+from repro.topologies.base import Topology, make_topology
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic import TrafficMatrix, all_to_all
+from repro.traffic.synthetic import random_matching
+from repro.utils.rng import ensure_rng
+
+#: Coarse MWU accuracy: fast, and the (1-eps)^3 guarantee still yields a
+#: valid upper bound for the sandwich's right side.
+EPSILON = 0.3
+UPPER_FACTOR = (1.0 - EPSILON) ** 3
+
+#: Structural inequalities may drift only by accumulated float noise.
+SLACK = 1e-9
+
+N_RANDOM_INSTANCES = 100
+
+
+def _random_instances(seed: int, count: int) -> list:
+    """``count`` seeded (topology, tm) instances: small jellyfish graphs
+    under a mix of A2A and random-matching TMs (deterministic in seed)."""
+    rng = ensure_rng(seed)
+    instances = []
+    while len(instances) < count:
+        n = int(rng.integers(8, 15))
+        d = int(rng.integers(3, 5))
+        if (n * d) % 2:
+            n += 1
+        topo = jellyfish(n, d, seed=rng)
+        which = len(instances) % 3
+        if which == 0:
+            tm = all_to_all(topo)
+        else:
+            tm = random_matching(topo, n_matchings=which, seed=rng)
+        if tm.total_demand() <= 0:  # pragma: no cover - RM is never empty
+            continue
+        instances.append((topo, tm))
+    return instances
+
+
+def _sandwich_requests(instances) -> list:
+    requests = []
+    for i, (topo, tm) in enumerate(instances):
+        requests.append(SolveRequest(topo, tm, engine="sim", tag=f"sim:{i}"))
+        requests.append(SolveRequest(topo, tm, engine="lp", tag=f"lp:{i}"))
+        requests.append(
+            SolveRequest(
+                topo, tm, engine="mwu", params={"epsilon": EPSILON}, tag=f"mwu:{i}"
+            )
+        )
+    return requests
+
+
+def _values(outcomes) -> dict:
+    return {o.tag: o.require().value for o in outcomes}
+
+
+def _assert_sandwich(values: dict, count: int) -> None:
+    for i in range(count):
+        sim, lp = values[f"sim:{i}"], values[f"lp:{i}"]
+        mwu_upper = values[f"mwu:{i}"] / UPPER_FACTOR
+        assert sim <= lp * (1 + SLACK), f"instance {i}: sim {sim} > lp {lp}"
+        assert lp <= mwu_upper * (1 + SLACK), (
+            f"instance {i}: lp {lp} > mwu upper {mwu_upper}"
+        )
+        assert sim > 0, f"instance {i}: sim not positive"
+
+
+@pytest.fixture(scope="module")
+def cold_sandwich():
+    """One serial cold solve of the full instance set, shared by both
+    cache-backend parametrizations (the cold values are backend-
+    independent; what differs per backend is the warm read-back path)."""
+    instances = _random_instances(seed=2024, count=N_RANDOM_INSTANCES)
+    requests = _sandwich_requests(instances)
+    with BatchSolver(workers=1) as solver:
+        outcomes = solver.solve_many(requests)
+    return instances, requests, outcomes
+
+
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+class TestDifferentialSandwich:
+    def test_sandwich_cold_then_warm(self, backend, tmp_path, cold_sandwich):
+        instances, requests, outcomes = cold_sandwich
+        cold = _values(outcomes)
+        _assert_sandwich(cold, len(instances))
+
+        # Populate this backend with the cold results, then rerun warm on
+        # a fresh solver: zero solves, bit-identical values (the cache
+        # round-trip preserves every engine's result exactly).
+        cache = make_cache(tmp_path / "cache", backend=backend)
+        for req, outcome in zip(requests, outcomes):
+            cache.put(req.key, outcome.require())
+        with BatchSolver(
+            workers=1, cache=make_cache(tmp_path / "cache", backend=backend)
+        ) as solver:
+            warm_outcomes = solver.solve_many(_sandwich_requests(instances))
+            assert solver.stats()["solved"] == 0
+            assert all(o.from_cache for o in warm_outcomes)
+            warm = _values(warm_outcomes)
+        assert warm == cold  # dict equality: bit-identical, no tolerance
+        _assert_sandwich(warm, len(instances))
+
+    def test_pooled_matches_serial(self, backend, tmp_path):
+        # A subset through a worker pool: pooled results must be
+        # bit-identical to serial ones (engines are deterministic and the
+        # pool payload round-trip is lossless).
+        instances = _random_instances(seed=77, count=12)
+        with BatchSolver(workers=1) as solver:
+            serial = _values(solver.solve_many(_sandwich_requests(instances)))
+        cache = make_cache(tmp_path / "cache", backend=backend)
+        with BatchSolver(workers=2, cache=cache) as solver:
+            pooled = _values(solver.solve_many(_sandwich_requests(instances)))
+        assert pooled == serial
+        _assert_sandwich(pooled, len(instances))
+
+
+def _single_bottleneck_instances() -> list:
+    """Instances where max-min fair ECMP is provably LP-optimal.
+
+    Uniform symmetric families whose every commodity meets its bottleneck
+    at the same filling level: the water-filling allocation saturates the
+    same cut the LP does, so sim == lp exactly.
+    """
+    out = []
+    star = make_topology(
+        nx.star_graph(4),
+        servers=np.array([0, 1, 1, 1, 1]),
+        name="star5",
+        family="star",
+    )
+    out.append(("star", star, all_to_all(star)))
+    path = make_topology(
+        nx.path_graph(3), servers=1, name="p3", family="path"
+    )
+    out.append(("path", path, all_to_all(path)))
+    for n in (4, 6, 8):
+        ring = make_topology(
+            nx.cycle_graph(n), servers=1, name=f"c{n}", family="ring"
+        )
+        out.append((f"ring{n}", ring, all_to_all(ring)))
+    return out
+
+
+class TestSingleBottleneckEquality:
+    def _requests(self):
+        reqs = []
+        for name, topo, tm in _single_bottleneck_instances():
+            reqs.append(SolveRequest(topo, tm, engine="sim", tag=f"sim:{name}"))
+            reqs.append(SolveRequest(topo, tm, engine="lp", tag=f"lp:{name}"))
+        return reqs
+
+    def _assert_equal(self, values):
+        for name, _, _ in _single_bottleneck_instances():
+            assert values[f"sim:{name}"] == pytest.approx(
+                values[f"lp:{name}"], rel=1e-9
+            ), name
+
+    def test_serial(self):
+        with BatchSolver(workers=1) as solver:
+            self._assert_equal(_values(solver.solve_many(self._requests())))
+
+    def test_pooled(self):
+        with BatchSolver(workers=2) as solver:
+            self._assert_equal(_values(solver.solve_many(self._requests())))
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_warm(self, backend, tmp_path):
+        cache = make_cache(tmp_path / "cache", backend=backend)
+        with BatchSolver(workers=1, cache=cache) as solver:
+            cold = _values(solver.solve_many(self._requests()))
+        with BatchSolver(
+            workers=1, cache=make_cache(tmp_path / "cache", backend=backend)
+        ) as solver:
+            outcomes = solver.solve_many(self._requests())
+            assert solver.stats()["solved"] == 0
+            warm = _values(outcomes)
+        assert warm == cold
+        self._assert_equal(warm)
+
+
+class TestDifferentialDeterminism:
+    def test_instance_generator_is_seed_stable(self):
+        a = _random_instances(seed=5, count=10)
+        b = _random_instances(seed=5, count=10)
+        for (ta, tma), (tb, tmb) in zip(a, b):
+            assert ta.compile().digest == tb.compile().digest
+            assert tma.content_digest() == tmb.content_digest()
+
+    def test_sim_values_are_rerun_stable(self):
+        instances = _random_instances(seed=11, count=6)
+        def run():
+            with BatchSolver(workers=1) as solver:
+                reqs = [
+                    SolveRequest(t, tm, engine="sim", tag=str(i))
+                    for i, (t, tm) in enumerate(instances)
+                ]
+                return _values(solver.solve_many(reqs))
+        assert run() == run()
+
+
+def test_topology_type_is_exported():
+    # Guard: the harness's instances are real Topology objects, so every
+    # engine path (including paths-style key fingerprinting) stays open.
+    assert all(
+        isinstance(t, Topology) for t, _ in _random_instances(seed=1, count=2)
+    )
+
+
+def test_traffic_matrix_mix_covers_a2a_and_matchings():
+    instances = _random_instances(seed=3, count=6)
+    kinds = {type(tm) for _, tm in instances}
+    assert kinds == {TrafficMatrix} or all(
+        isinstance(tm, TrafficMatrix) for _, tm in instances
+    )

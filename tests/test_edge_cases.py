@@ -122,3 +122,88 @@ class TestNumericalCorners:
         d[0, 1] = 1.0
         tm = TrafficMatrix(demand=d)
         assert tm.is_hose(np.array([1, 1, 0]))
+
+
+# Engines dispatched through throughput(); "paths" has its own signature
+# and is exercised separately below.
+DISPATCH_ENGINES = ("lp", "mwu", "sharded", "sim")
+
+
+@pytest.fixture
+def disconnected_topology():
+    """Two disjoint 4-rings as one Topology (bypasses validate() — these
+    tests pin what the engines do when disconnection reaches them)."""
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])
+    g.add_edges_from([(4, 5), (5, 6), (6, 7), (7, 4)])
+    return Topology("two-rings", g, np.ones(8, dtype=np.int64), "test")
+
+
+class TestZeroDemandSemantics:
+    """An all-zero TM asks 0/0 — every engine answers NaN (the safe_ratio
+    convention), never a raise, so generated sweeps degrade per-instance."""
+
+    @pytest.mark.parametrize("engine", DISPATCH_ENGINES)
+    def test_zero_demand_is_nan(self, tiny_cycle, engine):
+        tm = TrafficMatrix(demand=np.zeros((4, 4)))
+        result = throughput(tiny_cycle, tm, engine=engine)
+        assert np.isnan(result.value)
+        assert result.meta["status"] == "zero-demand"
+        assert result.engine == engine
+
+    def test_zero_demand_paths_engine(self, tiny_cycle):
+        from repro.throughput.llskr import llskr_exact_throughput
+
+        result = llskr_exact_throughput(
+            tiny_cycle, TrafficMatrix(demand=np.zeros((4, 4)))
+        )
+        assert np.isnan(result.value)
+        assert result.meta["status"] == "zero-demand"
+
+    def test_safe_ratio_conventions_anchor(self):
+        # The convention these semantics mirror: 0/0 -> NaN, x/0 -> inf.
+        from repro.utils.numeric import safe_ratio
+
+        assert np.isnan(safe_ratio(0.0, 0.0))
+        assert safe_ratio(1.0, 0.0) == np.inf
+        assert safe_ratio(1.0, 2.0) == 0.5
+
+
+class TestDisconnectedCommoditySemantics:
+    """Demand across a disconnection fits 0 of itself — every engine
+    answers exactly 0.0, never a raise."""
+
+    @pytest.mark.parametrize("engine", DISPATCH_ENGINES)
+    def test_cross_component_demand_is_zero(self, disconnected_topology, engine):
+        tm = all_to_all(disconnected_topology)  # includes cross-ring pairs
+        result = throughput(disconnected_topology, tm, engine=engine)
+        assert result.value == pytest.approx(0.0, abs=1e-12)
+
+    def test_cross_component_paths_engine(self, disconnected_topology):
+        from repro.throughput.llskr import llskr_exact_throughput
+
+        result = llskr_exact_throughput(
+            disconnected_topology, all_to_all(disconnected_topology)
+        )
+        assert result.value == 0.0
+        assert result.meta["status"] == "unroutable-commodity"
+
+    @pytest.mark.parametrize("engine", ("lp", "mwu", "sim"))
+    def test_failure_overlay_disconnection(self, tiny_cycle, engine):
+        # The whatif shape: a compiled overlay that cuts node 0 off.
+        ag = tiny_cycle.compile()
+        aids = ag.arc_ids(np.array([0, 0]), np.array([1, 3]))
+        cut = ag.with_failed_arcs(aids, symmetric=True)
+        result = throughput(cut, all_to_all(tiny_cycle), engine=engine)
+        assert result.value == pytest.approx(0.0, abs=1e-12)
+
+    def test_within_component_demand_still_solves(self, disconnected_topology):
+        # Disconnection only zeroes demands that cross it.
+        n = disconnected_topology.n_switches
+        d = np.zeros((n, n))
+        d[0, 2] = 1.0  # same ring
+        tm = TrafficMatrix(demand=d)
+        for engine in DISPATCH_ENGINES:
+            assert throughput(
+                disconnected_topology, tm, engine=engine
+            ).value > 0.0

@@ -146,6 +146,37 @@ class TestR001SolverBypass:
         )
         assert result.findings == []
 
+    def test_fires_on_direct_sim_call(self, tmp_path):
+        # The simulator entrypoint joined BANNED with the sim PR: direct
+        # calls bypass the cache exactly like direct LP calls do.
+        result = lint(
+            tmp_path,
+            {
+                "repro/evaluation/shortcut.py": """
+                from repro.sim.engine import solve_throughput_sim
+
+                def run(topo, tm):
+                    return solve_throughput_sim(topo, tm).value
+                """
+            },
+            rules=["R001"],
+        )
+        assert rule_ids(result) == ["R001", "R001"]  # import + call
+
+    def test_quiet_inside_sim_package(self, tmp_path):
+        # repro.sim is an ALLOWED_PREFIX: the fluid layer may call its own
+        # allocator-backed entrypoint without routing through the solver.
+        result = lint(
+            tmp_path,
+            {
+                "repro/sim/fluid2.py": """
+                from repro.sim.engine import solve_throughput_sim
+                """
+            },
+            rules=["R001"],
+        )
+        assert result.findings == []
+
 
 class TestR002UnseededRng:
     def test_fires_on_unseeded_default_rng(self, tmp_path):
@@ -387,6 +418,24 @@ class TestR005NetworkxHotPath:
             rules=["R005"],
         )
         assert result.findings == []
+
+    def test_fires_on_networkx_in_sim(self, tmp_path):
+        # repro.sim joined HOT_PREFIXES with the sim PR: the allocator
+        # loop re-runs per fluid step, so graph walks there are per-step
+        # costs, not one-time compilation.
+        result = lint(
+            tmp_path,
+            {
+                "repro/sim/routes2.py": """
+                import networkx as nx
+
+                def routes(topo):
+                    return nx.shortest_path(topo.graph)
+                """
+            },
+            rules=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
 
     def test_quiet_outside_hot_packages(self, tmp_path):
         result = lint(

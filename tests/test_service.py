@@ -344,6 +344,67 @@ class TestConcurrentClients:
         assert sum(t["hits"] for t in cache_tenants.values()) == n_clients - 1
 
 
+class TestSimEngineService:
+    """Satellite: the ``sim`` engine through the live service — uploaded
+    adjacencies reach it as bare ArcGraphs, so the whole path must stay
+    graph-free (no Topology attributes, no networkx)."""
+
+    def test_sim_round_trip_and_key_isolation(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port, tenant="simmer") as client:
+                sim_cold = client.throughput(ring_doc(8, engine="sim"))
+                sim_warm = client.throughput(ring_doc(8, engine="sim"))
+                lp = client.throughput(ring_doc(8, engine="lp"))
+                stats = client.stats()
+        assert sim_cold["from_cache"] is False and sim_warm["from_cache"] is True
+        assert sim_warm["value"] == sim_cold["value"]
+        assert sim_warm["key"] == sim_cold["key"]
+        # Engine is part of the cache key: the same instance under lp must
+        # neither collide with nor warm the sim entry.
+        assert lp["key"] != sim_cold["key"]
+        assert lp["from_cache"] is False
+        # On a uniform ring ECMP water-filling is LP-optimal.
+        assert sim_cold["value"] == pytest.approx(lp["value"], rel=1e-9)
+        assert stats["solver"]["solved"] == 2
+
+    def test_sim_get_query_on_generated_family(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port) as client:
+                got = client._request(
+                    "GET",
+                    "/throughput?family=hypercube&ladder=0&max_servers=24"
+                    "&engine=sim",
+                )
+                lp = client._request(
+                    "GET",
+                    "/throughput?family=hypercube&ladder=0&max_servers=24"
+                    "&engine=lp",
+                )
+        assert got["value"] > 0
+        assert got["key"] != lp["key"]
+        # Hypercube A2A is ECMP-fair: sim captures the LP optimum exactly.
+        assert got["value"] == pytest.approx(lp["value"], rel=1e-9)
+
+    def test_sim_tenant_attribution(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port, tenant="sim-team") as client:
+                client.throughput(ring_doc(6, engine="sim"))
+                client.throughput(ring_doc(6, engine="sim"))
+                stats = client.stats()
+        tenants = stats["solver"]["tenants"]
+        assert tenants["sim-team"]["requests"] == 2
+        assert tenants["sim-team"]["solved"] == 1
+        cache_tenants = stats["cache"]["tenants"]
+        assert cache_tenants["sim-team"]["hits"] == 1
+
+    def test_unknown_engine_still_400(self, session):
+        with serving(session) as (port, _service, _loop):
+            with ServiceClient(port=port) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.throughput(ring_doc(6, engine="fluid"))
+                assert err.value.status == 400
+
+
 # -------------------------------------------------------------------- jobs
 class TestJobStreaming:
     def test_sse_stream_is_bit_identical_to_blocking_run(self, session):

@@ -1,0 +1,339 @@
+"""Unit and property tests for the fluid simulator (repro.sim).
+
+Covers the allocator's defining invariants (capacity feasibility, max-min
+fairness via the saturated-bottleneck certificate, permutation invariance,
+bit-identical reruns), the route compiler's determinism and KSP
+properties, the engine's batch/cache integration, and the time-stepped
+fluid layer's convergence and departure dynamics.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import ArcGraph, RouteSet, as_arcgraph, compile_routes, k_shortest_routes
+from repro.sim import FluidSimulation, maxmin_allocate, resolve_sim_params
+from repro.throughput.mcf import throughput
+from repro.topologies.base import make_topology
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic import all_to_all
+from repro.utils.rng import ensure_rng
+
+
+def _random_instance(seed: int):
+    rng = ensure_rng(seed)
+    n = int(rng.integers(8, 17))
+    d = int(rng.integers(3, 5))
+    if (n * d) % 2:
+        n += 1
+    topo = jellyfish(n, d, seed=rng)
+    return topo, all_to_all(topo)
+
+
+# ------------------------------------------------------------ route compiler
+
+
+class TestCompileRoutes:
+    def test_ecmp_fractions_conserve_unit_flow(self, tiny_cycle):
+        tm = all_to_all(tiny_cycle)
+        routes = compile_routes(tiny_cycle, tm, routing="ecmp")
+        assert routes.n_subflows == routes.n_commodities
+        # Each subflow's net outflow at its source is exactly 1.
+        ag = as_arcgraph(tiny_cycle)
+        inc = routes.incidence.tocsc()
+        for f in range(routes.n_subflows):
+            col = inc.getcol(f)
+            arcs = col.indices
+            fracs = col.data
+            src = routes.srcs[routes.sub_commodity[f]]
+            out_at_src = fracs[ag.tails[arcs] == src].sum()
+            in_at_src = fracs[ag.heads[arcs] == src].sum()
+            assert out_at_src - in_at_src == pytest.approx(1.0)
+
+    def test_digest_independent_of_build_order(self):
+        g1 = nx.Graph()
+        g1.add_edges_from([(0, 1), (1, 2), (2, 3), (3, 0)])
+        g2 = nx.Graph()
+        g2.add_edges_from([(3, 0), (2, 3), (0, 1), (2, 1)])
+        t1 = make_topology(g1, servers=1, name="a", family="ring")
+        t2 = make_topology(g2, servers=1, name="b", family="ring")
+        tm = all_to_all(t1)
+        for routing in ("ecmp", "ksp"):
+            d1 = compile_routes(t1, tm, routing=routing, k=3).content_digest()
+            d2 = compile_routes(t2, tm, routing=routing, k=3).content_digest()
+            assert d1 == d2
+
+    def test_ksp_paths_sorted_loopless_distinct(self, small_hypercube):
+        ag = as_arcgraph(small_hypercube)
+        paths = k_shortest_routes(ag, 0, 7, 6)
+        assert 1 <= len(paths) <= 6
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        for p in paths:
+            assert p[0] == 0 and p[-1] == 7
+            assert len(set(p)) == len(p)  # loopless
+        assert len(set(paths)) == len(paths)  # distinct
+
+    def test_ksp_respects_failed_arcs(self, tiny_cycle):
+        ag = as_arcgraph(tiny_cycle)
+        aids = ag.arc_ids(np.array([0]), np.array([1]))
+        cut = ag.with_failed_arcs(aids, symmetric=True)
+        paths = k_shortest_routes(cut, 0, 1, 4)
+        assert paths == [(0, 3, 2, 1)]
+
+    def test_unroutable_commodity_has_no_subflows(self, tiny_cycle):
+        ag = as_arcgraph(tiny_cycle)
+        aids = ag.arc_ids(np.array([0, 1, 0, 3]), np.array([1, 0, 3, 0]))
+        cut = ag.with_failed_arcs(aids, symmetric=False)
+        routes = compile_routes(cut, all_to_all(tiny_cycle))
+        routable = routes.routable()
+        assert not routable.all() and routable.any()
+        assert routes.subflow_counts()[~routable].sum() == 0
+
+    def test_rejects_bad_inputs(self, tiny_cycle):
+        tm = all_to_all(tiny_cycle)
+        with pytest.raises(ValueError, match="routing"):
+            compile_routes(tiny_cycle, tm, routing="spf")
+        with pytest.raises(ValueError, match="k must be"):
+            compile_routes(tiny_cycle, tm, routing="ksp", k=0)
+        with pytest.raises(ValueError, match="self-commodities"):
+            compile_routes(
+                tiny_cycle,
+                (np.array([1]), np.array([1]), np.array([1.0])),
+            )
+
+
+# ---------------------------------------------------------------- allocator
+
+
+class TestAllocatorInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("routing", ["ecmp", "ksp"])
+    def test_capacity_feasible_on_every_arc(self, seed, routing):
+        topo, tm = _random_instance(seed)
+        ag = as_arcgraph(topo)
+        routes = compile_routes(ag, tm, routing=routing, k=3)
+        alloc = maxmin_allocate(routes, ag.caps)
+        assert np.all(alloc.arc_load <= ag.caps * (1 + 1e-9))
+        assert np.all(alloc.levels >= 0)
+        assert alloc.value <= alloc.ratios.min() + 1e-12
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_maxmin_fairness_certificate(self, seed):
+        # Max-min optimality witness: every subflow crosses a saturated
+        # arc on which no other subflow has a higher level — so raising it
+        # requires lowering a subflow at most as high.
+        topo, tm = _random_instance(seed)
+        ag = as_arcgraph(topo)
+        routes = compile_routes(ag, tm)
+        alloc = maxmin_allocate(routes, ag.caps)
+        inc = routes.incidence.tocsc()
+        arc_sat = np.isclose(alloc.arc_load, ag.caps, rtol=1e-9)
+        row_max_level = np.full(routes.n_arcs, -np.inf)
+        csr = routes.incidence.tocsr()
+        for a in range(routes.n_arcs):
+            subs = csr.indices[csr.indptr[a] : csr.indptr[a + 1]]
+            if subs.size:
+                row_max_level[a] = alloc.levels[subs].max()
+        for f in range(routes.n_subflows):
+            arcs = inc.getcol(f).indices
+            certificate = arc_sat[arcs] & (
+                alloc.levels[f] >= row_max_level[arcs] - 1e-9
+            )
+            assert certificate.any(), f"subflow {f} has no bottleneck witness"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_permutation_invariance_of_commodity_order(self, seed):
+        topo, tm = _random_instance(seed)
+        ag = as_arcgraph(topo)
+        routes = compile_routes(ag, tm)
+        alloc = maxmin_allocate(routes, ag.caps)
+        rng = ensure_rng(seed + 1000)
+        perm = rng.permutation(routes.n_commodities)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(perm.size)
+        # Rebuild the same route set with commodities (and their subflow
+        # columns) permuted; the per-commodity outcome must be identical.
+        order = np.argsort(inv[routes.sub_commodity], kind="stable")
+        shuffled = RouteSet(
+            n_arcs=routes.n_arcs,
+            srcs=routes.srcs[perm],
+            dsts=routes.dsts[perm],
+            demands=routes.demands[perm],
+            sub_commodity=inv[routes.sub_commodity][order],
+            sub_weight=routes.sub_weight[order],
+            incidence=routes.incidence.tocsc()[:, order].tocsr(),
+            routing=routes.routing,
+            k=routes.k,
+        )
+        alloc2 = maxmin_allocate(shuffled, ag.caps)
+        assert alloc2.value == pytest.approx(alloc.value, abs=1e-12)
+        np.testing.assert_allclose(
+            alloc2.ratios, alloc.ratios[perm], rtol=0, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bit_identical_reruns(self, seed):
+        topo, tm = _random_instance(seed)
+        ag = as_arcgraph(topo)
+        runs = []
+        for _ in range(2):
+            routes = compile_routes(ag, tm)
+            alloc = maxmin_allocate(routes, ag.caps)
+            runs.append((routes.content_digest(), alloc))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1].value == runs[1][1].value  # bit-identical, no tol
+        assert np.array_equal(runs[0][1].levels, runs[1][1].levels)
+        assert np.array_equal(runs[0][1].ratios, runs[1][1].ratios)
+
+    def test_progressive_filling_on_shared_bottleneck(self):
+        # Two commodities share arc 0->1 (cap 1); one also continues over
+        # 1->2 (cap 3).  Max-min: both get 1/2 on the shared bottleneck.
+        ag = ArcGraph.from_arrays(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 3.0])
+        )
+        routes = compile_routes(
+            ag, (np.array([0, 0]), np.array([1, 2]), np.array([1.0, 1.0]))
+        )
+        alloc = maxmin_allocate(routes, ag.caps)
+        np.testing.assert_allclose(alloc.ratios, [0.5, 0.5])
+        assert alloc.rounds == 1
+
+    def test_weighted_demands_fill_proportionally(self):
+        # Demands 3 and 1 through one cap-1 arc: levels equalize, rates
+        # split 3/4 vs 1/4.
+        ag = ArcGraph.from_arrays(
+            2, np.array([0]), np.array([1]), np.array([1.0])
+        )
+        routes = compile_routes(
+            ag, (np.array([0, 0]), np.array([1, 1]), np.array([3.0, 1.0]))
+        )
+        alloc = maxmin_allocate(routes, ag.caps)
+        np.testing.assert_allclose(alloc.rates, [0.75, 0.25])
+        np.testing.assert_allclose(alloc.ratios, [0.25, 0.25])
+
+
+# ------------------------------------------------------------------- engine
+
+
+class TestSimEngine:
+    def test_resolve_params_freezes_routing_and_drops_stray_k(self):
+        assert resolve_sim_params({}) == {"routing": "ecmp"}
+        assert resolve_sim_params({"k": 5}) == {"routing": "ecmp"}
+        assert resolve_sim_params({"routing": "ksp"}) == {"routing": "ksp", "k": 4}
+        assert resolve_sim_params({"routing": "ksp", "k": 2}) == {
+            "routing": "ksp",
+            "k": 2,
+        }
+        with pytest.raises(ValueError, match="routing"):
+            resolve_sim_params({"routing": "bogus"})
+
+    def test_env_knobs_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ROUTING", "ksp")
+        monkeypatch.setenv("REPRO_SIM_K", "2")
+        assert resolve_sim_params({}) == {"routing": "ksp", "k": 2}
+
+    def test_engine_metadata_and_dispatch(self, tiny_cycle):
+        result = throughput(tiny_cycle, all_to_all(tiny_cycle), engine="sim")
+        assert result.engine == "sim"
+        assert result.meta["status"] == "ok"
+        assert result.meta["routing"] == "ecmp"
+        assert result.n_variables > 0 and result.n_constraints > 0
+
+    def test_sim_equals_lp_on_symmetric_fixtures(self, tiny_cycle, tiny_star):
+        for topo in (tiny_cycle, tiny_star):
+            tm = all_to_all(topo)
+            sim = throughput(topo, tm, engine="sim").value
+            lp = throughput(topo, tm, engine="lp").value
+            assert sim == pytest.approx(lp, rel=1e-9)
+
+    def test_ksp_engine_below_lp(self, tiny_cycle):
+        tm = all_to_all(tiny_cycle)
+        sim = throughput(tiny_cycle, tm, engine="sim", routing="ksp", k=4)
+        lp = throughput(tiny_cycle, tm, engine="lp")
+        assert sim.value <= lp.value * (1 + 1e-9)
+        assert sim.meta["k"] == 4
+
+    def test_accepts_bare_arcgraph(self, tiny_cycle):
+        ag = as_arcgraph(tiny_cycle)
+        tm = all_to_all(tiny_cycle)
+        from_topo = throughput(tiny_cycle, tm, engine="sim").value
+        from_ag = throughput(ag, tm, engine="sim").value
+        assert from_ag == from_topo
+
+
+# -------------------------------------------------------------------- fluid
+
+
+class TestFluidSimulation:
+    def test_static_population_matches_engine_allocation(self, tiny_cycle):
+        sim = FluidSimulation(tiny_cycle)
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    sim.add_flow(u, v, volume=1000.0)
+        rates = sim.fair_rates()
+        # One flow per pair on C4: symmetric, every flow gets 1/2.
+        assert set(round(r, 9) for r in rates.values()) == {0.5}
+
+    def test_flows_drain_and_depart(self, tiny_cycle):
+        sim = FluidSimulation(tiny_cycle)
+        fid = sim.add_flow(0, 2, volume=2.0)
+        steps = sim.run_until_drained(dt=0.5)
+        assert sim.n_active == 0
+        assert steps >= 2
+        done = sim.departed[0]
+        assert done.flow_id == fid
+        assert done.delivered == pytest.approx(2.0)
+        assert done.departed_at == pytest.approx(sim.now)
+
+    def test_departure_frees_capacity(self, tiny_cycle):
+        sim = FluidSimulation(tiny_cycle)
+        sim.add_flow(0, 1, volume=0.25)  # drains after the first step
+        survivor = sim.add_flow(1, 0, volume=100.0)
+        r0 = sim.fair_rates()[survivor]
+        sim.step(1.0)
+        assert sim.n_active == 1
+        r1 = sim.fair_rates()[survivor]
+        assert r1 >= r0  # freed capacity can only help
+
+    def test_link_delay_throttles_ramp_up(self, tiny_cycle):
+        fast = FluidSimulation(tiny_cycle, link_delay=0.0)
+        slow = FluidSimulation(tiny_cycle, link_delay=4.0)
+        for sim in (fast, slow):
+            sim.add_flow(0, 2, volume=1e9)
+            sim.step(1.0)
+        f = fast.active_flows()[0].rate
+        s = slow.active_flows()[0].rate
+        assert s < f
+        # The lagged rate converges to the fair share from below.
+        for _ in range(200):
+            slow.step(1.0)
+        assert slow.active_flows()[0].rate == pytest.approx(f, rel=1e-3)
+
+    def test_deterministic_trajectories(self, small_hypercube):
+        def run():
+            sim = FluidSimulation(small_hypercube, link_delay=1.0)
+            rng = ensure_rng(3)
+            log = []
+            for i in range(30):
+                pair = rng.integers(0, 8, size=2)
+                if pair[0] != pair[1]:
+                    sim.add_flow(int(pair[0]), int(pair[1]), 1.0 + i % 3)
+                sim.step(0.5)
+                log.append((sim.n_active, sim.now))
+            sim.run_until_drained(dt=0.5)
+            return log, [f.departed_at for f in sim.departed]
+
+        assert run() == run()  # bit-identical, no tolerance
+
+    def test_rejects_degenerate_flows(self, tiny_cycle):
+        sim = FluidSimulation(tiny_cycle)
+        with pytest.raises(ValueError, match="volume"):
+            sim.add_flow(0, 1, volume=0.0)
+        with pytest.raises(ValueError, match="endpoints"):
+            sim.add_flow(2, 2, volume=1.0)
+        with pytest.raises(ValueError, match="dt"):
+            sim.step(0.0)

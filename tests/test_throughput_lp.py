@@ -124,9 +124,12 @@ class TestEngineMechanics:
             else:
                 assert inflow - outflow == pytest.approx(demand_in, abs=1e-6)
 
-    def test_zero_tm_rejected(self, tiny_cycle):
-        with pytest.raises(ValueError):
-            throughput(tiny_cycle, TrafficMatrix(demand=np.zeros((4, 4))))
+    def test_zero_tm_is_nan(self, tiny_cycle):
+        # 0/0 answers NaN per the safe_ratio convention, never raises
+        # (tests/test_edge_cases.py pins this for every engine).
+        res = throughput(tiny_cycle, TrafficMatrix(demand=np.zeros((4, 4))))
+        assert np.isnan(res.value)
+        assert res.meta["status"] == "zero-demand"
 
     def test_size_mismatch_rejected(self, tiny_cycle):
         with pytest.raises(ValueError):

@@ -89,11 +89,16 @@ class TestPathRestrictedLP:
         assert restricted.value == pytest.approx(1.0)
         assert throughput(tiny_cycle, tm).value == pytest.approx(2.0)
 
-    def test_missing_path_raises(self, tiny_cycle):
+    def test_missing_path_is_unroutable_zero(self, tiny_cycle):
+        # A demand pair with no supplied path answers 0.0, never raises —
+        # the same convention every engine follows for disconnections
+        # (tests/test_edge_cases.py).
         d = np.zeros((4, 4))
         d[0, 2] = 1.0
-        with pytest.raises(ValueError):
-            solve_throughput_on_paths(tiny_cycle, TrafficMatrix(demand=d), {})
+        res = solve_throughput_on_paths(tiny_cycle, TrafficMatrix(demand=d), {})
+        assert res.value == 0.0
+        assert res.meta["status"] == "unroutable-commodity"
+        assert res.meta["pair"] == [0, 2]
 
     def test_restriction_never_exceeds_full(self, small_jellyfish):
         tm = all_to_all(small_jellyfish)
