@@ -1,0 +1,168 @@
+"""Perf benchmark for the compiled LP model cache (repro.throughput.modelcache).
+
+Times the **assembly kernel** — the stage the skeleton cache optimizes — on
+a what-if failure ensemble: 50 symmetric cable-failure overlays of one
+jellyfish instance, every overlay sharing the parent's structure digest and
+demand sparsity (exactly the workload the cache is keyed for).
+
+* **cold** — the model cache disabled (``reset_model_cache(0)``): every
+  scenario recompiles the constraint-matrix pattern from scratch, the
+  seed-path behavior;
+* **skeleton** — the cache at its default capacity: one build serves the
+  whole ensemble, each assembly is a vectorized data swap on the shared
+  pattern.
+
+The headline number is ensemble **scenarios/sec** through the assembly
+stage, cold vs skeleton-served, asserted >= 3x.  Bit-identity of *full
+solves* across the two paths is verified alongside (same values, same
+dual/usage vectors), as is build accounting (assemblies == distinct
+structures, not distinct scenarios) and cache-key blindness
+(``instance_key`` identical under both cache states).  Results go to
+``BENCH_kernel.json`` at the repo root so the perf trajectory is recorded
+run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import instance_key
+from repro.core.arcgraph import as_arcgraph
+from repro.throughput.lp import assemble_throughput_lp, solve_throughput_lp
+from repro.throughput.modelcache import (
+    DEFAULT_CAPACITY,
+    model_cache,
+    reset_model_cache,
+)
+from repro.topologies.jellyfish import jellyfish
+from repro.traffic import all_to_all
+from repro.whatif.scenarios import random_failures
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+#: Ensemble shape: the whatif-smoke scale (tens of switches), 50 draws.
+N_SWITCHES = 32
+DEGREE = 6
+N_SCENARIOS = 50
+N_FAIL = 2
+
+#: Full-solve bit-identity is verified on this many ensemble members
+#: (full LPs are ~1000x the assembly cost, so not on all 50).
+N_SOLVE_CHECK = 3
+
+REQUIRED_SPEEDUP = 3.0
+
+#: Median-of-N timing repeats for each sweep variant.
+REPEATS = 5
+
+
+def _median_sweep_seconds(overlays, tm, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for graph in overlays:
+            assemble_throughput_lp(graph, tm)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def test_modelcache_assembly_kernel_and_record():
+    topo = jellyfish(N_SWITCHES, DEGREE, seed=0)
+    ag = as_arcgraph(topo)
+    tm = all_to_all(topo)
+    scenarios = random_failures(ag, N_FAIL, samples=N_SCENARIOS, seed=1)
+    overlays = [ag.with_caps(s.caps) for s in scenarios]
+
+    # Cable failures are symmetric, so every overlay keeps the parent's
+    # structure digest and transpose flag: ONE distinct structure.
+    assert all(g.structure_digest == ag.structure_digest for g in overlays)
+
+    key_cold_state = instance_key(ag, tm)
+
+    # -------- cold: every scenario recompiles the pattern from scratch.
+    reset_model_cache(0)
+    _median_sweep_seconds(overlays, tm, repeats=1)  # warm code paths once
+    reset_model_cache(0)
+    cold_s = _median_sweep_seconds(overlays, tm)
+    cold_stats = model_cache().stats()
+
+    # -------- skeleton-served: one build, data swaps thereafter.
+    reset_model_cache(DEFAULT_CAPACITY)
+    t0 = time.perf_counter()
+    assemble_throughput_lp(overlays[0], tm)  # the one real build
+    build_s = time.perf_counter() - t0
+    warm_s = _median_sweep_seconds(overlays, tm)
+    warm_stats = model_cache().stats()
+
+    speedup = cold_s / max(warm_s, 1e-12)
+
+    # -------- bit-identity of full solves across the two paths.
+    solve_checked = []
+    for graph in overlays[:N_SOLVE_CHECK]:
+        reset_model_cache(0)
+        cold = solve_throughput_lp(graph, tm, want_flows=True, want_duals=True)
+        reset_model_cache(DEFAULT_CAPACITY)
+        solve_throughput_lp(graph, tm)  # build
+        warm = solve_throughput_lp(graph, tm, want_flows=True, want_duals=True)
+        assert warm.meta["skeleton"] == "hit"
+        assert cold.value == warm.value
+        assert np.array_equal(cold.flows, warm.flows)
+        for key in ("arc_usage", "capacity_duals"):
+            assert np.array_equal(cold.meta[key], warm.meta[key])
+        solve_checked.append(cold.value)
+    reset_model_cache(DEFAULT_CAPACITY)
+
+    key_warm_state = instance_key(ag, tm)
+
+    record = {
+        "benchmark": "modelcache_kernel",
+        "topology": topo.name,
+        "n_switches": topo.n_switches,
+        "n_arcs": ag.n_arcs,
+        "n_scenarios": N_SCENARIOS,
+        "n_fail_per_scenario": N_FAIL,
+        "distinct_structures": 1,
+        "cold_assembly": {
+            "seconds": cold_s,
+            "scenarios_per_sec": N_SCENARIOS / cold_s,
+            "builds": cold_stats["builds"],
+        },
+        "skeleton_reuse": {
+            "seconds": warm_s,
+            "scenarios_per_sec": N_SCENARIOS / warm_s,
+            "one_time_build_s": build_s,
+            "builds": warm_stats["builds"],
+            "hits": warm_stats["hits"],
+            "speedup_vs_cold": speedup,
+        },
+        "bit_identical_full_solves": {
+            "checked": len(solve_checked),
+            "values": solve_checked,
+        },
+        "instance_key_unchanged": key_cold_state == key_warm_state,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # The contract the PR ships: >= 3x ensemble assembly throughput, one
+    # build per distinct structure (not per scenario), keys untouched.
+    assert speedup >= REQUIRED_SPEEDUP, record
+    assert warm_stats["builds"] == 1, warm_stats  # == distinct structures
+    # Disabled cache pays a rebuild per assembly: every repeat, every
+    # scenario (the per-solve cost the skeleton path amortizes away).
+    assert cold_stats["builds"] == N_SCENARIOS * REPEATS, cold_stats
+    assert key_cold_state == key_warm_state
+
+
+def test_bench_kernel_json_is_fresh_and_passing():
+    """The committed BENCH_kernel.json reflects a passing run of this file."""
+    doc = json.loads(BENCH_PATH.read_text())
+    assert doc["benchmark"] == "modelcache_kernel"
+    assert doc["n_scenarios"] == N_SCENARIOS
+    assert doc["skeleton_reuse"]["speedup_vs_cold"] >= REQUIRED_SPEEDUP
+    assert doc["skeleton_reuse"]["builds"] == doc["distinct_structures"] == 1
+    assert doc["instance_key_unchanged"] is True

@@ -127,9 +127,16 @@ def api_markdown() -> str:
     import repro.api as api_module
     import repro.batch as batch_module
     import repro.core as core_module
+    import importlib
+
     import repro.lint as lint_module
     import repro.service as service_module
     import repro.sim as sim_module
+
+    # ``import repro.throughput.modelcache as ...`` would bind through
+    # ``repro.throughput``, which the top-level package shadows with the
+    # ``throughput()`` convenience function; go through importlib.
+    modelcache_module = importlib.import_module("repro.throughput.modelcache")
     from repro.throughput.backends import LP_BACKENDS
     from repro.throughput.mcf import ENGINE_GUARANTEES
 
@@ -159,6 +166,9 @@ def api_markdown() -> str:
     lines.extend(_module_section("repro.core", core_module))
     lines.extend(_module_section("repro.api", api_module))
     lines.extend(_module_section("repro.batch", batch_module))
+    lines.extend(
+        _module_section("repro.throughput.modelcache", modelcache_module)
+    )
     lines.extend(_module_section("repro.sim", sim_module))
     lines.extend(_module_section("repro.service", service_module))
     lines.extend(_module_section("repro.lint", lint_module))

@@ -24,7 +24,7 @@ from typing import Any, Dict, Iterator, Optional, Union
 from repro.core.arcgraph import ArcGraph, as_arcgraph
 from repro.throughput.backends import normalize_lp_backend_param
 from repro.throughput.lp import ThroughputResult
-from repro.throughput.warmstart import SolveHint
+from repro.throughput.warmstart import BoundScreen, SolveHint
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
 
@@ -186,6 +186,14 @@ class SolveRequest:
         the solve when the hint's interval already answers the query — so
         it is deliberately **not** part of the key or the params: hinted
         and unhinted solves of the same instance share one cache entry.
+    screen:
+        Optional precomputed
+        :class:`~repro.throughput.warmstart.BoundScreen` verdict for this
+        request's capacities — the what-if engine screens a whole
+        ensemble with one vectorized pass and attaches the per-scenario
+        verdicts here, so the batch layer's bound-skip check consumes the
+        result instead of re-deriving it per request.  Advisory like
+        ``hint``: never part of the key, the params, or any cached value.
 
     **Worker payloads** — pickling a request whose engine consumes only
     the compiled instance (``lp``, ``mwu``, ``sim``) replaces the topology
@@ -202,6 +210,7 @@ class SolveRequest:
     params: Dict[str, Any] = field(default_factory=dict)
     tag: str = ""
     hint: Optional["SolveHint"] = field(default=None, repr=False, compare=False)
+    screen: Optional["BoundScreen"] = field(default=None, repr=False, compare=False)
     _key: Optional[str] = field(default=None, repr=False, compare=False)
 
     #: Engines whose solve consumes only the compiled array form — their

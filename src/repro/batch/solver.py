@@ -56,6 +56,7 @@ from repro.batch.jobs import BATCH_ENGINES, SolveOutcome, SolveRequest
 from repro.batch.tenancy import current_tenant
 from repro.throughput.lp import ThroughputResult
 from repro.throughput.mcf import throughput
+from repro.throughput.modelcache import group_chunks, request_group_key
 
 
 def _pinned_params(request: SolveRequest) -> dict:
@@ -127,19 +128,27 @@ def bound_skip_result(request: SolveRequest) -> Optional[ThroughputResult]:
     the caller wants the plain value — ``want_flows`` / ``want_duals``
     require arrays a skipped solve cannot produce.  A hint whose shape does
     not match the instance falls through to a real solve.
+
+    A request carrying a precomputed
+    :class:`~repro.throughput.warmstart.BoundScreen` (the what-if engine
+    screens its whole ensemble with one vectorized pass) has its verdict
+    consumed directly — no per-request bound math at all.
     """
     hint = request.hint
     if hint is None or request.engine != "lp":
         return None
     if request.params.get("want_flows") or request.params.get("want_duals"):
         return None
-    from repro.core.arcgraph import as_arcgraph
+    if request.screen is not None:
+        answer = request.screen.answer
+    else:
+        from repro.core.arcgraph import as_arcgraph
 
-    try:
-        caps = as_arcgraph(request.topology).caps
-        answer = hint.answers(caps)
-    except (ValueError, TypeError):
-        return None
+        try:
+            caps = as_arcgraph(request.topology).caps
+            answer = hint.answers(caps)
+        except (ValueError, TypeError):
+            return None
     if answer is None:
         return None
     lower, upper = answer
@@ -164,6 +173,39 @@ def _solve_captured(request: SolveRequest) -> Tuple[Optional[ThroughputResult], 
         return _dispatch(request), None
     except Exception as exc:  # noqa: BLE001 - per-job isolation is the point
         return None, f"{type(exc).__name__}: {exc}"
+
+
+def _skeleton_counts(result: Optional[ThroughputResult]) -> Dict[str, int]:
+    """``_bump`` kwargs for a *fresh* solve's model-cache outcome.
+
+    The ``lp`` engine stamps ``meta["skeleton"]`` on every solve — "hit"
+    when the constraint pattern came from the worker's compiled-model
+    cache, "miss" when it was built cold.  The meta travels back from
+    pool workers with the result, which is how per-worker cache activity
+    becomes visible in parent-side stats.  Results from the *result*
+    cache also carry the (stale) marker, so callers must only pass
+    freshly solved results here.
+    """
+    state = (result.meta or {}).get("skeleton") if result is not None else None
+    if state == "hit":
+        return {"skeleton_hits": 1}
+    if state == "miss":
+        return {"skeleton_misses": 1}
+    return {}
+
+
+def _solve_chunk_captured(
+    requests: Sequence[SolveRequest],
+) -> List[Tuple[Optional[ThroughputResult], Optional[str]]]:
+    """Worker entry point for a same-skeleton chunk of requests.
+
+    Solving a chunk sequentially in one worker means the first request
+    builds the skeleton into that worker's model cache and the rest
+    data-swap against it; the chunk payload also pickles the shared
+    ArcGraph arrays and TM once instead of per request.  Must stay a
+    module-level function (pickled by the process pool).
+    """
+    return [_solve_captured(req) for req in requests]
 
 
 def _available_cpus() -> int:
@@ -249,6 +291,14 @@ class BatchSolver:
         #: Requests answered by a parent-solve hint's bound interval alone
         #: (no LP run, no cache write) — see :func:`bound_skip_result`.
         self.n_bound_skips = 0
+        #: Fresh ``lp`` solves whose constraint matrix came from the
+        #: compiled-model cache (``hits``) vs. was built cold (``misses``)
+        #: — read from each result's ``meta["skeleton"]``, so pool-worker
+        #: solves count too (each worker holds its own skeleton cache; see
+        #: :mod:`repro.throughput.modelcache`).  Cache hits and bound
+        #: skips perform no assembly and count in neither bucket.
+        self.n_skeleton_hits = 0
+        self.n_skeleton_misses = 0
         #: Observability hooks (see Session.stream): ``progress_callback``
         #: fires after every job resolution (solve, cache hit, or error) with
         #: the solver itself; ``batch_callback`` fires once per completed
@@ -300,6 +350,8 @@ class BatchSolver:
         errors: int = 0,
         shard_jobs: int = 0,
         bound_skips: int = 0,
+        skeleton_hits: int = 0,
+        skeleton_misses: int = 0,
     ) -> None:
         """Increment counters atomically, attributing to the ambient tenant.
 
@@ -317,6 +369,8 @@ class BatchSolver:
             self.n_errors += errors
             self.n_shard_jobs += shard_jobs
             self.n_bound_skips += bound_skips
+            self.n_skeleton_hits += skeleton_hits
+            self.n_skeleton_misses += skeleton_misses
             if tenant:
                 t = self.tenant_stats.setdefault(
                     tenant,
@@ -457,7 +511,7 @@ class BatchSolver:
                         # in-flight solve, not a fresh solve here.
                         self._bump(cache_hits=1)
                     else:
-                        self._bump(solved=1)
+                        self._bump(solved=1, **_skeleton_counts(result))
                 else:
                     self._bump(errors=1)
                 self._fire_progress()
@@ -709,7 +763,7 @@ class BatchSolver:
     ) -> None:
         req = entry.request
         if error is None and result is not None:
-            self._bump(solved=1)
+            self._bump(solved=1, **_skeleton_counts(result))
             if entry.use_cache:
                 self.cache.put(req.key, result)
         else:
@@ -816,25 +870,46 @@ class BatchSolver:
         self, requests: Sequence[SolveRequest]
     ) -> List[Tuple[Optional[ThroughputResult], Optional[str]]]:
         pool = self._ensure_pool()
+        # Same-skeleton ``lp`` requests (one failure ensemble, one sharded
+        # block family) are chunked so each worker solves its share
+        # sequentially: the first solve builds the constraint pattern into
+        # that worker's model cache, the rest data-swap against it, and
+        # the chunk payload pickles the shared arrays once.  A group still
+        # spans up to ``workers`` chunks, so parallelism is preserved; the
+        # batch ``timeout`` budgets a whole chunk like one job.  Grouping
+        # is an accelerator only: outcomes are position-mapped back, so
+        # values and ordering are identical to per-request submission.
+        chunks = group_chunks(
+            [request_group_key(req) for req in requests], self.workers
+        )
         futures = []
         submit_error: Optional[str] = None
-        for req in requests:
+        for chunk in chunks:
             if submit_error is not None:
-                futures.append(None)
+                futures.append((chunk, None))
                 continue
             try:
-                futures.append(pool.submit(_solve_captured, req))
+                if len(chunk) == 1:
+                    fut = pool.submit(_solve_captured, requests[chunk[0]])
+                else:
+                    fut = pool.submit(
+                        _solve_chunk_captured, [requests[i] for i in chunk]
+                    )
+                futures.append((chunk, fut))
             except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
                 submit_error = f"{type(exc).__name__}: {exc}"
-                futures.append(None)
+                futures.append((chunk, None))
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )
-        results: List[Tuple[Optional[ThroughputResult], Optional[str]]] = []
+        results: List[Tuple[Optional[ThroughputResult], Optional[str]]] = [
+            (None, None)
+        ] * len(requests)
         needs_recycle = submit_error is not None
-        for fut in futures:
+        for chunk, fut in futures:
             if fut is None:
-                results.append((None, submit_error))
+                for i in chunk:
+                    results[i] = (None, submit_error)
                 continue
             try:
                 remaining = (
@@ -842,19 +917,27 @@ class BatchSolver:
                     if deadline is not None
                     else None
                 )
-                results.append(fut.result(timeout=remaining))
+                payload = fut.result(timeout=remaining)
             except FuturesTimeout:
                 needs_recycle = True
-                results.append(
-                    (
-                        None,
-                        f"TimeoutError: job not finished within {self.timeout}s "
-                        "of batch submission",
-                    )
+                error = (
+                    f"TimeoutError: job not finished within {self.timeout}s "
+                    "of batch submission"
                 )
+                for i in chunk:
+                    results[i] = (None, error)
+                continue
             except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
                 needs_recycle = True
-                results.append((None, f"{type(exc).__name__}: {exc}"))
+                error = f"{type(exc).__name__}: {exc}"
+                for i in chunk:
+                    results[i] = (None, error)
+                continue
+            if len(chunk) == 1:
+                results[chunk[0]] = payload
+            else:
+                for i, res in zip(chunk, payload):
+                    results[i] = res
         if needs_recycle:
             # A dead worker poisons a ProcessPoolExecutor forever, and a
             # timed-out job would pin its worker (and block close()); start
@@ -882,6 +965,8 @@ class BatchSolver:
                 "errors": self.n_errors,
                 "shard_jobs": self.n_shard_jobs,
                 "bound_skips": self.n_bound_skips,
+                "skeleton_hits": self.n_skeleton_hits,
+                "skeleton_misses": self.n_skeleton_misses,
             }
             if self.tenant_stats:
                 snap["tenants"] = {
@@ -901,6 +986,10 @@ class BatchSolver:
             "errors": self.n_errors - snapshot["errors"],
             "shard_jobs": self.n_shard_jobs - snapshot.get("shard_jobs", 0),
             "skipped_by_bound": self.n_bound_skips - snapshot.get("bound_skips", 0),
+            "skeleton_hits": self.n_skeleton_hits
+            - snapshot.get("skeleton_hits", 0),
+            "skeleton_misses": self.n_skeleton_misses
+            - snapshot.get("skeleton_misses", 0),
         }
         with self._lock:
             if self.tenant_stats:

@@ -651,11 +651,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(result.render())
             batch = result.extras.get("batch", {})
             skipped = batch.get("skipped_by_bound", 0)
+            skeleton_hits = batch.get("skeleton_hits", 0)
             print(
                 f"[{exp_id} finished in {elapsed:.1f}s; "
                 f"{batch.get('solved', 0)} solved, "
                 f"{batch.get('cache_hits', 0)} cache hits, "
                 + (f"{skipped} bound-skipped, " if skipped else "")
+                + (
+                    f"{skeleton_hits} skeleton hits, "
+                    if skeleton_hits
+                    else ""
+                )
                 + f"{batch.get('errors', 0)} errors]"
             )
             print()

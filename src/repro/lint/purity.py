@@ -1,4 +1,4 @@
-"""Per-module invariant rules R001–R005.
+"""Per-module invariant rules R001–R005 and R007.
 
 Each rule encodes a bug class this repo has actually shipped (see the
 "Static invariants" section of DESIGN.md for the history):
@@ -25,6 +25,17 @@ Each rule encodes a bug class this repo has actually shipped (see the
   per PR 5 (the simulator's allocator loop per PR 9): a networkx import
   there reintroduces graph-walk costs and fat pool payloads on the hot
   path (and, for the service, in every request).
+* **R007 modelcache-in-key** — the compiled LP model cache
+  (:mod:`repro.throughput.modelcache`) is an *accelerator*: skeletons,
+  skeleton keys, and hit/miss state are derived from an instance, never
+  part of its identity.  Anything modelcache-derived feeding
+  ``instance_key`` (or any key/digest construction) would make result
+  cache keys depend on per-process cache state — the same poisoned-key
+  shape as the PR 5 backend bug, but sneakier because a skeleton *looks*
+  deterministic.
+
+(R006 registry-coverage is cross-file and lives in
+:mod:`repro.lint.registry`.)
 """
 
 from __future__ import annotations
@@ -416,4 +427,98 @@ class NetworkxHotPathRule(Rule):
                             "hot-path package; operate on the compiled "
                             "ArcGraph instead",
                             node.col_offset,
+                        )
+
+
+# --------------------------------------------------------------- R007
+
+
+#: Callees that construct keys/digests: R004's key-ish names plus the
+#: concrete hashlib constructors (``sha256`` has no "hash" in its name but
+#: is exactly where a leaked skeleton would get baked into a key).
+_R007_KEYED_NAME = re.compile(
+    r"(key|digest|hash|seed|fingerprint|sha\d*$|blake2[bs]?$|md5$)",
+    re.IGNORECASE,
+)
+
+
+@register
+class ModelCacheInKeyRule(Rule):
+    id = "R007"
+    title = "modelcache-in-key"
+    rationale = (
+        "the compiled LP model cache is an accelerator; skeletons, skeleton "
+        "keys, and hit/miss state must never feed instance_key or any other "
+        "result cache key"
+    )
+
+    #: The accelerator module whose outputs are key-poison.
+    CACHE_MODULE = "repro.throughput.modelcache"
+
+    #: Modules that define result cache keys (``instance_key`` and the
+    #: stores addressed by it).  They must stay skeleton-blind entirely —
+    #: any modelcache import there is a finding, used or not.
+    KEY_MODULES = ("repro.batch.jobs", "repro.batch.cache")
+
+    def _from_cache(self, resolved: str | None) -> bool:
+        return resolved is not None and (
+            resolved == self.CACHE_MODULE
+            or resolved.startswith(self.CACHE_MODULE + ".")
+        )
+
+    def _cache_refs(self, module: ModuleInfo, subtree: ast.AST) -> Iterator[ast.AST]:
+        """Sub-expressions of ``subtree`` that resolve into the cache module."""
+        for sub in ast.walk(subtree):
+            if isinstance(sub, (ast.Name, ast.Attribute)) and self._from_cache(
+                module.resolve(sub)
+            ):
+                yield sub
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Finding]:
+        if self._from_cache(module.module):
+            return  # the cache module may of course name its own symbols
+        key_module = module.module in self.KEY_MODULES
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if key_module and isinstance(node, (ast.Import, ast.ImportFrom)):
+                names = (
+                    [alias.name for alias in node.names]
+                    if isinstance(node, ast.Import)
+                    else ([node.module] if node.module else [])
+                )
+                if any(self._from_cache(name) for name in names):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"key module '{module.module}' imports the model "
+                        "cache; instance_key and the result stores must stay "
+                        "skeleton-blind (the skeleton is derived from the "
+                        "instance, never part of its identity)",
+                        node.col_offset,
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = module.resolve(node.func)
+                if resolved is None:
+                    continue
+                callee = resolved.rsplit(".", 1)[-1]
+                if not _R007_KEYED_NAME.search(callee):
+                    continue
+                if self._from_cache(resolved):
+                    continue  # the cache's own key helpers are fine to call
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for ref in self._cache_refs(module, arg):
+                        spot = (ref.lineno, ref.col_offset)
+                        if spot in seen:
+                            continue
+                        seen.add(spot)
+                        yield self.finding(
+                            module,
+                            ref.lineno,
+                            f"'{module.resolve(ref)}' feeds "
+                            f"'{resolved}'; model-cache state is "
+                            "per-process and must not reach cache keys, "
+                            "digests, or seeds",
+                            ref.col_offset,
                         )

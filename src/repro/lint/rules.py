@@ -83,8 +83,14 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, in catalog (registration) order."""
-    return list(RULES.values())
+    """Every registered rule, in catalog (rule-id) order.
+
+    Sorted by id, not registration order: rules live in more than one
+    module (per-module walks in :mod:`repro.lint.purity`, cross-file
+    checks in :mod:`repro.lint.registry`), so import order would
+    otherwise leak into reports.
+    """
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
 
 
 def select_rules(ids: Optional[List[str]] = None) -> List[Rule]:

@@ -58,6 +58,7 @@ from repro.service.http import (
 )
 from repro.service.jobs import STREAM_END, Admission, Job, JobTable
 from repro.service.queries import InstanceCache, QuerySpec, parse_query
+from repro.throughput.modelcache import model_cache
 from repro.utils.envknobs import knob_int
 from repro.utils.serialization import _coerce
 
@@ -330,6 +331,10 @@ class ThroughputService:
                 "admission": self.admission.stats(),
                 "jobs": self.jobs.stats(),
                 "instance_cache": self.instances.stats(),
+                # The service process's compiled-LP-model cache (inline
+                # solves); pool workers hold their own, visible instead
+                # through the solver's skeleton hit/miss counters.
+                "model_cache": model_cache().stats(),
             },
             "solver": _coerce(self.session.stats()),
         }

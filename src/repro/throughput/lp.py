@@ -34,6 +34,7 @@ import scipy.sparse as sp
 
 from repro.core.arcgraph import ArcGraph, as_arcgraph
 from repro.throughput.backends import resolve_lp_backend, run_linprog_chain
+from repro.throughput.modelcache import skeleton_for
 from repro.throughput.warmstart import BOUND_SLACK, SolveHint
 from repro.topologies.base import Topology
 from repro.traffic.matrix import TrafficMatrix
@@ -71,6 +72,11 @@ class ThroughputResult:
 
     def __float__(self) -> float:  # pragma: no cover - convenience
         return self.value
+
+    # ``solve_seconds`` is pure solver wall-clock; the ``lp`` engine also
+    # records ``meta["assembly_seconds"]`` (operand construction, skeleton
+    # lookup included) and ``meta["skeleton"]`` ("hit" | "miss") so batch
+    # stats can attribute time and count model-cache reuse.
 
 
 def zero_demand_result(engine: str) -> ThroughputResult:
@@ -125,6 +131,65 @@ def transpose_safe(
     except RuntimeError:
         return False
     return bool(np.array_equal(caps, caps[rev]))
+
+
+@dataclass
+class AssembledLP:
+    """Solver-ready operands of one throughput LP (the assemble stage).
+
+    Produced by :func:`assemble_throughput_lp` — the cache-served half of
+    the solve: the constraint-matrix pattern comes from a shared
+    :class:`~repro.throughput.modelcache.LPSkeleton`, and only the
+    capacity RHS and demand coefficients are refreshed per instance.
+    ``skeleton_hit`` records whether the pattern was served from the
+    model cache (an accelerator only — operands are bit-identical either
+    way).
+    """
+
+    c: np.ndarray
+    A_ub: sp.csc_matrix
+    b_ub: np.ndarray
+    A_eq: sp.csc_matrix
+    b_eq: np.ndarray
+    sources: np.ndarray
+    transposed: bool
+    n_x: int
+    n_var: int
+    n_constraints: int
+    skeleton_hit: bool
+
+
+def assemble_throughput_lp(
+    topology: Union[Topology, ArcGraph], tm: TrafficMatrix
+) -> AssembledLP:
+    """Assemble the aggregated throughput LP for ``(topology, tm)``.
+
+    Variable layout: ``x[si * m + e]`` for source-block ``si``, arc ``e``;
+    then the scale variable ``t`` last.  The conservation block has one
+    row per (source block, node); the capacity block one row per arc.
+    The sparsity pattern, index maps, and objective come from the
+    process-local model cache (:func:`repro.throughput.modelcache.
+    skeleton_for`); demand and capacity values are swapped in per call,
+    bit-identical to assembling from scratch.
+    """
+    ag = as_arcgraph(topology)
+    skeleton, hit = skeleton_for(ag, tm)
+    d = tm.demand
+    demand = d.T.copy() if skeleton.transposed else d
+    c, A_ub, b_ub, A_eq, b_eq = skeleton.assemble(demand, ag.caps)
+    return AssembledLP(
+        c=c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        sources=skeleton.sources,
+        transposed=skeleton.transposed,
+        n_x=skeleton.n_x,
+        n_var=skeleton.n_var,
+        n_constraints=skeleton.n_constraints,
+        skeleton_hit=hit,
+    )
 
 
 def solve_throughput_lp(
@@ -190,53 +255,17 @@ def solve_throughput_lp(
     if tm.total_demand() <= 0:
         return zero_demand_result("lp")
     backend = resolve_lp_backend(lp_backend)
-    tails, heads, caps = ag.arc_arrays()
+    caps = ag.caps
     m = ag.n_arcs
-    # The transposed-instance shortcut is an equivalence only for
-    # direction-symmetric capacities; asymmetric views (shard capacity
-    # slices) must solve the demand in its given orientation.
-    demand, sources, transposed = _aggregated_demand(
-        tm, allow_transpose=ag.transpose_safe()
-    )
+
+    t_assemble = time.perf_counter()
+    lp = assemble_throughput_lp(ag, tm)
+    assembly_seconds = time.perf_counter() - t_assemble
+    c, A_ub, b_ub, A_eq, b_eq = lp.c, lp.A_ub, lp.b_ub, lp.A_eq, lp.b_eq
+    sources, transposed = lp.sources, lp.transposed
     k = sources.size
-
-    # Variable layout: x[si * m + e] for source-block si, arc e; then t last.
-    n_x = k * m
-    n_var = n_x + 1
-
-    # ---- Equality block: conservation at every node for every source block.
-    # Row id: si * n + v.  Incidence entries: +1 at arc head, -1 at arc tail.
-    arc_ids = np.arange(m)
-    si_ids = np.arange(k)
-    rows_head = (si_ids[:, None] * n + heads[None, :]).ravel()
-    rows_tail = (si_ids[:, None] * n + tails[None, :]).ravel()
-    cols_inc = (si_ids[:, None] * m + arc_ids[None, :]).ravel()
-    eq_rows = np.concatenate([rows_head, rows_tail])
-    eq_cols = np.concatenate([cols_inc, cols_inc])
-    eq_data = np.concatenate([np.ones(n_x), -np.ones(n_x)])
-
-    # t column: conservation RHS is t * rhs(si, v) with
-    #   rhs = demand[s, v] for v != s, and -out_demand(s) at v == s.
-    rhs = demand[sources, :].astype(np.float64).copy()  # (k, n)
-    out_demand = rhs.sum(axis=1)
-    rhs[np.arange(k), sources] -= out_demand
-    t_rows = np.flatnonzero(rhs.ravel())
-    t_vals = -rhs.ravel()[t_rows]
-    eq_rows = np.concatenate([eq_rows, t_rows])
-    eq_cols = np.concatenate([eq_cols, np.full(t_rows.size, n_x)])
-    eq_data = np.concatenate([eq_data, t_vals])
-
-    A_eq = sp.coo_matrix((eq_data, (eq_rows, eq_cols)), shape=(k * n, n_var)).tocsc()
-    b_eq = np.zeros(k * n)
-
-    # ---- Capacity block: sum over source blocks of x[si, e] <= cap[e].
-    ub_rows = np.tile(arc_ids, k)
-    ub_cols = cols_inc
-    A_ub = sp.coo_matrix((np.ones(n_x), (ub_rows, ub_cols)), shape=(m, n_var)).tocsc()
-    b_ub = caps.astype(np.float64)
-
-    c = np.zeros(n_var)
-    c[n_x] = -1.0  # maximize t
+    n_x, n_var = lp.n_x, lp.n_var
+    skeleton_state = "hit" if lp.skeleton_hit else "miss"
 
     bounds = (0, None)
     hint_bounds = None
@@ -276,7 +305,12 @@ def solve_throughput_lp(
                 n_variables=n_var,
                 n_constraints=k * n + m,
                 solve_seconds=elapsed,
-                meta={"status": "infeasible", "lp_backend": backend.name},
+                meta={
+                    "status": "infeasible",
+                    "lp_backend": backend.name,
+                    "assembly_seconds": assembly_seconds,
+                    "skeleton": skeleton_state,
+                },
             )
         raise RuntimeError(
             f"throughput LP failed (backend {backend.name!r}): {res.message}"
@@ -301,6 +335,8 @@ def solve_throughput_lp(
         "objective": float(-res.fun),
         "lp_backend": backend.name,
         "method": method,
+        "assembly_seconds": assembly_seconds,
+        "skeleton": skeleton_state,
     }
     if hint_bounds is not None:
         meta["warm_start_bounds"] = hint_bounds

@@ -1,0 +1,385 @@
+"""Compiled LP model cache: structure-keyed constraint-matrix reuse.
+
+The dominant workloads here — what-if failure ensembles, sharded block
+families, design-space sweeps — re-solve the *same LP structure* with only
+capacity and demand data changed.  An :class:`LPSkeleton` compiles
+everything about the aggregated throughput LP that is a pure function of
+``(arc structure, demand sparsity pattern, transpose flag)``:
+
+* the CSC sparsity layout (``indices`` / ``indptr``) of the conservation
+  block ``A_eq`` and the capacity block ``A_ub``;
+* the index maps from per-solve values into that layout (``t_rows`` /
+  ``t_scatter`` / ``t_src`` — where each demand coefficient lands in the
+  CSC ``data`` array);
+* the source-block list, the variable layout, and the objective template.
+
+:func:`skeleton_for` serves skeletons from a bounded, thread-safe,
+process-local LRU keyed by ``(ArcGraph structure digest, TrafficMatrix
+sparsity digest, transpose flag)``.  Each process-pool worker holds its
+own cache (the module singleton is per process), so a pooled ensemble
+pays assembly once per worker, not once per solve.
+
+**Bit-identity** — a skeleton-served assembly is provably identical to a
+cold one: scipy's COO→CSC conversion is a pure permutation of the entry
+list when no duplicate coordinates exist (true for both blocks here), so
+the skeleton records that permutation once — by converting an
+entry-index COO — and every later assembly replays the cold path's exact
+numpy value computations into the exact same slots.  The skeleton is an
+accelerator, never a result input: nothing derived from it may feed
+:func:`repro.batch.jobs.instance_key` (``repro lint`` rule R007).
+
+The cache capacity comes from the non-result-affecting
+``REPRO_LPMODEL_CACHE`` knob (default 32 skeletons; ``0`` disables
+reuse — every solve then rebuilds, which is the benchmark baseline).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.arcgraph import ArcGraph, as_arcgraph
+from repro.traffic.matrix import TrafficMatrix
+from repro.utils.envknobs import knob_int
+
+#: Default LRU capacity (skeletons, not bytes).  A skeleton costs
+#: O(k * arcs) int32/float64 entries — a few MB at sweep scale — and one
+#: structure serves an entire failure ensemble, so a handful suffice.
+DEFAULT_CAPACITY = 32
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    out = np.ascontiguousarray(arr)
+    out.flags.writeable = False
+    return out
+
+
+class LPSkeleton:
+    """Compiled constraint-matrix pattern of one aggregated throughput LP.
+
+    Everything stored here is a pure function of the arc *structure*
+    (tails/heads, not capacities), the demand *sparsity pattern* (which
+    ``(src, dst)`` pairs are nonzero, not their values), and the
+    orientation choice — exactly the key it is cached under.  Capacity
+    and demand values enter only at :meth:`assemble` time, as vectorized
+    data swaps on the shared pattern.
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "n_arcs",
+        "sources",
+        "transposed",
+        "n_x",
+        "n_var",
+        "n_eq",
+        "eq_base",
+        "eq_indices",
+        "eq_indptr",
+        "t_rows",
+        "t_scatter",
+        "t_src",
+        "ub_data",
+        "ub_indices",
+        "ub_indptr",
+        "b_eq",
+        "c",
+    )
+
+    def __init__(self, ag: ArcGraph, pattern: np.ndarray, transposed: bool) -> None:
+        n = ag.n_nodes
+        m = ag.n_arcs
+        tails, heads = ag.tails, ag.heads
+        sources = np.flatnonzero(pattern.any(axis=1))
+        k = sources.size
+        n_x = k * m
+        n_var = n_x + 1
+        arc_ids = np.arange(m)
+        si_ids = np.arange(k)
+        rows_head = (si_ids[:, None] * n + heads[None, :]).ravel()
+        rows_tail = (si_ids[:, None] * n + tails[None, :]).ravel()
+        cols_inc = (si_ids[:, None] * m + arc_ids[None, :]).ravel()
+        eq_rows = np.concatenate([rows_head, rows_tail])
+        eq_cols = np.concatenate([cols_inc, cols_inc])
+        # Structural nonzeros of the t column: rhs(si, v) is demand[s, v]
+        # off-diagonal (nonzero iff the pattern is) and -out_demand(s) on
+        # the diagonal (nonzero for every active source by construction).
+        # Demands are validated non-negative, so value-nonzero ==
+        # pattern-nonzero and this matches the cold path's flatnonzero
+        # over the numeric rhs exactly.
+        rhs_pat = pattern[sources, :].copy()
+        rhs_pat[np.arange(k), sources] = True
+        t_rows = np.flatnonzero(rhs_pat.ravel())
+        eq_rows = np.concatenate([eq_rows, t_rows])
+        eq_cols = np.concatenate([eq_cols, np.full(t_rows.size, n_x)])
+        # COO->CSC is a pure permutation of the entry list when no
+        # coordinate repeats (nothing above does: each (block, arc) pair
+        # contributes one head and one tail entry on distinct rows, and
+        # t entries occupy their own column).  Converting an entry-index
+        # COO once recovers scipy's exact data layout, so replaying
+        # values through ``perm`` is bit-identical to a cold tocsc().
+        order = sp.coo_matrix(
+            (
+                np.arange(1, eq_rows.size + 1, dtype=np.int64),
+                (eq_rows, eq_cols),
+            ),
+            shape=(k * n, n_var),
+        ).tocsc()
+        perm = order.data - 1
+        # Cold entry list was [ones(n_x), -ones(n_x), t_vals]; pre-place
+        # the constant +/-1 incidence entries, zero the t slots.
+        eq_base = np.where(perm < n_x, 1.0, -1.0)
+        t_scatter = np.flatnonzero(perm >= 2 * n_x)
+        t_src = perm[t_scatter] - 2 * n_x
+        eq_base[t_scatter] = 0.0
+        ub = sp.coo_matrix(
+            (np.ones(n_x), (np.tile(arc_ids, k), cols_inc)),
+            shape=(m, n_var),
+        ).tocsc()
+        c = np.zeros(n_var)
+        c[n_x] = -1.0
+        self.n_nodes = n
+        self.n_arcs = m
+        self.sources = _frozen(sources)
+        self.transposed = bool(transposed)
+        self.n_x = n_x
+        self.n_var = n_var
+        self.n_eq = k * n
+        self.eq_base = _frozen(eq_base)
+        self.eq_indices = _frozen(order.indices)
+        self.eq_indptr = _frozen(order.indptr)
+        self.t_rows = _frozen(t_rows)
+        self.t_scatter = _frozen(t_scatter)
+        self.t_src = _frozen(t_src)
+        self.ub_data = _frozen(ub.data)
+        self.ub_indices = _frozen(ub.indices)
+        self.ub_indptr = _frozen(ub.indptr)
+        self.b_eq = _frozen(np.zeros(k * n))
+        self.c = _frozen(c)
+
+    @property
+    def n_sources(self) -> int:
+        """Number of aggregated source blocks (the k of the k*m layout)."""
+        return int(self.sources.size)
+
+    @property
+    def n_constraints(self) -> int:
+        """Total constraint rows: conservation block plus capacity block."""
+        return self.n_eq + self.n_arcs
+
+    def assemble(
+        self, demand: np.ndarray, caps: np.ndarray
+    ) -> Tuple[np.ndarray, sp.csc_matrix, np.ndarray, sp.csc_matrix, np.ndarray]:
+        """``(c, A_ub, b_ub, A_eq, b_eq)`` for one capacity/demand overlay.
+
+        ``demand`` must already be in this skeleton's solve orientation
+        (transposed when :attr:`transposed` is set) and share the sparsity
+        pattern the skeleton was compiled from.  The value computations
+        are the cold assembly's numpy expressions verbatim; only the
+        COO construction and CSC conversion are replaced by the recorded
+        permutation, so the returned operands are bit-identical.
+        """
+        k = self.sources.size
+        rhs = demand[self.sources, :].astype(np.float64).copy()
+        out_demand = rhs.sum(axis=1)
+        rhs[np.arange(k), self.sources] -= out_demand
+        t_vals = -rhs.ravel()[self.t_rows]
+        data = self.eq_base.copy()
+        data[self.t_scatter] = t_vals[self.t_src]
+        A_eq = sp.csc_matrix(
+            (data, self.eq_indices, self.eq_indptr),
+            shape=(self.n_eq, self.n_var),
+        )
+        A_ub = sp.csc_matrix(
+            (self.ub_data, self.ub_indices, self.ub_indptr),
+            shape=(self.n_arcs, self.n_var),
+        )
+        b_ub = caps.astype(np.float64)
+        return self.c, A_ub, b_ub, A_eq, self.b_eq
+
+
+class LPModelCache:
+    """Bounded, thread-safe LRU of :class:`LPSkeleton` by structure key.
+
+    Process-local by design: each pool worker's module singleton is its
+    own cache, which is what "assembly once per worker" means.  Thread
+    safety matters in the parent process, where service request threads
+    solve inline concurrently.  ``capacity=0`` disables reuse (every
+    lookup misses, nothing is stored) without disturbing callers.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[bytes, str, bool], LPSkeleton]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple[bytes, str, bool]) -> Optional[LPSkeleton]:
+        with self._lock:
+            skel = self._entries.get(key)
+            if skel is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return skel
+
+    def put(self, key: Tuple[bytes, str, bool], skeleton: LPSkeleton) -> None:
+        with self._lock:
+            self.builds += 1
+            if self.capacity == 0:
+                return
+            self._entries[key] = skeleton
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.builds = self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus current occupancy, for `/stats` and benchmarks."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "evictions": self.evictions,
+            }
+
+
+_cache: Optional[LPModelCache] = None
+_cache_lock = threading.Lock()
+
+
+def model_cache() -> LPModelCache:
+    """The process-local skeleton cache (created lazily from the knob)."""
+    global _cache
+    if _cache is None:
+        with _cache_lock:
+            if _cache is None:
+                capacity = knob_int("REPRO_LPMODEL_CACHE", DEFAULT_CAPACITY)
+                _cache = LPModelCache(capacity=max(int(capacity or 0), 0))
+    return _cache
+
+
+def reset_model_cache(capacity: Optional[int] = None) -> LPModelCache:
+    """Replace the process cache (tests/benchmarks).
+
+    ``capacity=None`` re-reads the ``REPRO_LPMODEL_CACHE`` knob;
+    an explicit value overrides it (``0`` disables reuse).
+    """
+    global _cache
+    with _cache_lock:
+        if capacity is None:
+            capacity = knob_int("REPRO_LPMODEL_CACHE", DEFAULT_CAPACITY)
+        _cache = LPModelCache(capacity=max(int(capacity or 0), 0))
+        return _cache
+
+
+def skeleton_key(ag: ArcGraph, tm: TrafficMatrix) -> Tuple[bytes, str, bool]:
+    """``(structure digest, TM sparsity digest, transpose flag)``.
+
+    Deliberately value-free: capacities and demand magnitudes are absent,
+    so every capacity overlay of one ensemble maps to one skeleton.  The
+    transpose flag is :meth:`~repro.core.ArcGraph.transpose_safe` — it
+    depends on capacity *symmetry* (not values) and changes the solve
+    orientation, so it must split the key.
+    """
+    return (ag.structure_digest, tm.sparsity_digest(), ag.transpose_safe())
+
+
+def skeleton_for(ag: ArcGraph, tm: TrafficMatrix) -> Tuple[LPSkeleton, bool]:
+    """``(skeleton, cache_hit)`` for one instance, building on miss."""
+    cache = model_cache()
+    key = skeleton_key(ag, tm)
+    skel = cache.get(key)
+    if skel is not None:
+        return skel, True
+    d = tm.demand
+    pattern = d > 0
+    # Orientation mirrors _aggregated_demand: solve the side with fewer
+    # active commodity groups, when capacity symmetry allows it.  Both
+    # counts are pure functions of the sparsity pattern, so the choice is
+    # stable across every capacity overlay sharing this key.
+    rows_active = int(np.count_nonzero(pattern.any(axis=1)))
+    cols_active = int(np.count_nonzero(pattern.any(axis=0)))
+    transposed = key[2] and cols_active < rows_active
+    skel = LPSkeleton(ag, pattern.T.copy() if transposed else pattern, transposed)
+    cache.put(key, skel)
+    return skel, False
+
+
+def request_group_key(request) -> Optional[str]:
+    """Skeleton grouping key of a batch request, or ``None`` if ungrouped.
+
+    The batch layer chunks same-key ``lp`` requests to one worker each
+    round so a failure ensemble pays one skeleton build per worker.  Only
+    a grouping heuristic — correctness never depends on it.
+    """
+    if getattr(request, "engine", None) != "lp":
+        return None
+    try:
+        ag = as_arcgraph(request.topology)
+        sparsity = request.tm.sparsity_digest()
+    except (TypeError, AttributeError):
+        return None
+    flag = "T" if ag.transpose_safe() else "N"
+    return f"{ag.structure_digest.hex()}:{sparsity}:{flag}"
+
+
+def group_chunks(keys: List[Optional[str]], workers: int) -> List[List[int]]:
+    """Partition request indices into pool chunks by skeleton key.
+
+    Same-key requests are split into at most ``workers`` chunks — wide
+    enough to keep every worker busy, coarse enough that each worker
+    builds the skeleton once per batch.  ``None`` keys stay singleton
+    chunks.  Index order within a chunk follows submission order.
+    """
+    chunks: List[List[int]] = []
+    grouped: "OrderedDict[str, List[int]]" = OrderedDict()
+    for i, key in enumerate(keys):
+        if key is None:
+            chunks.append([i])
+        else:
+            grouped.setdefault(key, []).append(i)
+    workers = max(int(workers), 1)
+    for members in grouped.values():
+        n_chunks = min(len(members), workers)
+        size = -(-len(members) // n_chunks)
+        for start in range(0, len(members), size):
+            chunks.append(members[start : start + size])
+    return chunks
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "LPModelCache",
+    "LPSkeleton",
+    "group_chunks",
+    "model_cache",
+    "request_group_key",
+    "reset_model_cache",
+    "skeleton_for",
+    "skeleton_key",
+]

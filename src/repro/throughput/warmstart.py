@@ -36,7 +36,7 @@ degenerate case where they coincide at ``f * t(c)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -150,3 +150,82 @@ class SolveHint:
         if upper <= lower * (1.0 + self.rtol) + self.rtol * max(self.value, 1e-12):
             return (lower, upper)
         return None
+
+    # ------------------------------------------------------------ vectorized
+    def bounds_for_many(
+        self, caps_stack: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`bounds_for` over an ``(S, n_arcs)`` stack of capacity
+        vectors — the whole ensemble's screens as two numpy reductions.
+
+        The flow-scaling lower bound is bit-identical to the scalar path
+        (elementwise division and an exact min).  The dual upper bound is
+        one matrix-vector product; BLAS may order the dot sums differently
+        than the scalar path, so the two can differ in the last ulp —
+        harmless, because bound-screened answers are never cached and
+        every sweep (cold or warm) takes this same vectorized path.
+        """
+        caps = np.asarray(caps_stack, dtype=np.float64)
+        if caps.ndim != 2 or caps.shape[1:] != self.caps.shape:
+            raise ValueError(
+                f"caps stack must have shape (S, {self.caps.shape[0]}), "
+                f"got {caps.shape}"
+            )
+        n = caps.shape[0]
+        lower = np.zeros(n)
+        upper = np.full(n, np.inf)
+        if self.value <= 0:
+            return lower, upper
+        if self.duals is not None:
+            parent_weight = float(self.duals @ self.caps)
+            if parent_weight > 0:
+                upper = self.value * (caps @ self.duals) / parent_weight
+        if self.usage is not None:
+            used = self.usage > USAGE_FLOOR * float(self.usage.max(initial=0.0))
+            if np.any(used):
+                alpha = np.min(caps[:, used] / self.usage[used], axis=1)
+                lower = self.value * np.maximum(alpha, 0.0)
+        np.minimum(lower, upper, out=lower)
+        return lower, upper
+
+    def answers_many(
+        self, caps_stack: np.ndarray
+    ) -> List[Optional[Tuple[float, float]]]:
+        """:meth:`answers` for every row of ``caps_stack`` at once.
+
+        Returns one entry per capacity vector: the certified
+        ``(value, upper)`` pair when the bounds close the query, else
+        ``None`` (that instance still needs a solve).
+        """
+        lower, upper = self.bounds_for_many(caps_stack)
+        threshold = lower * (1.0 + self.rtol) + self.rtol * max(self.value, 1e-12)
+        closed = np.isfinite(upper) & (upper <= threshold)
+        return [
+            (float(lower[i]), float(upper[i])) if closed[i] else None
+            for i in range(lower.size)
+        ]
+
+    def screen_many(self, caps_stack: np.ndarray) -> List["BoundScreen"]:
+        """Precomputed :class:`BoundScreen` verdicts for a request batch.
+
+        The what-if engine attaches these to its child
+        :class:`~repro.batch.jobs.SolveRequest` objects so the batch
+        layer's bound-skip check consumes the ensemble-wide matmul result
+        instead of re-deriving each scenario's bounds in a Python loop.
+        """
+        return [BoundScreen(answer=a) for a in self.answers_many(caps_stack)]
+
+
+@dataclass(frozen=True)
+class BoundScreen:
+    """A precomputed bound-screen verdict for one request.
+
+    ``answer`` is the certified ``(value, upper)`` pair when the parent's
+    bounds closed the query, or ``None`` when the instance must solve.
+    Distinct from "no screen ran" (no ``BoundScreen`` at all): a carried
+    ``None`` tells the batch layer the screening already happened, so it
+    must not repeat the scalar bound math per request.  Advisory only —
+    never part of a request's key, params, or cached value.
+    """
+
+    answer: Optional[Tuple[float, float]] = None

@@ -43,6 +43,7 @@ class TrafficMatrix:
     kind: str = "custom"
     meta: Dict[str, Any] = field(default_factory=dict)
     _digest: Optional[str] = field(default=None, repr=False, compare=False)
+    _sparsity_digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.demand = np.asarray(self.demand, dtype=np.float64)
@@ -98,6 +99,27 @@ class TrafficMatrix:
             h.update(np.ascontiguousarray(weights, dtype=np.float64).tobytes())
             self._digest = h.hexdigest()
         return self._digest
+
+    def sparsity_digest(self) -> str:
+        """SHA-256 digest of the demand *sparsity pattern* only (cached).
+
+        Covers the node count and the nonzero ``(src, dst)`` positions in
+        row-major order — deliberately **not** the demand values.  This is
+        the TM component of the compiled-LP-model key
+        (:mod:`repro.throughput.modelcache`): every instance sharing a
+        pattern shares a constraint-matrix skeleton, whatever its
+        magnitudes.  Never a cache-key input for *results* — value-blind
+        digests cannot distinguish numerically different instances.
+        """
+        if self._sparsity_digest is None:
+            src, dst = np.nonzero(self.demand)
+            h = hashlib.sha256()
+            h.update(b"repro-tm-sparsity-v1")
+            h.update(b"\x00n\x00" + str(self.n_nodes).encode())
+            h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+            self._sparsity_digest = h.hexdigest()
+        return self._sparsity_digest
 
     # ----------------------------------------------------------- hose algebra
     def hose_utilization(self, servers: np.ndarray) -> float:

@@ -138,6 +138,15 @@ _DECLARED = [
         "routing",
     ),
     EnvKnob(
+        "REPRO_LPMODEL_CACHE",
+        kind="int",
+        default="32",
+        result_affecting=False,
+        description="LRU capacity (entries) of the per-process compiled "
+        "LP model cache (0 disables skeleton reuse); an accelerator only "
+        "-- skeleton-served solves are bit-identical to cold assembly",
+    ),
+    EnvKnob(
         "REPRO_WHATIF_RTOL",
         kind="float",
         default="1e-6",

@@ -138,15 +138,30 @@ def whatif_sweep(
     )
     hint = SolveHint.from_result(parent, ag.caps, rtol=rtol)
 
+    child_graphs = [
+        ag.with_caps(np.asarray(s.caps, dtype=np.float64)) for s in scenarios
+    ]
+    # The whole ensemble's bound screens compute as single vectorized
+    # reductions over an (S, arcs) capacity stack — one matmul for the
+    # dual upper bounds, one masked row-min for the flow-scaling lower
+    # bounds — instead of a per-scenario Python loop.  Each verdict rides
+    # on its request (advisory, never keyed) for the batch layer's
+    # bound-skip check to consume.
+    screens = (
+        hint.screen_many(np.stack([g.caps for g in child_graphs]))
+        if child_graphs
+        else []
+    )
     requests = [
         SolveRequest(
-            ag.with_caps(np.asarray(s.caps, dtype=np.float64)),
+            graph,
             tm,
             engine="lp",
             hint=hint,
+            screen=screen,
             tag=s.name,
         )
-        for s in scenarios
+        for graph, screen, s in zip(child_graphs, screens, scenarios)
     ]
     outcomes: List[ScenarioOutcome] = []
     for scenario, outcome in zip(scenarios, solver.solve_many(requests)):

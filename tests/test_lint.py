@@ -59,8 +59,10 @@ def rule_ids(result):
 
 
 class TestRuleCatalog:
-    def test_all_six_rules_registered(self):
-        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    def test_all_seven_rules_registered(self):
+        assert sorted(RULES) == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        ]
 
     def test_rules_carry_rationale(self):
         for rule in RULES.values():
@@ -444,6 +446,122 @@ class TestR005NetworkxHotPath:
             rules=["R005"],
         )
         assert result.findings == []
+
+
+class TestR007ModelCacheInKey:
+    def test_fires_on_modelcache_import_in_key_module(self, tmp_path):
+        # repro.batch.jobs defines instance_key; the module must stay
+        # skeleton-blind entirely, so the bare import already fires.
+        result = lint(
+            tmp_path,
+            {
+                "repro/batch/jobs.py": """
+                from repro.throughput.modelcache import skeleton_for
+                """
+            },
+            rules=["R007"],
+        )
+        assert rule_ids(result) == ["R007"]
+        assert "skeleton-blind" in result.findings[0].message
+
+    def test_fires_on_modelcache_import_in_cache_store(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {"repro/batch/cache.py": "import repro.throughput.modelcache\n"},
+            rules=["R007"],
+        )
+        assert rule_ids(result) == ["R007"]
+
+    def test_fires_on_skeleton_key_feeding_a_digest(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/evaluation/keyed.py": """
+                import hashlib
+
+                from repro.throughput.modelcache import skeleton_key
+
+                def bad_key(ag, tm):
+                    return hashlib.sha256(
+                        repr(skeleton_key(ag, tm)).encode()
+                    ).hexdigest()
+                """
+            },
+            rules=["R007"],
+        )
+        assert rule_ids(result) == ["R007"]
+        assert "must not reach cache keys" in result.findings[0].message
+
+    def test_fires_on_cache_stats_feeding_key_function(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/evaluation/keyed.py": """
+                from repro.throughput import modelcache
+
+                def make_key(*parts):
+                    return "|".join(map(str, parts))
+
+                def bad(ag):
+                    return make_key(ag.digest, modelcache.model_cache().stats())
+                """
+            },
+            rules=["R007"],
+        )
+        assert rule_ids(result) == ["R007"]
+
+    def test_quiet_on_accelerator_use_in_solver_layer(self, tmp_path):
+        # Consuming the cache to *assemble* (or to group pool chunks) is the
+        # sanctioned use; only key/digest construction is off-limits.
+        result = lint(
+            tmp_path,
+            {
+                "repro/throughput/fastlp.py": """
+                from repro.throughput.modelcache import skeleton_for
+
+                def assemble(ag, tm):
+                    skeleton, hit = skeleton_for(ag, tm)
+                    return skeleton.assemble(tm.demand, ag.caps), hit
+                """,
+                "repro/batch/solver2.py": """
+                from repro.throughput.modelcache import request_group_key
+
+                def chunk_key(req):
+                    return request_group_key(req)
+                """,
+            },
+            rules=["R007"],
+        )
+        assert result.findings == []
+
+    def test_quiet_on_instance_key_without_modelcache(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/batch/jobs.py": """
+                import hashlib
+
+                def instance_key(topo, tm):
+                    return hashlib.sha256(topo.digest.encode()).hexdigest()
+                """
+            },
+            rules=["R007"],
+        )
+        assert result.findings == []
+
+    def test_suppression_comment_covers_r007(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "repro/batch/jobs.py": (
+                    "# repro-lint: allow[R007] — migration shim, see PR notes\n"
+                    "from repro.throughput.modelcache import skeleton_key\n"
+                )
+            },
+            rules=["R007"],
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
 
 
 EXPERIMENT_OK = {

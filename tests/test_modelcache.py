@@ -1,0 +1,342 @@
+"""Tests for the compiled LP model cache (repro.throughput.modelcache).
+
+The cache is an accelerator and nothing else: every assertion here pins the
+contract that a skeleton-served solve is **bit-identical** to a cold
+assembly — same values, flows, duals, usage — across engines (lp, sharded),
+LP backends, serial vs pooled execution, and both result-cache backends,
+while result cache keys never see skeleton state.  The LRU's boundary
+behavior (exact-capacity eviction, capacity-0 disable, cross-structure
+isolation) is pinned separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchSolver, ResultCache, SolveRequest, instance_key
+from repro.batch.cache import make_cache
+from repro.core.arcgraph import as_arcgraph
+from repro.throughput.lp import assemble_throughput_lp, solve_throughput_lp
+from repro.throughput.modelcache import (
+    DEFAULT_CAPACITY,
+    LPModelCache,
+    group_chunks,
+    model_cache,
+    request_group_key,
+    reset_model_cache,
+    skeleton_for,
+    skeleton_key,
+)
+from repro.throughput.sharded import solve_throughput_sharded
+from repro.topologies import hypercube, jellyfish
+from repro.traffic import all_to_all
+from repro.traffic.matrix import TrafficMatrix
+
+LP_BACKENDS = ["auto", "highs", "highs-ds", "highs-ipm"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_model_cache():
+    """Isolate every test from the module-level singleton's state."""
+    reset_model_cache(DEFAULT_CAPACITY)
+    yield
+    reset_model_cache()
+
+
+def _solve_cold(topo, tm, **kw):
+    """One solve with skeleton reuse disabled (always a fresh assembly)."""
+    reset_model_cache(0)
+    try:
+        return solve_throughput_lp(topo, tm, **kw)
+    finally:
+        reset_model_cache(DEFAULT_CAPACITY)
+
+
+def _assert_bit_identical(a, b):
+    assert a.value == b.value  # exact, not approx: same matrices, same solver
+    pairs = [(a.flows, b.flows)] + [
+        (a.meta.get(key), b.meta.get(key))
+        for key in ("arc_usage", "capacity_duals")
+    ]
+    for left, right in pairs:
+        if left is None or right is None:
+            assert left is None and right is None
+        else:
+            assert np.array_equal(np.asarray(left), np.asarray(right))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", LP_BACKENDS)
+    def test_skeleton_solve_matches_cold_per_backend(self, backend):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        cold = _solve_cold(
+            topo, tm, want_flows=True, want_duals=True, lp_backend=backend
+        )
+        miss = solve_throughput_lp(
+            topo, tm, want_flows=True, want_duals=True, lp_backend=backend
+        )
+        hit = solve_throughput_lp(
+            topo, tm, want_flows=True, want_duals=True, lp_backend=backend
+        )
+        assert cold.meta["skeleton"] == "miss"
+        assert miss.meta["skeleton"] == "miss"
+        assert hit.meta["skeleton"] == "hit"
+        _assert_bit_identical(cold, miss)
+        _assert_bit_identical(cold, hit)
+
+    def test_transposed_orientation_bit_identical(self):
+        # Few destinations + symmetric capacities triggers the transposed
+        # block orientation; the skeleton must reproduce it exactly.
+        topo = hypercube(3)
+        ag = as_arcgraph(topo)
+        demand = np.zeros((ag.n_nodes, ag.n_nodes))
+        demand[:, 0] = 1.0
+        demand[0, 0] = 0.0
+        tm = TrafficMatrix(demand=demand, kind="incast")
+        cold = _solve_cold(topo, tm, want_flows=True, want_duals=True)
+        miss = solve_throughput_lp(topo, tm, want_flows=True, want_duals=True)
+        warm = solve_throughput_lp(topo, tm, want_flows=True, want_duals=True)
+        skeleton, hit = skeleton_for(ag, tm)
+        assert skeleton.transposed and hit
+        assert miss.meta["skeleton"] == "miss"
+        assert warm.meta["skeleton"] == "hit"
+        _assert_bit_identical(cold, miss)
+        _assert_bit_identical(cold, warm)
+
+    def test_capacity_overlays_share_one_skeleton(self):
+        # The ensemble case the cache exists for: same structure + sparsity,
+        # different capacity values -> one build, N-1 hits, exact answers.
+        topo = jellyfish(16, 4, seed=7)
+        ag = as_arcgraph(topo)
+        tm = all_to_all(topo)
+        rng = np.random.default_rng(3)
+        overlays = [
+            ag.with_caps(ag.caps * rng.uniform(0.5, 1.0, size=ag.n_arcs))
+            for _ in range(4)
+        ]
+        cold = [_solve_cold(g, tm) for g in overlays]
+        reset_model_cache(DEFAULT_CAPACITY)
+        warm = [solve_throughput_lp(g, tm) for g in overlays]
+        for c, w in zip(cold, warm):
+            _assert_bit_identical(c, w)
+        stats = model_cache().stats()
+        assert stats["builds"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(overlays) - 1
+
+    def test_sharded_engine_bit_identical_and_aggregates_assembly(self):
+        topo = hypercube(4)
+        tm = all_to_all(topo)
+        reset_model_cache(0)
+        cold = solve_throughput_sharded(topo, tm, blocks=4)
+        reset_model_cache(DEFAULT_CAPACITY)
+        first = solve_throughput_sharded(topo, tm, blocks=4)
+        again = solve_throughput_sharded(topo, tm, blocks=4)
+        assert cold.value == first.value == again.value
+        for result in (cold, first, again):
+            assert result.meta["assembly_seconds"] >= 0.0
+
+    def test_assembly_seconds_split_from_solve_seconds(self):
+        topo = hypercube(3)
+        result = solve_throughput_lp(topo, all_to_all(topo))
+        assert result.meta["assembly_seconds"] >= 0.0
+        assert result.solve_seconds >= 0.0  # pure solver wall-clock, split out
+
+    def test_pooled_chunked_solves_match_serial(self):
+        topo = jellyfish(16, 4, seed=11)
+        ag = as_arcgraph(topo)
+        tm = all_to_all(topo)
+        rng = np.random.default_rng(5)
+        requests = [
+            SolveRequest(
+                ag.with_caps(ag.caps * rng.uniform(0.5, 1.0, size=ag.n_arcs)),
+                tm,
+                engine="lp",
+                tag=f"s{i}",
+            )
+            for i in range(5)
+        ]
+        serial = BatchSolver(workers=1).solve_many(requests)
+        with BatchSolver(workers=2) as pooled:
+            fanned = pooled.solve_many(requests)
+        for a, b in zip(serial, fanned):
+            _assert_bit_identical(a.require(), b.require())
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_result_cache_backends_round_trip_skeleton_solves(
+        self, tmp_path, backend
+    ):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        cache = make_cache(tmp_path, backend=backend)
+        request = SolveRequest(topo, tm, engine="lp")
+        first = BatchSolver(workers=1, cache=cache).solve(request)
+        warm_solver = BatchSolver(workers=1, cache=cache)
+        second = warm_solver.solve(request)
+        assert not first.from_cache and second.from_cache
+        assert warm_solver.n_solved == 0  # warm rerun performs zero solves
+        _assert_bit_identical(first.require(), second.require())
+
+
+class TestLRU:
+    def test_eviction_at_exact_capacity_boundary(self):
+        cache = LPModelCache(capacity=2)
+        topos = [hypercube(3), jellyfish(12, 3, seed=1), jellyfish(12, 3, seed=2)]
+        pairs = [(as_arcgraph(t), all_to_all(t)) for t in topos]
+        keys = [skeleton_key(ag, tm) for ag, tm in pairs]
+        for (ag, tm), key in zip(pairs, keys):
+            skeleton, _ = skeleton_for(ag, tm)  # build via the real path
+            cache.put(key, skeleton)
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert cache.get(keys[0]) is None  # oldest evicted...
+        assert cache.get(keys[1]) is not None  # ...newer two retained
+        assert cache.get(keys[2]) is not None
+
+    def test_lru_recency_updates_on_get(self):
+        cache = LPModelCache(capacity=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        assert cache.get(("a",)) == "A"  # refresh "a"
+        cache.put(("c",), "C")  # evicts "b", not "a"
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A"
+        assert cache.get(("c",)) == "C"
+
+    def test_capacity_zero_disables_storage_not_counting(self):
+        reset_model_cache(0)
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        for _ in range(3):
+            solve_throughput_lp(topo, tm)
+        stats = model_cache().stats()
+        assert len(model_cache()) == 0
+        assert stats["hits"] == 0
+        assert stats["misses"] == 3
+        assert stats["builds"] == 3
+
+    def test_knob_sets_singleton_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LPMODEL_CACHE", "5")
+        reset_model_cache(None)  # re-read the knob
+        assert model_cache().capacity == 5
+
+
+class TestCrossStructureIsolation:
+    def test_distinct_structures_never_share_a_skeleton(self):
+        a, b = hypercube(3), jellyfish(12, 3, seed=9)
+        ag_a, ag_b = as_arcgraph(a), as_arcgraph(b)
+        tm_a, tm_b = all_to_all(a), all_to_all(b)
+        assert skeleton_key(ag_a, tm_a) != skeleton_key(ag_b, tm_b)
+        sk_a, hit_a = skeleton_for(ag_a, tm_a)
+        sk_b, hit_b = skeleton_for(ag_b, tm_b)
+        assert not hit_a and not hit_b  # second build not served by first
+        assert sk_a is not sk_b
+        assert (sk_a.n_nodes, sk_a.n_arcs) != (sk_b.n_nodes, sk_b.n_arcs)
+        _assert_bit_identical(_solve_cold(a, tm_a), solve_throughput_lp(a, tm_a))
+        _assert_bit_identical(_solve_cold(b, tm_b), solve_throughput_lp(b, tm_b))
+
+    def test_same_structure_different_sparsity_splits_key(self):
+        topo = hypercube(3)
+        ag = as_arcgraph(topo)
+        full = all_to_all(topo)
+        sparse_demand = full.demand.copy()
+        sparse_demand[0, :] = 0.0
+        sparse = TrafficMatrix(demand=sparse_demand, kind="a2a-minus-row")
+        assert skeleton_key(ag, full) != skeleton_key(ag, sparse)
+
+    def test_value_changes_do_not_split_key(self):
+        topo = hypercube(3)
+        ag = as_arcgraph(topo)
+        tm = all_to_all(topo)
+        scaled = TrafficMatrix(demand=tm.demand * 3.5, kind=tm.kind)
+        assert skeleton_key(ag, tm) == skeleton_key(ag, scaled)
+        assert skeleton_key(ag.with_caps(ag.caps * 0.25), tm) == skeleton_key(
+            ag, tm
+        )
+
+
+class TestKeysUnchanged:
+    def test_instance_key_blind_to_skeleton_state(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        reset_model_cache(0)
+        key_disabled = instance_key(topo, tm)
+        reset_model_cache(DEFAULT_CAPACITY)
+        key_cold = instance_key(topo, tm)
+        solve_throughput_lp(topo, tm)  # populate the skeleton cache
+        key_warm = instance_key(topo, tm)
+        assert key_disabled == key_cold == key_warm
+
+    def test_disk_cache_written_cold_served_warm(self, tmp_path):
+        # A result cached before the model cache existed (simulated by a
+        # capacity-0 solve) must be served verbatim to a skeleton-warm run:
+        # same instance_key, zero re-solves.
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        cache = ResultCache(tmp_path)
+        reset_model_cache(0)
+        cold = BatchSolver(workers=1, cache=cache).solve(
+            SolveRequest(topo, tm, engine="lp")
+        )
+        reset_model_cache(DEFAULT_CAPACITY)
+        warm_solver = BatchSolver(workers=1, cache=cache)
+        warm = warm_solver.solve(SolveRequest(topo, tm, engine="lp"))
+        assert warm.from_cache and warm_solver.n_solved == 0
+        _assert_bit_identical(cold.require(), warm.require())
+
+
+class TestBatchPlumbing:
+    def test_solver_counts_skeleton_hits_and_misses(self, tmp_path):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        solver = BatchSolver(workers=1, cache=ResultCache(tmp_path))
+        snap = solver.snapshot()
+        solver.solve(SolveRequest(topo, tm, engine="lp", tag="a"))
+        ag = as_arcgraph(topo)
+        solver.solve(
+            SolveRequest(ag.with_caps(ag.caps * 0.5), tm, engine="lp", tag="b")
+        )
+        stats = solver.stats_since(snap)
+        assert stats["skeleton_misses"] == 1
+        assert stats["skeleton_hits"] == 1
+        # A result-cache hit is not a fresh solve: counters must not move.
+        before = solver.snapshot()
+        solver.solve(SolveRequest(topo, tm, engine="lp", tag="a"))
+        after = solver.stats_since(before)
+        assert after["skeleton_hits"] == 0 and after["skeleton_misses"] == 0
+
+    def test_request_group_key_only_groups_lp(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        lp_req = SolveRequest(topo, tm, engine="lp")
+        mwu_req = SolveRequest(topo, tm, engine="mwu")
+        assert request_group_key(lp_req) is not None
+        assert request_group_key(mwu_req) is None
+        assert request_group_key(lp_req) == request_group_key(
+            SolveRequest(as_arcgraph(topo), tm, engine="lp")
+        )
+
+    def test_group_chunks_splits_groups_and_isolates_ungrouped(self):
+        keys = ["g1", "g1", "g1", "g1", None, "g2"]
+        chunks = group_chunks(keys, workers=2)
+        covered = sorted(i for chunk in chunks for i in chunk)
+        assert covered == list(range(len(keys)))
+        # g1's four requests split across exactly two chunks of two.
+        g1_chunks = [c for c in chunks if keys[c[0]] == "g1"]
+        assert sorted(len(c) for c in g1_chunks) == [2, 2]
+        # The ungrouped request stays alone.
+        assert [c for c in chunks if keys[c[0]] is None] == [[4]]
+
+    def test_assemble_throughput_lp_reports_cache_hit(self):
+        topo = hypercube(3)
+        tm = all_to_all(topo)
+        first = assemble_throughput_lp(topo, tm)
+        second = assemble_throughput_lp(topo, tm)
+        assert not first.skeleton_hit and second.skeleton_hit
+        assert first.n_constraints == second.n_constraints
+        assert np.array_equal(first.b_eq, second.b_eq)
+        assert (first.A_eq != second.A_eq).nnz == 0
+        assert (first.A_ub != second.A_ub).nnz == 0
